@@ -1,0 +1,328 @@
+//! The Application Flow Graph (AFG) itself.
+//!
+//! An AFG is a DAG whose nodes are [`TaskNode`]s and whose edges are
+//! dataflow connections between logical ports. The paper builds this graph
+//! in the Application Editor and ships it to the Application Scheduler,
+//! which walks it in ready-set order (Figure 2). This module provides the
+//! graph container plus the traversal queries every later phase needs:
+//! parents/children, entry/exit nodes, topological order and edge lookup.
+
+use crate::ids::{PortIndex, TaskId};
+use crate::task::TaskNode;
+use serde::{Deserialize, Serialize};
+
+/// A dataflow edge between an output port of one task and an input port of
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing task.
+    pub from: TaskId,
+    /// Output port on the producing task.
+    pub from_port: PortIndex,
+    /// Consuming task.
+    pub to: TaskId,
+    /// Input port on the consuming task.
+    pub to_port: PortIndex,
+    /// Bytes transferred over this edge (the paper uses "the input size of
+    /// the application … for the transfer size parameter"; the builder
+    /// fills this from the producing library entry's communication size).
+    pub data_size: u64,
+}
+
+/// An Application Flow Graph: named DAG of task nodes and dataflow edges.
+///
+/// Invariants (enforced by [`crate::validate::validate`], maintained by
+/// [`crate::builder::AfgBuilder`]):
+/// - `tasks[i].id == TaskId(i)`;
+/// - edges reference existing tasks and in-range ports;
+/// - the edge relation is acyclic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Afg {
+    /// Application name shown in the editor title bar.
+    pub name: String,
+    /// Task nodes, indexed by [`TaskId`].
+    pub tasks: Vec<TaskNode>,
+    /// Dataflow edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Afg {
+    /// Create an empty AFG with the given application name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Afg { name: name.into(), tasks: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Number of task nodes.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of dataflow edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrow a task by id. Panics if the id does not belong to this graph.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.tasks[id.index()]
+    }
+
+    /// Borrow a task by id if it exists.
+    pub fn get_task(&self, id: TaskId) -> Option<&TaskNode> {
+        self.tasks.get(id.index())
+    }
+
+    /// Find a task by instance name.
+    pub fn task_by_name(&self, name: &str) -> Option<&TaskNode> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// All task ids in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Ids of tasks that feed `id` (deduplicated, in ascending id order).
+    pub fn parents(&self, id: TaskId) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> =
+            self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Ids of tasks fed by `id` (deduplicated, in ascending id order).
+    pub fn children(&self, id: TaskId) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> =
+            self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Edges arriving at `id`.
+    pub fn in_edges(&self, id: TaskId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Edges leaving `id`.
+    pub fn out_edges(&self, id: TaskId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Entry nodes: tasks with no parents (Figure 2 initialises the ready
+    /// set with exactly these).
+    pub fn entry_nodes(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&t| !self.edges.iter().any(|e| e.to == t)).collect()
+    }
+
+    /// Exit nodes: tasks with no children (the level computation anchors
+    /// on these).
+    pub fn exit_nodes(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|&t| !self.edges.iter().any(|e| e.from == t)).collect()
+    }
+
+    /// In-degree (number of incoming edges, counting multi-edges) of every
+    /// task, indexed by task id.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.tasks.len()];
+        for e in &self.edges {
+            deg[e.to.index()] += 1;
+        }
+        deg
+    }
+
+    /// Kahn topological order, or `None` if the edge relation has a cycle.
+    ///
+    /// Ties are broken by ascending task id so the order is deterministic.
+    pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut deg = self.in_degrees();
+        // Min-id-first frontier kept as a sorted stack (small graphs; the
+        // scheduler re-sorts by level anyway).
+        let mut frontier: Vec<TaskId> =
+            (0..n as u32).map(TaskId).filter(|t| deg[t.index()] == 0).collect();
+        frontier.sort_unstable_by(|a, b| b.cmp(a)); // pop() yields min id
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = frontier.pop() {
+            order.push(t);
+            for e in self.edges.iter().filter(|e| e.from == t) {
+                deg[e.to.index()] -= 1;
+                if deg[e.to.index()] == 0 {
+                    // insert keeping frontier sorted descending
+                    let pos = frontier
+                        .binary_search_by(|x| e.to.cmp(x))
+                        .unwrap_or_else(|p| p);
+                    frontier.insert(pos, e.to);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Is the graph acyclic?
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Total bytes crossing all dataflow edges.
+    pub fn total_traffic(&self) -> u64 {
+        self.edges.iter().map(|e| e.data_size).sum()
+    }
+
+    /// Communication-to-computation ratio proxy: total edge bytes divided
+    /// by total computation size under `cost` (abstract flops).
+    pub fn ccr(&self, cost: impl Fn(&TaskNode) -> f64) -> f64 {
+        let comp: f64 = self.tasks.iter().map(cost).sum();
+        if comp == 0.0 {
+            return 0.0;
+        }
+        self.total_traffic() as f64 / comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::KernelKind;
+    use crate::task::{TaskProperties, IoSpec};
+
+    fn node(id: u32, name: &str, ins: usize, outs: usize) -> TaskNode {
+        TaskNode {
+            id: TaskId(id),
+            name: name.into(),
+            library_task: "Map".into(),
+            kernel: KernelKind::Map,
+            problem_size: 10,
+            props: TaskProperties {
+                inputs: vec![IoSpec::Dataflow; ins],
+                outputs: vec![IoSpec::Dataflow; outs],
+                ..TaskProperties::default()
+            },
+        }
+    }
+
+    fn edge(from: u32, fp: u16, to: u32, tp: u16, size: u64) -> Edge {
+        Edge {
+            from: TaskId(from),
+            from_port: PortIndex(fp),
+            to: TaskId(to),
+            to_port: PortIndex(tp),
+            data_size: size,
+        }
+    }
+
+    /// Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+    fn diamond() -> Afg {
+        let mut g = Afg::new("diamond");
+        g.tasks = vec![
+            node(0, "a", 0, 2),
+            node(1, "b", 1, 1),
+            node(2, "c", 1, 1),
+            node(3, "d", 2, 0),
+        ];
+        g.edges = vec![
+            edge(0, 0, 1, 0, 100),
+            edge(0, 1, 2, 0, 200),
+            edge(1, 0, 3, 0, 300),
+            edge(2, 0, 3, 1, 400),
+        ];
+        g
+    }
+
+    #[test]
+    fn parents_and_children() {
+        let g = diamond();
+        assert_eq!(g.parents(TaskId(3)), vec![TaskId(1), TaskId(2)]);
+        assert_eq!(g.children(TaskId(0)), vec![TaskId(1), TaskId(2)]);
+        assert!(g.parents(TaskId(0)).is_empty());
+        assert!(g.children(TaskId(3)).is_empty());
+    }
+
+    #[test]
+    fn entry_and_exit_nodes() {
+        let g = diamond();
+        assert_eq!(g.entry_nodes(), vec![TaskId(0)]);
+        assert_eq!(g.exit_nodes(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn topo_order_of_diamond_is_valid_and_deterministic() {
+        let g = diamond();
+        let order = g.topo_order().expect("diamond is a DAG");
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn topo_order_respects_all_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for e in &g.edges {
+            assert!(pos(e.from) < pos(e.to), "edge {:?} violated", e);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = diamond();
+        g.edges.push(edge(3, 0, 0, 0, 1)); // back edge
+        assert!(g.topo_order().is_none());
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Afg::new("loop");
+        g.tasks = vec![node(0, "a", 1, 1)];
+        g.edges = vec![edge(0, 0, 0, 0, 1)];
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn empty_graph_is_a_dag() {
+        let g = Afg::new("empty");
+        assert_eq!(g.topo_order(), Some(vec![]));
+        assert!(g.entry_nodes().is_empty());
+    }
+
+    #[test]
+    fn multi_edges_between_same_pair_dedup_in_parents() {
+        let mut g = Afg::new("multi");
+        g.tasks = vec![node(0, "a", 0, 2), node(1, "b", 2, 0)];
+        g.edges = vec![edge(0, 0, 1, 0, 10), edge(0, 1, 1, 1, 20)];
+        assert_eq!(g.parents(TaskId(1)), vec![TaskId(0)]);
+        assert_eq!(g.in_edges(TaskId(1)).count(), 2);
+        assert!(g.is_dag());
+    }
+
+    #[test]
+    fn traffic_and_ccr() {
+        let g = diamond();
+        assert_eq!(g.total_traffic(), 1000);
+        let ccr = g.ccr(|_| 250.0); // 4 tasks * 250 flops = 1000
+        assert!((ccr - 1.0).abs() < 1e-12);
+        assert_eq!(g.ccr(|_| 0.0), 0.0, "zero computation must not divide by zero");
+    }
+
+    #[test]
+    fn task_lookup_by_name() {
+        let g = diamond();
+        assert_eq!(g.task_by_name("c").unwrap().id, TaskId(2));
+        assert!(g.task_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn in_degrees_count_multi_edges() {
+        let g = diamond();
+        assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,34 @@
+//! E6 / §4.2 — Data-Manager round-trip latency per transport and
+//! message size.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vdce_runtime::data_manager::{ChannelId, DataManager, Transport};
+use vdce_runtime::events::EventLog;
+
+fn data_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_manager");
+    group.sample_size(30);
+    for &transport in &[Transport::InProc, Transport::Tcp] {
+        let dm = DataManager::new(transport, EventLog::new());
+        for &size in &[64usize, 4096, 262_144, 1 << 20] {
+            let (tx, rx) = dm.open_channel(ChannelId { app: 0, edge: size }).unwrap();
+            let payload = Bytes::from(vec![0u8; size]);
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{transport:?}"), size),
+                &size,
+                |b, _| {
+                    b.iter(|| {
+                        tx.send(payload.clone()).unwrap();
+                        rx.recv().unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, data_manager);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E10 — DSM micro-benchmarks: local hit latency, remote miss latency,
+//! and page ping-pong.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdce_dsm::DsmRegion;
+
+fn dsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsm");
+
+    // Local cache hit: read a page the node already shares.
+    let region = DsmRegion::new(4096, 256, 2);
+    let h = region.handle(0);
+    h.write_u64(0, 1);
+    group.bench_function("read_hit_u64", |b| b.iter(|| h.read_u64(0)));
+    group.bench_function("write_hit_u64", |b| b.iter(|| h.write_u64(0, 7)));
+
+    // Ping-pong: alternate writers to the same page.
+    for &page in &[64usize, 1024, 4096] {
+        let region = DsmRegion::new(page, page, 2);
+        let a = region.handle(0);
+        let bb = region.handle(1);
+        group.bench_with_input(BenchmarkId::new("pingpong", page), &page, |bench, _| {
+            bench.iter(|| {
+                a.write_u64(0, 1);
+                bb.write_u64(0, 2);
+            })
+        });
+    }
+
+    // Cold sequential sweep (read miss per page).
+    group.bench_function("sweep_64_pages", |b| {
+        b.iter(|| {
+            let region = DsmRegion::new(64 * 256, 256, 2);
+            let w = region.handle(0);
+            for i in 0..64 {
+                w.write_u64(i * 256, i as u64);
+            }
+            let r = region.handle(1);
+            let mut acc = 0u64;
+            for i in 0..64 {
+                acc += r.read_u64(i * 256);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dsm);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §3 — cost of computing the level priority function on large AFGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdce_bench::bench_dag;
+use vdce_afg::level::{level_map, priority_list};
+use vdce_repository::tasks::TaskPerfDb;
+
+fn level_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level");
+    let db = TaskPerfDb::standard();
+    for &tasks in &[100usize, 500, 2000] {
+        let afg = bench_dag(tasks, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| {
+                let levels = level_map(&afg, |t| {
+                    db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+                })
+                .unwrap();
+                priority_list(&levels)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, level_compute);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E4 / Figure 4 — cost of the monitoring pipeline (virtual-time
+//! Resource Controller rounds) per host count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdce_sim::harness::run_monitoring_experiment;
+
+fn monitor_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitoring");
+    group.sample_size(10);
+    for &hosts in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &h| {
+            b.iter(|| run_monitoring_experiment(h, 1.0, 1.0, 5.0, 60.0, None, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, monitor_overhead);
+criterion_main!(benches);

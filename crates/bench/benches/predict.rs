@@ -1,0 +1,30 @@
+//! E8 / §3 — cost of one Predict(task, R) evaluation and of a full
+//! prediction sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdce_bench::bench_federation;
+use vdce_predict::model::{predict_seconds, Predictor};
+use vdce_repository::tasks::TaskPerfDb;
+
+fn predict(c: &mut Criterion) {
+    let db = TaskPerfDb::standard();
+    let fed = bench_federation(1, 32);
+    let view = fed.views().remove(0);
+    let hosts: Vec<_> = view.resources.iter().cloned().collect();
+
+    c.bench_function("predict_single", |b| {
+        b.iter(|| predict_seconds(&db, "Matrix_Multiplication", 256, &hosts[0]).unwrap())
+    });
+    c.bench_function("predict_sweep_32_hosts", |b| {
+        let p = Predictor::default();
+        b.iter(|| {
+            hosts
+                .iter()
+                .map(|h| p.predict(&db, "LU_Decomposition", 256, h).unwrap())
+                .fold(f64::INFINITY, f64::min)
+        })
+    });
+}
+
+criterion_group!(benches, predict);
+criterion_main!(benches);

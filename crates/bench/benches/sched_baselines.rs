@@ -1,0 +1,46 @@
+//! E5/E9 — timing of every scheduling algorithm on one workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vdce_bench::{bench_dag, bench_federation, split_views};
+use vdce_predict::model::Predictor;
+use vdce_sched::baselines;
+use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
+use vdce_sched::view::SiteView;
+
+fn sched_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(20);
+    let fed = bench_federation(4, 6);
+    let views = fed.views();
+    let (local, remotes) = split_views(&views);
+    let all: Vec<&SiteView> = views.iter().collect();
+    let afg = bench_dag(100, 5);
+    let p = Predictor::default();
+    let cfg = SchedulerConfig::default();
+
+    group.bench_function("vdce", |b| {
+        b.iter(|| site_schedule(&afg, local, remotes, &fed.net, &cfg).unwrap())
+    });
+    group.bench_function("local_only", |b| {
+        b.iter(|| baselines::local_only_schedule(&afg, local, &p).unwrap())
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| baselines::random_schedule(&afg, &all, &p, 1).unwrap())
+    });
+    group.bench_function("round_robin", |b| {
+        b.iter(|| baselines::round_robin_schedule(&afg, &all, &p).unwrap())
+    });
+    group.bench_function("min_min", |b| {
+        b.iter(|| baselines::min_min_schedule(&afg, &all, &fed.net, &p).unwrap())
+    });
+    group.bench_function("max_min", |b| {
+        b.iter(|| baselines::max_min_schedule(&afg, &all, &fed.net, &p).unwrap())
+    });
+    group.bench_function("heft", |b| {
+        b.iter(|| baselines::heft_schedule(&afg, &all, &fed.net, &p).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sched_baselines);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E3 / Figure 3 — timing of the Host Selection Algorithm as the host
+//! pool grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdce_bench::{bench_dag, bench_federation};
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::ParallelModel;
+use vdce_sched::host_selection::host_selection;
+
+fn sched_host(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_selection");
+    group.sample_size(20);
+    let afg = bench_dag(100, 3);
+    for &hosts in &[8usize, 32, 128] {
+        let fed = bench_federation(1, hosts);
+        let view = fed.views().remove(0);
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, _| {
+            b.iter(|| host_selection(&view, &afg, &Predictor::default(), &ParallelModel::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sched_host);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 / Figure 2 — timing of the Site Scheduler Algorithm as the
+//! federation (sites, k) and workload (tasks) grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vdce_bench::{bench_dag, bench_federation, split_views};
+use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
+
+fn sched_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site_scheduler");
+    group.sample_size(20);
+    for &sites in &[2usize, 4, 8] {
+        let fed = bench_federation(sites, 8);
+        let views = fed.views();
+        let (local, remotes) = split_views(&views);
+        for &tasks in &[50usize, 200] {
+            let afg = bench_dag(tasks, 7);
+            for &k in &[0usize, 3] {
+                let cfg = SchedulerConfig { k_neighbours: k, ..SchedulerConfig::default() };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sites{sites}_k{k}"), tasks),
+                    &tasks,
+                    |b, _| {
+                        b.iter(|| {
+                            site_schedule(&afg, local, remotes, &fed.net, &cfg).unwrap()
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sched_site);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! E7 / §4.1 — threshold rescheduling under load: execution time with
+//! and without the Application Controller's load-threshold relocation
+//! when the fastest hosts are hit by a load spike *between* scheduling
+//! and execution (the stale-schedule scenario the controller exists
+//! for).
+//!
+//! Claim under test: "If the current load on any of these machines is
+//! more than a predefined threshold value, the Application Controller
+//! terminates the task execution … and sends a task rescheduling
+//! request."
+
+use std::time::Duration;
+use vdce_afg::{Afg, AfgBuilder, MachineType, TaskLibrary};
+use vdce_net::clock::RealClock;
+use vdce_net::topology::SiteId;
+use vdce_repository::resources::ResourceRecord;
+use vdce_repository::SiteRepository;
+use vdce_runtime::app_controller::ThresholdGate;
+use vdce_runtime::data_manager::{DataManager, Transport};
+use vdce_runtime::events::EventLog;
+use vdce_runtime::executor::{execute, AlwaysProceed, ExecutorConfig, StartGate};
+use vdce_runtime::services::{ConsoleService, IoService};
+use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
+use vdce_sched::view::SiteView;
+use vdce_sim::metrics::Table;
+
+fn repo() -> SiteRepository {
+    let repo = SiteRepository::new();
+    repo.resources_mut(|db| {
+        db.upsert(ResourceRecord::new("fast0", "10.0.0.1", MachineType::LinuxPc, 4.0, 1, 1 << 30, "g0"));
+        db.upsert(ResourceRecord::new("fast1", "10.0.0.2", MachineType::LinuxPc, 4.0, 1, 1 << 30, "g0"));
+        for i in 0..4 {
+            db.upsert(ResourceRecord::new(
+                format!("steady{i}"),
+                format!("10.0.1.{i}"),
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 30,
+                "g1",
+            ));
+        }
+    });
+    repo
+}
+
+fn fan_afg() -> Afg {
+    let lib = TaskLibrary::standard();
+    let mut b = AfgBuilder::new("e7-fan", &lib);
+    let src = b.add_task("Source", "src", 20_000).unwrap();
+    for i in 0..6 {
+        let name = format!("sort{i}");
+        let m = b.add_task("Sort", &name, 400_000).unwrap();
+        b.connect(src, 0, m, 0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Returns (wall seconds, reschedules, tasks executed on spiked hosts).
+fn run(gated: bool) -> (f64, usize, usize) {
+    let repo = repo();
+    let afg = fan_afg();
+
+    // 1. Schedule against the CLEAN view: everything piles onto the fast
+    //    hosts.
+    let view = SiteView::capture(SiteId(0), &repo);
+    let net = vdce_net::model::NetworkModel::with_defaults(1);
+    let table =
+        site_schedule(&afg, &view, &[], &net, &SchedulerConfig::default()).unwrap();
+
+    // 2. The spike arrives: monitoring floods the repository with load 12
+    //    on the fast hosts (simulating external users grabbing them).
+    repo.resources_mut(|db| {
+        for h in ["fast0", "fast1"] {
+            for _ in 0..16 {
+                db.record_sample(h, 12.0, 1 << 30);
+            }
+        }
+    });
+
+    // 3. Execute, with or without the Application Controller's gate.
+    let log = EventLog::new();
+    let dm = DataManager::new(Transport::InProc, log.clone());
+    let io = IoService::new();
+    let console = ConsoleService::new(log.clone());
+    let clock = RealClock::new();
+    let gate_box: Box<dyn StartGate> = if gated {
+        Box::new(ThresholdGate::new(&repo, 4.0, &afg))
+    } else {
+        Box::new(AlwaysProceed)
+    };
+    // Simulate that spiked hosts really are slower: the executor runs real
+    // kernels, so "slow host" is modelled by the time-sharing penalty at
+    // kernel level — here we keep kernels real and count placement
+    // instead; wall time differences come from contention on two hosts
+    // vs spreading over six.
+    let outcome = execute(
+        &afg,
+        &table,
+        &dm,
+        &io,
+        &console,
+        gate_box.as_ref(),
+        &log,
+        &clock,
+        None,
+        &ExecutorConfig { input_timeout: Duration::from_secs(30) },
+    );
+    assert!(outcome.success);
+    let rescheds = log.count(|e| {
+        matches!(e, vdce_runtime::events::RuntimeEvent::RescheduleRequested { .. })
+    });
+    let on_fast = outcome
+        .records
+        .iter()
+        .filter(|r| r.hosts.iter().any(|h| h.starts_with("fast")))
+        .count();
+    (outcome.wall_seconds, rescheds, on_fast)
+}
+
+fn main() {
+    println!("=== E7: threshold rescheduling under a post-schedule load spike ===\n");
+    let mut t = Table::new(&[
+        "application_controller",
+        "wall_s",
+        "reschedules",
+        "tasks_on_spiked_hosts",
+    ]);
+    for &(label, gated) in &[("active (threshold 4)", true), ("disabled", false)] {
+        let (wall, rescheds, on_fast) = run(gated);
+        t.row(&[
+            label.to_string(),
+            format!("{wall:.4}"),
+            rescheds.to_string(),
+            on_fast.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(active: tasks are relocated off the spiked fast hosts at launch time)");
+}

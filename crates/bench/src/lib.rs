@@ -1,0 +1,74 @@
+//! Shared fixtures for the VDCE benchmarks and `exp_*` experiment
+//! binaries.
+//!
+//! One binary per paper artefact regenerates the corresponding
+//! EXPERIMENTS.md table:
+//!
+//! | binary     | paper artefact | what it prints |
+//! |------------|----------------|----------------|
+//! | `exp_fig1` | Figure 1       | Linear Equation Solver AFG + property sheets + end-to-end run |
+//! | `exp_fig2` | Figure 2       | site-scheduler makespan vs k and vs CCR |
+//! | `exp_fig3` | Figure 3       | host-selection quality vs pool size and heterogeneity |
+//! | `exp_fig4` | Figure 4       | monitoring traffic reduction + failure-detection latency |
+//! | `exp_e5`   | §3 claim       | priority-order and algorithm ablation |
+//! | `exp_e6`   | §4.2 claim     | Data-Manager latency/throughput, in-proc vs TCP |
+//! | `exp_e7`   | §4.1 claim     | threshold rescheduling under load spikes |
+//! | `exp_e8`   | §3 claim       | prediction accuracy and placement regret |
+//! | `exp_e9`   | future work    | HEFT vs VDCE greedy |
+
+#![warn(missing_docs)]
+
+use vdce_sched::view::SiteView;
+use vdce_sim::dag_gen::{layered_random, DagSpec};
+use vdce_sim::pool_gen::{build_federation, Federation, FederationSpec, WanShape};
+
+/// Standard benchmark federation: `sites` × `hosts` hosts, 4× speed
+/// heterogeneity, random WAN, fixed seed.
+pub fn bench_federation(sites: usize, hosts: usize) -> Federation {
+    build_federation(&FederationSpec {
+        sites,
+        hosts_per_site: hosts,
+        heterogeneity: 4.0,
+        shape: WanShape::Random,
+        seed: 1234,
+        ..FederationSpec::default()
+    })
+}
+
+/// Standard benchmark workload: a layered random DAG with `tasks` tasks.
+pub fn bench_dag(tasks: usize, seed: u64) -> vdce_afg::Afg {
+    layered_random(&DagSpec { tasks, width: (tasks / 8).max(2), ..DagSpec::default() }, seed)
+}
+
+/// A DAG whose communication scale is multiplied by `ccr_scale` (the CCR
+/// knob of experiment E2/Fig 2).
+pub fn bench_dag_ccr(tasks: usize, ccr_scale: f64, seed: u64) -> vdce_afg::Afg {
+    let base = DagSpec { tasks, width: (tasks / 8).max(2), ..DagSpec::default() };
+    let spec = DagSpec {
+        min_bytes: (base.min_bytes as f64 * ccr_scale).max(1.0) as u64,
+        max_bytes: (base.max_bytes as f64 * ccr_scale).max(2.0) as u64,
+        ..base
+    };
+    layered_random(&spec, seed)
+}
+
+/// Split a federation's views into (local, remotes).
+pub fn split_views(views: &[SiteView]) -> (&SiteView, &[SiteView]) {
+    (&views[0], &views[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid() {
+        let fed = bench_federation(3, 4);
+        assert_eq!(fed.views().len(), 3);
+        let dag = bench_dag(40, 1);
+        assert!(vdce_afg::validate(&dag).is_ok());
+        let hi = bench_dag_ccr(40, 10.0, 1);
+        let lo = bench_dag_ccr(40, 0.1, 1);
+        assert!(hi.total_traffic() > lo.total_traffic() * 10);
+    }
+}

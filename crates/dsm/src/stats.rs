@@ -1,0 +1,94 @@
+//! DSM protocol counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of the protocol counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsmStats {
+    /// Reads served from the local cache (S or M state).
+    pub read_hits: u64,
+    /// Reads that fetched the page from the directory/owner.
+    pub read_misses: u64,
+    /// Writes that already held the page in M state.
+    pub write_hits: u64,
+    /// Writes that needed ownership (upgrade or fetch).
+    pub write_misses: u64,
+    /// Invalidation messages sent to sharers/owners.
+    pub invalidations: u64,
+    /// Whole-page transfers (owner → directory → requester).
+    pub page_transfers: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct StatCounters {
+    pub read_hits: AtomicU64,
+    pub read_misses: AtomicU64,
+    pub write_hits: AtomicU64,
+    pub write_misses: AtomicU64,
+    pub invalidations: AtomicU64,
+    pub page_transfers: AtomicU64,
+}
+
+impl StatCounters {
+    pub fn snapshot(&self) -> DsmStats {
+        DsmStats {
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            read_misses: self.read_misses.load(Ordering::Relaxed),
+            write_hits: self.write_hits.load(Ordering::Relaxed),
+            write_misses: self.write_misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            page_transfers: self.page_transfers.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl DsmStats {
+    /// Total reads.
+    pub fn reads(&self) -> u64 {
+        self.read_hits + self.read_misses
+    }
+
+    /// Total writes.
+    pub fn writes(&self) -> u64 {
+        self.write_hits + self.write_misses
+    }
+
+    /// Read hit rate in [0, 1]; 1.0 when no reads happened.
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.reads() == 0 {
+            1.0
+        } else {
+            self.read_hits as f64 / self.reads() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = StatCounters::default();
+        StatCounters::bump(&c.read_hits);
+        StatCounters::bump(&c.read_hits);
+        StatCounters::bump(&c.invalidations);
+        let s = c.snapshot();
+        assert_eq!(s.read_hits, 2);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.read_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_reads() {
+        assert_eq!(DsmStats::default().read_hit_rate(), 1.0);
+        let s = DsmStats { read_hits: 1, read_misses: 3, ..DsmStats::default() };
+        assert_eq!(s.read_hit_rate(), 0.25);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the DSM: the region must behave exactly like a
+//! flat byte array under any single-threaded interleaving of reads and
+//! writes from arbitrary nodes, for arbitrary page geometries.
+
+use proptest::prelude::*;
+use vdce_dsm::DsmRegion;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { node: u8, offset: u16, data: Vec<u8> },
+    Read { node: u8, offset: u16, len: u8 },
+}
+
+fn op_strategy(size: usize, nodes: usize) -> impl Strategy<Value = Op> {
+    let size = size as u16;
+    prop_oneof![
+        (
+            0..nodes as u8,
+            0..size,
+            proptest::collection::vec(any::<u8>(), 1..32)
+        )
+            .prop_map(move |(node, offset, mut data)| {
+                let max = (size - offset) as usize;
+                data.truncate(max.max(1).min(data.len()));
+                Op::Write { node, offset, data }
+            }),
+        (0..nodes as u8, 0..size, 1u8..32).prop_map(move |(node, offset, len)| {
+            let max = (size - offset) as usize;
+            Op::Read { node, offset, len: (len as usize).min(max.max(1)) as u8 }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dsm_matches_flat_memory_under_any_interleaving(
+        page_size in 1usize..64,
+        nodes in 1usize..5,
+        ops in proptest::collection::vec(op_strategy(256, 4), 0..80),
+    ) {
+        let size = 256usize;
+        let dsm = DsmRegion::new(size, page_size, nodes);
+        let mut model = vec![0u8; size];
+        for op in ops {
+            match op {
+                Op::Write { node, offset, data } => {
+                    let node = node as usize % nodes;
+                    let offset = offset as usize;
+                    if offset + data.len() > size { continue; }
+                    dsm.handle(node).write(offset, &data);
+                    model[offset..offset + data.len()].copy_from_slice(&data);
+                }
+                Op::Read { node, offset, len } => {
+                    let node = node as usize % nodes;
+                    let (offset, len) = (offset as usize, len as usize);
+                    if offset + len > size { continue; }
+                    let got = dsm.handle(node).read(offset, len);
+                    prop_assert_eq!(&got[..], &model[offset..offset + len]);
+                }
+            }
+        }
+        // Final full read from every node agrees with the model.
+        for n in 0..nodes {
+            prop_assert_eq!(dsm.handle(n).read(0, size), model.clone());
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        page_size in 8usize..64,
+        writes in proptest::collection::vec((0u8..3, 0u16..248), 1..60),
+    ) {
+        let dsm = DsmRegion::new(256, page_size, 3);
+        for (node, offset) in &writes {
+            dsm.handle(*node as usize).write_u64(*offset as usize, 7);
+        }
+        let s = dsm.stats();
+        // Each write_u64 performs one protocol write per touched page
+        // (1 or 2 pages), so the write count is bounded both ways.
+        prop_assert!(s.writes() >= writes.len() as u64);
+        prop_assert!(s.writes() <= 2 * writes.len() as u64);
+        // Every write miss moved a page.
+        prop_assert!(s.page_transfers >= s.write_misses.min(1));
+    }
+
+    #[test]
+    fn u64_round_trip_any_alignment(
+        page_size in 1usize..32,
+        offset in 0usize..120,
+        value in any::<u64>(),
+    ) {
+        let dsm = DsmRegion::new(128, page_size, 2);
+        dsm.handle(0).write_u64(offset, value);
+        prop_assert_eq!(dsm.handle(1).read_u64(offset), value);
+        prop_assert_eq!(dsm.handle(0).read_u64(offset), value);
+    }
+}

@@ -1,0 +1,34 @@
+//! # vdce-net — the VDCE network substrate
+//!
+//! The paper runs VDCE over a campus/wide-area network of *sites*, each
+//! fronted by a VDCE server; the site-scheduler algorithm (Figure 2) needs
+//! `transfer_time(S_parent, S_j)` between sites and a notion of the *k
+//! nearest neighbour sites*, and the Site Managers exchange scheduling and
+//! monitoring messages ("the inter-site coordination and message transfer
+//! … are handled by Site Managers", §4.1).
+//!
+//! The authors had ATM and Fast Ethernet between real machines; this crate
+//! substitutes a deterministic model (see DESIGN.md §3):
+//!
+//! - [`topology::Topology`] — named sites and their host lists;
+//! - [`model::NetworkModel`] — per-site-pair latency and bandwidth, the
+//!   `transfer_time` function, and k-nearest-site queries;
+//! - [`gen`] — reproducible topology generators (star, ring, metro
+//!   clusters, uniform random);
+//! - [`clock`] — virtual and real clocks behind one trait;
+//! - [`bus`] — an in-memory, multicast-capable message bus connecting the
+//!   per-site endpoints, with per-link traffic accounting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bus;
+pub mod clock;
+pub mod gen;
+pub mod model;
+pub mod topology;
+
+pub use bus::{BusError, Endpoint, MessageBus};
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use model::{LinkParams, NetworkModel, SharedNetworkModel};
+pub use topology::{SiteId, SiteInfo, Topology};

@@ -1,0 +1,248 @@
+//! The `Predict(task, R)` execution-time model.
+//!
+//! See the crate docs for the model's five ingredients. All times are in
+//! seconds. Prediction never schedules onto a down host: that is a
+//! [`PredictError::HostDown`], not a large number, so callers cannot
+//! accidentally rank a dead host.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vdce_repository::resources::ResourceRecord;
+use vdce_repository::tasks::TaskPerfDb;
+
+/// Why a prediction could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// Task name is not in the task-performance database.
+    UnknownTask(String),
+    /// The host is marked down in the resource-performance database.
+    HostDown(String),
+    /// The host can never run the task (e.g. total memory smaller than the
+    /// task's requirement).
+    Infeasible {
+        /// Host name.
+        host: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::UnknownTask(t) => write!(f, "unknown task `{t}`"),
+            PredictError::HostDown(h) => write!(f, "host `{h}` is down"),
+            PredictError::Infeasible { host, reason } => {
+                write!(f, "task infeasible on `{host}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Tunables of the prediction model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Predictor {
+    /// Weight of the measured `(task, host)` rate once at least
+    /// `confidence_samples` samples exist (blended with the analytic
+    /// model below that).
+    pub confidence_samples: u64,
+    /// Quadratic paging penalty factor applied when required memory
+    /// exceeds available memory.
+    pub paging_factor: f64,
+}
+
+impl Default for Predictor {
+    fn default() -> Self {
+        Predictor { confidence_samples: 3, paging_factor: 8.0 }
+    }
+}
+
+impl Predictor {
+    /// Evaluate `Predict(task, R)`: the predicted execution time in
+    /// seconds of `task` at `problem_size` on `host`, given the current
+    /// contents of the task-performance database.
+    pub fn predict(
+        &self,
+        tasks: &TaskPerfDb,
+        task: &str,
+        problem_size: u64,
+        host: &ResourceRecord,
+    ) -> Result<f64, PredictError> {
+        let entry = tasks
+            .entry(task)
+            .ok_or_else(|| PredictError::UnknownTask(task.to_string()))?;
+        if !host.is_up() {
+            return Err(PredictError::HostDown(host.host_name.clone()));
+        }
+        let required = entry.required_memory(problem_size);
+        if required > host.total_memory {
+            return Err(PredictError::Infeasible {
+                host: host.host_name.clone(),
+                reason: format!(
+                    "requires {required} B of memory, host has {} B total",
+                    host.total_memory
+                ),
+            });
+        }
+
+        let flops = entry.computation_size(problem_size);
+
+        // Analytic rate: base-processor seconds/flop scaled by host speed.
+        let analytic_rate = tasks.base_rate(task) / host.relative_speed.max(1e-9);
+
+        // Measured rate (already host-specific) blended in by confidence.
+        let rate = match tasks.measured_rate(task, &host.host_name) {
+            Some(measured) => {
+                let n = tasks.sample_count(task, &host.host_name);
+                let w = (n as f64 / self.confidence_samples as f64).min(1.0);
+                w * measured + (1.0 - w) * analytic_rate
+            }
+            None => analytic_rate,
+        };
+
+        // Time sharing: with w runnable processes the task gets 1/(1+w)
+        // of the CPU.
+        let load_mult = 1.0 + host.smoothed_workload().max(0.0);
+
+        // Paging penalty: quadratic in the overcommit ratio.
+        let mem_mult = if required > host.available_memory {
+            let avail = host.available_memory.max(1) as f64;
+            let ratio = required as f64 / avail;
+            1.0 + self.paging_factor * (ratio - 1.0) * ratio
+        } else {
+            1.0
+        };
+
+        Ok(flops * rate * load_mult * mem_mult)
+    }
+}
+
+/// Convenience: `Predict(task, R)` with default tunables.
+pub fn predict_seconds(
+    tasks: &TaskPerfDb,
+    task: &str,
+    problem_size: u64,
+    host: &ResourceRecord,
+) -> Result<f64, PredictError> {
+    Predictor::default().predict(tasks, task, problem_size, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::MachineType;
+    use vdce_repository::resources::HostStatus;
+
+    fn host(name: &str, speed: f64) -> ResourceRecord {
+        ResourceRecord::new(name, "10.0.0.1", MachineType::SunSolaris, speed, 1, 1 << 30, "g0")
+    }
+
+    #[test]
+    fn faster_host_predicts_shorter_time() {
+        let db = TaskPerfDb::standard();
+        let slow = host("slow", 1.0);
+        let fast = host("fast", 4.0);
+        let ts = predict_seconds(&db, "Matrix_Multiplication", 128, &slow).unwrap();
+        let tf = predict_seconds(&db, "Matrix_Multiplication", 128, &fast).unwrap();
+        assert!((ts / tf - 4.0).abs() < 1e-9, "4× speed must be 4× faster");
+    }
+
+    #[test]
+    fn workload_inflates_prediction_linearly() {
+        let db = TaskPerfDb::standard();
+        let idle = host("idle", 1.0);
+        let mut busy = host("busy", 1.0);
+        for _ in 0..4 {
+            busy.workload_history.push_back(3.0);
+        }
+        busy.workload = 3.0;
+        let ti = predict_seconds(&db, "Sort", 10_000, &idle).unwrap();
+        let tb = predict_seconds(&db, "Sort", 10_000, &busy).unwrap();
+        assert!((tb / ti - 4.0).abs() < 1e-9, "workload 3 → 4× slower");
+    }
+
+    #[test]
+    fn down_host_is_an_error_not_a_number() {
+        let db = TaskPerfDb::standard();
+        let mut h = host("h", 1.0);
+        h.status = HostStatus::Down;
+        assert_eq!(
+            predict_seconds(&db, "Sort", 100, &h),
+            Err(PredictError::HostDown("h".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_task_is_an_error() {
+        let db = TaskPerfDb::standard();
+        assert!(matches!(
+            predict_seconds(&db, "Nope", 100, &host("h", 1.0)),
+            Err(PredictError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn memory_overcommit_penalises_but_total_shortfall_is_infeasible() {
+        let db = TaskPerfDb::standard();
+        // LU at n=1024 needs 16n² = 16 MiB.
+        let mut tight = host("tight", 1.0);
+        tight.total_memory = 32 << 20;
+        tight.available_memory = 4 << 20; // less than required → paging
+        let mut roomy = host("roomy", 1.0);
+        roomy.total_memory = 32 << 20;
+        roomy.available_memory = 32 << 20;
+        let tp = predict_seconds(&db, "LU_Decomposition", 1024, &tight).unwrap();
+        let tr = predict_seconds(&db, "LU_Decomposition", 1024, &roomy).unwrap();
+        assert!(tp > tr * 2.0, "paging must hurt: {tp} vs {tr}");
+
+        let mut tiny = host("tiny", 1.0);
+        tiny.total_memory = 1 << 20; // can never fit
+        assert!(matches!(
+            predict_seconds(&db, "LU_Decomposition", 1024, &tiny),
+            Err(PredictError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn measured_rate_dominates_after_enough_samples() {
+        let mut db = TaskPerfDb::standard();
+        let h = host("h", 1.0);
+        let analytic = predict_seconds(&db, "Map", 1000, &h).unwrap();
+        // Feed 10 measurements of 5× the analytic time.
+        for _ in 0..10 {
+            db.record_execution("Map", "h", 1000, analytic * 5.0);
+        }
+        let blended = predict_seconds(&db, "Map", 1000, &h).unwrap();
+        assert!(
+            (blended / analytic - 5.0).abs() < 0.01,
+            "with many samples prediction follows measurements: {blended} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn single_measurement_only_partially_trusted() {
+        let mut db = TaskPerfDb::standard();
+        let h = host("h", 1.0);
+        let analytic = predict_seconds(&db, "Map", 1000, &h).unwrap();
+        db.record_execution("Map", "h", 1000, analytic * 9.0);
+        let blended = predict_seconds(&db, "Map", 1000, &h).unwrap();
+        assert!(blended > analytic * 1.5 && blended < analytic * 9.0);
+    }
+
+    #[test]
+    fn prediction_scales_with_problem_size() {
+        let db = TaskPerfDb::standard();
+        let h = host("h", 1.0);
+        let t1 = predict_seconds(&db, "Matrix_Multiplication", 100, &h).unwrap();
+        let t2 = predict_seconds(&db, "Matrix_Multiplication", 200, &h).unwrap();
+        assert!((t2 / t1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PredictError::Infeasible { host: "h".into(), reason: "r".into() };
+        assert!(e.to_string().contains("h"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The site repository facade.
+//!
+//! "Each site has a site repository for storing user-accounts information,
+//! task and resource parameters that are used by the scheduler" (§3).
+//! The repository is touched concurrently by the Site Manager (workload
+//! and failure updates, post-run task-performance write-back), the Group
+//! Managers, the Application Scheduler (reads) and administrative tools —
+//! so [`SiteRepository`] is a cheaply cloneable handle around per-database
+//! reader-writer locks.
+
+use crate::accounts::UserAccountsDb;
+use crate::constraints::TaskConstraintsDb;
+use crate::resources::ResourcePerfDb;
+use crate::tasks::TaskPerfDb;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A point-in-time snapshot of a site repository (serialisable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepositorySnapshot {
+    /// User accounts.
+    pub accounts: UserAccountsDb,
+    /// Resource-performance rows.
+    pub resources: ResourcePerfDb,
+    /// Task-performance parameters and measurements.
+    pub tasks: TaskPerfDb,
+    /// Executable locations.
+    pub constraints: TaskConstraintsDb,
+}
+
+struct Inner {
+    accounts: RwLock<UserAccountsDb>,
+    resources: RwLock<ResourcePerfDb>,
+    tasks: RwLock<TaskPerfDb>,
+    constraints: RwLock<TaskConstraintsDb>,
+}
+
+/// Thread-safe, cloneable handle to one site's repository.
+#[derive(Clone)]
+pub struct SiteRepository {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SiteRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteRepository")
+            .field("users", &self.inner.accounts.read().len())
+            .field("hosts", &self.inner.resources.read().len())
+            .finish()
+    }
+}
+
+impl Default for SiteRepository {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SiteRepository {
+    /// Fresh repository over the standard task library.
+    pub fn new() -> Self {
+        Self::from_snapshot(RepositorySnapshot {
+            accounts: UserAccountsDb::new(),
+            resources: ResourcePerfDb::new(),
+            tasks: TaskPerfDb::standard(),
+            constraints: TaskConstraintsDb::new(),
+        })
+    }
+
+    /// Rebuild a repository from a snapshot.
+    pub fn from_snapshot(s: RepositorySnapshot) -> Self {
+        SiteRepository {
+            inner: Arc::new(Inner {
+                accounts: RwLock::new(s.accounts),
+                resources: RwLock::new(s.resources),
+                tasks: RwLock::new(s.tasks),
+                constraints: RwLock::new(s.constraints),
+            }),
+        }
+    }
+
+    /// Read access to the user-accounts database.
+    pub fn accounts<R>(&self, f: impl FnOnce(&UserAccountsDb) -> R) -> R {
+        f(&self.inner.accounts.read())
+    }
+
+    /// Write access to the user-accounts database.
+    pub fn accounts_mut<R>(&self, f: impl FnOnce(&mut UserAccountsDb) -> R) -> R {
+        f(&mut self.inner.accounts.write())
+    }
+
+    /// Read access to the resource-performance database.
+    pub fn resources<R>(&self, f: impl FnOnce(&ResourcePerfDb) -> R) -> R {
+        f(&self.inner.resources.read())
+    }
+
+    /// Write access to the resource-performance database.
+    pub fn resources_mut<R>(&self, f: impl FnOnce(&mut ResourcePerfDb) -> R) -> R {
+        f(&mut self.inner.resources.write())
+    }
+
+    /// Read access to the task-performance database.
+    pub fn tasks<R>(&self, f: impl FnOnce(&TaskPerfDb) -> R) -> R {
+        f(&self.inner.tasks.read())
+    }
+
+    /// Write access to the task-performance database.
+    pub fn tasks_mut<R>(&self, f: impl FnOnce(&mut TaskPerfDb) -> R) -> R {
+        f(&mut self.inner.tasks.write())
+    }
+
+    /// Read access to the task-constraints database.
+    pub fn constraints<R>(&self, f: impl FnOnce(&TaskConstraintsDb) -> R) -> R {
+        f(&self.inner.constraints.read())
+    }
+
+    /// Write access to the task-constraints database.
+    pub fn constraints_mut<R>(&self, f: impl FnOnce(&mut TaskConstraintsDb) -> R) -> R {
+        f(&mut self.inner.constraints.write())
+    }
+
+    /// Capture a consistent-enough snapshot (each database is internally
+    /// consistent; cross-database atomicity is not required by any VDCE
+    /// component, which all tolerate slightly stale reads — §4.1's
+    /// monitoring updates are themselves periodic).
+    pub fn snapshot(&self) -> RepositorySnapshot {
+        RepositorySnapshot {
+            accounts: self.inner.accounts.read().clone(),
+            resources: self.inner.resources.read().clone(),
+            tasks: self.inner.tasks.read().clone(),
+            constraints: self.inner.constraints.read().clone(),
+        }
+    }
+
+    /// Serialise a snapshot to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot()).expect("snapshot always serialises")
+    }
+
+    /// Restore a repository from JSON produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        Ok(Self::from_snapshot(serde_json::from_str(json)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounts::AccessDomain;
+    use crate::resources::{HostStatus, ResourceRecord};
+    use std::thread;
+    use vdce_afg::MachineType;
+
+    fn populated() -> SiteRepository {
+        let repo = SiteRepository::new();
+        repo.accounts_mut(|db| db.add_user("user_k", "pw", 3, AccessDomain::Global).unwrap());
+        repo.resources_mut(|db| {
+            db.upsert(ResourceRecord::new(
+                "serval",
+                "10.0.0.1",
+                MachineType::SunSolaris,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
+            ))
+        });
+        repo.constraints_mut(|db| db.register_everywhere("Map", ["serval"]));
+        repo
+    }
+
+    #[test]
+    fn facade_routes_to_all_four_databases() {
+        let repo = populated();
+        assert_eq!(repo.accounts(|db| db.len()), 1);
+        assert_eq!(repo.resources(|db| db.len()), 1);
+        assert!(repo.tasks(|db| db.entry("Map").is_some()));
+        assert!(repo.constraints(|db| db.is_installed("Map", "serval")));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let repo = populated();
+        let clone = repo.clone();
+        clone.resources_mut(|db| db.set_status("serval", HostStatus::Down));
+        assert!(repo.resources(|db| !db.get("serval").unwrap().is_up()));
+    }
+
+    #[test]
+    fn snapshot_round_trip_via_json() {
+        let repo = populated();
+        repo.tasks_mut(|db| db.record_execution("Map", "serval", 100, 0.5));
+        let json = repo.to_json();
+        let back = SiteRepository::from_json(&json).unwrap();
+        assert_eq!(back.snapshot(), repo.snapshot());
+        // Restored repository still authenticates.
+        assert!(back.accounts(|db| db.authenticate("user_k", "pw").is_ok()));
+    }
+
+    #[test]
+    fn snapshot_is_detached_from_live_state() {
+        let repo = populated();
+        let snap = repo.snapshot();
+        repo.accounts_mut(|db| db.add_user("new", "pw", 1, AccessDomain::LocalSite).unwrap());
+        assert_eq!(snap.accounts.len(), 1, "snapshot must not see later writes");
+        assert_eq!(repo.accounts(|db| db.len()), 2);
+    }
+
+    #[test]
+    fn concurrent_samples_are_all_applied() {
+        let repo = populated();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let r = repo.clone();
+                thread::spawn(move || {
+                    for j in 0..100 {
+                        r.resources_mut(|db| {
+                            db.record_sample("serval", (i * 100 + j) as f64, 1 << 20)
+                        });
+                        r.tasks_mut(|db| db.record_execution("Map", "serval", 64, 0.01));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(repo.tasks(|db| db.sample_count("Map", "serval")), 800);
+        // History is bounded regardless of writer count.
+        repo.resources(|db| {
+            assert_eq!(
+                db.get("serval").unwrap().workload_history.len(),
+                crate::resources::WORKLOAD_HISTORY
+            )
+        });
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(SiteRepository::from_json("{").is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! The runtime event log.
+//!
+//! Every Control-Manager component appends timestamped events here; the
+//! visualization service (§4.2) renders them, tests assert on them, and
+//! the Figure-4 experiments count them.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use vdce_afg::TaskId;
+
+/// Something that happened at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// A monitor sample was taken on a host.
+    MonitorSample {
+        /// Host name.
+        host: String,
+        /// Measured workload.
+        workload: f64,
+    },
+    /// A Group Manager forwarded a significant workload change.
+    WorkloadForwarded {
+        /// Host name.
+        host: String,
+        /// Forwarded workload value.
+        workload: f64,
+    },
+    /// Echo probing declared a host dead.
+    HostFailed {
+        /// Host name.
+        host: String,
+    },
+    /// A previously dead host answered echoes again.
+    HostRecovered {
+        /// Host name.
+        host: String,
+    },
+    /// A Data-Manager channel finished its acknowledged setup.
+    ChannelReady {
+        /// Channel identifier (edge index within the application).
+        channel: usize,
+    },
+    /// The Application Controller broadcast the execution start-up signal.
+    StartupSignal,
+    /// A task began executing.
+    TaskStarted {
+        /// The task.
+        task: TaskId,
+        /// Host(s) it runs on.
+        host: String,
+    },
+    /// A task finished.
+    TaskFinished {
+        /// The task.
+        task: TaskId,
+        /// Wall seconds it took.
+        seconds: f64,
+    },
+    /// A task failed.
+    TaskFailed {
+        /// The task.
+        task: TaskId,
+        /// Why.
+        reason: String,
+    },
+    /// The Application Controller requested a reschedule of a task because
+    /// its host exceeded the load threshold (§4.1).
+    RescheduleRequested {
+        /// The task.
+        task: TaskId,
+        /// The overloaded (or failed) host.
+        host: String,
+    },
+    /// The console service suspended the application.
+    Suspended,
+    /// The console service resumed the application.
+    Resumed,
+}
+
+/// Shared, timestamped, append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    entries: Arc<Mutex<Vec<(f64, RuntimeEvent)>>>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event at time `t` (seconds).
+    pub fn record(&self, t: f64, event: RuntimeEvent) {
+        self.entries.lock().push((t, event));
+    }
+
+    /// Snapshot of all entries in append order.
+    pub fn snapshot(&self) -> Vec<(f64, RuntimeEvent)> {
+        self.entries.lock().clone()
+    }
+
+    /// Count events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> usize {
+        self.entries.lock().iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// First timestamp of an event matching `pred`.
+    pub fn first_time(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> Option<f64> {
+        self.entries.lock().iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_preserve_order() {
+        let log = EventLog::new();
+        log.record(1.0, RuntimeEvent::StartupSignal);
+        log.record(2.0, RuntimeEvent::Suspended);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], (1.0, RuntimeEvent::StartupSignal));
+        assert_eq!(snap[1].0, 2.0);
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = EventLog::new();
+        let log2 = log.clone();
+        log2.record(0.5, RuntimeEvent::Resumed);
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn count_and_first_time() {
+        let log = EventLog::new();
+        log.record(1.0, RuntimeEvent::HostFailed { host: "a".into() });
+        log.record(2.0, RuntimeEvent::HostFailed { host: "b".into() });
+        log.record(3.0, RuntimeEvent::HostRecovered { host: "a".into() });
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::HostFailed { .. })), 2);
+        assert_eq!(
+            log.first_time(|e| matches!(e, RuntimeEvent::HostRecovered { .. })),
+            Some(3.0)
+        );
+        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::StartupSignal)), None);
+    }
+
+    #[test]
+    fn concurrent_appends_are_all_kept() {
+        let log = EventLog::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = log.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        l.record(0.0, RuntimeEvent::StartupSignal);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 800);
+    }
+}

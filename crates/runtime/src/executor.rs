@@ -1,0 +1,645 @@
+//! The task execution engine.
+//!
+//! "The Data Managers on the assigned machines set up the application
+//! execution environment by starting the task executions and creating
+//! point-to-point communication channels for inter-task data transfer"
+//! (§4.1). This module is that environment: one worker thread per task
+//! (standing in for the task executable on its assigned host), wired
+//! together by Data-Manager channels.
+//!
+//! Host semantics: a host executes one task at a time. Each host name has
+//! a lock; a task acquires the locks of **all** its assigned hosts (in
+//! sorted order, so multi-host tasks cannot deadlock) for the duration of
+//! its kernel. Parallel tasks split their kernel across one worker thread
+//! per assigned host. Measured wall-clock execution times are reported as
+//! [`ControlMessage::ExecutionCompleted`] so the Site Manager can write
+//! them back into the task-performance database.
+//!
+//! The [`StartGate`] hook is the Application Controller's interposition
+//! point: it is consulted immediately before a task launches and may
+//! relocate the task to different hosts (threshold rescheduling, §4.1) or
+//! abort it.
+
+use crate::data_manager::{DataManager, DataReceiver, DataSender};
+use crate::events::{EventLog, RuntimeEvent};
+use crate::kernels::run_kernel_parallel;
+use crate::services::{ConsoleService, IoService};
+use crate::site_manager::ControlMessage;
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vdce_afg::{Afg, TaskId};
+use vdce_net::clock::Clock;
+use vdce_sched::allocation::AllocationTable;
+
+/// Decision of the start gate for one task about to launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateDecision {
+    /// Launch on the scheduled hosts.
+    Proceed,
+    /// Launch on these hosts instead (threshold rescheduling).
+    Relocate(Vec<String>),
+    /// Do not launch; fail the task.
+    Abort(String),
+}
+
+/// Application-Controller interposition point, consulted before each task
+/// starts.
+pub trait StartGate: Send + Sync {
+    /// Decide for `task` scheduled on `hosts`.
+    fn check(&self, task: TaskId, hosts: &[String]) -> GateDecision;
+}
+
+/// Federation-wide host lock registry: one lock per host name, shared
+/// across *all* application executions so concurrent runs contend for
+/// hosts exactly like concurrent users of the real VDCE would. Clone
+/// freely; clones share the registry.
+#[derive(Clone, Default)]
+pub struct HostLockRegistry {
+    locks: Arc<Mutex<HashMap<String, Arc<Mutex<()>>>>>,
+}
+
+impl HostLockRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lock for `host`, created on first use.
+    pub fn lock_for(&self, host: &str) -> Arc<Mutex<()>> {
+        let mut map = self.locks.lock();
+        Arc::clone(map.entry(host.to_string()).or_insert_with(|| Arc::new(Mutex::new(()))))
+    }
+}
+
+/// A gate that always proceeds.
+pub struct AlwaysProceed;
+
+impl StartGate for AlwaysProceed {
+    fn check(&self, _task: TaskId, _hosts: &[String]) -> GateDecision {
+        GateDecision::Proceed
+    }
+}
+
+/// Outcome of one task's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRunRecord {
+    /// The task.
+    pub task: TaskId,
+    /// Hosts it actually ran on (after any relocation).
+    pub hosts: Vec<String>,
+    /// Start time (clock seconds).
+    pub start: f64,
+    /// Finish time (clock seconds).
+    pub finish: f64,
+    /// Did it succeed?
+    pub ok: bool,
+    /// Failure reason if not.
+    pub error: Option<String>,
+}
+
+/// Outcome of a whole application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome {
+    /// Per-task records, indexed by [`TaskId`].
+    pub records: Vec<TaskRunRecord>,
+    /// All tasks succeeded.
+    pub success: bool,
+    /// Wall-clock span from first start to last finish.
+    pub wall_seconds: f64,
+}
+
+/// Executor tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// How long a task waits for each dataflow input before failing.
+    pub input_timeout: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig { input_timeout: Duration::from_secs(30) }
+    }
+}
+
+/// Execute a scheduled application. See the module docs for semantics.
+///
+/// `completions` (if given) receives one
+/// [`ControlMessage::ExecutionCompleted`] per successful task.
+#[allow(clippy::too_many_arguments)]
+pub fn execute(
+    afg: &Afg,
+    table: &AllocationTable,
+    dm: &DataManager,
+    io: &IoService,
+    console: &ConsoleService,
+    gate: &dyn StartGate,
+    log: &EventLog,
+    clock: &dyn Clock,
+    completions: Option<Sender<ControlMessage>>,
+    config: &ExecutorConfig,
+) -> ExecutionOutcome {
+    execute_with_locks(
+        afg,
+        table,
+        dm,
+        io,
+        console,
+        gate,
+        log,
+        clock,
+        completions,
+        config,
+        &HostLockRegistry::new(),
+    )
+}
+
+/// [`execute`] with an external, federation-wide [`HostLockRegistry`], so
+/// concurrent application executions serialise on shared hosts.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_locks(
+    afg: &Afg,
+    table: &AllocationTable,
+    dm: &DataManager,
+    io: &IoService,
+    console: &ConsoleService,
+    gate: &dyn StartGate,
+    log: &EventLog,
+    clock: &dyn Clock,
+    completions: Option<Sender<ControlMessage>>,
+    config: &ExecutorConfig,
+    registry: &HostLockRegistry,
+) -> ExecutionOutcome {
+    let n = afg.task_count();
+    // Data-Manager channels, one per edge.
+    let (senders, receivers) = dm
+        .open_all(table as *const _ as u64, afg.edge_count())
+        .expect("channel setup (in-proc/loopback) cannot fail here");
+
+    // Route channel halves to their tasks.
+    let mut task_in: Vec<Vec<(usize, DataReceiver)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut task_out: Vec<Vec<(usize, DataSender)>> = (0..n).map(|_| Vec::new()).collect();
+    for (idx, (e, (s, r))) in afg
+        .edges
+        .iter()
+        .zip(senders.into_iter().zip(receivers))
+        .enumerate()
+    {
+        task_out[e.from.index()].push((idx, s));
+        task_in[e.to.index()].push((idx, r));
+    }
+
+    // One lock per host (host runs one task at a time), taken from the
+    // shared registry so other concurrent applications contend too.
+    let host_locks = registry.clone();
+
+    let records: Vec<Mutex<Option<TaskRunRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        // Move each task's channel halves into its worker.
+        let mut ins = task_in;
+        let mut outs = task_out;
+        for task in afg.task_ids().rev_vec() {
+            let my_in = std::mem::take(&mut ins[task.index()]);
+            let my_out = std::mem::take(&mut outs[task.index()]);
+            let placement = table.placement(task).expect("complete table").clone();
+            let records = &records;
+            let host_locks = host_locks.clone();
+            let completions = completions.clone();
+            scope.spawn(move |_| {
+                let record = run_task(
+                    afg, task, placement, my_in, my_out, io, console, gate, log, clock,
+                    host_locks, completions, config,
+                );
+                *records[task.index()].lock() = Some(record);
+            });
+        }
+    })
+    .expect("executor scope");
+
+    let records: Vec<TaskRunRecord> = records
+        .into_iter()
+        .map(|m| m.into_inner().expect("every task records an outcome"))
+        .collect();
+    let success = records.iter().all(|r| r.ok);
+    let start = records.iter().map(|r| r.start).fold(f64::INFINITY, f64::min);
+    let finish = records.iter().map(|r| r.finish).fold(0.0f64, f64::max);
+    ExecutionOutcome {
+        records,
+        success,
+        wall_seconds: if finish > start { finish - start } else { 0.0 },
+    }
+}
+
+/// Small helper: collect task ids into a Vec (used to move ids into the
+/// thread scope without borrowing `afg` mutably).
+trait RevVec: Iterator + Sized {
+    fn rev_vec(self) -> Vec<Self::Item> {
+        self.collect()
+    }
+}
+impl<I: Iterator> RevVec for I {}
+
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    afg: &Afg,
+    task: TaskId,
+    placement: vdce_sched::allocation::TaskPlacement,
+    inputs: Vec<(usize, DataReceiver)>,
+    outputs: Vec<(usize, DataSender)>,
+    io: &IoService,
+    console: &ConsoleService,
+    gate: &dyn StartGate,
+    log: &EventLog,
+    clock: &dyn Clock,
+    host_locks: HostLockRegistry,
+    completions: Option<Sender<ControlMessage>>,
+    config: &ExecutorConfig,
+) -> TaskRunRecord {
+    let node = afg.task(task);
+    let fail = |start: f64, finish: f64, hosts: Vec<String>, why: String| {
+        log.record(finish, RuntimeEvent::TaskFailed { task, reason: why.clone() });
+        TaskRunRecord { task, hosts, start, finish, ok: false, error: Some(why) }
+    };
+
+    // 1. Gather inputs: dataflow frames from channels, file/URL payloads
+    //    from the I/O service.
+    let t_wait = clock.now();
+    let mut port_payloads: Vec<Option<Bytes>> = vec![None; node.in_ports()];
+    for (i, spec) in node.props.inputs.iter().enumerate() {
+        if let Some(data) = io.resolve_input(spec, node.kernel, i, node.problem_size) {
+            port_payloads[i] = Some(data);
+        }
+    }
+    for (edge_idx, rx) in &inputs {
+        let edge = &afg.edges[*edge_idx];
+        match rx.recv_timeout(config.input_timeout) {
+            Ok(data) => port_payloads[edge.to_port.index()] = Some(data),
+            Err(e) => {
+                return fail(
+                    t_wait,
+                    clock.now(),
+                    placement.hosts.clone(),
+                    format!("input on port {} unavailable: {e}", edge.to_port),
+                );
+            }
+        }
+    }
+    let payloads: Vec<Bytes> =
+        port_payloads.into_iter().map(|p| p.unwrap_or_default()).collect();
+
+    // 2. Console checkpoint (suspend/abort) before launching.
+    if !console.checkpoint() {
+        return fail(t_wait, clock.now(), placement.hosts.clone(), "aborted".into());
+    }
+
+    // 3. Application-Controller start gate (threshold rescheduling).
+    let hosts = match gate.check(task, &placement.hosts) {
+        GateDecision::Proceed => placement.hosts.clone(),
+        GateDecision::Relocate(new_hosts) => {
+            log.record(
+                clock.now(),
+                RuntimeEvent::RescheduleRequested {
+                    task,
+                    host: placement.hosts.first().cloned().unwrap_or_default(),
+                },
+            );
+            new_hosts
+        }
+        GateDecision::Abort(reason) => {
+            return fail(t_wait, clock.now(), placement.hosts.clone(), reason);
+        }
+    };
+
+    // 4. Acquire host locks in sorted order (deadlock freedom).
+    let mut sorted = hosts.clone();
+    sorted.sort();
+    sorted.dedup();
+    let locks: Vec<Arc<Mutex<()>>> =
+        sorted.iter().map(|h| host_locks.lock_for(h)).collect();
+    let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+    // 5. Run the kernel.
+    let start = clock.now();
+    log.record(
+        start,
+        RuntimeEvent::TaskStarted { task, host: hosts.join("+") },
+    );
+    let result = run_kernel_parallel(
+        node.kernel,
+        node.problem_size,
+        &payloads,
+        hosts.len().max(1) as u32,
+    );
+    let finish = clock.now();
+    drop(guards);
+
+    let out_payloads = match result {
+        Ok(p) => p,
+        Err(e) => return fail(start, finish, hosts, e.to_string()),
+    };
+
+    // 6. Deliver outputs: dataflow frames per out-edge, file/URL stores.
+    for (edge_idx, tx) in &outputs {
+        let edge = &afg.edges[*edge_idx];
+        let payload = out_payloads
+            .get(edge.from_port.index())
+            .cloned()
+            .unwrap_or_default();
+        if tx.send(payload).is_err() {
+            // Consumer died; its own record will say why.
+        }
+    }
+    for (i, spec) in node.props.outputs.iter().enumerate() {
+        if let Some(data) = out_payloads.get(i) {
+            io.store_output(spec, data);
+        }
+    }
+
+    // 7. Report the measured execution time for task-perf write-back.
+    let seconds = (finish - start).max(0.0);
+    log.record(finish, RuntimeEvent::TaskFinished { task, seconds });
+    if let Some(tx) = &completions {
+        for host in &hosts {
+            let _ = tx.send(ControlMessage::ExecutionCompleted {
+                library_task: node.library_task.clone(),
+                host: host.clone(),
+                problem_size: node.problem_size,
+                seconds,
+            });
+        }
+    }
+    TaskRunRecord { task, hosts, start, finish, ok: true, error: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_manager::Transport;
+    use crate::kernels::decode_f64s;
+    use crossbeam::channel::unbounded;
+    use vdce_afg::{AfgBuilder, IoSpec, TaskLibrary};
+    use vdce_net::clock::RealClock;
+    use vdce_net::topology::SiteId;
+    use vdce_sched::allocation::TaskPlacement;
+
+    fn single_host_table(afg: &Afg, host: &str) -> AllocationTable {
+        let mut t = AllocationTable::new(&afg.name);
+        for id in afg.task_ids() {
+            t.insert(TaskPlacement {
+                task: id,
+                task_name: afg.task(id).name.clone(),
+                site: SiteId(0),
+                hosts: vec![host.to_string()],
+                predicted_seconds: 0.001,
+            });
+        }
+        t
+    }
+
+    fn run(
+        afg: &Afg,
+        table: &AllocationTable,
+        transport: Transport,
+        gate: &dyn StartGate,
+    ) -> (ExecutionOutcome, EventLog, IoService) {
+        let log = EventLog::new();
+        let dm = DataManager::new(transport, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let outcome = execute(
+            afg,
+            table,
+            &dm,
+            &io,
+            &console,
+            gate,
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig { input_timeout: Duration::from_secs(5) },
+        );
+        (outcome, log, io)
+    }
+
+    fn chain() -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("chain", &lib);
+        let s = b.add_task("Source", "s", 500).unwrap();
+        let m = b.add_task("Sort", "m", 500).unwrap();
+        let k = b.add_task("Sink", "k", 500).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_executes_end_to_end_inproc() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let (out, log, _) = run(&afg, &table, Transport::InProc, &AlwaysProceed);
+        assert!(out.success, "records: {:?}", out.records);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::TaskFinished { .. })), 3);
+        assert!(out.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn chain_executes_end_to_end_tcp() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let (out, ..) = run(&afg, &table, Transport::Tcp, &AlwaysProceed);
+        assert!(out.success);
+    }
+
+    #[test]
+    fn file_output_lands_in_io_service() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("io", &lib);
+        let s = b.add_task("Source", "s", 100).unwrap();
+        b.set_output(s, 0, IoSpec::file("/users/VDCE/u/out.dat", 0)).unwrap();
+        let k = b.add_task("Sink", "k", 100).unwrap();
+        b.connect(s, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+        let (out, _, io) = run(&afg, &table, Transport::InProc, &AlwaysProceed);
+        assert!(out.success);
+        let data = io.get("/users/VDCE/u/out.dat").expect("output stored");
+        assert_eq!(decode_f64s(&data).len(), 100);
+    }
+
+    #[test]
+    fn file_input_feeds_entry_task() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("io", &lib);
+        let lu = b.add_task("LU_Decomposition", "lu", 8).unwrap();
+        b.set_input(lu, 0, IoSpec::file("/users/VDCE/u/matrix_A.dat", 0)).unwrap();
+        let k = b.add_task("Sink", "k", 8).unwrap();
+        b.connect(lu, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+        let (out, ..) = run(&afg, &table, Transport::InProc, &AlwaysProceed);
+        assert!(out.success, "{:?}", out.records);
+    }
+
+    #[test]
+    fn failing_task_cascades_to_dependents() {
+        // LU on a singular matrix (uploaded) fails; the sink then fails
+        // with a closed-channel error.
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("fail", &lib);
+        let lu = b.add_task("LU_Decomposition", "lu", 2).unwrap();
+        b.set_input(lu, 0, IoSpec::file("/singular.dat", 0)).unwrap();
+        let k = b.add_task("Sink", "k", 2).unwrap();
+        b.connect(lu, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        io.put("/singular.dat", crate::kernels::encode_f64s(&[0.0, 1.0, 1.0, 0.0]));
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &AlwaysProceed,
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig { input_timeout: Duration::from_millis(300) },
+        );
+        assert!(!out.success);
+        assert!(!out.records[0].ok);
+        assert!(out.records[0].error.as_deref().unwrap().contains("pivot"));
+        assert!(!out.records[1].ok, "sink must fail once its producer died");
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::TaskFailed { .. })), 2);
+    }
+
+    #[test]
+    fn gate_relocation_moves_the_task() {
+        struct MoveOff;
+        impl StartGate for MoveOff {
+            fn check(&self, _t: TaskId, hosts: &[String]) -> GateDecision {
+                if hosts == ["h0"] {
+                    GateDecision::Relocate(vec!["h1".into()])
+                } else {
+                    GateDecision::Proceed
+                }
+            }
+        }
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let (out, log, _) = run(&afg, &table, Transport::InProc, &MoveOff);
+        assert!(out.success);
+        for r in &out.records {
+            assert_eq!(r.hosts, vec!["h1".to_string()]);
+        }
+        assert_eq!(
+            log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. })),
+            3
+        );
+    }
+
+    #[test]
+    fn gate_abort_fails_the_task() {
+        struct AbortAll;
+        impl StartGate for AbortAll {
+            fn check(&self, _t: TaskId, _h: &[String]) -> GateDecision {
+                GateDecision::Abort("load shed".into())
+            }
+        }
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let (out, ..) = run(&afg, &table, Transport::InProc, &AbortAll);
+        assert!(!out.success);
+        assert!(out.records.iter().any(|r| r.error.as_deref() == Some("load shed")));
+    }
+
+    #[test]
+    fn completions_are_reported_per_host() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let (tx, rx) = unbounded();
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &AlwaysProceed,
+            &log,
+            &clock,
+            Some(tx),
+            &ExecutorConfig::default(),
+        );
+        assert!(out.success);
+        let msgs: Vec<ControlMessage> = rx.try_iter().collect();
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.iter().all(|m| matches!(
+            m,
+            ControlMessage::ExecutionCompleted { host, .. } if host == "h0"
+        )));
+    }
+
+    #[test]
+    fn suspended_application_waits_for_resume() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let log = EventLog::new();
+        let console = ConsoleService::new(log.clone());
+        console.suspend();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let clock = RealClock::new();
+        let console2 = console.clone();
+        let resumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            console2.resume();
+        });
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &AlwaysProceed,
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig::default(),
+        );
+        resumer.join().unwrap();
+        assert!(out.success);
+        assert!(out.wall_seconds >= 0.0);
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+    }
+
+    #[test]
+    fn fan_out_duplicates_producer_payload() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("fan", &lib);
+        let s = b.add_task("Source", "s", 64).unwrap();
+        let k1 = b.add_task("Sink", "k1", 64).unwrap();
+        let k2 = b.add_task("Sink", "k2", 64).unwrap();
+        b.connect(s, 0, k1, 0).unwrap();
+        b.connect(s, 0, k2, 0).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+        let (out, ..) = run(&afg, &table, Transport::InProc, &AlwaysProceed);
+        assert!(out.success, "{:?}", out.records);
+    }
+}

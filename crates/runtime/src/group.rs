@@ -1,0 +1,378 @@
+//! The Group Manager (§4.1, Figure 4).
+//!
+//! Two duties:
+//!
+//! 1. **Significant-change filtering** — "The Group Manager sends to the
+//!    Site Manager only the workloads of the resources that have changed
+//!    considerably from the previous measurement." Implemented as an
+//!    absolute-delta filter with threshold [`GroupManager::threshold`];
+//!    the first report for a host always passes. The received/forwarded
+//!    counters feed the Figure-4 traffic-reduction experiment.
+//! 2. **Failure detection** — "Another function of the Group Manager is
+//!    to periodically check all hosts in the group by sending echo
+//!    packets to hosts and waiting for their responses. When a failure of
+//!    a host is detected, the Group Manager passes this information to
+//!    the Site Manager." Echo transport is behind [`EchoProbe`];
+//!    [`FlagEcho`] lets tests and experiments kill/revive hosts.
+
+use crate::events::{EventLog, RuntimeEvent};
+use crate::monitor::MonitorReport;
+use crate::site_manager::ControlMessage;
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Echo-packet transport.
+pub trait EchoProbe: Send + Sync {
+    /// Does `host` answer an echo packet in time?
+    fn echo(&self, host: &str) -> bool;
+}
+
+/// Test/experiment echo transport: hosts answer unless explicitly marked
+/// down.
+#[derive(Debug, Default)]
+pub struct FlagEcho {
+    down: RwLock<BTreeSet<String>>,
+}
+
+impl FlagEcho {
+    /// All hosts up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stop `host` answering echoes.
+    pub fn kill(&self, host: impl Into<String>) {
+        self.down.write().insert(host.into());
+    }
+
+    /// Let `host` answer echoes again.
+    pub fn revive(&self, host: &str) {
+        self.down.write().remove(host);
+    }
+}
+
+impl EchoProbe for FlagEcho {
+    fn echo(&self, host: &str) -> bool {
+        !self.down.read().contains(host)
+    }
+}
+
+/// Filtering / probing statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Monitor reports received.
+    pub reports_received: u64,
+    /// Reports forwarded to the Site Manager (significant changes).
+    pub reports_forwarded: u64,
+    /// Echo rounds performed.
+    pub echo_rounds: u64,
+    /// Failures detected.
+    pub failures_detected: u64,
+    /// Recoveries detected.
+    pub recoveries_detected: u64,
+}
+
+/// The Group Manager for one host group.
+pub struct GroupManager {
+    /// Group name (matches `ResourceRecord::group`).
+    pub name: String,
+    hosts: Vec<String>,
+    threshold: f64,
+    last_forwarded: BTreeMap<String, f64>,
+    down: BTreeSet<String>,
+    echo: Arc<dyn EchoProbe>,
+    to_site: Sender<ControlMessage>,
+    log: EventLog,
+    stats: GroupStats,
+}
+
+impl GroupManager {
+    /// Manager for `hosts`, forwarding significant changes (absolute
+    /// workload delta ≥ `threshold`) and failure events to the Site
+    /// Manager over `to_site`.
+    pub fn new(
+        name: impl Into<String>,
+        hosts: Vec<String>,
+        threshold: f64,
+        echo: Arc<dyn EchoProbe>,
+        to_site: Sender<ControlMessage>,
+        log: EventLog,
+    ) -> Self {
+        GroupManager {
+            name: name.into(),
+            hosts,
+            threshold,
+            last_forwarded: BTreeMap::new(),
+            down: BTreeSet::new(),
+            echo,
+            to_site,
+            log,
+            stats: GroupStats::default(),
+        }
+    }
+
+    /// The configured significance threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Hosts of this group.
+    pub fn hosts(&self) -> &[String] {
+        &self.hosts
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> GroupStats {
+        self.stats
+    }
+
+    /// Handle one monitor report at logical time `t`; returns `true` if
+    /// it was forwarded to the Site Manager.
+    pub fn handle_report(&mut self, t: f64, report: &MonitorReport) -> bool {
+        self.stats.reports_received += 1;
+        let significant = match self.last_forwarded.get(&report.host) {
+            None => true, // first measurement always establishes a baseline
+            Some(last) => (report.workload - last).abs() >= self.threshold,
+        };
+        if significant {
+            self.last_forwarded.insert(report.host.clone(), report.workload);
+            self.stats.reports_forwarded += 1;
+            self.log.record(
+                t,
+                RuntimeEvent::WorkloadForwarded {
+                    host: report.host.clone(),
+                    workload: report.workload,
+                },
+            );
+            let _ = self.to_site.send(ControlMessage::WorkloadUpdate {
+                host: report.host.clone(),
+                workload: report.workload,
+                available_memory: report.available_memory,
+            });
+        }
+        significant
+    }
+
+    /// One echo round over all hosts at logical time `t`. Emits
+    /// failure/recovery messages on state transitions. Returns the hosts
+    /// that changed state this round.
+    pub fn probe_hosts(&mut self, t: f64) -> Vec<String> {
+        self.stats.echo_rounds += 1;
+        let mut changed = Vec::new();
+        for host in self.hosts.clone() {
+            let alive = self.echo.echo(&host);
+            let was_down = self.down.contains(&host);
+            if !alive && !was_down {
+                self.down.insert(host.clone());
+                self.stats.failures_detected += 1;
+                self.log.record(t, RuntimeEvent::HostFailed { host: host.clone() });
+                let _ = self.to_site.send(ControlMessage::HostFailure { host: host.clone() });
+                changed.push(host);
+            } else if alive && was_down {
+                self.down.remove(&host);
+                self.stats.recoveries_detected += 1;
+                self.log.record(t, RuntimeEvent::HostRecovered { host: host.clone() });
+                let _ = self
+                    .to_site
+                    .send(ControlMessage::HostRecovered { host: host.clone() });
+                changed.push(host);
+            }
+        }
+        changed
+    }
+
+    /// Hosts currently believed down by this group manager.
+    pub fn down_hosts(&self) -> Vec<&str> {
+        self.down.iter().map(String::as_str).collect()
+    }
+
+    /// Run the Group Manager as a real daemon thread: drain monitor
+    /// reports from `reports` continuously and echo-probe every
+    /// `echo_period`, until `stop` becomes true. Returns the final
+    /// statistics. Timestamps are wall-clock seconds from spawn.
+    pub fn spawn(
+        mut self,
+        reports: crossbeam::channel::Receiver<MonitorReport>,
+        echo_period: std::time::Duration,
+        stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> std::thread::JoinHandle<GroupStats> {
+        std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let mut next_echo = std::time::Instant::now();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let now = start.elapsed().as_secs_f64();
+                // Drain whatever monitors produced, waiting briefly so the
+                // loop does not spin.
+                match reports.recv_timeout(std::time::Duration::from_millis(5)) {
+                    Ok(r) => {
+                        self.handle_report(now, &r);
+                        while let Ok(r) = reports.try_recv() {
+                            self.handle_report(now, &r);
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+                if std::time::Instant::now() >= next_echo {
+                    self.probe_hosts(start.elapsed().as_secs_f64());
+                    next_echo += echo_period;
+                }
+            }
+            self.stats()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn mk(threshold: f64) -> (GroupManager, crossbeam::channel::Receiver<ControlMessage>, Arc<FlagEcho>) {
+        let (tx, rx) = unbounded();
+        let echo = Arc::new(FlagEcho::new());
+        let gm = GroupManager::new(
+            "g0",
+            vec!["a".into(), "b".into()],
+            threshold,
+            echo.clone(),
+            tx,
+            EventLog::new(),
+        );
+        (gm, rx, echo)
+    }
+
+    fn report(host: &str, w: f64) -> MonitorReport {
+        MonitorReport { host: host.into(), workload: w, available_memory: 1 << 20 }
+    }
+
+    #[test]
+    fn first_report_always_forwards() {
+        let (mut gm, rx, _) = mk(1.0);
+        assert!(gm.handle_report(0.0, &report("a", 0.0)));
+        assert!(matches!(
+            rx.try_recv().unwrap(),
+            ControlMessage::WorkloadUpdate { workload, .. } if workload == 0.0
+        ));
+    }
+
+    #[test]
+    fn small_changes_are_filtered() {
+        let (mut gm, rx, _) = mk(1.0);
+        gm.handle_report(0.0, &report("a", 2.0));
+        rx.try_recv().unwrap();
+        assert!(!gm.handle_report(1.0, &report("a", 2.5)), "Δ0.5 < 1.0 filtered");
+        assert!(!gm.handle_report(2.0, &report("a", 1.2)), "Δ0.8 < 1.0 filtered");
+        assert!(rx.try_recv().is_err());
+        assert_eq!(gm.stats().reports_received, 3);
+        assert_eq!(gm.stats().reports_forwarded, 1);
+    }
+
+    #[test]
+    fn change_is_measured_against_last_forwarded_not_last_seen() {
+        let (mut gm, rx, _) = mk(1.0);
+        gm.handle_report(0.0, &report("a", 0.0));
+        rx.try_recv().unwrap();
+        // Creep up in sub-threshold steps; the cumulative drift must
+        // eventually fire (because the baseline stays at 0.0).
+        assert!(!gm.handle_report(1.0, &report("a", 0.6)));
+        assert!(gm.handle_report(2.0, &report("a", 1.2)), "drift from baseline ≥ 1.0");
+    }
+
+    #[test]
+    fn per_host_baselines_are_independent() {
+        let (mut gm, _rx, _) = mk(1.0);
+        gm.handle_report(0.0, &report("a", 5.0));
+        assert!(gm.handle_report(0.0, &report("b", 0.0)), "first for b forwards");
+    }
+
+    #[test]
+    fn zero_threshold_forwards_everything() {
+        let (mut gm, _rx, _) = mk(0.0);
+        assert!(gm.handle_report(0.0, &report("a", 1.0)));
+        assert!(gm.handle_report(1.0, &report("a", 1.0)), "Δ0 ≥ 0 forwards");
+    }
+
+    #[test]
+    fn failure_and_recovery_transitions() {
+        let (mut gm, rx, echo) = mk(1.0);
+        assert!(gm.probe_hosts(0.0).is_empty(), "all up initially");
+        echo.kill("a");
+        let changed = gm.probe_hosts(1.0);
+        assert_eq!(changed, vec!["a".to_string()]);
+        assert!(matches!(rx.try_recv().unwrap(), ControlMessage::HostFailure { host } if host == "a"));
+        assert_eq!(gm.down_hosts(), vec!["a"]);
+        // Still down: no duplicate message.
+        assert!(gm.probe_hosts(2.0).is_empty());
+        assert!(rx.try_recv().is_err());
+        // Recovery.
+        echo.revive("a");
+        let changed = gm.probe_hosts(3.0);
+        assert_eq!(changed, vec!["a".to_string()]);
+        assert!(matches!(rx.try_recv().unwrap(), ControlMessage::HostRecovered { host } if host == "a"));
+        assert!(gm.down_hosts().is_empty());
+        let s = gm.stats();
+        assert_eq!(s.failures_detected, 1);
+        assert_eq!(s.recoveries_detected, 1);
+        assert_eq!(s.echo_rounds, 4);
+    }
+
+    #[test]
+    fn spawned_group_manager_filters_and_detects_live() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc as StdArc;
+        use std::time::Duration;
+        let (report_tx, report_rx) = unbounded();
+        let (to_site, from_group) = unbounded();
+        let echo = Arc::new(FlagEcho::new());
+        let gm = GroupManager::new(
+            "g0",
+            vec!["a".into(), "b".into()],
+            1.0,
+            echo.clone(),
+            to_site,
+            EventLog::new(),
+        );
+        let stop = StdArc::new(AtomicBool::new(false));
+        let handle = gm.spawn(report_rx, Duration::from_millis(10), stop.clone());
+        // Feed reports: big change, then jitter below threshold.
+        report_tx.send(report("a", 0.0)).unwrap();
+        report_tx.send(report("a", 0.1)).unwrap();
+        report_tx.send(report("a", 5.0)).unwrap();
+        // Kill a host; the echo loop must notice within a few periods.
+        echo.kill("a");
+        std::thread::sleep(Duration::from_millis(80));
+        stop.store(true, Ordering::Relaxed);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.reports_received, 3);
+        assert_eq!(stats.reports_forwarded, 2, "0.0 baseline + 5.0 jump");
+        assert!(stats.failures_detected >= 1);
+        assert!(stats.echo_rounds >= 2);
+        let msgs: Vec<ControlMessage> = from_group.try_iter().collect();
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, ControlMessage::HostFailure { host } if host == "a")));
+    }
+
+    #[test]
+    fn events_are_logged() {
+        let (tx, _rx) = unbounded();
+        let echo = Arc::new(FlagEcho::new());
+        let log = EventLog::new();
+        let mut gm = GroupManager::new(
+            "g",
+            vec!["a".into()],
+            0.5,
+            echo.clone(),
+            tx,
+            log.clone(),
+        );
+        gm.handle_report(0.0, &report("a", 3.0));
+        echo.kill("a");
+        gm.probe_hosts(1.0);
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::WorkloadForwarded { .. })), 1);
+        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostFailed { .. })), Some(1.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! The network monitor — the *network* half of the Resource Controller.
+//!
+//! §3: "A resource performance database provides resource (**machine and
+//! network**) attributes"; §4.1 says the Control Manager "measures the
+//! loads on the resources (hosts **and networks**) periodically". Host
+//! load is the Monitor daemon's job ([`crate::monitor`]); this module
+//! covers the links: a [`NetworkMonitor`] periodically probes every
+//! site pair through a [`LinkProbe`] and folds the measurements into a
+//! [`SharedNetworkModel`], which schedulers snapshot before each run —
+//! so congestion observed on a link steers subsequent placements away
+//! from it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use vdce_net::model::SharedNetworkModel;
+use vdce_net::topology::SiteId;
+
+/// Source of link measurements (one round-trip probe per site pair).
+pub trait LinkProbe: Send + Sync {
+    /// Measure the link `a`–`b` now; returns `(latency seconds,
+    /// bandwidth bytes/s)`.
+    fn probe(&self, a: SiteId, b: SiteId) -> (f64, f64);
+}
+
+/// Deterministic probe for tests and experiments: per-pair values with a
+/// settable override (simulating congestion).
+#[derive(Debug, Default)]
+pub struct SyntheticLinkProbe {
+    overrides: parking_lot::RwLock<std::collections::BTreeMap<(u16, u16), (f64, f64)>>,
+    default: parking_lot::RwLock<(f64, f64)>,
+}
+
+impl SyntheticLinkProbe {
+    /// Probe reporting `(latency, bandwidth)` for every pair until
+    /// overridden.
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        let p = SyntheticLinkProbe::default();
+        *p.default.write() = (latency_s, bandwidth_bps);
+        p
+    }
+
+    /// Override one (symmetric) pair — e.g. congest a link.
+    pub fn set(&self, a: SiteId, b: SiteId, latency_s: f64, bandwidth_bps: f64) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.overrides.write().insert(key, (latency_s, bandwidth_bps));
+    }
+}
+
+impl LinkProbe for SyntheticLinkProbe {
+    fn probe(&self, a: SiteId, b: SiteId) -> (f64, f64) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.overrides
+            .read()
+            .get(&key)
+            .copied()
+            .unwrap_or(*self.default.read())
+    }
+}
+
+/// The network-monitoring daemon.
+pub struct NetworkMonitor {
+    model: SharedNetworkModel,
+    probe: Arc<dyn LinkProbe>,
+    sites: usize,
+}
+
+impl NetworkMonitor {
+    /// Monitor `sites` sites, feeding `model` from `probe`.
+    pub fn new(model: SharedNetworkModel, probe: Arc<dyn LinkProbe>, sites: usize) -> Self {
+        NetworkMonitor { model, probe, sites }
+    }
+
+    /// One probing round over every site pair (including intra-site
+    /// links). Returns the number of links probed.
+    pub fn tick(&self) -> usize {
+        let mut probed = 0;
+        for a in 0..self.sites as u16 {
+            for b in a..self.sites as u16 {
+                let (lat, bw) = self.probe.probe(SiteId(a), SiteId(b));
+                self.model.observe(SiteId(a), SiteId(b), lat, bw);
+                probed += 1;
+            }
+        }
+        probed
+    }
+
+    /// Run as a daemon thread with wall-clock `period` until `stop`.
+    /// Returns the number of completed rounds.
+    pub fn spawn(self, period: Duration, stop: Arc<AtomicBool>) -> JoinHandle<u64> {
+        std::thread::spawn(move || {
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                self.tick();
+                rounds += 1;
+                std::thread::sleep(period);
+            }
+            rounds
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_net::model::NetworkModel;
+
+    #[test]
+    fn tick_probes_every_pair_and_updates_model() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(3), 1.0);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.123, 1_000_000.0));
+        let mon = NetworkMonitor::new(model.clone(), probe, 3);
+        assert_eq!(mon.tick(), 6, "3 sites → 6 unordered pairs incl. diagonals");
+        for a in 0..3u16 {
+            for b in a..3u16 {
+                let l = model.link(SiteId(a), SiteId(b));
+                assert!((l.latency_s - 0.123).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_override_reaches_the_model() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(2), 1.0);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.01, 1e7));
+        probe.set(SiteId(0), SiteId(1), 2.0, 1e3); // congested WAN
+        let mon = NetworkMonitor::new(model.clone(), probe.clone(), 2);
+        mon.tick();
+        assert!((model.link(SiteId(0), SiteId(1)).latency_s - 2.0).abs() < 1e-12);
+        assert!((model.link(SiteId(0), SiteId(0)).latency_s - 0.01).abs() < 1e-12);
+        // Congestion clears; with EMA weight 1.0 the model snaps back.
+        probe.set(SiteId(0), SiteId(1), 0.01, 1e7);
+        mon.tick();
+        assert!((model.link(SiteId(0), SiteId(1)).latency_s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spawned_monitor_rounds_until_stopped() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(2), 0.5);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.02, 1e6));
+        let mon = NetworkMonitor::new(model.clone(), probe, 2);
+        let stop = Arc::new(AtomicBool::new(false));
+        let h = mon.spawn(Duration::from_millis(5), stop.clone());
+        std::thread::sleep(Duration::from_millis(40));
+        stop.store(true, Ordering::Relaxed);
+        let rounds = h.join().unwrap();
+        assert!(rounds >= 2, "expected several rounds, got {rounds}");
+        // EMA converged towards the probed values.
+        let l = model.link(SiteId(0), SiteId(1));
+        assert!((l.latency_s - 0.02).abs() < 0.01);
+    }
+}

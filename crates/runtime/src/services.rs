@@ -1,0 +1,516 @@
+//! User-requested runtime services (§4.2).
+//!
+//! > "The VDCE Runtime System provides several user-requested services
+//! > such as I/O service, console service, and visualization service."
+//!
+//! - [`IoService`] — "provides either file I/O or URL I/O for the inputs
+//!   of the application tasks". Backed by an in-memory object store with
+//!   deterministic synthesis of named-but-absent inputs (the reproduction
+//!   has no campus filesystem; see DESIGN.md §3).
+//! - [`ConsoleService`] — "the user can suspend and restart the
+//!   application execution".
+//! - [`VisualizationService`] — "application performance and workload
+//!   visualizations": renders the event log into a text Gantt chart and a
+//!   CSV timeline.
+
+use crate::events::{EventLog, RuntimeEvent};
+use crate::kernels::{encode_f64s, synth_matrix, synth_values};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use vdce_afg::{IoSpec, KernelKind};
+
+// ---------------------------------------------------------------------
+// I/O service
+// ---------------------------------------------------------------------
+
+/// In-memory file/URL store with deterministic input synthesis.
+#[derive(Debug, Clone, Default)]
+pub struct IoService {
+    store: Arc<Mutex<BTreeMap<String, Bytes>>>,
+}
+
+fn path_seed(path: &str) -> u64 {
+    // FNV-1a over the path: stable synthetic content per name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl IoService {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-load an object (e.g. the user's actual input file).
+    pub fn put(&self, path: impl Into<String>, data: Bytes) {
+        self.store.lock().insert(path.into(), data);
+    }
+
+    /// Fetch an object if present.
+    pub fn get(&self, path: &str) -> Option<Bytes> {
+        self.store.lock().get(path).cloned()
+    }
+
+    /// Resolve a task input: dataflow inputs return `None` (they arrive
+    /// over Data-Manager channels); file/URL inputs return the stored
+    /// object, or — if the name was never uploaded — a deterministic
+    /// synthetic payload shaped for `kernel`'s input `port` at
+    /// `problem_size` (matrix ports get an n×n diagonally-dominant
+    /// matrix, everything else an n-vector).
+    pub fn resolve_input(
+        &self,
+        spec: &IoSpec,
+        kernel: KernelKind,
+        port: usize,
+        problem_size: u64,
+    ) -> Option<Bytes> {
+        let path = match spec {
+            IoSpec::Dataflow => return None,
+            IoSpec::File { path, .. } => path.clone(),
+            IoSpec::Url { url, .. } => url.clone(),
+        };
+        if let Some(data) = self.get(&path) {
+            return Some(data);
+        }
+        let n = problem_size as usize;
+        let seed = path_seed(&path);
+        let matrix_port = matches!(
+            (kernel, port),
+            (KernelKind::LuDecomposition, 0)
+                | (KernelKind::Cholesky, 0)
+                | (KernelKind::MatrixTranspose, 0)
+                | (KernelKind::MatrixMultiply, 0 | 1)
+                | (KernelKind::MatrixAdd, 0 | 1)
+                | (KernelKind::ForwardSubstitution, 0)
+                | (KernelKind::BackSubstitution, 0)
+        );
+        let data = if matrix_port {
+            encode_f64s(&synth_matrix(seed, n))
+        } else {
+            encode_f64s(&synth_values(seed, n))
+        };
+        // Cache so every reader of the same path sees identical bytes.
+        self.store.lock().insert(path, data.clone());
+        Some(data)
+    }
+
+    /// Store a task output declared as file/URL. Returns `true` if the
+    /// spec named a destination.
+    pub fn store_output(&self, spec: &IoSpec, data: &Bytes) -> bool {
+        match spec {
+            IoSpec::Dataflow => false,
+            IoSpec::File { path, .. } => {
+                self.put(path.clone(), data.clone());
+                true
+            }
+            IoSpec::Url { url, .. } => {
+                self.put(url.clone(), data.clone());
+                true
+            }
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.store.lock().is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Console service
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConsoleState {
+    Running,
+    Suspended,
+    Aborted,
+}
+
+struct ConsoleInner {
+    state: Mutex<ConsoleState>,
+    cond: Condvar,
+}
+
+/// Suspend/restart (and abort) control over a running application.
+#[derive(Clone)]
+pub struct ConsoleService {
+    inner: Arc<ConsoleInner>,
+    log: EventLog,
+}
+
+impl ConsoleService {
+    /// A console in the running state.
+    pub fn new(log: EventLog) -> Self {
+        ConsoleService {
+            inner: Arc::new(ConsoleInner {
+                state: Mutex::new(ConsoleState::Running),
+                cond: Condvar::new(),
+            }),
+            log,
+        }
+    }
+
+    /// Suspend the application: tasks block at their next checkpoint.
+    pub fn suspend(&self) {
+        let mut s = self.inner.state.lock();
+        if *s == ConsoleState::Running {
+            *s = ConsoleState::Suspended;
+            self.log.record(0.0, RuntimeEvent::Suspended);
+        }
+    }
+
+    /// Resume a suspended application.
+    pub fn resume(&self) {
+        let mut s = self.inner.state.lock();
+        if *s == ConsoleState::Suspended {
+            *s = ConsoleState::Running;
+            self.log.record(0.0, RuntimeEvent::Resumed);
+            self.inner.cond.notify_all();
+        }
+    }
+
+    /// Abort the application: blocked and future checkpoints fail.
+    pub fn abort(&self) {
+        let mut s = self.inner.state.lock();
+        *s = ConsoleState::Aborted;
+        self.inner.cond.notify_all();
+    }
+
+    /// Is the application currently suspended?
+    pub fn is_suspended(&self) -> bool {
+        *self.inner.state.lock() == ConsoleState::Suspended
+    }
+
+    /// Task-side checkpoint: blocks while suspended; returns `false` if
+    /// the application was aborted.
+    pub fn checkpoint(&self) -> bool {
+        let mut s = self.inner.state.lock();
+        while *s == ConsoleState::Suspended {
+            self.inner.cond.wait(&mut s);
+        }
+        *s != ConsoleState::Aborted
+    }
+}
+
+// ---------------------------------------------------------------------
+// Visualization service
+// ---------------------------------------------------------------------
+
+/// Renders the event log into operator-facing artefacts.
+#[derive(Clone)]
+pub struct VisualizationService {
+    log: EventLog,
+}
+
+impl VisualizationService {
+    /// Visualise `log`.
+    pub fn new(log: EventLog) -> Self {
+        VisualizationService { log }
+    }
+
+    /// CSV timeline: `time,event,detail` rows in event order.
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from("time_s,event,detail\n");
+        for (t, e) in self.log.snapshot() {
+            let (name, detail) = match &e {
+                RuntimeEvent::MonitorSample { host, workload } => {
+                    ("monitor_sample", format!("{host}:{workload:.2}"))
+                }
+                RuntimeEvent::WorkloadForwarded { host, workload } => {
+                    ("workload_forwarded", format!("{host}:{workload:.2}"))
+                }
+                RuntimeEvent::HostFailed { host } => ("host_failed", host.clone()),
+                RuntimeEvent::HostRecovered { host } => ("host_recovered", host.clone()),
+                RuntimeEvent::ChannelReady { channel } => {
+                    ("channel_ready", channel.to_string())
+                }
+                RuntimeEvent::StartupSignal => ("startup_signal", String::new()),
+                RuntimeEvent::TaskStarted { task, host } => {
+                    ("task_started", format!("{task}@{host}"))
+                }
+                RuntimeEvent::TaskFinished { task, seconds } => {
+                    ("task_finished", format!("{task}:{seconds:.4}"))
+                }
+                RuntimeEvent::TaskFailed { task, reason } => {
+                    ("task_failed", format!("{task}:{reason}"))
+                }
+                RuntimeEvent::RescheduleRequested { task, host } => {
+                    ("reschedule_requested", format!("{task}@{host}"))
+                }
+                RuntimeEvent::Suspended => ("suspended", String::new()),
+                RuntimeEvent::Resumed => ("resumed", String::new()),
+            };
+            let _ = writeln!(out, "{t:.6},{name},{detail}");
+        }
+        out
+    }
+
+    /// Per-host workload chart from the monitor samples in the log: one
+    /// row per host, each column the mean workload of that time bucket
+    /// rendered as a 0–9 digit (`.` = no sample). The "workload
+    /// visualization" half of §4.2's visualization service.
+    pub fn workload_chart(&self, width: usize) -> String {
+        let snap = self.log.snapshot();
+        let samples: Vec<(f64, &str, f64)> = snap
+            .iter()
+            .filter_map(|(t, e)| match e {
+                RuntimeEvent::MonitorSample { host, workload } => {
+                    Some((*t, host.as_str(), *workload))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut out = String::new();
+        if samples.is_empty() {
+            let _ = writeln!(out, "WORKLOAD (no samples)");
+            return out;
+        }
+        let t0 = samples.iter().map(|(t, ..)| *t).fold(f64::INFINITY, f64::min);
+        let t1 = samples.iter().map(|(t, ..)| *t).fold(0.0f64, f64::max);
+        let span = (t1 - t0).max(1e-9);
+        let max_w = samples.iter().map(|(.., w)| *w).fold(0.0f64, f64::max).max(1e-9);
+        let mut hosts: Vec<&str> = samples.iter().map(|(_, h, _)| *h).collect();
+        hosts.sort();
+        hosts.dedup();
+        let _ = writeln!(
+            out,
+            "WORKLOAD ({t0:.1}s .. {t1:.1}s, peak load {max_w:.2})"
+        );
+        for host in hosts {
+            let mut sum = vec![0.0f64; width];
+            let mut cnt = vec![0u32; width];
+            for (t, _h, w) in samples.iter().filter(|(_, h, _)| *h == host) {
+                let b = (((t - t0) / span) * (width as f64 - 1.0)) as usize;
+                sum[b] += w;
+                cnt[b] += 1;
+            }
+            let row: String = sum
+                .iter()
+                .zip(cnt.iter())
+                .map(|(s, c)| {
+                    if *c == 0 {
+                        '.'
+                    } else {
+                        let level = ((s / *c as f64) / max_w * 9.0).round() as u32;
+                        char::from_digit(level.min(9), 10).expect("0..=9")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{host:<20} |{row}|");
+        }
+        out
+    }
+
+    /// Text Gantt chart of task executions (one row per task, `#` marks
+    /// the running interval), scaled to `width` columns.
+    pub fn gantt(&self, width: usize) -> String {
+        let snap = self.log.snapshot();
+        // Pair starts and finishes.
+        let mut spans: BTreeMap<u32, (f64, Option<f64>, String)> = BTreeMap::new();
+        for (t, e) in &snap {
+            match e {
+                RuntimeEvent::TaskStarted { task, host } => {
+                    spans.entry(task.0).or_insert((*t, None, host.clone()));
+                }
+                RuntimeEvent::TaskFinished { task, .. } => {
+                    if let Some(s) = spans.get_mut(&task.0) {
+                        s.1 = Some(*t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = spans
+            .values()
+            .filter_map(|(_, f, _)| *f)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut out = String::new();
+        let _ = writeln!(out, "GANTT (0 .. {end:.3}s)");
+        for (task, (start, finish, host)) in &spans {
+            let finish = finish.unwrap_or(end);
+            let a = ((start / end) * width as f64) as usize;
+            let b = (((finish / end) * width as f64) as usize).max(a + 1).min(width);
+            let mut row = vec![b'.'; width];
+            for c in row.iter_mut().take(b).skip(a) {
+                *c = b'#';
+            }
+            let _ = writeln!(
+                out,
+                "t{task:<3} |{}| {host}",
+                String::from_utf8(row).expect("ascii")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::TaskId;
+
+    #[test]
+    fn io_put_get_round_trip() {
+        let io = IoService::new();
+        assert!(io.get("/x").is_none());
+        io.put("/x", Bytes::from_static(b"abc"));
+        assert_eq!(io.get("/x").unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(io.len(), 1);
+    }
+
+    #[test]
+    fn dataflow_inputs_resolve_to_none() {
+        let io = IoService::new();
+        assert!(io.resolve_input(&IoSpec::Dataflow, KernelKind::Map, 0, 10).is_none());
+    }
+
+    #[test]
+    fn absent_file_is_synthesised_deterministically() {
+        let io = IoService::new();
+        let spec = IoSpec::file("/users/VDCE/u/matrix_A.dat", 0);
+        let a = io.resolve_input(&spec, KernelKind::LuDecomposition, 0, 8).unwrap();
+        let b = io.resolve_input(&spec, KernelKind::LuDecomposition, 0, 8).unwrap();
+        assert_eq!(a, b, "same path → same bytes");
+        assert_eq!(a.len(), 8 * 8 * 8, "matrix-shaped for LU");
+        // Different path → different content.
+        let c = io
+            .resolve_input(&IoSpec::file("/other.dat", 0), KernelKind::LuDecomposition, 0, 8)
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uploaded_file_wins_over_synthesis() {
+        let io = IoService::new();
+        io.put("/in.dat", Bytes::from_static(b"real"));
+        let got = io
+            .resolve_input(&IoSpec::file("/in.dat", 4), KernelKind::Map, 0, 10)
+            .unwrap();
+        assert_eq!(got, Bytes::from_static(b"real"));
+    }
+
+    #[test]
+    fn url_inputs_work_like_files() {
+        let io = IoService::new();
+        let spec = IoSpec::url("http://x/input", 0);
+        let a = io.resolve_input(&spec, KernelKind::Sort, 0, 16).unwrap();
+        assert_eq!(a.len(), 16 * 8);
+    }
+
+    #[test]
+    fn store_output_only_for_io_specs() {
+        let io = IoService::new();
+        let data = Bytes::from_static(b"out");
+        assert!(!io.store_output(&IoSpec::Dataflow, &data));
+        assert!(io.store_output(&IoSpec::file("/o.dat", 0), &data));
+        assert_eq!(io.get("/o.dat").unwrap(), data);
+    }
+
+    #[test]
+    fn console_suspend_resume_cycle() {
+        let log = EventLog::new();
+        let console = ConsoleService::new(log.clone());
+        assert!(!console.is_suspended());
+        console.suspend();
+        assert!(console.is_suspended());
+        // A blocked checkpoint unblocks on resume.
+        let c2 = console.clone();
+        let h = std::thread::spawn(move || c2.checkpoint());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        console.resume();
+        assert!(h.join().unwrap(), "checkpoint returns true after resume");
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Suspended)), 1);
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+    }
+
+    #[test]
+    fn console_abort_fails_checkpoints() {
+        let console = ConsoleService::new(EventLog::new());
+        console.abort();
+        assert!(!console.checkpoint());
+    }
+
+    #[test]
+    fn suspend_is_idempotent() {
+        let log = EventLog::new();
+        let console = ConsoleService::new(log.clone());
+        console.suspend();
+        console.suspend();
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Suspended)), 1);
+        console.resume();
+        console.resume();
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+    }
+
+    #[test]
+    fn timeline_csv_contains_rows() {
+        let log = EventLog::new();
+        log.record(0.5, RuntimeEvent::TaskStarted { task: TaskId(0), host: "h0".into() });
+        log.record(1.5, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
+        let viz = VisualizationService::new(log);
+        let csv = viz.timeline_csv();
+        assert!(csv.starts_with("time_s,event,detail\n"));
+        assert!(csv.contains("task_started,t0@h0"));
+        assert!(csv.contains("task_finished,t0:1.0000"));
+    }
+
+    #[test]
+    fn workload_chart_scales_and_buckets() {
+        let log = EventLog::new();
+        for t in 0..10 {
+            log.record(
+                t as f64,
+                RuntimeEvent::MonitorSample { host: "busy".into(), workload: 8.0 },
+            );
+            log.record(
+                t as f64,
+                RuntimeEvent::MonitorSample { host: "idle".into(), workload: 0.0 },
+            );
+        }
+        let viz = VisualizationService::new(log);
+        let chart = viz.workload_chart(20);
+        assert!(chart.contains("peak load 8.00"));
+        let busy_row = chart.lines().find(|l| l.starts_with("busy")).unwrap();
+        let idle_row = chart.lines().find(|l| l.starts_with("idle")).unwrap();
+        assert!(busy_row.contains('9'), "busy host renders at peak: {busy_row}");
+        assert!(!idle_row.contains('9'));
+        assert!(idle_row.contains('0'));
+    }
+
+    #[test]
+    fn workload_chart_without_samples() {
+        let viz = VisualizationService::new(EventLog::new());
+        assert!(viz.workload_chart(10).contains("no samples"));
+    }
+
+    #[test]
+    fn gantt_draws_bars() {
+        let log = EventLog::new();
+        log.record(0.0, RuntimeEvent::TaskStarted { task: TaskId(0), host: "a".into() });
+        log.record(1.0, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
+        log.record(1.0, RuntimeEvent::TaskStarted { task: TaskId(1), host: "b".into() });
+        log.record(2.0, RuntimeEvent::TaskFinished { task: TaskId(1), seconds: 1.0 });
+        let viz = VisualizationService::new(log);
+        let g = viz.gantt(20);
+        assert!(g.contains("t0"));
+        assert!(g.contains('#'));
+        assert!(g.contains("| a"));
+        // Task 0 occupies the first half, task 1 the second.
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[1].find('#').unwrap() < lines[2].find('#').unwrap());
+    }
+}

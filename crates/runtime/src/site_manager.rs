@@ -1,0 +1,309 @@
+//! The Site Manager (§4.1, Figure 4).
+//!
+//! Runs on the VDCE server machine of each site. Its functions, per the
+//! paper:
+//!
+//! 1. "periodically updates the resource-performance database at the site
+//!    repository with the monitoring information (i.e., the workload
+//!    measurement and failure detection information of the resources)" —
+//!    [`SiteManager::process`] / [`SiteManager::drain`];
+//! 2. "updates the task-performance database with the execution time
+//!    after an application execution is completed" — the
+//!    [`ControlMessage::ExecutionCompleted`] path;
+//! 3. "multicast\[s\] the resource allocation table to the Group Managers
+//!    that will be involved in the execution" —
+//!    [`SiteManager::distribute_allocation`];
+//! 4. "the inter-site coordination and message transfer (for scheduling
+//!    and monitoring purposes) are handled by Site Managers" — the
+//!    scheduling half lives in `vdce_sched::federation`
+//!    ([`SiteManager::view`] produces the snapshot it serves).
+
+use crossbeam::channel::Receiver;
+use std::collections::BTreeMap;
+use vdce_net::topology::SiteId;
+use vdce_repository::resources::HostStatus;
+use vdce_repository::SiteRepository;
+use vdce_sched::allocation::{AllocationTable, TaskPlacement};
+use vdce_sched::view::SiteView;
+
+/// Control-plane messages flowing up from Group Managers (and from the
+/// Application Controller for execution-time write-back).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// A significant workload change on a host.
+    WorkloadUpdate {
+        /// Host name.
+        host: String,
+        /// New workload.
+        workload: f64,
+        /// Available memory in bytes.
+        available_memory: u64,
+    },
+    /// Echo probing declared the host dead.
+    HostFailure {
+        /// Host name.
+        host: String,
+    },
+    /// A dead host answers echoes again.
+    HostRecovered {
+        /// Host name.
+        host: String,
+    },
+    /// A task execution completed; write the measured time back into the
+    /// task-performance database.
+    ExecutionCompleted {
+        /// Library task name.
+        library_task: String,
+        /// Host it ran on.
+        host: String,
+        /// Problem size it ran at.
+        problem_size: u64,
+        /// Measured wall-clock seconds.
+        seconds: f64,
+    },
+}
+
+/// The Site Manager of one site.
+pub struct SiteManager {
+    /// Site this manager serves.
+    pub site: SiteId,
+    repo: SiteRepository,
+}
+
+impl SiteManager {
+    /// Manager over `repo` for `site`.
+    pub fn new(site: SiteId, repo: SiteRepository) -> Self {
+        SiteManager { site, repo }
+    }
+
+    /// The repository this manager maintains.
+    pub fn repository(&self) -> &SiteRepository {
+        &self.repo
+    }
+
+    /// Apply one control message to the site repository. Returns `false`
+    /// for updates about unknown hosts (logged and dropped in the paper's
+    /// prototype).
+    pub fn process(&self, msg: &ControlMessage) -> bool {
+        match msg {
+            ControlMessage::WorkloadUpdate { host, workload, available_memory } => self
+                .repo
+                .resources_mut(|db| db.record_sample(host, *workload, *available_memory)),
+            ControlMessage::HostFailure { host } => {
+                self.repo.resources_mut(|db| db.set_status(host, HostStatus::Down))
+            }
+            ControlMessage::HostRecovered { host } => {
+                self.repo.resources_mut(|db| db.set_status(host, HostStatus::Up))
+            }
+            ControlMessage::ExecutionCompleted { library_task, host, problem_size, seconds } => {
+                self.repo.tasks_mut(|db| {
+                    db.record_execution(library_task, host, *problem_size, *seconds)
+                })
+            }
+        }
+    }
+
+    /// Drain every pending message from `rx`; returns how many were
+    /// applied successfully.
+    pub fn drain(&self, rx: &Receiver<ControlMessage>) -> usize {
+        let mut applied = 0;
+        while let Ok(msg) = rx.try_recv() {
+            if self.process(&msg) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Split the local-site portion of an allocation table by host group —
+    /// what gets multicast to each Group Manager. Placements at other
+    /// sites are ignored (their own Site Managers handle them); hosts
+    /// missing from the repository land in the `""` group.
+    pub fn distribute_allocation(
+        &self,
+        table: &AllocationTable,
+    ) -> BTreeMap<String, Vec<TaskPlacement>> {
+        let mut out: BTreeMap<String, Vec<TaskPlacement>> = BTreeMap::new();
+        for p in table.portion_for_site(self.site) {
+            // A multi-host placement may span groups; deliver to each
+            // involved group once.
+            let mut groups: Vec<String> = p
+                .hosts
+                .iter()
+                .map(|h| {
+                    self.repo
+                        .resources(|db| db.get(h).map(|r| r.group.clone()))
+                        .unwrap_or_default()
+                })
+                .collect();
+            groups.sort();
+            groups.dedup();
+            for g in groups {
+                out.entry(g).or_default().push(p.clone());
+            }
+        }
+        out
+    }
+
+    /// Snapshot the repository as the scheduling view served to the
+    /// federation protocol.
+    pub fn view(&self) -> SiteView {
+        SiteView::capture(self.site, &self.repo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use vdce_afg::MachineType;
+    use vdce_afg::TaskId;
+    use vdce_repository::resources::ResourceRecord;
+
+    fn manager() -> SiteManager {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(ResourceRecord::new("a", "10.0.0.1", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g0"));
+            db.upsert(ResourceRecord::new("b", "10.0.0.2", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g1"));
+        });
+        SiteManager::new(SiteId(0), repo)
+    }
+
+    #[test]
+    fn workload_update_reaches_repository() {
+        let sm = manager();
+        assert!(sm.process(&ControlMessage::WorkloadUpdate {
+            host: "a".into(),
+            workload: 2.5,
+            available_memory: 123,
+        }));
+        sm.repository().resources(|db| {
+            let r = db.get("a").unwrap();
+            assert_eq!(r.workload, 2.5);
+            assert_eq!(r.available_memory, 123);
+        });
+    }
+
+    #[test]
+    fn failure_and_recovery_flip_status() {
+        let sm = manager();
+        sm.process(&ControlMessage::HostFailure { host: "a".into() });
+        assert!(sm.repository().resources(|db| !db.get("a").unwrap().is_up()));
+        sm.process(&ControlMessage::HostRecovered { host: "a".into() });
+        assert!(sm.repository().resources(|db| db.get("a").unwrap().is_up()));
+    }
+
+    #[test]
+    fn unknown_host_updates_are_dropped() {
+        let sm = manager();
+        assert!(!sm.process(&ControlMessage::WorkloadUpdate {
+            host: "ghost".into(),
+            workload: 1.0,
+            available_memory: 1,
+        }));
+        assert!(!sm.process(&ControlMessage::HostFailure { host: "ghost".into() }));
+    }
+
+    #[test]
+    fn execution_completion_writes_task_perf_db() {
+        let sm = manager();
+        assert!(sm.process(&ControlMessage::ExecutionCompleted {
+            library_task: "Matrix_Multiplication".into(),
+            host: "a".into(),
+            problem_size: 100,
+            seconds: 2.0,
+        }));
+        sm.repository().tasks(|db| {
+            assert_eq!(db.sample_count("Matrix_Multiplication", "a"), 1);
+        });
+        // Unknown task name is rejected.
+        assert!(!sm.process(&ControlMessage::ExecutionCompleted {
+            library_task: "Nope".into(),
+            host: "a".into(),
+            problem_size: 100,
+            seconds: 2.0,
+        }));
+    }
+
+    #[test]
+    fn drain_applies_all_pending() {
+        let sm = manager();
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(ControlMessage::WorkloadUpdate {
+                host: "a".into(),
+                workload: i as f64,
+                available_memory: 1,
+            })
+            .unwrap();
+        }
+        tx.send(ControlMessage::WorkloadUpdate {
+            host: "ghost".into(),
+            workload: 0.0,
+            available_memory: 1,
+        })
+        .unwrap();
+        assert_eq!(sm.drain(&rx), 5, "5 applied, ghost dropped");
+        sm.repository().resources(|db| {
+            assert_eq!(db.get("a").unwrap().workload, 4.0);
+            assert_eq!(db.get("a").unwrap().workload_history.len(), 5);
+        });
+    }
+
+    #[test]
+    fn distribute_allocation_groups_by_group_manager() {
+        let sm = manager();
+        let mut table = AllocationTable::new("app");
+        table.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "t0".into(),
+            site: SiteId(0),
+            hosts: vec!["a".into()],
+            predicted_seconds: 1.0,
+        });
+        table.insert(TaskPlacement {
+            task: TaskId(1),
+            task_name: "t1".into(),
+            site: SiteId(0),
+            hosts: vec!["b".into()],
+            predicted_seconds: 1.0,
+        });
+        table.insert(TaskPlacement {
+            task: TaskId(2),
+            task_name: "remote".into(),
+            site: SiteId(1),
+            hosts: vec!["elsewhere".into()],
+            predicted_seconds: 1.0,
+        });
+        let portions = sm.distribute_allocation(&table);
+        assert_eq!(portions.len(), 2);
+        assert_eq!(portions["g0"].len(), 1);
+        assert_eq!(portions["g0"][0].task, TaskId(0));
+        assert_eq!(portions["g1"][0].task, TaskId(1));
+        // The remote placement is not ours to distribute.
+        assert!(portions.values().all(|v| v.iter().all(|p| p.site == SiteId(0))));
+    }
+
+    #[test]
+    fn multi_group_parallel_placement_reaches_both_groups() {
+        let sm = manager();
+        let mut table = AllocationTable::new("app");
+        table.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "wide".into(),
+            site: SiteId(0),
+            hosts: vec!["a".into(), "b".into()],
+            predicted_seconds: 1.0,
+        });
+        let portions = sm.distribute_allocation(&table);
+        assert!(portions.contains_key("g0") && portions.contains_key("g1"));
+    }
+
+    #[test]
+    fn view_snapshot_matches_repo() {
+        let sm = manager();
+        let v = sm.view();
+        assert_eq!(v.site, SiteId(0));
+        assert_eq!(v.resources.len(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! The resource allocation table.
+//!
+//! "After the best schedule of the whole application is determined by the
+//! local site and a set of nearest remote sites, the resource allocation
+//! table is generated and transferred to the Site Manager running on the
+//! VDCE server" (§3). The Site Manager then "multicast\[s\] the resource
+//! allocation table to the Group Managers that will be involved in the
+//! execution" (§4.1) — so this structure is the hand-off point between
+//! scheduling and runtime, and it must serialise.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vdce_afg::{Afg, TaskId};
+use vdce_net::topology::SiteId;
+
+/// Where one task will run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// The task.
+    pub task: TaskId,
+    /// Task instance name (for operator-facing output).
+    pub task_name: String,
+    /// Site chosen by the site scheduler.
+    pub site: SiteId,
+    /// Hosts chosen by host selection (one for sequential tasks, the node
+    /// set for parallel tasks; all within `site`).
+    pub hosts: Vec<String>,
+    /// Predicted execution time in seconds (the value host selection
+    /// minimised).
+    pub predicted_seconds: f64,
+}
+
+/// The resource allocation table: one placement per task of the AFG.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocationTable {
+    /// Application name this table was generated for.
+    pub application: String,
+    placements: BTreeMap<TaskId, TaskPlacement>,
+}
+
+impl AllocationTable {
+    /// Empty table for an application.
+    pub fn new(application: impl Into<String>) -> Self {
+        AllocationTable { application: application.into(), placements: BTreeMap::new() }
+    }
+
+    /// Insert (or replace) a placement.
+    pub fn insert(&mut self, p: TaskPlacement) {
+        self.placements.insert(p.task, p);
+    }
+
+    /// Placement of one task.
+    pub fn placement(&self, task: TaskId) -> Option<&TaskPlacement> {
+        self.placements.get(&task)
+    }
+
+    /// All placements in task order.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskPlacement> {
+        self.placements.values()
+    }
+
+    /// Number of placed tasks.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Distinct sites used.
+    pub fn sites_used(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.placements.values().map(|p| p.site).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct hosts used, name-ordered.
+    pub fn hosts_used(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .placements
+            .values()
+            .flat_map(|p| p.hosts.iter().map(String::as_str))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The rows destined for one site — what the Site Manager forwards to
+    /// its Group Managers ("the related portion of the resource allocation
+    /// information", §4.1).
+    pub fn portion_for_site(&self, site: SiteId) -> Vec<&TaskPlacement> {
+        self.placements.values().filter(|p| p.site == site).collect()
+    }
+
+    /// Check the table covers exactly the tasks of `afg`, every placement
+    /// names at least one host, and parallel tasks got at most their
+    /// requested node count.
+    pub fn is_complete_for(&self, afg: &Afg) -> bool {
+        if self.placements.len() != afg.task_count() {
+            return false;
+        }
+        afg.task_ids().all(|t| {
+            self.placements.get(&t).is_some_and(|p| {
+                !p.hosts.is_empty()
+                    && p.hosts.len() <= afg.task(t).props.effective_nodes() as usize
+            })
+        })
+    }
+
+    /// Serialise to pretty JSON (the multicast payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("allocation tables always serialise")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::{AfgBuilder, ComputationMode, TaskLibrary};
+
+    fn table() -> AllocationTable {
+        let mut t = AllocationTable::new("app");
+        t.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "a".into(),
+            site: SiteId(0),
+            hosts: vec!["h0".into()],
+            predicted_seconds: 1.0,
+        });
+        t.insert(TaskPlacement {
+            task: TaskId(1),
+            task_name: "b".into(),
+            site: SiteId(1),
+            hosts: vec!["h1".into(), "h2".into()],
+            predicted_seconds: 2.0,
+        });
+        t
+    }
+
+    #[test]
+    fn lookups_and_aggregates() {
+        let t = table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.placement(TaskId(1)).unwrap().hosts.len(), 2);
+        assert!(t.placement(TaskId(9)).is_none());
+        assert_eq!(t.sites_used(), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(t.hosts_used(), vec!["h0", "h1", "h2"]);
+    }
+
+    #[test]
+    fn portion_for_site_filters() {
+        let t = table();
+        let p0 = t.portion_for_site(SiteId(0));
+        assert_eq!(p0.len(), 1);
+        assert_eq!(p0[0].task_name, "a");
+        assert!(t.portion_for_site(SiteId(7)).is_empty());
+    }
+
+    #[test]
+    fn completeness_check() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let s = b.add_task("Source", "a", 10).unwrap();
+        let lu = b.add_task("LU_Decomposition", "b", 64).unwrap();
+        b.set_mode(lu, ComputationMode::Parallel).unwrap();
+        b.set_num_nodes(lu, 2).unwrap();
+        b.connect(s, 0, lu, 0).unwrap();
+        let g = b.build().unwrap();
+
+        let t = table();
+        assert!(t.is_complete_for(&g));
+
+        // Missing task.
+        let mut partial = AllocationTable::new("app");
+        partial.insert(t.placement(TaskId(0)).unwrap().clone());
+        assert!(!partial.is_complete_for(&g));
+
+        // Too many hosts for a sequential task.
+        let mut over = table();
+        over.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "a".into(),
+            site: SiteId(0),
+            hosts: vec!["h0".into(), "h1".into()],
+            predicted_seconds: 1.0,
+        });
+        assert!(!over.is_complete_for(&g));
+
+        // Empty host list.
+        let mut empty = table();
+        empty.insert(TaskPlacement {
+            task: TaskId(1),
+            task_name: "b".into(),
+            site: SiteId(1),
+            hosts: vec![],
+            predicted_seconds: 2.0,
+        });
+        assert!(!empty.is_complete_for(&g));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = table();
+        let back = AllocationTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

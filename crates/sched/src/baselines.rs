@@ -1,0 +1,739 @@
+//! Baseline mappers the benchmarks compare VDCE against (experiments E2,
+//! E5, E9).
+//!
+//! The paper claims its level-priority, prediction-driven, transfer-aware
+//! scheduler minimises schedule length; these comparators test that claim:
+//!
+//! - [`random_schedule`] — uniform random feasible host per task;
+//! - [`round_robin_schedule`] — cycle through the federation's hosts;
+//! - [`local_only_schedule`] — best local host per task, never remote
+//!   (what a user without VDCE's federation would get);
+//! - [`min_min_schedule`] / [`max_min_schedule`] — the classic
+//!   completion-time heuristics;
+//! - [`heft_schedule`] — insertion-free HEFT (b-level priority, earliest
+//!   finish time), the approach the first author later published
+//!   (TPDS 2002), as the paper's "future work" ablation.
+//!
+//! Baselines place every task on a **single** host using the sequential
+//! prediction; benchmark DAGs therefore use sequential tasks so the
+//! comparison is apples-to-apples (parallel node selection is a VDCE
+//! feature the baselines lack).
+//!
+//! All baselines see exactly the same candidate sets as VDCE host
+//! selection (same eligibility filters) and are judged by the same
+//! simulator, [`crate::makespan::evaluate`].
+
+use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::host_selection::eligible;
+use crate::site_scheduler::SchedulingError;
+use crate::view::SiteView;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdce_afg::level::{blevel_map, level_map};
+use vdce_afg::{Afg, TaskId};
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_predict::model::Predictor;
+use vdce_repository::resources::ResourceRecord;
+use std::collections::HashMap;
+
+/// One feasible (site, host, predicted seconds) option for a task.
+struct Option_<'a> {
+    site: SiteId,
+    host: &'a ResourceRecord,
+    predicted: f64,
+}
+
+/// Enumerate every feasible single-host option for `task` across `views`.
+fn options<'a>(
+    afg: &Afg,
+    task: TaskId,
+    views: &'a [&'a SiteView],
+    predictor: &Predictor,
+) -> Vec<Option_<'a>> {
+    let node = afg.task(task);
+    let mut out = Vec::new();
+    for v in views {
+        for host in v.resources.iter() {
+            if !eligible(v, afg, task, host) {
+                continue;
+            }
+            if let Ok(t) = predictor.predict(&v.tasks, &node.library_task, node.problem_size, host)
+            {
+                out.push(Option_ { site: v.site, host, predicted: t });
+            }
+        }
+    }
+    out
+}
+
+fn placement(afg: &Afg, task: TaskId, opt: &Option_<'_>) -> TaskPlacement {
+    TaskPlacement {
+        task,
+        task_name: afg.task(task).name.clone(),
+        site: opt.site,
+        hosts: vec![opt.host.host_name.clone()],
+        predicted_seconds: opt.predicted,
+    }
+}
+
+fn no_feasible(afg: &Afg, task: TaskId) -> SchedulingError {
+    SchedulingError::NoFeasibleSite { task, name: afg.task(task).name.clone() }
+}
+
+/// Uniform-random feasible placement (seeded).
+pub fn random_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    predictor: &Predictor,
+    seed: u64,
+) -> Result<AllocationTable, SchedulingError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut table = AllocationTable::new(afg.name.clone());
+    for task in afg.task_ids() {
+        let opts = options(afg, task, views, predictor);
+        if opts.is_empty() {
+            return Err(no_feasible(afg, task));
+        }
+        let pick = &opts[rng.gen_range(0..opts.len())];
+        table.insert(placement(afg, task, pick));
+    }
+    Ok(table)
+}
+
+/// Round-robin over the federation's hosts (name-ordered within site
+/// order), skipping hosts infeasible for the task at hand.
+pub fn round_robin_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    let mut table = AllocationTable::new(afg.name.clone());
+    let mut cursor = 0usize;
+    // Stable global host order: (view order, host name order).
+    let mut slots: Vec<(usize, String)> = Vec::new();
+    for (vi, v) in views.iter().enumerate() {
+        for h in v.resources.iter() {
+            slots.push((vi, h.host_name.clone()));
+        }
+    }
+    if slots.is_empty() {
+        if let Some(t) = afg.task_ids().next() {
+            return Err(no_feasible(afg, t));
+        }
+        return Ok(table);
+    }
+    for task in afg.task_ids() {
+        let node = afg.task(task);
+        let mut placed = false;
+        for probe in 0..slots.len() {
+            let (vi, host_name) = &slots[(cursor + probe) % slots.len()];
+            let v = views[*vi];
+            let Some(host) = v.resources.get(host_name) else { continue };
+            if !eligible(v, afg, task, host) {
+                continue;
+            }
+            let Ok(t) =
+                predictor.predict(&v.tasks, &node.library_task, node.problem_size, host)
+            else {
+                continue;
+            };
+            table.insert(placement(afg, task, &Option_ { site: v.site, host, predicted: t }));
+            cursor = (cursor + probe + 1) % slots.len();
+            placed = true;
+            break;
+        }
+        if !placed {
+            return Err(no_feasible(afg, task));
+        }
+    }
+    Ok(table)
+}
+
+/// Greedy best-host placement restricted to the local site (federation
+/// disabled) — the "what you'd get without VDCE's wide-area scheduling"
+/// baseline.
+pub fn local_only_schedule(
+    afg: &Afg,
+    local: &SiteView,
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    let views = [local];
+    let mut table = AllocationTable::new(afg.name.clone());
+    for task in afg.task_ids() {
+        let opts = options(afg, task, &views, predictor);
+        let best = opts
+            .iter()
+            .min_by(|a, b| a.predicted.partial_cmp(&b.predicted).unwrap_or(std::cmp::Ordering::Equal))
+            .ok_or_else(|| no_feasible(afg, task))?;
+        table.insert(placement(afg, task, best));
+    }
+    Ok(table)
+}
+
+/// Completion time of `task` on `opt` given current host-free times and
+/// parent finishes.
+#[allow(clippy::too_many_arguments)]
+fn completion_time(
+    afg: &Afg,
+    task: TaskId,
+    opt: &Option_<'_>,
+    net: &NetworkModel,
+    finish: &[f64],
+    site_of: &[Option<SiteId>],
+    host_of: &HashMap<usize, String>,
+    host_free: &HashMap<String, f64>,
+) -> f64 {
+    let mut data_ready = 0.0f64;
+    for e in afg.in_edges(task) {
+        let ps = site_of[e.from.index()].expect("parents placed first");
+        let same_host =
+            host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+        let xfer = if same_host { 0.0 } else { net.transfer_time(ps, opt.site, e.data_size) };
+        data_ready = data_ready.max(finish[e.from.index()] + xfer);
+    }
+    let free = host_free.get(&opt.host.host_name).copied().unwrap_or(0.0);
+    data_ready.max(free) + opt.predicted
+}
+
+/// Shared engine for the completion-time heuristics. `pick_max` selects
+/// max-min instead of min-min.
+fn completion_time_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+    pick_max: bool,
+) -> Result<AllocationTable, SchedulingError> {
+    let n = afg.task_count();
+    let mut table = AllocationTable::new(afg.name.clone());
+    let mut finish = vec![0.0f64; n];
+    let mut site_of: Vec<Option<SiteId>> = vec![None; n];
+    let mut host_of: HashMap<usize, String> = HashMap::new();
+    let mut host_free: HashMap<String, f64> = HashMap::new();
+
+    let mut remaining = afg.in_degrees();
+    let mut ready: Vec<TaskId> = afg.entry_nodes();
+
+    while !ready.is_empty() {
+        // For every ready task find its best option's completion time.
+        let mut per_task: Vec<(usize, Option_<'_>, f64)> = Vec::new();
+        for (ri, &task) in ready.iter().enumerate() {
+            let opts = options(afg, task, views, predictor);
+            let mut best: Option<(Option_<'_>, f64)> = None;
+            for opt in opts {
+                let ct = completion_time(
+                    afg, task, &opt, net, &finish, &site_of, &host_of, &host_free,
+                );
+                if best.as_ref().is_none_or(|(_, b)| ct < *b) {
+                    best = Some((opt, ct));
+                }
+            }
+            let (opt, ct) = best.ok_or_else(|| no_feasible(afg, task))?;
+            per_task.push((ri, opt, ct));
+        }
+        // min-min: smallest best-CT first; max-min: largest best-CT first.
+        let chosen = if pick_max {
+            per_task
+                .into_iter()
+                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        } else {
+            per_task
+                .into_iter()
+                .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        }
+        .expect("ready not empty");
+        let (ri, opt, ct) = chosen;
+        let task = ready.swap_remove(ri);
+
+        finish[task.index()] = ct;
+        site_of[task.index()] = Some(opt.site);
+        host_of.insert(task.index(), opt.host.host_name.clone());
+        host_free.insert(opt.host.host_name.clone(), ct);
+        table.insert(placement(afg, task, &opt));
+
+        for e in afg.out_edges(task) {
+            remaining[e.to.index()] -= 1;
+            if remaining[e.to.index()] == 0 {
+                ready.push(e.to);
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Min-min completion-time heuristic.
+pub fn min_min_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    completion_time_schedule(afg, views, net, predictor, false)
+}
+
+/// Max-min completion-time heuristic.
+pub fn max_min_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    completion_time_schedule(afg, views, net, predictor, true)
+}
+
+/// HEFT (without insertion): rank tasks by *b-level* (computation + mean
+/// communication along the path to an exit), then assign each task, in
+/// rank order, to the host with the earliest finish time.
+pub fn heft_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    // Mean computation cost across all feasible hosts approximates the
+    // host-independent cost HEFT ranks on; we reuse base times.
+    let tasks_db = &views
+        .first()
+        .ok_or_else(|| no_feasible(afg, TaskId(0)))?
+        .tasks;
+    // Mean link transfer rate for the rank's communication term.
+    let sites = net.site_count();
+    let mut mean_rate = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..sites as u16 {
+        for b in a..sites as u16 {
+            let l = net.link(SiteId(a), SiteId(b));
+            mean_rate += 1.0 / l.bandwidth_bps;
+            pairs += 1;
+        }
+    }
+    let per_byte = if pairs > 0 { mean_rate / pairs as f64 } else { 0.0 };
+
+    let ranks = blevel_map(
+        afg,
+        |t| tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0),
+        |bytes| bytes as f64 * per_byte,
+    )
+    .map_err(|_| SchedulingError::Cyclic)?;
+
+    // Rank order (descending b-level) is a valid topological order for
+    // positive costs; guard against zero-cost ties by stable re-sorting a
+    // topological order.
+    let mut order = afg.topo_order().ok_or(SchedulingError::Cyclic)?;
+    order.sort_by(|a, b| {
+        ranks[b.index()]
+            .partial_cmp(&ranks[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Re-fix topological consistency (stable sort may reorder equal-rank
+    // parent/child pairs): walk and push parents before children.
+    let order = topo_consistent(afg, order);
+
+    let n = afg.task_count();
+    let mut table = AllocationTable::new(afg.name.clone());
+    let mut finish = vec![0.0f64; n];
+    let mut site_of: Vec<Option<SiteId>> = vec![None; n];
+    let mut host_of: HashMap<usize, String> = HashMap::new();
+    let mut host_free: HashMap<String, f64> = HashMap::new();
+
+    for task in order {
+        let opts = options(afg, task, views, predictor);
+        let mut best: Option<(Option_<'_>, f64)> = None;
+        for opt in opts {
+            let eft =
+                completion_time(afg, task, &opt, net, &finish, &site_of, &host_of, &host_free);
+            if best.as_ref().is_none_or(|(_, b)| eft < *b) {
+                best = Some((opt, eft));
+            }
+        }
+        let (opt, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
+        finish[task.index()] = eft;
+        site_of[task.index()] = Some(opt.site);
+        host_of.insert(task.index(), opt.host.host_name.clone());
+        host_free.insert(opt.host.host_name.clone(), eft);
+        table.insert(placement(afg, task, &opt));
+    }
+    Ok(table)
+}
+
+/// HEFT **with insertion**: like [`heft_schedule`] but each host keeps
+/// its list of busy intervals and a task may be slotted into an earlier
+/// idle gap when the gap fits its execution time — the full algorithm of
+/// the authors' TPDS 2002 paper, as a second-stage ablation over the
+/// no-insertion variant.
+pub fn heft_insertion_schedule(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    let tasks_db = &views
+        .first()
+        .ok_or_else(|| no_feasible(afg, TaskId(0)))?
+        .tasks;
+    let sites = net.site_count();
+    let mut mean_rate = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..sites as u16 {
+        for b in a..sites as u16 {
+            mean_rate += 1.0 / net.link(SiteId(a), SiteId(b)).bandwidth_bps;
+            pairs += 1;
+        }
+    }
+    let per_byte = if pairs > 0 { mean_rate / pairs as f64 } else { 0.0 };
+    let ranks = blevel_map(
+        afg,
+        |t| tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0),
+        |bytes| bytes as f64 * per_byte,
+    )
+    .map_err(|_| SchedulingError::Cyclic)?;
+    let mut order = afg.topo_order().ok_or(SchedulingError::Cyclic)?;
+    order.sort_by(|a, b| {
+        ranks[b.index()]
+            .partial_cmp(&ranks[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let order = topo_consistent(afg, order);
+
+    let n = afg.task_count();
+    let mut table = AllocationTable::new(afg.name.clone());
+    let mut finish = vec![0.0f64; n];
+    let mut site_of: Vec<Option<SiteId>> = vec![None; n];
+    let mut host_of: HashMap<usize, String> = HashMap::new();
+    // Busy intervals per host, kept sorted by start.
+    let mut busy: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+
+    for task in order {
+        let opts = options(afg, task, views, predictor);
+        let mut best: Option<(Option_<'_>, f64, f64)> = None; // (opt, start, finish)
+        for opt in opts {
+            // Data-ready time on this option.
+            let mut ready = 0.0f64;
+            for e in afg.in_edges(task) {
+                let ps = site_of[e.from.index()].expect("parents placed first");
+                let same =
+                    host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+                let xfer =
+                    if same { 0.0 } else { net.transfer_time(ps, opt.site, e.data_size) };
+                ready = ready.max(finish[e.from.index()] + xfer);
+            }
+            // Insertion: earliest gap on the host that fits.
+            let dur = opt.predicted;
+            let slots = busy.entry(opt.host.host_name.clone()).or_default();
+            let mut start = ready;
+            for &(b0, b1) in slots.iter() {
+                if start + dur <= b0 {
+                    break; // fits in the gap before this interval
+                }
+                start = start.max(b1);
+            }
+            let eft = start + dur;
+            if best.as_ref().is_none_or(|(_, _, bf)| eft < *bf) {
+                best = Some((opt, start, eft));
+            }
+        }
+        let (opt, start, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
+        finish[task.index()] = eft;
+        site_of[task.index()] = Some(opt.site);
+        host_of.insert(task.index(), opt.host.host_name.clone());
+        let slots = busy.entry(opt.host.host_name.clone()).or_default();
+        let pos = slots
+            .binary_search_by(|(s, _)| s.partial_cmp(&start).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap_or_else(|p| p);
+        slots.insert(pos, (start, eft));
+        table.insert(placement(afg, task, &opt));
+    }
+    Ok(table)
+}
+
+/// Restore topological consistency of a priority order (parents before
+/// children) while keeping the priority order among independent tasks.
+fn topo_consistent(afg: &Afg, priority: Vec<TaskId>) -> Vec<TaskId> {
+    let n = afg.task_count();
+    let mut pos = vec![0usize; n];
+    for (i, t) in priority.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    let mut remaining = afg.in_degrees();
+    let mut ready: Vec<TaskId> = afg.entry_nodes();
+    let mut out = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let (ri, _) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| pos[t.index()])
+            .expect("ready not empty");
+        let t = ready.swap_remove(ri);
+        out.push(t);
+        for e in afg.out_edges(t) {
+            remaining[e.to.index()] -= 1;
+            if remaining[e.to.index()] == 0 {
+                ready.push(e.to);
+            }
+        }
+    }
+    out
+}
+
+/// Level-priority ordering variants for the E5 ablation: schedule with
+/// the VDCE greedy site scheduler but a different priority function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityOrder {
+    /// The paper's level priority.
+    Level,
+    /// First-in-first-out (task id order).
+    Fifo,
+    /// Seeded random order.
+    Random(u64),
+    /// Worst case: inverse level.
+    ReverseLevel,
+}
+
+/// Produce per-task priorities under `order` (higher runs first).
+pub fn priorities(afg: &Afg, order: PriorityOrder, views: &[&SiteView]) -> Vec<f64> {
+    let n = afg.task_count();
+    match order {
+        PriorityOrder::Level => {
+            let db = &views[0].tasks;
+            level_map(afg, |t| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+                .unwrap_or_else(|_| vec![0.0; n])
+        }
+        PriorityOrder::Fifo => (0..n).map(|i| (n - i) as f64).collect(),
+        PriorityOrder::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n).map(|_| rng.gen::<f64>()).collect()
+        }
+        PriorityOrder::ReverseLevel => {
+            let db = &views[0].tasks;
+            level_map(afg, |t| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+                .map(|v| v.into_iter().map(|x| -x).collect())
+                .unwrap_or_else(|_| vec![0.0; n])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::makespan::evaluate;
+    use crate::site_scheduler::{site_schedule, SchedulerConfig};
+    use vdce_afg::{AfgBuilder, TaskLibrary};
+    use vdce_repository::resources::ResourceRecord;
+    use vdce_repository::SiteRepository;
+    use vdce_afg::MachineType;
+
+    fn site_view(site: u16, hosts: &[(&str, f64)]) -> SiteView {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for (name, speed) in hosts {
+                db.upsert(ResourceRecord::new(
+                    *name,
+                    "10.0.0.1",
+                    MachineType::LinuxPc,
+                    *speed,
+                    1,
+                    1 << 30,
+                    "g0",
+                ));
+            }
+        });
+        SiteView::capture(SiteId(site), &repo)
+    }
+
+    /// Two-layer fan DAG with heterogeneous work.
+    fn fan_afg(width: usize) -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("fan", &lib);
+        let src = b.add_task("Source", "src", 10_000).unwrap();
+        for i in 0..width {
+            let m = b.add_task("Sort", &format!("m{i}"), 200_000 + 50_000 * i as u64).unwrap();
+            b.connect(src, 0, m, 0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn setup() -> (Afg, SiteView, SiteView, NetworkModel, Predictor) {
+        (
+            fan_afg(6),
+            site_view(0, &[("l0", 1.0), ("l1", 2.0)]),
+            site_view(1, &[("r0", 3.0), ("r1", 1.5)]),
+            NetworkModel::with_defaults(2),
+            Predictor::default(),
+        )
+    }
+
+    #[test]
+    fn every_baseline_produces_a_complete_table() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        for table in [
+            random_schedule(&afg, &views, &p, 7).unwrap(),
+            round_robin_schedule(&afg, &views, &p).unwrap(),
+            local_only_schedule(&afg, &local, &p).unwrap(),
+            min_min_schedule(&afg, &views, &net, &p).unwrap(),
+            max_min_schedule(&afg, &views, &net, &p).unwrap(),
+            heft_schedule(&afg, &views, &net, &p).unwrap(),
+        ] {
+            assert!(table.is_complete_for(&afg));
+        }
+    }
+
+    #[test]
+    fn local_only_never_uses_remote_sites() {
+        let (afg, local, _remote, _net, p) = setup();
+        let table = local_only_schedule(&afg, &local, &p).unwrap();
+        assert_eq!(table.sites_used(), vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_seed() {
+        let (afg, local, remote, _net, p) = setup();
+        let views = [&local, &remote];
+        let a = random_schedule(&afg, &views, &p, 1).unwrap();
+        let b = random_schedule(&afg, &views, &p, 1).unwrap();
+        let c = random_schedule(&afg, &views, &p, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_robin_spreads_across_hosts() {
+        let (afg, local, remote, _net, p) = setup();
+        let views = [&local, &remote];
+        let table = round_robin_schedule(&afg, &views, &p).unwrap();
+        assert!(table.hosts_used().len() >= 4, "RR must touch most hosts");
+    }
+
+    #[test]
+    fn min_min_beats_random_on_makespan() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let levels = priorities(&afg, PriorityOrder::Level, &views);
+        let mm = evaluate(&afg, &min_min_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
+            .unwrap();
+        // Average a few random seeds.
+        let mut rnd_sum = 0.0;
+        for seed in 0..5 {
+            let r = evaluate(
+                &afg,
+                &random_schedule(&afg, &views, &p, seed).unwrap(),
+                &net,
+                &levels,
+            )
+            .unwrap();
+            rnd_sum += r.makespan;
+        }
+        assert!(mm.makespan <= rnd_sum / 5.0 * 1.05, "min-min should not lose to random");
+    }
+
+    #[test]
+    fn vdce_beats_local_only_with_fast_remote_site() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let levels = priorities(&afg, PriorityOrder::Level, &views);
+        let cfg = SchedulerConfig::default();
+        let vdce = evaluate(
+            &afg,
+            &site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &cfg).unwrap(),
+            &net,
+            &levels,
+        )
+        .unwrap();
+        let lo = evaluate(&afg, &local_only_schedule(&afg, &local, &p).unwrap(), &net, &levels)
+            .unwrap();
+        assert!(
+            vdce.makespan <= lo.makespan,
+            "federation must not hurt: vdce {} vs local {}",
+            vdce.makespan,
+            lo.makespan
+        );
+    }
+
+    #[test]
+    fn heft_is_competitive_with_min_min() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let levels = priorities(&afg, PriorityOrder::Level, &views);
+        let heft =
+            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
+                .unwrap();
+        let mm = evaluate(&afg, &min_min_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
+            .unwrap();
+        assert!(heft.makespan <= mm.makespan * 1.5);
+    }
+
+    #[test]
+    fn heft_insertion_never_loses_to_no_insertion_here() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let levels = priorities(&afg, PriorityOrder::Level, &views);
+        let plain =
+            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
+                .unwrap();
+        let ins = evaluate(
+            &afg,
+            &heft_insertion_schedule(&afg, &views, &net, &p).unwrap(),
+            &net,
+            &levels,
+        )
+        .unwrap();
+        // Insertion can only move tasks earlier in its own cost model;
+        // under the shared simulator allow a small tolerance.
+        assert!(ins.makespan <= plain.makespan * 1.25,
+            "insertion {} vs plain {}", ins.makespan, plain.makespan);
+    }
+
+    #[test]
+    fn heft_insertion_produces_complete_tables() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let t = heft_insertion_schedule(&afg, &views, &net, &p).unwrap();
+        assert!(t.is_complete_for(&afg));
+    }
+
+    #[test]
+    fn priorities_variants_differ() {
+        let (afg, local, remote, _net, _p) = setup();
+        let views = [&local, &remote];
+        let level = priorities(&afg, PriorityOrder::Level, &views);
+        let fifo = priorities(&afg, PriorityOrder::Fifo, &views);
+        let rev = priorities(&afg, PriorityOrder::ReverseLevel, &views);
+        assert_eq!(level.len(), afg.task_count());
+        assert_ne!(level, fifo);
+        for (l, r) in level.iter().zip(rev.iter()) {
+            assert_eq!(*l, -r);
+        }
+        let r1 = priorities(&afg, PriorityOrder::Random(3), &views);
+        let r2 = priorities(&afg, PriorityOrder::Random(3), &views);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_views_error_cleanly() {
+        let (afg, _, _, net, p) = setup();
+        let views: [&SiteView; 0] = [];
+        assert!(round_robin_schedule(&afg, &views, &p).is_err());
+        assert!(min_min_schedule(&afg, &views, &net, &p).is_err());
+        assert!(heft_schedule(&afg, &views, &net, &p).is_err());
+    }
+
+    #[test]
+    fn topo_consistent_repairs_child_before_parent() {
+        let (afg, ..) = setup();
+        // Deliberately reversed order.
+        let mut rev: Vec<TaskId> = afg.task_ids().collect();
+        rev.reverse();
+        let fixed = topo_consistent(&afg, rev);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; afg.task_count()];
+            for (i, t) in fixed.iter().enumerate() {
+                p[t.index()] = i;
+            }
+            p
+        };
+        for e in &afg.edges {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+}

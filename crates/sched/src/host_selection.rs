@@ -1,0 +1,310 @@
+//! The Host Selection Algorithm (Figure 3).
+//!
+//! ```text
+//! 1. Retrieve task-specific parameters of AFG tasks from the
+//!    task-performance database.
+//! 2. Retrieve resource-specific parameters of a set of resources,
+//!    R = {R1, R2, …, Rm}, from the resource-performance database.
+//! 3. Set task-queue = {task_i | task_i in AFG}.
+//! 4. For each task_i in task-queue:
+//!      · Evaluate Predict(task_i, R_t) for all R_t in R.
+//!      · Assign task_i to R_j, which minimises Predict(task_i, R_j).
+//! ```
+//!
+//! Extended, per §3, "for parallel tasks the host selection algorithm is
+//! updated to select the number of machines required within the site".
+//!
+//! Candidate filtering before the argmin:
+//! - down hosts are skipped (failure detection marks them in the DB);
+//! - the user's *preferred machine type* is honoured as a hard filter;
+//! - a concrete *preferred machine* restricts the candidate set to that
+//!   host;
+//! - the task-constraints database must list the executable on the host
+//!   (an empty constraints database is treated as "everything installed
+//!   everywhere", matching a freshly initialised site).
+//!
+//! A task that no host of the site can run is simply absent from the
+//! output; the site scheduler then tries other sites.
+
+use crate::view::SiteView;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vdce_afg::{Afg, ComputationMode, TaskId};
+use vdce_net::topology::SiteId;
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::{best_node_count, ParallelModel};
+use vdce_repository::resources::ResourceRecord;
+
+/// The hosts chosen for one task at one site, with the minimised
+/// prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskHostChoice {
+    /// Chosen hosts (singleton for sequential tasks).
+    pub hosts: Vec<String>,
+    /// Predicted execution seconds on that choice.
+    pub predicted_seconds: f64,
+}
+
+/// Output of one site's host-selection run: "each site sends the mapping
+/// information of each task, i.e., machine name and predicted execution
+/// time, to the local site" (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSelectionOutput {
+    /// The answering site.
+    pub site: SiteId,
+    /// Best choice per task; tasks infeasible at this site are absent.
+    pub choices: BTreeMap<TaskId, TaskHostChoice>,
+}
+
+impl HostSelectionOutput {
+    /// Best choice for `task` at this site, if feasible.
+    pub fn choice(&self, task: TaskId) -> Option<&TaskHostChoice> {
+        self.choices.get(&task)
+    }
+}
+
+/// Does `host` pass the static filters for `task` in `afg`?
+/// (Shared with the baseline schedulers so every algorithm sees the same
+/// candidate sets.)
+pub fn eligible(view: &SiteView, afg: &Afg, task: TaskId, host: &ResourceRecord) -> bool {
+    let t = afg.task(task);
+    if !host.is_up() {
+        return false;
+    }
+    if !t.props.machine_type.accepts(host.machine) {
+        return false;
+    }
+    if let Some(pref) = &t.props.preferred_host {
+        if *pref != host.host_name {
+            return false;
+        }
+    }
+    // Task-constraints: empty DB = everything installed (fresh site).
+    if !view.constraints.is_empty() && !view.constraints.is_installed(&t.library_task, &host.host_name)
+    {
+        return false;
+    }
+    true
+}
+
+/// Run the host-selection algorithm of Figure 3 for every task of `afg`
+/// against the resources of `view`.
+pub fn host_selection(
+    view: &SiteView,
+    afg: &Afg,
+    predictor: &Predictor,
+    parallel: &ParallelModel,
+) -> HostSelectionOutput {
+    let mut choices = BTreeMap::new();
+    // Collect the site's candidate resource set R once (step 2).
+    let all_hosts: Vec<&ResourceRecord> = view.resources.iter().collect();
+
+    for task in afg.task_ids() {
+        let node = afg.task(task);
+        let candidates: Vec<&ResourceRecord> = all_hosts
+            .iter()
+            .copied()
+            .filter(|h| eligible(view, afg, task, h))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let requested = match node.props.mode {
+            ComputationMode::Sequential => 1,
+            ComputationMode::Parallel => node.props.effective_nodes(),
+        };
+        match best_node_count(
+            predictor,
+            parallel,
+            &view.tasks,
+            &node.library_task,
+            node.problem_size,
+            requested,
+            &candidates,
+        ) {
+            Ok((hosts, secs)) => {
+                choices.insert(
+                    task,
+                    TaskHostChoice {
+                        hosts: hosts.iter().map(|h| h.host_name.clone()).collect(),
+                        predicted_seconds: secs,
+                    },
+                );
+            }
+            Err(_) => continue, // infeasible at this site
+        }
+    }
+    HostSelectionOutput { site: view.site, choices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::{AfgBuilder, IoSpec, MachineType, TaskLibrary};
+    use vdce_repository::resources::{HostStatus, ResourceRecord};
+    use vdce_repository::SiteRepository;
+
+    fn record(name: &str, machine: MachineType, speed: f64) -> ResourceRecord {
+        ResourceRecord::new(name, "10.0.0.1", machine, speed, 1, 1 << 30, "g0")
+    }
+
+    fn view_with(hosts: Vec<ResourceRecord>) -> SiteView {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for h in hosts {
+                db.upsert(h);
+            }
+        });
+        SiteView::capture(SiteId(0), &repo)
+    }
+
+    fn two_task_afg() -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let s = b.add_task("Source", "src", 1000).unwrap();
+        let k = b.add_task("Sink", "snk", 1000).unwrap();
+        b.connect(s, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn run(view: &SiteView, afg: &Afg) -> HostSelectionOutput {
+        host_selection(view, afg, &Predictor::default(), &ParallelModel::default())
+    }
+
+    #[test]
+    fn picks_the_fastest_host() {
+        let view = view_with(vec![
+            record("slow", MachineType::LinuxPc, 1.0),
+            record("fast", MachineType::LinuxPc, 5.0),
+        ]);
+        let afg = two_task_afg();
+        let out = run(&view, &afg);
+        for t in afg.task_ids() {
+            assert_eq!(out.choice(t).unwrap().hosts, vec!["fast".to_string()]);
+        }
+    }
+
+    #[test]
+    fn workload_can_beat_raw_speed() {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(record("fast_but_loaded", MachineType::LinuxPc, 2.0));
+            db.upsert(record("slow_but_idle", MachineType::LinuxPc, 1.5));
+            for _ in 0..4 {
+                db.record_sample("fast_but_loaded", 3.0, 1 << 30);
+            }
+        });
+        let view = SiteView::capture(SiteId(0), &repo);
+        let afg = two_task_afg();
+        let out = run(&view, &afg);
+        // fast host: rate/2 × (1+3) = 2×; idle host: rate/1.5 ≈ 0.67× → idle wins.
+        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["slow_but_idle".to_string()]);
+    }
+
+    #[test]
+    fn down_hosts_are_skipped() {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(record("dead_fast", MachineType::LinuxPc, 10.0));
+            db.upsert(record("alive", MachineType::LinuxPc, 1.0));
+            db.set_status("dead_fast", HostStatus::Down);
+        });
+        let view = SiteView::capture(SiteId(0), &repo);
+        let out = run(&view, &two_task_afg());
+        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["alive".to_string()]);
+    }
+
+    #[test]
+    fn machine_type_preference_is_a_hard_filter() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let t = b.add_task("Source", "s", 100).unwrap();
+        b.set_machine_type(t, MachineType::SunSolaris).unwrap();
+        let k = b.add_task("Sink", "k", 100).unwrap();
+        b.connect(t, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let view = view_with(vec![
+            record("linux_fast", MachineType::LinuxPc, 10.0),
+            record("sun_slow", MachineType::SunSolaris, 1.0),
+        ]);
+        let out = run(&view, &afg);
+        assert_eq!(out.choice(t).unwrap().hosts, vec!["sun_slow".to_string()]);
+        // The unconstrained sink still picks the fast Linux box.
+        assert_eq!(out.choice(k).unwrap().hosts, vec!["linux_fast".to_string()]);
+    }
+
+    #[test]
+    fn preferred_host_pins_the_task() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let t = b.add_task("Source", "s", 100).unwrap();
+        b.set_preferred_host(t, "pin_me").unwrap();
+        let k = b.add_task("Sink", "k", 100).unwrap();
+        b.connect(t, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let view = view_with(vec![
+            record("faster", MachineType::LinuxPc, 10.0),
+            record("pin_me", MachineType::LinuxPc, 1.0),
+        ]);
+        let out = run(&view, &afg);
+        assert_eq!(out.choice(t).unwrap().hosts, vec!["pin_me".to_string()]);
+    }
+
+    #[test]
+    fn missing_preferred_host_makes_task_infeasible_here() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let t = b.add_task("Source", "s", 100).unwrap();
+        b.set_preferred_host(t, "elsewhere").unwrap();
+        let k = b.add_task("Sink", "k", 100).unwrap();
+        b.connect(t, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let view = view_with(vec![record("h", MachineType::LinuxPc, 1.0)]);
+        let out = run(&view, &afg);
+        assert!(out.choice(t).is_none());
+        assert!(out.choice(k).is_some());
+    }
+
+    #[test]
+    fn constraints_db_filters_uninstalled_hosts() {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(record("has_it", MachineType::LinuxPc, 1.0));
+            db.upsert(record("lacks_it", MachineType::LinuxPc, 10.0));
+        });
+        repo.constraints_mut(|db| {
+            db.register("Source", "has_it", "/usr/vdce/tasks/source");
+            db.register("Sink", "has_it", "/usr/vdce/tasks/sink");
+            db.register("Sink", "lacks_it", "/usr/vdce/tasks/sink");
+        });
+        let view = SiteView::capture(SiteId(0), &repo);
+        let out = run(&view, &two_task_afg());
+        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["has_it".to_string()]);
+        assert_eq!(out.choice(TaskId(1)).unwrap().hosts, vec!["lacks_it".to_string()]);
+    }
+
+    #[test]
+    fn parallel_task_gets_a_node_set() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let lu = b.add_task("LU_Decomposition", "lu", 2048).unwrap();
+        b.set_mode(lu, vdce_afg::ComputationMode::Parallel).unwrap();
+        b.set_num_nodes(lu, 4).unwrap();
+        b.set_input(lu, 0, IoSpec::file("/a.dat", 1 << 20)).unwrap();
+        let afg = b.build().unwrap();
+        let view = view_with(
+            (0..6).map(|i| record(&format!("h{i}"), MachineType::LinuxPc, 1.0)).collect(),
+        );
+        let out = run(&view, &afg);
+        let choice = out.choice(lu).unwrap();
+        assert!(choice.hosts.len() > 1 && choice.hosts.len() <= 4);
+    }
+
+    #[test]
+    fn empty_site_yields_empty_output() {
+        let view = view_with(vec![]);
+        let out = run(&view, &two_task_afg());
+        assert!(out.choices.is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # vdce-sched — the VDCE Application Scheduler
+//!
+//! "The main function of the Application Scheduler module in VDCE is to
+//! interpret the application flow graph and to assign the most suitable
+//! available resources for running the application tasks in order to
+//! minimize the schedule length (total execution time) in a transparent
+//! manner" (§3).
+//!
+//! The scheduler is a *list scheduler*: each task's priority is its
+//! **level** (largest sum of base-processor computation costs on any path
+//! to an exit node, `vdce-afg::level`), and two built-in algorithms do the
+//! mapping:
+//!
+//! - [`host_selection`](host_selection::host_selection) — Figure 3: per site, pick for each task the
+//!   resource (or, for parallel tasks, the set of resources) minimising
+//!   the predicted execution time;
+//! - [`site_scheduler`](site_scheduler::site_schedule) — Figure 2: pick the k nearest neighbour sites,
+//!   collect every site's host-selection output, then walk the ready set
+//!   in priority order assigning entry tasks to the fastest site and
+//!   non-entry tasks to the site minimising *input transfer time +
+//!   predicted execution time*.
+//!
+//! Supporting modules: [`view`] (snapshots of a site's databases, i.e.
+//! what the AFG multicast carries back), [`allocation`] (the resource
+//! allocation table handed to the Site Manager), [`makespan`] (schedule
+//! simulation / evaluation), [`baselines`] (random, round-robin, min-min,
+//! max-min, local-only and HEFT comparators for the benchmarks), and
+//! [`federation`] (the multicast protocol over the inter-site message
+//! bus).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allocation;
+pub mod baselines;
+pub mod federation;
+pub mod host_selection;
+pub mod makespan;
+pub mod site_scheduler;
+pub mod view;
+
+pub use allocation::{AllocationTable, TaskPlacement};
+pub use host_selection::{host_selection, HostSelectionOutput, TaskHostChoice};
+pub use makespan::{evaluate, Schedule, TimedTask};
+pub use site_scheduler::{site_schedule, SchedulerConfig, SchedulingError};
+pub use view::SiteView;

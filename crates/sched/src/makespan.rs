@@ -1,0 +1,368 @@
+//! Schedule evaluation: simulate an allocation table into start/finish
+//! times and a makespan.
+//!
+//! The paper's scheduler minimises "the schedule length (total execution
+//! time)" (§3) but, like most list schedulers of its generation, assigns
+//! greedily without modelling host contention. This simulator provides
+//! the ground truth the benchmarks compare on: given an AFG, an
+//! allocation table and the network model, it derives each task's start
+//! and finish time under
+//!
+//! - **precedence**: a task starts only after every input has arrived
+//!   (parent finish + inter-site transfer time; transfers between tasks
+//!   on the same host are free);
+//! - **host exclusivity**: each host runs one task at a time, in the
+//!   order tasks become ready (level-priority tie-break, matching the
+//!   runtime's dispatch order);
+//! - **duration**: the placement's predicted execution time.
+
+use crate::allocation::AllocationTable;
+use vdce_afg::level::LevelError;
+use vdce_afg::{Afg, TaskId};
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Timed placement of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedTask {
+    /// The task.
+    pub task: TaskId,
+    /// Site it runs at.
+    pub site: SiteId,
+    /// Hosts it occupies.
+    pub hosts: Vec<String>,
+    /// Simulated start time (s).
+    pub start: f64,
+    /// Simulated finish time (s).
+    pub finish: f64,
+}
+
+/// A fully timed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Per-task timings, indexed by [`TaskId`].
+    pub tasks: Vec<TimedTask>,
+    /// Latest finish time.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Schedule-length ratio: makespan normalised by the critical path
+    /// (lower is better; 1.0 is optimal for compute-bound DAGs).
+    pub fn slr(&self, critical_path: f64) -> f64 {
+        if critical_path > 0.0 {
+            self.makespan / critical_path
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Average host utilisation over `hosts` during the makespan: busy
+    /// time divided by `hosts × makespan`.
+    pub fn utilisation(&self, host_count: usize) -> f64 {
+        if host_count == 0 || self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .tasks
+            .iter()
+            .map(|t| (t.finish - t.start) * t.hosts.len() as f64)
+            .sum();
+        busy / (host_count as f64 * self.makespan)
+    }
+}
+
+/// Why evaluation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The table lacks a placement for a task.
+    MissingPlacement(TaskId),
+    /// The AFG has a cycle.
+    Cyclic,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingPlacement(t) => write!(f, "no placement for task {t}"),
+            EvalError::Cyclic => write!(f, "application flow graph has a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<LevelError> for EvalError {
+    fn from(_: LevelError) -> Self {
+        EvalError::Cyclic
+    }
+}
+
+/// Simulate `table` for `afg` under `net`. `levels` orders contending
+/// ready tasks (highest first) — pass the same levels the scheduler used.
+pub fn evaluate(
+    afg: &Afg,
+    table: &AllocationTable,
+    net: &NetworkModel,
+    levels: &[f64],
+) -> Result<Schedule, EvalError> {
+    let n = afg.task_count();
+    for t in afg.task_ids() {
+        if table.placement(t).is_none() {
+            return Err(EvalError::MissingPlacement(t));
+        }
+    }
+    if !afg.is_dag() {
+        return Err(EvalError::Cyclic);
+    }
+
+    let mut finish = vec![0.0f64; n];
+    let mut timed: Vec<Option<TimedTask>> = vec![None; n];
+    let mut host_free: HashMap<&str, f64> = HashMap::new();
+
+    let mut remaining = afg.in_degrees();
+    let mut ready: Vec<TaskId> = afg.entry_nodes();
+
+    while !ready.is_empty() {
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                levels[a.index()]
+                    .partial_cmp(&levels[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(a))
+            })
+            .expect("ready not empty");
+        let task = ready.swap_remove(pos);
+        let p = table.placement(task).expect("checked above");
+
+        // Data-ready time: all inputs arrived.
+        let mut data_ready = 0.0f64;
+        for e in afg.in_edges(task) {
+            let pp = table.placement(e.from).expect("checked above");
+            let same_host = pp.hosts.iter().any(|h| p.hosts.contains(h));
+            let xfer = if same_host {
+                0.0
+            } else {
+                net.transfer_time(pp.site, p.site, e.data_size)
+            };
+            data_ready = data_ready.max(finish[e.from.index()] + xfer);
+        }
+
+        // Host availability: every assigned host must be free.
+        let hosts_ready = p
+            .hosts
+            .iter()
+            .map(|h| host_free.get(h.as_str()).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+
+        let start = data_ready.max(hosts_ready);
+        let end = start + p.predicted_seconds.max(0.0);
+        finish[task.index()] = end;
+        for h in &p.hosts {
+            // Keys borrow from the table, which outlives this map.
+            host_free.insert(h.as_str(), end);
+        }
+        timed[task.index()] = Some(TimedTask {
+            task,
+            site: p.site,
+            hosts: p.hosts.clone(),
+            start,
+            finish: end,
+        });
+
+        for e in afg.out_edges(task) {
+            remaining[e.to.index()] -= 1;
+            if remaining[e.to.index()] == 0 {
+                ready.push(e.to);
+            }
+        }
+    }
+
+    let tasks: Vec<TimedTask> =
+        timed.into_iter().map(|t| t.expect("DAG walk covers all tasks")).collect();
+    let makespan = tasks.iter().map(|t| t.finish).fold(0.0, f64::max);
+    Ok(Schedule { tasks, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::TaskPlacement;
+    use vdce_afg::level::level_map;
+    use vdce_afg::{AfgBuilder, TaskLibrary};
+    use vdce_net::model::LinkParams;
+
+    fn chain() -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("chain", &lib);
+        let s = b.add_task("Source", "s", 1000).unwrap();
+        let m = b.add_task("Map", "m", 1000).unwrap();
+        let k = b.add_task("Sink", "k", 1000).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn place(afg: &Afg, assign: &[(&str, u16, f64)]) -> AllocationTable {
+        let mut t = AllocationTable::new(&afg.name);
+        for (i, (host, site, secs)) in assign.iter().enumerate() {
+            t.insert(TaskPlacement {
+                task: TaskId(i as u32),
+                task_name: afg.task(TaskId(i as u32)).name.clone(),
+                site: SiteId(*site),
+                hosts: vec![host.to_string()],
+                predicted_seconds: *secs,
+            });
+        }
+        t
+    }
+
+    fn unit_levels(afg: &Afg) -> Vec<f64> {
+        level_map(afg, |_| 1.0).unwrap()
+    }
+
+    #[test]
+    fn same_host_chain_is_sum_of_durations() {
+        let afg = chain();
+        let table = place(&afg, &[("h", 0, 1.0), ("h", 0, 2.0), ("h", 0, 3.0)]);
+        let net = NetworkModel::with_defaults(1);
+        let s = evaluate(&afg, &table, &net, &unit_levels(&afg)).unwrap();
+        assert!((s.makespan - 6.0).abs() < 1e-12, "no transfer cost on one host");
+        assert_eq!(s.tasks[1].start, 1.0);
+        assert_eq!(s.tasks[2].start, 3.0);
+    }
+
+    #[test]
+    fn cross_site_chain_pays_transfers() {
+        let afg = chain();
+        let table = place(&afg, &[("a", 0, 1.0), ("b", 1, 1.0), ("c", 0, 1.0)]);
+        let mut net = NetworkModel::with_defaults(2);
+        net.set_link(SiteId(0), SiteId(1), LinkParams::new(0.5, 1e12));
+        let s = evaluate(&afg, &table, &net, &unit_levels(&afg)).unwrap();
+        // 1 + 0.5 + 1 + 0.5 + 1 = 4 (bandwidth term negligible).
+        assert!((s.makespan - 4.0).abs() < 1e-6, "got {}", s.makespan);
+    }
+
+    #[test]
+    fn host_contention_serialises_parallel_branches() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("fork", &lib);
+        let s = b.add_task("Source", "s", 10).unwrap();
+        let l = b.add_task("Map", "l", 10).unwrap();
+        let r = b.add_task("Map", "r", 10).unwrap();
+        b.connect(s, 0, l, 0).unwrap();
+        b.connect(s, 0, r, 0).unwrap();
+        let afg = b.build().unwrap();
+        let net = NetworkModel::with_defaults(1);
+        let levels = unit_levels(&afg);
+
+        // Both branches on one host: serialised.
+        let one = place(&afg, &[("h", 0, 1.0), ("h", 0, 5.0), ("h", 0, 5.0)]);
+        let s1 = evaluate(&afg, &one, &net, &levels).unwrap();
+        assert!((s1.makespan - 11.0).abs() < 1e-12);
+
+        // On two hosts: overlapped (plus intra-site transfer).
+        let two = place(&afg, &[("h", 0, 1.0), ("h", 0, 5.0), ("g", 0, 5.0)]);
+        let s2 = evaluate(&afg, &two, &net, &levels).unwrap();
+        assert!(s2.makespan < s1.makespan);
+    }
+
+    #[test]
+    fn higher_level_branch_runs_first_under_contention() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("fork", &lib);
+        let s = b.add_task("Source", "s", 10).unwrap();
+        let l = b.add_task("Map", "l", 10).unwrap();
+        let r = b.add_task("Map", "r", 10).unwrap();
+        b.connect(s, 0, l, 0).unwrap();
+        b.connect(s, 0, r, 0).unwrap();
+        let afg = b.build().unwrap();
+        let net = NetworkModel::with_defaults(1);
+        let table = place(&afg, &[("h", 0, 1.0), ("h", 0, 1.0), ("h", 0, 1.0)]);
+        // Give r a higher level than l.
+        let mut levels = unit_levels(&afg);
+        levels[2] = 100.0;
+        let sched = evaluate(&afg, &table, &net, &levels).unwrap();
+        assert!(sched.tasks[2].start < sched.tasks[1].start);
+    }
+
+    #[test]
+    fn missing_placement_is_an_error() {
+        let afg = chain();
+        let mut table = place(&afg, &[("h", 0, 1.0), ("h", 0, 1.0), ("h", 0, 1.0)]);
+        table = {
+            // Rebuild without task 2.
+            let mut t2 = AllocationTable::new(&afg.name);
+            for p in table.iter().filter(|p| p.task != TaskId(2)) {
+                t2.insert(p.clone());
+            }
+            t2
+        };
+        let net = NetworkModel::with_defaults(1);
+        assert_eq!(
+            evaluate(&afg, &table, &net, &unit_levels(&afg)),
+            Err(EvalError::MissingPlacement(TaskId(2)))
+        );
+    }
+
+    #[test]
+    fn slr_and_utilisation() {
+        let afg = chain();
+        let table = place(&afg, &[("h", 0, 1.0), ("h", 0, 1.0), ("h", 0, 1.0)]);
+        let net = NetworkModel::with_defaults(1);
+        let s = evaluate(&afg, &table, &net, &unit_levels(&afg)).unwrap();
+        assert!((s.slr(3.0) - 1.0).abs() < 1e-12);
+        assert!(s.slr(0.0).is_infinite());
+        // One host busy the whole time.
+        assert!((s.utilisation(1) - 1.0).abs() < 1e-12);
+        assert!((s.utilisation(2) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn multi_host_parallel_task_blocks_all_its_hosts() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("p", &lib);
+        let s = b.add_task("Source", "s", 10).unwrap();
+        let lu = b.add_task("LU_Decomposition", "lu", 64).unwrap();
+        b.set_mode(lu, vdce_afg::ComputationMode::Parallel).unwrap();
+        b.set_num_nodes(lu, 2).unwrap();
+        let m = b.add_task("Map", "m", 10).unwrap();
+        b.connect(s, 0, lu, 0).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let mut table = AllocationTable::new("p");
+        table.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "s".into(),
+            site: SiteId(0),
+            hosts: vec!["a".into()],
+            predicted_seconds: 1.0,
+        });
+        table.insert(TaskPlacement {
+            task: TaskId(1),
+            task_name: "lu".into(),
+            site: SiteId(0),
+            hosts: vec!["a".into(), "b".into()],
+            predicted_seconds: 4.0,
+        });
+        table.insert(TaskPlacement {
+            task: TaskId(2),
+            task_name: "m".into(),
+            site: SiteId(0),
+            hosts: vec!["b".into()],
+            predicted_seconds: 1.0,
+        });
+        let net = NetworkModel::with_defaults(1);
+        // Make LU (task 1) the higher-priority branch so it grabs b first.
+        let levels = vec![10.0, 5.0, 1.0];
+        let s = evaluate(&afg, &table, &net, &levels).unwrap();
+        // m shares host b with the parallel LU → must wait for it.
+        assert!(s.tasks[2].start >= s.tasks[1].finish);
+    }
+}

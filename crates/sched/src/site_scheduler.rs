@@ -1,0 +1,482 @@
+//! The Site Scheduler Algorithm (Figure 2).
+//!
+//! ```text
+//! 1. Receive application flow graph from Application Editor.
+//! 2. Select k nearest VDCE neighbour sites S_remote = {S1 … Sk} for S_local.
+//! 3. Multicast application flow graph to each S_i in S_remote.
+//! 4. Call Host-Selection-Algorithm (local and remote sites).
+//! 5. Receive the outputs of Host-Selection from each S_i in S_remote.
+//! 6. Initialise ready-tasks = {task_i | task_i is an entry node}.
+//! 7. For each task_i in ready-tasks (highest level first):
+//!      If task_i is an entry task or requires no input:
+//!        · Assign task_i to S_j minimising Predict(task_i, R_j).
+//!      Else:
+//!        · Determine the site(s) S_parent assigned to parents of task_i.
+//!        · For each S_j: Timetotal(task_i, S_j) =
+//!              transfer_time(S_parent, S_j) × file_size
+//!            + Predict(task_i, R_j)
+//!        · Assign task_i to S_j minimising Timetotal(task_i, S_j).
+//!      Store resource allocation information for task_i.
+//!      Update ready-tasks: remove task_i, add its ready children.
+//! ```
+//!
+//! This module is the *algorithm*; the multicast of steps 3–5 is executed
+//! in-process here (each site's view is already available) and over the
+//! inter-site message bus in [`crate::federation`].
+
+use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::host_selection::{host_selection, HostSelectionOutput};
+use crate::view::SiteView;
+use vdce_afg::level::{level_map, LevelError};
+use vdce_afg::{Afg, TaskId};
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::ParallelModel;
+use std::fmt;
+
+/// Tunables of the site scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// How many nearest neighbour sites to involve (k in Figure 2).
+    /// 0 = schedule on the local site only.
+    pub k_neighbours: usize,
+    /// Prediction model tunables.
+    pub predictor: Predictor,
+    /// Parallel-task model tunables.
+    pub parallel: ParallelModel,
+    /// Ablation knob: ignore the transfer-time term of Figure 2's
+    /// `Timetotal` and place purely on `Predict(task, R)` (DESIGN.md §7,
+    /// decision 4). The paper's algorithm has this `false`.
+    pub ignore_transfer_time: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            k_neighbours: 3,
+            predictor: Predictor::default(),
+            parallel: ParallelModel::default(),
+            ignore_transfer_time: false,
+        }
+    }
+}
+
+/// Scheduling failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulingError {
+    /// The AFG has a cycle (level computation failed).
+    Cyclic,
+    /// No involved site can run this task at all.
+    NoFeasibleSite {
+        /// The unplaceable task.
+        task: TaskId,
+        /// Its instance name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingError::Cyclic => write!(f, "application flow graph has a cycle"),
+            SchedulingError::NoFeasibleSite { task, name } => {
+                write!(f, "no site can run task {task} (`{name}`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulingError {}
+
+impl From<LevelError> for SchedulingError {
+    fn from(_: LevelError) -> Self {
+        SchedulingError::Cyclic
+    }
+}
+
+/// Run the site-scheduler algorithm.
+///
+/// `remotes` are the views of *all* reachable remote sites; step 2 picks
+/// the `config.k_neighbours` nearest ones according to `net`. The local
+/// site always participates.
+pub fn site_schedule(
+    afg: &Afg,
+    local: &SiteView,
+    remotes: &[SiteView],
+    net: &NetworkModel,
+    config: &SchedulerConfig,
+) -> Result<AllocationTable, SchedulingError> {
+    // Priorities: level of each node on base-processor execution times
+    // (task-performance DB of the local site).
+    let tasks_db = &local.tasks;
+    let levels = level_map(afg, |t| {
+        tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+    })?;
+
+    // Step 2: k nearest neighbour sites that actually sent views.
+    let neighbours = net.nearest_neighbours(local.site, config.k_neighbours);
+    let mut involved: Vec<&SiteView> = vec![local];
+    for n in neighbours {
+        if let Some(v) = remotes.iter().find(|v| v.site == n) {
+            involved.push(v);
+        }
+    }
+
+    // Steps 3–5: host selection at every involved site.
+    let outputs: Vec<HostSelectionOutput> = involved
+        .iter()
+        .map(|v| host_selection(v, afg, &config.predictor, &config.parallel))
+        .collect();
+
+    if config.ignore_transfer_time {
+        schedule_with_outputs_opts(afg, &levels, local.site, &outputs, net, true)
+    } else {
+        schedule_with_outputs(afg, &levels, local.site, &outputs, net)
+    }
+}
+
+/// Steps 6–7 of Figure 2, given the collected host-selection outputs.
+/// Shared by the in-process scheduler above and the bus-based federation
+/// protocol.
+pub fn schedule_with_outputs(
+    afg: &Afg,
+    levels: &[f64],
+    local_site: SiteId,
+    outputs: &[HostSelectionOutput],
+    net: &NetworkModel,
+) -> Result<AllocationTable, SchedulingError> {
+    schedule_with_outputs_opts(afg, levels, local_site, outputs, net, false)
+}
+
+/// [`schedule_with_outputs`] with the transfer-term ablation knob.
+pub fn schedule_with_outputs_opts(
+    afg: &Afg,
+    levels: &[f64],
+    local_site: SiteId,
+    outputs: &[HostSelectionOutput],
+    net: &NetworkModel,
+    ignore_transfer_time: bool,
+) -> Result<AllocationTable, SchedulingError> {
+    let mut table = AllocationTable::new(afg.name.clone());
+    let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
+
+    // Step 6: ready set = entry nodes.
+    let mut remaining_parents = afg.in_degrees();
+    let mut ready: Vec<TaskId> = afg.entry_nodes();
+
+    let mut placed = 0usize;
+    while !ready.is_empty() {
+        // Highest level first; ties by ascending id.
+        let (pos, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                levels[a.index()]
+                    .partial_cmp(&levels[b.index()])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(a))
+            })
+            .expect("ready not empty");
+        let task = ready.swap_remove(pos);
+        let node = afg.task(task);
+
+        // Candidate (site, choice) pairs.
+        let mut best: Option<(SiteId, &crate::host_selection::TaskHostChoice, f64)> = None;
+        let no_input =
+            ignore_transfer_time || afg.in_edges(task).next().is_none();
+        for out in outputs {
+            let Some(choice) = out.choice(task) else { continue };
+            let total = if no_input {
+                // Entry task (or no dataflow input): pure Predict.
+                choice.predicted_seconds
+            } else {
+                // Σ over in-edges of transfer from the parent's site.
+                let mut xfer = 0.0;
+                for e in afg.in_edges(task) {
+                    let parent_site = site_of_task[e.from.index()]
+                        .expect("parents are placed before children in a DAG walk");
+                    xfer += net.transfer_time(parent_site, out.site, e.data_size);
+                }
+                xfer + choice.predicted_seconds
+            };
+            let better = match best {
+                None => true,
+                Some((bsite, _, btotal)) => {
+                    total < btotal - 1e-15
+                        || ((total - btotal).abs() <= 1e-15
+                            && site_rank(out.site, local_site) < site_rank(bsite, local_site))
+                }
+            };
+            if better {
+                best = Some((out.site, choice, total));
+            }
+        }
+
+        let (site, choice, _) = best.ok_or_else(|| SchedulingError::NoFeasibleSite {
+            task,
+            name: node.name.clone(),
+        })?;
+        site_of_task[task.index()] = Some(site);
+        table.insert(TaskPlacement {
+            task,
+            task_name: node.name.clone(),
+            site,
+            hosts: choice.hosts.clone(),
+            predicted_seconds: choice.predicted_seconds,
+        });
+        placed += 1;
+
+        // Update the ready set with children whose parents are all placed.
+        for e in afg.out_edges(task) {
+            remaining_parents[e.to.index()] -= 1;
+            if remaining_parents[e.to.index()] == 0 {
+                ready.push(e.to);
+            }
+        }
+    }
+
+    debug_assert_eq!(placed, afg.task_count(), "DAG walk must reach every task");
+    Ok(table)
+}
+
+/// Tie-break rank: local site first, then ascending site id.
+fn site_rank(site: SiteId, local: SiteId) -> (u8, u16) {
+    if site == local {
+        (0, site.0)
+    } else {
+        (1, site.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::{AfgBuilder, MachineType, TaskLibrary};
+    use vdce_net::model::LinkParams;
+    use vdce_repository::resources::ResourceRecord;
+    use vdce_repository::SiteRepository;
+
+    fn site_view(site: u16, hosts: &[(&str, f64)]) -> SiteView {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for (name, speed) in hosts {
+                db.upsert(ResourceRecord::new(
+                    *name,
+                    "10.0.0.1",
+                    MachineType::LinuxPc,
+                    *speed,
+                    1,
+                    1 << 30,
+                    "g0",
+                ));
+            }
+        });
+        SiteView::capture(SiteId(site), &repo)
+    }
+
+    /// source -> sort -> sink chain with large dataflow.
+    fn chain_afg(n: u64) -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("chain", &lib);
+        let s = b.add_task("Source", "src", n).unwrap();
+        let m = b.add_task("Sort", "sort", n).unwrap();
+        let k = b.add_task("Sink", "snk", n).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn cfg(k: usize) -> SchedulerConfig {
+        SchedulerConfig { k_neighbours: k, ..SchedulerConfig::default() }
+    }
+
+    #[test]
+    fn single_site_places_every_task_locally() {
+        let local = site_view(0, &[("h0", 1.0), ("h1", 2.0)]);
+        let net = NetworkModel::with_defaults(1);
+        let afg = chain_afg(10_000);
+        let table = site_schedule(&afg, &local, &[], &net, &cfg(3)).unwrap();
+        assert!(table.is_complete_for(&afg));
+        assert_eq!(table.sites_used(), vec![SiteId(0)]);
+        // Every task lands on the faster host.
+        for p in table.iter() {
+            assert_eq!(p.hosts, vec!["h1".to_string()]);
+        }
+    }
+
+    #[test]
+    fn remote_site_with_much_faster_hosts_wins_entry_tasks() {
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 20.0)]);
+        let net = NetworkModel::with_defaults(2);
+        let afg = chain_afg(2_000_000);
+        let table = site_schedule(&afg, &local, &[remote], &net, &cfg(1)).unwrap();
+        assert_eq!(table.placement(TaskId(0)).unwrap().site, SiteId(1));
+    }
+
+    #[test]
+    fn k_zero_disables_remote_sites() {
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 20.0)]);
+        let net = NetworkModel::with_defaults(2);
+        let afg = chain_afg(2_000_000);
+        let table = site_schedule(&afg, &local, &[remote], &net, &cfg(0)).unwrap();
+        assert_eq!(table.sites_used(), vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn expensive_transfer_keeps_children_near_parents() {
+        // Remote is 3× faster, but the WAN link is made brutally slow so
+        // the transfer term dominates for non-entry tasks.
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 3.0)]);
+        let mut net = NetworkModel::with_defaults(2);
+        net.set_link(SiteId(0), SiteId(1), LinkParams::new(30.0, 1_000.0));
+        let afg = chain_afg(100_000);
+        let table = site_schedule(&afg, &local, &[remote], &net, &cfg(1)).unwrap();
+        let entry_site = table.placement(TaskId(0)).unwrap().site;
+        // Children follow the entry task's site to dodge the transfer.
+        assert_eq!(table.placement(TaskId(1)).unwrap().site, entry_site);
+        assert_eq!(table.placement(TaskId(2)).unwrap().site, entry_site);
+    }
+
+    #[test]
+    fn cheap_network_lets_tasks_spread_to_faster_sites() {
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 10.0)]);
+        let mut net = NetworkModel::with_defaults(2);
+        // Make every link (including intra-site) essentially free.
+        for a in 0..2u16 {
+            for b in a..2u16 {
+                net.set_link(SiteId(a), SiteId(b), LinkParams::new(1e-6, 1e12));
+            }
+        }
+        let afg = chain_afg(2_000_000);
+        let table = site_schedule(&afg, &local, &[remote], &net, &cfg(1)).unwrap();
+        for p in table.iter() {
+            assert_eq!(p.site, SiteId(1), "free network → all tasks on the fast site");
+        }
+    }
+
+    #[test]
+    fn infeasible_everywhere_is_an_error() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let t = b.add_task("Source", "s", 10).unwrap();
+        b.set_preferred_host(t, "nonexistent").unwrap();
+        let k = b.add_task("Sink", "k", 10).unwrap();
+        b.connect(t, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let local = site_view(0, &[("h", 1.0)]);
+        let net = NetworkModel::with_defaults(1);
+        let err = site_schedule(&afg, &local, &[], &net, &cfg(0)).unwrap_err();
+        assert!(matches!(err, SchedulingError::NoFeasibleSite { task, .. } if task == t));
+        assert!(err.to_string().contains("`s`"));
+    }
+
+    #[test]
+    fn task_infeasible_locally_is_placed_remotely() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("app", &lib);
+        let t = b.add_task("Source", "s", 10).unwrap();
+        b.set_machine_type(t, MachineType::SunSolaris).unwrap();
+        let k = b.add_task("Sink", "k", 10).unwrap();
+        b.connect(t, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let local = site_view(0, &[("linux", 1.0)]); // no Solaris locally
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(ResourceRecord::new(
+                "sun", "10.0.0.2", MachineType::SunSolaris, 1.0, 1, 1 << 30, "g0",
+            ));
+        });
+        let remote = SiteView::capture(SiteId(1), &repo);
+        let net = NetworkModel::with_defaults(2);
+        let table = site_schedule(&afg, &local, &[remote], &net, &cfg(1)).unwrap();
+        assert_eq!(table.placement(t).unwrap().site, SiteId(1));
+        // The sink follows its parent to site 1: the tiny dataflow is
+        // cheaper intra-site than over the WAN link back to site 0.
+        assert_eq!(table.placement(k).unwrap().site, SiteId(1));
+        assert_eq!(table.placement(k).unwrap().hosts, vec!["sun".to_string()]);
+    }
+
+    #[test]
+    fn only_k_nearest_sites_are_involved() {
+        let local = site_view(0, &[("l0", 1.0)]);
+        let near = site_view(1, &[("n0", 5.0)]);
+        let far = site_view(2, &[("f0", 50.0)]);
+        let mut net = NetworkModel::with_defaults(3);
+        net.set_link(SiteId(0), SiteId(1), LinkParams::new(0.001, 1e9));
+        net.set_link(SiteId(0), SiteId(2), LinkParams::new(0.5, 1e9));
+        let afg = chain_afg(2_000_000);
+        // k=1: only site 1 may be used even though site 2 is faster.
+        let table =
+            site_schedule(&afg, &local, &[near.clone(), far.clone()], &net, &cfg(1)).unwrap();
+        assert!(!table.sites_used().contains(&SiteId(2)));
+        // k=2: the far fast site becomes available.
+        let table2 = site_schedule(&afg, &local, &[near, far], &net, &cfg(2)).unwrap();
+        assert!(table2.sites_used().contains(&SiteId(2)));
+    }
+
+    #[test]
+    fn missing_remote_view_is_tolerated() {
+        // Neighbour selection may name a site that sent no view (e.g. its
+        // manager is down) — scheduling proceeds without it.
+        let local = site_view(0, &[("l0", 1.0)]);
+        let net = NetworkModel::with_defaults(4);
+        let afg = chain_afg(1000);
+        let table = site_schedule(&afg, &local, &[], &net, &cfg(3)).unwrap();
+        assert!(table.is_complete_for(&afg));
+    }
+
+    #[test]
+    fn transfer_ablation_ignores_parent_locality() {
+        // Remote is barely faster, but the WAN link is slow: the faithful
+        // algorithm keeps children with their parents, the ablated one
+        // chases the faster host across the WAN.
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 1.3)]);
+        let mut net = NetworkModel::with_defaults(2);
+        net.set_link(SiteId(0), SiteId(1), LinkParams::new(5.0, 10_000.0));
+        let afg = chain_afg(100_000);
+        let faithful =
+            site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &cfg(1)).unwrap();
+        let ablated = site_schedule(
+            &afg,
+            &local,
+            &[remote],
+            &net,
+            &SchedulerConfig { k_neighbours: 1, ignore_transfer_time: true, ..cfg(1) },
+        )
+        .unwrap();
+        // Ablated: every task independently picks the faster remote host.
+        for p in ablated.iter() {
+            assert_eq!(p.site, SiteId(1));
+        }
+        // Faithful: after the entry task lands remotely, children stay
+        // with it; crucially the two differ in *why* — verify the
+        // faithful one would not pay the WAN both ways for a local entry.
+        assert!(faithful.is_complete_for(&afg));
+    }
+
+    #[test]
+    fn diamond_parents_all_placed_before_children() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("d", &lib);
+        let a = b.add_task("Source", "a", 1000).unwrap();
+        let l = b.add_task("Map", "l", 1000).unwrap();
+        let r = b.add_task("Map", "r", 1000).unwrap();
+        let j = b.add_task("Matrix_Add", "j", 64).unwrap();
+        b.connect(a, 0, l, 0).unwrap();
+        b.connect(a, 0, r, 0).unwrap();
+        b.connect(l, 0, j, 0).unwrap();
+        b.connect(r, 0, j, 1).unwrap();
+        let afg = b.build().unwrap();
+        let local = site_view(0, &[("h0", 1.0), ("h1", 1.0)]);
+        let net = NetworkModel::with_defaults(1);
+        let table = site_schedule(&afg, &local, &[], &net, &cfg(0)).unwrap();
+        assert!(table.is_complete_for(&afg));
+    }
+}

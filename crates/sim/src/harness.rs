@@ -1,0 +1,363 @@
+//! Canned experiments shared by the `exp_*` binaries, the Criterion
+//! benches, and the integration tests.
+
+use crate::metrics::Table;
+use crate::trace;
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+use vdce_afg::level::{critical_path, level_map};
+use vdce_afg::Afg;
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_predict::model::Predictor;
+use vdce_repository::SiteRepository;
+use vdce_runtime::group::{FlagEcho, GroupManager};
+use vdce_runtime::monitor::{LoadProbe, MonitorDaemon, SyntheticProbe};
+use vdce_runtime::site_manager::SiteManager;
+use vdce_runtime::EventLog;
+use vdce_sched::baselines;
+use vdce_sched::makespan::evaluate;
+use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
+use vdce_sched::view::SiteView;
+
+/// The scheduling algorithms compared in experiments E2/E5/E9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The paper's site scheduler with `k` nearest neighbour sites.
+    Vdce {
+        /// Neighbour count.
+        k: usize,
+    },
+    /// Best local host only, no federation.
+    LocalOnly,
+    /// Uniform random feasible placement.
+    Random(
+        /// Seed.
+        u64,
+    ),
+    /// Round-robin over all hosts.
+    RoundRobin,
+    /// Min-min completion-time heuristic.
+    MinMin,
+    /// Max-min completion-time heuristic.
+    MaxMin,
+    /// HEFT (no insertion) — the E9 extension.
+    Heft,
+    /// HEFT with insertion-based slot search (full TPDS 2002 algorithm).
+    HeftInsertion,
+    /// The paper's scheduler with the transfer-time term ablated
+    /// (DESIGN.md §7 decision 4).
+    VdceNoTransfer {
+        /// Neighbour count.
+        k: usize,
+    },
+}
+
+impl SchedulerKind {
+    /// Display name used in tables.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerKind::Vdce { k } => format!("vdce(k={k})"),
+            SchedulerKind::LocalOnly => "local-only".into(),
+            SchedulerKind::Random(_) => "random".into(),
+            SchedulerKind::RoundRobin => "round-robin".into(),
+            SchedulerKind::MinMin => "min-min".into(),
+            SchedulerKind::MaxMin => "max-min".into(),
+            SchedulerKind::Heft => "heft".into(),
+            SchedulerKind::HeftInsertion => "heft+insertion".into(),
+            SchedulerKind::VdceNoTransfer { k } => format!("vdce-noxfer(k={k})"),
+        }
+    }
+}
+
+/// One scheduler's result on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Simulated makespan in seconds.
+    pub makespan: f64,
+    /// Schedule-length ratio (makespan / critical path).
+    pub slr: f64,
+    /// Distinct sites used.
+    pub sites_used: usize,
+    /// Distinct hosts used.
+    pub hosts_used: usize,
+}
+
+/// Schedule `afg` with each algorithm and evaluate every table with the
+/// same simulator (`vdce_sched::makespan::evaluate`) and the same level
+/// priorities, so makespans are directly comparable. Algorithms that fail
+/// (e.g. local-only when a task is locally infeasible) are skipped.
+pub fn compare_schedulers(
+    afg: &Afg,
+    local: &SiteView,
+    remotes: &[SiteView],
+    net: &NetworkModel,
+    kinds: &[SchedulerKind],
+) -> Vec<ComparisonRow> {
+    let db = &local.tasks;
+    let cost = |t: &vdce_afg::TaskNode| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0);
+    let levels = level_map(afg, cost).expect("experiment DAGs are acyclic");
+    let cp = critical_path(afg, cost).expect("acyclic");
+    let predictor = Predictor::default();
+
+    let all_views: Vec<&SiteView> = std::iter::once(local).chain(remotes.iter()).collect();
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let table = match kind {
+            SchedulerKind::Vdce { k } => {
+                let cfg = SchedulerConfig { k_neighbours: *k, ..SchedulerConfig::default() };
+                site_schedule(afg, local, remotes, net, &cfg)
+            }
+            SchedulerKind::LocalOnly => baselines::local_only_schedule(afg, local, &predictor),
+            SchedulerKind::Random(seed) => {
+                baselines::random_schedule(afg, &all_views, &predictor, *seed)
+            }
+            SchedulerKind::RoundRobin => {
+                baselines::round_robin_schedule(afg, &all_views, &predictor)
+            }
+            SchedulerKind::MinMin => {
+                baselines::min_min_schedule(afg, &all_views, net, &predictor)
+            }
+            SchedulerKind::MaxMin => {
+                baselines::max_min_schedule(afg, &all_views, net, &predictor)
+            }
+            SchedulerKind::Heft => baselines::heft_schedule(afg, &all_views, net, &predictor),
+            SchedulerKind::HeftInsertion => {
+                baselines::heft_insertion_schedule(afg, &all_views, net, &predictor)
+            }
+            SchedulerKind::VdceNoTransfer { k } => {
+                let cfg = SchedulerConfig {
+                    k_neighbours: *k,
+                    ignore_transfer_time: true,
+                    ..SchedulerConfig::default()
+                };
+                site_schedule(afg, local, remotes, net, &cfg)
+            }
+        };
+        let Ok(table) = table else { continue };
+        let Ok(schedule) = evaluate(afg, &table, net, &levels) else { continue };
+        rows.push(ComparisonRow {
+            algorithm: kind.name(),
+            makespan: schedule.makespan,
+            slr: schedule.slr(cp),
+            sites_used: table.sites_used().len(),
+            hosts_used: table.hosts_used().len(),
+        });
+    }
+    rows
+}
+
+/// Render comparison rows as a table.
+pub fn comparison_table(rows: &[ComparisonRow]) -> Table {
+    let mut t = Table::new(&["algorithm", "makespan_s", "slr", "sites", "hosts"]);
+    for r in rows {
+        t.row(&[
+            r.algorithm.clone(),
+            format!("{:.4}", r.makespan),
+            format!("{:.3}", r.slr),
+            r.sites_used.to_string(),
+            r.hosts_used.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Result of the Figure-4 monitoring experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitoringOutcome {
+    /// Monitor samples taken.
+    pub samples: u64,
+    /// Reports forwarded to the Site Manager.
+    pub forwarded: u64,
+    /// Repository-update traffic reduction, `1 − forwarded/samples`.
+    pub reduction: f64,
+    /// Failures detected.
+    pub failures_detected: u64,
+    /// Virtual seconds from the (single) injected failure to its
+    /// detection, if one was injected.
+    pub detection_latency: Option<f64>,
+}
+
+/// Run the Resource-Controller pipeline of Figure 4 in virtual time:
+/// `hosts` monitor daemons (random-walk load traces) feed one Group
+/// Manager with significance threshold `threshold`, which feeds a Site
+/// Manager; monitoring runs every `monitor_period` and echo probing every
+/// `echo_period` for `duration` virtual seconds. If `fail_host_at` is
+/// set, host 0 stops answering echoes at that time.
+pub fn run_monitoring_experiment(
+    hosts: usize,
+    threshold: f64,
+    monitor_period: f64,
+    echo_period: f64,
+    duration: f64,
+    fail_host_at: Option<f64>,
+    seed: u64,
+) -> MonitoringOutcome {
+    let host_names: Vec<String> = (0..hosts).map(|i| format!("h{i}")).collect();
+    let repo = SiteRepository::new();
+    repo.resources_mut(|db| {
+        for h in &host_names {
+            db.upsert(vdce_repository::resources::ResourceRecord::new(
+                h.clone(),
+                "10.0.0.1",
+                vdce_afg::MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 30,
+                "g0",
+            ));
+        }
+    });
+    let site_manager = SiteManager::new(SiteId(0), repo);
+    let log = EventLog::new();
+    let probe = Arc::new(SyntheticProbe::new(0.0, 1 << 30));
+    for (i, h) in host_names.iter().enumerate() {
+        probe.set_trace(h.clone(), trace::random_walk(seed + i as u64, monitor_period, 10_000, 0.5, 8.0));
+    }
+    let echo = Arc::new(FlagEcho::new());
+    let (to_site, from_groups) = unbounded();
+    let (monitor_tx, monitor_rx) = unbounded();
+    let daemons: Vec<MonitorDaemon> = host_names
+        .iter()
+        .map(|h| MonitorDaemon::new(h.clone(), probe.clone() as Arc<dyn LoadProbe>, monitor_tx.clone(), log.clone()))
+        .collect();
+    let mut gm = GroupManager::new("g0", host_names.clone(), threshold, echo.clone(), to_site, log.clone());
+
+    let mut t = 0.0f64;
+    let mut next_echo = 0.0f64;
+    let mut failed = false;
+    let mut detection_latency = None;
+    while t < duration {
+        if let Some(fail_at) = fail_host_at {
+            if !failed && t >= fail_at {
+                echo.kill(host_names[0].clone());
+                failed = true;
+            }
+        }
+        probe.set_time(t);
+        for d in &daemons {
+            d.tick(t);
+        }
+        while let Ok(report) = monitor_rx.try_recv() {
+            gm.handle_report(t, &report);
+        }
+        if t >= next_echo {
+            let changed = gm.probe_hosts(t);
+            if detection_latency.is_none() && failed && !changed.is_empty() {
+                detection_latency = Some(t - fail_host_at.unwrap_or(0.0));
+            }
+            next_echo += echo_period;
+        }
+        site_manager.drain(&from_groups);
+        t += monitor_period;
+    }
+    let stats = gm.stats();
+    MonitoringOutcome {
+        samples: stats.reports_received,
+        forwarded: stats.reports_forwarded,
+        reduction: if stats.reports_received > 0 {
+            1.0 - stats.reports_forwarded as f64 / stats.reports_received as f64
+        } else {
+            0.0
+        },
+        failures_detected: stats.failures_detected,
+        detection_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_gen::{layered_random, DagSpec};
+    use crate::pool_gen::{build_federation, FederationSpec};
+
+    #[test]
+    fn compare_schedulers_produces_rows_for_all_algorithms() {
+        let f = build_federation(&FederationSpec {
+            sites: 3,
+            hosts_per_site: 4,
+            ..FederationSpec::default()
+        });
+        let views = f.views();
+        let afg = layered_random(&DagSpec { tasks: 30, ..DagSpec::default() }, 1);
+        let rows = compare_schedulers(
+            &afg,
+            &views[0],
+            &views[1..],
+            &f.net,
+            &[
+                SchedulerKind::Vdce { k: 2 },
+                SchedulerKind::LocalOnly,
+                SchedulerKind::Random(1),
+                SchedulerKind::RoundRobin,
+                SchedulerKind::MinMin,
+                SchedulerKind::MaxMin,
+                SchedulerKind::Heft,
+            ],
+        );
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.makespan > 0.0, "{}: makespan {}", r.algorithm, r.makespan);
+            // SLR is normalised by the *base-processor* critical path, so
+            // fast hosts can push it below 1; it must just be positive.
+            assert!(r.slr > 0.0, "{}: slr {}", r.algorithm, r.slr);
+        }
+        let table = comparison_table(&rows);
+        assert_eq!(table.len(), 7);
+    }
+
+    #[test]
+    fn vdce_is_competitive_on_the_suite() {
+        let f = build_federation(&FederationSpec {
+            sites: 3,
+            hosts_per_site: 6,
+            ..FederationSpec::default()
+        });
+        let views = f.views();
+        let afg = layered_random(&DagSpec { tasks: 40, ..DagSpec::default() }, 5);
+        let rows = compare_schedulers(
+            &afg,
+            &views[0],
+            &views[1..],
+            &f.net,
+            &[SchedulerKind::Vdce { k: 2 }, SchedulerKind::Random(3)],
+        );
+        let vdce = rows.iter().find(|r| r.algorithm.starts_with("vdce")).unwrap();
+        let random = rows.iter().find(|r| r.algorithm == "random").unwrap();
+        assert!(
+            vdce.makespan <= random.makespan * 1.1,
+            "vdce {} vs random {}",
+            vdce.makespan,
+            random.makespan
+        );
+    }
+
+    #[test]
+    fn monitoring_experiment_filters_and_detects() {
+        let out = run_monitoring_experiment(8, 1.0, 1.0, 5.0, 120.0, Some(60.0), 3);
+        assert!(out.samples > 800, "8 hosts × 120 ticks");
+        assert!(out.forwarded < out.samples, "filter must drop something");
+        assert!(out.reduction > 0.0);
+        assert_eq!(out.failures_detected, 1);
+        let lat = out.detection_latency.unwrap();
+        assert!((0.0..=5.0 + 1.0).contains(&lat), "latency bounded by echo period, got {lat}");
+    }
+
+    #[test]
+    fn zero_threshold_forwards_all_samples() {
+        let out = run_monitoring_experiment(2, 0.0, 1.0, 10.0, 30.0, None, 1);
+        assert_eq!(out.samples, out.forwarded);
+        assert_eq!(out.reduction, 0.0);
+        assert_eq!(out.failures_detected, 0);
+        assert!(out.detection_latency.is_none());
+    }
+
+    #[test]
+    fn higher_threshold_means_more_reduction() {
+        let low = run_monitoring_experiment(4, 0.5, 1.0, 10.0, 100.0, None, 2);
+        let high = run_monitoring_experiment(4, 3.0, 1.0, 10.0, 100.0, None, 2);
+        assert!(high.reduction > low.reduction);
+    }
+}

@@ -1,0 +1,35 @@
+//! # vdce-sim — experiment substrate for the VDCE reproduction
+//!
+//! The paper's evaluation is a campus-wide proof of concept with no
+//! numeric tables; EXPERIMENTS.md reconstructs quantitative experiments
+//! around its four figures. This crate provides everything those
+//! experiments (and the Criterion benches) share:
+//!
+//! - [`dag_gen`] — reproducible application-flow-graph families (layered
+//!   random DAGs, fork-join, Gaussian elimination, FFT butterflies,
+//!   chains and fans) with controllable computation and communication
+//!   scales;
+//! - [`pool_gen`] — reproducible federations: per-site repositories with
+//!   heterogeneous hosts plus the matching topology and network model;
+//! - [`trace`] — synthetic load traces for the Monitor daemons (constant,
+//!   spike, random walk);
+//! - [`metrics`] — summary statistics and aligned table rendering for the
+//!   `exp_*` binaries;
+//! - [`harness`] — canned scheduler-comparison and monitoring experiments
+//!   shared by benches, examples and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dag_gen;
+pub mod harness;
+pub mod metrics;
+pub mod pool_gen;
+pub mod scenario;
+pub mod trace;
+
+pub use dag_gen::DagSpec;
+pub use harness::{compare_schedulers, SchedulerKind};
+pub use metrics::{summarise, Summary, Table};
+pub use pool_gen::{build_federation, Federation, FederationSpec};
+pub use scenario::Scenario;

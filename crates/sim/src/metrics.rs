@@ -1,0 +1,188 @@
+//! Summary statistics and table rendering for the experiment binaries.
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarise a sample; `None` if empty or containing non-finite values.
+pub fn summarise(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len();
+    let pct = |p: f64| {
+        let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    };
+    Some(Summary {
+        n,
+        mean: sorted.iter().sum::<f64>() / n as f64,
+        median: pct(0.50),
+        p95: pct(0.95),
+        min: sorted[0],
+        max: sorted[n - 1],
+    })
+}
+
+/// Geometric mean of strictly positive values; `None` otherwise.
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+}
+
+/// A simple aligned text table (the output format of the `exp_*`
+/// binaries and EXPERIMENTS.md).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: append a row of display-ables.
+    pub fn rowd(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:<w$}", w = width[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarise(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p95, 5.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(summarise(&[]).is_none());
+        assert!(summarise(&[1.0, f64::NAN]).is_none());
+        assert!(summarise(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = summarise(&[2.5]).unwrap();
+        assert_eq!((s.mean, s.median, s.p95, s.min, s.max), (2.5, 2.5, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_none());
+        assert!(geomean(&[0.0]).is_none());
+        assert!(geomean(&[-1.0]).is_none());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["algo", "makespan"]);
+        t.row(&["vdce".into(), "1.25".into()]);
+        t.row(&["random".into(), "3.00".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "makespan" starts at the same offset everywhere.
+        let off = lines[0].find("makespan").unwrap();
+        assert_eq!(lines[2].find("1.25").unwrap(), off);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rowd_accepts_display_values() {
+        let mut t = Table::new(&["k", "v"]);
+        t.rowd(&[&1u32, &2.5f64]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("2.5"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

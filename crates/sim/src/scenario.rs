@@ -1,0 +1,141 @@
+//! Named experiment scenarios: fixed (federation, workload) pairs shared
+//! by tests, examples and benches so results are comparable across runs
+//! and documentation can reference them by name.
+
+use crate::dag_gen::{fork_join, gauss_elim, layered_random, DagSpec};
+use crate::pool_gen::{build_federation, Federation, FederationSpec, WanShape};
+use vdce_afg::Afg;
+
+/// A named, reproducible experiment setup.
+pub struct Scenario {
+    /// Scenario name (stable identifier used in docs).
+    pub name: &'static str,
+    /// The federation.
+    pub federation: Federation,
+    /// The workload.
+    pub afg: Afg,
+}
+
+/// Single campus site, 4 hosts, small layered DAG — the smoke-test
+/// scenario.
+pub fn campus_smoke() -> Scenario {
+    Scenario {
+        name: "campus-smoke",
+        federation: build_federation(&FederationSpec {
+            sites: 1,
+            hosts_per_site: 4,
+            heterogeneity: 2.0,
+            seed: 100,
+            ..FederationSpec::default()
+        }),
+        afg: layered_random(&DagSpec { tasks: 20, width: 4, ..DagSpec::default() }, 100),
+    }
+}
+
+/// Six metro-clustered sites, 80-task layered DAG — the wide-area
+/// scheduling scenario of `examples/multi_site.rs`.
+pub fn wide_area() -> Scenario {
+    Scenario {
+        name: "wide-area",
+        federation: build_federation(&FederationSpec {
+            sites: 6,
+            hosts_per_site: 6,
+            heterogeneity: 6.0,
+            shape: WanShape::Metro(3),
+            seed: 11,
+            ..FederationSpec::default()
+        }),
+        afg: layered_random(&DagSpec { tasks: 80, width: 8, ..DagSpec::default() }, 21),
+    }
+}
+
+/// Three sites (two sensor, one command), fork-join surveillance
+/// pipeline — the Rome-Laboratory-flavoured scenario.
+pub fn c3i_surveillance() -> Scenario {
+    Scenario {
+        name: "c3i-surveillance",
+        federation: build_federation(&FederationSpec {
+            sites: 3,
+            hosts_per_site: 3,
+            heterogeneity: 3.0,
+            shape: WanShape::Star,
+            seed: 42,
+            ..FederationSpec::default()
+        }),
+        afg: fork_join(2, 3, &DagSpec::default(), 42),
+    }
+}
+
+/// Gaussian-elimination task graph on a ring federation — the classic
+/// dependency-heavy scheduling benchmark.
+pub fn gauss_benchmark() -> Scenario {
+    Scenario {
+        name: "gauss-benchmark",
+        federation: build_federation(&FederationSpec {
+            sites: 4,
+            hosts_per_site: 4,
+            heterogeneity: 4.0,
+            shape: WanShape::Ring,
+            seed: 7,
+            ..FederationSpec::default()
+        }),
+        afg: gauss_elim(8, &DagSpec::default(), 7),
+    }
+}
+
+/// All named scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![campus_smoke(), wide_area(), c3i_surveillance(), gauss_benchmark()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{compare_schedulers, SchedulerKind};
+    use vdce_afg::validate::validate;
+
+    #[test]
+    fn every_scenario_is_well_formed() {
+        for s in all() {
+            assert!(validate(&s.afg).is_ok(), "{}: invalid AFG", s.name);
+            assert!(s.federation.topology.site_count() > 0, "{}", s.name);
+            assert!(
+                s.federation.net.site_count() == s.federation.topology.site_count(),
+                "{}: net/topology size mismatch",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = wide_area();
+        let b = wide_area();
+        assert_eq!(a.afg, b.afg);
+        assert_eq!(a.federation.repos[0].snapshot(), b.federation.repos[0].snapshot());
+    }
+
+    #[test]
+    fn every_scenario_schedules_end_to_end() {
+        for s in all() {
+            let views = s.federation.views();
+            let rows = compare_schedulers(
+                &s.afg,
+                &views[0],
+                &views[1..],
+                &s.federation.net,
+                &[SchedulerKind::Vdce { k: 2 }],
+            );
+            assert_eq!(rows.len(), 1, "{}: scheduling failed", s.name);
+            assert!(rows[0].makespan > 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Synthetic load traces for the Monitor daemons.
+//!
+//! A trace is a list of `(from_time, workload)` steps consumed by
+//! [`vdce_runtime::monitor::SyntheticProbe`]. These generators drive the
+//! Figure-4 monitoring experiments and the E7 rescheduling experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Constant load.
+pub fn constant(load: f64) -> Vec<(f64, f64)> {
+    vec![(0.0, load)]
+}
+
+/// Idle until `at`, then a spike of `height` lasting `duration`, then
+/// back to `base`.
+pub fn spike(base: f64, at: f64, height: f64, duration: f64) -> Vec<(f64, f64)> {
+    vec![(0.0, base), (at, base + height), (at + duration, base)]
+}
+
+/// Bounded random walk sampled every `period` seconds for `steps` steps:
+/// load moves by ±`step` and is clamped to `[0, max]`.
+pub fn random_walk(seed: u64, period: f64, steps: usize, step: f64, max: f64) -> Vec<(f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut load = rng.gen_range(0.0..max / 2.0);
+    let mut out = Vec::with_capacity(steps);
+    for i in 0..steps {
+        out.push((i as f64 * period, load));
+        let delta = if rng.gen_bool(0.5) { step } else { -step };
+        load = (load + delta).clamp(0.0, max);
+    }
+    out
+}
+
+/// Diurnal-style slow sine wave: mean ± amplitude over `period_s`,
+/// sampled `samples` times.
+pub fn sine(mean: f64, amplitude: f64, period_s: f64, samples: usize) -> Vec<(f64, f64)> {
+    (0..samples)
+        .map(|i| {
+            let t = i as f64 * period_s / samples as f64;
+            let w = mean + amplitude * (2.0 * std::f64::consts::PI * t / period_s).sin();
+            (t, w.max(0.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_step() {
+        assert_eq!(constant(2.0), vec![(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn spike_returns_to_base() {
+        let t = spike(0.5, 10.0, 8.0, 5.0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1], (10.0, 8.5));
+        assert_eq!(t[2], (15.0, 0.5));
+    }
+
+    #[test]
+    fn random_walk_is_bounded_and_deterministic() {
+        let a = random_walk(1, 1.0, 100, 0.5, 4.0);
+        let b = random_walk(1, 1.0, 100, 0.5, 4.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|(_, l)| (0.0..=4.0).contains(l)));
+        // Timestamps strictly increase.
+        for w in a.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn sine_stays_nonnegative() {
+        let t = sine(1.0, 3.0, 60.0, 50);
+        assert_eq!(t.len(), 50);
+        assert!(t.iter().all(|(_, l)| *l >= 0.0));
+        // It actually oscillates.
+        let max = t.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
+        assert!(max > 2.0);
+    }
+}

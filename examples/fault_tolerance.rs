@@ -1,0 +1,89 @@
+//! Failure detection and threshold rescheduling (§4.1).
+//!
+//! Demonstrates the two Control-Manager feedback loops:
+//!
+//! 1. **Echo-probe failure detection** — a Group Manager's echo round
+//!    marks a dead host "down" in the resource-performance database, and
+//!    the next submission avoids it.
+//! 2. **Load-threshold rescheduling** — load spikes reported by Monitor
+//!    daemons push a host over the Application Controller's threshold;
+//!    tasks scheduled there are relocated at launch time.
+//!
+//! ```sh
+//! cargo run --example fault_tolerance
+//! ```
+
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+use vdce_afg::{AfgBuilder, AfgDocument, MachineType, TaskLibrary};
+use vdce_core::Vdce;
+use vdce_repository::AccessDomain;
+use vdce_runtime::events::EventLog;
+use vdce_runtime::group::{FlagEcho, GroupManager};
+
+fn doc(author: &str) -> AfgDocument {
+    let lib = TaskLibrary::standard();
+    let mut afg = AfgBuilder::new("ft-demo", &lib);
+    let src = afg.add_task("Source", "src", 40_000).unwrap();
+    let mid = afg.add_task("Sort", "sort", 40_000).unwrap();
+    let snk = afg.add_task("Sink", "snk", 40_000).unwrap();
+    afg.connect(src, 0, mid, 0).unwrap();
+    afg.connect(mid, 0, snk, 0).unwrap();
+    AfgDocument::new(author, afg.build().unwrap()).unwrap()
+}
+
+fn main() {
+    let mut b = Vdce::builder();
+    let site = b.add_site("campus");
+    b.add_host(site, "fast_but_doomed", MachineType::LinuxPc, 4.0, 1 << 30);
+    b.add_host(site, "steady", MachineType::LinuxPc, 1.0, 1 << 30);
+    b.add_user("operator", "pw", 5, AccessDomain::LocalSite);
+    let vdce = b.build();
+    let session = vdce.login(site, "operator", "pw").unwrap();
+
+    // --- Healthy run: everything lands on the fast host ---------------
+    let r1 = session.submit(&doc("operator")).unwrap();
+    println!("--- healthy run ---\n{}", r1.render());
+    assert!(r1.outcome.success);
+    assert!(r1.allocation.hosts_used().contains(&"fast_but_doomed"));
+
+    // --- The fast host dies; a Group Manager detects it ---------------
+    let echo = Arc::new(FlagEcho::new());
+    echo.kill("fast_but_doomed");
+    let (to_site, from_group) = unbounded();
+    let mut gm = GroupManager::new(
+        "campus-g0",
+        vec!["fast_but_doomed".into(), "steady".into()],
+        1.0,
+        echo,
+        to_site,
+        EventLog::new(),
+    );
+    let changed = gm.probe_hosts(0.0);
+    println!("\necho round detected failures: {changed:?}");
+    vdce.site_manager(site).drain(&from_group);
+
+    // --- Next submission avoids the dead host --------------------------
+    let r2 = session.submit(&doc("operator")).unwrap();
+    println!("--- after failure detection ---\n{}", r2.render());
+    assert!(r2.outcome.success);
+    assert_eq!(r2.allocation.hosts_used(), vec!["steady"]);
+
+    // --- The host recovers but is now heavily loaded -------------------
+    vdce.repository(site).resources_mut(|db| {
+        db.set_status("fast_but_doomed", vdce_repository::HostStatus::Up);
+        for _ in 0..8 {
+            db.record_sample("fast_but_doomed", 9.0, 1 << 30); // load 9 ≫ threshold 4
+        }
+    });
+    let r3 = session.submit(&doc("operator")).unwrap();
+    println!("--- after load spike (threshold rescheduling) ---\n{}", r3.render());
+    assert!(r3.outcome.success);
+    // Whether the scheduler avoided it up front (workload-aware
+    // prediction) or the Application Controller relocated at launch, no
+    // task may have run on the overloaded host.
+    for rec in &r3.outcome.records {
+        assert!(!rec.hosts.contains(&"fast_but_doomed".to_string()));
+    }
+    println!("no task executed on the overloaded host ✓");
+}

@@ -1,0 +1,21 @@
+//! # VDCE — Virtual Distributed Computing Environment
+//!
+//! Facade crate re-exporting the whole VDCE workspace. See the README for
+//! an architecture overview and `vdce_core` for the high-level API.
+
+#![warn(missing_docs)]
+
+pub use vdce_afg as afg;
+pub use vdce_core as core;
+pub use vdce_dsm as dsm;
+pub use vdce_net as net;
+pub use vdce_predict as predict;
+pub use vdce_repository as repository;
+pub use vdce_runtime as runtime;
+pub use vdce_sched as sched;
+pub use vdce_sim as sim;
+
+/// Commonly used items for application authors.
+pub mod prelude {
+    pub use vdce_afg::{AfgBuilder, ComputationMode, IoSpec, MachineType, TaskLibrary};
+}
