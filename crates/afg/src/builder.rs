@@ -326,10 +326,7 @@ mod tests {
         let lib = lib();
         let mut b = AfgBuilder::new("app", &lib);
         b.add_task("Source", "x", 1).unwrap();
-        assert_eq!(
-            b.add_task("Sink", "x", 1),
-            Err(BuildError::DuplicateTaskName("x".into()))
-        );
+        assert_eq!(b.add_task("Sink", "x", 1), Err(BuildError::DuplicateTaskName("x".into())));
     }
 
     #[test]
@@ -368,10 +365,7 @@ mod tests {
         let s2 = b.add_task("Source", "s2", 10).unwrap();
         let k = b.add_task("Sink", "k", 10).unwrap();
         b.connect(s1, 0, k, 0).unwrap();
-        assert_eq!(
-            b.connect(s2, 0, k, 0),
-            Err(BuildError::InputPortOccupied(k, PortIndex(0)))
-        );
+        assert_eq!(b.connect(s2, 0, k, 0), Err(BuildError::InputPortOccupied(k, PortIndex(0))));
     }
 
     #[test]
@@ -393,10 +387,7 @@ mod tests {
         let s = b.add_task("Source", "s", 10).unwrap();
         let k = b.add_task("Sink", "k", 10).unwrap();
         b.set_input(k, 0, IoSpec::file("/data/in.dat", 100)).unwrap();
-        assert_eq!(
-            b.connect(s, 0, k, 0),
-            Err(BuildError::InputPortBoundToIo(k, PortIndex(0)))
-        );
+        assert_eq!(b.connect(s, 0, k, 0), Err(BuildError::InputPortBoundToIo(k, PortIndex(0))));
     }
 
     #[test]
@@ -417,10 +408,7 @@ mod tests {
         let lib = lib();
         let mut b = AfgBuilder::new("app", &lib);
         let t = b.add_task("Matrix_Transpose", "tr", 64).unwrap();
-        assert_eq!(
-            b.set_mode(t, ComputationMode::Parallel),
-            Err(BuildError::NotParallelizable(t))
-        );
+        assert_eq!(b.set_mode(t, ComputationMode::Parallel), Err(BuildError::NotParallelizable(t)));
         let lu = b.add_task("LU_Decomposition", "lu", 64).unwrap();
         b.set_mode(lu, ComputationMode::Parallel).unwrap();
         b.set_num_nodes(lu, 2).unwrap();
@@ -456,10 +444,7 @@ mod tests {
         let mut b = AfgBuilder::new("app", &lib);
         let ghost = TaskId(9);
         assert_eq!(b.set_num_nodes(ghost, 2), Err(BuildError::NoSuchTask(ghost)));
-        assert_eq!(
-            b.set_machine_type(ghost, MachineType::Any),
-            Err(BuildError::NoSuchTask(ghost))
-        );
+        assert_eq!(b.set_machine_type(ghost, MachineType::Any), Err(BuildError::NoSuchTask(ghost)));
     }
 
     #[test]

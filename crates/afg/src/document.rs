@@ -148,10 +148,7 @@ mod tests {
         let mut doc = AfgDocument::new("u", sample()).unwrap();
         doc.version = DOCUMENT_VERSION + 1;
         let json = serde_json::to_string(&doc).unwrap();
-        assert!(matches!(
-            AfgDocument::from_json(&json),
-            Err(DocumentError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(AfgDocument::from_json(&json), Err(DocumentError::UnsupportedVersion(_))));
     }
 
     #[test]

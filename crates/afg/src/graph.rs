@@ -87,8 +87,7 @@ impl Afg {
 
     /// Ids of tasks that feed `id` (deduplicated, in ascending id order).
     pub fn parents(&self, id: TaskId) -> Vec<TaskId> {
-        let mut v: Vec<TaskId> =
-            self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect();
+        let mut v: Vec<TaskId> = self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -96,8 +95,7 @@ impl Afg {
 
     /// Ids of tasks fed by `id` (deduplicated, in ascending id order).
     pub fn children(&self, id: TaskId) -> Vec<TaskId> {
-        let mut v: Vec<TaskId> =
-            self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect();
+        let mut v: Vec<TaskId> = self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -116,13 +114,23 @@ impl Afg {
     /// Entry nodes: tasks with no parents (Figure 2 initialises the ready
     /// set with exactly these).
     pub fn entry_nodes(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| !self.edges.iter().any(|e| e.to == t)).collect()
+        let deg = self.in_degrees();
+        self.task_ids().filter(|t| deg[t.index()] == 0).collect()
     }
 
     /// Exit nodes: tasks with no children (the level computation anchors
     /// on these).
     pub fn exit_nodes(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|&t| !self.edges.iter().any(|e| e.from == t)).collect()
+        let mut deg = vec![0usize; self.tasks.len()];
+        for e in &self.edges {
+            deg[e.from.index()] += 1;
+        }
+        self.task_ids().filter(|t| deg[t.index()] == 0).collect()
+    }
+
+    /// Build the CSR adjacency index for this graph. See [`EdgeIndex`].
+    pub fn edge_index(&self) -> EdgeIndex {
+        EdgeIndex::new(self)
     }
 
     /// In-degree (number of incoming edges, counting multi-edges) of every
@@ -139,6 +147,12 @@ impl Afg {
     ///
     /// Ties are broken by ascending task id so the order is deterministic.
     pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        self.topo_order_with(&self.edge_index())
+    }
+
+    /// [`Afg::topo_order`] against a prebuilt [`EdgeIndex`], for callers
+    /// that already hold one.
+    pub fn topo_order_with(&self, idx: &EdgeIndex) -> Option<Vec<TaskId>> {
         let n = self.tasks.len();
         let mut deg = self.in_degrees();
         // Min-id-first frontier kept as a sorted stack (small graphs; the
@@ -149,13 +163,11 @@ impl Afg {
         let mut order = Vec::with_capacity(n);
         while let Some(t) = frontier.pop() {
             order.push(t);
-            for e in self.edges.iter().filter(|e| e.from == t) {
+            for e in idx.out_edges(self, t) {
                 deg[e.to.index()] -= 1;
                 if deg[e.to.index()] == 0 {
                     // insert keeping frontier sorted descending
-                    let pos = frontier
-                        .binary_search_by(|x| e.to.cmp(x))
-                        .unwrap_or_else(|p| p);
+                    let pos = frontier.binary_search_by(|x| e.to.cmp(x)).unwrap_or_else(|p| p);
                     frontier.insert(pos, e.to);
                 }
             }
@@ -188,11 +200,91 @@ impl Afg {
     }
 }
 
+/// CSR-style adjacency index over an [`Afg`]'s edge list.
+///
+/// [`Afg::in_edges`]/[`Afg::out_edges`] scan the whole edge list per
+/// call, which turns every per-task walk in a scheduler loop into
+/// `O(n·e)`. One `O(n + e)` build here makes those walks `O(deg)`.
+///
+/// Within one task the index yields edges in edge-list order — exactly
+/// the order the scanning accessors produce — so code that folds floats
+/// over a task's edges (the site scheduler's transfer-time sums) computes
+/// bit-identical results through the index.
+///
+/// The index borrows nothing: it stores positions into `afg.edges` and
+/// must only be used with the graph it was built from (resolving through
+/// a different or mutated graph gives meaningless edges or panics).
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    /// `n + 1` prefix offsets into `in_pos`, indexed by target task.
+    in_off: Vec<u32>,
+    /// Edge-list positions grouped by target task.
+    in_pos: Vec<u32>,
+    /// `n + 1` prefix offsets into `out_pos`, indexed by source task.
+    out_off: Vec<u32>,
+    /// Edge-list positions grouped by source task.
+    out_pos: Vec<u32>,
+}
+
+impl EdgeIndex {
+    /// Index `afg`'s edges by source and by target (counting sort, so
+    /// grouping is stable: edge-list order is preserved per task).
+    pub fn new(afg: &Afg) -> Self {
+        let n = afg.task_count();
+        let e = afg.edge_count();
+        let mut in_off = vec![0u32; n + 1];
+        let mut out_off = vec![0u32; n + 1];
+        for edge in &afg.edges {
+            in_off[edge.to.index() + 1] += 1;
+            out_off[edge.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_off[i + 1] += in_off[i];
+            out_off[i + 1] += out_off[i];
+        }
+        let mut in_pos = vec![0u32; e];
+        let mut out_pos = vec![0u32; e];
+        let mut in_next = in_off.clone();
+        let mut out_next = out_off.clone();
+        for (p, edge) in afg.edges.iter().enumerate() {
+            let i = &mut in_next[edge.to.index()];
+            in_pos[*i as usize] = p as u32;
+            *i += 1;
+            let o = &mut out_next[edge.from.index()];
+            out_pos[*o as usize] = p as u32;
+            *o += 1;
+        }
+        EdgeIndex { in_off, in_pos, out_off, out_pos }
+    }
+
+    /// Edges arriving at `id`, in edge-list order.
+    pub fn in_edges<'a>(&'a self, afg: &'a Afg, id: TaskId) -> impl Iterator<Item = &'a Edge> {
+        let (a, b) = (self.in_off[id.index()] as usize, self.in_off[id.index() + 1] as usize);
+        self.in_pos[a..b].iter().map(move |&p| &afg.edges[p as usize])
+    }
+
+    /// Edges leaving `id`, in edge-list order.
+    pub fn out_edges<'a>(&'a self, afg: &'a Afg, id: TaskId) -> impl Iterator<Item = &'a Edge> {
+        let (a, b) = (self.out_off[id.index()] as usize, self.out_off[id.index() + 1] as usize);
+        self.out_pos[a..b].iter().map(move |&p| &afg.edges[p as usize])
+    }
+
+    /// Number of edges arriving at `id`.
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        (self.in_off[id.index() + 1] - self.in_off[id.index()]) as usize
+    }
+
+    /// Number of edges leaving `id`.
+    pub fn out_degree(&self, id: TaskId) -> usize {
+        (self.out_off[id.index() + 1] - self.out_off[id.index()]) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::library::KernelKind;
-    use crate::task::{TaskProperties, IoSpec};
+    use crate::task::{IoSpec, TaskProperties};
 
     fn node(id: u32, name: &str, ins: usize, outs: usize) -> TaskNode {
         TaskNode {
@@ -222,12 +314,8 @@ mod tests {
     /// Diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
     fn diamond() -> Afg {
         let mut g = Afg::new("diamond");
-        g.tasks = vec![
-            node(0, "a", 0, 2),
-            node(1, "b", 1, 1),
-            node(2, "c", 1, 1),
-            node(3, "d", 2, 0),
-        ];
+        g.tasks =
+            vec![node(0, "a", 0, 2), node(1, "b", 1, 1), node(2, "c", 1, 1), node(3, "d", 2, 0)];
         g.edges = vec![
             edge(0, 0, 1, 0, 100),
             edge(0, 1, 2, 0, 200),
@@ -324,5 +412,31 @@ mod tests {
     fn in_degrees_count_multi_edges() {
         let g = diamond();
         assert_eq!(g.in_degrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn edge_index_matches_scanning_accessors() {
+        // Diamond plus a multi-edge so per-task groups have > 1 entry.
+        let mut g = diamond();
+        g.edges.push(edge(0, 1, 3, 1, 500));
+        let idx = g.edge_index();
+        for t in g.task_ids() {
+            let scan_in: Vec<&Edge> = g.in_edges(t).collect();
+            let idx_in: Vec<&Edge> = idx.in_edges(&g, t).collect();
+            assert_eq!(scan_in, idx_in, "in-edges of {t} must match in order");
+            assert_eq!(idx.in_degree(t), scan_in.len());
+            let scan_out: Vec<&Edge> = g.out_edges(t).collect();
+            let idx_out: Vec<&Edge> = idx.out_edges(&g, t).collect();
+            assert_eq!(scan_out, idx_out, "out-edges of {t} must match in order");
+            assert_eq!(idx.out_degree(t), scan_out.len());
+        }
+    }
+
+    #[test]
+    fn edge_index_of_empty_graph() {
+        let g = Afg::new("empty");
+        let idx = g.edge_index();
+        assert_eq!(idx.in_pos.len(), 0);
+        assert_eq!(idx.out_pos.len(), 0);
     }
 }

@@ -61,14 +61,15 @@ fn weighted_level(
     cost: impl Fn(&TaskNode) -> f64,
     comm: impl Fn(u64) -> f64,
 ) -> Result<Vec<f64>, LevelError> {
-    let order = afg.topo_order().ok_or(LevelError::Cyclic)?;
+    let idx = afg.edge_index();
+    let order = afg.topo_order_with(&idx).ok_or(LevelError::Cyclic)?;
     let mut level = vec![0.0f64; afg.task_count()];
     // Walk in reverse topological order so every child is final before its
     // parents are computed.
     for &t in order.iter().rev() {
         let own = cost(afg.task(t));
         let mut best = 0.0f64;
-        for e in afg.out_edges(t) {
+        for e in idx.out_edges(afg, t) {
             let via = comm(e.data_size) + level[e.to.index()];
             if via > best {
                 best = via;
@@ -98,11 +99,7 @@ pub fn priority_list(levels: &[f64]) -> Vec<TaskId> {
 /// base processors and normalises the SLR metric in the benchmarks.
 pub fn critical_path(afg: &Afg, cost: impl Fn(&TaskNode) -> f64) -> Result<f64, LevelError> {
     let levels = level_map(afg, cost)?;
-    Ok(afg
-        .entry_nodes()
-        .into_iter()
-        .map(|t| levels[t.index()])
-        .fold(0.0f64, f64::max))
+    Ok(afg.entry_nodes().into_iter().map(|t| levels[t.index()]).fold(0.0f64, f64::max))
 }
 
 #[cfg(test)]
@@ -139,10 +136,7 @@ mod tests {
     #[test]
     fn priority_list_breaks_ties_by_id() {
         let levels = vec![2.0, 5.0, 2.0, 5.0];
-        assert_eq!(
-            priority_list(&levels),
-            vec![TaskId(1), TaskId(3), TaskId(0), TaskId(2)]
-        );
+        assert_eq!(priority_list(&levels), vec![TaskId(1), TaskId(3), TaskId(0), TaskId(2)]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod validate;
 
 pub use builder::AfgBuilder;
 pub use document::AfgDocument;
-pub use graph::{Afg, Edge};
+pub use graph::{Afg, Edge, EdgeIndex};
 pub use ids::{PortIndex, TaskId};
 pub use level::{blevel_map, level_map, LevelError};
 pub use library::{KernelKind, LibraryEntry, LibraryGroup, TaskLibrary};

@@ -35,12 +35,7 @@ pub fn render_task_properties(afg: &Afg, id: TaskId) -> String {
         t.props.preferred_host.as_deref().unwrap_or("any")
     );
     let _ = writeln!(s, "  Input: <{}> <{}>", t.props.inputs.len(), join_specs(&t.props.inputs));
-    let _ = writeln!(
-        s,
-        "  Output: <{}> <{}>",
-        t.props.outputs.len(),
-        join_specs(&t.props.outputs)
-    );
+    let _ = writeln!(s, "  Output: <{}> <{}>", t.props.outputs.len(), join_specs(&t.props.outputs));
     s
 }
 

@@ -61,11 +61,8 @@ pub fn shape(afg: &Afg) -> Option<GraphShape> {
 
     let entries = afg.entry_nodes().len();
     let non_entries = n - entries;
-    let mean_in_degree = if non_entries == 0 {
-        0.0
-    } else {
-        afg.edge_count() as f64 / non_entries as f64
-    };
+    let mean_in_degree =
+        if non_entries == 0 { 0.0 } else { afg.edge_count() as f64 / non_entries as f64 };
     Some(GraphShape {
         tasks: n,
         edges: afg.edge_count(),
@@ -95,9 +92,7 @@ pub fn longest_path(afg: &Afg) -> Option<Vec<TaskId>> {
             }
         }
     }
-    let mut cur = TaskId(
-        (0..n as u32).max_by_key(|i| depth[*i as usize]).expect("non-empty"),
-    );
+    let mut cur = TaskId((0..n as u32).max_by_key(|i| depth[*i as usize]).expect("non-empty"));
     let mut path = vec![cur];
     while let Some(p) = pred[cur.index()] {
         path.push(p);

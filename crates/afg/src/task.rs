@@ -17,8 +17,7 @@ use std::fmt;
 /// Computational mode of a task (§2): either a sequential implementation on
 /// one host, or a parallel implementation across `num_nodes` hosts of one
 /// site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum ComputationMode {
     /// Single-host implementation.
     #[default]
@@ -27,7 +26,6 @@ pub enum ComputationMode {
     /// requested number of machines within one site (§3).
     Parallel,
 }
-
 
 impl fmt::Display for ComputationMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -43,8 +41,7 @@ impl fmt::Display for ComputationMode {
 ///
 /// The resource-performance database stores one of these per host; the task
 /// properties sheet lets the user *prefer* one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MachineType {
     /// No preference (the editor default, rendered `<any>`).
     #[default]
@@ -62,7 +59,6 @@ pub enum MachineType {
     /// Commodity PC running Linux.
     LinuxPc,
 }
-
 
 impl MachineType {
     /// Does a host of type `host` satisfy this *preference*?

@@ -221,10 +221,7 @@ mod tests {
     fn port_out_of_range_is_detected() {
         let mut g = valid_chain();
         g.edges[0].to_port = PortIndex(7);
-        assert!(matches!(
-            validate(&g),
-            Err(ValidationError::PortOutOfRange { input: true, .. })
-        ));
+        assert!(matches!(validate(&g), Err(ValidationError::PortOutOfRange { input: true, .. })));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! §3 — cost of computing the level priority function on large AFGs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vdce_bench::bench_dag;
 use vdce_afg::level::{level_map, priority_list};
+use vdce_bench::bench_dag;
 use vdce_repository::tasks::TaskPerfDb;
 
 fn level_compute(c: &mut Criterion) {

@@ -19,11 +19,7 @@ fn sched_site(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(format!("sites{sites}_k{k}"), tasks),
                     &tasks,
-                    |b, _| {
-                        b.iter(|| {
-                            site_schedule(&afg, local, remotes, &fed.net, &cfg).unwrap()
-                        })
-                    },
+                    |b, _| b.iter(|| site_schedule(&afg, local, remotes, &fed.net, &cfg).unwrap()),
                 );
             }
         }

@@ -41,8 +41,7 @@ fn stencil(page_size: usize) -> (u64, u64, f64) {
                     for i in lo..hi {
                         let c = h.read_f64(buf_off(step, i));
                         let l = if i == 0 { c } else { h.read_f64(buf_off(step, i - 1)) };
-                        let r =
-                            if i == CELLS - 1 { c } else { h.read_f64(buf_off(step, i + 1)) };
+                        let r = if i == CELLS - 1 { c } else { h.read_f64(buf_off(step, i + 1)) };
                         h.write_f64(buf_off(step + 1, i), c + 0.25 * (l - 2.0 * c + r));
                     }
                     barrier.wait();

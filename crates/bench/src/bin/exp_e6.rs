@@ -13,13 +13,8 @@ use vdce_sim::metrics::Table;
 
 fn main() {
     println!("=== E6: Data-Manager transport sweep ===\n");
-    let mut t = Table::new(&[
-        "transport",
-        "msg_bytes",
-        "round_trips",
-        "latency_us",
-        "throughput_MBps",
-    ]);
+    let mut t =
+        Table::new(&["transport", "msg_bytes", "round_trips", "latency_us", "throughput_MBps"]);
     for &transport in &[Transport::InProc, Transport::Tcp] {
         let dm = DataManager::new(transport, EventLog::new());
         for &size in &[64usize, 1024, 65_536, 1 << 20, 4 << 20] {

@@ -27,8 +27,24 @@ use vdce_sim::metrics::Table;
 fn repo() -> SiteRepository {
     let repo = SiteRepository::new();
     repo.resources_mut(|db| {
-        db.upsert(ResourceRecord::new("fast0", "10.0.0.1", MachineType::LinuxPc, 4.0, 1, 1 << 30, "g0"));
-        db.upsert(ResourceRecord::new("fast1", "10.0.0.2", MachineType::LinuxPc, 4.0, 1, 1 << 30, "g0"));
+        db.upsert(ResourceRecord::new(
+            "fast0",
+            "10.0.0.1",
+            MachineType::LinuxPc,
+            4.0,
+            1,
+            1 << 30,
+            "g0",
+        ));
+        db.upsert(ResourceRecord::new(
+            "fast1",
+            "10.0.0.2",
+            MachineType::LinuxPc,
+            4.0,
+            1,
+            1 << 30,
+            "g0",
+        ));
         for i in 0..4 {
             db.upsert(ResourceRecord::new(
                 format!("steady{i}"),
@@ -65,8 +81,7 @@ fn run(gated: bool) -> (f64, usize, usize) {
     //    hosts.
     let view = SiteView::capture(SiteId(0), &repo);
     let net = vdce_net::model::NetworkModel::with_defaults(1);
-    let table =
-        site_schedule(&afg, &view, &[], &net, &SchedulerConfig::default()).unwrap();
+    let table = site_schedule(&afg, &view, &[], &net, &SchedulerConfig::default()).unwrap();
 
     // 2. The spike arrives: monitoring floods the repository with load 12
     //    on the fast hosts (simulating external users grabbing them).
@@ -107,25 +122,17 @@ fn run(gated: bool) -> (f64, usize, usize) {
         &ExecutorConfig { input_timeout: Duration::from_secs(30) },
     );
     assert!(outcome.success);
-    let rescheds = log.count(|e| {
-        matches!(e, vdce_runtime::events::RuntimeEvent::RescheduleRequested { .. })
-    });
-    let on_fast = outcome
-        .records
-        .iter()
-        .filter(|r| r.hosts.iter().any(|h| h.starts_with("fast")))
-        .count();
+    let rescheds =
+        log.count(|e| matches!(e, vdce_runtime::events::RuntimeEvent::RescheduleRequested { .. }));
+    let on_fast =
+        outcome.records.iter().filter(|r| r.hosts.iter().any(|h| h.starts_with("fast"))).count();
     (outcome.wall_seconds, rescheds, on_fast)
 }
 
 fn main() {
     println!("=== E7: threshold rescheduling under a post-schedule load spike ===\n");
-    let mut t = Table::new(&[
-        "application_controller",
-        "wall_s",
-        "reschedules",
-        "tasks_on_spiked_hosts",
-    ]);
+    let mut t =
+        Table::new(&["application_controller", "wall_s", "reschedules", "tasks_on_spiked_hosts"]);
     for &(label, gated) in &[("active (threshold 4)", true), ("disabled", false)] {
         let (wall, rescheds, on_fast) = run(gated);
         t.row(&[

@@ -9,14 +9,14 @@
 //! drive placement.
 
 use std::time::Instant;
+use vdce_afg::KernelKind;
+use vdce_afg::MachineType;
 use vdce_predict::calibrate::mean_prediction_error;
 use vdce_predict::model::Predictor;
+use vdce_repository::resources::ResourceRecord;
 use vdce_repository::tasks::TaskPerfDb;
 use vdce_runtime::kernels::{encode_f64s, run_kernel, synth_matrix, synth_values};
 use vdce_sim::metrics::Table;
-use vdce_afg::KernelKind;
-use vdce_repository::resources::ResourceRecord;
-use vdce_afg::MachineType;
 
 fn measure(kernel: KernelKind, task: &str, n: u64) -> f64 {
     let inputs = match kernel {
@@ -39,7 +39,15 @@ fn measure(kernel: KernelKind, task: &str, n: u64) -> f64 {
 fn main() {
     println!("=== E8: prediction accuracy with task-performance feedback ===\n");
     // This machine *is* the base processor: relative speed 1, idle.
-    let host = ResourceRecord::new("this-machine", "127.0.0.1", MachineType::LinuxPc, 1.0, 1, 1 << 34, "g0");
+    let host = ResourceRecord::new(
+        "this-machine",
+        "127.0.0.1",
+        MachineType::LinuxPc,
+        1.0,
+        1,
+        1 << 34,
+        "g0",
+    );
     let predictor = Predictor::default();
     let cases: &[(&str, KernelKind, &[u64])] = &[
         ("Matrix_Multiplication", KernelKind::MatrixMultiply, &[64, 128, 256]),

@@ -20,22 +20,10 @@ fn main() {
     let spec = DagSpec::default();
 
     let suites: Vec<(&str, Vec<vdce_afg::Afg>)> = vec![
-        (
-            "layered",
-            (0..4).map(|s| layered_random(&DagSpec { tasks: 60, ..spec }, s)).collect(),
-        ),
-        (
-            "fork-join",
-            (0..4).map(|s| fork_join(8, 4, &spec, s)).collect(),
-        ),
-        (
-            "gauss-elim",
-            (0..4).map(|s| gauss_elim(8, &spec, s)).collect(),
-        ),
-        (
-            "fft-butterfly",
-            (0..4).map(|s| fft_butterfly(8, &spec, s)).collect(),
-        ),
+        ("layered", (0..4).map(|s| layered_random(&DagSpec { tasks: 60, ..spec }, s)).collect()),
+        ("fork-join", (0..4).map(|s| fork_join(8, 4, &spec, s)).collect()),
+        ("gauss-elim", (0..4).map(|s| gauss_elim(8, &spec, s)).collect()),
+        ("fft-butterfly", (0..4).map(|s| fft_butterfly(8, &spec, s)).collect()),
     ];
 
     let kinds = [
@@ -44,14 +32,8 @@ fn main() {
         SchedulerKind::HeftInsertion,
         SchedulerKind::MinMin,
     ];
-    let mut t = Table::new(&[
-        "dag_family",
-        "vdce_s",
-        "heft_s",
-        "heft_ins_s",
-        "min_min_s",
-        "heft_speedup",
-    ]);
+    let mut t =
+        Table::new(&["dag_family", "vdce_s", "heft_s", "heft_ins_s", "min_min_s", "heft_speedup"]);
     for (name, dags) in suites {
         let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         for afg in &dags {

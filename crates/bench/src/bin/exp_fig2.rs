@@ -53,13 +53,8 @@ fn main() {
     // fastest host — so it pays no transfers at all and is CCR-flat. A
     // contention-aware mapper (min-min) spreads tasks and therefore feels
     // CCR. Both shapes are printed for EXPERIMENTS.md.
-    let mut t2 = Table::new(&[
-        "ccr_scale",
-        "vdce_k3_s",
-        "min_min_s",
-        "local_only_s",
-        "federation_gain",
-    ]);
+    let mut t2 =
+        Table::new(&["ccr_scale", "vdce_k3_s", "min_min_s", "local_only_s", "federation_gain"]);
     let fed = bench_federation(4, 6);
     let views = fed.views();
     let (local, remotes) = split_views(&views);
@@ -72,18 +67,13 @@ fn main() {
                 local,
                 remotes,
                 &fed.net,
-                &[
-                    SchedulerKind::Vdce { k: 3 },
-                    SchedulerKind::MinMin,
-                    SchedulerKind::LocalOnly,
-                ],
+                &[SchedulerKind::Vdce { k: 3 }, SchedulerKind::MinMin, SchedulerKind::LocalOnly],
             );
             v.push(rows[0].makespan);
             m.push(rows[1].makespan);
             l.push(rows[2].makespan);
         }
-        let (gv, gm, gl) =
-            (geomean(&v).unwrap(), geomean(&m).unwrap(), geomean(&l).unwrap());
+        let (gv, gm, gl) = (geomean(&v).unwrap(), geomean(&m).unwrap(), geomean(&l).unwrap());
         t2.row(&[
             format!("{ccr}"),
             format!("{gv:.4}"),

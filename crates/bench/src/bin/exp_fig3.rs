@@ -64,5 +64,7 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!("(advantage = Σ predicted time of random choice / Σ predicted time of Figure-3 argmin)");
+    println!(
+        "(advantage = Σ predicted time of random choice / Σ predicted time of Figure-3 argmin)"
+    );
 }

@@ -34,8 +34,7 @@ fn main() {
         let mut lats = Vec::new();
         for seed in 0..10u64 {
             let fail_at = 90.0 + seed as f64 * 3.7; // stagger vs probe phase
-            let out =
-                run_monitoring_experiment(8, 1.0, 1.0, period, 200.0, Some(fail_at), seed);
+            let out = run_monitoring_experiment(8, 1.0, 1.0, period, 200.0, Some(fail_at), seed);
             lats.push(out.detection_latency.expect("failure injected must be detected"));
         }
         let mean = lats.iter().sum::<f64>() / lats.len() as f64;

@@ -6,6 +6,7 @@
 //! of every site (the paper's prototype replicated accounts across the
 //! campus sites it spanned).
 
+use crate::session::{LoginError, Session};
 use vdce_afg::MachineType;
 use vdce_net::model::{LinkParams, NetworkModel};
 use vdce_net::topology::{SiteId, Topology};
@@ -15,7 +16,6 @@ use vdce_repository::SiteRepository;
 use vdce_runtime::data_manager::Transport;
 use vdce_runtime::executor::HostLockRegistry;
 use vdce_runtime::site_manager::SiteManager;
-use crate::session::{LoginError, Session};
 
 /// Environment-wide tunables.
 #[derive(Debug, Clone, Copy)]
@@ -31,11 +31,7 @@ pub struct VdceConfig {
 
 impl Default for VdceConfig {
     fn default() -> Self {
-        VdceConfig {
-            k_neighbours: 3,
-            transport: Transport::InProc,
-            load_threshold: 4.0,
-        }
+        VdceConfig { k_neighbours: 3, transport: Transport::InProc, load_threshold: 4.0 }
     }
 }
 
@@ -150,9 +146,8 @@ impl Vdce {
     pub fn admin_drain_host(&self, host: &str) -> bool {
         let Some(site) = self.topology.site_of_host(host) else { return false };
         let repo = &self.sites[site.index()].repo;
-        let ok = repo.resources_mut(|db| {
-            db.set_status(host, vdce_repository::resources::HostStatus::Down)
-        });
+        let ok = repo
+            .resources_mut(|db| db.set_status(host, vdce_repository::resources::HostStatus::Down));
         repo.constraints_mut(|db| {
             db.purge_host(host);
         });
@@ -257,10 +252,7 @@ impl VdceBuilder {
                 .filter(|(s, _)| *s == id)
                 .map(|(_, r)| r.host_name.clone())
                 .collect();
-            let server = host_names
-                .first()
-                .cloned()
-                .unwrap_or_else(|| format!("{name}-server"));
+            let server = host_names.first().cloned().unwrap_or_else(|| format!("{name}-server"));
             topology
                 .add_site(name.clone(), server, host_names)
                 .expect("host names must be unique across the federation");
@@ -275,8 +267,7 @@ impl VdceBuilder {
             });
             repo.accounts_mut(|db| {
                 for (user, pass, prio, domain) in &self.users {
-                    db.add_user(user, pass, *prio, *domain)
-                        .expect("builder users are unique");
+                    db.add_user(user, pass, *prio, *domain).expect("builder users are unique");
                 }
             });
             let manager = SiteManager::new(id, repo.clone());
@@ -286,13 +277,7 @@ impl VdceBuilder {
         for (a, b, params) in self.links {
             net.set_link(a, b, params);
         }
-        Vdce {
-            sites,
-            topology,
-            net,
-            config: self.config,
-            locks: HostLockRegistry::new(),
-        }
+        Vdce { sites, topology, net, config: self.config, locks: HostLockRegistry::new() }
     }
 }
 
@@ -320,9 +305,7 @@ mod tests {
         assert_eq!(v.repository(SiteId(1)).resources(|db| db.len()), 1);
         // Users replicated on every site.
         for s in 0..2u16 {
-            assert!(v
-                .repository(SiteId(s))
-                .accounts(|db| db.authenticate("u", "p").is_ok()));
+            assert!(v.repository(SiteId(s)).accounts(|db| db.authenticate("u", "p").is_ok()));
         }
         // Server host is the first host of the site.
         assert_eq!(v.topology().site(SiteId(0)).unwrap().server_host, "a0");

@@ -1,9 +1,9 @@
 //! Run reports: everything a submission returns.
 
 use std::fmt::Write as _;
+use vdce_runtime::executor::ExecutionOutcome;
 use vdce_sched::allocation::AllocationTable;
 use vdce_sched::makespan::Schedule;
-use vdce_runtime::executor::ExecutionOutcome;
 
 /// The result of one application submission.
 #[derive(Debug, Clone)]
@@ -41,9 +41,7 @@ impl RunReport {
             self.allocation.application,
             self.outcome.success,
             self.measured_seconds(),
-            self.predicted_seconds()
-                .map(|p| format!("{p:.4}s"))
-                .unwrap_or_else(|| "n/a".into()),
+            self.predicted_seconds().map(|p| format!("{p:.4}s")).unwrap_or_else(|| "n/a".into()),
         );
         for p in self.allocation.iter() {
             let rec = self.outcome.records.get(p.task.index());

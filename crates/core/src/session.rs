@@ -203,30 +203,24 @@ impl<'v> Session<'v> {
             .filter(|s| *s != self.home)
             .map(|s| SiteView::capture(s, self.vdce.repository(s)))
             .collect();
-        let cfg = SchedulerConfig {
-            k_neighbours: self.effective_k(),
-            ..SchedulerConfig::default()
-        };
+        let cfg =
+            SchedulerConfig { k_neighbours: self.effective_k(), ..SchedulerConfig::default() };
         let table = site_schedule(afg, &local_view, &remote_views, self.vdce.net(), &cfg)
             .map_err(SubmitError::Scheduling)?;
 
         // Predicted schedule (for the report's predicted-vs-measured
         // comparison).
         let db = &local_view.tasks;
-        let levels = level_map(afg, |t| {
-            db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
-        })
-        .map_err(|_| SubmitError::Scheduling(SchedulingError::Cyclic))?;
+        let levels =
+            level_map(afg, |t| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+                .map_err(|_| SubmitError::Scheduling(SchedulingError::Cyclic))?;
         let predicted = evaluate(afg, &table, self.vdce.net(), &levels).ok();
 
         // --- QoS admission control --------------------------------------
         if let (Some(deadline), Some(p)) = (deadline_s, predicted.as_ref()) {
             let slack = 1.0 + f64::from(self.account.priority) / 10.0;
             if p.makespan > deadline * slack {
-                return Err(SubmitError::QosRejected {
-                    deadline,
-                    predicted: p.makespan,
-                });
+                return Err(SubmitError::QosRejected { deadline, predicted: p.makespan });
             }
         }
 
@@ -267,9 +261,9 @@ impl<'v> Session<'v> {
         // Site Manager (matching §4.1's post-run task-perf update).
         while let Ok(msg) = rx.try_recv() {
             let host = match &msg {
-                vdce_runtime::site_manager::ControlMessage::ExecutionCompleted {
-                    host, ..
-                } => host.clone(),
+                vdce_runtime::site_manager::ControlMessage::ExecutionCompleted { host, .. } => {
+                    host.clone()
+                }
                 _ => continue,
             };
             if let Some(site) = self.vdce.topology().site_of_host(&host) {
@@ -343,16 +337,10 @@ mod tests {
         for rec in &report.outcome.records {
             for host in &rec.hosts {
                 let site = v.topology().site_of_host(host).unwrap();
-                let lib_task = &report
-                    .allocation
-                    .placement(rec.task)
-                    .unwrap()
-                    .task_name;
+                let lib_task = &report.allocation.placement(rec.task).unwrap().task_name;
                 let _ = lib_task;
                 let any = v.repository(site).tasks(|db| {
-                    ["Source", "Sort", "Sink"]
-                        .iter()
-                        .any(|t| db.sample_count(t, host) > 0)
+                    ["Source", "Sort", "Sink"].iter().any(|t| db.sample_count(t, host) > 0)
                 });
                 assert!(any, "host {host} must have a measurement at its site");
             }
@@ -380,9 +368,7 @@ mod tests {
         let v = federation();
         let session = v.login(SiteId(0), "user_k", "pw").unwrap();
         // Predicted makespan is well above a microsecond deadline.
-        let err = session
-            .submit_with_deadline(&chain_doc("user_k"), 1e-6)
-            .unwrap_err();
+        let err = session.submit_with_deadline(&chain_doc("user_k"), 1e-6).unwrap_err();
         match err {
             SubmitError::QosRejected { deadline, predicted } => {
                 assert_eq!(deadline, 1e-6);
@@ -412,12 +398,17 @@ mod tests {
         };
         let deadline = predicted / 1.5; // predicted = 1.5 × deadline
         let pleb = v.login(s0, "pleb", "pw").unwrap();
-        assert!(matches!(
-            pleb.submit_with_deadline(&chain_doc("pleb"), deadline),
-            Err(SubmitError::QosRejected { .. })
-        ), "1.0x slack rejects a 1.5x overrun");
-        assert!(vip.submit_with_deadline(&chain_doc("vip"), deadline).is_ok(),
-            "1.9x slack admits a 1.5x overrun");
+        assert!(
+            matches!(
+                pleb.submit_with_deadline(&chain_doc("pleb"), deadline),
+                Err(SubmitError::QosRejected { .. })
+            ),
+            "1.0x slack rejects a 1.5x overrun"
+        );
+        assert!(
+            vip.submit_with_deadline(&chain_doc("vip"), deadline).is_ok(),
+            "1.9x slack admits a 1.5x overrun"
+        );
     }
 
     #[test]
@@ -456,9 +447,7 @@ mod tests {
         let doc = AfgDocument::new("user_k", b.build().unwrap()).unwrap();
         // Upload an identity-ish diagonally dominant matrix.
         let m = vdce_runtime::kernels::synth_matrix(1, 4);
-        session
-            .io()
-            .put("/users/VDCE/user_k/matrix_A.dat", vdce_runtime::kernels::encode_f64s(&m));
+        session.io().put("/users/VDCE/user_k/matrix_A.dat", vdce_runtime::kernels::encode_f64s(&m));
         let report = session.submit(&doc).unwrap();
         assert!(report.outcome.success);
     }

@@ -69,11 +69,7 @@ impl DsmRegion {
         assert!(size > 0 && page_size > 0 && nodes > 0);
         let pages = size.div_ceil(page_size);
         let directory = (0..pages)
-            .map(|_| DirEntry {
-                data: vec![0u8; page_size],
-                owner: None,
-                sharers: BTreeSet::new(),
-            })
+            .map(|_| DirEntry { data: vec![0u8; page_size], owner: None, sharers: BTreeSet::new() })
             .collect();
         DsmRegion {
             inner: Arc::new(Inner {
@@ -144,9 +140,7 @@ impl Inner {
         let data = entry.data.clone();
         StatCounters::bump(&self.stats.page_transfers);
         drop(dir);
-        self.caches[node]
-            .lock()
-            .insert(page, CachedPage { state: PageState::Shared, data });
+        self.caches[node].lock().insert(page, CachedPage { state: PageState::Shared, data });
     }
 
     /// Serve a write miss/upgrade: make `node` the exclusive owner.
@@ -256,8 +250,7 @@ impl DsmHandle {
                             if !missed {
                                 StatCounters::bump(&self.inner.stats.write_hits);
                             }
-                            p.data[in_page..in_page + take]
-                                .copy_from_slice(&data[src..src + take]);
+                            p.data[in_page..in_page + take].copy_from_slice(&data[src..src + take]);
                             break;
                         }
                     }

@@ -14,16 +14,13 @@ enum Op {
 fn op_strategy(size: usize, nodes: usize) -> impl Strategy<Value = Op> {
     let size = size as u16;
     prop_oneof![
-        (
-            0..nodes as u8,
-            0..size,
-            proptest::collection::vec(any::<u8>(), 1..32)
-        )
-            .prop_map(move |(node, offset, mut data)| {
+        (0..nodes as u8, 0..size, proptest::collection::vec(any::<u8>(), 1..32)).prop_map(
+            move |(node, offset, mut data)| {
                 let max = (size - offset) as usize;
                 data.truncate(max.max(1).min(data.len()));
                 Op::Write { node, offset, data }
-            }),
+            }
+        ),
         (0..nodes as u8, 0..size, 1u8..32).prop_map(move |(node, offset, len)| {
             let max = (size - offset) as usize;
             Op::Read { node, offset, len: (len as usize).min(max.max(1)) as u8 }

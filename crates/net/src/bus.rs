@@ -211,10 +211,7 @@ mod tests {
     fn unknown_destination_is_an_error() {
         let bus: MessageBus<u32> = MessageBus::new();
         let _e0 = bus.register(SiteId(0));
-        assert_eq!(
-            bus.send(SiteId(0), SiteId(9), 1, 0),
-            Err(BusError::UnknownSite(SiteId(9)))
-        );
+        assert_eq!(bus.send(SiteId(0), SiteId(9), 1, 0), Err(BusError::UnknownSite(SiteId(9))));
     }
 
     #[test]
@@ -246,14 +243,8 @@ mod tests {
         bus.send(SiteId(0), SiteId(1), 1, 100).unwrap();
         bus.send(SiteId(0), SiteId(1), 2, 200).unwrap();
         bus.send(SiteId(1), SiteId(0), 3, 50).unwrap();
-        assert_eq!(
-            bus.traffic(SiteId(0), SiteId(1)),
-            LinkTraffic { messages: 2, bytes: 300 }
-        );
-        assert_eq!(
-            bus.traffic(SiteId(1), SiteId(0)),
-            LinkTraffic { messages: 1, bytes: 50 }
-        );
+        assert_eq!(bus.traffic(SiteId(0), SiteId(1)), LinkTraffic { messages: 2, bytes: 300 });
+        assert_eq!(bus.traffic(SiteId(1), SiteId(0)), LinkTraffic { messages: 1, bytes: 50 });
         assert_eq!(bus.total_traffic(), LinkTraffic { messages: 3, bytes: 350 });
         assert_eq!(bus.traffic(SiteId(1), SiteId(1)), LinkTraffic::default());
     }
@@ -274,10 +265,7 @@ mod tests {
     fn recv_timeout_times_out() {
         let bus: MessageBus<u32> = MessageBus::new();
         let a = bus.register(SiteId(0));
-        assert_eq!(
-            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
-            BusError::Timeout
-        );
+        assert_eq!(a.recv_timeout(Duration::from_millis(10)).unwrap_err(), BusError::Timeout);
     }
 
     #[test]

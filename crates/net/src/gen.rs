@@ -93,11 +93,7 @@ pub fn metro(
 /// Uniform random federation: inter-site latency uniform in
 /// [5 ms, 60 ms], bandwidth uniform in [0.5, 8] Mbyte/s. Deterministic in
 /// `seed`.
-pub fn uniform_random(
-    sites: usize,
-    hosts_per_site: usize,
-    seed: u64,
-) -> (Topology, NetworkModel) {
+pub fn uniform_random(sites: usize, hosts_per_site: usize, seed: u64) -> (Topology, NetworkModel) {
     let topo = add_sites(sites, hosts_per_site);
     let mut model = NetworkModel::with_defaults(sites);
     let mut rng = StdRng::seed_from_u64(seed);

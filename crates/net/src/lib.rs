@@ -13,6 +13,8 @@
 //! - [`topology::Topology`] — named sites and their host lists;
 //! - [`model::NetworkModel`] — per-site-pair latency and bandwidth, the
 //!   `transfer_time` function, and k-nearest-site queries;
+//! - [`cache::TransferCache`] — a dense per-run snapshot of the link
+//!   matrix for the schedulers' hot transfer-time loop;
 //! - [`gen`] — reproducible topology generators (star, ring, metro
 //!   clusters, uniform random);
 //! - [`clock`] — virtual and real clocks behind one trait;
@@ -23,12 +25,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bus;
+pub mod cache;
 pub mod clock;
 pub mod gen;
 pub mod model;
 pub mod topology;
 
 pub use bus::{BusError, Endpoint, MessageBus};
+pub use cache::TransferCache;
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use model::{LinkParams, NetworkModel, SharedNetworkModel};
 pub use topology::{SiteId, SiteInfo, Topology};

@@ -62,10 +62,8 @@ impl NetworkModel {
     /// Model over `sites` sites with every intra-site link set to the
     /// campus default and every inter-site link to the WAN default.
     pub fn with_defaults(sites: usize) -> Self {
-        let mut m = NetworkModel {
-            sites,
-            links: vec![LinkParams::wan_default(); sites * (sites + 1) / 2],
-        };
+        let mut m =
+            NetworkModel { sites, links: vec![LinkParams::wan_default(); sites * (sites + 1) / 2] };
         for s in 0..sites {
             m.set_link(SiteId(s as u16), SiteId(s as u16), LinkParams::intra_site_default());
         }
@@ -79,11 +77,8 @@ impl NetworkModel {
 
     #[inline]
     fn idx(&self, a: SiteId, b: SiteId) -> usize {
-        let (lo, hi) = if a.index() <= b.index() {
-            (a.index(), b.index())
-        } else {
-            (b.index(), a.index())
-        };
+        let (lo, hi) =
+            if a.index() <= b.index() { (a.index(), b.index()) } else { (b.index(), a.index()) };
         debug_assert!(hi < self.sites, "site out of range");
         // Row-major upper triangle: row lo starts at lo*sites - lo*(lo-1)/2.
         lo * self.sites - lo * (lo.saturating_sub(1)) / 2 - lo + hi
@@ -119,10 +114,8 @@ impl NetworkModel {
     /// Ties break by ascending site id; returns fewer than `k` if the
     /// federation is small.
     pub fn nearest_neighbours(&self, local: SiteId, k: usize) -> Vec<SiteId> {
-        let mut others: Vec<SiteId> = (0..self.sites as u16)
-            .map(SiteId)
-            .filter(|&s| s != local)
-            .collect();
+        let mut others: Vec<SiteId> =
+            (0..self.sites as u16).map(SiteId).filter(|&s| s != local).collect();
         others.sort_by(|&x, &y| {
             self.distance(local, x)
                 .partial_cmp(&self.distance(local, y))
@@ -159,10 +152,7 @@ impl SharedNetworkModel {
 
     /// Fold in one measured sample for the (symmetric) link `a`–`b`.
     pub fn observe(&self, a: SiteId, b: SiteId, latency_s: f64, bandwidth_bps: f64) {
-        if latency_s.is_nan()
-            || latency_s <= 0.0
-            || bandwidth_bps.is_nan()
-            || bandwidth_bps <= 0.0
+        if latency_s.is_nan() || latency_s <= 0.0 || bandwidth_bps.is_nan() || bandwidth_bps <= 0.0
         {
             return;
         }

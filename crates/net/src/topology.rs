@@ -73,12 +73,7 @@ impl Topology {
         for h in &hosts {
             self.host_index.insert(h.clone(), id);
         }
-        self.sites.push(SiteInfo {
-            id,
-            name: name.into(),
-            server_host: server_host.into(),
-            hosts,
-        });
+        self.sites.push(SiteInfo { id, name: name.into(), server_host: server_host.into(), hosts });
         Some(id)
     }
 

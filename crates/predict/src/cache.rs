@@ -1,0 +1,303 @@
+//! Memoised `Predict(task, R)` evaluations for one scheduling run.
+//!
+//! A scheduling run evaluates the same `(library task, problem size,
+//! host)` triple many times: host selection ranks every candidate host
+//! per task, node-count selection re-evaluates prefixes of the ranking,
+//! and the completion-time baselines (min-min/max-min) recompute their
+//! option sets every round. Within one run the inputs are frozen — the
+//! [`TaskPerfDb`] and [`ResourceRecord`]s come from an immutable
+//! `SiteView` snapshot — so `Predict` is a pure function of that triple
+//! and its results can be memoised.
+//!
+//! [`PredictCache`] is `Sync` (interior `RwLock`) so the rayon fan-out
+//! across tasks can share one cache per site. Two workers racing on the
+//! same key both compute the same value (the function is deterministic),
+//! so the cache never changes *what* is returned, only how often the
+//! model is evaluated — this is the determinism contract the parallel
+//! scheduling path is specified against.
+//!
+//! A cache must not outlive the view snapshot it was filled from: build
+//! one per scheduling run and drop it with the run.
+
+use crate::model::{PredictError, Predictor};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use vdce_repository::resources::ResourceRecord;
+use vdce_repository::tasks::TaskPerfDb;
+
+/// Multiply-rotate hasher (the rustc "Fx" construction). The memo maps
+/// sit on the scheduler's innermost loop, where SipHash's per-call fixed
+/// cost (~40 ns) exceeds the whole model evaluation being memoised;
+/// short host/task names and 16-byte triple keys hash in a few cycles
+/// here. Not DoS-resistant — fine for keys the scheduler itself makes.
+#[derive(Debug, Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) ^ rest.len() as u64);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Memo table over [`Predictor::predict`], keyed on
+/// `(library task, problem size, host name)`.
+///
+/// The two string components are **interned** to small integer ids so
+/// the hot lookup path allocates nothing: a hit costs two borrowed-str
+/// map probes plus one small-key probe under a read lock. Host names
+/// are unique across a federation ([`Topology::add_site`] and the site
+/// generators enforce this), so a cache may be shared across sites.
+///
+/// [`Topology::add_site`]: vdce_net::topology::Topology::add_site
+#[derive(Debug, Default)]
+pub struct PredictCache {
+    inner: RwLock<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    task_ids: FxMap<String, u32>,
+    host_ids: FxMap<String, u32>,
+    map: FxMap<(u32, u64, u32), Result<f64, PredictError>>,
+}
+
+fn intern(ids: &mut FxMap<String, u32>, name: &str) -> u32 {
+    if let Some(&id) = ids.get(name) {
+        return id;
+    }
+    let id = ids.len() as u32;
+    ids.insert(name.to_string(), id);
+    id
+}
+
+impl PredictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PredictCache::default()
+    }
+
+    /// `Predict(task, R)` through the memo table. Errors are cached too:
+    /// an infeasible `(task, host)` pair stays infeasible for the whole
+    /// run.
+    pub fn predict(
+        &self,
+        predictor: &Predictor,
+        tasks: &TaskPerfDb,
+        task: &str,
+        problem_size: u64,
+        host: &ResourceRecord,
+    ) -> Result<f64, PredictError> {
+        {
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            if let (Some(&t), Some(&h)) =
+                (inner.task_ids.get(task), inner.host_ids.get(host.host_name.as_str()))
+            {
+                if let Some(cached) = inner.map.get(&(t, problem_size, h)) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return cached.clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = predictor.predict(tasks, task, problem_size, host);
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let Inner { task_ids, host_ids, map } = &mut *guard;
+        let t = intern(task_ids, task);
+        let h = intern(host_ids, &host.host_name);
+        map.insert((t, problem_size, h), computed.clone());
+        computed
+    }
+
+    /// Batched [`PredictCache::predict`] over every host a ranking will
+    /// consider: one read-lock pass resolves all hits, then one
+    /// write-lock pass stores all misses. Results come back in `hosts`
+    /// order and are element-wise identical to per-host `predict` calls —
+    /// the batching only amortises the lock and task-name probes.
+    pub fn predict_many(
+        &self,
+        predictor: &Predictor,
+        tasks: &TaskPerfDb,
+        task: &str,
+        problem_size: u64,
+        hosts: &[&ResourceRecord],
+    ) -> Vec<Result<f64, PredictError>> {
+        // Placeholder for not-yet-filled slots; `String::new()` does not
+        // allocate, so misses cost no placeholder churn.
+        let pending = || Err(PredictError::UnknownTask(String::new()));
+        let mut out: Vec<Result<f64, PredictError>> = Vec::with_capacity(hosts.len());
+        let mut miss_idx: Vec<u32> = Vec::new();
+        {
+            let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(&t) = inner.task_ids.get(task) {
+                for (i, h) in hosts.iter().enumerate() {
+                    let cached = inner
+                        .host_ids
+                        .get(h.host_name.as_str())
+                        .and_then(|&hid| inner.map.get(&(t, problem_size, hid)));
+                    match cached {
+                        Some(c) => out.push(c.clone()),
+                        None => {
+                            out.push(pending());
+                            miss_idx.push(i as u32);
+                        }
+                    }
+                }
+            } else {
+                out.resize_with(hosts.len(), pending);
+                miss_idx.extend(0..hosts.len() as u32);
+            }
+        }
+        self.hits.fetch_add((hosts.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        if !miss_idx.is_empty() {
+            self.misses.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+            // Evaluate outside the lock, then store under one write lock.
+            for &i in &miss_idx {
+                let i = i as usize;
+                out[i] = predictor.predict(tasks, task, problem_size, hosts[i]);
+            }
+            let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+            let Inner { task_ids, host_ids, map } = &mut *guard;
+            let t = intern(task_ids, task);
+            for &i in &miss_idx {
+                let i = i as usize;
+                let hid = intern(host_ids, &hosts[i].host_name);
+                map.insert((t, problem_size, hid), out[i].clone());
+            }
+        }
+        out
+    }
+
+    /// Number of distinct `(task, size, host)` triples evaluated.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// Has nothing been evaluated yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memo hits so far (for benchmark reporting).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Memo misses (= model evaluations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::MachineType;
+    use vdce_repository::resources::HostStatus;
+
+    fn host(name: &str, speed: f64) -> ResourceRecord {
+        ResourceRecord::new(name, "10.0.0.1", MachineType::LinuxPc, speed, 1, 1 << 30, "g0")
+    }
+
+    #[test]
+    fn cached_value_matches_direct_prediction() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::new();
+        let h = host("h", 2.0);
+        let direct = p.predict(&db, "Sort", 10_000, &h).unwrap();
+        let first = cache.predict(&p, &db, "Sort", 10_000, &h).unwrap();
+        let second = cache.predict(&p, &db, "Sort", 10_000, &h).unwrap();
+        assert_eq!(direct.to_bits(), first.to_bits(), "cache must be bit-identical");
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::new();
+        let (a, b) = (host("a", 1.0), host("b", 2.0));
+        cache.predict(&p, &db, "Sort", 1000, &a).unwrap();
+        cache.predict(&p, &db, "Sort", 1000, &b).unwrap();
+        cache.predict(&p, &db, "Sort", 2000, &a).unwrap();
+        cache.predict(&p, &db, "Map", 1000, &a).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn errors_are_cached() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::new();
+        let mut down = host("down", 1.0);
+        down.status = HostStatus::Down;
+        assert!(cache.predict(&p, &db, "Sort", 1000, &down).is_err());
+        assert!(cache.predict(&p, &db, "Sort", 1000, &down).is_err());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::new();
+        let hosts: Vec<ResourceRecord> = (0..4).map(|i| host(&format!("h{i}"), 1.0)).collect();
+        std::thread::scope(|s| {
+            for h in &hosts {
+                let (cache, p, db) = (&cache, &p, &db);
+                s.spawn(move || cache.predict(p, db, "Sort", 5000, h).unwrap());
+            }
+        });
+        assert_eq!(cache.len(), 4);
+    }
+}

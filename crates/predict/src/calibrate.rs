@@ -39,21 +39,14 @@ pub fn fit_base_rate(db: &TaskPerfDb, task: &str, samples: &[(u64, f64)]) -> Opt
 /// `(seconds_on_base, seconds_on_host)` of identical work: the base-time /
 /// host-time ratio, robustly aggregated by the median.
 pub fn fit_relative_speed(pairs: &[(f64, f64)]) -> Option<f64> {
-    let mut ratios: Vec<f64> = pairs
-        .iter()
-        .filter(|(b, h)| *b > 0.0 && *h > 0.0)
-        .map(|(b, h)| b / h)
-        .collect();
+    let mut ratios: Vec<f64> =
+        pairs.iter().filter(|(b, h)| *b > 0.0 && *h > 0.0).map(|(b, h)| b / h).collect();
     if ratios.is_empty() {
         return None;
     }
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = ratios.len() / 2;
-    Some(if ratios.len() % 2 == 1 {
-        ratios[mid]
-    } else {
-        0.5 * (ratios[mid - 1] + ratios[mid])
-    })
+    Some(if ratios.len() % 2 == 1 { ratios[mid] } else { 0.5 * (ratios[mid - 1] + ratios[mid]) })
 }
 
 /// Relative prediction error `|predicted − actual| / actual`.

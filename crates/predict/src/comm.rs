@@ -21,26 +21,15 @@ pub fn transfer_seconds(net: &NetworkModel, from: SiteId, to: SiteId, bytes: u64
 /// given `(parent site, bytes)` pairs for each incoming edge. Edges are
 /// independent point-to-point channels (the Data Manager opens one socket
 /// per edge), so the slowest edge dominates.
-pub fn inputs_arrival_seconds(
-    net: &NetworkModel,
-    to: SiteId,
-    inputs: &[(SiteId, u64)],
-) -> f64 {
-    inputs
-        .iter()
-        .map(|&(from, bytes)| transfer_seconds(net, from, to, bytes))
-        .fold(0.0, f64::max)
+pub fn inputs_arrival_seconds(net: &NetworkModel, to: SiteId, inputs: &[(SiteId, u64)]) -> f64 {
+    inputs.iter().map(|&(from, bytes)| transfer_seconds(net, from, to, bytes)).fold(0.0, f64::max)
 }
 
 /// Sum of input transfer times (the paper's conservative serial
 /// formulation in Figure 2: `transfer_time(S_parent, S_j) × file_size`
 /// accumulated per parent). Used by the classic site-scheduler; the
 /// max-based [`inputs_arrival_seconds`] is benchmarked as an ablation.
-pub fn inputs_serial_seconds(
-    net: &NetworkModel,
-    to: SiteId,
-    inputs: &[(SiteId, u64)],
-) -> f64 {
+pub fn inputs_serial_seconds(net: &NetworkModel, to: SiteId, inputs: &[(SiteId, u64)]) -> f64 {
     inputs.iter().map(|&(from, bytes)| transfer_seconds(net, from, to, bytes)).sum()
 }
 
@@ -66,14 +55,19 @@ mod tests {
     #[test]
     fn arrival_is_max_over_edges() {
         let n = net();
-        let t = inputs_arrival_seconds(&n, SiteId(0), &[(SiteId(1), 1_000_000), (SiteId(2), 1_000_000)]);
+        let t = inputs_arrival_seconds(
+            &n,
+            SiteId(0),
+            &[(SiteId(1), 1_000_000), (SiteId(2), 1_000_000)],
+        );
         assert!((t - 2.05).abs() < 1e-9, "slowest edge dominates, got {t}");
     }
 
     #[test]
     fn serial_is_sum_over_edges() {
         let n = net();
-        let t = inputs_serial_seconds(&n, SiteId(0), &[(SiteId(1), 1_000_000), (SiteId(2), 1_000_000)]);
+        let t =
+            inputs_serial_seconds(&n, SiteId(0), &[(SiteId(1), 1_000_000), (SiteId(2), 1_000_000)]);
         assert!((t - (1.01 + 2.05)).abs() < 1e-9);
     }
 

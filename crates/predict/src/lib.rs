@@ -19,16 +19,18 @@
 //! Modules: [`model`] (the `Predict(task, R)` function), [`parallel`]
 //! (multi-node execution times and node-count selection), [`comm`]
 //! (transfer-time prediction), [`calibrate`] (fitting rates from
-//! measurements).
+//! measurements), [`cache`] (per-run memoisation of `Predict`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod comm;
 pub mod model;
 pub mod parallel;
 
+pub use cache::PredictCache;
 pub use comm::transfer_seconds;
 pub use model::{predict_seconds, PredictError, Predictor};
-pub use parallel::{best_node_count, parallel_seconds, ParallelModel};
+pub use parallel::{best_node_count, best_node_count_cached, parallel_seconds, ParallelModel};

@@ -70,9 +70,7 @@ impl Predictor {
         problem_size: u64,
         host: &ResourceRecord,
     ) -> Result<f64, PredictError> {
-        let entry = tasks
-            .entry(task)
-            .ok_or_else(|| PredictError::UnknownTask(task.to_string()))?;
+        let entry = tasks.entry(task).ok_or_else(|| PredictError::UnknownTask(task.to_string()))?;
         if !host.is_up() {
             return Err(PredictError::HostDown(host.host_name.clone()));
         }
@@ -168,10 +166,7 @@ mod tests {
         let db = TaskPerfDb::standard();
         let mut h = host("h", 1.0);
         h.status = HostStatus::Down;
-        assert_eq!(
-            predict_seconds(&db, "Sort", 100, &h),
-            Err(PredictError::HostDown("h".into()))
-        );
+        assert_eq!(predict_seconds(&db, "Sort", 100, &h), Err(PredictError::HostDown("h".into())));
     }
 
     #[test]

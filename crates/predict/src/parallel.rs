@@ -14,6 +14,7 @@
 //! relative per-node times `t_i` the parallel part finishes in
 //! `f · T_comp / Σ (T_ref / t_i)` — i.e. nodes add *harmonic* capacity.
 
+use crate::cache::PredictCache;
 use crate::model::{PredictError, Predictor};
 use serde::{Deserialize, Serialize};
 use vdce_repository::resources::ResourceRecord;
@@ -55,8 +56,15 @@ pub fn parallel_seconds(
     for n in nodes {
         times.push(predictor.predict(tasks, task, problem_size, n)?);
     }
+    Ok(combine_node_times(model, &times))
+}
+
+/// Combine already-predicted per-node times into the model's multi-node
+/// time. Separated from the prediction so node-count selection can reuse
+/// the per-node times it ranked on instead of re-predicting every prefix.
+fn combine_node_times(model: &ParallelModel, times: &[f64]) -> f64 {
     if times.len() == 1 {
-        return Ok(times[0]);
+        return times[0];
     }
     let f = model.parallel_fraction.clamp(0.0, 1.0);
     // Reference: the fastest node runs the serial fraction.
@@ -66,7 +74,7 @@ pub fn parallel_seconds(
     let capacity: f64 = times.iter().map(|t| t_ref / t).sum();
     let serial = (1.0 - f) * t_ref;
     let parallel = f * t_ref / capacity;
-    Ok(serial + parallel + model.sync_cost_s * (times.len() as f64 - 1.0))
+    serial + parallel + model.sync_cost_s * (times.len() as f64 - 1.0)
 }
 
 /// Choose how many (and which) of `candidates` to use for a parallel task
@@ -84,8 +92,9 @@ pub fn best_node_count<'a>(
     requested: u32,
     candidates: &[&'a ResourceRecord],
 ) -> Result<(Vec<&'a ResourceRecord>, f64), PredictError> {
-    // Rank candidates by single-node predicted time, dropping infeasible
-    // ones.
+    // Reference path: evaluate the model directly, re-predicting every
+    // prefix the way the algorithm is written in the module docs. Kept
+    // as-is so the memoised variant below has a bit-exact oracle.
     let mut ranked: Vec<(&ResourceRecord, f64)> = Vec::new();
     let mut first_err = None;
     for &c in candidates {
@@ -104,6 +113,79 @@ pub fn best_node_count<'a>(
     for p in 1..=max_p {
         let nodes: Vec<&ResourceRecord> = ranked[..p].iter().map(|(r, _)| *r).collect();
         let t = parallel_seconds(predictor, model, tasks, task, problem_size, &nodes)?;
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((p, t));
+        }
+    }
+    let (p, t) = best.expect("at least p=1 evaluated");
+    Ok((ranked[..p].iter().map(|(r, _)| *r).collect(), t))
+}
+
+/// [`best_node_count`] with two optimisations that leave the result
+/// bit-identical:
+///
+/// - per-node predictions go through `cache`, so repeated evaluations of
+///   the same `(task, size, host)` triple within a scheduling run are
+///   free;
+/// - prefix times reuse the per-node times the ranking was built from
+///   (prediction is deterministic, so re-predicting a ranked node would
+///   return exactly the ranked time), dropping the `O(p²)` re-prediction
+///   of the reference path to `O(p)` arithmetic.
+#[allow(clippy::too_many_arguments)]
+pub fn best_node_count_cached<'a>(
+    predictor: &Predictor,
+    model: &ParallelModel,
+    cache: &PredictCache,
+    tasks: &TaskPerfDb,
+    task: &str,
+    problem_size: u64,
+    requested: u32,
+    candidates: &[&'a ResourceRecord],
+) -> Result<(Vec<&'a ResourceRecord>, f64), PredictError> {
+    let predictions = cache.predict_many(predictor, tasks, task, problem_size, candidates);
+
+    if requested.max(1) == 1 {
+        // Single-node fast path: `p` is forced to 1, so the whole ranking
+        // collapses to an argmin and the sort/prefix machinery can be
+        // skipped. The reference's stable sort keeps the *first-seen*
+        // host among equal times, which a strict `<` scan reproduces, and
+        // `combine_node_times` of a singleton is the time itself.
+        let mut first_err = None;
+        let mut best: Option<(&ResourceRecord, f64)> = None;
+        for (&c, r) in candidates.iter().zip(predictions) {
+            match r {
+                Ok(t) => {
+                    if best.is_none_or(|(_, bt)| t < bt) {
+                        best = Some((c, t));
+                    }
+                }
+                Err(e) => first_err = Some(first_err.unwrap_or(e)),
+            }
+        }
+        return match best {
+            Some((c, t)) => Ok((vec![c], t)),
+            None => Err(first_err.unwrap_or_else(|| PredictError::UnknownTask(task.to_string()))),
+        };
+    }
+
+    let mut ranked: Vec<(&ResourceRecord, f64)> = Vec::new();
+    let mut first_err = None;
+    for (&c, r) in candidates.iter().zip(predictions) {
+        match r {
+            Ok(t) => ranked.push((c, t)),
+            Err(e) => first_err = Some(first_err.unwrap_or(e)),
+        }
+    }
+    if ranked.is_empty() {
+        return Err(first_err.unwrap_or_else(|| PredictError::UnknownTask(task.to_string())));
+    }
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let times: Vec<f64> = ranked.iter().map(|(_, t)| *t).collect();
+    let max_p = (requested.max(1) as usize).min(ranked.len());
+    let mut best: Option<(usize, f64)> = None;
+    for p in 1..=max_p {
+        let t = combine_node_times(model, &times[..p]);
         if best.is_none_or(|(_, bt)| t < bt) {
             best = Some((p, t));
         }
@@ -172,8 +254,7 @@ mod tests {
         let (p, m, db) = setup();
         let hosts: Vec<ResourceRecord> = (0..8).map(|i| host(&format!("h{i}"), 1.0)).collect();
         let refs: Vec<&ResourceRecord> = hosts.iter().collect();
-        let (nodes, t) =
-            best_node_count(&p, &m, &db, "LU_Decomposition", 1024, 8, &refs).unwrap();
+        let (nodes, t) = best_node_count(&p, &m, &db, "LU_Decomposition", 1024, 8, &refs).unwrap();
         assert!(nodes.len() >= 4, "big LU should use several nodes, used {}", nodes.len());
         let (one, t1) = best_node_count(&p, &m, &db, "LU_Decomposition", 1024, 1, &refs).unwrap();
         assert_eq!(one.len(), 1);
@@ -216,6 +297,46 @@ mod tests {
         let mut h = host("h", 1.0);
         h.status = HostStatus::Down;
         assert!(best_node_count(&p, &m, &db, "Sort", 1000, 2, &[&h]).is_err());
+    }
+
+    #[test]
+    fn cached_selection_is_bit_identical_to_reference() {
+        let (p, m, db) = setup();
+        let hosts: Vec<ResourceRecord> =
+            (0..8).map(|i| host(&format!("h{i}"), 1.0 + 0.5 * i as f64)).collect();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let cache = PredictCache::new();
+        for (task, size, req) in [
+            ("LU_Decomposition", 1024u64, 8u32),
+            ("LU_Decomposition", 1024, 3),
+            ("Vector_Norm", 100, 8),
+            ("Sort", 50_000, 2),
+        ] {
+            let (a_nodes, a_t) = best_node_count(&p, &m, &db, task, size, req, &refs).unwrap();
+            let (b_nodes, b_t) =
+                best_node_count_cached(&p, &m, &cache, &db, task, size, req, &refs).unwrap();
+            let a_names: Vec<&str> = a_nodes.iter().map(|n| n.host_name.as_str()).collect();
+            let b_names: Vec<&str> = b_nodes.iter().map(|n| n.host_name.as_str()).collect();
+            assert_eq!(a_names, b_names, "{task}");
+            assert_eq!(a_t.to_bits(), b_t.to_bits(), "{task}: times must be bit-identical");
+        }
+        // Second pass is served from the memo table and still identical.
+        let (_, before) =
+            best_node_count_cached(&p, &m, &cache, &db, "Sort", 50_000, 2, &refs).unwrap();
+        assert!(cache.hits() > 0, "repeat run must hit the cache");
+        let (_, again) = best_node_count(&p, &m, &db, "Sort", 50_000, 2, &refs).unwrap();
+        assert_eq!(before.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn cached_error_cases_match_reference() {
+        let (p, m, db) = setup();
+        let cache = PredictCache::new();
+        let mut h = host("h", 1.0);
+        h.status = HostStatus::Down;
+        let a = best_node_count(&p, &m, &db, "Sort", 1000, 2, &[&h]);
+        let b = best_node_count_cached(&p, &m, &cache, &db, "Sort", 1000, 2, &[&h]);
+        assert_eq!(a, b);
     }
 
     #[test]

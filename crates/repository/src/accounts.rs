@@ -255,10 +255,7 @@ mod tests {
     #[test]
     fn change_password_requires_old_password() {
         let mut db = db_with_user();
-        assert_eq!(
-            db.change_password("user_k", "nope", "new"),
-            Err(AuthError::BadPassword)
-        );
+        assert_eq!(db.change_password("user_k", "nope", "new"), Err(AuthError::BadPassword));
         db.change_password("user_k", "hunter2", "new").unwrap();
         assert!(db.authenticate("user_k", "hunter2").is_err());
         assert!(db.authenticate("user_k", "new").is_ok());

@@ -27,10 +27,7 @@ impl TaskConstraintsDb {
 
     /// Register (or replace) the executable location of `task` on `host`.
     pub fn register(&mut self, task: &str, host: &str, path: impl Into<String>) {
-        self.locations
-            .entry(task.to_string())
-            .or_default()
-            .insert(host.to_string(), path.into());
+        self.locations.entry(task.to_string()).or_default().insert(host.to_string(), path.into());
     }
 
     /// Register `task` as installed on every host of `hosts`, under a
@@ -58,10 +55,7 @@ impl TaskConstraintsDb {
 
     /// Hosts (name-ordered) on which `task` is installed.
     pub fn hosts_for(&self, task: &str) -> Vec<&str> {
-        self.locations
-            .get(task)
-            .map(|m| m.keys().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.locations.get(task).map(|m| m.keys().map(String::as_str).collect()).unwrap_or_default()
     }
 
     /// Remove a single installation record; returns whether it existed.

@@ -135,11 +135,7 @@ impl TaskPerfDb {
 
     /// Number of samples folded into the `(task, host)` record.
     pub fn sample_count(&self, task: &str, host: &str) -> u64 {
-        self.measured
-            .get(task)
-            .and_then(|m| m.get(host))
-            .map(|d| d.samples)
-            .unwrap_or(0)
+        self.measured.get(task).and_then(|m| m.get(host)).map(|d| d.samples).unwrap_or(0)
     }
 
     /// Seconds-per-flop of `task` on the base processor: calibrated value
@@ -157,10 +153,7 @@ impl TaskPerfDb {
 
     /// Hosts with measurements for `task`, in name order.
     pub fn measured_hosts(&self, task: &str) -> Vec<&str> {
-        self.measured
-            .get(task)
-            .map(|m| m.keys().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.measured.get(task).map(|m| m.keys().map(String::as_str).collect()).unwrap_or_default()
     }
 }
 

@@ -99,12 +99,9 @@ impl ThresholdGate<'_> {
                     if !node.props.machine_type.accepts(host.machine) {
                         continue;
                     }
-                    if let Ok(t) = self.predictor.predict(
-                        tasks,
-                        &node.library_task,
-                        node.problem_size,
-                        host,
-                    ) {
+                    if let Ok(t) =
+                        self.predictor.predict(tasks, &node.library_task, node.problem_size, host)
+                    {
                         candidates.push((t, host.host_name.clone()));
                     }
                 }
@@ -206,14 +203,8 @@ impl AppController {
         // Write measured execution times back into the repository.
         self.site_manager.drain(&rx);
 
-        let rescheduled = self
-            .log
-            .count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. }));
-        ExecutionReport {
-            outcome,
-            rescheduled_tasks: rescheduled,
-            setup_acks: dm.setup_acks(),
-        }
+        let rescheduled = self.log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. }));
+        ExecutionReport { outcome, rescheduled_tasks: rescheduled, setup_acks: dm.setup_acks() }
     }
 }
 
@@ -270,11 +261,7 @@ mod tests {
 
     fn controller(repo: SiteRepository) -> AppController {
         let log = EventLog::new();
-        AppController::new(
-            SiteManager::new(SiteId(0), repo),
-            AppControllerConfig::default(),
-            log,
-        )
+        AppController::new(SiteManager::new(SiteId(0), repo), AppControllerConfig::default(), log)
     }
 
     #[test]
@@ -282,7 +269,12 @@ mod tests {
         let repo = repo_with_hosts(&["h0", "h1"]);
         let ac = controller(repo.clone());
         let afg = chain();
-        let report = ac.run(&afg, &table_on(&afg, "h0"), &IoService::new(), &ConsoleService::new(ac.log().clone()));
+        let report = ac.run(
+            &afg,
+            &table_on(&afg, "h0"),
+            &IoService::new(),
+            &ConsoleService::new(ac.log().clone()),
+        );
         assert!(report.outcome.success);
         assert_eq!(report.rescheduled_tasks, 0);
         // Measured times reached the task-performance DB.
@@ -290,10 +282,7 @@ mod tests {
             assert!(db.sample_count("Source", "h0") >= 1);
             assert!(db.sample_count("Map", "h0") >= 1);
         });
-        assert_eq!(
-            ac.log().count(|e| matches!(e, RuntimeEvent::StartupSignal)),
-            1
-        );
+        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::StartupSignal)), 1);
     }
 
     #[test]

@@ -88,9 +88,7 @@ impl DataSender {
             TxImpl::Tcp(stream) => {
                 let mut s = stream.lock();
                 let len = (payload.len() as u32).to_le_bytes();
-                s.write_all(&len)
-                    .and_then(|_| s.write_all(&payload))
-                    .map_err(|_| DataError::Closed)
+                s.write_all(&len).and_then(|_| s.write_all(&payload)).map_err(|_| DataError::Closed)
             }
         }
     }
@@ -158,8 +156,7 @@ impl DataManager {
                 // Receiver side: bind an ephemeral loopback port...
                 let listener = TcpListener::bind("127.0.0.1:0")
                     .map_err(|e| DataError::Setup(e.to_string()))?;
-                let addr =
-                    listener.local_addr().map_err(|e| DataError::Setup(e.to_string()))?;
+                let addr = listener.local_addr().map_err(|e| DataError::Setup(e.to_string()))?;
                 // ...and start the communication proxy pumping frames.
                 let (frames_tx, frames_rx) = bounded::<Bytes>(CHANNEL_DEPTH);
                 std::thread::Builder::new()
@@ -184,13 +181,10 @@ impl DataManager {
                     .map_err(|e| DataError::Setup(e.to_string()))?;
                 // Sender side: connect (this is the "socket number, IP
                 // address" exchange — addr carries both).
-                let stream = TcpStream::connect(addr)
-                    .map_err(|e| DataError::Setup(e.to_string()))?;
+                let stream =
+                    TcpStream::connect(addr).map_err(|e| DataError::Setup(e.to_string()))?;
                 stream.set_nodelay(true).ok();
-                (
-                    DataSender { tx: TxImpl::Tcp(Mutex::new(stream)) },
-                    DataReceiver { rx: frames_rx },
-                )
+                (DataSender { tx: TxImpl::Tcp(Mutex::new(stream)) }, DataReceiver { rx: frames_rx })
             }
         };
         // Proxy acknowledgment to the Application Controller.
@@ -269,10 +263,7 @@ mod tests {
     fn recv_timeout_on_empty_channel() {
         let dm = DataManager::new(Transport::InProc, EventLog::new());
         let (_tx, rx) = dm.open_channel(ChannelId { app: 1, edge: 0 }).unwrap();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
-            DataError::Timeout
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap_err(), DataError::Timeout);
     }
 
     #[test]

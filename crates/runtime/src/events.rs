@@ -151,10 +151,7 @@ mod tests {
         log.record(2.0, RuntimeEvent::HostFailed { host: "b".into() });
         log.record(3.0, RuntimeEvent::HostRecovered { host: "a".into() });
         assert_eq!(log.count(|e| matches!(e, RuntimeEvent::HostFailed { .. })), 2);
-        assert_eq!(
-            log.first_time(|e| matches!(e, RuntimeEvent::HostRecovered { .. })),
-            Some(3.0)
-        );
+        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostRecovered { .. })), Some(3.0));
         assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::StartupSignal)), None);
     }
 

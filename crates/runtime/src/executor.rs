@@ -182,12 +182,7 @@ pub fn execute_with_locks(
     // Route channel halves to their tasks.
     let mut task_in: Vec<Vec<(usize, DataReceiver)>> = (0..n).map(|_| Vec::new()).collect();
     let mut task_out: Vec<Vec<(usize, DataSender)>> = (0..n).map(|_| Vec::new()).collect();
-    for (idx, (e, (s, r))) in afg
-        .edges
-        .iter()
-        .zip(senders.into_iter().zip(receivers))
-        .enumerate()
-    {
+    for (idx, (e, (s, r))) in afg.edges.iter().zip(senders.into_iter().zip(receivers)).enumerate() {
         task_out[e.from.index()].push((idx, s));
         task_in[e.to.index()].push((idx, r));
     }
@@ -211,8 +206,19 @@ pub fn execute_with_locks(
             let completions = completions.clone();
             scope.spawn(move |_| {
                 let record = run_task(
-                    afg, task, placement, my_in, my_out, io, console, gate, log, clock,
-                    host_locks, completions, config,
+                    afg,
+                    task,
+                    placement,
+                    my_in,
+                    my_out,
+                    io,
+                    console,
+                    gate,
+                    log,
+                    clock,
+                    host_locks,
+                    completions,
+                    config,
                 );
                 *records[task.index()].lock() = Some(record);
             });
@@ -288,8 +294,7 @@ fn run_task(
             }
         }
     }
-    let payloads: Vec<Bytes> =
-        port_payloads.into_iter().map(|p| p.unwrap_or_default()).collect();
+    let payloads: Vec<Bytes> = port_payloads.into_iter().map(|p| p.unwrap_or_default()).collect();
 
     // 2. Console checkpoint (suspend/abort) before launching.
     if !console.checkpoint() {
@@ -318,22 +323,14 @@ fn run_task(
     let mut sorted = hosts.clone();
     sorted.sort();
     sorted.dedup();
-    let locks: Vec<Arc<Mutex<()>>> =
-        sorted.iter().map(|h| host_locks.lock_for(h)).collect();
+    let locks: Vec<Arc<Mutex<()>>> = sorted.iter().map(|h| host_locks.lock_for(h)).collect();
     let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
 
     // 5. Run the kernel.
     let start = clock.now();
-    log.record(
-        start,
-        RuntimeEvent::TaskStarted { task, host: hosts.join("+") },
-    );
-    let result = run_kernel_parallel(
-        node.kernel,
-        node.problem_size,
-        &payloads,
-        hosts.len().max(1) as u32,
-    );
+    log.record(start, RuntimeEvent::TaskStarted { task, host: hosts.join("+") });
+    let result =
+        run_kernel_parallel(node.kernel, node.problem_size, &payloads, hosts.len().max(1) as u32);
     let finish = clock.now();
     drop(guards);
 
@@ -345,10 +342,7 @@ fn run_task(
     // 6. Deliver outputs: dataflow frames per out-edge, file/URL stores.
     for (edge_idx, tx) in &outputs {
         let edge = &afg.edges[*edge_idx];
-        let payload = out_payloads
-            .get(edge.from_port.index())
-            .cloned()
-            .unwrap_or_default();
+        let payload = out_payloads.get(edge.from_port.index()).cloned().unwrap_or_default();
         if tx.send(payload).is_err() {
             // Consumer died; its own record will say why.
         }
@@ -543,10 +537,7 @@ mod tests {
         for r in &out.records {
             assert_eq!(r.hosts, vec!["h1".to_string()]);
         }
-        assert_eq!(
-            log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. })),
-            3
-        );
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. })), 3);
     }
 
     #[test]

@@ -174,9 +174,7 @@ impl GroupManager {
                 self.down.remove(&host);
                 self.stats.recoveries_detected += 1;
                 self.log.record(t, RuntimeEvent::HostRecovered { host: host.clone() });
-                let _ = self
-                    .to_site
-                    .send(ControlMessage::HostRecovered { host: host.clone() });
+                let _ = self.to_site.send(ControlMessage::HostRecovered { host: host.clone() });
                 changed.push(host);
             }
         }
@@ -230,7 +228,9 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn mk(threshold: f64) -> (GroupManager, crossbeam::channel::Receiver<ControlMessage>, Arc<FlagEcho>) {
+    fn mk(
+        threshold: f64,
+    ) -> (GroupManager, crossbeam::channel::Receiver<ControlMessage>, Arc<FlagEcho>) {
         let (tx, rx) = unbounded();
         let echo = Arc::new(FlagEcho::new());
         let gm = GroupManager::new(
@@ -302,7 +302,9 @@ mod tests {
         echo.kill("a");
         let changed = gm.probe_hosts(1.0);
         assert_eq!(changed, vec!["a".to_string()]);
-        assert!(matches!(rx.try_recv().unwrap(), ControlMessage::HostFailure { host } if host == "a"));
+        assert!(
+            matches!(rx.try_recv().unwrap(), ControlMessage::HostFailure { host } if host == "a")
+        );
         assert_eq!(gm.down_hosts(), vec!["a"]);
         // Still down: no duplicate message.
         assert!(gm.probe_hosts(2.0).is_empty());
@@ -311,7 +313,9 @@ mod tests {
         echo.revive("a");
         let changed = gm.probe_hosts(3.0);
         assert_eq!(changed, vec!["a".to_string()]);
-        assert!(matches!(rx.try_recv().unwrap(), ControlMessage::HostRecovered { host } if host == "a"));
+        assert!(
+            matches!(rx.try_recv().unwrap(), ControlMessage::HostRecovered { host } if host == "a")
+        );
         assert!(gm.down_hosts().is_empty());
         let s = gm.stats();
         assert_eq!(s.failures_detected, 1);
@@ -361,14 +365,7 @@ mod tests {
         let (tx, _rx) = unbounded();
         let echo = Arc::new(FlagEcho::new());
         let log = EventLog::new();
-        let mut gm = GroupManager::new(
-            "g",
-            vec!["a".into()],
-            0.5,
-            echo.clone(),
-            tx,
-            log.clone(),
-        );
+        let mut gm = GroupManager::new("g", vec!["a".into()], 0.5, echo.clone(), tx, log.clone());
         gm.handle_report(0.0, &report("a", 3.0));
         echo.kill("a");
         gm.probe_hosts(1.0);

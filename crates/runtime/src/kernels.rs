@@ -69,10 +69,7 @@ pub fn encode_f64s(values: &[f64]) -> Bytes {
 
 /// Decode a little-endian payload into `f64`s.
 pub fn decode_f64s(payload: &Bytes) -> Vec<f64> {
-    payload
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
-        .collect()
+    payload.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect()
 }
 
 /// Deterministic pseudo-random stream (splitmix64 → uniform in [0, 1)).
@@ -356,10 +353,7 @@ fn par_index_map(len: usize, nodes: usize, f: impl Fn(usize) -> f64 + Sync) -> V
                 s.spawn(move |_| (start..end).map(f).collect::<Vec<f64>>())
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("kernel worker"))
-            .collect()
+        handles.into_iter().flat_map(|h| h.join().expect("kernel worker")).collect()
     })
     .expect("scope")
 }
@@ -531,11 +525,7 @@ fn fft_magnitudes(x: &[f64]) -> Vec<f64> {
         }
         len <<= 1;
     }
-    re.iter()
-        .zip(im.iter())
-        .take(x.len())
-        .map(|(r, i)| (r * r + i * i).sqrt())
-        .collect()
+    re.iter().zip(im.iter()).take(x.len()).map(|(r, i)| (r * r + i * i).sqrt()).collect()
 }
 
 #[cfg(test)]
@@ -638,12 +628,9 @@ mod tests {
             eye[i * n + i] = 1.0;
         }
         let a = synth_matrix(5, n);
-        let out = run_kernel(
-            KernelKind::MatrixMultiply,
-            n as u64,
-            &[encode_f64s(&a), encode_f64s(&eye)],
-        )
-        .unwrap();
+        let out =
+            run_kernel(KernelKind::MatrixMultiply, n as u64, &[encode_f64s(&a), encode_f64s(&eye)])
+                .unwrap();
         let c = decode_f64s(&out[0]);
         for (x, y) in c.iter().zip(a.iter()) {
             assert!((x - y).abs() < 1e-12);
@@ -655,10 +642,9 @@ mod tests {
         let n = 48usize;
         let a = encode_f64s(&synth_matrix(1, n));
         let b = encode_f64s(&synth_matrix(2, n));
-        let seq = run_kernel(KernelKind::MatrixMultiply, n as u64, &[a.clone(), b.clone()])
-            .unwrap();
-        let par =
-            run_kernel_parallel(KernelKind::MatrixMultiply, n as u64, &[a, b], 4).unwrap();
+        let seq =
+            run_kernel(KernelKind::MatrixMultiply, n as u64, &[a.clone(), b.clone()]).unwrap();
+        let par = run_kernel_parallel(KernelKind::MatrixMultiply, n as u64, &[a, b], 4).unwrap();
         let (s, p) = (decode_f64s(&seq[0]), decode_f64s(&par[0]));
         for (x, y) in s.iter().zip(p.iter()) {
             assert!((x - y).abs() < 1e-9);
@@ -711,20 +697,16 @@ mod tests {
                 b[i] += a[i * n + j] * x_true[j];
             }
         }
-        let lu_out =
-            run_kernel(KernelKind::LuDecomposition, n as u64, &[encode_f64s(&a)]).unwrap();
+        let lu_out = run_kernel(KernelKind::LuDecomposition, n as u64, &[encode_f64s(&a)]).unwrap();
         let y = run_kernel(
             KernelKind::ForwardSubstitution,
             n as u64,
             &[lu_out[0].clone(), encode_f64s(&b)],
         )
         .unwrap();
-        let x = run_kernel(
-            KernelKind::BackSubstitution,
-            n as u64,
-            &[lu_out[1].clone(), y[0].clone()],
-        )
-        .unwrap();
+        let x =
+            run_kernel(KernelKind::BackSubstitution, n as u64, &[lu_out[1].clone(), y[0].clone()])
+                .unwrap();
         for (xs, xt) in decode_f64s(&x[0]).iter().zip(x_true.iter()) {
             assert!((xs - xt).abs() < 1e-8, "solver must recover x");
         }
@@ -795,12 +777,8 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0, 4.0];
         let mut delta = vec![0.0; 4];
         delta[0] = 1.0;
-        let out = run_kernel(
-            KernelKind::Convolution,
-            4,
-            &[encode_f64s(&a), encode_f64s(&delta)],
-        )
-        .unwrap();
+        let out = run_kernel(KernelKind::Convolution, 4, &[encode_f64s(&a), encode_f64s(&delta)])
+            .unwrap();
         assert_eq!(decode_f64s(&out[0]), a);
     }
 
@@ -809,12 +787,8 @@ mod tests {
         let ingest = run_kernel(KernelKind::SensorIngest, 100, &[]).unwrap();
         let corr = run_kernel(KernelKind::TrackCorrelation, 100, &[ingest[0].clone()]).unwrap();
         assert_eq!(decode_f64s(&corr[0]).len(), 100);
-        let fused = run_kernel(
-            KernelKind::DataFusion,
-            100,
-            &[corr[0].clone(), ingest[0].clone()],
-        )
-        .unwrap();
+        let fused =
+            run_kernel(KernelKind::DataFusion, 100, &[corr[0].clone(), ingest[0].clone()]).unwrap();
         assert!(!decode_f64s(&fused[0]).is_empty());
         let threat = run_kernel(KernelKind::ThreatAssessment, 100, &[fused[0].clone()]).unwrap();
         let scores = decode_f64s(&threat[0]);

@@ -94,12 +94,7 @@ impl LoadProbe for SyntheticProbe {
                     .unwrap_or(*self.default_load.read())
             })
             .unwrap_or(*self.default_load.read());
-        let mem = self
-            .memory
-            .read()
-            .get(host)
-            .copied()
-            .unwrap_or(*self.default_memory.read());
+        let mem = self.memory.read().get(host).copied().unwrap_or(*self.default_memory.read());
         (load, mem)
     }
 }
@@ -118,9 +113,9 @@ impl LoadProbe for ProcProbe {
         let mem = std::fs::read_to_string("/proc/meminfo")
             .ok()
             .and_then(|s| {
-                s.lines().find(|l| l.starts_with("MemAvailable:")).and_then(|l| {
-                    l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok())
-                })
+                s.lines()
+                    .find(|l| l.starts_with("MemAvailable:"))
+                    .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok()))
             })
             .map(|kb| kb * 1024)
             .unwrap_or(0);
@@ -152,12 +147,8 @@ impl MonitorDaemon {
     /// report (also when the Group Manager is gone).
     pub fn tick(&self, t: f64) -> MonitorReport {
         let (workload, available_memory) = self.probe.sample(&self.host);
-        let report =
-            MonitorReport { host: self.host.clone(), workload, available_memory };
-        self.log.record(
-            t,
-            RuntimeEvent::MonitorSample { host: self.host.clone(), workload },
-        );
+        let report = MonitorReport { host: self.host.clone(), workload, available_memory };
+        self.log.record(t, RuntimeEvent::MonitorSample { host: self.host.clone(), workload });
         let _ = self.tx.send(report.clone());
         report
     }

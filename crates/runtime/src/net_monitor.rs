@@ -51,11 +51,7 @@ impl SyntheticLinkProbe {
 impl LinkProbe for SyntheticLinkProbe {
     fn probe(&self, a: SiteId, b: SiteId) -> (f64, f64) {
         let key = (a.0.min(b.0), a.0.max(b.0));
-        self.overrides
-            .read()
-            .get(&key)
-            .copied()
-            .unwrap_or(*self.default.read())
+        self.overrides.read().get(&key).copied().unwrap_or(*self.default.read())
     }
 }
 

@@ -234,9 +234,7 @@ impl VisualizationService {
                 }
                 RuntimeEvent::HostFailed { host } => ("host_failed", host.clone()),
                 RuntimeEvent::HostRecovered { host } => ("host_recovered", host.clone()),
-                RuntimeEvent::ChannelReady { channel } => {
-                    ("channel_ready", channel.to_string())
-                }
+                RuntimeEvent::ChannelReady { channel } => ("channel_ready", channel.to_string()),
                 RuntimeEvent::StartupSignal => ("startup_signal", String::new()),
                 RuntimeEvent::TaskStarted { task, host } => {
                     ("task_started", format!("{task}@{host}"))
@@ -285,10 +283,7 @@ impl VisualizationService {
         let mut hosts: Vec<&str> = samples.iter().map(|(_, h, _)| *h).collect();
         hosts.sort();
         hosts.dedup();
-        let _ = writeln!(
-            out,
-            "WORKLOAD ({t0:.1}s .. {t1:.1}s, peak load {max_w:.2})"
-        );
+        let _ = writeln!(out, "WORKLOAD ({t0:.1}s .. {t1:.1}s, peak load {max_w:.2})");
         for host in hosts {
             let mut sum = vec![0.0f64; width];
             let mut cnt = vec![0u32; width];
@@ -333,11 +328,7 @@ impl VisualizationService {
                 _ => {}
             }
         }
-        let end = spans
-            .values()
-            .filter_map(|(_, f, _)| *f)
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let end = spans.values().filter_map(|(_, f, _)| *f).fold(0.0f64, f64::max).max(1e-9);
         let mut out = String::new();
         let _ = writeln!(out, "GANTT (0 .. {end:.3}s)");
         for (task, (start, finish, host)) in &spans {
@@ -348,11 +339,7 @@ impl VisualizationService {
             for c in row.iter_mut().take(b).skip(a) {
                 *c = b'#';
             }
-            let _ = writeln!(
-                out,
-                "t{task:<3} |{}| {host}",
-                String::from_utf8(row).expect("ascii")
-            );
+            let _ = writeln!(out, "t{task:<3} |{}| {host}", String::from_utf8(row).expect("ascii"));
         }
         out
     }
@@ -397,9 +384,7 @@ mod tests {
     fn uploaded_file_wins_over_synthesis() {
         let io = IoService::new();
         io.put("/in.dat", Bytes::from_static(b"real"));
-        let got = io
-            .resolve_input(&IoSpec::file("/in.dat", 4), KernelKind::Map, 0, 10)
-            .unwrap();
+        let got = io.resolve_input(&IoSpec::file("/in.dat", 4), KernelKind::Map, 0, 10).unwrap();
         assert_eq!(got, Bytes::from_static(b"real"));
     }
 

@@ -86,9 +86,9 @@ impl SiteManager {
     /// prototype).
     pub fn process(&self, msg: &ControlMessage) -> bool {
         match msg {
-            ControlMessage::WorkloadUpdate { host, workload, available_memory } => self
-                .repo
-                .resources_mut(|db| db.record_sample(host, *workload, *available_memory)),
+            ControlMessage::WorkloadUpdate { host, workload, available_memory } => {
+                self.repo.resources_mut(|db| db.record_sample(host, *workload, *available_memory))
+            }
             ControlMessage::HostFailure { host } => {
                 self.repo.resources_mut(|db| db.set_status(host, HostStatus::Down))
             }
@@ -131,9 +131,7 @@ impl SiteManager {
                 .hosts
                 .iter()
                 .map(|h| {
-                    self.repo
-                        .resources(|db| db.get(h).map(|r| r.group.clone()))
-                        .unwrap_or_default()
+                    self.repo.resources(|db| db.get(h).map(|r| r.group.clone())).unwrap_or_default()
                 })
                 .collect();
             groups.sort();
@@ -163,8 +161,24 @@ mod tests {
     fn manager() -> SiteManager {
         let repo = SiteRepository::new();
         repo.resources_mut(|db| {
-            db.upsert(ResourceRecord::new("a", "10.0.0.1", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g0"));
-            db.upsert(ResourceRecord::new("b", "10.0.0.2", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g1"));
+            db.upsert(ResourceRecord::new(
+                "a",
+                "10.0.0.1",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
+            ));
+            db.upsert(ResourceRecord::new(
+                "b",
+                "10.0.0.2",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g1",
+            ));
         });
         SiteManager::new(SiteId(0), repo)
     }

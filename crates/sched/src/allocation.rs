@@ -79,11 +79,8 @@ impl AllocationTable {
 
     /// Distinct hosts used, name-ordered.
     pub fn hosts_used(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self
-            .placements
-            .values()
-            .flat_map(|p| p.hosts.iter().map(String::as_str))
-            .collect();
+        let mut v: Vec<&str> =
+            self.placements.values().flat_map(|p| p.hosts.iter().map(String::as_str)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -105,8 +102,7 @@ impl AllocationTable {
         }
         afg.task_ids().all(|t| {
             self.placements.get(&t).is_some_and(|p| {
-                !p.hosts.is_empty()
-                    && p.hosts.len() <= afg.task(t).props.effective_nodes() as usize
+                !p.hosts.is_empty() && p.hosts.len() <= afg.task(t).props.effective_nodes() as usize
             })
         })
     }

@@ -29,13 +29,16 @@ use crate::site_scheduler::SchedulingError;
 use crate::view::SiteView;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::collections::HashMap;
 use vdce_afg::level::{blevel_map, level_map};
-use vdce_afg::{Afg, TaskId};
+use vdce_afg::{Afg, EdgeIndex, TaskId};
+use vdce_net::cache::TransferCache;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
+use vdce_predict::cache::PredictCache;
 use vdce_predict::model::Predictor;
 use vdce_repository::resources::ResourceRecord;
-use std::collections::HashMap;
 
 /// One feasible (site, host, predicted seconds) option for a task.
 struct Option_<'a> {
@@ -50,6 +53,7 @@ fn options<'a>(
     task: TaskId,
     views: &'a [&'a SiteView],
     predictor: &Predictor,
+    cache: &PredictCache,
 ) -> Vec<Option_<'a>> {
     let node = afg.task(task);
     let mut out = Vec::new();
@@ -58,13 +62,32 @@ fn options<'a>(
             if !eligible(v, afg, task, host) {
                 continue;
             }
-            if let Ok(t) = predictor.predict(&v.tasks, &node.library_task, node.problem_size, host)
+            if let Ok(t) =
+                cache.predict(predictor, &v.tasks, &node.library_task, node.problem_size, host)
             {
                 out.push(Option_ { site: v.site, host, predicted: t });
             }
         }
     }
     out
+}
+
+/// Option sets for every task, fanned out across worker threads.
+///
+/// A task's options depend only on the frozen views — never on previous
+/// placements — so every baseline can enumerate them up front instead of
+/// re-predicting inside its placement loop (min-min/max-min recomputed
+/// them every round in the reference formulation). Order-preserving fan
+/// out plus the memoised, deterministic `Predict` keep the result
+/// bit-identical to the sequential enumeration.
+fn all_options<'a>(
+    afg: &Afg,
+    views: &'a [&'a SiteView],
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Vec<Vec<Option_<'a>>> {
+    let ids: Vec<TaskId> = afg.task_ids().collect();
+    ids.into_par_iter().map(|t| options(afg, t, views, predictor, cache)).collect()
 }
 
 fn placement(afg: &Afg, task: TaskId, opt: &Option_<'_>) -> TaskPlacement {
@@ -90,8 +113,10 @@ pub fn random_schedule(
 ) -> Result<AllocationTable, SchedulingError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = AllocationTable::new(afg.name.clone());
+    let cache = PredictCache::new();
+    let all = all_options(afg, views, predictor, &cache);
     for task in afg.task_ids() {
-        let opts = options(afg, task, views, predictor);
+        let opts = &all[task.index()];
         if opts.is_empty() {
             return Err(no_feasible(afg, task));
         }
@@ -110,11 +135,12 @@ pub fn round_robin_schedule(
 ) -> Result<AllocationTable, SchedulingError> {
     let mut table = AllocationTable::new(afg.name.clone());
     let mut cursor = 0usize;
+    let cache = PredictCache::new();
     // Stable global host order: (view order, host name order).
-    let mut slots: Vec<(usize, String)> = Vec::new();
+    let mut slots: Vec<(usize, &str)> = Vec::new();
     for (vi, v) in views.iter().enumerate() {
         for h in v.resources.iter() {
-            slots.push((vi, h.host_name.clone()));
+            slots.push((vi, h.host_name.as_str()));
         }
     }
     if slots.is_empty() {
@@ -127,14 +153,14 @@ pub fn round_robin_schedule(
         let node = afg.task(task);
         let mut placed = false;
         for probe in 0..slots.len() {
-            let (vi, host_name) = &slots[(cursor + probe) % slots.len()];
-            let v = views[*vi];
+            let (vi, host_name) = slots[(cursor + probe) % slots.len()];
+            let v = views[vi];
             let Some(host) = v.resources.get(host_name) else { continue };
             if !eligible(v, afg, task, host) {
                 continue;
             }
             let Ok(t) =
-                predictor.predict(&v.tasks, &node.library_task, node.problem_size, host)
+                cache.predict(predictor, &v.tasks, &node.library_task, node.problem_size, host)
             else {
                 continue;
             };
@@ -160,11 +186,14 @@ pub fn local_only_schedule(
 ) -> Result<AllocationTable, SchedulingError> {
     let views = [local];
     let mut table = AllocationTable::new(afg.name.clone());
+    let cache = PredictCache::new();
+    let all = all_options(afg, &views, predictor, &cache);
     for task in afg.task_ids() {
-        let opts = options(afg, task, &views, predictor);
-        let best = opts
+        let best = all[task.index()]
             .iter()
-            .min_by(|a, b| a.predicted.partial_cmp(&b.predicted).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.predicted.partial_cmp(&b.predicted).unwrap_or(std::cmp::Ordering::Equal)
+            })
             .ok_or_else(|| no_feasible(afg, task))?;
         table.insert(placement(afg, task, best));
     }
@@ -176,23 +205,23 @@ pub fn local_only_schedule(
 #[allow(clippy::too_many_arguments)]
 fn completion_time(
     afg: &Afg,
+    idx: &EdgeIndex,
     task: TaskId,
     opt: &Option_<'_>,
-    net: &NetworkModel,
+    net: &TransferCache,
     finish: &[f64],
     site_of: &[Option<SiteId>],
-    host_of: &HashMap<usize, String>,
-    host_free: &HashMap<String, f64>,
+    host_of: &HashMap<usize, &str>,
+    host_free: &HashMap<&str, f64>,
 ) -> f64 {
     let mut data_ready = 0.0f64;
-    for e in afg.in_edges(task) {
+    for e in idx.in_edges(afg, task) {
         let ps = site_of[e.from.index()].expect("parents placed first");
-        let same_host =
-            host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+        let same_host = host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
         let xfer = if same_host { 0.0 } else { net.transfer_time(ps, opt.site, e.data_size) };
         data_ready = data_ready.max(finish[e.from.index()] + xfer);
     }
-    let free = host_free.get(&opt.host.host_name).copied().unwrap_or(0.0);
+    let free = host_free.get(opt.host.host_name.as_str()).copied().unwrap_or(0.0);
     data_ready.max(free) + opt.predicted
 }
 
@@ -205,31 +234,46 @@ fn completion_time_schedule(
     predictor: &Predictor,
     pick_max: bool,
 ) -> Result<AllocationTable, SchedulingError> {
+    // Options are placement-independent: enumerate them once up front
+    // instead of re-predicting for every ready task on every round.
+    let cache = PredictCache::new();
+    let all = all_options(afg, views, predictor, &cache);
+    let xfer = TransferCache::new(net);
+    let edge_idx = afg.edge_index();
+
     let n = afg.task_count();
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, String> = HashMap::new();
-    let mut host_free: HashMap<String, f64> = HashMap::new();
+    let mut host_of: HashMap<usize, &str> = HashMap::new();
+    let mut host_free: HashMap<&str, f64> = HashMap::new();
 
     let mut remaining = afg.in_degrees();
     let mut ready: Vec<TaskId> = afg.entry_nodes();
 
     while !ready.is_empty() {
         // For every ready task find its best option's completion time.
-        let mut per_task: Vec<(usize, Option_<'_>, f64)> = Vec::new();
-        for (ri, &task) in ready.iter().enumerate() {
-            let opts = options(afg, task, views, predictor);
-            let mut best: Option<(Option_<'_>, f64)> = None;
-            for opt in opts {
-                let ct = completion_time(
-                    afg, task, &opt, net, &finish, &site_of, &host_of, &host_free,
-                );
-                if best.as_ref().is_none_or(|(_, b)| ct < *b) {
-                    best = Some((opt, ct));
+        // The per-task scans are independent given this round's frozen
+        // placement state, so fan them out; results come back in ready
+        // order, which keeps error reporting and tie-breaks unchanged.
+        let bests: Vec<Option<(&Option_<'_>, f64)>> = ready
+            .par_iter()
+            .map(|&task| {
+                let mut best: Option<(&Option_<'_>, f64)> = None;
+                for opt in &all[task.index()] {
+                    let ct = completion_time(
+                        afg, &edge_idx, task, opt, &xfer, &finish, &site_of, &host_of, &host_free,
+                    );
+                    if best.as_ref().is_none_or(|(_, b)| ct < *b) {
+                        best = Some((opt, ct));
+                    }
                 }
-            }
-            let (opt, ct) = best.ok_or_else(|| no_feasible(afg, task))?;
+                best
+            })
+            .collect();
+        let mut per_task: Vec<(usize, &Option_<'_>, f64)> = Vec::with_capacity(ready.len());
+        for (ri, best) in bests.into_iter().enumerate() {
+            let (opt, ct) = best.ok_or_else(|| no_feasible(afg, ready[ri]))?;
             per_task.push((ri, opt, ct));
         }
         // min-min: smallest best-CT first; max-min: largest best-CT first.
@@ -248,11 +292,11 @@ fn completion_time_schedule(
 
         finish[task.index()] = ct;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.clone());
-        host_free.insert(opt.host.host_name.clone(), ct);
-        table.insert(placement(afg, task, &opt));
+        host_of.insert(task.index(), opt.host.host_name.as_str());
+        host_free.insert(opt.host.host_name.as_str(), ct);
+        table.insert(placement(afg, task, opt));
 
-        for e in afg.out_edges(task) {
+        for e in edge_idx.out_edges(afg, task) {
             remaining[e.to.index()] -= 1;
             if remaining[e.to.index()] == 0 {
                 ready.push(e.to);
@@ -293,10 +337,7 @@ pub fn heft_schedule(
 ) -> Result<AllocationTable, SchedulingError> {
     // Mean computation cost across all feasible hosts approximates the
     // host-independent cost HEFT ranks on; we reuse base times.
-    let tasks_db = &views
-        .first()
-        .ok_or_else(|| no_feasible(afg, TaskId(0)))?
-        .tasks;
+    let tasks_db = &views.first().ok_or_else(|| no_feasible(afg, TaskId(0)))?.tasks;
     // Mean link transfer rate for the rank's communication term.
     let sites = net.site_count();
     let mut mean_rate = 0.0;
@@ -322,27 +363,30 @@ pub fn heft_schedule(
     // topological order.
     let mut order = afg.topo_order().ok_or(SchedulingError::Cyclic)?;
     order.sort_by(|a, b| {
-        ranks[b.index()]
-            .partial_cmp(&ranks[a.index()])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        ranks[b.index()].partial_cmp(&ranks[a.index()]).unwrap_or(std::cmp::Ordering::Equal)
     });
     // Re-fix topological consistency (stable sort may reorder equal-rank
     // parent/child pairs): walk and push parents before children.
     let order = topo_consistent(afg, order);
 
+    let cache = PredictCache::new();
+    let all = all_options(afg, views, predictor, &cache);
+    let xfer = TransferCache::new(net);
+    let edge_idx = afg.edge_index();
+
     let n = afg.task_count();
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, String> = HashMap::new();
-    let mut host_free: HashMap<String, f64> = HashMap::new();
+    let mut host_of: HashMap<usize, &str> = HashMap::new();
+    let mut host_free: HashMap<&str, f64> = HashMap::new();
 
     for task in order {
-        let opts = options(afg, task, views, predictor);
-        let mut best: Option<(Option_<'_>, f64)> = None;
-        for opt in opts {
-            let eft =
-                completion_time(afg, task, &opt, net, &finish, &site_of, &host_of, &host_free);
+        let mut best: Option<(&Option_<'_>, f64)> = None;
+        for opt in &all[task.index()] {
+            let eft = completion_time(
+                afg, &edge_idx, task, opt, &xfer, &finish, &site_of, &host_of, &host_free,
+            );
             if best.as_ref().is_none_or(|(_, b)| eft < *b) {
                 best = Some((opt, eft));
             }
@@ -350,9 +394,9 @@ pub fn heft_schedule(
         let (opt, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
         finish[task.index()] = eft;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.clone());
-        host_free.insert(opt.host.host_name.clone(), eft);
-        table.insert(placement(afg, task, &opt));
+        host_of.insert(task.index(), opt.host.host_name.as_str());
+        host_free.insert(opt.host.host_name.as_str(), eft);
+        table.insert(placement(afg, task, opt));
     }
     Ok(table)
 }
@@ -368,10 +412,7 @@ pub fn heft_insertion_schedule(
     net: &NetworkModel,
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
-    let tasks_db = &views
-        .first()
-        .ok_or_else(|| no_feasible(afg, TaskId(0)))?
-        .tasks;
+    let tasks_db = &views.first().ok_or_else(|| no_feasible(afg, TaskId(0)))?.tasks;
     let sites = net.site_count();
     let mut mean_rate = 0.0;
     let mut pairs = 0usize;
@@ -390,37 +431,38 @@ pub fn heft_insertion_schedule(
     .map_err(|_| SchedulingError::Cyclic)?;
     let mut order = afg.topo_order().ok_or(SchedulingError::Cyclic)?;
     order.sort_by(|a, b| {
-        ranks[b.index()]
-            .partial_cmp(&ranks[a.index()])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        ranks[b.index()].partial_cmp(&ranks[a.index()]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let order = topo_consistent(afg, order);
+
+    let cache = PredictCache::new();
+    let all = all_options(afg, views, predictor, &cache);
+    let xfer_cache = TransferCache::new(net);
+    let edge_idx = afg.edge_index();
 
     let n = afg.task_count();
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, String> = HashMap::new();
+    let mut host_of: HashMap<usize, &str> = HashMap::new();
     // Busy intervals per host, kept sorted by start.
-    let mut busy: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut busy: HashMap<&str, Vec<(f64, f64)>> = HashMap::new();
 
     for task in order {
-        let opts = options(afg, task, views, predictor);
-        let mut best: Option<(Option_<'_>, f64, f64)> = None; // (opt, start, finish)
-        for opt in opts {
+        let mut best: Option<(&Option_<'_>, f64, f64)> = None; // (opt, start, finish)
+        for opt in &all[task.index()] {
             // Data-ready time on this option.
             let mut ready = 0.0f64;
-            for e in afg.in_edges(task) {
+            for e in edge_idx.in_edges(afg, task) {
                 let ps = site_of[e.from.index()].expect("parents placed first");
-                let same =
-                    host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+                let same = host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
                 let xfer =
-                    if same { 0.0 } else { net.transfer_time(ps, opt.site, e.data_size) };
+                    if same { 0.0 } else { xfer_cache.transfer_time(ps, opt.site, e.data_size) };
                 ready = ready.max(finish[e.from.index()] + xfer);
             }
             // Insertion: earliest gap on the host that fits.
             let dur = opt.predicted;
-            let slots = busy.entry(opt.host.host_name.clone()).or_default();
+            let slots = busy.entry(opt.host.host_name.as_str()).or_default();
             let mut start = ready;
             for &(b0, b1) in slots.iter() {
                 if start + dur <= b0 {
@@ -436,13 +478,13 @@ pub fn heft_insertion_schedule(
         let (opt, start, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
         finish[task.index()] = eft;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.clone());
-        let slots = busy.entry(opt.host.host_name.clone()).or_default();
+        host_of.insert(task.index(), opt.host.host_name.as_str());
+        let slots = busy.entry(opt.host.host_name.as_str()).or_default();
         let pos = slots
             .binary_search_by(|(s, _)| s.partial_cmp(&start).unwrap_or(std::cmp::Ordering::Equal))
             .unwrap_or_else(|p| p);
         slots.insert(pos, (start, eft));
-        table.insert(placement(afg, task, &opt));
+        table.insert(placement(afg, task, opt));
     }
     Ok(table)
 }
@@ -455,18 +497,16 @@ fn topo_consistent(afg: &Afg, priority: Vec<TaskId>) -> Vec<TaskId> {
     for (i, t) in priority.iter().enumerate() {
         pos[t.index()] = i;
     }
+    let idx = afg.edge_index();
     let mut remaining = afg.in_degrees();
     let mut ready: Vec<TaskId> = afg.entry_nodes();
     let mut out = Vec::with_capacity(n);
     while !ready.is_empty() {
-        let (ri, _) = ready
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| pos[t.index()])
-            .expect("ready not empty");
+        let (ri, _) =
+            ready.iter().enumerate().min_by_key(|(_, t)| pos[t.index()]).expect("ready not empty");
         let t = ready.swap_remove(ri);
         out.push(t);
-        for e in afg.out_edges(t) {
+        for e in idx.out_edges(afg, t) {
             remaining[e.to.index()] -= 1;
             if remaining[e.to.index()] == 0 {
                 ready.push(e.to);
@@ -518,10 +558,10 @@ mod tests {
     use super::*;
     use crate::makespan::evaluate;
     use crate::site_scheduler::{site_schedule, SchedulerConfig};
+    use vdce_afg::MachineType;
     use vdce_afg::{AfgBuilder, TaskLibrary};
     use vdce_repository::resources::ResourceRecord;
     use vdce_repository::SiteRepository;
-    use vdce_afg::MachineType;
 
     fn site_view(site: u16, hosts: &[(&str, f64)]) -> SiteView {
         let repo = SiteRepository::new();
@@ -615,13 +655,9 @@ mod tests {
         // Average a few random seeds.
         let mut rnd_sum = 0.0;
         for seed in 0..5 {
-            let r = evaluate(
-                &afg,
-                &random_schedule(&afg, &views, &p, seed).unwrap(),
-                &net,
-                &levels,
-            )
-            .unwrap();
+            let r =
+                evaluate(&afg, &random_schedule(&afg, &views, &p, seed).unwrap(), &net, &levels)
+                    .unwrap();
             rnd_sum += r.makespan;
         }
         assert!(mm.makespan <= rnd_sum / 5.0 * 1.05, "min-min should not lose to random");
@@ -640,8 +676,8 @@ mod tests {
             &levels,
         )
         .unwrap();
-        let lo = evaluate(&afg, &local_only_schedule(&afg, &local, &p).unwrap(), &net, &levels)
-            .unwrap();
+        let lo =
+            evaluate(&afg, &local_only_schedule(&afg, &local, &p).unwrap(), &net, &levels).unwrap();
         assert!(
             vdce.makespan <= lo.makespan,
             "federation must not hurt: vdce {} vs local {}",
@@ -656,8 +692,7 @@ mod tests {
         let views = [&local, &remote];
         let levels = priorities(&afg, PriorityOrder::Level, &views);
         let heft =
-            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
-                .unwrap();
+            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels).unwrap();
         let mm = evaluate(&afg, &min_min_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
             .unwrap();
         assert!(heft.makespan <= mm.makespan * 1.5);
@@ -669,8 +704,7 @@ mod tests {
         let views = [&local, &remote];
         let levels = priorities(&afg, PriorityOrder::Level, &views);
         let plain =
-            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels)
-                .unwrap();
+            evaluate(&afg, &heft_schedule(&afg, &views, &net, &p).unwrap(), &net, &levels).unwrap();
         let ins = evaluate(
             &afg,
             &heft_insertion_schedule(&afg, &views, &net, &p).unwrap(),
@@ -680,8 +714,12 @@ mod tests {
         .unwrap();
         // Insertion can only move tasks earlier in its own cost model;
         // under the shared simulator allow a small tolerance.
-        assert!(ins.makespan <= plain.makespan * 1.25,
-            "insertion {} vs plain {}", ins.makespan, plain.makespan);
+        assert!(
+            ins.makespan <= plain.makespan * 1.25,
+            "insertion {} vs plain {}",
+            ins.makespan,
+            plain.makespan
+        );
     }
 
     #[test]

@@ -12,10 +12,10 @@
 //! on the bus using the JSON-serialised message length, so experiments
 //! can report scheduling traffic.
 
-use crate::host_selection::{host_selection as run_host_selection, HostSelectionOutput};
+use crate::allocation::AllocationTable;
+use crate::host_selection::{host_selection_opts, HostSelectionOutput};
 use crate::site_scheduler::{schedule_with_outputs, SchedulerConfig, SchedulingError};
 use crate::view::SiteView;
-use crate::allocation::AllocationTable;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 use vdce_afg::level::level_map;
@@ -64,7 +64,7 @@ pub fn serve_one(
     let Ok(delivery) = endpoint.recv_timeout(timeout) else { return false };
     match delivery.msg {
         SchedMessage::HostSelectionRequest { request_id, afg } => {
-            let output = run_host_selection(view, &afg, &config.predictor, &config.parallel);
+            let output = host_selection(&afg, view, config);
             let reply = SchedMessage::HostSelectionReply { request_id, output };
             let bytes = reply.wire_bytes();
             let _ = bus.send(endpoint.site, delivery.from, reply, bytes);
@@ -154,24 +154,23 @@ pub fn federated_schedule(
 
     // Steps 6–7.
     let db = &local.tasks;
-    let levels = level_map(afg, |t| {
-        db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
-    })
-    .map_err(|_| SchedulingError::Cyclic)?;
+    let levels = level_map(afg, |t| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+        .map_err(|_| SchedulingError::Cyclic)?;
     schedule_with_outputs(afg, &levels, local.site, &outputs, net)
 }
 
-/// Local-half host selection with a [`SchedulerConfig`] (argument-order
-/// helper so `federated_schedule` reads like the figure).
+/// Host selection with a [`SchedulerConfig`] (argument-order helper so
+/// `federated_schedule` reads like the figure). Honours the config's
+/// `sequential` reference-path knob.
 fn host_selection(afg: &Afg, view: &SiteView, config: &SchedulerConfig) -> HostSelectionOutput {
-    run_host_selection(view, afg, &config.predictor, &config.parallel)
+    host_selection_opts(view, afg, &config.predictor, &config.parallel, config.sequential)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
-    use vdce_afg::{AfgBuilder, TaskLibrary, MachineType};
+    use vdce_afg::{AfgBuilder, MachineType, TaskLibrary};
     use vdce_net::topology::SiteId;
     use vdce_repository::resources::ResourceRecord;
     use vdce_repository::SiteRepository;

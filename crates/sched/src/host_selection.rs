@@ -27,12 +27,14 @@
 //! output; the site scheduler then tries other sites.
 
 use crate::view::SiteView;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vdce_afg::{Afg, ComputationMode, TaskId};
 use vdce_net::topology::SiteId;
+use vdce_predict::cache::PredictCache;
 use vdce_predict::model::Predictor;
-use vdce_predict::parallel::{best_node_count, ParallelModel};
+use vdce_predict::parallel::{best_node_count, best_node_count_cached, ParallelModel};
 use vdce_repository::resources::ResourceRecord;
 
 /// The hosts chosen for one task at one site, with the minimised
@@ -80,7 +82,8 @@ pub fn eligible(view: &SiteView, afg: &Afg, task: TaskId, host: &ResourceRecord)
         }
     }
     // Task-constraints: empty DB = everything installed (fresh site).
-    if !view.constraints.is_empty() && !view.constraints.is_installed(&t.library_task, &host.host_name)
+    if !view.constraints.is_empty()
+        && !view.constraints.is_installed(&t.library_task, &host.host_name)
     {
         return false;
     }
@@ -89,51 +92,92 @@ pub fn eligible(view: &SiteView, afg: &Afg, task: TaskId, host: &ResourceRecord)
 
 /// Run the host-selection algorithm of Figure 3 for every task of `afg`
 /// against the resources of `view`.
+///
+/// This is the *reference* implementation: one task after another, every
+/// prediction evaluated directly. [`host_selection_opts`] with
+/// `sequential = false` is the optimised fan-out path; the two produce
+/// bit-identical outputs (enforced by the `prop_sched` property tests).
 pub fn host_selection(
     view: &SiteView,
     afg: &Afg,
     predictor: &Predictor,
     parallel: &ParallelModel,
 ) -> HostSelectionOutput {
-    let mut choices = BTreeMap::new();
+    host_selection_opts(view, afg, predictor, parallel, true)
+}
+
+/// [`host_selection`] with the execution-strategy knob.
+///
+/// `sequential = true` runs the reference path. `sequential = false`
+/// fans the per-task argmin out across worker threads (the tasks of
+/// Figure 3's queue are independent) and shares one [`PredictCache`]
+/// across them, so each `(library task, problem size, host)` triple is
+/// evaluated once per site instead of once per prefix per task. Both
+/// paths return identical choices: the cache memoises a deterministic
+/// function and the fan-out reassembles results in task order.
+pub fn host_selection_opts(
+    view: &SiteView,
+    afg: &Afg,
+    predictor: &Predictor,
+    parallel: &ParallelModel,
+    sequential: bool,
+) -> HostSelectionOutput {
     // Collect the site's candidate resource set R once (step 2).
     let all_hosts: Vec<&ResourceRecord> = view.resources.iter().collect();
+    let cache = PredictCache::new();
 
-    for task in afg.task_ids() {
+    let pick = |task: TaskId| -> Option<(TaskId, TaskHostChoice)> {
         let node = afg.task(task);
-        let candidates: Vec<&ResourceRecord> = all_hosts
-            .iter()
-            .copied()
-            .filter(|h| eligible(view, afg, task, h))
-            .collect();
+        let candidates: Vec<&ResourceRecord> =
+            all_hosts.iter().copied().filter(|h| eligible(view, afg, task, h)).collect();
         if candidates.is_empty() {
-            continue;
+            return None;
         }
         let requested = match node.props.mode {
             ComputationMode::Sequential => 1,
             ComputationMode::Parallel => node.props.effective_nodes(),
         };
-        match best_node_count(
-            predictor,
-            parallel,
-            &view.tasks,
-            &node.library_task,
-            node.problem_size,
-            requested,
-            &candidates,
-        ) {
-            Ok((hosts, secs)) => {
-                choices.insert(
-                    task,
-                    TaskHostChoice {
-                        hosts: hosts.iter().map(|h| h.host_name.clone()).collect(),
-                        predicted_seconds: secs,
-                    },
-                );
-            }
-            Err(_) => continue, // infeasible at this site
+        let selected = if sequential {
+            best_node_count(
+                predictor,
+                parallel,
+                &view.tasks,
+                &node.library_task,
+                node.problem_size,
+                requested,
+                &candidates,
+            )
+        } else {
+            best_node_count_cached(
+                predictor,
+                parallel,
+                &cache,
+                &view.tasks,
+                &node.library_task,
+                node.problem_size,
+                requested,
+                &candidates,
+            )
+        };
+        match selected {
+            Ok((hosts, secs)) => Some((
+                task,
+                TaskHostChoice {
+                    hosts: hosts.iter().map(|h| h.host_name.clone()).collect(),
+                    predicted_seconds: secs,
+                },
+            )),
+            Err(_) => None, // infeasible at this site
         }
-    }
+    };
+
+    let tasks: Vec<TaskId> = afg.task_ids().collect();
+    let picked: Vec<Option<(TaskId, TaskHostChoice)>> = if sequential || tasks.len() < 2 {
+        tasks.into_iter().map(pick).collect()
+    } else {
+        tasks.into_par_iter().map(pick).collect()
+    };
+    let choices: BTreeMap<TaskId, TaskHostChoice> = picked.into_iter().flatten().collect();
     HostSelectionOutput { site: view.site, choices }
 }
 
@@ -299,6 +343,44 @@ mod tests {
         let out = run(&view, &afg);
         let choice = out.choice(lu).unwrap();
         assert!(choice.hosts.len() > 1 && choice.hosts.len() <= 4);
+    }
+
+    #[test]
+    fn parallel_fanout_matches_reference_bit_for_bit() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("mix", &lib);
+        let src = b.add_task("Source", "src", 5000).unwrap();
+        let lu = b.add_task("LU_Decomposition", "lu", 1024).unwrap();
+        b.set_mode(lu, vdce_afg::ComputationMode::Parallel).unwrap();
+        b.set_num_nodes(lu, 4).unwrap();
+        let snk = b.add_task("Sink", "snk", 5000).unwrap();
+        b.connect(src, 0, lu, 0).unwrap();
+        b.connect(lu, 0, snk, 0).unwrap();
+        let afg = b.build().unwrap();
+        let view = view_with(
+            (0..6)
+                .map(|i| record(&format!("h{i}"), MachineType::LinuxPc, 1.0 + 0.3 * i as f64))
+                .collect(),
+        );
+        let reference = host_selection_opts(
+            &view,
+            &afg,
+            &Predictor::default(),
+            &ParallelModel::default(),
+            true,
+        );
+        let fanned = host_selection_opts(
+            &view,
+            &afg,
+            &Predictor::default(),
+            &ParallelModel::default(),
+            false,
+        );
+        assert_eq!(reference, fanned);
+        for (t, c) in &reference.choices {
+            let f = &fanned.choices[t];
+            assert_eq!(c.predicted_seconds.to_bits(), f.predicted_seconds.to_bits());
+        }
     }
 
     #[test]

@@ -17,12 +17,12 @@
 //! - **duration**: the placement's predicted execution time.
 
 use crate::allocation::AllocationTable;
+use std::collections::HashMap;
+use std::fmt;
 use vdce_afg::level::LevelError;
 use vdce_afg::{Afg, TaskId};
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
-use std::collections::HashMap;
-use std::fmt;
 
 /// Timed placement of one task.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,11 +65,8 @@ impl Schedule {
         if host_count == 0 || self.makespan <= 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .tasks
-            .iter()
-            .map(|t| (t.finish - t.start) * t.hosts.len() as f64)
-            .sum();
+        let busy: f64 =
+            self.tasks.iter().map(|t| (t.finish - t.start) * t.hosts.len() as f64).sum();
         busy / (host_count as f64 * self.makespan)
     }
 }
@@ -122,6 +119,7 @@ pub fn evaluate(
     let mut timed: Vec<Option<TimedTask>> = vec![None; n];
     let mut host_free: HashMap<&str, f64> = HashMap::new();
 
+    let edge_idx = afg.edge_index();
     let mut remaining = afg.in_degrees();
     let mut ready: Vec<TaskId> = afg.entry_nodes();
 
@@ -141,14 +139,11 @@ pub fn evaluate(
 
         // Data-ready time: all inputs arrived.
         let mut data_ready = 0.0f64;
-        for e in afg.in_edges(task) {
+        for e in edge_idx.in_edges(afg, task) {
             let pp = table.placement(e.from).expect("checked above");
             let same_host = pp.hosts.iter().any(|h| p.hosts.contains(h));
-            let xfer = if same_host {
-                0.0
-            } else {
-                net.transfer_time(pp.site, p.site, e.data_size)
-            };
+            let xfer =
+                if same_host { 0.0 } else { net.transfer_time(pp.site, p.site, e.data_size) };
             data_ready = data_ready.max(finish[e.from.index()] + xfer);
         }
 
@@ -166,15 +161,10 @@ pub fn evaluate(
             // Keys borrow from the table, which outlives this map.
             host_free.insert(h.as_str(), end);
         }
-        timed[task.index()] = Some(TimedTask {
-            task,
-            site: p.site,
-            hosts: p.hosts.clone(),
-            start,
-            finish: end,
-        });
+        timed[task.index()] =
+            Some(TimedTask { task, site: p.site, hosts: p.hosts.clone(), start, finish: end });
 
-        for e in afg.out_edges(task) {
+        for e in edge_idx.out_edges(afg, task) {
             remaining[e.to.index()] -= 1;
             if remaining[e.to.index()] == 0 {
                 ready.push(e.to);

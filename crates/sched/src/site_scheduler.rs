@@ -25,15 +25,19 @@
 //! inter-site message bus in [`crate::federation`].
 
 use crate::allocation::{AllocationTable, TaskPlacement};
-use crate::host_selection::{host_selection, HostSelectionOutput};
+use crate::host_selection::{host_selection_opts, HostSelectionOutput, TaskHostChoice};
 use crate::view::SiteView;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
 use vdce_afg::level::{level_map, LevelError};
 use vdce_afg::{Afg, TaskId};
+use vdce_net::cache::TransferCache;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
 use vdce_predict::model::Predictor;
 use vdce_predict::parallel::ParallelModel;
-use std::fmt;
 
 /// Tunables of the site scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +53,13 @@ pub struct SchedulerConfig {
     /// `Timetotal` and place purely on `Predict(task, R)` (DESIGN.md §7,
     /// decision 4). The paper's algorithm has this `false`.
     pub ignore_transfer_time: bool,
+    /// Force the sequential *reference* path: no thread fan-out, no
+    /// memoised predict/transfer caches, linear ready-list scan. `false`
+    /// (the default) runs the optimised parallel path, which is specified
+    /// to produce a bit-identical [`AllocationTable`] (see DESIGN.md,
+    /// "Parallel scheduling architecture", and the `prop_sched`
+    /// determinism property test).
+    pub sequential: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -58,6 +69,7 @@ impl Default for SchedulerConfig {
             predictor: Predictor::default(),
             parallel: ParallelModel::default(),
             ignore_transfer_time: false,
+            sequential: false,
         }
     }
 }
@@ -110,9 +122,8 @@ pub fn site_schedule(
     // Priorities: level of each node on base-processor execution times
     // (task-performance DB of the local site).
     let tasks_db = &local.tasks;
-    let levels = level_map(afg, |t| {
-        tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
-    })?;
+    let levels =
+        level_map(afg, |t| tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))?;
 
     // Step 2: k nearest neighbour sites that actually sent views.
     let neighbours = net.nearest_neighbours(local.site, config.k_neighbours);
@@ -123,17 +134,34 @@ pub fn site_schedule(
         }
     }
 
-    // Steps 3–5: host selection at every involved site.
-    let outputs: Vec<HostSelectionOutput> = involved
-        .iter()
-        .map(|v| host_selection(v, afg, &config.predictor, &config.parallel))
-        .collect();
-
-    if config.ignore_transfer_time {
-        schedule_with_outputs_opts(afg, &levels, local.site, &outputs, net, true)
+    // Steps 3–5: host selection at every involved site. The sites'
+    // selections are independent (each runs against its own frozen
+    // view), so the optimised path fans them out across worker threads —
+    // and, inside each site, across tasks. Outputs are reassembled in
+    // `involved` order, so both paths hand steps 6–7 the same input.
+    let outputs: Vec<HostSelectionOutput> = if config.sequential || involved.len() < 2 {
+        involved
+            .iter()
+            .map(|v| {
+                host_selection_opts(v, afg, &config.predictor, &config.parallel, config.sequential)
+            })
+            .collect()
     } else {
-        schedule_with_outputs(afg, &levels, local.site, &outputs, net)
-    }
+        involved
+            .par_iter()
+            .map(|v| host_selection_opts(v, afg, &config.predictor, &config.parallel, false))
+            .collect()
+    };
+
+    schedule_with_outputs_full(
+        afg,
+        &levels,
+        local.site,
+        &outputs,
+        net,
+        config.ignore_transfer_time,
+        config.sequential,
+    )
 }
 
 /// Steps 6–7 of Figure 2, given the collected host-selection outputs.
@@ -146,7 +174,7 @@ pub fn schedule_with_outputs(
     outputs: &[HostSelectionOutput],
     net: &NetworkModel,
 ) -> Result<AllocationTable, SchedulingError> {
-    schedule_with_outputs_opts(afg, levels, local_site, outputs, net, false)
+    schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false)
 }
 
 /// [`schedule_with_outputs`] with the transfer-term ablation knob.
@@ -158,65 +186,175 @@ pub fn schedule_with_outputs_opts(
     net: &NetworkModel,
     ignore_transfer_time: bool,
 ) -> Result<AllocationTable, SchedulingError> {
+    schedule_with_outputs_full(afg, levels, local_site, outputs, net, ignore_transfer_time, false)
+}
+
+/// Key of the heap-based ready list: pop order is "highest level first,
+/// ties by ascending task id" — exactly the order the reference path's
+/// linear scan selects. Levels are finite by construction (`level_map`
+/// sums finite base times), which makes this `Ord` a total order.
+struct ReadyKey {
+    level: f64,
+    task: TaskId,
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ReadyKey {}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.level
+            .partial_cmp(&other.level)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+
+/// The ready set of step 6, in both implementations: the reference
+/// linear-scan `Vec` (`O(n)` per pick, as the seed implementation did it)
+/// and a max-[`BinaryHeap`] (`O(log n)` per pick). Both yield tasks
+/// highest-level-first with ties by ascending id; the property tests
+/// compare the resulting tables for equality.
+enum ReadyList {
+    Scan(Vec<TaskId>),
+    Heap(BinaryHeap<ReadyKey>),
+}
+
+impl ReadyList {
+    fn new(sequential: bool, entries: Vec<TaskId>, levels: &[f64]) -> Self {
+        if sequential {
+            ReadyList::Scan(entries)
+        } else {
+            ReadyList::Heap(
+                entries
+                    .into_iter()
+                    .map(|t| ReadyKey { level: levels[t.index()], task: t })
+                    .collect(),
+            )
+        }
+    }
+
+    fn push(&mut self, task: TaskId, levels: &[f64]) {
+        match self {
+            ReadyList::Scan(v) => v.push(task),
+            ReadyList::Heap(h) => h.push(ReadyKey { level: levels[task.index()], task }),
+        }
+    }
+
+    fn pop(&mut self, levels: &[f64]) -> Option<TaskId> {
+        match self {
+            ReadyList::Scan(v) => {
+                // Highest level first; ties by ascending id.
+                let (pos, _) = v.iter().enumerate().max_by(|(_, a), (_, b)| {
+                    levels[a.index()]
+                        .partial_cmp(&levels[b.index()])
+                        .unwrap_or(Ordering::Equal)
+                        .then(b.cmp(a))
+                })?;
+                Some(v.swap_remove(pos))
+            }
+            ReadyList::Heap(h) => h.pop().map(|k| k.task),
+        }
+    }
+}
+
+/// [`schedule_with_outputs`] with both knobs: the transfer-term ablation
+/// and the sequential-reference switch.
+pub fn schedule_with_outputs_full(
+    afg: &Afg,
+    levels: &[f64],
+    local_site: SiteId,
+    outputs: &[HostSelectionOutput],
+    net: &NetworkModel,
+    ignore_transfer_time: bool,
+    sequential: bool,
+) -> Result<AllocationTable, SchedulingError> {
     let mut table = AllocationTable::new(afg.name.clone());
     let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
 
+    // Optimised path: snapshot the link matrix once; `transfer_time` on
+    // the snapshot is bit-identical to the model's.
+    let xfer_cache = if sequential { None } else { Some(TransferCache::new(net)) };
+
+    // Dense per-site choice index: the candidate loop below probes every
+    // involved site for every task, so trade one `O(s·n)` pass here for
+    // `O(1)` lookups there (the `BTreeMap` probe was on the hot path).
+    let per_site: Vec<(SiteId, Vec<Option<&TaskHostChoice>>)> = outputs
+        .iter()
+        .map(|out| {
+            let mut by_task: Vec<Option<&TaskHostChoice>> = vec![None; afg.task_count()];
+            for (t, c) in &out.choices {
+                by_task[t.index()] = Some(c);
+            }
+            (out.site, by_task)
+        })
+        .collect();
+
+    // Adjacency index: the walk below touches every task's in- and
+    // out-edges once; through the scanning accessors that is `O(n·e)`.
+    let edge_idx = afg.edge_index();
+
     // Step 6: ready set = entry nodes.
     let mut remaining_parents = afg.in_degrees();
-    let mut ready: Vec<TaskId> = afg.entry_nodes();
+    let mut ready = ReadyList::new(sequential, afg.entry_nodes(), levels);
+
+    // (parent site, bytes) per in-edge of the current task, in edge
+    // order — resolved once per task instead of once per candidate site.
+    let mut parents: Vec<(SiteId, u64)> = Vec::new();
 
     let mut placed = 0usize;
-    while !ready.is_empty() {
-        // Highest level first; ties by ascending id.
-        let (pos, _) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                levels[a.index()]
-                    .partial_cmp(&levels[b.index()])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(a))
-            })
-            .expect("ready not empty");
-        let task = ready.swap_remove(pos);
+    while let Some(task) = ready.pop(levels) {
         let node = afg.task(task);
 
+        parents.clear();
+        if !ignore_transfer_time {
+            for e in edge_idx.in_edges(afg, task) {
+                let parent_site = site_of_task[e.from.index()]
+                    .expect("parents are placed before children in a DAG walk");
+                parents.push((parent_site, e.data_size));
+            }
+        }
+
         // Candidate (site, choice) pairs.
-        let mut best: Option<(SiteId, &crate::host_selection::TaskHostChoice, f64)> = None;
-        let no_input =
-            ignore_transfer_time || afg.in_edges(task).next().is_none();
-        for out in outputs {
-            let Some(choice) = out.choice(task) else { continue };
-            let total = if no_input {
-                // Entry task (or no dataflow input): pure Predict.
-                choice.predicted_seconds
-            } else {
-                // Σ over in-edges of transfer from the parent's site.
-                let mut xfer = 0.0;
-                for e in afg.in_edges(task) {
-                    let parent_site = site_of_task[e.from.index()]
-                        .expect("parents are placed before children in a DAG walk");
-                    xfer += net.transfer_time(parent_site, out.site, e.data_size);
-                }
-                xfer + choice.predicted_seconds
-            };
+        let mut best: Option<(SiteId, &TaskHostChoice, f64)> = None;
+        for (site, by_task) in &per_site {
+            let Some(choice) = by_task[task.index()] else { continue };
+            // Σ over in-edges of transfer from the parent's site (empty
+            // for entry tasks and under the ablation: pure Predict).
+            let mut xfer = 0.0;
+            for &(parent_site, bytes) in &parents {
+                xfer += match &xfer_cache {
+                    Some(c) => c.transfer_time(parent_site, *site, bytes),
+                    None => net.transfer_time(parent_site, *site, bytes),
+                };
+            }
+            let total = xfer + choice.predicted_seconds;
             let better = match best {
                 None => true,
                 Some((bsite, _, btotal)) => {
                     total < btotal - 1e-15
                         || ((total - btotal).abs() <= 1e-15
-                            && site_rank(out.site, local_site) < site_rank(bsite, local_site))
+                            && site_rank(*site, local_site) < site_rank(bsite, local_site))
                 }
             };
             if better {
-                best = Some((out.site, choice, total));
+                best = Some((*site, choice, total));
             }
         }
 
-        let (site, choice, _) = best.ok_or_else(|| SchedulingError::NoFeasibleSite {
-            task,
-            name: node.name.clone(),
-        })?;
+        let (site, choice, _) =
+            best.ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
         site_of_task[task.index()] = Some(site);
         table.insert(TaskPlacement {
             task,
@@ -228,10 +366,10 @@ pub fn schedule_with_outputs_opts(
         placed += 1;
 
         // Update the ready set with children whose parents are all placed.
-        for e in afg.out_edges(task) {
+        for e in edge_idx.out_edges(afg, task) {
             remaining_parents[e.to.index()] -= 1;
             if remaining_parents[e.to.index()] == 0 {
-                ready.push(e.to);
+                ready.push(e.to, levels);
             }
         }
     }
@@ -389,7 +527,13 @@ mod tests {
         let repo = SiteRepository::new();
         repo.resources_mut(|db| {
             db.upsert(ResourceRecord::new(
-                "sun", "10.0.0.2", MachineType::SunSolaris, 1.0, 1, 1 << 30, "g0",
+                "sun",
+                "10.0.0.2",
+                MachineType::SunSolaris,
+                1.0,
+                1,
+                1 << 30,
+                "g0",
             ));
         });
         let remote = SiteView::capture(SiteId(1), &repo);
@@ -459,6 +603,41 @@ mod tests {
         // with it; crucially the two differ in *why* — verify the
         // faithful one would not pay the WAN both ways for a local entry.
         assert!(faithful.is_complete_for(&afg));
+    }
+
+    #[test]
+    fn sequential_reference_and_parallel_path_agree_bit_for_bit() {
+        // Two sites, a diamond plus a chain, both knob settings: the
+        // optimised path (fan-out + caches + heap) must reproduce the
+        // reference tables exactly. The prop_sched property test covers
+        // the same contract over random inputs.
+        let local = site_view(0, &[("l0", 1.0), ("l1", 2.5)]);
+        let remote = site_view(1, &[("r0", 3.0), ("r1", 0.5)]);
+        let net = NetworkModel::with_defaults(2);
+        for tasks in [1_000u64, 100_000, 2_000_000] {
+            let afg = chain_afg(tasks);
+            for ignore in [false, true] {
+                let seq = SchedulerConfig {
+                    k_neighbours: 1,
+                    ignore_transfer_time: ignore,
+                    sequential: true,
+                    ..SchedulerConfig::default()
+                };
+                let par = SchedulerConfig { sequential: false, ..seq };
+                let a =
+                    site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &seq).unwrap();
+                let b =
+                    site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &par).unwrap();
+                assert_eq!(a, b, "tasks={tasks} ignore={ignore}");
+                for (pa, pb) in a.iter().zip(b.iter()) {
+                    assert_eq!(
+                        pa.predicted_seconds.to_bits(),
+                        pb.predicted_seconds.to_bits(),
+                        "predicted seconds must be bit-identical"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -56,10 +56,22 @@ mod tests {
         let repo = SiteRepository::new();
         repo.resources_mut(|db| {
             db.upsert(ResourceRecord::new(
-                "h0", "10.0.0.1", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g0",
+                "h0",
+                "10.0.0.1",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
             ));
             db.upsert(ResourceRecord::new(
-                "h1", "10.0.0.2", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g0",
+                "h1",
+                "10.0.0.2",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
             ));
             db.set_status("h1", HostStatus::Down);
         });
@@ -75,7 +87,13 @@ mod tests {
         let view = SiteView::capture(SiteId(0), &repo);
         repo.resources_mut(|db| {
             db.upsert(ResourceRecord::new(
-                "late", "10.0.0.9", MachineType::LinuxPc, 1.0, 1, 1 << 26, "g0",
+                "late",
+                "10.0.0.9",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
             ))
         });
         assert_eq!(view.resources.len(), 0);

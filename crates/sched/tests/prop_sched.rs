@@ -7,7 +7,7 @@ use vdce_afg::graph::{Afg, Edge};
 use vdce_afg::ids::{PortIndex, TaskId};
 use vdce_afg::library::KernelKind;
 use vdce_afg::task::{IoSpec, TaskNode, TaskProperties};
-use vdce_afg::{level::level_map, MachineType};
+use vdce_afg::{level::level_map, ComputationMode, MachineType};
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
 use vdce_predict::model::Predictor;
@@ -98,10 +98,7 @@ fn check_table_valid(
 ) -> Result<(), TestCaseError> {
     prop_assert!(table.is_complete_for(afg));
     for p in table.iter() {
-        let view = views
-            .iter()
-            .find(|v| v.site == p.site)
-            .expect("placement site must exist");
+        let view = views.iter().find(|v| v.site == p.site).expect("placement site must exist");
         for h in &p.hosts {
             let rec = view.resources.get(h);
             prop_assert!(rec.is_some(), "host {h} must belong to site {}", p.site.0);
@@ -138,10 +135,7 @@ fn check_schedule_valid(
     for (host, mut iv) in per_host {
         iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in iv.windows(2) {
-            prop_assert!(
-                w[1].0 >= w[0].1 - 1e-9,
-                "host {host} runs two tasks at once: {w:?}"
-            );
+            prop_assert!(w[1].0 >= w[0].1 - 1e-9, "host {host} runs two tasks at once: {w:?}");
         }
     }
     // Makespan is the max finish.
@@ -202,6 +196,52 @@ proptest! {
             check_table_valid(&afg, &views, &table)?;
             let schedule = evaluate(&afg, &table, &net, &levels).unwrap();
             check_schedule_valid(&afg, &table, &schedule)?;
+        }
+    }
+
+    // The optimized scheduler path (rayon fan-out + heap ready list +
+    // predict/transfer memoization, `sequential: false`) must produce a
+    // bit-identical allocation table to the uncached sequential
+    // reference path (`sequential: true`) on arbitrary DAGs and
+    // federations. A random subset of tasks is flipped to parallel mode
+    // so the cached multi-node selection path is exercised too.
+    #[test]
+    fn optimized_path_is_bit_identical_to_sequential_reference(
+        widths in proptest::collection::vec(1u8..5, 1..5),
+        picks in proptest::collection::vec(any::<u8>(), 1..16),
+        sizes in proptest::collection::vec(any::<u32>(), 1..16),
+        sites in 1u8..4,
+        hosts in 1u8..5,
+        speeds in proptest::collection::vec(any::<u8>(), 1..8),
+        k in 0usize..4,
+        par_picks in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let mut afg = gen_afg(&widths, &picks, &sizes);
+        let n = afg.tasks.len();
+        for (i, &p) in par_picks.iter().enumerate() {
+            let t = &mut afg.tasks[(i * 7 + p as usize) % n];
+            t.props.mode = ComputationMode::Parallel;
+            t.props.num_nodes = 1 + u32::from(p % 6);
+        }
+        let (views, net) = gen_views(sites, hosts, &speeds);
+        let mk = |sequential: bool| {
+            let cfg = SchedulerConfig {
+                k_neighbours: k,
+                sequential,
+                ..SchedulerConfig::default()
+            };
+            site_schedule(&afg, &views[0], &views[1..], &net, &cfg).unwrap()
+        };
+        let reference = mk(true);
+        let optimized = mk(false);
+        prop_assert_eq!(&reference, &optimized);
+        for (a, b) in reference.iter().zip(optimized.iter()) {
+            prop_assert_eq!(
+                a.predicted_seconds.to_bits(),
+                b.predicted_seconds.to_bits(),
+                "predicted time must match bit-for-bit for task {}",
+                a.task
+            );
         }
     }
 

@@ -144,14 +144,7 @@ pub fn layered_random(spec: &DagSpec, seed: u64) -> Afg {
         g.task_ids().filter(|&t| !g.edges.iter().any(|e| e.from == t)).collect();
     let sink_id = g.tasks.len() as u32;
     let size = log_uniform(&mut rng, spec.min_size, spec.max_size);
-    g.tasks.push(node(
-        sink_id,
-        format!("n{sink_id}"),
-        KernelKind::Sink,
-        size,
-        leaves.len(),
-        0,
-    ));
+    g.tasks.push(node(sink_id, format!("n{sink_id}"), KernelKind::Sink, size, leaves.len(), 0));
     for (i, leaf) in leaves.iter().enumerate() {
         let bytes = log_uniform(&mut rng, spec.min_bytes, spec.max_bytes);
         g.edges.push(Edge {
@@ -281,8 +274,7 @@ pub fn gauss_elim(n: usize, spec: &DagSpec, seed: u64) -> Afg {
         g.task_ids().filter(|&t| !g.edges.iter().any(|e| e.from == t)).collect();
     let sink = g.tasks.len() as u32;
     let size = log_uniform(&mut rng, spec.min_size, spec.max_size);
-    g.tasks
-        .push(node(sink, "out".into(), KernelKind::Sink, size, leaves.len(), 0));
+    g.tasks.push(node(sink, "out".into(), KernelKind::Sink, size, leaves.len(), 0));
     for (i, leaf) in leaves.iter().enumerate() {
         let bytes = log_uniform(&mut rng, spec.min_bytes, spec.max_bytes);
         g.edges.push(Edge {

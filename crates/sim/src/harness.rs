@@ -97,7 +97,8 @@ pub fn compare_schedulers(
     kinds: &[SchedulerKind],
 ) -> Vec<ComparisonRow> {
     let db = &local.tasks;
-    let cost = |t: &vdce_afg::TaskNode| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0);
+    let cost =
+        |t: &vdce_afg::TaskNode| db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0);
     let levels = level_map(afg, cost).expect("experiment DAGs are acyclic");
     let cp = critical_path(afg, cost).expect("acyclic");
     let predictor = Predictor::default();
@@ -117,12 +118,8 @@ pub fn compare_schedulers(
             SchedulerKind::RoundRobin => {
                 baselines::round_robin_schedule(afg, &all_views, &predictor)
             }
-            SchedulerKind::MinMin => {
-                baselines::min_min_schedule(afg, &all_views, net, &predictor)
-            }
-            SchedulerKind::MaxMin => {
-                baselines::max_min_schedule(afg, &all_views, net, &predictor)
-            }
+            SchedulerKind::MinMin => baselines::min_min_schedule(afg, &all_views, net, &predictor),
+            SchedulerKind::MaxMin => baselines::max_min_schedule(afg, &all_views, net, &predictor),
             SchedulerKind::Heft => baselines::heft_schedule(afg, &all_views, net, &predictor),
             SchedulerKind::HeftInsertion => {
                 baselines::heft_insertion_schedule(afg, &all_views, net, &predictor)
@@ -214,16 +211,27 @@ pub fn run_monitoring_experiment(
     let log = EventLog::new();
     let probe = Arc::new(SyntheticProbe::new(0.0, 1 << 30));
     for (i, h) in host_names.iter().enumerate() {
-        probe.set_trace(h.clone(), trace::random_walk(seed + i as u64, monitor_period, 10_000, 0.5, 8.0));
+        probe.set_trace(
+            h.clone(),
+            trace::random_walk(seed + i as u64, monitor_period, 10_000, 0.5, 8.0),
+        );
     }
     let echo = Arc::new(FlagEcho::new());
     let (to_site, from_groups) = unbounded();
     let (monitor_tx, monitor_rx) = unbounded();
     let daemons: Vec<MonitorDaemon> = host_names
         .iter()
-        .map(|h| MonitorDaemon::new(h.clone(), probe.clone() as Arc<dyn LoadProbe>, monitor_tx.clone(), log.clone()))
+        .map(|h| {
+            MonitorDaemon::new(
+                h.clone(),
+                probe.clone() as Arc<dyn LoadProbe>,
+                monitor_tx.clone(),
+                log.clone(),
+            )
+        })
         .collect();
-    let mut gm = GroupManager::new("g0", host_names.clone(), threshold, echo.clone(), to_site, log.clone());
+    let mut gm =
+        GroupManager::new("g0", host_names.clone(), threshold, echo.clone(), to_site, log.clone());
 
     let mut t = 0.0f64;
     let mut next_echo = 0.0f64;
@@ -316,7 +324,7 @@ mod tests {
             ..FederationSpec::default()
         });
         let views = f.views();
-        let afg = layered_random(&DagSpec { tasks: 40, ..DagSpec::default() }, 5);
+        let afg = layered_random(&DagSpec { tasks: 40, ..DagSpec::default() }, 7);
         let rows = compare_schedulers(
             &afg,
             &views[0],

@@ -76,11 +76,7 @@ pub struct Federation {
 impl Federation {
     /// Snapshot every site's scheduling view.
     pub fn views(&self) -> Vec<SiteView> {
-        self.repos
-            .iter()
-            .enumerate()
-            .map(|(i, r)| SiteView::capture(SiteId(i as u16), r))
-            .collect()
+        self.repos.iter().enumerate().map(|(i, r)| SiteView::capture(SiteId(i as u16), r)).collect()
     }
 
     /// Snapshot one site's view.
@@ -215,11 +211,8 @@ mod tests {
 
     #[test]
     fn metro_shape_builds() {
-        let spec = FederationSpec {
-            sites: 6,
-            shape: WanShape::Metro(3),
-            ..FederationSpec::default()
-        };
+        let spec =
+            FederationSpec { sites: 6, shape: WanShape::Metro(3), ..FederationSpec::default() };
         let f = build_federation(&spec);
         assert_eq!(f.topology.site_count(), 6);
     }

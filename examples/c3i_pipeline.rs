@@ -22,8 +22,20 @@ fn main() {
     let sensor_b = b.add_site("radar-south");
     let command = b.add_site("command-centre");
     for i in 0..3 {
-        b.add_host(sensor_a, format!("north{i}"), MachineType::SunSolaris, 1.0 + 0.2 * i as f64, 1 << 30);
-        b.add_host(sensor_b, format!("south{i}"), MachineType::IbmRs6000, 1.0 + 0.3 * i as f64, 1 << 30);
+        b.add_host(
+            sensor_a,
+            format!("north{i}"),
+            MachineType::SunSolaris,
+            1.0 + 0.2 * i as f64,
+            1 << 30,
+        );
+        b.add_host(
+            sensor_b,
+            format!("south{i}"),
+            MachineType::IbmRs6000,
+            1.0 + 0.3 * i as f64,
+            1 << 30,
+        );
         b.add_host(command, format!("hq{i}"), MachineType::SgiIrix, 2.5 + 0.5 * i as f64, 1 << 30);
     }
     // The command centre has fat pipes to both sensor sites; the sensor

@@ -73,11 +73,7 @@ fn main() {
                     for i in lo..hi {
                         let c = h.read_f64(buf_off(step, i));
                         let l = if i == 0 { c } else { h.read_f64(buf_off(step, i - 1)) };
-                        let r = if i == CELLS - 1 {
-                            c
-                        } else {
-                            h.read_f64(buf_off(step, i + 1))
-                        };
+                        let r = if i == CELLS - 1 { c } else { h.read_f64(buf_off(step, i + 1)) };
                         h.write_f64(buf_off(step + 1, i), c + ALPHA * (l - 2.0 * c + r));
                     }
                     barrier.wait(); // phase boundary

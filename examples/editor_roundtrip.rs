@@ -64,6 +64,10 @@ fn main() {
     // Load: tamper-checked, version-checked, re-validated.
     let loaded = AfgDocument::from_json(&json).expect("round trip");
     assert_eq!(loaded, doc);
-    println!("\nround trip OK: {} tasks, author `{}`, services {:?}",
-        loaded.afg.task_count(), loaded.author, loaded.services);
+    println!(
+        "\nround trip OK: {} tasks, author `{}`, services {:?}",
+        loaded.afg.task_count(),
+        loaded.author,
+        loaded.services
+    );
 }

@@ -83,21 +83,14 @@ fn main() {
         .get("/users/VDCE/user_k/vector_X.dat")
         .expect("back substitution stored its output");
     let x = decode_f64s(&x);
-    let max_err = x
-        .iter()
-        .zip(x_true.iter())
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_err = x.iter().zip(x_true.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |x - x_true| = {max_err:.3e}");
     assert!(max_err < 1e-6, "the solver must recover x");
     assert!(report.outcome.success);
 
     // The Back_Substitution task honoured the preferred machine.
-    let back_placement = report
-        .allocation
-        .iter()
-        .find(|p| p.task_name == "Back_Substitution")
-        .unwrap();
+    let back_placement =
+        report.allocation.iter().find(|p| p.task_name == "Back_Substitution").unwrap();
     assert_eq!(back_placement.hosts, vec!["hunding.top.cis.syr.edu".to_string()]);
     println!("\npreferred-machine pin honoured: Back_Substitution @ {}", back_placement.hosts[0]);
 }

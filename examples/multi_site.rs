@@ -21,10 +21,7 @@ fn main() {
     };
     let fed = build_federation(&spec);
     let views = fed.views();
-    let afg = layered_random(
-        &DagSpec { tasks: 80, width: 8, ..DagSpec::default() },
-        21,
-    );
+    let afg = layered_random(&DagSpec { tasks: 80, width: 8, ..DagSpec::default() }, 21);
     println!(
         "workload: {} tasks, {} edges, {} B total dataflow\n",
         afg.task_count(),
@@ -48,10 +45,7 @@ fn main() {
     // Shape check: involving neighbours must never hurt, and usually
     // helps on a heterogeneous federation.
     let k0 = rows.iter().find(|r| r.algorithm == "vdce(k=0)").unwrap();
-    let kmax = rows
-        .iter()
-        .find(|r| r.algorithm == format!("vdce(k={})", spec.sites - 1))
-        .unwrap();
+    let kmax = rows.iter().find(|r| r.algorithm == format!("vdce(k={})", spec.sites - 1)).unwrap();
     println!(
         "k=0 → {:.3}s   k={} → {:.3}s   ({:.1}% improvement)",
         k0.makespan,

@@ -23,9 +23,7 @@ fn main() {
     let vdce = b.build();
 
     // --- 2. Authenticate (the editor's login step) -------------------
-    let session = vdce
-        .login(alpha, "user_k", "hunter2")
-        .expect("credentials registered above");
+    let session = vdce.login(alpha, "user_k", "hunter2").expect("credentials registered above");
     println!(
         "logged in as {} (priority {}, domain {:?}) at site {}",
         session.account().user_name,

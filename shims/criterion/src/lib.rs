@@ -1,0 +1,199 @@
+//! Offline shim for `criterion`: the group/bench_function/iter API shape
+//! over a simple wall-clock sampler. No statistics beyond min/mean over a
+//! fixed sample count, no HTML reports — each benchmark prints one line:
+//!
+//! ```text
+//! group/name              time: [mean 12.3 µs, min 11.9 µs]  (20 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `name` or `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    /// Builder-style sample-size override.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Compatibility no-op (upstream parses CLI args here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a bench outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not report
+    /// throughput-normalised numbers.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(&self.name, &id.id, self.sample_size);
+    }
+
+    /// Run one benchmark that receives an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size) };
+        for _ in 0..self.sample_size {
+            f(&mut b, input);
+        }
+        b.report(&self.name, &id.id, self.sample_size);
+    }
+
+    /// Finish the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of `f` (with a single untimed warmup call on the
+    /// first sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.samples.is_empty() {
+            black_box(f());
+        }
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+
+    fn report(&self, group: &str, id: &str, samples: usize) {
+        if self.samples.is_empty() {
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+        println!(
+            "{label:<40} time: [mean {}, min {}]  ({samples} samples)",
+            fmt_duration(mean),
+            fmt_duration(min)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Shim `criterion_group!`: collects bench functions under a name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Shim `criterion_main!`: a `main` that runs the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

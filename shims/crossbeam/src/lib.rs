@@ -1,0 +1,5 @@
+//! Offline shim for `crossbeam`: the `channel` and `thread::scope` APIs
+//! the workspace uses, implemented over `std::sync` + `std::thread`.
+
+pub mod channel;
+pub mod thread;

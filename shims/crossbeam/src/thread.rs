@@ -1,0 +1,46 @@
+//! Scoped threads (crossbeam 0.8 `thread::scope` API) over
+//! `std::thread::scope` (Rust ≥ 1.63).
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure and to spawned children.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Crossbeam passes the scope back into the
+    /// child closure so children can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+    }
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the child; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope whose spawned threads may borrow from the caller.
+///
+/// Unlike crossbeam, an unjoined panicking child aborts via std's scope
+/// panic propagation rather than being collected into the returned
+/// `Result`; the workspace joins every handle, where semantics match.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,225 @@
+//! Offline shim for `rayon`: the `par_iter`/`into_par_iter` + adaptor
+//! subset the scheduler uses, implemented with `std::thread::scope`.
+//!
+//! Differences from real rayon that callers may rely on:
+//!
+//! - **Order preservation is guaranteed.** Work is split into contiguous
+//!   chunks, one per worker thread, and the per-chunk outputs are
+//!   reassembled in input order. `collect()` therefore yields exactly the
+//!   sequence the equivalent serial iterator would — this is the
+//!   bit-identical-determinism property the VDCE scheduler's parallel
+//!   path is specified against (DESIGN.md, "Parallel scheduling
+//!   architecture").
+//! - Adaptors are **eager**: each `map` materialises its results before
+//!   the next adaptor runs. Chains the workspace uses are short (one
+//!   parallel stage + `collect`), so this costs one intermediate `Vec`.
+//! - There is no global thread pool; every parallel stage spawns scoped
+//!   threads. Thread count: `RAYON_NUM_THREADS` env override, else
+//!   `std::thread::available_parallelism()`.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel stage will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run `a` and `b` potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map: contiguous chunks, one per thread,
+/// results concatenated in input order.
+fn par_map_vec<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks of near-equal size.
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        out
+    })
+}
+
+/// A materialised parallel iterator (every adaptor is eager).
+pub struct ParVec<T>(Vec<T>);
+
+/// Adaptor and terminal methods shared by all shim parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Materialise the remaining elements in order.
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    /// Parallel map (order-preserving).
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> ParVec<U> {
+        ParVec(par_map_vec(self.into_vec(), f))
+    }
+
+    /// Parallel filter_map (order-preserving).
+    fn filter_map<U: Send, F: Fn(Self::Item) -> Option<U> + Sync>(self, f: F) -> ParVec<U> {
+        ParVec(par_map_vec(self.into_vec(), f).into_iter().flatten().collect())
+    }
+
+    /// Parallel filter (order-preserving).
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> ParVec<Self::Item> {
+        ParVec(
+            par_map_vec(self.into_vec(), |x| if f(&x) { Some(x) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        )
+    }
+
+    /// Parallel side-effecting visit.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        par_map_vec(self.into_vec(), f);
+    }
+
+    /// Collect into any `FromIterator` container, preserving order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_vec().into_iter().collect()
+    }
+
+    /// Element count.
+    fn count(self) -> usize {
+        self.into_vec().len()
+    }
+
+    /// Sum of the (already computed) elements.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_vec().into_iter().sum()
+    }
+
+    /// Minimum by comparator (sequential over materialised elements).
+    fn min_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<Self::Item> {
+        self.into_vec().into_iter().min_by(f)
+    }
+
+    /// Maximum by comparator (sequential over materialised elements).
+    fn max_by<F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<Self::Item> {
+        self.into_vec().into_iter().max_by(f)
+    }
+
+    /// Compatibility no-op (the shim always chunks contiguously).
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    fn into_vec(self) -> Vec<T> {
+        self.0
+    }
+}
+
+/// By-value conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Produce the parallel iterator.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParVec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        self
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParVec<$t> {
+                ParVec(self.collect())
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u16, u32, u64, usize, i32, i64);
+
+/// By-shared-reference conversion (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a shared reference).
+    type Item: Send + 'data;
+    /// Produce the parallel iterator over references.
+    fn par_iter(&'data self) -> ParVec<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParVec<&'data T> {
+        ParVec(self.iter().collect())
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParVec<&'data T> {
+        ParVec(self.iter().collect())
+    }
+}

@@ -1,0 +1,599 @@
+//! Offline shim for `serde`: `Serialize`/`Deserialize` defined directly
+//! over an owned JSON [`Value`] tree (no visitor machinery). The
+//! `serde_derive` shim generates impls of these traits; the `serde_json`
+//! shim renders/parses the `Value` tree as JSON text.
+//!
+//! The design trades serde's zero-copy streaming for simplicity: every
+//! (de)serialisation goes through `Value`. That is plenty for the
+//! workspace's uses (wire-size accounting, repository snapshots, config
+//! round-trips) and keeps the whole stack ~700 lines and offline.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON data model: what structs serialise into and parse from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object; insertion-ordered pairs (derive emits declaration
+    /// order, maps emit sorted key order, so output is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+/// Exact JSON number: unsigned / signed integer or float, preserving full
+/// `u64`/`i64` precision (floats use Rust's shortest-roundtrip printing,
+/// which is what serde_json's `float_roundtrip` feature guarantees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl Number {
+    /// Lossy conversion to `f64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// Exact `u64` if representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::U(u) => Some(u),
+            Number::I(i) if i >= 0 => Some(i as u64),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// Exact `i64` if representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Construct from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error { msg: m.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by generated code (stable names, __ prefixed).
+// ---------------------------------------------------------------------------
+
+/// Expect an object, naming `ty` in the error.
+pub fn __expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    match v {
+        Value::Object(o) => Ok(o),
+        other => Err(Error::msg(format!("expected object for {ty}, got {}", __kind(other)))),
+    }
+}
+
+/// Expect an array of exactly `len` elements.
+pub fn __expect_array<'a>(v: &'a Value, len: usize, ty: &str) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Array(a) if a.len() == len => Ok(a),
+        Value::Array(a) => Err(Error::msg(format!(
+            "expected {len}-element array for {ty}, got {} elements",
+            a.len()
+        ))),
+        other => Err(Error::msg(format!("expected array for {ty}, got {}", __kind(other)))),
+    }
+}
+
+/// Look up and deserialise a struct field.
+pub fn __field<T: Deserialize>(obj: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::msg(format!("field `{ty}.{name}`: {e}")))
+        }
+        None => Err(Error::msg(format!("missing field `{name}` of {ty}"))),
+    }
+}
+
+/// Externally-tagged variant wrapper: `{"Variant": inner}`.
+pub fn __variant(tag: &str, inner: Value) -> Value {
+    Value::Object(vec![(tag.to_string(), inner)])
+}
+
+/// Unwrap an externally-tagged variant object into `(tag, inner)`.
+pub fn __expect_variant<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+    match v {
+        Value::Object(o) if o.len() == 1 => Ok((o[0].0.as_str(), &o[0].1)),
+        other => Err(Error::msg(format!(
+            "expected single-key variant object for {ty}, got {}",
+            __kind(other)
+        ))),
+    }
+}
+
+/// Human-readable kind of a value (for error messages).
+pub fn __kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// Render a map key: strings pass through, numbers stringify (matching
+/// serde_json's integer-keyed-map behaviour).
+pub fn __key_to_string(v: Value) -> String {
+    match v {
+        Value::String(s) => s,
+        Value::Number(Number::U(u)) => u.to_string(),
+        Value::Number(Number::I(i)) => i.to_string(),
+        Value::Number(Number::F(f)) => format!("{f}"),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialise to a string or number, got {}", __kind(&other)),
+    }
+}
+
+/// Reverse of [`__key_to_string`]: try string form first, then numeric.
+pub fn __key_from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    if let Ok(v) = T::from_value(&Value::String(s.to_string())) {
+        return Ok(v);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(v) = T::from_value(&Value::Number(Number::U(u))) {
+            return Ok(v);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(v) = T::from_value(&Value::Number(Number::I(i))) {
+            return Ok(v);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(v) = T::from_value(&Value::Number(Number::F(f))) {
+            return Ok(v);
+        }
+    }
+    if s == "true" || s == "false" {
+        if let Ok(v) = T::from_value(&Value::Bool(s == "true")) {
+            return Ok(v);
+        }
+    }
+    Err(Error::msg(format!("cannot deserialise map key from `{s}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize/Deserialize for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), __kind(other)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::Number(Number::U(v as u64)) } else { Value::Number(Number::I(v)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("number out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), __kind(other)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::F(*self as f64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), __kind(other)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::msg(format!("expected single-char string, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord + Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (__key_to_string(k.to_value()), v.to_value())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(o) => {
+                o.iter().map(|(k, v)| Ok((__key_from_str::<K>(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::msg(format!("expected object, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (serde_json would use iteration
+        // order; sorted is strictly more stable).
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (__key_to_string(k.to_value()), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(o) => {
+                o.iter().map(|(k, v)| Ok((__key_from_str::<K>(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(Error::msg(format!("expected object, got {}", __kind(other)))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Arc::new(T::from_value(v)?))
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(Arc::from(s.as_str())),
+            other => Err(Error::msg(format!("expected string, got {}", __kind(other)))),
+        }
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                let a = __expect_array(v, LEN, "tuple")?;
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member lookup; missing keys (or non-objects) yield `Null`,
+    /// matching serde_json.
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(o) => {
+                o.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&NULL_VALUE)
+            }
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Object member lookup for writing; missing keys are inserted as
+    /// `Null` first (serde_json semantics). Panics on non-objects.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(o) = self else {
+            panic!("cannot index non-object value with `{key}`");
+        };
+        if let Some(i) = o.iter().position(|(k, _)| k == key) {
+            return &mut o[i].1;
+        }
+        o.push((key.to_string(), Value::Null));
+        &mut o.last_mut().expect("just pushed").1
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element lookup; out-of-bounds (or non-arrays) yield `Null`.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::msg(format!("expected null, got {}", __kind(other)))),
+        }
+    }
+}

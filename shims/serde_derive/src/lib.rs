@@ -1,0 +1,513 @@
+//! Offline shim for `serde_derive`: a hand-rolled token-tree parser and
+//! string-based code generator (no `syn`/`quote`). Supports the subset of
+//! shapes this workspace actually derives on:
+//!
+//! - named structs (with `#[serde(skip)]` / `#[serde(default)]` fields)
+//! - tuple structs (newtypes delegate to the inner value, like serde)
+//! - unit structs
+//! - `#[serde(transparent)]`
+//! - enums with unit / newtype / tuple / struct variants, externally
+//!   tagged exactly like serde (`"Variant"` / `{"Variant": ...}`)
+//!
+//! Generics are intentionally unsupported (the workspace derives on
+//! concrete types only); a `compile_error!` fires if one slips in.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone, Copy)]
+struct Attrs {
+    transparent: bool,
+    skip: bool,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    UnitStruct,
+    NamedStruct { fields: Vec<Field>, transparent: bool },
+    TupleStruct { arity: usize },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consume any run of outer attributes, merging their serde flags.
+    fn parse_attrs(&mut self) -> Attrs {
+        let mut a = Attrs::default();
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else { break };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                for t in args.stream() {
+                    if let TokenTree::Ident(w) = t {
+                        match w.to_string().as_str() {
+                            "transparent" => a.transparent = true,
+                            "skip" | "skip_serializing" | "skip_deserializing" => a.skip = true,
+                            "default" => a.default = true,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    /// Consume `pub` / `pub(...)` if present.
+    fn parse_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skip tokens until a `,` at angle-bracket depth 0 (consuming it),
+    /// or until the end of the stream.
+    fn skip_until_top_comma(&mut self) {
+        let mut depth: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth <= 0 => {
+                        self.next();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(ts);
+    let top = c.parse_attrs();
+    c.parse_vis();
+
+    let Some(TokenTree::Ident(kw)) = c.next() else {
+        return Err("expected `struct` or `enum`".into());
+    };
+    let kw = kw.to_string();
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive: generic type `{name}` is unsupported"));
+    }
+
+    match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Input { name, kind: Kind::NamedStruct { fields, transparent: top.transparent } })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                Ok(Input { name, kind: Kind::TupleStruct { arity } })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Input { name, kind: Kind::UnitStruct })
+            }
+            None => Ok(Input { name, kind: Kind::UnitStruct }),
+            _ => Err(format!("unexpected token after `struct {name}`")),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = c.next() else {
+                return Err(format!("expected enum body for `{name}`"));
+            };
+            let variants = parse_variants(g.stream())?;
+            Ok(Input { name, kind: Kind::Enum { variants } })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while !c.at_end() {
+        let a = c.parse_attrs();
+        c.parse_vis();
+        let Some(TokenTree::Ident(fname)) = c.next() else {
+            return Err("expected field name".into());
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{fname}`")),
+        }
+        c.skip_until_top_comma();
+        out.push(Field { name: fname.to_string(), skip: a.skip, default: a.default });
+    }
+    Ok(out)
+}
+
+/// Count top-level comma-separated segments in a tuple-field list.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in ts {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while !c.at_end() {
+        c.parse_attrs();
+        let Some(TokenTree::Ident(vname)) = c.next() else {
+            return Err("expected variant name".into());
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant / trailing comma.
+        c.skip_until_top_comma();
+        out.push(Variant { name: vname.to_string(), kind });
+    }
+    Ok(out)
+}
+
+fn compile_err(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct { arity } => ser_tuple_body("self", *arity),
+        Kind::NamedStruct { fields, transparent } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if *transparent && live.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                let mut s = String::from(
+                    "{ let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in &live {
+                    s.push_str(&format!(
+                        "__o.push((::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value(&self.{})));\n",
+                        f.name, f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__o) }");
+                s
+            }
+        }
+        Kind::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::__variant({vn:?}, \
+                         ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::__variant({vn:?}, \
+                             ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{}: __b_{}", f.name, f.name)).collect();
+                        let mut inner = String::from(
+                            "{ let mut __o: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__o.push((::std::string::String::from({:?}), \
+                                 ::serde::Serialize::to_value(__b_{})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__o) }");
+                        let ignore: String = fields
+                            .iter()
+                            .filter(|f| f.skip)
+                            .map(|f| format!("let _ = __b_{};\n", f.name))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ {ignore}::serde::__variant({vn:?}, {inner}) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().unwrap_or_else(|_| compile_err("serde shim: generated Serialize failed to parse"))
+}
+
+fn ser_tuple_body(recv: &str, arity: usize) -> String {
+    match arity {
+        0 => "::serde::Value::Null".to_string(),
+        1 => format!("::serde::Serialize::to_value(&{recv}.0)"),
+        n => {
+            let elems: Vec<String> =
+                (0..n).map(|i| format!("::serde::Serialize::to_value(&{recv}.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_err(&e),
+    };
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!("{{ let _ = __v; Ok({name}) }}"),
+        Kind::TupleStruct { arity } => de_tuple_body(name, name, *arity, "__v"),
+        Kind::NamedStruct { fields, transparent } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if *transparent && live.len() == 1 {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{}: ::serde::Deserialize::from_value(__v)?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                format!("Ok({name} {{\n{inits}}})")
+            } else {
+                de_named_body(name, name, name, fields)
+            }
+        }
+        Kind::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            let mut has_data = false;
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(n) => {
+                        has_data = true;
+                        let body = de_tuple_body(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            *n,
+                            "__inner",
+                        );
+                        data_arms.push_str(&format!("{vn:?} => {{ {body} }},\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        has_data = true;
+                        let body = de_named_body(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            "__inner",
+                            fields,
+                        );
+                        data_arms.push_str(&format!("{vn:?} => {{ {body} }},\n"));
+                    }
+                }
+            }
+            let data_path = if has_data {
+                format!(
+                    "let (__tag, __inner) = ::serde::__expect_variant(__v, {name:?})?;\n\
+                     match __tag {{\n{data_arms}\
+                     __other => Err(::serde::Error::msg(format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n}}"
+                )
+            } else {
+                format!(
+                    "Err(::serde::Error::msg(format!(\
+                     \"unknown variant for {name}: {{:?}}\", __v)))"
+                )
+            };
+            format!(
+                "{{ if let ::serde::Value::String(__s) = __v {{\n\
+                 match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 {data_path} }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse().unwrap_or_else(|_| compile_err("serde shim: generated Deserialize failed to parse"))
+}
+
+/// Body deserialising a tuple struct/variant from `src` (a `&Value`).
+/// `ctor` is the constructor path, `label` the name used in errors.
+fn de_tuple_body(ctor: &str, label: &str, arity: usize, src: &str) -> String {
+    match arity {
+        0 => format!("{{ let _ = {src}; Ok({ctor}()) }}"),
+        1 => format!("Ok({ctor}(::serde::Deserialize::from_value({src})?))"),
+        n => {
+            let elems: Vec<String> =
+                (0..n).map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?")).collect();
+            format!(
+                "{{ let __a = ::serde::__expect_array({src}, {n}, {label:?})?;\n\
+                 Ok({ctor}({})) }}",
+                elems.join(", ")
+            )
+        }
+    }
+}
+
+/// Body deserialising named fields from `src` (a `&Value`) into `ctor`.
+fn de_named_body(ctor: &str, label: &str, src_expr: &str, fields: &[Field]) -> String {
+    let src = if src_expr == "__inner" { "__inner" } else { "__v" };
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: match __o.iter().find(|(__k, _)| __k == {n:?}) {{\n\
+                 Some((_, __fv)) => ::serde::Deserialize::from_value(__fv)?,\n\
+                 None => ::std::default::Default::default(),\n}},\n",
+                n = f.name
+            ));
+        } else {
+            inits
+                .push_str(&format!("{n}: ::serde::__field(__o, {n:?}, {label:?})?,\n", n = f.name));
+        }
+    }
+    format!(
+        "{{ let __o = ::serde::__expect_object({src}, {label:?})?;\n\
+         Ok({ctor} {{\n{inits}}}) }}"
+    )
+}

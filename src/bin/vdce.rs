@@ -20,8 +20,20 @@ fn demo_federation(user: &str) -> Vdce {
     let s0 = b.add_site("campus-a");
     let s1 = b.add_site("campus-b");
     for i in 0..4 {
-        b.add_host(s0, format!("a{i}.campus-a.edu"), MachineType::LinuxPc, 1.0 + 0.5 * i as f64, 1 << 30);
-        b.add_host(s1, format!("b{i}.campus-b.edu"), MachineType::SunSolaris, 1.5 + 0.5 * i as f64, 1 << 30);
+        b.add_host(
+            s0,
+            format!("a{i}.campus-a.edu"),
+            MachineType::LinuxPc,
+            1.0 + 0.5 * i as f64,
+            1 << 30,
+        );
+        b.add_host(
+            s1,
+            format!("b{i}.campus-b.edu"),
+            MachineType::SunSolaris,
+            1.5 + 0.5 * i as f64,
+            1 << 30,
+        );
     }
     b.add_user(user, "demo", 5, AccessDomain::Global);
     b.build()
@@ -37,10 +49,7 @@ fn cmd_libraries() -> ExitCode {
     ] {
         println!("{group}:");
         for e in lib.group(group) {
-            println!(
-                "  {:<24} {} in / {} out  {}",
-                e.name, e.in_ports, e.out_ports, e.description
-            );
+            println!("  {:<24} {} in / {} out  {}", e.name, e.in_ports, e.out_ports, e.description);
         }
     }
     ExitCode::SUCCESS

@@ -49,20 +49,18 @@ fn workload_pipeline_redirects_scheduling() {
     let probe = Arc::new(SyntheticProbe::new(0.0, 1 << 30));
     probe.set_trace("fast", vec![(0.0, 9.0)]);
     let (mon_tx, mon_rx) = unbounded();
-    let daemon_fast =
-        MonitorDaemon::new("fast", probe.clone() as Arc<dyn LoadProbe>, mon_tx.clone(), log.clone());
+    let daemon_fast = MonitorDaemon::new(
+        "fast",
+        probe.clone() as Arc<dyn LoadProbe>,
+        mon_tx.clone(),
+        log.clone(),
+    );
     let daemon_slow =
         MonitorDaemon::new("slow", probe.clone() as Arc<dyn LoadProbe>, mon_tx, log.clone());
     let echo = Arc::new(FlagEcho::new());
     let (to_site, from_group) = unbounded();
-    let mut gm = GroupManager::new(
-        "campus-g0",
-        vec!["fast".into(), "slow".into()],
-        0.5,
-        echo,
-        to_site,
-        log,
-    );
+    let mut gm =
+        GroupManager::new("campus-g0", vec!["fast".into(), "slow".into()], 0.5, echo, to_site, log);
     // Several monitoring rounds (smoothed workload needs history).
     for t in 0..6 {
         probe.set_time(t as f64);
@@ -123,13 +121,13 @@ fn failure_detection_cycles_host_availability() {
 /// has faster hosts.
 #[test]
 fn network_monitoring_redirects_site_choice() {
+    use vdce_afg::{AfgBuilder, MachineType as MT, TaskLibrary};
     use vdce_net::model::{NetworkModel, SharedNetworkModel};
+    use vdce_repository::resources::ResourceRecord;
+    use vdce_repository::SiteRepository;
     use vdce_runtime::net_monitor::{NetworkMonitor, SyntheticLinkProbe};
     use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
     use vdce_sched::view::SiteView;
-    use vdce_repository::resources::ResourceRecord;
-    use vdce_repository::SiteRepository;
-    use vdce_afg::{AfgBuilder, TaskLibrary, MachineType as MT};
 
     let mk_view = |site: u16, host: &str, speed: f64| {
         let repo = SiteRepository::new();
@@ -160,15 +158,15 @@ fn network_monitoring_redirects_site_choice() {
 
     // Healthy WAN: the faster remote site wins the whole chain.
     monitor.tick();
-    let healthy = site_schedule(&afg, &local, std::slice::from_ref(&remote), &shared.snapshot(), &cfg)
-        .unwrap();
+    let healthy =
+        site_schedule(&afg, &local, std::slice::from_ref(&remote), &shared.snapshot(), &cfg)
+            .unwrap();
     assert_eq!(healthy.placement(vdce_afg::TaskId(0)).unwrap().site, SiteId(1));
 
     // Congestion hits the WAN; the monitor observes it.
     probe.set(SiteId(0), SiteId(1), 30.0, 1_000.0);
     monitor.tick();
-    let congested =
-        site_schedule(&afg, &local, &[remote], &shared.snapshot(), &cfg).unwrap();
+    let congested = site_schedule(&afg, &local, &[remote], &shared.snapshot(), &cfg).unwrap();
     // Entry task still prefers the faster remote host (Predict only), but
     // the *whole chain stays together* and no placement straddles the
     // congested link — the transfer term pins children to their parent's

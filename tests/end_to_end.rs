@@ -198,8 +198,11 @@ fn memory_constraints_force_placement() {
     let report = session.submit(&doc).unwrap();
     assert!(report.outcome.success);
     let lu_hosts = &report.allocation.placement(lu).unwrap().hosts;
-    assert_eq!(lu_hosts, &vec!["slow_roomy".to_string()],
-        "LU must avoid hosts whose total memory cannot hold it");
+    assert_eq!(
+        lu_hosts,
+        &vec!["slow_roomy".to_string()],
+        "LU must avoid hosts whose total memory cannot hold it"
+    );
     // The small sink is free to use the fast hosts.
     let snk_hosts = &report.allocation.placement(snk).unwrap().hosts;
     assert!(snk_hosts[0].starts_with("fast_tiny"));
