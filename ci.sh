@@ -1,19 +1,41 @@
 #!/usr/bin/env bash
-# Repo CI gate: format, lints, release build, tests.
+# Repo CI gate: format, lints, locked release build, tests, and the two
+# fast-mode benchmark gates (scheduling speedup + fault recovery).
 # Run from the repo root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0
+    t0=$(date +%s)
+    "$@"
+    local t1
+    t1=$(date +%s)
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((t1 - t0)))
+}
 
-echo "==> cargo build --release"
-cargo build --release
+stage "cargo fmt --check" cargo fmt --check
+stage "cargo clippy" cargo clippy --workspace --all-targets -- -D warnings
+stage "cargo build --release --locked" cargo build --release --locked
+stage "cargo test" cargo test -q
+# Fast-mode smoke gates: the optimized scheduler must stay ahead of the
+# sequential reference (within tolerance of the recorded baseline), and
+# every quick fault scenario must replay deterministically and recover.
+stage "sched speedup gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_sched_speedup -- --quick
+stage "fault recovery gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_faults -- --quick
 
-echo "==> cargo test -q"
-cargo test -q
-
+echo
+echo "stage timings:"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-36s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+done
 echo "CI OK"

@@ -9,7 +9,7 @@ fn monitor_overhead(c: &mut Criterion) {
     group.sample_size(10);
     for &hosts in &[4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &h| {
-            b.iter(|| run_monitoring_experiment(h, 1.0, 1.0, 5.0, 60.0, None, 1))
+            b.iter(|| run_monitoring_experiment(h, 1.0, 1.0, 5.0, 60.0, &[], 1))
         });
     }
     group.finish();

@@ -119,7 +119,7 @@ fn run(gated: bool) -> (f64, usize, usize) {
         &log,
         &clock,
         None,
-        &ExecutorConfig { input_timeout: Duration::from_secs(30) },
+        &ExecutorConfig { input_timeout: Duration::from_secs(30), ..ExecutorConfig::default() },
     );
     assert!(outcome.success);
     let rescheds =

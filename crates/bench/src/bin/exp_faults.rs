@@ -1,0 +1,117 @@
+//! Fault-injection replay: every named [`FaultScenario`] (plus a
+//! palette-workload crash mirroring the `exp_sched_speedup` workload
+//! shape) is replayed against its fault-free twin, producing one
+//! [`RecoveryReport`] per scenario.
+//!
+//! Three properties are enforced, not just measured:
+//!
+//! 1. **Determinism** — each scenario is replayed twice and the two
+//!    reports must serialise bit-identically;
+//! 2. **Recovery** — every fault must end recovered and no task may
+//!    fail (crashed hosts stay quarantined, transient hosts are
+//!    re-admitted, all work migrates off dead hosts);
+//! 3. **Bounded inflation** — host-crash scenarios must finish in under
+//!    2× the fault-free makespan.
+//!
+//! A violated property exits non-zero, which is what lets `ci.sh` use
+//! `--quick` (the cheap scenario subset) as a regression gate. The full
+//! run writes `BENCH_faults.json`; quick runs leave it untouched.
+//!
+//! [`FaultScenario`]: vdce_sim::scenario::FaultScenario
+//! [`RecoveryReport`]: vdce_sim::metrics::RecoveryReport
+
+use vdce_bench::{bench_dag, bench_federation, shape_palette_workload};
+use vdce_sim::faults::{Fault, FaultPlan};
+use vdce_sim::metrics::{recovery_table, RecoveryReport};
+use vdce_sim::replay::ReplayConfig;
+use vdce_sim::scenario::{
+    all_fault_scenarios, quick_fault_scenarios, schedule_estimate, FaultScenario, Scenario,
+};
+
+/// The acceptance workload: crash the busiest host of a palette-shaped
+/// DAG (the `exp_sched_speedup` workload family) a quarter into the run.
+fn palette_crash() -> FaultScenario {
+    let federation = bench_federation(2, 4);
+    let mut afg = bench_dag(24, 7);
+    shape_palette_workload(&mut afg);
+    let scenario = Scenario { name: "palette-crash", federation, afg };
+    let (est, victim) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "palette-crash",
+        plan: FaultPlan {
+            seed: 53,
+            faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "=== fault-injection replay: detection, recovery, makespan inflation{} ===\n",
+        if quick { " [quick]" } else { "" }
+    );
+
+    let mut scenarios = if quick { quick_fault_scenarios() } else { all_fault_scenarios() };
+    scenarios.push(palette_crash());
+
+    let mut reports: Vec<RecoveryReport> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for fs in &scenarios {
+        let report = fs.run();
+        // Determinism gate: the same (scenario, plan, config) triple must
+        // replay into a bit-identical report.
+        let again = fs.run();
+        let j1 = serde_json::to_string(&report).expect("serialise report");
+        let j2 = serde_json::to_string(&again).expect("serialise report");
+        if j1 != j2 {
+            failures.push(format!("{}: replay is not deterministic", fs.name));
+        }
+
+        if report.tasks_failed > 0 {
+            failures.push(format!("{}: {} task(s) failed", fs.name, report.tasks_failed));
+        }
+        if !report.recovered_all() {
+            let bad: Vec<&str> =
+                report.faults.iter().filter(|f| !f.recovered).map(|f| f.fault.as_str()).collect();
+            failures.push(format!("{}: non-recovered fault(s): {}", fs.name, bad.join(", ")));
+        }
+        let is_crash = fs.plan.faults.iter().any(|f| matches!(f, Fault::HostCrash { .. }));
+        if is_crash && report.inflation >= 2.0 {
+            failures.push(format!(
+                "{}: makespan inflation {:.2}x exceeds the 2x bound",
+                fs.name, report.inflation
+            ));
+        }
+        reports.push(report);
+    }
+
+    println!("{}", recovery_table(&reports).render());
+    println!("(each scenario replayed twice; reports asserted bit-identical)");
+
+    if !quick {
+        #[derive(serde::Serialize)]
+        struct FaultsReport {
+            bench: String,
+            scenarios: Vec<RecoveryReport>,
+        }
+        let json = serde_json::to_string_pretty(&FaultsReport {
+            bench: "exp_faults".into(),
+            scenarios: reports.clone(),
+        })
+        .expect("serialise reports");
+        std::fs::write("BENCH_faults.json", json + "\n").expect("write BENCH_faults.json");
+        println!("\nwrote BENCH_faults.json");
+    }
+
+    if failures.is_empty() {
+        println!("\nfault gate OK");
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

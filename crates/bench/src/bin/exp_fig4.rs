@@ -16,7 +16,7 @@ fn main() {
     let mut t1 = Table::new(&["hosts", "threshold", "samples", "forwarded", "traffic_reduction"]);
     for &hosts in &[8usize, 32] {
         for &th in &[0.0f64, 0.5, 1.0, 2.0, 4.0] {
-            let out = run_monitoring_experiment(hosts, th, 1.0, 5.0, 300.0, None, 4);
+            let out = run_monitoring_experiment(hosts, th, 1.0, 5.0, 300.0, &[], 4);
             t1.row(&[
                 hosts.to_string(),
                 format!("{th}"),
@@ -34,8 +34,13 @@ fn main() {
         let mut lats = Vec::new();
         for seed in 0..10u64 {
             let fail_at = 90.0 + seed as f64 * 3.7; // stagger vs probe phase
-            let out = run_monitoring_experiment(8, 1.0, 1.0, period, 200.0, Some(fail_at), seed);
-            lats.push(out.detection_latency.expect("failure injected must be detected"));
+            let out = run_monitoring_experiment(8, 1.0, 1.0, period, 200.0, &[(0, fail_at)], seed);
+            lats.push(
+                out.detection_latencies
+                    .first()
+                    .copied()
+                    .expect("failure injected must be detected"),
+            );
         }
         let mean = lats.iter().sum::<f64>() / lats.len() as f64;
         let max = lats.iter().cloned().fold(0.0f64, f64::max);

@@ -17,25 +17,35 @@
 //! Writes `BENCH_sched.json` in the current directory.
 
 use std::time::Instant;
-use vdce_afg::{Afg, ComputationMode};
-use vdce_bench::{bench_dag, bench_federation, split_views};
+use vdce_bench::{bench_dag, bench_federation, shape_palette_workload, split_views};
 use vdce_sched::allocation::AllocationTable;
 use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
 use vdce_sim::metrics::Table;
 
-/// The library-kernel granularities tasks run at (see module docs).
-const GRANULARITIES: [u64; 4] = [64_000, 128_000, 256_000, 512_000];
+/// The recorded `BENCH_sched.json` fields the `--quick` regression gate
+/// compares against (unknown fields are ignored on deserialize).
+#[derive(serde::Deserialize)]
+struct RecordedReport {
+    configs: Vec<RecordedRow>,
+}
 
-/// Quantise problem sizes to the granularity palette and flip every
-/// third task to an 8-node parallel implementation.
-fn shape_workload(afg: &mut Afg) {
-    for (i, t) in afg.tasks.iter_mut().enumerate() {
-        t.problem_size = GRANULARITIES[t.problem_size as usize % GRANULARITIES.len()];
-        if i % 3 == 0 {
-            t.props.mode = ComputationMode::Parallel;
-            t.props.num_nodes = 8;
-        }
-    }
+/// One recorded config row.
+#[derive(serde::Deserialize)]
+struct RecordedRow {
+    tasks: usize,
+    sites: usize,
+    speedup: f64,
+}
+
+/// One measured config row (serialised into `BENCH_sched.json`).
+#[derive(serde::Serialize)]
+struct MeasuredRow {
+    tasks: usize,
+    sites: usize,
+    k: usize,
+    seq_ms: f64,
+    opt_ms: f64,
+    speedup: f64,
 }
 
 /// Best-of-`reps` wall-clock for one scheduler run.
@@ -52,11 +62,21 @@ fn time_run(reps: usize, mut run: impl FnMut() -> AllocationTable) -> (f64, Allo
 }
 
 fn main() {
-    println!("=== scheduling speedup: optimized vs sequential reference (k=3) ===\n");
-    let configs: Vec<(usize, usize)> = [50usize, 200, 1000]
-        .iter()
-        .flat_map(|&tasks| [2usize, 8].map(|sites| (tasks, sites)))
-        .collect();
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "=== scheduling speedup: optimized vs sequential reference (k=3){} ===\n",
+        if quick { " [quick]" } else { "" }
+    );
+    // Quick mode runs a downsized grid as a CI gate and does NOT rewrite
+    // the recorded BENCH_sched.json it compares against.
+    let configs: Vec<(usize, usize)> = if quick {
+        vec![(200, 2), (200, 8)]
+    } else {
+        [50usize, 200, 1000]
+            .iter()
+            .flat_map(|&tasks| [2usize, 8].map(|sites| (tasks, sites)))
+            .collect()
+    };
 
     let mut t = Table::new(&["tasks", "sites", "seq_ms", "opt_ms", "speedup"]);
     let mut rows = Vec::new();
@@ -65,7 +85,7 @@ fn main() {
         let views = fed.views();
         let (local, remotes) = split_views(&views);
         let mut afg = bench_dag(tasks, 42);
-        shape_workload(&mut afg);
+        shape_palette_workload(&mut afg);
         let reps = if tasks >= 1000 { 3 } else { 5 };
 
         let cfg_seq =
@@ -86,29 +106,86 @@ fn main() {
             format!("{:.3}", opt_s * 1e3),
             format!("{speedup:.2}x"),
         ]);
-        let seq_ms = seq_s * 1e3;
-        let opt_ms = opt_s * 1e3;
-        rows.push(serde_json::json!({
-            "tasks": tasks,
-            "sites": sites,
-            "k": 3,
-            "seq_ms": seq_ms,
-            "opt_ms": opt_ms,
-            "speedup": speedup
-        }));
+        rows.push(MeasuredRow {
+            tasks,
+            sites,
+            k: 3,
+            seq_ms: seq_s * 1e3,
+            opt_ms: opt_s * 1e3,
+            speedup,
+        });
     }
     println!("{}", t.render());
     println!("(seq = uncached reference path; opt = memoized + heap + fan-out path;");
     println!(" identical allocation tables asserted for every row)");
 
-    let report = serde_json::json!({
-        "bench": "exp_sched_speedup",
-        "k_neighbours": 3,
-        "parallel_task_fraction": "1/3 (8 nodes requested)",
-        "granularities": "problem sizes quantised to 4 library-kernel granularities",
-        "configs": rows
-    });
+    if quick {
+        gate_quick(&rows);
+        return;
+    }
+
+    #[derive(serde::Serialize)]
+    struct Report {
+        bench: String,
+        k_neighbours: usize,
+        parallel_task_fraction: String,
+        granularities: String,
+        configs: Vec<MeasuredRow>,
+    }
+    let report = Report {
+        bench: "exp_sched_speedup".into(),
+        k_neighbours: 3,
+        parallel_task_fraction: "1/3 (8 nodes requested)".into(),
+        granularities: "problem sizes quantised to 4 library-kernel granularities".into(),
+        configs: rows,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serialise report");
     std::fs::write("BENCH_sched.json", json + "\n").expect("write BENCH_sched.json");
     println!("\nwrote BENCH_sched.json");
+}
+
+/// The CI fast-mode gate: every quick config must keep the optimized
+/// path at least as fast as the reference (speedup ≥ 1.0×), and within
+/// tolerance of the recorded `BENCH_sched.json` baseline — quick runs on
+/// loaded CI machines are noisy, so the bar is 0.4× of the recorded
+/// speedup, catching order-of-magnitude regressions rather than jitter.
+fn gate_quick(rows: &[MeasuredRow]) {
+    const TOLERANCE: f64 = 0.4;
+    let recorded: Option<RecordedReport> = std::fs::read_to_string("BENCH_sched.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let mut failures = Vec::new();
+    for row in rows {
+        let MeasuredRow { tasks, sites, speedup, .. } = *row;
+        if speedup < 1.0 {
+            failures.push(format!(
+                "{tasks} tasks / {sites} sites: optimized path slower than reference \
+                 ({speedup:.2}x < 1.00x)"
+            ));
+        }
+        if let Some(rec) = recorded
+            .as_ref()
+            .and_then(|r| r.configs.iter().find(|c| c.tasks == tasks && c.sites == sites))
+        {
+            let floor = rec.speedup * TOLERANCE;
+            if speedup < floor {
+                failures.push(format!(
+                    "{tasks} tasks / {sites} sites: speedup {speedup:.2}x below {floor:.2}x \
+                     ({TOLERANCE}x of recorded {:.2}x)",
+                    rec.speedup
+                ));
+            }
+        }
+    }
+    if recorded.is_none() {
+        println!("note: no readable BENCH_sched.json baseline; absolute 1.0x gate only");
+    }
+    if failures.is_empty() {
+        println!("\nquick gate OK");
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -57,6 +57,26 @@ pub fn split_views(views: &[SiteView]) -> (&SiteView, &[SiteView]) {
     (&views[0], &views[1..])
 }
 
+/// The library-kernel granularities benchmark tasks run at: the paper's
+/// applications call library solvers at a handful of standard matrix
+/// sizes (Figure 1), so `(library task, problem size, host)` triples
+/// repeat across tasks — the structure the predict memo exploits.
+pub const GRANULARITIES: [u64; 4] = [64_000, 128_000, 256_000, 512_000];
+
+/// Quantise problem sizes to the granularity palette and flip every
+/// third task to an 8-node parallel implementation. Shared by
+/// `exp_sched_speedup` and `exp_faults` so both benchmark the same
+/// workload shape.
+pub fn shape_palette_workload(afg: &mut vdce_afg::Afg) {
+    for (i, t) in afg.tasks.iter_mut().enumerate() {
+        t.problem_size = GRANULARITIES[t.problem_size as usize % GRANULARITIES.len()];
+        if i % 3 == 0 {
+            t.props.mode = vdce_afg::ComputationMode::Parallel;
+            t.props.num_nodes = 8;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

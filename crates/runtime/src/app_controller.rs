@@ -25,9 +25,11 @@
 use crate::data_manager::{DataManager, Transport};
 use crate::events::{EventLog, RuntimeEvent};
 use crate::executor::{execute, ExecutionOutcome, ExecutorConfig, GateDecision, StartGate};
+use crate::recovery::Quarantine;
 use crate::services::{ConsoleService, IoService};
-use crate::site_manager::SiteManager;
+use crate::site_manager::{ControlMessage, SiteManager};
 use crossbeam::channel::unbounded;
+use std::sync::Arc;
 use vdce_afg::{Afg, TaskId};
 use vdce_net::clock::{Clock, RealClock};
 use vdce_predict::model::Predictor;
@@ -75,16 +77,28 @@ pub struct ThresholdGate<'a> {
     threshold: f64,
     predictor: Predictor,
     afg: &'a Afg,
+    quarantine: Option<&'a Quarantine>,
 }
 
 impl<'a> ThresholdGate<'a> {
     /// Gate over `repo` with the given load threshold, for `afg`.
     pub fn new(repo: &'a SiteRepository, threshold: f64, afg: &'a Afg) -> Self {
-        ThresholdGate { repo, threshold, predictor: Predictor::default(), afg }
+        ThresholdGate { repo, threshold, predictor: Predictor::default(), afg, quarantine: None }
+    }
+
+    /// Consult `q` as well: quarantined hosts count as troubled and are
+    /// never picked as replacements, even if the repository still (or
+    /// again) lists them as up.
+    pub fn with_quarantine(mut self, q: &'a Quarantine) -> Self {
+        self.quarantine = Some(q);
+        self
     }
 }
 
 impl ThresholdGate<'_> {
+    fn is_quarantined(&self, host: &str) -> bool {
+        self.quarantine.is_some_and(|q| q.contains(host))
+    }
     /// Best replacement hosts for `task` (same count as requested),
     /// preferring up hosts below the threshold, by predicted time.
     fn pick_replacements(&self, task: TaskId, count: usize) -> Option<Vec<String>> {
@@ -93,7 +107,9 @@ impl ThresholdGate<'_> {
         self.repo.resources(|db| {
             self.repo.tasks(|tasks| {
                 for host in db.up_hosts() {
-                    if host.smoothed_workload() > self.threshold {
+                    if host.smoothed_workload() > self.threshold
+                        || self.is_quarantined(&host.host_name)
+                    {
                         continue;
                     }
                     if !node.props.machine_type.accepts(host.machine) {
@@ -119,7 +135,9 @@ impl StartGate for ThresholdGate<'_> {
     fn check(&self, task: TaskId, hosts: &[String]) -> GateDecision {
         let troubled = self.repo.resources(|db| {
             hosts.iter().any(|h| match db.get(h) {
-                Some(r) => !r.is_up() || r.smoothed_workload() > self.threshold,
+                Some(r) => {
+                    !r.is_up() || r.smoothed_workload() > self.threshold || self.is_quarantined(h)
+                }
                 None => true,
             })
         });
@@ -142,17 +160,42 @@ pub struct AppController {
     site_manager: SiteManager,
     config: AppControllerConfig,
     log: EventLog,
+    quarantine: Arc<Quarantine>,
 }
 
 impl AppController {
     /// Controller reporting to `site_manager`.
     pub fn new(site_manager: SiteManager, config: AppControllerConfig, log: EventLog) -> Self {
-        AppController { site_manager, config, log }
+        AppController { site_manager, config, log, quarantine: Arc::new(Quarantine::new()) }
     }
 
     /// The event log this controller writes to.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The dead-host quarantine consulted by this controller's gates.
+    pub fn quarantine(&self) -> &Arc<Quarantine> {
+        &self.quarantine
+    }
+
+    /// React to a failure report from the monitoring plane: mark the
+    /// host down in the repository and quarantine it, so in-flight and
+    /// upcoming tasks steer clear until it recovers.
+    pub fn note_host_failed(&self, t: f64, host: &str) {
+        self.site_manager.process(&ControlMessage::HostFailure { host: host.to_string() });
+        if self.quarantine.quarantine(host) {
+            self.log.record(t, RuntimeEvent::HostQuarantined { host: host.to_string() });
+        }
+    }
+
+    /// React to a recovery report: mark the host up again and re-admit it
+    /// from quarantine.
+    pub fn note_host_recovered(&self, t: f64, host: &str) {
+        self.site_manager.process(&ControlMessage::HostRecovered { host: host.to_string() });
+        if self.quarantine.readmit(host) {
+            self.log.record(t, RuntimeEvent::HostReadmitted { host: host.to_string() });
+        }
     }
 
     /// Handle an execution request end-to-end (steps 1–5 of the module
@@ -181,12 +224,9 @@ impl AppController {
 
         // Steps 4–5: execute with the threshold gate, reporting
         // completions to the Site Manager.
-        let gate = ThresholdGate {
-            repo: self.site_manager.repository(),
-            threshold: self.config.load_threshold,
-            predictor: Predictor::default(),
-            afg,
-        };
+        let gate =
+            ThresholdGate::new(self.site_manager.repository(), self.config.load_threshold, afg)
+                .with_quarantine(&self.quarantine);
         let (tx, rx) = unbounded();
         let outcome = execute(
             afg,
@@ -348,6 +388,50 @@ mod tests {
             .records
             .iter()
             .any(|r| r.error.as_deref().is_some_and(|e| e.contains("threshold"))));
+    }
+
+    #[test]
+    fn quarantined_host_is_avoided_even_if_repo_says_up() {
+        // The repository lists "flaky" as up (stale view between echo
+        // rounds), but the quarantine knows better.
+        let repo = repo_with_hosts(&["flaky", "steady"]);
+        let ac = controller(repo.clone());
+        ac.note_host_failed(1.0, "flaky");
+        repo.resources_mut(|db| db.set_status("flaky", HostStatus::Up));
+        let afg = chain();
+        let report = ac.run(
+            &afg,
+            &table_on(&afg, "flaky"),
+            &IoService::new(),
+            &ConsoleService::new(ac.log().clone()),
+        );
+        assert!(report.outcome.success);
+        for r in &report.outcome.records {
+            assert_eq!(r.hosts, vec!["steady".to_string()]);
+        }
+        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::HostQuarantined { .. })), 1);
+    }
+
+    #[test]
+    fn readmitted_host_is_usable_again() {
+        let repo = repo_with_hosts(&["flaky", "steady"]);
+        let ac = controller(repo);
+        ac.note_host_failed(1.0, "flaky");
+        assert!(ac.quarantine().contains("flaky"));
+        ac.note_host_recovered(5.0, "flaky");
+        assert!(ac.quarantine().is_empty());
+        let afg = chain();
+        let report = ac.run(
+            &afg,
+            &table_on(&afg, "flaky"),
+            &IoService::new(),
+            &ConsoleService::new(ac.log().clone()),
+        );
+        assert!(report.outcome.success);
+        for r in &report.outcome.records {
+            assert_eq!(r.hosts, vec!["flaky".to_string()], "runs where scheduled again");
+        }
+        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::HostReadmitted { .. })), 1);
     }
 
     #[test]

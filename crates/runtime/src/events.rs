@@ -75,6 +75,33 @@ pub enum RuntimeEvent {
     Suspended,
     /// The console service resumed the application.
     Resumed,
+    /// A task was terminated on one host and re-placed on another as part
+    /// of mid-execution recovery.
+    TaskMigrated {
+        /// The task.
+        task: TaskId,
+        /// Host it was evicted from.
+        from_host: String,
+        /// Host it restarted on.
+        to_host: String,
+    },
+    /// A task was retried after a transient failure.
+    TaskRetried {
+        /// The task.
+        task: TaskId,
+        /// Retry attempt number (0-based).
+        attempt: u32,
+    },
+    /// A host entered the dead-host quarantine.
+    HostQuarantined {
+        /// Host name.
+        host: String,
+    },
+    /// A quarantined host recovered and was re-admitted.
+    HostReadmitted {
+        /// Host name.
+        host: String,
+    },
 }
 
 /// Shared, timestamped, append-only event log.

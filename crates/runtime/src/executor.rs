@@ -23,6 +23,7 @@
 use crate::data_manager::{DataManager, DataReceiver, DataSender};
 use crate::events::{EventLog, RuntimeEvent};
 use crate::kernels::run_kernel_parallel;
+use crate::recovery::BackoffPolicy;
 use crate::services::{ConsoleService, IoService};
 use crate::site_manager::ControlMessage;
 use bytes::Bytes;
@@ -117,11 +118,15 @@ pub struct ExecutionOutcome {
 pub struct ExecutorConfig {
     /// How long a task waits for each dataflow input before failing.
     pub input_timeout: Duration,
+    /// Retry schedule for transient failures (gate aborts and kernel
+    /// errors). The default never retries, preserving fail-fast
+    /// semantics; recovery-aware callers opt in.
+    pub retry: BackoffPolicy,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { input_timeout: Duration::from_secs(30) }
+        ExecutorConfig { input_timeout: Duration::from_secs(30), retry: BackoffPolicy::none() }
     }
 }
 
@@ -296,77 +301,119 @@ fn run_task(
     }
     let payloads: Vec<Bytes> = port_payloads.into_iter().map(|p| p.unwrap_or_default()).collect();
 
-    // 2. Console checkpoint (suspend/abort) before launching.
-    if !console.checkpoint() {
-        return fail(t_wait, clock.now(), placement.hosts.clone(), "aborted".into());
+    // Steps 2–5 run under a bounded-retry loop (`config.retry`): a gate
+    // abort or kernel error with retries remaining backs off and goes
+    // around again. The gate is re-consulted on every attempt, so a retry
+    // can come back with `Relocate` — that is the mid-execution
+    // terminate-and-migrate path (§4.1 rescheduling), recorded as
+    // `TaskMigrated` when the host set actually changes between attempts.
+    let mut attempt: u32 = 0;
+    let mut prev_hosts: Option<Vec<String>> = None;
+    loop {
+        // 2. Console checkpoint (suspend/abort) before launching.
+        if !console.checkpoint() {
+            return fail(t_wait, clock.now(), placement.hosts.clone(), "aborted".into());
+        }
+
+        // 3. Application-Controller start gate (threshold rescheduling).
+        let hosts = match gate.check(task, &placement.hosts) {
+            GateDecision::Proceed => placement.hosts.clone(),
+            GateDecision::Relocate(new_hosts) => {
+                log.record(
+                    clock.now(),
+                    RuntimeEvent::RescheduleRequested {
+                        task,
+                        host: placement.hosts.first().cloned().unwrap_or_default(),
+                    },
+                );
+                new_hosts
+            }
+            GateDecision::Abort(reason) => {
+                if attempt < config.retry.max_retries {
+                    log.record(clock.now(), RuntimeEvent::TaskRetried { task, attempt });
+                    std::thread::sleep(config.retry.delay_duration(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                return fail(t_wait, clock.now(), placement.hosts.clone(), reason);
+            }
+        };
+        if let Some(prev) = &prev_hosts {
+            if *prev != hosts {
+                log.record(
+                    clock.now(),
+                    RuntimeEvent::TaskMigrated {
+                        task,
+                        from_host: prev.join("+"),
+                        to_host: hosts.join("+"),
+                    },
+                );
+            }
+        }
+        prev_hosts = Some(hosts.clone());
+
+        // 4. Acquire host locks in sorted order (deadlock freedom).
+        let mut sorted = hosts.clone();
+        sorted.sort();
+        sorted.dedup();
+        let locks: Vec<Arc<Mutex<()>>> = sorted.iter().map(|h| host_locks.lock_for(h)).collect();
+        let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
+
+        // 5. Run the kernel.
+        let start = clock.now();
+        log.record(start, RuntimeEvent::TaskStarted { task, host: hosts.join("+") });
+        let result = run_kernel_parallel(
+            node.kernel,
+            node.problem_size,
+            &payloads,
+            hosts.len().max(1) as u32,
+        );
+        let finish = clock.now();
+        drop(guards);
+
+        let out_payloads = match result {
+            Ok(p) => p,
+            Err(e) => {
+                if attempt < config.retry.max_retries {
+                    log.record(finish, RuntimeEvent::TaskRetried { task, attempt });
+                    std::thread::sleep(config.retry.delay_duration(attempt));
+                    attempt += 1;
+                    continue;
+                }
+                return fail(start, finish, hosts, e.to_string());
+            }
+        };
+
+        // 6. Deliver outputs: dataflow frames per out-edge, file/URL
+        //    stores.
+        for (edge_idx, tx) in &outputs {
+            let edge = &afg.edges[*edge_idx];
+            let payload = out_payloads.get(edge.from_port.index()).cloned().unwrap_or_default();
+            if tx.send(payload).is_err() {
+                // Consumer died; its own record will say why.
+            }
+        }
+        for (i, spec) in node.props.outputs.iter().enumerate() {
+            if let Some(data) = out_payloads.get(i) {
+                io.store_output(spec, data);
+            }
+        }
+
+        // 7. Report the measured execution time for task-perf write-back.
+        let seconds = (finish - start).max(0.0);
+        log.record(finish, RuntimeEvent::TaskFinished { task, seconds });
+        if let Some(tx) = &completions {
+            for host in &hosts {
+                let _ = tx.send(ControlMessage::ExecutionCompleted {
+                    library_task: node.library_task.clone(),
+                    host: host.clone(),
+                    problem_size: node.problem_size,
+                    seconds,
+                });
+            }
+        }
+        return TaskRunRecord { task, hosts, start, finish, ok: true, error: None };
     }
-
-    // 3. Application-Controller start gate (threshold rescheduling).
-    let hosts = match gate.check(task, &placement.hosts) {
-        GateDecision::Proceed => placement.hosts.clone(),
-        GateDecision::Relocate(new_hosts) => {
-            log.record(
-                clock.now(),
-                RuntimeEvent::RescheduleRequested {
-                    task,
-                    host: placement.hosts.first().cloned().unwrap_or_default(),
-                },
-            );
-            new_hosts
-        }
-        GateDecision::Abort(reason) => {
-            return fail(t_wait, clock.now(), placement.hosts.clone(), reason);
-        }
-    };
-
-    // 4. Acquire host locks in sorted order (deadlock freedom).
-    let mut sorted = hosts.clone();
-    sorted.sort();
-    sorted.dedup();
-    let locks: Vec<Arc<Mutex<()>>> = sorted.iter().map(|h| host_locks.lock_for(h)).collect();
-    let guards: Vec<_> = locks.iter().map(|l| l.lock()).collect();
-
-    // 5. Run the kernel.
-    let start = clock.now();
-    log.record(start, RuntimeEvent::TaskStarted { task, host: hosts.join("+") });
-    let result =
-        run_kernel_parallel(node.kernel, node.problem_size, &payloads, hosts.len().max(1) as u32);
-    let finish = clock.now();
-    drop(guards);
-
-    let out_payloads = match result {
-        Ok(p) => p,
-        Err(e) => return fail(start, finish, hosts, e.to_string()),
-    };
-
-    // 6. Deliver outputs: dataflow frames per out-edge, file/URL stores.
-    for (edge_idx, tx) in &outputs {
-        let edge = &afg.edges[*edge_idx];
-        let payload = out_payloads.get(edge.from_port.index()).cloned().unwrap_or_default();
-        if tx.send(payload).is_err() {
-            // Consumer died; its own record will say why.
-        }
-    }
-    for (i, spec) in node.props.outputs.iter().enumerate() {
-        if let Some(data) = out_payloads.get(i) {
-            io.store_output(spec, data);
-        }
-    }
-
-    // 7. Report the measured execution time for task-perf write-back.
-    let seconds = (finish - start).max(0.0);
-    log.record(finish, RuntimeEvent::TaskFinished { task, seconds });
-    if let Some(tx) = &completions {
-        for host in &hosts {
-            let _ = tx.send(ControlMessage::ExecutionCompleted {
-                library_task: node.library_task.clone(),
-                host: host.clone(),
-                problem_size: node.problem_size,
-                seconds,
-            });
-        }
-    }
-    TaskRunRecord { task, hosts, start, finish, ok: true, error: None }
 }
 
 #[cfg(test)]
@@ -415,7 +462,7 @@ mod tests {
             &log,
             &clock,
             None,
-            &ExecutorConfig { input_timeout: Duration::from_secs(5) },
+            &ExecutorConfig { input_timeout: Duration::from_secs(5), ..ExecutorConfig::default() },
         );
         (outcome, log, io)
     }
@@ -509,7 +556,10 @@ mod tests {
             &log,
             &clock,
             None,
-            &ExecutorConfig { input_timeout: Duration::from_millis(300) },
+            &ExecutorConfig {
+                input_timeout: Duration::from_millis(300),
+                ..ExecutorConfig::default()
+            },
         );
         assert!(!out.success);
         assert!(!out.records[0].ok);
@@ -553,6 +603,138 @@ mod tests {
         let (out, ..) = run(&afg, &table, Transport::InProc, &AbortAll);
         assert!(!out.success);
         assert!(out.records.iter().any(|r| r.error.as_deref() == Some("load shed")));
+    }
+
+    #[test]
+    fn transient_gate_abort_is_retried_until_it_clears() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct AbortTwice(AtomicU32);
+        impl StartGate for AbortTwice {
+            fn check(&self, _t: TaskId, _h: &[String]) -> GateDecision {
+                if self.0.fetch_add(1, Ordering::SeqCst) < 2 {
+                    GateDecision::Abort("host down".into())
+                } else {
+                    GateDecision::Proceed
+                }
+            }
+        }
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("retry", &lib);
+        let s = b.add_task("Source", "s", 50).unwrap();
+        let k = b.add_task("Sink", "k", 50).unwrap();
+        b.connect(s, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let gate = AbortTwice(AtomicU32::new(0));
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &gate,
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig {
+                input_timeout: Duration::from_secs(5),
+                retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 4 },
+            },
+        );
+        assert!(out.success, "{:?}", out.records);
+        // Only the first task hits the aborting window (the gate counter
+        // is global), but at least its retries must be in the log.
+        assert!(log.count(|e| matches!(e, RuntimeEvent::TaskRetried { .. })) >= 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_with_the_last_reason() {
+        struct AbortAll;
+        impl StartGate for AbortAll {
+            fn check(&self, _t: TaskId, _h: &[String]) -> GateDecision {
+                GateDecision::Abort("still down".into())
+            }
+        }
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &AbortAll,
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig {
+                input_timeout: Duration::from_millis(200),
+                retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 2 },
+            },
+        );
+        assert!(!out.success);
+        assert!(out.records.iter().any(|r| r.error.as_deref() == Some("still down")));
+        // Each task burned its full retry budget before failing.
+        assert!(log.count(|e| matches!(e, RuntimeEvent::TaskRetried { .. })) >= 2);
+    }
+
+    #[test]
+    fn retry_relocation_is_logged_as_migration() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // The LU task fails deterministically (singular input) on any
+        // host; the gate moves it to a different host per attempt, so the
+        // second attempt is a migration.
+        struct Hop(AtomicU32);
+        impl StartGate for Hop {
+            fn check(&self, _t: TaskId, _h: &[String]) -> GateDecision {
+                let n = self.0.fetch_add(1, Ordering::SeqCst);
+                GateDecision::Relocate(vec![format!("h{n}")])
+            }
+        }
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("hop", &lib);
+        let lu = b.add_task("LU_Decomposition", "lu", 2).unwrap();
+        b.set_input(lu, 0, IoSpec::file("/singular.dat", 0)).unwrap();
+        let afg = b.build().unwrap();
+        let table = single_host_table(&afg, "h0");
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        io.put("/singular.dat", crate::kernels::encode_f64s(&[0.0, 1.0, 1.0, 0.0]));
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let out = execute(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &Hop(AtomicU32::new(0)),
+            &log,
+            &clock,
+            None,
+            &ExecutorConfig {
+                input_timeout: Duration::from_millis(200),
+                retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 1 },
+            },
+        );
+        assert!(!out.success, "singular LU fails on every host");
+        assert_eq!(
+            log.count(|e| matches!(e, RuntimeEvent::TaskMigrated { .. })),
+            1,
+            "one retry on a different host → one migration event"
+        );
     }
 
     #[test]

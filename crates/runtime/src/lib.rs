@@ -42,6 +42,7 @@ pub mod group;
 pub mod kernels;
 pub mod monitor;
 pub mod net_monitor;
+pub mod recovery;
 pub mod services;
 pub mod site_manager;
 
@@ -52,5 +53,6 @@ pub use executor::{execute_with_locks, HostLockRegistry};
 pub use kernels::run_kernel;
 pub use monitor::{LoadProbe, MonitorDaemon, MonitorReport, SyntheticProbe};
 pub use net_monitor::{LinkProbe, NetworkMonitor, SyntheticLinkProbe};
+pub use recovery::{BackoffPolicy, Quarantine};
 pub use services::{ConsoleService, IoService, VisualizationService};
 pub use site_manager::{ControlMessage, SiteManager};

@@ -76,6 +76,36 @@ impl SyntheticProbe {
     pub fn set_time(&self, t: f64) {
         *self.time.write() = t;
     }
+
+    /// Overlay a load spike of `height` on `host` for
+    /// `[at, at + duration)`, on top of whatever trace (or default load)
+    /// the host already has. Used by the fault-injection harness.
+    pub fn add_spike(&self, host: impl Into<String>, at: f64, height: f64, duration: f64) {
+        let host = host.into();
+        let default = *self.default_load.read();
+        let mut traces = self.traces.write();
+        let steps = traces.entry(host).or_default();
+        let end = at + duration;
+        let base = |steps: &[(f64, f64)], t: f64| {
+            steps
+                .iter()
+                .take_while(|(from, _)| *from <= t)
+                .last()
+                .map(|(_, l)| *l)
+                .unwrap_or(default)
+        };
+        let start_level = base(steps, at) + height;
+        let end_level = base(steps, end);
+        for s in steps.iter_mut() {
+            if s.0 > at && s.0 < end {
+                s.1 += height;
+            }
+        }
+        steps.retain(|(from, _)| *from != at && *from != end);
+        steps.push((at, start_level));
+        steps.push((end, end_level));
+        steps.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    }
 }
 
 impl LoadProbe for SyntheticProbe {
@@ -192,6 +222,33 @@ mod tests {
         p.set_trace("h", vec![(5.0, 9.0)]);
         p.set_time(1.0);
         assert_eq!(p.sample("h").0, 0.25);
+    }
+
+    #[test]
+    fn spike_overlays_default_load() {
+        let p = SyntheticProbe::new(1.0, 1);
+        p.add_spike("h", 10.0, 5.0, 20.0);
+        p.set_time(5.0);
+        assert_eq!(p.sample("h").0, 1.0, "before the spike");
+        p.set_time(10.0);
+        assert_eq!(p.sample("h").0, 6.0, "during the spike");
+        p.set_time(29.9);
+        assert_eq!(p.sample("h").0, 6.0, "still during the spike");
+        p.set_time(30.0);
+        assert_eq!(p.sample("h").0, 1.0, "after the spike");
+    }
+
+    #[test]
+    fn spike_overlays_existing_trace_steps() {
+        let p = SyntheticProbe::new(0.0, 1);
+        p.set_trace("h", vec![(0.0, 1.0), (15.0, 2.0)]);
+        p.add_spike("h", 10.0, 4.0, 10.0);
+        p.set_time(12.0);
+        assert_eq!(p.sample("h").0, 5.0, "spike on the 1.0 base");
+        p.set_time(16.0);
+        assert_eq!(p.sample("h").0, 6.0, "mid-spike trace step is raised too");
+        p.set_time(20.0);
+        assert_eq!(p.sample("h").0, 2.0, "back to the underlying trace");
     }
 
     #[test]

@@ -46,6 +46,13 @@ impl SyntheticLinkProbe {
         let key = (a.0.min(b.0), a.0.max(b.0));
         self.overrides.write().insert(key, (latency_s, bandwidth_bps));
     }
+
+    /// Drop the override for one (symmetric) pair — the link reverts to
+    /// the default. Used when an injected link fault's window ends.
+    pub fn clear(&self, a: SiteId, b: SiteId) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.overrides.write().remove(&key);
+    }
 }
 
 impl LinkProbe for SyntheticLinkProbe {
@@ -127,6 +134,19 @@ mod tests {
         assert!((model.link(SiteId(0), SiteId(0)).latency_s - 0.01).abs() < 1e-12);
         // Congestion clears; with EMA weight 1.0 the model snaps back.
         probe.set(SiteId(0), SiteId(1), 0.01, 1e7);
+        mon.tick();
+        assert!((model.link(SiteId(0), SiteId(1)).latency_s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_reverts_to_the_default() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(2), 1.0);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.01, 1e7));
+        probe.set(SiteId(1), SiteId(0), 3.0, 1.0);
+        let mon = NetworkMonitor::new(model.clone(), probe.clone(), 2);
+        mon.tick();
+        assert!((model.link(SiteId(0), SiteId(1)).latency_s - 3.0).abs() < 1e-12);
+        probe.clear(SiteId(0), SiteId(1)); // symmetric key matches either order
         mon.tick();
         assert!((model.link(SiteId(0), SiteId(1)).latency_s - 0.01).abs() < 1e-12);
     }

@@ -1,0 +1,201 @@
+//! Recovery primitives: bounded retry backoff and dead-host quarantine.
+//!
+//! §4.1's Runtime System "detects failures \[and\] reschedules overloaded
+//! tasks"; this module holds the two pieces of state that policy needs
+//! beyond the event streams themselves:
+//!
+//! - [`BackoffPolicy`] — a capped exponential retry schedule shared by
+//!   the real-thread executor (wall-clock sleeps) and the virtual-time
+//!   replay harness (virtual delays), so both honour the same bounds;
+//! - [`Quarantine`] — the set of hosts currently considered dead. A host
+//!   enters on a failure report and is **re-admitted on recovery**, so a
+//!   transient outage only excludes the host for the outage window.
+//!
+//! Quarantine membership is consulted by the Application Controller's
+//! threshold gate and by the re-selection path, which is why the type is
+//! interior-mutable: the gate borrows it read-only while the controller's
+//! monitoring loop mutates it.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::Duration;
+
+/// Capped exponential backoff for transient-fault retries.
+///
+/// Delay before retry attempt `n` (0-based) is
+/// `min(base_s * factor^n, max_s)`; after `max_retries` failed attempts
+/// the task is abandoned. Times are in seconds — wall-clock for the
+/// executor, virtual for the replay harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, seconds.
+    pub base_s: f64,
+    /// Multiplier applied per attempt.
+    pub factor: f64,
+    /// Ceiling on any single delay, seconds.
+    pub max_s: f64,
+    /// Retries allowed after the initial attempt; 0 disables retrying.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy { base_s: 0.5, factor: 2.0, max_s: 8.0, max_retries: 5 }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        BackoffPolicy { max_retries: 0, ..BackoffPolicy::default() }
+    }
+
+    /// Delay in seconds before retry `attempt` (0-based), capped at
+    /// `max_s`.
+    pub fn delay(&self, attempt: u32) -> f64 {
+        (self.base_s * self.factor.powi(attempt as i32)).min(self.max_s)
+    }
+
+    /// [`delay`](Self::delay) as a [`Duration`] for wall-clock sleeps.
+    pub fn delay_duration(&self, attempt: u32) -> Duration {
+        Duration::from_secs_f64(self.delay(attempt).max(0.0))
+    }
+
+    /// Total virtual time spent sleeping if every allowed retry is used.
+    pub fn worst_case_total(&self) -> f64 {
+        (0..self.max_retries).map(|a| self.delay(a)).sum()
+    }
+}
+
+/// The set of hosts currently considered dead.
+///
+/// Interior-mutable so the monitoring path can mutate it while gates and
+/// re-selection hold shared references. Counters record lifetime
+/// admissions/re-admissions for the [`RecoveryReport`] rollup.
+///
+/// [`RecoveryReport`]: https://docs.rs/vdce-sim
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    hosts: RwLock<BTreeSet<String>>,
+    quarantined_total: AtomicU64,
+    readmitted_total: AtomicU64,
+}
+
+impl Quarantine {
+    /// Empty quarantine.
+    pub fn new() -> Self {
+        Quarantine::default()
+    }
+
+    /// Record a host failure. Returns `true` if the host was newly
+    /// quarantined (false if already present).
+    pub fn quarantine(&self, host: &str) -> bool {
+        let fresh = self.hosts.write().unwrap().insert(host.to_string());
+        if fresh {
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Record a host recovery. Returns `true` if the host was present
+    /// and has been re-admitted.
+    pub fn readmit(&self, host: &str) -> bool {
+        let was_in = self.hosts.write().unwrap().remove(host);
+        if was_in {
+            self.readmitted_total.fetch_add(1, Ordering::Relaxed);
+        }
+        was_in
+    }
+
+    /// Is `host` currently quarantined?
+    pub fn contains(&self, host: &str) -> bool {
+        self.hosts.read().unwrap().contains(host)
+    }
+
+    /// Snapshot of the current membership (sorted).
+    pub fn snapshot(&self) -> BTreeSet<String> {
+        self.hosts.read().unwrap().clone()
+    }
+
+    /// Number of hosts currently quarantined.
+    pub fn len(&self) -> usize {
+        self.hosts.read().unwrap().len()
+    }
+
+    /// True when no host is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of quarantine admissions.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of re-admissions.
+    pub fn readmitted_total(&self) -> u64 {
+        self.readmitted_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let p = BackoffPolicy { base_s: 0.5, factor: 2.0, max_s: 8.0, max_retries: 10 };
+        assert_eq!(p.delay(0), 0.5);
+        assert_eq!(p.delay(1), 1.0);
+        assert_eq!(p.delay(2), 2.0);
+        assert_eq!(p.delay(3), 4.0);
+        assert_eq!(p.delay(4), 8.0);
+        assert_eq!(p.delay(5), 8.0, "capped at max_s");
+        assert_eq!(p.delay(30), 8.0, "stays capped arbitrarily far out");
+    }
+
+    #[test]
+    fn every_delay_is_within_bounds() {
+        let p = BackoffPolicy::default();
+        for attempt in 0..p.max_retries {
+            let d = p.delay(attempt);
+            assert!(d >= p.base_s, "delay never below base");
+            assert!(d <= p.max_s, "delay never above cap");
+        }
+        assert!(p.worst_case_total() <= p.max_s * p.max_retries as f64);
+    }
+
+    #[test]
+    fn none_policy_allows_no_retries() {
+        assert_eq!(BackoffPolicy::none().max_retries, 0);
+        assert_eq!(BackoffPolicy::none().worst_case_total(), 0.0);
+    }
+
+    #[test]
+    fn quarantine_admits_once_and_readmits() {
+        let q = Quarantine::new();
+        assert!(q.quarantine("h0"));
+        assert!(!q.quarantine("h0"), "double admission is a no-op");
+        assert!(q.contains("h0"));
+        assert_eq!(q.len(), 1);
+
+        assert!(q.readmit("h0"));
+        assert!(!q.contains("h0"));
+        assert!(q.is_empty());
+        assert!(!q.readmit("h0"), "double re-admission is a no-op");
+
+        assert_eq!(q.quarantined_total(), 1);
+        assert_eq!(q.readmitted_total(), 1);
+    }
+
+    #[test]
+    fn quarantine_readmission_allows_requarantine() {
+        let q = Quarantine::new();
+        q.quarantine("h0");
+        q.readmit("h0");
+        assert!(q.quarantine("h0"), "host can fail again after recovery");
+        assert_eq!(q.quarantined_total(), 2);
+        assert_eq!(q.snapshot().into_iter().collect::<Vec<_>>(), vec!["h0".to_string()]);
+    }
+}

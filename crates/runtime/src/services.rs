@@ -250,6 +250,14 @@ impl VisualizationService {
                 }
                 RuntimeEvent::Suspended => ("suspended", String::new()),
                 RuntimeEvent::Resumed => ("resumed", String::new()),
+                RuntimeEvent::TaskMigrated { task, from_host, to_host } => {
+                    ("task_migrated", format!("{task}:{from_host}->{to_host}"))
+                }
+                RuntimeEvent::TaskRetried { task, attempt } => {
+                    ("task_retried", format!("{task}:attempt{attempt}"))
+                }
+                RuntimeEvent::HostQuarantined { host } => ("host_quarantined", host.clone()),
+                RuntimeEvent::HostReadmitted { host } => ("host_readmitted", host.clone()),
             };
             let _ = writeln!(out, "{t:.6},{name},{detail}");
         }

@@ -106,9 +106,23 @@ impl SiteManager {
     /// Drain every pending message from `rx`; returns how many were
     /// applied successfully.
     pub fn drain(&self, rx: &Receiver<ControlMessage>) -> usize {
+        self.drain_observed(rx, |_, _| {})
+    }
+
+    /// [`drain`](Self::drain), calling `observer` with each message and
+    /// whether it was applied. The fault-replay harness uses this to
+    /// attribute failure detections to injected faults without a second
+    /// channel tap.
+    pub fn drain_observed(
+        &self,
+        rx: &Receiver<ControlMessage>,
+        mut observer: impl FnMut(&ControlMessage, bool),
+    ) -> usize {
         let mut applied = 0;
         while let Ok(msg) = rx.try_recv() {
-            if self.process(&msg) {
+            let ok = self.process(&msg);
+            observer(&msg, ok);
+            if ok {
                 applied += 1;
             }
         }
@@ -262,6 +276,22 @@ mod tests {
             assert_eq!(db.get("a").unwrap().workload, 4.0);
             assert_eq!(db.get("a").unwrap().workload_history.len(), 5);
         });
+    }
+
+    #[test]
+    fn drain_observed_sees_every_message_with_outcome() {
+        let sm = manager();
+        let (tx, rx) = unbounded();
+        tx.send(ControlMessage::HostFailure { host: "a".into() }).unwrap();
+        tx.send(ControlMessage::HostFailure { host: "ghost".into() }).unwrap();
+        let mut seen = Vec::new();
+        let applied = sm.drain_observed(&rx, |msg, ok| {
+            if let ControlMessage::HostFailure { host } = msg {
+                seen.push((host.clone(), ok));
+            }
+        });
+        assert_eq!(applied, 1);
+        assert_eq!(seen, vec![("a".to_string(), true), ("ghost".to_string(), false)]);
     }
 
     #[test]

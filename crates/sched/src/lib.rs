@@ -24,9 +24,10 @@
 //! what the AFG multicast carries back), [`allocation`] (the resource
 //! allocation table handed to the Site Manager), [`makespan`] (schedule
 //! simulation / evaluation), [`baselines`] (random, round-robin, min-min,
-//! max-min, local-only and HEFT comparators for the benchmarks), and
+//! max-min, local-only and HEFT comparators for the benchmarks),
 //! [`federation`] (the multicast protocol over the inter-site message
-//! bus).
+//! bus), and [`reselect`] (single-task re-selection for mid-execution
+//! recovery — the scheduler side of a rescheduling request).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,11 +37,13 @@ pub mod baselines;
 pub mod federation;
 pub mod host_selection;
 pub mod makespan;
+pub mod reselect;
 pub mod site_scheduler;
 pub mod view;
 
 pub use allocation::{AllocationTable, TaskPlacement};
 pub use host_selection::{host_selection, HostSelectionOutput, TaskHostChoice};
 pub use makespan::{evaluate, Schedule, TimedTask};
+pub use reselect::reselect_task;
 pub use site_scheduler::{site_schedule, SchedulerConfig, SchedulingError};
 pub use view::SiteView;

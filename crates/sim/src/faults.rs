@@ -1,0 +1,390 @@
+//! The fault-injection plan DSL.
+//!
+//! A [`FaultPlan`] is a seeded, serializable description of everything
+//! that goes wrong during a run: host crashes, transient outages, load
+//! spikes, degraded links and flaky links. Plans are *data* — they can be
+//! stored next to a scenario, replayed bit-identically (all randomness
+//! derives from `seed`), and diffed when a regression gate trips.
+//!
+//! The replay engine ([`crate::replay`]) consumes a plan in two forms:
+//! load spikes are baked into the monitoring probe's traces up front
+//! (they are continuous phenomena), while everything else is expanded
+//! into a sorted [`TimedFaultEvent`] stream via [`FaultPlan::timeline`]
+//! and applied tick by tick to the echo probe and link probe — the same
+//! event streams the real monitor / net-monitor daemons watch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Latency multiplier a flaky link jumps to while dropping traffic.
+pub const FLAKY_LATENCY_FACTOR: f64 = 50.0;
+/// Bandwidth multiplier a flaky link falls to while dropping traffic.
+pub const FLAKY_BANDWIDTH_FACTOR: f64 = 0.02;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Permanent host crash: the host stops answering echoes at `at` and
+    /// never comes back.
+    HostCrash {
+        /// Host name.
+        host: String,
+        /// Virtual time of the crash, seconds.
+        at: f64,
+    },
+    /// Transient outage: down at `at`, answering again at
+    /// `at + down_for`.
+    TransientOutage {
+        /// Host name.
+        host: String,
+        /// Virtual time the outage starts.
+        at: f64,
+        /// Outage length, seconds.
+        down_for: f64,
+    },
+    /// A load spike of `height` on top of the host's base load for
+    /// `[at, at + duration)`.
+    LoadSpike {
+        /// Host name.
+        host: String,
+        /// Virtual time the spike starts.
+        at: f64,
+        /// Added workload.
+        height: f64,
+        /// Spike length, seconds.
+        duration: f64,
+    },
+    /// Degraded link between two sites for a window: latency multiplied
+    /// by `latency_factor`, bandwidth by `bandwidth_factor`.
+    DegradedLink {
+        /// One endpoint site.
+        a: u16,
+        /// Other endpoint site.
+        b: u16,
+        /// Virtual time the degradation starts.
+        at: f64,
+        /// Window length, seconds.
+        duration: f64,
+        /// Multiplier on the pristine latency (≥ 1 degrades).
+        latency_factor: f64,
+        /// Multiplier on the pristine bandwidth (≤ 1 degrades).
+        bandwidth_factor: f64,
+    },
+    /// Flaky link: during `[at, at + duration)` the link drops to
+    /// [`FLAKY_LATENCY_FACTOR`]/[`FLAKY_BANDWIDTH_FACTOR`] with
+    /// probability `drop_probability` per replay tick, seeded from the
+    /// plan seed — deterministic across replays.
+    FlakyLink {
+        /// One endpoint site.
+        a: u16,
+        /// Other endpoint site.
+        b: u16,
+        /// Virtual time the flaky window starts.
+        at: f64,
+        /// Window length, seconds.
+        duration: f64,
+        /// Per-tick probability the link is dropping.
+        drop_probability: f64,
+    },
+}
+
+impl Fault {
+    /// Injection time of this fault.
+    pub fn at(&self) -> f64 {
+        match self {
+            Fault::HostCrash { at, .. }
+            | Fault::TransientOutage { at, .. }
+            | Fault::LoadSpike { at, .. }
+            | Fault::DegradedLink { at, .. }
+            | Fault::FlakyLink { at, .. } => *at,
+        }
+    }
+
+    /// Is this fault transient, i.e. guaranteed to clear on its own?
+    /// Everything except a permanent [`Fault::HostCrash`] is.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, Fault::HostCrash { .. })
+    }
+
+    /// Short stable label used in reports (`crash:s0h1.vdce.org`, …).
+    pub fn label(&self) -> String {
+        match self {
+            Fault::HostCrash { host, .. } => format!("crash:{host}"),
+            Fault::TransientOutage { host, .. } => format!("outage:{host}"),
+            Fault::LoadSpike { host, .. } => format!("spike:{host}"),
+            Fault::DegradedLink { a, b, .. } => format!("degraded-link:{a}-{b}"),
+            Fault::FlakyLink { a, b, .. } => format!("flaky-link:{a}-{b}"),
+        }
+    }
+}
+
+/// A seeded, serializable set of faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for every random expansion in the plan (flaky links).
+    pub seed: u64,
+    /// The faults, in any order.
+    pub faults: Vec<Fault>,
+}
+
+/// One expanded, timed event of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFaultEvent {
+    /// Virtual time to apply the event.
+    pub t: f64,
+    /// Index of the fault (into [`FaultPlan::faults`]) this event
+    /// belongs to.
+    pub fault: usize,
+    /// What to do.
+    pub event: FaultEvent,
+}
+
+/// The primitive state changes faults expand into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Host stops answering echoes.
+    HostDown {
+        /// Host name.
+        host: String,
+    },
+    /// Host answers echoes again.
+    HostUp {
+        /// Host name.
+        host: String,
+    },
+    /// Link between two sites degrades by the given factors (relative to
+    /// its pristine parameters).
+    LinkDegrade {
+        /// One endpoint site.
+        a: u16,
+        /// Other endpoint site.
+        b: u16,
+        /// Latency multiplier.
+        latency_factor: f64,
+        /// Bandwidth multiplier.
+        bandwidth_factor: f64,
+    },
+    /// Link between two sites returns to its pristine parameters.
+    LinkRestore {
+        /// One endpoint site.
+        a: u16,
+        /// Other endpoint site.
+        b: u16,
+    },
+}
+
+impl FaultPlan {
+    /// Plan with no faults.
+    pub fn empty() -> Self {
+        FaultPlan { seed: 0, faults: Vec::new() }
+    }
+
+    /// True when every fault clears on its own (no permanent crashes) —
+    /// the precondition of the full-recovery property test.
+    pub fn is_all_transient(&self) -> bool {
+        self.faults.iter().all(Fault::is_transient)
+    }
+
+    /// Expand the plan into a timed event stream for a replay with the
+    /// given tick length. Flaky links are sampled per tick with an RNG
+    /// derived from the plan seed and the fault index, so the expansion
+    /// is a pure function of `(plan, tick)`. Load spikes produce no
+    /// events — the replay bakes them into the monitoring probe.
+    /// Events are sorted by `(t, fault index)`.
+    pub fn timeline(&self, tick: f64) -> Vec<TimedFaultEvent> {
+        assert!(tick > 0.0, "tick must be positive");
+        let mut out = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            match fault {
+                Fault::HostCrash { host, at } => {
+                    out.push(TimedFaultEvent {
+                        t: *at,
+                        fault: i,
+                        event: FaultEvent::HostDown { host: host.clone() },
+                    });
+                }
+                Fault::TransientOutage { host, at, down_for } => {
+                    out.push(TimedFaultEvent {
+                        t: *at,
+                        fault: i,
+                        event: FaultEvent::HostDown { host: host.clone() },
+                    });
+                    out.push(TimedFaultEvent {
+                        t: at + down_for,
+                        fault: i,
+                        event: FaultEvent::HostUp { host: host.clone() },
+                    });
+                }
+                Fault::LoadSpike { .. } => {}
+                Fault::DegradedLink { a, b, at, duration, latency_factor, bandwidth_factor } => {
+                    out.push(TimedFaultEvent {
+                        t: *at,
+                        fault: i,
+                        event: FaultEvent::LinkDegrade {
+                            a: *a,
+                            b: *b,
+                            latency_factor: *latency_factor,
+                            bandwidth_factor: *bandwidth_factor,
+                        },
+                    });
+                    out.push(TimedFaultEvent {
+                        t: at + duration,
+                        fault: i,
+                        event: FaultEvent::LinkRestore { a: *a, b: *b },
+                    });
+                }
+                Fault::FlakyLink { a, b, at, duration, drop_probability } => {
+                    let mut rng = StdRng::seed_from_u64(
+                        self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let mut down = false;
+                    let mut t = *at;
+                    while t < at + duration {
+                        let drop: f64 = rng.gen_range(0.0..1.0);
+                        let want_down = drop < *drop_probability;
+                        if want_down != down {
+                            down = want_down;
+                            out.push(TimedFaultEvent {
+                                t,
+                                fault: i,
+                                event: if down {
+                                    FaultEvent::LinkDegrade {
+                                        a: *a,
+                                        b: *b,
+                                        latency_factor: FLAKY_LATENCY_FACTOR,
+                                        bandwidth_factor: FLAKY_BANDWIDTH_FACTOR,
+                                    }
+                                } else {
+                                    FaultEvent::LinkRestore { a: *a, b: *b }
+                                },
+                            });
+                        }
+                        t += tick;
+                    }
+                    if down {
+                        out.push(TimedFaultEvent {
+                            t: at + duration,
+                            fault: i,
+                            event: FaultEvent::LinkRestore { a: *a, b: *b },
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by(|x, y| {
+            x.t.partial_cmp(&y.t).expect("finite fault times").then(x.fault.cmp(&y.fault))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 99,
+            faults: vec![
+                Fault::HostCrash { host: "h0".into(), at: 10.0 },
+                Fault::TransientOutage { host: "h1".into(), at: 5.0, down_for: 7.0 },
+                Fault::LoadSpike { host: "h2".into(), at: 3.0, height: 6.0, duration: 9.0 },
+                Fault::DegradedLink {
+                    a: 0,
+                    b: 1,
+                    at: 2.0,
+                    duration: 8.0,
+                    latency_factor: 10.0,
+                    bandwidth_factor: 0.1,
+                },
+                Fault::FlakyLink { a: 1, b: 2, at: 0.0, duration: 30.0, drop_probability: 0.4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn plan_serialises_and_round_trips() {
+        let plan = sample_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_sorted() {
+        let plan = sample_plan();
+        let a = plan.timeline(1.0);
+        let b = plan.timeline(1.0);
+        assert_eq!(a, b, "same plan + tick → identical expansion");
+        assert!(a.windows(2).all(|w| w[0].t <= w[1].t), "sorted by time");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn timeline_depends_on_seed_via_flaky_links() {
+        let plan = sample_plan();
+        let other = FaultPlan { seed: 100, ..plan.clone() };
+        assert_ne!(plan.timeline(1.0), other.timeline(1.0));
+    }
+
+    #[test]
+    fn crash_and_outage_expand_to_down_up() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault::HostCrash { host: "x".into(), at: 4.0 },
+                Fault::TransientOutage { host: "y".into(), at: 1.0, down_for: 2.0 },
+            ],
+        };
+        let tl = plan.timeline(1.0);
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].event, FaultEvent::HostDown { host: "y".into() });
+        assert_eq!(tl[1].event, FaultEvent::HostUp { host: "y".into() });
+        assert_eq!(tl[1].t, 3.0);
+        assert_eq!(tl[2].event, FaultEvent::HostDown { host: "x".into() });
+    }
+
+    #[test]
+    fn flaky_link_always_restores_by_window_end() {
+        let plan = FaultPlan {
+            seed: 5,
+            faults: vec![Fault::FlakyLink {
+                a: 0,
+                b: 1,
+                at: 0.0,
+                duration: 20.0,
+                drop_probability: 0.9,
+            }],
+        };
+        let tl = plan.timeline(1.0);
+        let degrades =
+            tl.iter().filter(|e| matches!(e.event, FaultEvent::LinkDegrade { .. })).count();
+        let restores =
+            tl.iter().filter(|e| matches!(e.event, FaultEvent::LinkRestore { .. })).count();
+        assert!(degrades > 0, "p=0.9 over 20 ticks must drop at least once");
+        assert_eq!(degrades, restores, "every drop eventually restores");
+        assert!(tl.last().unwrap().t <= 20.0);
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(!Fault::HostCrash { host: "h".into(), at: 0.0 }.is_transient());
+        assert!(Fault::TransientOutage { host: "h".into(), at: 0.0, down_for: 1.0 }.is_transient());
+        let mut plan = sample_plan();
+        assert!(!plan.is_all_transient());
+        plan.faults.retain(Fault::is_transient);
+        assert!(plan.is_all_transient());
+        assert!(FaultPlan::empty().is_all_transient());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let plan = sample_plan();
+        let labels: Vec<String> = plan.faults.iter().map(Fault::label).collect();
+        assert_eq!(
+            labels,
+            vec!["crash:h0", "outage:h1", "spike:h2", "degraded-link:0-1", "flaky-link:1-2"]
+        );
+    }
+}

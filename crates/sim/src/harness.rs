@@ -162,7 +162,14 @@ pub fn comparison_table(rows: &[ComparisonRow]) -> Table {
 }
 
 /// Result of the Figure-4 monitoring experiment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// **Breaking change (fault-injection PR):** the old single
+/// `detection_latency: Option<f64>` field is now
+/// [`detection_latencies`](Self::detection_latencies), one entry per
+/// *detected* injected failure, in injection-argument order — the
+/// experiment accepts any number of concurrent failures instead of at
+/// most one. `Copy` was dropped along with the fixed-size layout.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitoringOutcome {
     /// Monitor samples taken.
     pub samples: u64,
@@ -172,24 +179,25 @@ pub struct MonitoringOutcome {
     pub reduction: f64,
     /// Failures detected.
     pub failures_detected: u64,
-    /// Virtual seconds from the (single) injected failure to its
-    /// detection, if one was injected.
-    pub detection_latency: Option<f64>,
+    /// Virtual seconds from each injected failure to its detection, in
+    /// the order the failures were passed; undetected injections (e.g.
+    /// after `duration`) are absent.
+    pub detection_latencies: Vec<f64>,
 }
 
 /// Run the Resource-Controller pipeline of Figure 4 in virtual time:
 /// `hosts` monitor daemons (random-walk load traces) feed one Group
 /// Manager with significance threshold `threshold`, which feeds a Site
 /// Manager; monitoring runs every `monitor_period` and echo probing every
-/// `echo_period` for `duration` virtual seconds. If `fail_host_at` is
-/// set, host 0 stops answering echoes at that time.
+/// `echo_period` for `duration` virtual seconds. Each `(host index, time)`
+/// pair in `failures` stops that host answering echoes at that time.
 pub fn run_monitoring_experiment(
     hosts: usize,
     threshold: f64,
     monitor_period: f64,
     echo_period: f64,
     duration: f64,
-    fail_host_at: Option<f64>,
+    failures: &[(usize, f64)],
     seed: u64,
 ) -> MonitoringOutcome {
     let host_names: Vec<String> = (0..hosts).map(|i| format!("h{i}")).collect();
@@ -235,13 +243,14 @@ pub fn run_monitoring_experiment(
 
     let mut t = 0.0f64;
     let mut next_echo = 0.0f64;
-    let mut failed = false;
-    let mut detection_latency = None;
+    // Per injected failure: has it been applied, and its detection time.
+    let mut applied = vec![false; failures.len()];
+    let mut detected: Vec<Option<f64>> = vec![None; failures.len()];
     while t < duration {
-        if let Some(fail_at) = fail_host_at {
-            if !failed && t >= fail_at {
-                echo.kill(host_names[0].clone());
-                failed = true;
+        for (i, (host, fail_at)) in failures.iter().enumerate() {
+            if !applied[i] && t >= *fail_at {
+                echo.kill(host_names[*host].clone());
+                applied[i] = true;
             }
         }
         probe.set_time(t);
@@ -252,9 +261,13 @@ pub fn run_monitoring_experiment(
             gm.handle_report(t, &report);
         }
         if t >= next_echo {
-            let changed = gm.probe_hosts(t);
-            if detection_latency.is_none() && failed && !changed.is_empty() {
-                detection_latency = Some(t - fail_host_at.unwrap_or(0.0));
+            for changed in gm.probe_hosts(t) {
+                for (i, (host, fail_at)) in failures.iter().enumerate() {
+                    if applied[i] && detected[i].is_none() && host_names[*host] == changed {
+                        detected[i] = Some(t - fail_at);
+                        break;
+                    }
+                }
             }
             next_echo += echo_period;
         }
@@ -271,7 +284,7 @@ pub fn run_monitoring_experiment(
             0.0
         },
         failures_detected: stats.failures_detected,
-        detection_latency,
+        detection_latencies: detected.into_iter().flatten().collect(),
     }
 }
 
@@ -344,28 +357,47 @@ mod tests {
 
     #[test]
     fn monitoring_experiment_filters_and_detects() {
-        let out = run_monitoring_experiment(8, 1.0, 1.0, 5.0, 120.0, Some(60.0), 3);
+        let out = run_monitoring_experiment(8, 1.0, 1.0, 5.0, 120.0, &[(0, 60.0)], 3);
         assert!(out.samples > 800, "8 hosts × 120 ticks");
         assert!(out.forwarded < out.samples, "filter must drop something");
         assert!(out.reduction > 0.0);
         assert_eq!(out.failures_detected, 1);
-        let lat = out.detection_latency.unwrap();
+        assert_eq!(out.detection_latencies.len(), 1);
+        let lat = out.detection_latencies[0];
         assert!((0.0..=5.0 + 1.0).contains(&lat), "latency bounded by echo period, got {lat}");
     }
 
     #[test]
+    fn concurrent_failures_each_get_a_latency() {
+        let out = run_monitoring_experiment(
+            6,
+            1.0,
+            1.0,
+            4.0,
+            150.0,
+            &[(0, 40.0), (3, 40.0), (5, 90.0)],
+            4,
+        );
+        assert_eq!(out.failures_detected, 3);
+        assert_eq!(out.detection_latencies.len(), 3);
+        for lat in &out.detection_latencies {
+            assert!((0.0..=5.0).contains(lat), "latency bounded by echo period, got {lat}");
+        }
+    }
+
+    #[test]
     fn zero_threshold_forwards_all_samples() {
-        let out = run_monitoring_experiment(2, 0.0, 1.0, 10.0, 30.0, None, 1);
+        let out = run_monitoring_experiment(2, 0.0, 1.0, 10.0, 30.0, &[], 1);
         assert_eq!(out.samples, out.forwarded);
         assert_eq!(out.reduction, 0.0);
         assert_eq!(out.failures_detected, 0);
-        assert!(out.detection_latency.is_none());
+        assert!(out.detection_latencies.is_empty());
     }
 
     #[test]
     fn higher_threshold_means_more_reduction() {
-        let low = run_monitoring_experiment(4, 0.5, 1.0, 10.0, 100.0, None, 2);
-        let high = run_monitoring_experiment(4, 3.0, 1.0, 10.0, 100.0, None, 2);
+        let low = run_monitoring_experiment(4, 0.5, 1.0, 10.0, 100.0, &[], 2);
+        let high = run_monitoring_experiment(4, 3.0, 1.0, 10.0, 100.0, &[], 2);
         assert!(high.reduction > low.reduction);
     }
 }

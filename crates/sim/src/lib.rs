@@ -16,20 +16,30 @@
 //! - [`metrics`] — summary statistics and aligned table rendering for the
 //!   `exp_*` binaries;
 //! - [`harness`] — canned scheduler-comparison and monitoring experiments
-//!   shared by benches, examples and EXPERIMENTS.md.
+//!   shared by benches, examples and EXPERIMENTS.md;
+//! - [`faults`] — the seeded, serializable fault-injection plan DSL
+//!   (crashes, outages, spikes, degraded/flaky links);
+//! - [`replay`] — deterministic replay of a fault plan against the real
+//!   runtime control plane, with mid-execution recovery
+//!   (detect → quarantine → re-select → migrate → retry) and the
+//!   [`metrics::RecoveryReport`] the `exp_faults` binary emits.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod dag_gen;
+pub mod faults;
 pub mod harness;
 pub mod metrics;
 pub mod pool_gen;
+pub mod replay;
 pub mod scenario;
 pub mod trace;
 
 pub use dag_gen::DagSpec;
+pub use faults::{Fault, FaultPlan};
 pub use harness::{compare_schedulers, SchedulerKind};
-pub use metrics::{summarise, Summary, Table};
+pub use metrics::{summarise, RecoveryReport, Summary, Table};
 pub use pool_gen::{build_federation, Federation, FederationSpec};
+pub use replay::{replay, run_fault_scenario, ReplayConfig, ReplayOutcome};
 pub use scenario::Scenario;

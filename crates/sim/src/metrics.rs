@@ -1,4 +1,7 @@
-//! Summary statistics and table rendering for the experiment binaries.
+//! Summary statistics and table rendering for the experiment binaries,
+//! plus the [`RecoveryReport`] surfaced by the fault-replay harness.
+
+use serde::{Deserialize, Serialize};
 
 /// Summary of a sample of measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +48,96 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
         return None;
     }
     Some((values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp())
+}
+
+/// Outcome of one injected fault in a replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// Stable fault label (`crash:<host>`, `spike:<host>`, …).
+    pub fault: String,
+    /// Virtual injection time.
+    pub injected_at: f64,
+    /// Virtual seconds from injection to detection by the monitoring
+    /// plane; `None` if the fault produced no observable change (e.g. a
+    /// flaky link that never dropped, an outage between echo rounds).
+    pub detection_latency: Option<f64>,
+    /// Did the system fully absorb this fault (see DESIGN.md §10 for the
+    /// per-kind criteria)?
+    pub recovered: bool,
+}
+
+/// What a fault-injected replay cost, versus the fault-free run of the
+/// same scenario. Every field derives deterministically from the
+/// `(scenario, plan, config)` triple — replaying twice must produce a
+/// bit-identical report (the `exp_faults` binary asserts this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The fault plan's seed.
+    pub seed: u64,
+    /// Fault-free virtual makespan.
+    pub baseline_makespan: f64,
+    /// Virtual makespan under the fault plan.
+    pub makespan: f64,
+    /// `makespan / baseline_makespan` (1.0 = faults absorbed for free).
+    pub inflation: f64,
+    /// Tasks terminated on one host and restarted on another.
+    pub migrations: u64,
+    /// Backoff retries spent waiting for capacity to come back.
+    pub retries: u64,
+    /// Hosts that entered quarantine (lifetime count).
+    pub quarantined: u64,
+    /// Hosts re-admitted from quarantine on recovery.
+    pub readmitted: u64,
+    /// Hosts still quarantined when the replay ended.
+    pub quarantined_at_end: u64,
+    /// Tasks that completed.
+    pub tasks_completed: u64,
+    /// Tasks that exhausted their retries (or had a failed ancestor).
+    pub tasks_failed: u64,
+    /// Per-fault outcomes, in plan order.
+    pub faults: Vec<FaultOutcome>,
+}
+
+impl RecoveryReport {
+    /// Did every task complete and every fault recover?
+    pub fn recovered_all(&self) -> bool {
+        self.tasks_failed == 0 && self.faults.iter().all(|f| f.recovered)
+    }
+
+    /// Mean detection latency over the faults that were detected.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let detected: Vec<f64> = self.faults.iter().filter_map(|f| f.detection_latency).collect();
+        summarise(&detected).map(|s| s.mean)
+    }
+}
+
+/// Render recovery reports as a table (one row per report).
+pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
+    let mut t = Table::new(&[
+        "scenario",
+        "baseline_s",
+        "faulty_s",
+        "inflation",
+        "migrations",
+        "retries",
+        "mean_detect_s",
+        "recovered",
+    ]);
+    for r in reports {
+        t.row(&[
+            r.scenario.clone(),
+            format!("{:.4}", r.baseline_makespan),
+            format!("{:.4}", r.makespan),
+            format!("{:.3}", r.inflation),
+            r.migrations.to_string(),
+            r.retries.to_string(),
+            r.mean_detection_latency().map_or("-".into(), |m| format!("{m:.2}")),
+            if r.recovered_all() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
 }
 
 /// A simple aligned text table (the output format of the `exp_*`

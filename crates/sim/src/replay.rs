@@ -1,0 +1,920 @@
+//! Deterministic fault replay with mid-execution recovery.
+//!
+//! [`replay`] executes an AFG against a generated [`Federation`] under a
+//! [`FaultPlan`], driving the *real* runtime control plane on a virtual
+//! clock: per-host Monitor daemons sample a [`SyntheticProbe`], Group
+//! Managers apply the significant-change filter and echo-probe failure
+//! detection, Site Managers fold control messages into deep-copied site
+//! repositories, and a [`NetworkMonitor`] folds link probes into a
+//! [`SharedNetworkModel`]. Faults enter the run exactly where real
+//! faults would: crashes and outages flip the [`FlagEcho`] the echo
+//! prober watches, link faults override the [`SyntheticLinkProbe`], and
+//! load spikes are baked into the monitoring probe's traces.
+//!
+//! Recovery is the DESIGN.md §10 state machine: **detect** (echo probe /
+//! monitor report) → **quarantine** ([`Quarantine`]) → **re-select**
+//! ([`reselect_task`], local-first, sharing one [`PredictCache`]) →
+//! **migrate** (terminate-and-restart on the new hosts) → **retry**
+//! (bounded [`BackoffPolicy`] waits when no capacity is available).
+//!
+//! Everything is a pure function of `(federation, afg, plan, config)`:
+//! state lives in `BTree*` collections, channels are drained in creation
+//! order, and the only randomness is the plan seed — replaying twice
+//! yields identical [`ReplayOutcome`]s (asserted by `exp_faults`).
+
+use crate::faults::{Fault, FaultEvent, FaultPlan};
+use crate::metrics::{FaultOutcome, RecoveryReport};
+use crate::pool_gen::Federation;
+use crossbeam::channel::{unbounded, Receiver};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use vdce_afg::{level_map, Afg, TaskId};
+use vdce_net::model::SharedNetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_predict::cache::PredictCache;
+use vdce_repository::SiteRepository;
+use vdce_runtime::events::{EventLog, RuntimeEvent};
+use vdce_runtime::group::{FlagEcho, GroupManager};
+use vdce_runtime::monitor::{MonitorDaemon, MonitorReport, SyntheticProbe};
+use vdce_runtime::net_monitor::{NetworkMonitor, SyntheticLinkProbe};
+use vdce_runtime::site_manager::{ControlMessage, SiteManager};
+use vdce_runtime::{BackoffPolicy, Quarantine};
+use vdce_sched::{reselect_task, site_schedule, SchedulerConfig};
+
+/// Tunables of one replay.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Virtual seconds per simulation tick.
+    pub tick: f64,
+    /// Echo-probe period (failure-detection granularity).
+    pub echo_period: f64,
+    /// Group Manager significant-change threshold.
+    pub significance_threshold: f64,
+    /// Workload above which a running task's host is considered
+    /// overloaded and eviction is attempted.
+    pub load_threshold: f64,
+    /// Retry/backoff policy for tasks that cannot be placed.
+    pub backoff: BackoffPolicy,
+    /// Scheduler used for the initial allocation.
+    pub scheduler: SchedulerConfig,
+    /// Hard stop: the replay aborts (remaining tasks fail) at this
+    /// virtual time.
+    pub max_time: f64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            tick: 1.0,
+            echo_period: 4.0,
+            significance_threshold: 0.5,
+            load_threshold: 4.0,
+            backoff: BackoffPolicy::default(),
+            scheduler: SchedulerConfig::default(),
+            max_time: 20_000.0,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Config whose clocks are scaled to an estimated fault-free
+    /// makespan, so detection granularity and backoff stay proportionate
+    /// across workloads of very different absolute durations.
+    pub fn scaled_to(makespan_estimate: f64) -> Self {
+        let tick = (makespan_estimate / 64.0).max(1e-3);
+        ReplayConfig {
+            tick,
+            echo_period: 4.0 * tick,
+            backoff: BackoffPolicy {
+                base_s: 2.0 * tick,
+                factor: 2.0,
+                max_s: 16.0 * tick,
+                max_retries: 6,
+            },
+            max_time: (makespan_estimate * 50.0).max(100.0 * tick),
+            ..ReplayConfig::default()
+        }
+    }
+}
+
+/// Execution state of one task during a replay.
+#[derive(Debug, Clone, PartialEq)]
+enum TaskState {
+    /// Placed, waiting for inputs / host availability.
+    Pending,
+    /// Backing off until `resume_at`, then re-selecting.
+    Waiting {
+        /// Virtual time to retry placement.
+        resume_at: f64,
+    },
+    /// Executing on `hosts` until `end`.
+    Running {
+        /// Virtual start.
+        start: f64,
+        /// Virtual finish.
+        end: f64,
+    },
+    /// Finished at `end`.
+    Completed {
+        /// Virtual finish.
+        end: f64,
+    },
+    /// Exhausted its retries or lost an ancestor.
+    Failed,
+}
+
+/// What one replay produced. Pure function of its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Max completion time over completed tasks (0 when none completed).
+    pub makespan: f64,
+    /// Tasks that completed.
+    pub tasks_completed: u64,
+    /// Tasks that failed (retries exhausted, or a failed ancestor).
+    pub tasks_failed: u64,
+    /// Terminate-and-migrate events (host set changed on restart).
+    pub migrations: u64,
+    /// Backoff retries scheduled.
+    pub retries: u64,
+    /// Hosts ever quarantined.
+    pub quarantined_total: u64,
+    /// Hosts re-admitted from quarantine.
+    pub readmitted_total: u64,
+    /// Hosts still quarantined at the end.
+    pub quarantined_at_end: u64,
+    /// Per-fault detection latency (plan order); `None` = unobserved.
+    pub detections: Vec<Option<f64>>,
+    /// Per-fault recovery verdict (plan order).
+    pub recovered: Vec<bool>,
+    /// Hosts each task last ran on (empty when it never ran).
+    pub final_hosts: Vec<Vec<String>>,
+}
+
+/// One site's control-plane stack inside the replay.
+struct SiteStack {
+    manager: SiteManager,
+    group: GroupManager,
+    daemons: Vec<MonitorDaemon>,
+    monitor_rx: Receiver<MonitorReport>,
+    control_rx: Receiver<ControlMessage>,
+}
+
+/// Replay `afg` on `federation` under `plan`. See the module docs for
+/// the tick pipeline; deterministic in all four arguments.
+pub fn replay(
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+) -> ReplayOutcome {
+    let sites = federation.topology.site_count();
+    let n = afg.task_count();
+    let log = EventLog::new();
+    let quarantine = Quarantine::new();
+
+    // Deep-copy every repository so the caller's federation is untouched
+    // and repeated replays start from identical state.
+    let repos: Vec<SiteRepository> =
+        federation.repos.iter().map(|r| SiteRepository::from_snapshot(r.snapshot())).collect();
+
+    // Host name → owning site.
+    let mut host_site: BTreeMap<String, SiteId> = BTreeMap::new();
+    for site in federation.topology.sites() {
+        for h in &site.hosts {
+            host_site.insert(h.clone(), site.id);
+        }
+    }
+
+    // --- Initial allocation (site 0 is the home site). -----------------
+    let views: Vec<_> = repos
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vdce_sched::SiteView::capture(SiteId(i as u16), r))
+        .collect();
+    let table = site_schedule(afg, &views[0], &views[1..], &federation.net, &cfg.scheduler)
+        .expect("replay requires a schedulable AFG");
+    let levels = level_map(afg, |t| {
+        views[0].tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+    })
+    .expect("AFG is a DAG");
+
+    // Current placement per task: (site, hosts, predicted seconds).
+    let mut placement: Vec<(SiteId, Vec<String>, f64)> = afg
+        .task_ids()
+        .map(|t| {
+            let p = table.placement(t).expect("complete table");
+            (p.site, p.hosts.clone(), p.predicted_seconds)
+        })
+        .collect();
+
+    // --- Monitoring / control plane. -----------------------------------
+    let probe = Arc::new(SyntheticProbe::new(0.0, 1 << 30));
+    for f in &plan.faults {
+        if let Fault::LoadSpike { host, at, height, duration } = f {
+            probe.add_spike(host.clone(), *at, *height, *duration);
+        }
+    }
+    let echo = Arc::new(FlagEcho::new());
+    let mut stacks: Vec<SiteStack> = Vec::with_capacity(sites);
+    for (i, repo) in repos.iter().enumerate() {
+        let site = SiteId(i as u16);
+        let (ctl_tx, ctl_rx) = unbounded();
+        let (mon_tx, mon_rx) = unbounded();
+        let hosts = federation.hosts(site);
+        let daemons: Vec<MonitorDaemon> = hosts
+            .iter()
+            .map(|h| MonitorDaemon::new(h.clone(), probe.clone(), mon_tx.clone(), log.clone()))
+            .collect();
+        stacks.push(SiteStack {
+            manager: SiteManager::new(site, repo.clone()),
+            group: GroupManager::new(
+                format!("s{i}-gm"),
+                hosts,
+                cfg.significance_threshold,
+                echo.clone(),
+                ctl_tx,
+                log.clone(),
+            ),
+            daemons,
+            monitor_rx: mon_rx,
+            control_rx: ctl_rx,
+        });
+    }
+
+    // Network plane: EMA weight 1.0 so the model tracks the probe
+    // exactly; the probe is pre-seeded with every pristine link so
+    // monitor rounds never clobber un-faulted heterogeneous links.
+    let shared_net = SharedNetworkModel::new(federation.net.clone(), 1.0);
+    let link_probe = Arc::new(SyntheticLinkProbe::new(1.0, 1.0));
+    for a in 0..sites as u16 {
+        for b in a..sites as u16 {
+            let l = federation.net.link(SiteId(a), SiteId(b));
+            link_probe.set(SiteId(a), SiteId(b), l.latency_s, l.bandwidth_bps);
+        }
+    }
+    let net_mon = NetworkMonitor::new(shared_net.clone(), link_probe.clone(), sites);
+    let cache = PredictCache::new();
+
+    // --- Fault bookkeeping. ---------------------------------------------
+    let timeline = plan.timeline(cfg.tick);
+    let mut next_event = 0usize;
+    let mut detections: Vec<Option<f64>> = vec![None; plan.faults.len()];
+    // First time a degrade of fault i actually hit the link probe.
+    let mut degrade_applied: BTreeMap<usize, f64> = BTreeMap::new();
+    let quiesce_t = timeline.iter().map(|e| e.t).fold(0.0f64, f64::max)
+        + plan
+            .faults
+            .iter()
+            .map(|f| match f {
+                Fault::LoadSpike { at, duration, .. } => at + duration,
+                _ => 0.0,
+            })
+            .fold(0.0f64, f64::max)
+            .max(0.0);
+    let quiesce_t = quiesce_t + 2.0 * cfg.echo_period;
+
+    // --- Task bookkeeping. ----------------------------------------------
+    let mut state: Vec<TaskState> = vec![TaskState::Pending; n];
+    let mut attempts: Vec<u32> = vec![0; n];
+    let mut floor: Vec<f64> = vec![0.0; n];
+    let mut finish: Vec<f64> = vec![0.0; n];
+    let mut last_hosts: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut host_free: BTreeMap<String, f64> = BTreeMap::new();
+    let mut dead: BTreeSet<String> = BTreeSet::new();
+    let edge_idx = afg.edge_index();
+    let mut migrations = 0u64;
+    let mut retries = 0u64;
+
+    // Task order for the start step: level desc, id asc — the same
+    // contention tie-break `makespan::evaluate` applies.
+    let mut by_priority: Vec<TaskId> = afg.task_ids().collect();
+    by_priority.sort_by(|a, b| {
+        levels[b.index()]
+            .partial_cmp(&levels[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+
+    let eps = 1e-9;
+    let mut t = 0.0f64;
+    let mut next_echo = 0.0f64;
+
+    // Schedule a backoff wait for `task`, or fail it when exhausted.
+    let schedule_retry = |task: TaskId,
+                          t: f64,
+                          state: &mut Vec<TaskState>,
+                          attempts: &mut Vec<u32>,
+                          retries: &mut u64,
+                          log: &EventLog,
+                          cfg: &ReplayConfig| {
+        attempts[task.index()] += 1;
+        let attempt = attempts[task.index()];
+        if attempt > cfg.backoff.max_retries {
+            state[task.index()] = TaskState::Failed;
+        } else {
+            *retries += 1;
+            log.record(t, RuntimeEvent::TaskRetried { task, attempt });
+            state[task.index()] =
+                TaskState::Waiting { resume_at: t + cfg.backoff.delay(attempt - 1) };
+        }
+    };
+
+    loop {
+        let all_terminal =
+            state.iter().all(|s| matches!(s, TaskState::Completed { .. } | TaskState::Failed));
+        if (all_terminal && t > quiesce_t + eps) || t > cfg.max_time {
+            break;
+        }
+
+        // 1. Completions due by now.
+        for task in afg.task_ids() {
+            if let TaskState::Running { end, .. } = state[task.index()] {
+                if end <= t + eps {
+                    state[task.index()] = TaskState::Completed { end };
+                    finish[task.index()] = end;
+                    let node = afg.task(task);
+                    let (site, hosts, predicted) = placement[task.index()].clone();
+                    for h in &hosts {
+                        host_free.insert(h.clone(), end);
+                    }
+                    // Execution-time write-back (§4.1 function 2).
+                    stacks[site.index()].manager.process(&ControlMessage::ExecutionCompleted {
+                        library_task: node.library_task.clone(),
+                        host: hosts[0].clone(),
+                        problem_size: node.problem_size,
+                        seconds: predicted,
+                    });
+                }
+            }
+        }
+
+        // 2. Fault-plan events due by now.
+        while next_event < timeline.len() && timeline[next_event].t <= t + eps {
+            let ev = &timeline[next_event];
+            match &ev.event {
+                FaultEvent::HostDown { host } => echo.kill(host.clone()),
+                FaultEvent::HostUp { host } => echo.revive(host),
+                FaultEvent::LinkDegrade { a, b, latency_factor, bandwidth_factor } => {
+                    let l = federation.net.link(SiteId(*a), SiteId(*b));
+                    link_probe.set(
+                        SiteId(*a),
+                        SiteId(*b),
+                        l.latency_s * latency_factor,
+                        l.bandwidth_bps * bandwidth_factor,
+                    );
+                    degrade_applied.entry(ev.fault).or_insert(ev.t);
+                }
+                FaultEvent::LinkRestore { a, b } => {
+                    let l = federation.net.link(SiteId(*a), SiteId(*b));
+                    link_probe.set(SiteId(*a), SiteId(*b), l.latency_s, l.bandwidth_bps);
+                }
+            }
+            next_event += 1;
+        }
+
+        // 3. Monitoring round: load samples every tick, echo probing on
+        // its own (coarser) period, link probing every tick.
+        probe.set_time(t);
+        let echo_round = t + eps >= next_echo;
+        if echo_round {
+            next_echo += cfg.echo_period;
+        }
+        for stack in &mut stacks {
+            for d in &stack.daemons {
+                d.tick(t);
+            }
+            while let Ok(report) = stack.monitor_rx.try_recv() {
+                stack.group.handle_report(t, &report);
+            }
+            if echo_round {
+                stack.group.probe_hosts(t);
+            }
+        }
+        net_mon.tick();
+        for (idx, applied_at) in &degrade_applied {
+            if detections[*idx].is_none() && t + eps >= *applied_at {
+                detections[*idx] = Some((t - plan.faults[*idx].at()).max(0.0));
+            }
+        }
+
+        // 4. Drain control messages into the repositories, attributing
+        // observations to plan faults.
+        let mut newly_dead: Vec<String> = Vec::new();
+        let mut newly_alive: Vec<String> = Vec::new();
+        for stack in &stacks {
+            stack.manager.drain_observed(&stack.control_rx, |msg, ok| {
+                if !ok {
+                    return;
+                }
+                match msg {
+                    ControlMessage::HostFailure { host } => {
+                        if dead.insert(host.clone()) {
+                            newly_dead.push(host.clone());
+                        }
+                        for (i, f) in plan.faults.iter().enumerate() {
+                            let matches = match f {
+                                Fault::HostCrash { host: h, at }
+                                | Fault::TransientOutage { host: h, at, .. } => {
+                                    h == host && *at <= t + eps
+                                }
+                                _ => false,
+                            };
+                            if matches && detections[i].is_none() {
+                                detections[i] = Some((t - f.at()).max(0.0));
+                                break;
+                            }
+                        }
+                    }
+                    ControlMessage::HostRecovered { host } => {
+                        if dead.remove(host) {
+                            newly_alive.push(host.clone());
+                        }
+                    }
+                    ControlMessage::WorkloadUpdate { host, workload, .. } => {
+                        for (i, f) in plan.faults.iter().enumerate() {
+                            if let Fault::LoadSpike { host: h, at, height, duration } = f {
+                                let in_window =
+                                    *at <= t + eps && t <= at + duration + 2.0 * cfg.tick;
+                                if h == host
+                                    && in_window
+                                    && *workload >= 0.5 * height
+                                    && detections[i].is_none()
+                                {
+                                    detections[i] = Some(t - at);
+                                }
+                            }
+                        }
+                    }
+                    ControlMessage::ExecutionCompleted { .. } => {}
+                }
+            });
+        }
+
+        // 5. Quarantine newly-dead hosts; terminate tasks running there.
+        for h in &newly_dead {
+            if quarantine.quarantine(h) {
+                log.record(t, RuntimeEvent::HostQuarantined { host: h.clone() });
+            }
+        }
+        for h in &newly_alive {
+            if quarantine.readmit(h) {
+                log.record(t, RuntimeEvent::HostReadmitted { host: h.clone() });
+            }
+        }
+        if !newly_dead.is_empty() {
+            for task in afg.task_ids() {
+                if matches!(state[task.index()], TaskState::Running { .. })
+                    && placement[task.index()].1.iter().any(|h| dead.contains(h))
+                {
+                    // Terminate: the work is lost, re-selection follows.
+                    for h in &placement[task.index()].1 {
+                        host_free.insert(h.clone(), t);
+                    }
+                    state[task.index()] = TaskState::Waiting { resume_at: t };
+                }
+            }
+        }
+
+        // 6. Load evictions, with an anti-churn guard: only terminate
+        // when re-selection away from the overloaded hosts succeeds.
+        let banned_base: BTreeSet<String> = quarantine.snapshot().union(&dead).cloned().collect();
+        let mut fresh_views: Option<Vec<vdce_sched::SiteView>> = None;
+        for &task in &by_priority {
+            if !matches!(state[task.index()], TaskState::Running { .. }) {
+                continue;
+            }
+            let (site, hosts, _) = placement[task.index()].clone();
+            let overloaded: Vec<String> = hosts
+                .iter()
+                .filter(|h| {
+                    stacks[host_site[*h].index()]
+                        .manager
+                        .repository()
+                        .resources(|db| db.get(h).map(|r| r.workload).unwrap_or(0.0))
+                        > cfg.load_threshold
+                })
+                .cloned()
+                .collect();
+            if overloaded.is_empty() {
+                continue;
+            }
+            let views = fresh_views
+                .get_or_insert_with(|| stacks.iter().map(|s| s.manager.view()).collect());
+            let ordered = local_first(views, site);
+            let mut banned = banned_base.clone();
+            banned.extend(overloaded);
+            if let Some((new_site, choice)) = reselect_task(
+                &ordered,
+                afg,
+                task,
+                &banned,
+                &cfg.scheduler.predictor,
+                &cfg.scheduler.parallel,
+                &cache,
+            ) {
+                for h in &hosts {
+                    host_free.insert(h.clone(), t);
+                }
+                placement[task.index()] = (new_site, choice.hosts, choice.predicted_seconds);
+                floor[task.index()] = t;
+                state[task.index()] = TaskState::Pending;
+            }
+        }
+
+        // 7. Waiting tasks whose backoff matured: re-select or back off
+        // again.
+        for &task in &by_priority {
+            let TaskState::Waiting { resume_at } = state[task.index()] else { continue };
+            if resume_at > t + eps {
+                continue;
+            }
+            let views = fresh_views
+                .get_or_insert_with(|| stacks.iter().map(|s| s.manager.view()).collect());
+            let ordered = local_first(views, placement[task.index()].0);
+            match reselect_task(
+                &ordered,
+                afg,
+                task,
+                &banned_base,
+                &cfg.scheduler.predictor,
+                &cfg.scheduler.parallel,
+                &cache,
+            ) {
+                Some((new_site, choice)) => {
+                    placement[task.index()] = (new_site, choice.hosts, choice.predicted_seconds);
+                    floor[task.index()] = t;
+                    state[task.index()] = TaskState::Pending;
+                }
+                None => schedule_retry(task, t, &mut state, &mut attempts, &mut retries, &log, cfg),
+            }
+        }
+
+        // 8. Start ready pending tasks (priority order). Starts are
+        // backdated to the exact data-ready / host-free instant (as in
+        // `makespan::evaluate`) so tick quantisation does not inflate the
+        // fault-free makespan; recovered tasks are floored at their
+        // recovery time.
+        let net_now = shared_net.snapshot();
+        for &task in &by_priority {
+            if state[task.index()] != TaskState::Pending {
+                continue;
+            }
+            let mut parents_done = true;
+            let mut parent_failed = false;
+            for e in edge_idx.in_edges(afg, task) {
+                match state[e.from.index()] {
+                    TaskState::Completed { .. } => {}
+                    TaskState::Failed => parent_failed = true,
+                    _ => parents_done = false,
+                }
+            }
+            if parent_failed {
+                state[task.index()] = TaskState::Failed;
+                continue;
+            }
+            if !parents_done {
+                continue;
+            }
+            let (site, hosts, predicted) = placement[task.index()].clone();
+            if hosts.iter().any(|h| dead.contains(h) || quarantine.contains(h)) {
+                // Placement went stale before the task ever started.
+                state[task.index()] = TaskState::Waiting { resume_at: t };
+                continue;
+            }
+            let mut data_ready = 0.0f64;
+            for e in edge_idx.in_edges(afg, task) {
+                let (psite, phosts, _) = &placement[e.from.index()];
+                let same_host = phosts.iter().any(|h| hosts.contains(h));
+                let xfer =
+                    if same_host { 0.0 } else { net_now.transfer_time(*psite, site, e.data_size) };
+                data_ready = data_ready.max(finish[e.from.index()] + xfer);
+            }
+            let hosts_ready = hosts
+                .iter()
+                .map(|h| host_free.get(h).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let start = data_ready.max(hosts_ready).max(floor[task.index()]);
+            let end = start + predicted.max(0.0);
+            for h in &hosts {
+                host_free.insert(h.clone(), end);
+            }
+            if !last_hosts[task.index()].is_empty() && last_hosts[task.index()] != hosts {
+                migrations += 1;
+                log.record(
+                    t,
+                    RuntimeEvent::TaskMigrated {
+                        task,
+                        from_host: last_hosts[task.index()][0].clone(),
+                        to_host: hosts[0].clone(),
+                    },
+                );
+            }
+            last_hosts[task.index()] = hosts.clone();
+            state[task.index()] = TaskState::Running { start, end };
+        }
+
+        // 9. Failure cascade: descendants of failed tasks can never run.
+        loop {
+            let mut changed = false;
+            for task in afg.task_ids() {
+                if matches!(state[task.index()], TaskState::Pending | TaskState::Waiting { .. })
+                    && edge_idx
+                        .in_edges(afg, task)
+                        .any(|e| state[e.from.index()] == TaskState::Failed)
+                {
+                    state[task.index()] = TaskState::Failed;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        t += cfg.tick;
+    }
+
+    // Anything still in flight past max_time counts as failed.
+    for s in state.iter_mut() {
+        if !matches!(s, TaskState::Completed { .. } | TaskState::Failed) {
+            *s = TaskState::Failed;
+        }
+    }
+
+    let tasks_completed =
+        state.iter().filter(|s| matches!(s, TaskState::Completed { .. })).count() as u64;
+    let tasks_failed = n as u64 - tasks_completed;
+    let makespan = afg
+        .task_ids()
+        .filter_map(|task| match state[task.index()] {
+            TaskState::Completed { end } => Some(end),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+
+    let recovered = plan
+        .faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| match f {
+            Fault::HostCrash { host, at } => {
+                let Some(lat) = detections[i] else { return false };
+                let detect_abs = at + lat;
+                tasks_failed == 0
+                    && afg.task_ids().all(|task| match state[task.index()] {
+                        TaskState::Completed { end } => {
+                            !last_hosts[task.index()].contains(host) || end <= detect_abs + eps
+                        }
+                        _ => true,
+                    })
+            }
+            Fault::TransientOutage { host, .. } => !quarantine.contains(host),
+            Fault::LoadSpike { at, duration, .. } => t > at + duration && detections[i].is_some(),
+            Fault::DegradedLink { at, duration, .. } => {
+                t > at + duration && detections[i].is_some()
+            }
+            Fault::FlakyLink { at, duration, .. } => {
+                t > at + duration && (!degrade_applied.contains_key(&i) || detections[i].is_some())
+            }
+        })
+        .collect();
+
+    ReplayOutcome {
+        makespan,
+        tasks_completed,
+        tasks_failed,
+        migrations,
+        retries,
+        quarantined_total: quarantine.quarantined_total(),
+        readmitted_total: quarantine.readmitted_total(),
+        quarantined_at_end: quarantine.len() as u64,
+        detections,
+        recovered,
+        final_hosts: last_hosts,
+    }
+}
+
+/// Views with `local` first, the rest in site order — the tie-break
+/// [`reselect_task`] expects.
+fn local_first(views: &[vdce_sched::SiteView], local: SiteId) -> Vec<vdce_sched::SiteView> {
+    let mut ordered: Vec<vdce_sched::SiteView> = Vec::with_capacity(views.len());
+    for v in views {
+        if v.site == local {
+            ordered.insert(0, v.clone());
+        } else {
+            ordered.push(v.clone());
+        }
+    }
+    ordered
+}
+
+/// Replay `plan` and its fault-free twin, folding both into a
+/// [`RecoveryReport`] (the unit `exp_faults` emits per scenario).
+pub fn run_fault_scenario(
+    name: &str,
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+) -> RecoveryReport {
+    let baseline = replay(federation, afg, &FaultPlan::empty(), cfg);
+    let faulty = replay(federation, afg, plan, cfg);
+    let faults = plan
+        .faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| FaultOutcome {
+            fault: f.label(),
+            injected_at: f.at(),
+            detection_latency: faulty.detections[i],
+            recovered: faulty.recovered[i],
+        })
+        .collect();
+    RecoveryReport {
+        scenario: name.to_string(),
+        seed: plan.seed,
+        baseline_makespan: baseline.makespan,
+        makespan: faulty.makespan,
+        inflation: if baseline.makespan > 0.0 { faulty.makespan / baseline.makespan } else { 1.0 },
+        migrations: faulty.migrations,
+        retries: faulty.retries,
+        quarantined: faulty.quarantined_total,
+        readmitted: faulty.readmitted_total,
+        quarantined_at_end: faulty.quarantined_at_end,
+        tasks_completed: faulty.tasks_completed,
+        tasks_failed: faulty.tasks_failed,
+        faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_gen::{self, DagSpec};
+    use crate::pool_gen::{build_federation, FederationSpec, WanShape};
+    use vdce_sched::evaluate;
+
+    fn small_federation() -> Federation {
+        build_federation(&FederationSpec {
+            sites: 2,
+            hosts_per_site: 3,
+            heterogeneity: 2.0,
+            group_size: 4,
+            shape: WanShape::Star,
+            seed: 21,
+            ..FederationSpec::default()
+        })
+    }
+
+    fn small_afg() -> Afg {
+        dag_gen::layered_random(&DagSpec { tasks: 12, width: 3, ..DagSpec::default() }, 5)
+    }
+
+    fn baseline_makespan(f: &Federation, afg: &Afg) -> f64 {
+        let views = f.views();
+        let cfg = SchedulerConfig::default();
+        let table = site_schedule(afg, &views[0], &views[1..], &f.net, &cfg).unwrap();
+        let levels = level_map(afg, |t| {
+            views[0].tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+        })
+        .unwrap();
+        evaluate(afg, &table, &f.net, &levels).unwrap().makespan
+    }
+
+    #[test]
+    fn fault_free_replay_tracks_static_evaluation() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let out = replay(&f, &afg, &FaultPlan::empty(), &ReplayConfig::scaled_to(est));
+        assert_eq!(out.tasks_completed, afg.task_count() as u64);
+        assert_eq!(out.tasks_failed, 0);
+        assert_eq!(out.migrations, 0);
+        assert_eq!(out.retries, 0);
+        // The replay is time-causal: hosts are reserved in virtual-time
+        // order, whereas `evaluate` reserves them in list-priority order
+        // — so the replay may pack hosts tighter (but never by more than
+        // the reservation-order slack) and must stay the same order of
+        // magnitude.
+        let ratio = out.makespan / est;
+        assert!(
+            (0.4..=1.5).contains(&ratio),
+            "replay {} vs evaluate {} (ratio {ratio:.3})",
+            out.makespan,
+            est
+        );
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig::scaled_to(est);
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![
+                Fault::TransientOutage {
+                    host: f.hosts(SiteId(0))[0].clone(),
+                    at: 0.3 * est,
+                    down_for: 6.0 * cfg.tick,
+                },
+                Fault::FlakyLink {
+                    a: 0,
+                    b: 1,
+                    at: 0.0,
+                    duration: 0.5 * est,
+                    drop_probability: 0.3,
+                },
+            ],
+        };
+        let a = replay(&f, &afg, &plan, &cfg);
+        let b = replay(&f, &afg, &plan, &cfg);
+        assert_eq!(a, b, "same (federation, afg, plan, cfg) must replay identically");
+    }
+
+    #[test]
+    fn crash_quarantines_and_migrates_off_the_dead_host() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig::scaled_to(est);
+        // Crash the host carrying the most placements mid-run.
+        let views = f.views();
+        let table = site_schedule(&afg, &views[0], &views[1..], &f.net, &cfg.scheduler).unwrap();
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in table.iter() {
+            for h in &p.hosts {
+                *counts.entry(h).or_default() += 1;
+            }
+        }
+        let victim =
+            counts.iter().max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h))).unwrap().0.to_string();
+        let plan = FaultPlan {
+            seed: 1,
+            faults: vec![Fault::HostCrash { host: victim.clone(), at: 0.25 * est }],
+        };
+        let out = replay(&f, &afg, &plan, &cfg);
+        assert_eq!(out.tasks_failed, 0, "all tasks must complete despite the crash");
+        assert!(out.detections[0].is_some(), "crash must be detected");
+        assert_eq!(out.quarantined_at_end, 1, "crashed host stays quarantined");
+        assert!(out.recovered[0], "crash scenario recovers");
+        assert!(
+            out.makespan < 2.0 * est,
+            "inflation bounded: {} vs baseline {}",
+            out.makespan,
+            est
+        );
+        // recovered[0] already implies no task's final run sat on the
+        // dead host past detection; the busiest host dying mid-run must
+        // also have forced at least one migration.
+        assert!(out.migrations >= 1, "expected terminate-and-migrate, got none");
+    }
+
+    #[test]
+    fn transient_outage_readmits_the_host() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig::scaled_to(est);
+        let host = f.hosts(SiteId(1))[0].clone();
+        let plan = FaultPlan {
+            seed: 2,
+            faults: vec![Fault::TransientOutage { host, at: 0.2 * est, down_for: 8.0 * cfg.tick }],
+        };
+        let out = replay(&f, &afg, &plan, &cfg);
+        assert_eq!(out.tasks_failed, 0);
+        assert_eq!(out.quarantined_at_end, 0, "host must be re-admitted");
+        assert!(out.recovered[0]);
+        if out.quarantined_total > 0 {
+            assert_eq!(out.readmitted_total, out.quarantined_total);
+        }
+    }
+
+    #[test]
+    fn recovery_report_round_trips_and_is_stable() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig::scaled_to(est);
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![Fault::DegradedLink {
+                a: 0,
+                b: 1,
+                at: 0.1 * est,
+                duration: 0.3 * est,
+                latency_factor: 20.0,
+                bandwidth_factor: 0.05,
+            }],
+        };
+        let r1 = run_fault_scenario("unit", &f, &afg, &plan, &cfg);
+        let r2 = run_fault_scenario("unit", &f, &afg, &plan, &cfg);
+        let j1 = serde_json::to_string(&r1).unwrap();
+        let j2 = serde_json::to_string(&r2).unwrap();
+        assert_eq!(j1, j2, "bit-identical reports across replays");
+        let back: RecoveryReport = serde_json::from_str(&j1).unwrap();
+        assert_eq!(back, r1);
+        assert!(r1.inflation >= 1.0 - 1e-9, "degraded link cannot speed the run up");
+    }
+}

@@ -1,10 +1,19 @@
 //! Named experiment scenarios: fixed (federation, workload) pairs shared
 //! by tests, examples and benches so results are comparable across runs
-//! and documentation can reference them by name.
+//! and documentation can reference them by name — plus the named
+//! [`FaultScenario`]s `exp_faults` replays (a scenario, a [`FaultPlan`]
+//! whose injection times are fractions of the estimated fault-free
+//! makespan, and a clock-scaled [`ReplayConfig`]).
 
 use crate::dag_gen::{fork_join, gauss_elim, layered_random, DagSpec};
+use crate::faults::{Fault, FaultPlan};
+use crate::metrics::RecoveryReport;
 use crate::pool_gen::{build_federation, Federation, FederationSpec, WanShape};
+use crate::replay::{run_fault_scenario, ReplayConfig};
+use std::collections::BTreeMap;
+use vdce_afg::level::level_map;
 use vdce_afg::Afg;
+use vdce_sched::{evaluate, site_schedule, SchedulerConfig};
 
 /// A named, reproducible experiment setup.
 pub struct Scenario {
@@ -88,6 +97,176 @@ pub fn all() -> Vec<Scenario> {
     vec![campus_smoke(), wide_area(), c3i_surveillance(), gauss_benchmark()]
 }
 
+/// Schedule a scenario once and return `(estimated fault-free makespan,
+/// busiest host)` — the anchors fault plans hang injection times and
+/// crash victims on. Deterministic; ties on placement count go to the
+/// lexicographically smallest host.
+pub fn schedule_estimate(s: &Scenario) -> (f64, String) {
+    let views = s.federation.views();
+    let cfg = SchedulerConfig::default();
+    let table = site_schedule(&s.afg, &views[0], &views[1..], &s.federation.net, &cfg)
+        .expect("named scenarios schedule");
+    let levels = level_map(&s.afg, |t| {
+        views[0].tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+    })
+    .expect("named scenarios are DAGs");
+    let makespan = evaluate(&s.afg, &table, &s.federation.net, &levels)
+        .expect("complete tables evaluate")
+        .makespan;
+    let mut counts: BTreeMap<&String, usize> = BTreeMap::new();
+    for p in table.iter() {
+        for h in &p.hosts {
+            *counts.entry(h).or_default() += 1;
+        }
+    }
+    let busiest = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(h, _)| (*h).clone())
+        .expect("non-empty table");
+    (makespan, busiest)
+}
+
+/// A named fault-injection experiment: scenario + plan + replay config.
+pub struct FaultScenario {
+    /// Stable identifier (used in `BENCH_faults.json`).
+    pub name: &'static str,
+    /// The workload and federation being disturbed.
+    pub scenario: Scenario,
+    /// What goes wrong.
+    pub plan: FaultPlan,
+    /// Clock-scaled replay tunables.
+    pub config: ReplayConfig,
+}
+
+impl FaultScenario {
+    /// Replay the plan (and its fault-free twin) into a report.
+    pub fn run(&self) -> RecoveryReport {
+        run_fault_scenario(
+            self.name,
+            &self.scenario.federation,
+            &self.scenario.afg,
+            &self.plan,
+            &self.config,
+        )
+    }
+}
+
+/// Crash the busiest host of the smoke workload a quarter of the way in
+/// — the acceptance scenario: every task must complete, migrated off the
+/// dead host, with makespan inflation below 2×.
+pub fn crash_mid_run() -> FaultScenario {
+    let scenario = campus_smoke();
+    let (est, victim) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "crash-mid-run",
+        plan: FaultPlan {
+            seed: 17,
+            faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// A transient outage on the surveillance pipeline's busiest host: the
+/// host must be quarantined while down and re-admitted after.
+pub fn transient_outage() -> FaultScenario {
+    let scenario = c3i_surveillance();
+    let (est, victim) = schedule_estimate(&scenario);
+    let config = ReplayConfig::scaled_to(est);
+    FaultScenario {
+        name: "transient-outage",
+        plan: FaultPlan {
+            seed: 29,
+            faults: vec![Fault::TransientOutage {
+                host: victim,
+                at: 0.2 * est,
+                down_for: 8.0 * config.tick,
+            }],
+        },
+        config,
+        scenario,
+    }
+}
+
+/// A load spike past the eviction threshold on the smoke workload's
+/// busiest host — exercises the terminate-and-migrate path without any
+/// host dying.
+pub fn load_spike_eviction() -> FaultScenario {
+    let scenario = campus_smoke();
+    let (est, victim) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "load-spike-eviction",
+        plan: FaultPlan {
+            seed: 31,
+            faults: vec![Fault::LoadSpike {
+                host: victim,
+                at: 0.2 * est,
+                height: 8.0,
+                duration: 0.5 * est,
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// A degraded metro link in the wide-area scenario: latency ×20,
+/// bandwidth ÷20 for 40% of the run.
+pub fn degraded_wan() -> FaultScenario {
+    let scenario = wide_area();
+    let (est, _) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "degraded-wan",
+        plan: FaultPlan {
+            seed: 37,
+            faults: vec![Fault::DegradedLink {
+                a: 0,
+                b: 1,
+                at: 0.1 * est,
+                duration: 0.4 * est,
+                latency_factor: 20.0,
+                bandwidth_factor: 0.05,
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// A flaky ring link under the Gaussian-elimination benchmark, dropping
+/// with p=0.3 per tick for 60% of the run.
+pub fn flaky_wan() -> FaultScenario {
+    let scenario = gauss_benchmark();
+    let (est, _) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "flaky-wan",
+        plan: FaultPlan {
+            seed: 41,
+            faults: vec![Fault::FlakyLink {
+                a: 0,
+                b: 1,
+                at: 0.0,
+                duration: 0.6 * est,
+                drop_probability: 0.3,
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// All named fault scenarios (the full `exp_faults` run).
+pub fn all_fault_scenarios() -> Vec<FaultScenario> {
+    vec![crash_mid_run(), transient_outage(), load_spike_eviction(), degraded_wan(), flaky_wan()]
+}
+
+/// The cheap subset the CI fast mode replays.
+pub fn quick_fault_scenarios() -> Vec<FaultScenario> {
+    vec![crash_mid_run(), transient_outage(), load_spike_eviction()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +316,42 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn fault_scenario_names_are_unique_and_plans_seeded() {
+        let scenarios = all_fault_scenarios();
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        for s in &scenarios {
+            assert!(!s.plan.faults.is_empty(), "{}: empty plan", s.name);
+            assert!(s.plan.faults.iter().all(|f| f.at() >= 0.0), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn schedule_estimate_is_deterministic() {
+        let (m1, h1) = schedule_estimate(&campus_smoke());
+        let (m2, h2) = schedule_estimate(&campus_smoke());
+        assert_eq!(m1, m2);
+        assert_eq!(h1, h2);
+        assert!(m1 > 0.0);
+    }
+
+    #[test]
+    fn quick_fault_scenarios_recover() {
+        for fs in quick_fault_scenarios() {
+            let report = fs.run();
+            assert_eq!(report.tasks_failed, 0, "{}: tasks failed", fs.name);
+            assert!(report.recovered_all(), "{}: not recovered: {:?}", fs.name, report.faults);
+            assert!(
+                report.inflation < 2.0,
+                "{}: inflation {} exceeds 2x",
+                fs.name,
+                report.inflation
+            );
+        }
     }
 }

@@ -32,6 +32,23 @@ pub fn random_walk(seed: u64, period: f64, steps: usize, step: f64, max: f64) ->
     out
 }
 
+/// Several disjoint spikes over a base load: each `(at, height,
+/// duration)` raises the load to `base + height` for its window. Windows
+/// must be given in order and must not overlap — the step-trace
+/// equivalent of stacking [`Fault::LoadSpike`]s onto one host.
+///
+/// [`Fault::LoadSpike`]: crate::faults::Fault::LoadSpike
+pub fn multi_spike(base: f64, spikes: &[(f64, f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = vec![(0.0, base)];
+    for (at, height, duration) in spikes {
+        let prev_end = out.last().expect("non-empty").0;
+        assert!(*at >= prev_end, "spike windows must be ordered and disjoint: {at} < {prev_end}");
+        out.push((*at, base + height));
+        out.push((at + duration, base));
+    }
+    out
+}
+
 /// Diurnal-style slow sine wave: mean ± amplitude over `period_s`,
 /// sampled `samples` times.
 pub fn sine(mean: f64, amplitude: f64, period_s: f64, samples: usize) -> Vec<(f64, f64)> {
@@ -71,6 +88,21 @@ mod tests {
         for w in a.windows(2) {
             assert!(w[1].0 > w[0].0);
         }
+    }
+
+    #[test]
+    fn multi_spike_builds_ordered_steps() {
+        let t = multi_spike(1.0, &[(5.0, 4.0, 2.0), (10.0, 2.0, 3.0)]);
+        assert_eq!(t, vec![(0.0, 1.0), (5.0, 5.0), (7.0, 1.0), (10.0, 3.0), (13.0, 1.0)]);
+        for w in t.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn multi_spike_rejects_overlap() {
+        multi_spike(0.0, &[(5.0, 1.0, 10.0), (8.0, 1.0, 1.0)]);
     }
 
     #[test]

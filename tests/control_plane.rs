@@ -184,10 +184,10 @@ fn monitoring_experiment_shapes_hold() {
     let thresholds = [0.25, 1.0, 3.0];
     let mut reductions = Vec::new();
     for th in thresholds {
-        let out = run_monitoring_experiment(6, th, 1.0, 4.0, 150.0, Some(75.0), 9);
+        let out = run_monitoring_experiment(6, th, 1.0, 4.0, 150.0, &[(0, 75.0)], 9);
         reductions.push(out.reduction);
         assert_eq!(out.failures_detected, 1);
-        let lat = out.detection_latency.unwrap();
+        let lat = out.detection_latencies[0];
         assert!(lat <= 4.0 + 1.0, "latency {lat} exceeds echo period bound");
     }
     assert!(
