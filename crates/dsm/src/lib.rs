@@ -46,6 +46,6 @@ pub mod region;
 pub mod stats;
 pub mod sync;
 
-pub use region::{DsmHandle, DsmRegion};
+pub use region::{DsmHandle, DsmRegion, DsmSnapshot};
 pub use stats::DsmStats;
 pub use sync::{DsmBarrier, DsmLock};

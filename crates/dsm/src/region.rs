@@ -51,6 +51,54 @@ pub struct DsmRegion {
     inner: Arc<Inner>,
 }
 
+/// A consistent point-in-time copy of a region's pages.
+///
+/// Captured under the directory lock, so it reflects one sequentially
+/// consistent cut: every page holds the authoritative bytes (dirty
+/// owner copies are pulled without disturbing MSI state). Restoring a
+/// snapshot rewinds the region to exactly these bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsmSnapshot {
+    page_size: usize,
+    size: usize,
+    pages: Vec<Vec<u8>>,
+}
+
+impl DsmSnapshot {
+    /// Region size in bytes this snapshot covers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Page size of the snapshotted region.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of captured pages.
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes `offset..offset + len`, assembled across pages.
+    ///
+    /// # Panics
+    /// If the range exceeds the snapshot size.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        assert!(offset + len <= self.size, "read past snapshot of {} bytes", self.size);
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < offset + len {
+            let page = pos / self.page_size;
+            let in_page = pos % self.page_size;
+            let take = (self.page_size - in_page).min(offset + len - pos);
+            out.extend_from_slice(&self.pages[page][in_page..in_page + take]);
+            pos += take;
+        }
+        out
+    }
+}
+
 /// One node's view of a [`DsmRegion`]. Cloneable and `Send`; clones share
 /// the node's cache.
 #[derive(Clone)]
@@ -109,6 +157,71 @@ impl DsmRegion {
     /// Protocol counters so far.
     pub fn stats(&self) -> DsmStats {
         self.inner.stats.snapshot()
+    }
+
+    /// Capture a consistent snapshot of every page.
+    ///
+    /// Runs under the directory lock, so no miss can interleave: the
+    /// captured pages form one sequentially consistent cut. Pages with a
+    /// dirty (Modified) owner are pulled from the owner's cache without
+    /// changing its MSI state — the snapshot is a pure reader, never an
+    /// invalidator, so it perturbs neither placement nor hit rates.
+    pub fn snapshot(&self) -> DsmSnapshot {
+        let inner = &self.inner;
+        let dir = inner.directory.lock();
+        let mut pages = Vec::with_capacity(dir.len());
+        let mut dirty_pulls = 0u64;
+        for (page, entry) in dir.iter().enumerate() {
+            if let Some(owner) = entry.owner {
+                // The directory copy is stale while owned; pull the live
+                // bytes. Safe under the lock discipline: directory ops may
+                // take cache locks.
+                let owner_cache = inner.caches[owner].lock();
+                if let Some(p) = owner_cache.get(&page) {
+                    pages.push(p.data.clone());
+                    dirty_pulls += 1;
+                    continue;
+                }
+            }
+            pages.push(entry.data.clone());
+        }
+        drop(dir);
+        StatCounters::bump(&inner.stats.snapshots);
+        StatCounters::add(&inner.stats.snapshot_page_copies, dirty_pulls);
+        DsmSnapshot { page_size: inner.page_size, size: inner.size, pages }
+    }
+
+    /// Rewind the region to `snap`.
+    ///
+    /// Under the directory lock every page's authoritative bytes are
+    /// overwritten, ownership is revoked and every cached copy on every
+    /// node is invalidated — the next access on any node re-fetches the
+    /// restored bytes.
+    ///
+    /// # Panics
+    /// If the snapshot geometry (size / page size) does not match.
+    pub fn restore(&self, snap: &DsmSnapshot) {
+        let inner = &self.inner;
+        assert_eq!(snap.size, inner.size, "snapshot size mismatch");
+        assert_eq!(snap.page_size, inner.page_size, "snapshot page size mismatch");
+        let mut dir = inner.directory.lock();
+        assert_eq!(snap.pages.len(), dir.len(), "snapshot page count mismatch");
+        let mut invalidated = 0u64;
+        for (page, entry) in dir.iter_mut().enumerate() {
+            entry.data.copy_from_slice(&snap.pages[page]);
+            entry.owner = None;
+            entry.sharers.clear();
+            for cache in &inner.caches {
+                if cache.lock().remove(&page).is_some() {
+                    invalidated += 1;
+                }
+            }
+        }
+        let pages = dir.len() as u64;
+        drop(dir);
+        StatCounters::bump(&inner.stats.restores);
+        StatCounters::add(&inner.stats.snapshot_page_copies, pages);
+        StatCounters::add(&inner.stats.invalidations, invalidated);
     }
 }
 
@@ -411,6 +524,77 @@ mod tests {
     fn bad_node_id_panics() {
         let dsm = DsmRegion::new(64, 16, 1);
         dsm.handle(1);
+    }
+
+    #[test]
+    fn snapshot_captures_dirty_owner_pages() {
+        let dsm = DsmRegion::new(256, 64, 2);
+        let a = dsm.handle(0);
+        a.write_u64(0, 42); // page 0 owned dirty by node 0
+        let snap = dsm.snapshot();
+        assert_eq!(snap.pages(), 4);
+        assert_eq!(u64::from_le_bytes(snap.read(0, 8).try_into().unwrap()), 42);
+        // Snapshot is a pure reader: node 0 still owns the page, so the
+        // next local write is a hit, not a miss.
+        let before = dsm.stats();
+        a.write_u64(0, 43);
+        let after = dsm.stats();
+        assert_eq!(after.write_misses, before.write_misses, "snapshot must not steal ownership");
+        assert_eq!(after.write_hits, before.write_hits + 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_identically() {
+        let dsm = DsmRegion::new(1024, 32, 3);
+        let a = dsm.handle(0);
+        let b = dsm.handle(1);
+        let payload: Vec<u8> = (0..200u8).map(|i| i.wrapping_mul(7)).collect();
+        a.write(5, &payload);
+        b.write_f64(512, 1.618033989);
+        let before = dsm.handle(2).read(0, 1024);
+        let snap = dsm.snapshot();
+
+        // Diverge, then rewind.
+        a.write(5, &[0xAA; 200]);
+        b.write_f64(512, -1.0);
+        dsm.restore(&snap);
+
+        for n in 0..3 {
+            assert_eq!(dsm.handle(n).read(0, 1024), before, "node {n} sees restored bytes");
+        }
+        assert_eq!(snap.read(0, 1024), before, "snapshot itself holds the same bytes");
+    }
+
+    #[test]
+    fn restore_invalidates_every_cache() {
+        let dsm = DsmRegion::new(128, 64, 2);
+        let a = dsm.handle(0);
+        let b = dsm.handle(1);
+        a.write_u64(0, 1);
+        assert_eq!(b.read_u64(0), 1); // both nodes now cache page 0
+        let snap = dsm.snapshot();
+        a.write_u64(0, 9);
+        let inval_before = dsm.stats().invalidations;
+        dsm.restore(&snap);
+        assert!(dsm.stats().invalidations > inval_before, "restore invalidates cached copies");
+        let miss_before = dsm.stats().read_misses;
+        assert_eq!(b.read_u64(0), 1, "reader re-fetches the restored value");
+        assert!(dsm.stats().read_misses > miss_before, "post-restore read is a miss");
+    }
+
+    #[test]
+    fn snapshot_stats_account_traffic() {
+        let dsm = DsmRegion::new(256, 64, 2);
+        dsm.handle(0).write_u64(0, 5); // one dirty owned page
+        let snap = dsm.snapshot();
+        let s = dsm.stats();
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.restores, 0);
+        assert_eq!(s.snapshot_page_copies, 1, "one dirty-owner pull");
+        dsm.restore(&snap);
+        let s = dsm.stats();
+        assert_eq!(s.restores, 1);
+        assert_eq!(s.snapshot_page_copies, 1 + 4, "restore writes back all 4 pages");
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub struct DsmStats {
     pub invalidations: u64,
     /// Whole-page transfers (owner → directory → requester).
     pub page_transfers: u64,
+    /// Consistent snapshots taken of the whole region.
+    pub snapshots: u64,
+    /// Snapshot restores applied to the region.
+    pub restores: u64,
+    /// Pages copied by snapshot/restore traffic (dirty-owner pulls on
+    /// snapshot plus every page written back on restore).
+    pub snapshot_page_copies: u64,
 }
 
 #[derive(Debug, Default)]
@@ -27,6 +34,9 @@ pub(crate) struct StatCounters {
     pub write_misses: AtomicU64,
     pub invalidations: AtomicU64,
     pub page_transfers: AtomicU64,
+    pub snapshots: AtomicU64,
+    pub restores: AtomicU64,
+    pub snapshot_page_copies: AtomicU64,
 }
 
 impl StatCounters {
@@ -38,12 +48,20 @@ impl StatCounters {
             write_misses: self.write_misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             page_transfers: self.page_transfers.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            restores: self.restores.load(Ordering::Relaxed),
+            snapshot_page_copies: self.snapshot_page_copies.load(Ordering::Relaxed),
         }
     }
 
     #[inline]
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 }
 

@@ -22,9 +22,13 @@
 //! 5. reports measured execution times to the Site Manager for
 //!    task-performance write-back.
 
+use crate::checkpoint::CheckpointStore;
 use crate::data_manager::{DataManager, Transport};
 use crate::events::{EventLog, RuntimeEvent};
-use crate::executor::{execute, ExecutionOutcome, ExecutorConfig, GateDecision, StartGate};
+use crate::executor::{
+    execute_full, CheckpointContext, ExecutionOutcome, ExecutorConfig, GateDecision,
+    HostLockRegistry, StartGate,
+};
 use crate::recovery::Quarantine;
 use crate::services::{ConsoleService, IoService};
 use crate::site_manager::{ControlMessage, SiteManager};
@@ -161,12 +165,32 @@ pub struct AppController {
     config: AppControllerConfig,
     log: EventLog,
     quarantine: Arc<Quarantine>,
+    checkpoints: Option<CheckpointStore>,
 }
 
 impl AppController {
     /// Controller reporting to `site_manager`.
     pub fn new(site_manager: SiteManager, config: AppControllerConfig, log: EventLog) -> Self {
-        AppController { site_manager, config, log, quarantine: Arc::new(Quarantine::new()) }
+        AppController {
+            site_manager,
+            config,
+            log,
+            quarantine: Arc::new(Quarantine::new()),
+            checkpoints: None,
+        }
+    }
+
+    /// Attach a checkpoint store: runs through this controller persist
+    /// task progress into `store` and resume from it, with replicas on
+    /// quarantined hosts treated as unreachable.
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.checkpoints = Some(store);
+        self
+    }
+
+    /// The checkpoint store, when one is attached.
+    pub fn checkpoints(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_ref()
     }
 
     /// The event log this controller writes to.
@@ -228,7 +252,13 @@ impl AppController {
             ThresholdGate::new(self.site_manager.repository(), self.config.load_threshold, afg)
                 .with_quarantine(&self.quarantine);
         let (tx, rx) = unbounded();
-        let outcome = execute(
+        let quarantine = Arc::clone(&self.quarantine);
+        let reachable = move |h: &str| !quarantine.contains(h);
+        let ctx = self
+            .checkpoints
+            .as_ref()
+            .map(|store| CheckpointContext { store, reachable: &reachable });
+        let outcome = execute_full(
             afg,
             table,
             &dm,
@@ -239,6 +269,8 @@ impl AppController {
             &clock,
             Some(tx),
             &self.config.executor,
+            &HostLockRegistry::new(),
+            ctx.as_ref(),
         );
         // Write measured execution times back into the repository.
         self.site_manager.drain(&rx);
@@ -432,6 +464,79 @@ mod tests {
             assert_eq!(r.hosts, vec!["flaky".to_string()], "runs where scheduled again");
         }
         assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::HostReadmitted { .. })), 1);
+    }
+
+    #[test]
+    fn checkpointed_controller_resumes_second_run() {
+        use crate::checkpoint::CheckpointPolicy;
+        let repo = repo_with_hosts(&["h0", "h1"]);
+        let store = CheckpointStore::new();
+        let config = AppControllerConfig {
+            executor: ExecutorConfig {
+                checkpoint: CheckpointPolicy::every(0.5, 0.0),
+                ..ExecutorConfig::default()
+            },
+            ..AppControllerConfig::default()
+        };
+        let log = EventLog::new();
+        let ac = AppController::new(SiteManager::new(SiteId(0), repo), config, log)
+            .with_checkpoints(store.clone());
+        let afg = chain();
+        let table = table_on(&afg, "h0");
+
+        let r1 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
+        assert!(r1.outcome.success);
+        assert_eq!(store.taken_total(), 3, "first run checkpoints every task");
+        let started = ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. }));
+
+        let r2 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
+        assert!(r2.outcome.success);
+        assert_eq!(
+            ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            started,
+            "second run re-executes nothing"
+        );
+        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+    }
+
+    #[test]
+    fn quarantined_replica_invalidates_checkpoints() {
+        use crate::checkpoint::CheckpointPolicy;
+        let repo = repo_with_hosts(&["h0", "h1"]);
+        let store = CheckpointStore::new();
+        let config = AppControllerConfig {
+            executor: ExecutorConfig {
+                checkpoint: CheckpointPolicy::every(0.5, 0.0),
+                ..ExecutorConfig::default()
+            },
+            ..AppControllerConfig::default()
+        };
+        let log = EventLog::new();
+        let ac = AppController::new(SiteManager::new(SiteId(0), repo), config, log)
+            .with_checkpoints(store.clone());
+        let afg = chain();
+        let table = table_on(&afg, "h0");
+        assert!(
+            ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()))
+                .outcome
+                .success
+        );
+
+        // All checkpoints live on h0 — quarantining it makes them
+        // unusable, so the rerun executes (on the replacement host).
+        ac.note_host_failed(1.0, "h0");
+        let started = ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. }));
+        let r2 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
+        assert!(r2.outcome.success);
+        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 0);
+        assert_eq!(
+            ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            started + 3,
+            "every task re-executed once its checkpoints became unreachable"
+        );
+        for r in &r2.outcome.records {
+            assert_eq!(r.hosts, vec!["h1".to_string()], "rerun lands on the healthy host");
+        }
     }
 
     #[test]

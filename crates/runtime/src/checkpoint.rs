@@ -1,0 +1,332 @@
+//! Checkpoint-restart support (ROADMAP: "checkpoint-restart instead of
+//! restart-from-zero").
+//!
+//! PR-2 recovery restarts migrated tasks from zero, which is where the
+//! 1.34–1.48× host-crash inflation came from. This module adds the
+//! missing persistence layer:
+//!
+//! - [`CheckpointPolicy`] — *when* checkpoints are taken (a fraction of
+//!   task work per interval) and *what they cost* (a fraction of task
+//!   work per write). [`CheckpointPolicy::run_plan`] turns the policy
+//!   into the deterministic timeline of one task run: total duration
+//!   plus the offset/progress/cost of every planned checkpoint. Both
+//!   the real executor and the virtual-clock replay consume the same
+//!   plan, so measured overhead and simulated overhead agree by
+//!   construction.
+//! - [`CheckpointStore`] — the durable record: per-task sequences of
+//!   [`TaskCheckpoint`]s, each tagged with the hosts it is stored on.
+//!   Restart asks for [`CheckpointStore::latest_valid`]: the newest
+//!   checkpoint with at least one *reachable* replica — a checkpoint
+//!   whose only copies sit on a crashed or quarantined host is
+//!   unusable, and the store falls back to the next-newest reachable
+//!   one (or nothing, which means restart-from-zero).
+//!
+//! Dataflow tasks persist their completed fraction plus produced-output
+//! payloads (so a resumed consumer can re-deliver without re-executing);
+//! DSM-mode tasks attach a [`vdce_dsm::DsmSnapshot`] captured under the
+//! directory lock. Policies default to **disabled** so every
+//! pre-checkpoint baseline keeps its exact behaviour.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vdce_afg::TaskId;
+use vdce_dsm::DsmSnapshot;
+
+/// When checkpoints are taken and what each write costs, both expressed
+/// as fractions of the task's full work so the policy is
+/// placement-independent.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CheckpointPolicy {
+    /// Fraction of the task's full work between consecutive checkpoints.
+    /// `0` (or `>= 1`) disables checkpointing.
+    pub interval_fraction: f64,
+    /// Fraction of the task's full work one checkpoint write costs.
+    pub overhead_fraction: f64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::disabled()
+    }
+}
+
+impl CheckpointPolicy {
+    /// No checkpoints — the pre-checkpoint restart-from-zero behaviour.
+    pub fn disabled() -> Self {
+        CheckpointPolicy { interval_fraction: 0.0, overhead_fraction: 0.0 }
+    }
+
+    /// Checkpoint every `interval_fraction` of task work, paying
+    /// `overhead_fraction` of task work per write.
+    pub fn every(interval_fraction: f64, overhead_fraction: f64) -> Self {
+        CheckpointPolicy { interval_fraction, overhead_fraction }
+    }
+
+    /// Does this policy take checkpoints at all?
+    pub fn is_enabled(&self) -> bool {
+        self.interval_fraction > 0.0 && self.interval_fraction < 1.0
+    }
+
+    /// The deterministic timeline of one task run under this policy.
+    ///
+    /// `full_work` is the task's full predicted seconds on its hosts;
+    /// `resume_from` is the progress fraction restored from a checkpoint
+    /// (`0.0` for a fresh start). A checkpoint that would land exactly at
+    /// task completion is useless and is not planned.
+    pub fn run_plan(&self, full_work: f64, resume_from: f64) -> RunPlan {
+        let w = full_work.max(0.0);
+        let r = resume_from.clamp(0.0, 1.0);
+        let remaining = (1.0 - r) * w;
+        if !self.is_enabled() || remaining <= 0.0 {
+            return RunPlan { duration: remaining, checkpoints: Vec::new() };
+        }
+        let i = self.interval_fraction;
+        let o = self.overhead_fraction.max(0.0);
+        // Number of *useful* checkpoints: one per interval boundary
+        // strictly inside the remaining work (the boundary at completion
+        // is dropped).
+        let n = (((1.0 - r) / i - 1e-9).ceil() as i64 - 1).max(0) as usize;
+        let cost = o * w;
+        let checkpoints = (1..=n)
+            .map(|k| PlannedCheckpoint {
+                offset: k as f64 * (i + o) * w,
+                progress: r + k as f64 * i,
+                cost,
+            })
+            .collect();
+        RunPlan { duration: remaining + n as f64 * cost, checkpoints }
+    }
+}
+
+/// One checkpoint in a [`RunPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedCheckpoint {
+    /// Seconds after run start at which the write completes.
+    pub offset: f64,
+    /// Cumulative progress fraction the checkpoint persists.
+    pub progress: f64,
+    /// Seconds the write costs (already included in the run duration).
+    pub cost: f64,
+}
+
+/// Duration and checkpoint timeline of one task run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// Total run seconds: remaining work plus checkpoint overhead.
+    pub duration: f64,
+    /// Planned checkpoints, in offset order.
+    pub checkpoints: Vec<PlannedCheckpoint>,
+}
+
+/// A persisted snapshot of one task's progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskCheckpoint {
+    /// The task.
+    pub task: TaskId,
+    /// Per-task sequence number, assigned by the store.
+    pub seq: u64,
+    /// Completed fraction of the task's work in [0, 1].
+    pub progress: f64,
+    /// Time (clock seconds) the checkpoint was written.
+    pub taken_at: f64,
+    /// Hosts holding a copy; the checkpoint is usable while any one of
+    /// them is reachable.
+    pub stored_on: Vec<String>,
+    /// Produced-output payloads by out-port index (dataflow tasks), so a
+    /// fully checkpointed task can re-deliver without re-executing.
+    pub outputs: BTreeMap<usize, Bytes>,
+    /// Consistent DSM page capture (DSM-mode tasks).
+    pub dsm: Option<DsmSnapshot>,
+}
+
+impl TaskCheckpoint {
+    /// Checkpoint of `task` at `progress`, written at `taken_at` with
+    /// copies on `stored_on`.
+    pub fn new(task: TaskId, progress: f64, taken_at: f64, stored_on: Vec<String>) -> Self {
+        TaskCheckpoint {
+            task,
+            seq: 0,
+            progress,
+            taken_at,
+            stored_on,
+            outputs: BTreeMap::new(),
+            dsm: None,
+        }
+    }
+
+    /// Attach produced-output payloads.
+    pub fn with_outputs(mut self, outputs: BTreeMap<usize, Bytes>) -> Self {
+        self.outputs = outputs;
+        self
+    }
+
+    /// Attach a DSM snapshot.
+    pub fn with_dsm(mut self, snap: DsmSnapshot) -> Self {
+        self.dsm = Some(snap);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    by_task: BTreeMap<TaskId, Vec<TaskCheckpoint>>,
+    taken: u64,
+}
+
+/// Shared, append-only checkpoint store. Clones share the store (like
+/// [`crate::events::EventLog`]).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl CheckpointStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persist `cp`, assigning its per-task sequence number; returns the
+    /// sequence assigned.
+    pub fn record(&self, mut cp: TaskCheckpoint) -> u64 {
+        let mut inner = self.inner.lock();
+        let seqs = inner.by_task.entry(cp.task).or_default();
+        let seq = seqs.len() as u64;
+        cp.seq = seq;
+        seqs.push(cp);
+        inner.taken += 1;
+        seq
+    }
+
+    /// The newest checkpoint of `task`, regardless of reachability.
+    pub fn latest(&self, task: TaskId) -> Option<TaskCheckpoint> {
+        self.inner.lock().by_task.get(&task).and_then(|v| v.last().cloned())
+    }
+
+    /// The newest checkpoint of `task` with at least one reachable
+    /// replica. A checkpoint stored only on unreachable (crashed or
+    /// quarantined) hosts is skipped and the next-newest is considered —
+    /// `None` means restart-from-zero.
+    pub fn latest_valid(
+        &self,
+        task: TaskId,
+        reachable: impl Fn(&str) -> bool,
+    ) -> Option<TaskCheckpoint> {
+        self.inner
+            .lock()
+            .by_task
+            .get(&task)
+            .and_then(|v| v.iter().rev().find(|cp| cp.stored_on.iter().any(|h| reachable(h))))
+            .cloned()
+    }
+
+    /// Every checkpoint of `task`, in sequence order.
+    pub fn checkpoints_for(&self, task: TaskId) -> Vec<TaskCheckpoint> {
+        self.inner.lock().by_task.get(&task).cloned().unwrap_or_default()
+    }
+
+    /// Drop every checkpoint of `task` (e.g. after final completion).
+    pub fn forget(&self, task: TaskId) {
+        self.inner.lock().by_task.remove(&task);
+    }
+
+    /// Checkpoints recorded over the store's lifetime (survives
+    /// [`CheckpointStore::forget`]).
+    pub fn taken_total(&self) -> u64 {
+        self.inner.lock().taken
+    }
+
+    /// Tasks currently holding at least one checkpoint.
+    pub fn tasks_with_checkpoints(&self) -> usize {
+        self.inner.lock().by_task.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn disabled_policy_plans_no_checkpoints() {
+        let p = CheckpointPolicy::disabled();
+        assert!(!p.is_enabled());
+        let plan = p.run_plan(100.0, 0.0);
+        assert!(plan.checkpoints.is_empty());
+        assert_eq!(plan.duration, 100.0);
+        let plan = p.run_plan(100.0, 0.4);
+        assert!((plan.duration - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_plan_spaces_checkpoints_by_interval() {
+        let p = CheckpointPolicy::every(0.25, 0.02);
+        let plan = p.run_plan(100.0, 0.0);
+        // Boundaries at 25/50/75% of work; the one at 100% is useless.
+        assert_eq!(plan.checkpoints.len(), 3);
+        let offsets: Vec<f64> = plan.checkpoints.iter().map(|c| c.offset).collect();
+        assert_eq!(offsets, vec![27.0, 54.0, 81.0]);
+        let progress: Vec<f64> = plan.checkpoints.iter().map(|c| c.progress).collect();
+        assert_eq!(progress, vec![0.25, 0.5, 0.75]);
+        assert!(plan.checkpoints.iter().all(|c| (c.cost - 2.0).abs() < 1e-12));
+        assert!((plan.duration - 106.0).abs() < 1e-12, "100s work + 3 × 2s writes");
+    }
+
+    #[test]
+    fn run_plan_resumes_past_completed_intervals() {
+        let p = CheckpointPolicy::every(0.25, 0.02);
+        let plan = p.run_plan(100.0, 0.5);
+        assert_eq!(plan.checkpoints.len(), 1, "only the 75% boundary remains");
+        assert!((plan.checkpoints[0].progress - 0.75).abs() < 1e-12);
+        assert!((plan.duration - 52.0).abs() < 1e-12, "50s remaining + one 2s write");
+        // Fully resumed: nothing left to do.
+        let done = p.run_plan(100.0, 1.0);
+        assert_eq!(done.duration, 0.0);
+        assert!(done.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn store_assigns_sequences_and_tracks_totals() {
+        let store = CheckpointStore::new();
+        let s0 = store.record(TaskCheckpoint::new(tid(0), 0.25, 1.0, vec!["a".into()]));
+        let s1 = store.record(TaskCheckpoint::new(tid(0), 0.5, 2.0, vec!["a".into()]));
+        let s2 = store.record(TaskCheckpoint::new(tid(1), 0.25, 1.0, vec!["b".into()]));
+        assert_eq!((s0, s1, s2), (0, 1, 0));
+        assert_eq!(store.taken_total(), 3);
+        assert_eq!(store.tasks_with_checkpoints(), 2);
+        assert_eq!(store.latest(tid(0)).unwrap().progress, 0.5);
+        store.forget(tid(0));
+        assert_eq!(store.tasks_with_checkpoints(), 1);
+        assert_eq!(store.taken_total(), 3, "lifetime counter survives forget");
+    }
+
+    #[test]
+    fn latest_valid_falls_back_past_unreachable_replicas() {
+        let store = CheckpointStore::new();
+        store.record(TaskCheckpoint::new(tid(0), 0.25, 1.0, vec!["alive".into()]));
+        store.record(TaskCheckpoint::new(tid(0), 0.5, 2.0, vec!["dead".into()]));
+        // Newest checkpoint sits on the dead host: fall back to 0.25.
+        let cp = store.latest_valid(tid(0), |h| h != "dead").unwrap();
+        assert_eq!(cp.progress, 0.25);
+        // Any replica reachable keeps a checkpoint usable.
+        store.record(TaskCheckpoint::new(tid(0), 0.75, 3.0, vec!["dead".into(), "alive".into()]));
+        let cp = store.latest_valid(tid(0), |h| h != "dead").unwrap();
+        assert_eq!(cp.progress, 0.75);
+        // Everything unreachable: restart from zero.
+        assert!(store.latest_valid(tid(0), |_| false).is_none());
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let store = CheckpointStore::new();
+        let clone = store.clone();
+        clone.record(TaskCheckpoint::new(tid(3), 1.0, 4.0, vec!["h".into()]));
+        assert_eq!(store.taken_total(), 1);
+        assert!(store.latest(tid(3)).is_some());
+    }
+}

@@ -92,6 +92,26 @@ pub enum RuntimeEvent {
         /// Retry attempt number (0-based).
         attempt: u32,
     },
+    /// A checkpoint of a task's progress was persisted.
+    CheckpointTaken {
+        /// The task.
+        task: TaskId,
+        /// Checkpoint sequence number (0-based per task).
+        seq: u64,
+        /// Completed fraction of the task's work in [0, 1].
+        progress: f64,
+        /// Host the checkpoint was written on.
+        host: String,
+    },
+    /// A task resumed from a checkpoint instead of restarting from zero.
+    TaskResumed {
+        /// The task.
+        task: TaskId,
+        /// Completed fraction restored from the checkpoint.
+        progress: f64,
+        /// Host it resumed on.
+        host: String,
+    },
     /// A host entered the dead-host quarantine.
     HostQuarantined {
         /// Host name.

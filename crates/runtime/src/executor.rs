@@ -20,7 +20,8 @@
 //! relocate the task to different hosts (threshold rescheduling, §4.1) or
 //! abort it.
 
-use crate::data_manager::{DataManager, DataReceiver, DataSender};
+use crate::checkpoint::{CheckpointPolicy, CheckpointStore, TaskCheckpoint};
+use crate::data_manager::{ChannelId, DataManager, DataReceiver, DataSender};
 use crate::events::{EventLog, RuntimeEvent};
 use crate::kernels::run_kernel_parallel;
 use crate::recovery::BackoffPolicy;
@@ -29,7 +30,7 @@ use crate::site_manager::ControlMessage;
 use bytes::Bytes;
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 use vdce_afg::{Afg, TaskId};
@@ -122,12 +123,30 @@ pub struct ExecutorConfig {
     /// errors). The default never retries, preserving fail-fast
     /// semantics; recovery-aware callers opt in.
     pub retry: BackoffPolicy,
+    /// Checkpoint cadence. Disabled by default; has effect only when an
+    /// execution also supplies a [`CheckpointContext`].
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        ExecutorConfig { input_timeout: Duration::from_secs(30), retry: BackoffPolicy::none() }
+        ExecutorConfig {
+            input_timeout: Duration::from_secs(30),
+            retry: BackoffPolicy::none(),
+            checkpoint: CheckpointPolicy::disabled(),
+        }
     }
+}
+
+/// Checkpoint wiring for one execution: the store checkpoints are
+/// written to and resumed from, plus the reachability predicate used to
+/// validate stored replicas (a checkpoint whose every copy sits on an
+/// unreachable — crashed or quarantined — host is unusable).
+pub struct CheckpointContext<'a> {
+    /// The durable checkpoint store.
+    pub store: &'a CheckpointStore,
+    /// Is a replica host currently reachable?
+    pub reachable: &'a (dyn Fn(&str) -> bool + Sync),
 }
 
 /// Execute a scheduled application. See the module docs for semantics.
@@ -178,10 +197,34 @@ pub fn execute_with_locks(
     config: &ExecutorConfig,
     registry: &HostLockRegistry,
 ) -> ExecutionOutcome {
+    execute_full(afg, table, dm, io, console, gate, log, clock, completions, config, registry, None)
+}
+
+/// [`execute_with_locks`] plus optional checkpoint-restart wiring: with a
+/// [`CheckpointContext`], each task first consults the store for its
+/// newest valid checkpoint (a fully checkpointed task re-delivers its
+/// recorded outputs instead of re-executing), and successful kernel runs
+/// are checkpointed when `config.checkpoint` is enabled.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_full(
+    afg: &Afg,
+    table: &AllocationTable,
+    dm: &DataManager,
+    io: &IoService,
+    console: &ConsoleService,
+    gate: &dyn StartGate,
+    log: &EventLog,
+    clock: &dyn Clock,
+    completions: Option<Sender<ControlMessage>>,
+    config: &ExecutorConfig,
+    registry: &HostLockRegistry,
+    checkpoint: Option<&CheckpointContext<'_>>,
+) -> ExecutionOutcome {
     let n = afg.task_count();
+    let app_id = table as *const _ as u64;
     // Data-Manager channels, one per edge.
     let (senders, receivers) = dm
-        .open_all(table as *const _ as u64, afg.edge_count())
+        .open_all(app_id, afg.edge_count())
         .expect("channel setup (in-proc/loopback) cannot fail here");
 
     // Route channel halves to their tasks.
@@ -224,6 +267,9 @@ pub fn execute_with_locks(
                     host_locks,
                     completions,
                     config,
+                    dm,
+                    app_id,
+                    checkpoint,
                 );
                 *records[task.index()].lock() = Some(record);
             });
@@ -269,12 +315,60 @@ fn run_task(
     host_locks: HostLockRegistry,
     completions: Option<Sender<ControlMessage>>,
     config: &ExecutorConfig,
+    dm: &DataManager,
+    app_id: u64,
+    checkpoint: Option<&CheckpointContext<'_>>,
 ) -> TaskRunRecord {
     let node = afg.task(task);
     let fail = |start: f64, finish: f64, hosts: Vec<String>, why: String| {
         log.record(finish, RuntimeEvent::TaskFailed { task, reason: why.clone() });
         TaskRunRecord { task, hosts, start, finish, ok: false, error: Some(why) }
     };
+
+    // 0. Checkpoint-restart: a fully checkpointed task never re-executes.
+    //    Its recorded outputs are re-delivered (downstream tasks cannot
+    //    tell the difference) and the run is reported as resumed. A
+    //    checkpoint whose replicas are all unreachable is skipped by
+    //    `latest_valid` and the task runs normally.
+    if let Some(ctx) = checkpoint {
+        if let Some(cp) = ctx.store.latest_valid(task, |h| (ctx.reachable)(h)) {
+            if cp.progress >= 1.0 - 1e-9 {
+                let start = clock.now();
+                log.record(
+                    start,
+                    RuntimeEvent::TaskResumed {
+                        task,
+                        progress: cp.progress,
+                        host: cp.stored_on.first().cloned().unwrap_or_default(),
+                    },
+                );
+                for (edge_idx, tx) in &outputs {
+                    let edge = &afg.edges[*edge_idx];
+                    let payload =
+                        cp.outputs.get(&edge.from_port.index()).cloned().unwrap_or_default();
+                    if tx.send(payload).is_err() {
+                        // Consumer died; its own record will say why.
+                    }
+                    dm.mark_produced(ChannelId { app: app_id, edge: *edge_idx });
+                }
+                for (i, spec) in node.props.outputs.iter().enumerate() {
+                    if let Some(data) = cp.outputs.get(&i) {
+                        io.store_output(spec, data);
+                    }
+                }
+                let finish = clock.now();
+                log.record(finish, RuntimeEvent::TaskFinished { task, seconds: 0.0 });
+                return TaskRunRecord {
+                    task,
+                    hosts: cp.stored_on.clone(),
+                    start,
+                    finish,
+                    ok: true,
+                    error: None,
+                };
+            }
+        }
+    }
 
     // 1. Gather inputs: dataflow frames from channels, file/URL payloads
     //    from the I/O service.
@@ -384,18 +478,42 @@ fn run_task(
             }
         };
 
-        // 6. Deliver outputs: dataflow frames per out-edge, file/URL
-        //    stores.
+        // 6. Deliver outputs: dataflow frames per out-edge (marked as
+        //    produced in the Data Manager), file/URL stores.
         for (edge_idx, tx) in &outputs {
             let edge = &afg.edges[*edge_idx];
             let payload = out_payloads.get(edge.from_port.index()).cloned().unwrap_or_default();
             if tx.send(payload).is_err() {
                 // Consumer died; its own record will say why.
             }
+            dm.mark_produced(ChannelId { app: app_id, edge: *edge_idx });
         }
         for (i, spec) in node.props.outputs.iter().enumerate() {
             if let Some(data) = out_payloads.get(i) {
                 io.store_output(spec, data);
+            }
+        }
+
+        // 6b. Checkpoint the completed run: progress 1.0 plus the
+        //     produced outputs, stored on the hosts that ran the task, so
+        //     a re-execution (crash recovery, app restart) resumes here
+        //     instead of re-running the kernel.
+        if let Some(ctx) = checkpoint {
+            if config.checkpoint.is_enabled() {
+                let outputs_map: BTreeMap<usize, Bytes> =
+                    out_payloads.iter().cloned().enumerate().collect();
+                let cp =
+                    TaskCheckpoint::new(task, 1.0, finish, hosts.clone()).with_outputs(outputs_map);
+                let seq = ctx.store.record(cp);
+                log.record(
+                    finish,
+                    RuntimeEvent::CheckpointTaken {
+                        task,
+                        seq,
+                        progress: 1.0,
+                        host: hosts.first().cloned().unwrap_or_default(),
+                    },
+                );
             }
         }
 
@@ -645,6 +763,7 @@ mod tests {
             &ExecutorConfig {
                 input_timeout: Duration::from_secs(5),
                 retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 4 },
+                ..ExecutorConfig::default()
             },
         );
         assert!(out.success, "{:?}", out.records);
@@ -681,6 +800,7 @@ mod tests {
             &ExecutorConfig {
                 input_timeout: Duration::from_millis(200),
                 retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 2 },
+                ..ExecutorConfig::default()
             },
         );
         assert!(!out.success);
@@ -727,6 +847,7 @@ mod tests {
             &ExecutorConfig {
                 input_timeout: Duration::from_millis(200),
                 retry: BackoffPolicy { base_s: 0.001, factor: 1.0, max_s: 0.001, max_retries: 1 },
+                ..ExecutorConfig::default()
             },
         );
         assert!(!out.success, "singular LU fails on every host");
@@ -799,6 +920,133 @@ mod tests {
         assert!(out.success);
         assert!(out.wall_seconds >= 0.0);
         assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+    }
+
+    #[test]
+    fn checkpointed_rerun_skips_completed_tasks() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let store = CheckpointStore::new();
+        let reachable = |_: &str| true;
+        let ctx = CheckpointContext { store: &store, reachable: &reachable };
+        let config = ExecutorConfig {
+            checkpoint: CheckpointPolicy::every(0.5, 0.0),
+            ..ExecutorConfig::default()
+        };
+
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let out = execute_full(
+            &afg,
+            &table,
+            &dm,
+            &io,
+            &console,
+            &AlwaysProceed,
+            &log,
+            &clock,
+            None,
+            &config,
+            &HostLockRegistry::new(),
+            Some(&ctx),
+        );
+        assert!(out.success, "{:?}", out.records);
+        assert_eq!(store.taken_total(), 3, "every completed task checkpointed");
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::CheckpointTaken { .. })), 3);
+        assert_eq!(dm.produced_count(), 2, "both edges marked produced");
+
+        // Second execution with the same store: no completed work is
+        // re-executed — every task resumes from its full checkpoint.
+        let log2 = EventLog::new();
+        let dm2 = DataManager::new(Transport::InProc, log2.clone());
+        let console2 = ConsoleService::new(log2.clone());
+        let out2 = execute_full(
+            &afg,
+            &table,
+            &dm2,
+            &io,
+            &console2,
+            &AlwaysProceed,
+            &log2,
+            &clock,
+            None,
+            &config,
+            &HostLockRegistry::new(),
+            Some(&ctx),
+        );
+        assert!(out2.success, "{:?}", out2.records);
+        assert_eq!(
+            log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            0,
+            "no kernel re-executed past its checkpoint"
+        );
+        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+        assert_eq!(dm2.produced_count(), 2, "resumed tasks re-deliver produced outputs");
+    }
+
+    #[test]
+    fn unreachable_checkpoint_replicas_force_reexecution() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let store = CheckpointStore::new();
+        let config = ExecutorConfig {
+            checkpoint: CheckpointPolicy::every(0.5, 0.0),
+            ..ExecutorConfig::default()
+        };
+
+        // First run checkpoints everything on h0.
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let reachable = |_: &str| true;
+        let ctx = CheckpointContext { store: &store, reachable: &reachable };
+        assert!(
+            execute_full(
+                &afg,
+                &table,
+                &dm,
+                &io,
+                &console,
+                &AlwaysProceed,
+                &log,
+                &clock,
+                None,
+                &config,
+                &HostLockRegistry::new(),
+                Some(&ctx),
+            )
+            .success
+        );
+
+        // h0 "crashed": its checkpoints are unusable, so the rerun
+        // executes every task from scratch.
+        let log2 = EventLog::new();
+        let dm2 = DataManager::new(Transport::InProc, log2.clone());
+        let console2 = ConsoleService::new(log2.clone());
+        let h0_down = |h: &str| h != "h0";
+        let ctx2 = CheckpointContext { store: &store, reachable: &h0_down };
+        let out2 = execute_full(
+            &afg,
+            &table,
+            &dm2,
+            &io,
+            &console2,
+            &AlwaysProceed,
+            &log2,
+            &clock,
+            None,
+            &config,
+            &HostLockRegistry::new(),
+            Some(&ctx2),
+        );
+        assert!(out2.success, "{:?}", out2.records);
+        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 0);
+        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })), 3);
     }
 
     #[test]

@@ -29,12 +29,15 @@
 //! database points at; see DESIGN.md §3). [`executor`] runs a scheduled
 //! application. [`services`] provides the user-requested I/O, console
 //! (suspend/restart) and visualization services. [`events`] is the
-//! runtime event log the visualization service renders.
+//! runtime event log the visualization service renders. [`checkpoint`]
+//! persists task progress so recovery resumes from the latest valid
+//! checkpoint instead of restarting from zero (DESIGN.md §11).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod app_controller;
+pub mod checkpoint;
 pub mod data_manager;
 pub mod events;
 pub mod executor;
@@ -47,9 +50,12 @@ pub mod services;
 pub mod site_manager;
 
 pub use app_controller::{AppController, AppControllerConfig, ExecutionReport, ThresholdGate};
+pub use checkpoint::{
+    CheckpointPolicy, CheckpointStore, PlannedCheckpoint, RunPlan, TaskCheckpoint,
+};
 pub use data_manager::{ChannelId, DataManager, Transport};
 pub use events::{EventLog, RuntimeEvent};
-pub use executor::{execute_with_locks, HostLockRegistry};
+pub use executor::{execute_full, execute_with_locks, HostLockRegistry};
 pub use kernels::run_kernel;
 pub use monitor::{LoadProbe, MonitorDaemon, MonitorReport, SyntheticProbe};
 pub use net_monitor::{LinkProbe, NetworkMonitor, SyntheticLinkProbe};

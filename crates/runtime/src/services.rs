@@ -258,6 +258,12 @@ impl VisualizationService {
                 }
                 RuntimeEvent::HostQuarantined { host } => ("host_quarantined", host.clone()),
                 RuntimeEvent::HostReadmitted { host } => ("host_readmitted", host.clone()),
+                RuntimeEvent::CheckpointTaken { task, seq, progress, host } => {
+                    ("checkpoint_taken", format!("{task}#{seq}@{host}:{progress:.2}"))
+                }
+                RuntimeEvent::TaskResumed { task, progress, host } => {
+                    ("task_resumed", format!("{task}@{host}:{progress:.2}"))
+                }
             };
             let _ = writeln!(out, "{t:.6},{name},{detail}");
         }

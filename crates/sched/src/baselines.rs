@@ -111,10 +111,22 @@ pub fn random_schedule(
     predictor: &Predictor,
     seed: u64,
 ) -> Result<AllocationTable, SchedulingError> {
+    random_schedule_cached(afg, views, predictor, seed, &PredictCache::new())
+}
+
+/// [`random_schedule`] against a caller-supplied [`PredictCache`], so a
+/// comparison harness can share one memo table across every algorithm it
+/// runs (they all probe the same (task, size, host) keys).
+pub fn random_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    predictor: &Predictor,
+    seed: u64,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = AllocationTable::new(afg.name.clone());
-    let cache = PredictCache::new();
-    let all = all_options(afg, views, predictor, &cache);
+    let all = all_options(afg, views, predictor, cache);
     for task in afg.task_ids() {
         let opts = &all[task.index()];
         if opts.is_empty() {
@@ -133,9 +145,18 @@ pub fn round_robin_schedule(
     views: &[&SiteView],
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
+    round_robin_schedule_cached(afg, views, predictor, &PredictCache::new())
+}
+
+/// [`round_robin_schedule`] against a caller-supplied [`PredictCache`].
+pub fn round_robin_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
     let mut table = AllocationTable::new(afg.name.clone());
     let mut cursor = 0usize;
-    let cache = PredictCache::new();
     // Stable global host order: (view order, host name order).
     let mut slots: Vec<(usize, &str)> = Vec::new();
     for (vi, v) in views.iter().enumerate() {
@@ -184,10 +205,19 @@ pub fn local_only_schedule(
     local: &SiteView,
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
+    local_only_schedule_cached(afg, local, predictor, &PredictCache::new())
+}
+
+/// [`local_only_schedule`] against a caller-supplied [`PredictCache`].
+pub fn local_only_schedule_cached(
+    afg: &Afg,
+    local: &SiteView,
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
     let views = [local];
     let mut table = AllocationTable::new(afg.name.clone());
-    let cache = PredictCache::new();
-    let all = all_options(afg, &views, predictor, &cache);
+    let all = all_options(afg, &views, predictor, cache);
     for task in afg.task_ids() {
         let best = all[task.index()]
             .iter()
@@ -233,11 +263,11 @@ fn completion_time_schedule(
     net: &NetworkModel,
     predictor: &Predictor,
     pick_max: bool,
+    cache: &PredictCache,
 ) -> Result<AllocationTable, SchedulingError> {
     // Options are placement-independent: enumerate them once up front
     // instead of re-predicting for every ready task on every round.
-    let cache = PredictCache::new();
-    let all = all_options(afg, views, predictor, &cache);
+    let all = all_options(afg, views, predictor, cache);
     let xfer = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -313,7 +343,18 @@ pub fn min_min_schedule(
     net: &NetworkModel,
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
-    completion_time_schedule(afg, views, net, predictor, false)
+    completion_time_schedule(afg, views, net, predictor, false, &PredictCache::new())
+}
+
+/// [`min_min_schedule`] against a caller-supplied [`PredictCache`].
+pub fn min_min_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
+    completion_time_schedule(afg, views, net, predictor, false, cache)
 }
 
 /// Max-min completion-time heuristic.
@@ -323,7 +364,18 @@ pub fn max_min_schedule(
     net: &NetworkModel,
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
-    completion_time_schedule(afg, views, net, predictor, true)
+    completion_time_schedule(afg, views, net, predictor, true, &PredictCache::new())
+}
+
+/// [`max_min_schedule`] against a caller-supplied [`PredictCache`].
+pub fn max_min_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
+    completion_time_schedule(afg, views, net, predictor, true, cache)
 }
 
 /// HEFT (without insertion): rank tasks by *b-level* (computation + mean
@@ -334,6 +386,17 @@ pub fn heft_schedule(
     views: &[&SiteView],
     net: &NetworkModel,
     predictor: &Predictor,
+) -> Result<AllocationTable, SchedulingError> {
+    heft_schedule_cached(afg, views, net, predictor, &PredictCache::new())
+}
+
+/// [`heft_schedule`] against a caller-supplied [`PredictCache`].
+pub fn heft_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+    cache: &PredictCache,
 ) -> Result<AllocationTable, SchedulingError> {
     // Mean computation cost across all feasible hosts approximates the
     // host-independent cost HEFT ranks on; we reuse base times.
@@ -369,8 +432,7 @@ pub fn heft_schedule(
     // parent/child pairs): walk and push parents before children.
     let order = topo_consistent(afg, order);
 
-    let cache = PredictCache::new();
-    let all = all_options(afg, views, predictor, &cache);
+    let all = all_options(afg, views, predictor, cache);
     let xfer = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -412,6 +474,17 @@ pub fn heft_insertion_schedule(
     net: &NetworkModel,
     predictor: &Predictor,
 ) -> Result<AllocationTable, SchedulingError> {
+    heft_insertion_schedule_cached(afg, views, net, predictor, &PredictCache::new())
+}
+
+/// [`heft_insertion_schedule`] against a caller-supplied [`PredictCache`].
+pub fn heft_insertion_schedule_cached(
+    afg: &Afg,
+    views: &[&SiteView],
+    net: &NetworkModel,
+    predictor: &Predictor,
+    cache: &PredictCache,
+) -> Result<AllocationTable, SchedulingError> {
     let tasks_db = &views.first().ok_or_else(|| no_feasible(afg, TaskId(0)))?.tasks;
     let sites = net.site_count();
     let mut mean_rate = 0.0;
@@ -435,8 +508,7 @@ pub fn heft_insertion_schedule(
     });
     let order = topo_consistent(afg, order);
 
-    let cache = PredictCache::new();
-    let all = all_options(afg, views, predictor, &cache);
+    let all = all_options(afg, views, predictor, cache);
     let xfer_cache = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -745,6 +817,44 @@ mod tests {
         let r1 = priorities(&afg, PriorityOrder::Random(3), &views);
         let r2 = priorities(&afg, PriorityOrder::Random(3), &views);
         assert_eq!(r1, r2);
+    }
+
+    /// A single shared [`PredictCache`] across every algorithm must give
+    /// the exact tables the per-algorithm private caches give — the memo
+    /// is keyed on (task, size, host) only, never on placement state.
+    #[test]
+    fn shared_cache_reproduces_private_cache_tables() {
+        let (afg, local, remote, net, p) = setup();
+        let views = [&local, &remote];
+        let shared = PredictCache::new();
+        assert_eq!(
+            random_schedule(&afg, &views, &p, 7).unwrap(),
+            random_schedule_cached(&afg, &views, &p, 7, &shared).unwrap()
+        );
+        assert_eq!(
+            round_robin_schedule(&afg, &views, &p).unwrap(),
+            round_robin_schedule_cached(&afg, &views, &p, &shared).unwrap()
+        );
+        assert_eq!(
+            local_only_schedule(&afg, &local, &p).unwrap(),
+            local_only_schedule_cached(&afg, &local, &p, &shared).unwrap()
+        );
+        assert_eq!(
+            min_min_schedule(&afg, &views, &net, &p).unwrap(),
+            min_min_schedule_cached(&afg, &views, &net, &p, &shared).unwrap()
+        );
+        assert_eq!(
+            max_min_schedule(&afg, &views, &net, &p).unwrap(),
+            max_min_schedule_cached(&afg, &views, &net, &p, &shared).unwrap()
+        );
+        assert_eq!(
+            heft_schedule(&afg, &views, &net, &p).unwrap(),
+            heft_schedule_cached(&afg, &views, &net, &p, &shared).unwrap()
+        );
+        assert_eq!(
+            heft_insertion_schedule(&afg, &views, &net, &p).unwrap(),
+            heft_insertion_schedule_cached(&afg, &views, &net, &p, &shared).unwrap()
+        );
     }
 
     #[test]

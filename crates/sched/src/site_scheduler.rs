@@ -60,6 +60,14 @@ pub struct SchedulerConfig {
     /// "Parallel scheduling architecture", and the `prop_sched`
     /// determinism property test).
     pub sequential: bool,
+    /// Recovery-aware placement (DESIGN.md §11): spread *critical-path*
+    /// tasks (level ≥ 0.75 × max level) across distinct hosts when a
+    /// near-optimal alternative exists. Among candidate sites whose
+    /// `Timetotal` is within 1.10× of the best, prefer one whose chosen
+    /// hosts are disjoint from every previously placed critical task, so
+    /// a single host crash cannot take out the whole critical path. The
+    /// paper's algorithm has this `false`.
+    pub spread_critical: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -70,6 +78,7 @@ impl Default for SchedulerConfig {
             parallel: ParallelModel::default(),
             ignore_transfer_time: false,
             sequential: false,
+            spread_critical: false,
         }
     }
 }
@@ -161,6 +170,7 @@ pub fn site_schedule(
         net,
         config.ignore_transfer_time,
         config.sequential,
+        config.spread_critical,
     )
 }
 
@@ -174,7 +184,7 @@ pub fn schedule_with_outputs(
     outputs: &[HostSelectionOutput],
     net: &NetworkModel,
 ) -> Result<AllocationTable, SchedulingError> {
-    schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false)
+    schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false, false)
 }
 
 /// [`schedule_with_outputs`] with the transfer-term ablation knob.
@@ -186,7 +196,16 @@ pub fn schedule_with_outputs_opts(
     net: &NetworkModel,
     ignore_transfer_time: bool,
 ) -> Result<AllocationTable, SchedulingError> {
-    schedule_with_outputs_full(afg, levels, local_site, outputs, net, ignore_transfer_time, false)
+    schedule_with_outputs_full(
+        afg,
+        levels,
+        local_site,
+        outputs,
+        net,
+        ignore_transfer_time,
+        false,
+        false,
+    )
 }
 
 /// Key of the heap-based ready list: pop order is "highest level first,
@@ -269,8 +288,12 @@ impl ReadyList {
     }
 }
 
-/// [`schedule_with_outputs`] with both knobs: the transfer-term ablation
-/// and the sequential-reference switch.
+/// [`schedule_with_outputs`] with every knob: the transfer-term ablation,
+/// the sequential-reference switch, and recovery-aware critical-path
+/// spreading. Both the sequential and the parallel scheduler path funnel
+/// through this function, so the spreading decision is bit-identical
+/// across the two.
+#[allow(clippy::too_many_arguments)]
 pub fn schedule_with_outputs_full(
     afg: &Afg,
     levels: &[f64],
@@ -279,9 +302,17 @@ pub fn schedule_with_outputs_full(
     net: &NetworkModel,
     ignore_transfer_time: bool,
     sequential: bool,
+    spread_critical: bool,
 ) -> Result<AllocationTable, SchedulingError> {
     let mut table = AllocationTable::new(afg.name.clone());
     let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
+
+    // Critical-path spreading (DESIGN.md §11): a task is *critical* when
+    // its level is within the top quarter of the level range; the hosts
+    // already serving critical tasks accumulate here.
+    let max_level = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let critical_floor = 0.75 * max_level;
+    let mut critical_hosts: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
 
     // Optimised path: snapshot the link matrix once; `transfer_time` on
     // the snapshot is bit-identical to the model's.
@@ -326,8 +357,13 @@ pub fn schedule_with_outputs_full(
             }
         }
 
-        // Candidate (site, choice) pairs.
+        let is_critical = spread_critical && levels[task.index()] >= critical_floor - 1e-12;
+
+        // Candidate (site, choice) pairs. `best` is Figure 2's argmin;
+        // `best_spread` additionally requires the chosen hosts to be
+        // disjoint from every previously placed critical task's hosts.
         let mut best: Option<(SiteId, &TaskHostChoice, f64)> = None;
+        let mut best_spread: Option<(SiteId, &TaskHostChoice, f64)> = None;
         for (site, by_task) in &per_site {
             let Some(choice) = by_task[task.index()] else { continue };
             // Σ over in-edges of transfer from the parent's site (empty
@@ -340,21 +376,38 @@ pub fn schedule_with_outputs_full(
                 };
             }
             let total = xfer + choice.predicted_seconds;
-            let better = match best {
+            let better = |prev: &Option<(SiteId, &TaskHostChoice, f64)>| match prev {
                 None => true,
                 Some((bsite, _, btotal)) => {
                     total < btotal - 1e-15
                         || ((total - btotal).abs() <= 1e-15
-                            && site_rank(*site, local_site) < site_rank(bsite, local_site))
+                            && site_rank(*site, local_site) < site_rank(*bsite, local_site))
                 }
             };
-            if better {
+            if better(&best) {
                 best = Some((*site, choice, total));
+            }
+            if is_critical
+                && choice.hosts.iter().all(|h| !critical_hosts.contains(h))
+                && better(&best_spread)
+            {
+                best_spread = Some((*site, choice, total));
+            }
+        }
+
+        // Recovery-aware preference: take the host-disjoint candidate
+        // when it costs at most 10% more than the unconstrained optimum.
+        if let (Some((_, _, btotal)), Some(spread)) = (&best, &best_spread) {
+            if spread.2 <= btotal * 1.10 + 1e-15 {
+                best = Some(*spread);
             }
         }
 
         let (site, choice, _) =
             best.ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+        if is_critical {
+            critical_hosts.extend(choice.hosts.iter().cloned());
+        }
         site_of_task[task.index()] = Some(site);
         table.insert(TaskPlacement {
             task,
@@ -616,11 +669,12 @@ mod tests {
         let net = NetworkModel::with_defaults(2);
         for tasks in [1_000u64, 100_000, 2_000_000] {
             let afg = chain_afg(tasks);
-            for ignore in [false, true] {
+            for (ignore, spread) in [(false, false), (true, false), (false, true), (true, true)] {
                 let seq = SchedulerConfig {
                     k_neighbours: 1,
                     ignore_transfer_time: ignore,
                     sequential: true,
+                    spread_critical: spread,
                     ..SchedulerConfig::default()
                 };
                 let par = SchedulerConfig { sequential: false, ..seq };
@@ -628,7 +682,7 @@ mod tests {
                     site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &seq).unwrap();
                 let b =
                     site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &par).unwrap();
-                assert_eq!(a, b, "tasks={tasks} ignore={ignore}");
+                assert_eq!(a, b, "tasks={tasks} ignore={ignore} spread={spread}");
                 for (pa, pb) in a.iter().zip(b.iter()) {
                     assert_eq!(
                         pa.predicted_seconds.to_bits(),
@@ -637,6 +691,69 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Two independent critical chains on two equally fast sites over a
+    /// near-free network: without spreading the local-site tie-break puts
+    /// both sources on the same host; with `spread_critical` the second
+    /// source moves to the host-disjoint alternative.
+    #[test]
+    fn spread_critical_separates_equal_cost_critical_tasks() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("twin", &lib);
+        let s0 = b.add_task("Source", "s0", 100_000).unwrap();
+        let k0 = b.add_task("Sink", "k0", 100_000).unwrap();
+        let s1 = b.add_task("Source", "s1", 100_000).unwrap();
+        let k1 = b.add_task("Sink", "k1", 100_000).unwrap();
+        b.connect(s0, 0, k0, 0).unwrap();
+        b.connect(s1, 0, k1, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let local = site_view(0, &[("l0", 2.0)]);
+        let remote = site_view(1, &[("r0", 2.0)]);
+        let mut net = NetworkModel::with_defaults(2);
+        for a in 0..2u16 {
+            for c in a..2u16 {
+                net.set_link(SiteId(a), SiteId(c), LinkParams::new(1e-9, 1e15));
+            }
+        }
+
+        let plain =
+            site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &cfg(1)).unwrap();
+        assert_eq!(plain.placement(s0).unwrap().site, plain.placement(s1).unwrap().site);
+
+        let spread = site_schedule(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &SchedulerConfig { spread_critical: true, ..cfg(1) },
+        )
+        .unwrap();
+        let h0 = &spread.placement(s0).unwrap().hosts;
+        let h1 = &spread.placement(s1).unwrap().hosts;
+        assert!(h0.iter().all(|h| !h1.contains(h)), "critical sources share a host: {h0:?} {h1:?}");
+    }
+
+    /// When no near-optimal disjoint candidate exists, spreading must not
+    /// degrade the placement: a 20× slower alternative is ignored.
+    #[test]
+    fn spread_critical_never_takes_a_far_worse_host() {
+        let local = site_view(0, &[("fast", 20.0)]);
+        let remote = site_view(1, &[("slow", 1.0)]);
+        let net = NetworkModel::with_defaults(2);
+        let afg = chain_afg(100_000);
+        let spread = site_schedule(
+            &afg,
+            &local,
+            &[remote],
+            &net,
+            &SchedulerConfig { spread_critical: true, ..cfg(1) },
+        )
+        .unwrap();
+        for p in spread.iter() {
+            assert_eq!(p.hosts, vec!["fast".to_string()]);
         }
     }
 

@@ -174,10 +174,51 @@ pub enum FaultEvent {
     },
 }
 
+/// Parameters of a Weibull-distributed transient-outage arrival process
+/// (the classic empirical fit for machine availability in shared
+/// networks: `shape < 1` models infant-mortality bursts, `shape > 1`
+/// wear-out clustering). Serializable so long-trace churn scenarios can
+/// be stored and diffed next to their plans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeibullArrivalSpec {
+    /// Weibull shape parameter `k` (> 0).
+    pub shape: f64,
+    /// Weibull scale parameter `λ` in virtual seconds (> 0).
+    pub scale: f64,
+    /// Stop generating once an arrival would land past this time.
+    pub horizon: f64,
+    /// Outage length of each generated fault, virtual seconds.
+    pub down_for: f64,
+    /// Hard cap on the number of generated faults.
+    pub max_faults: usize,
+}
+
 impl FaultPlan {
     /// Plan with no faults.
     pub fn empty() -> Self {
         FaultPlan { seed: 0, faults: Vec::new() }
+    }
+
+    /// Generate a churn plan whose outage inter-arrival times are
+    /// Weibull-distributed: `Δ = λ·(−ln(1−u))^(1/k)` (inverse-CDF
+    /// sampling), with victims drawn round-robin-with-jitter from
+    /// `hosts`. Pure function of `(seed, hosts, spec)` — the returned
+    /// plan replays bit-identically.
+    pub fn weibull_arrivals(seed: u64, hosts: &[String], spec: &WeibullArrivalSpec) -> Self {
+        assert!(spec.shape > 0.0 && spec.scale > 0.0, "Weibull parameters must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = Vec::new();
+        let mut t = 0.0f64;
+        while faults.len() < spec.max_faults && !hosts.is_empty() {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += spec.scale * (-(1.0 - u).ln()).powf(1.0 / spec.shape);
+            if t > spec.horizon {
+                break;
+            }
+            let host = hosts[rng.gen_range(0..hosts.len())].clone();
+            faults.push(Fault::TransientOutage { host, at: t, down_for: spec.down_for });
+        }
+        FaultPlan { seed, faults }
     }
 
     /// True when every fault clears on its own (no permanent crashes) —
@@ -376,6 +417,55 @@ mod tests {
         plan.faults.retain(Fault::is_transient);
         assert!(plan.is_all_transient());
         assert!(FaultPlan::empty().is_all_transient());
+    }
+
+    fn churn_spec() -> WeibullArrivalSpec {
+        WeibullArrivalSpec {
+            shape: 0.7,
+            scale: 12.0,
+            horizon: 200.0,
+            down_for: 5.0,
+            max_faults: 50,
+        }
+    }
+
+    #[test]
+    fn weibull_arrivals_are_deterministic_in_seed() {
+        let hosts = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let p1 = FaultPlan::weibull_arrivals(9, &hosts, &churn_spec());
+        let p2 = FaultPlan::weibull_arrivals(9, &hosts, &churn_spec());
+        let p3 = FaultPlan::weibull_arrivals(10, &hosts, &churn_spec());
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert!(!p1.faults.is_empty(), "λ=12 over a 200s horizon must produce arrivals");
+    }
+
+    #[test]
+    fn weibull_arrivals_are_monotone_transient_and_bounded() {
+        let hosts = vec!["a".to_string(), "b".to_string()];
+        let spec = churn_spec();
+        let plan = FaultPlan::weibull_arrivals(3, &hosts, &spec);
+        assert!(plan.is_all_transient());
+        assert!(plan.faults.len() <= spec.max_faults);
+        let times: Vec<f64> = plan.faults.iter().map(Fault::at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "arrival times increase");
+        assert!(times.iter().all(|t| *t > 0.0 && *t <= spec.horizon));
+        let capped =
+            FaultPlan::weibull_arrivals(3, &hosts, &WeibullArrivalSpec { max_faults: 2, ..spec });
+        assert!(capped.faults.len() <= 2);
+    }
+
+    #[test]
+    fn weibull_spec_round_trips_through_serde() {
+        let spec = churn_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WeibullArrivalSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // And a generated plan round-trips like any other plan.
+        let hosts = vec!["x".to_string()];
+        let plan = FaultPlan::weibull_arrivals(1, &hosts, &spec);
+        let back: FaultPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(back, plan);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use vdce_afg::level::{critical_path, level_map};
 use vdce_afg::Afg;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
+use vdce_predict::cache::PredictCache;
 use vdce_predict::model::Predictor;
 use vdce_repository::SiteRepository;
 use vdce_runtime::group::{FlagEcho, GroupManager};
@@ -103,6 +104,14 @@ pub fn compare_schedulers(
     let cp = critical_path(afg, cost).expect("acyclic");
     let predictor = Predictor::default();
 
+    // One memo table for every algorithm in the comparison: they all
+    // probe the same (task, size, host) prediction keys, so the first
+    // algorithm warms the cache for the rest. The memo is keyed on
+    // placement-independent inputs only, which keeps each algorithm's
+    // table bit-identical to its private-cache run (asserted by the
+    // `shared_cache_reproduces_private_cache_tables` test in vdce-sched).
+    let cache = PredictCache::new();
+
     let all_views: Vec<&SiteView> = std::iter::once(local).chain(remotes.iter()).collect();
     let mut rows = Vec::new();
     for kind in kinds {
@@ -111,18 +120,26 @@ pub fn compare_schedulers(
                 let cfg = SchedulerConfig { k_neighbours: *k, ..SchedulerConfig::default() };
                 site_schedule(afg, local, remotes, net, &cfg)
             }
-            SchedulerKind::LocalOnly => baselines::local_only_schedule(afg, local, &predictor),
+            SchedulerKind::LocalOnly => {
+                baselines::local_only_schedule_cached(afg, local, &predictor, &cache)
+            }
             SchedulerKind::Random(seed) => {
-                baselines::random_schedule(afg, &all_views, &predictor, *seed)
+                baselines::random_schedule_cached(afg, &all_views, &predictor, *seed, &cache)
             }
             SchedulerKind::RoundRobin => {
-                baselines::round_robin_schedule(afg, &all_views, &predictor)
+                baselines::round_robin_schedule_cached(afg, &all_views, &predictor, &cache)
             }
-            SchedulerKind::MinMin => baselines::min_min_schedule(afg, &all_views, net, &predictor),
-            SchedulerKind::MaxMin => baselines::max_min_schedule(afg, &all_views, net, &predictor),
-            SchedulerKind::Heft => baselines::heft_schedule(afg, &all_views, net, &predictor),
+            SchedulerKind::MinMin => {
+                baselines::min_min_schedule_cached(afg, &all_views, net, &predictor, &cache)
+            }
+            SchedulerKind::MaxMin => {
+                baselines::max_min_schedule_cached(afg, &all_views, net, &predictor, &cache)
+            }
+            SchedulerKind::Heft => {
+                baselines::heft_schedule_cached(afg, &all_views, net, &predictor, &cache)
+            }
             SchedulerKind::HeftInsertion => {
-                baselines::heft_insertion_schedule(afg, &all_views, net, &predictor)
+                baselines::heft_insertion_schedule_cached(afg, &all_views, net, &predictor, &cache)
             }
             SchedulerKind::VdceNoTransfer { k } => {
                 let cfg = SchedulerConfig {

@@ -96,8 +96,32 @@ pub struct RecoveryReport {
     pub tasks_completed: u64,
     /// Tasks that exhausted their retries (or had a failed ancestor).
     pub tasks_failed: u64,
+    /// Checkpoints recorded during the faulty replay (0 when the
+    /// checkpoint policy is disabled).
+    #[serde(default)]
+    pub checkpoints_taken: u64,
+    /// Total virtual seconds the faulty replay spent writing checkpoints.
+    #[serde(default)]
+    pub checkpoint_overhead: f64,
+    /// Progress fraction each migration restart resumed from, in restart
+    /// order — `0.0` entries are restart-from-zero (no valid checkpoint
+    /// survived), positive entries resumed mid-task.
+    #[serde(default)]
+    pub resumed_progress: Vec<f64>,
+    /// Of the work in flight when tasks were killed, the fraction
+    /// recovered from checkpoints instead of re-executed
+    /// (Σ resumed / Σ lost; `1.0` when nothing was ever lost).
+    #[serde(default = "one")]
+    pub recovered_work_fraction: f64,
     /// Per-fault outcomes, in plan order.
     pub faults: Vec<FaultOutcome>,
+}
+
+// Only referenced by the `serde(default = "one")` attribute above, which
+// the dead-code lint cannot see through.
+#[allow(dead_code)]
+fn one() -> f64 {
+    1.0
 }
 
 impl RecoveryReport {
@@ -111,6 +135,12 @@ impl RecoveryReport {
         let detected: Vec<f64> = self.faults.iter().filter_map(|f| f.detection_latency).collect();
         summarise(&detected).map(|s| s.mean)
     }
+
+    /// Mean progress fraction migration restarts resumed from; `None`
+    /// when nothing was ever restarted.
+    pub fn mean_resumed_progress(&self) -> Option<f64> {
+        summarise(&self.resumed_progress).map(|s| s.mean)
+    }
 }
 
 /// Render recovery reports as a table (one row per report).
@@ -122,6 +152,9 @@ pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
         "inflation",
         "migrations",
         "retries",
+        "ckpts",
+        "ckpt_ovh_s",
+        "recovered_work",
         "mean_detect_s",
         "recovered",
     ]);
@@ -133,6 +166,9 @@ pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
             format!("{:.3}", r.inflation),
             r.migrations.to_string(),
             r.retries.to_string(),
+            r.checkpoints_taken.to_string(),
+            format!("{:.4}", r.checkpoint_overhead),
+            format!("{:.3}", r.recovered_work_fraction),
             r.mean_detection_latency().map_or("-".into(), |m| format!("{m:.2}")),
             if r.recovered_all() { "yes".into() } else { "NO".into() },
         ]);

@@ -38,7 +38,7 @@ use vdce_runtime::group::{FlagEcho, GroupManager};
 use vdce_runtime::monitor::{MonitorDaemon, MonitorReport, SyntheticProbe};
 use vdce_runtime::net_monitor::{NetworkMonitor, SyntheticLinkProbe};
 use vdce_runtime::site_manager::{ControlMessage, SiteManager};
-use vdce_runtime::{BackoffPolicy, Quarantine};
+use vdce_runtime::{BackoffPolicy, CheckpointPolicy, CheckpointStore, Quarantine, TaskCheckpoint};
 use vdce_sched::{reselect_task, site_schedule, SchedulerConfig};
 
 /// Tunables of one replay.
@@ -57,6 +57,9 @@ pub struct ReplayConfig {
     pub backoff: BackoffPolicy,
     /// Scheduler used for the initial allocation.
     pub scheduler: SchedulerConfig,
+    /// Checkpoint policy every task runs under. Disabled by default —
+    /// the pre-checkpoint restart-from-zero behaviour, bit for bit.
+    pub checkpoint: CheckpointPolicy,
     /// Hard stop: the replay aborts (remaining tasks fail) at this
     /// virtual time.
     pub max_time: f64,
@@ -71,6 +74,7 @@ impl Default for ReplayConfig {
             load_threshold: 4.0,
             backoff: BackoffPolicy::default(),
             scheduler: SchedulerConfig::default(),
+            checkpoint: CheckpointPolicy::disabled(),
             max_time: 20_000.0,
         }
     }
@@ -148,6 +152,16 @@ pub struct ReplayOutcome {
     pub recovered: Vec<bool>,
     /// Hosts each task last ran on (empty when it never ran).
     pub final_hosts: Vec<Vec<String>>,
+    /// Checkpoints recorded (0 under a disabled policy).
+    pub checkpoints_taken: u64,
+    /// Virtual seconds spent on checkpoint writes across all runs.
+    pub checkpoint_overhead: f64,
+    /// Progress fraction each restart resumed from, in restart order
+    /// (`0.0` = restart-from-zero).
+    pub resumed_progress: Vec<f64>,
+    /// Σ resumed / Σ progress-lost-at-kill (`1.0` when nothing was
+    /// killed): how much in-flight work checkpoints salvaged.
+    pub recovered_work_fraction: f64,
 }
 
 /// One site's control-plane stack inside the replay.
@@ -285,6 +299,86 @@ pub fn replay(
     let mut migrations = 0u64;
     let mut retries = 0u64;
 
+    // --- Checkpoint bookkeeping (DESIGN.md §11). ------------------------
+    // Ground-truth host liveness from the fault-plan timeline (distinct
+    // from `dead`, which only fills once the control plane *detects* a
+    // failure): a checkpoint written while its host is actually down is
+    // lost, whether or not anyone has noticed yet.
+    let mut down_now: BTreeSet<String> = BTreeSet::new();
+    let store = CheckpointStore::new();
+    // Per task, for its current run: planned checkpoints still to flush
+    // as (absolute completion time, progress, cost), the resume fraction
+    // the run started from, its full work, and checkpoint cost already
+    // paid (needed to convert elapsed time back into progress on a kill).
+    let mut pending_ckpts: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); n];
+    let mut resume_from: Vec<f64> = vec![0.0; n];
+    let mut run_w: Vec<f64> = vec![0.0; n];
+    let mut done_ckpt_cost: Vec<f64> = vec![0.0; n];
+    let mut checkpoints_taken = 0u64;
+    let mut checkpoint_overhead = 0.0f64;
+    let mut resumed_progress: Vec<f64> = Vec::new();
+    let mut lost_progress_sum = 0.0f64;
+    // Lexicographically-ordered hosts per site, for replica selection.
+    let site_hosts_sorted: Vec<Vec<String>> = (0..sites)
+        .map(|i| {
+            let mut h = federation.hosts(SiteId(i as u16));
+            h.sort();
+            h
+        })
+        .collect();
+
+    // Flush every planned checkpoint of `task`'s current run due by `t`:
+    // the write's cost is always paid (it is part of the run duration),
+    // but the checkpoint is only *recorded* when every executing host is
+    // actually up — a host dying under the write loses it. Surviving
+    // checkpoints get a same-site replica (the lexicographically smallest
+    // other up host) so a later crash of the executing host does not
+    // strand them.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_due_checkpoints(
+        task: TaskId,
+        t: f64,
+        eps: f64,
+        exec_hosts: &[String],
+        site_hosts: &[String],
+        pending: &mut Vec<(f64, f64, f64)>,
+        down_now: &BTreeSet<String>,
+        store: &CheckpointStore,
+        checkpoints_taken: &mut u64,
+        checkpoint_overhead: &mut f64,
+        done_cost: &mut f64,
+    ) {
+        while let Some(&(at, progress, cost)) = pending.first() {
+            if at > t + eps {
+                break;
+            }
+            pending.remove(0);
+            *checkpoint_overhead += cost;
+            *done_cost += cost;
+            if exec_hosts.iter().any(|h| down_now.contains(h)) {
+                continue; // host died under the write: checkpoint lost
+            }
+            let mut stored_on: Vec<String> = exec_hosts.to_vec();
+            if let Some(replica) =
+                site_hosts.iter().find(|h| !down_now.contains(*h) && !exec_hosts.contains(*h))
+            {
+                stored_on.push(replica.clone());
+            }
+            store.record(TaskCheckpoint::new(task, progress, at, stored_on));
+            *checkpoints_taken += 1;
+        }
+    }
+
+    // Progress fraction a run killed at `t` had actually reached: the
+    // resume floor plus useful elapsed seconds (checkpoint writes paid so
+    // far are not useful work) over full work.
+    fn progress_at_kill(start: f64, t: f64, resume: f64, w: f64, done_cost: f64) -> f64 {
+        if w <= 1e-12 {
+            return resume;
+        }
+        (resume + ((t - start) - done_cost) / w).clamp(resume, 1.0)
+    }
+
     // Task order for the start step: level desc, id asc — the same
     // contention tie-break `makespan::evaluate` applies.
     let mut by_priority: Vec<TaskId> = afg.task_ids().collect();
@@ -334,6 +428,21 @@ pub fn replay(
                     finish[task.index()] = end;
                     let node = afg.task(task);
                     let (site, hosts, predicted) = placement[task.index()].clone();
+                    // Every planned checkpoint of this run lands before
+                    // its completion — flush any not yet processed.
+                    flush_due_checkpoints(
+                        task,
+                        end,
+                        eps,
+                        &hosts,
+                        &site_hosts_sorted[site.index()],
+                        &mut pending_ckpts[task.index()],
+                        &down_now,
+                        &store,
+                        &mut checkpoints_taken,
+                        &mut checkpoint_overhead,
+                        &mut done_ckpt_cost[task.index()],
+                    );
                     for h in &hosts {
                         host_free.insert(h.clone(), end);
                     }
@@ -352,8 +461,43 @@ pub fn replay(
         while next_event < timeline.len() && timeline[next_event].t <= t + eps {
             let ev = &timeline[next_event];
             match &ev.event {
-                FaultEvent::HostDown { host } => echo.kill(host.clone()),
-                FaultEvent::HostUp { host } => echo.revive(host),
+                FaultEvent::HostDown { host } => {
+                    // Checkpoints that came due before the crash instant
+                    // physically completed — flush them for the victim's
+                    // running tasks before marking it down, so the tick
+                    // granularity of step 2.5 does not retroactively
+                    // lose them.
+                    if cfg.checkpoint.is_enabled() {
+                        for task in afg.task_ids() {
+                            if !matches!(state[task.index()], TaskState::Running { .. }) {
+                                continue;
+                            }
+                            let (site, hosts, _) = &placement[task.index()];
+                            if !hosts.contains(host) {
+                                continue;
+                            }
+                            flush_due_checkpoints(
+                                task,
+                                ev.t,
+                                eps,
+                                hosts,
+                                &site_hosts_sorted[site.index()],
+                                &mut pending_ckpts[task.index()],
+                                &down_now,
+                                &store,
+                                &mut checkpoints_taken,
+                                &mut checkpoint_overhead,
+                                &mut done_ckpt_cost[task.index()],
+                            );
+                        }
+                    }
+                    down_now.insert(host.clone());
+                    echo.kill(host.clone());
+                }
+                FaultEvent::HostUp { host } => {
+                    down_now.remove(host);
+                    echo.revive(host);
+                }
                 FaultEvent::LinkDegrade { a, b, latency_factor, bandwidth_factor } => {
                     let l = federation.net.link(SiteId(*a), SiteId(*b));
                     link_probe.set(
@@ -370,6 +514,32 @@ pub fn replay(
                 }
             }
             next_event += 1;
+        }
+
+        // 2.5. Flush planned checkpoints that came due on running tasks,
+        // gated on the *ground-truth* liveness just updated: the flush
+        // happens at tick granularity but `taken_at` keeps the planned
+        // (backdated) write time, so the store is tick-size independent.
+        if cfg.checkpoint.is_enabled() {
+            for task in afg.task_ids() {
+                if !matches!(state[task.index()], TaskState::Running { .. }) {
+                    continue;
+                }
+                let (site, hosts, _) = &placement[task.index()];
+                flush_due_checkpoints(
+                    task,
+                    t,
+                    eps,
+                    hosts,
+                    &site_hosts_sorted[site.index()],
+                    &mut pending_ckpts[task.index()],
+                    &down_now,
+                    &store,
+                    &mut checkpoints_taken,
+                    &mut checkpoint_overhead,
+                    &mut done_ckpt_cost[task.index()],
+                );
+            }
         }
 
         // 3. Monitoring round: load samples every tick, echo probing on
@@ -463,14 +633,23 @@ pub fn replay(
         }
         if !newly_dead.is_empty() {
             for task in afg.task_ids() {
-                if matches!(state[task.index()], TaskState::Running { .. })
-                    && placement[task.index()].1.iter().any(|h| dead.contains(h))
-                {
-                    // Terminate: the work is lost, re-selection follows.
-                    for h in &placement[task.index()].1 {
-                        host_free.insert(h.clone(), t);
+                if let TaskState::Running { start, .. } = state[task.index()] {
+                    if placement[task.index()].1.iter().any(|h| dead.contains(h)) {
+                        // Terminate: the in-flight work is lost (modulo
+                        // checkpoints), re-selection follows.
+                        for h in &placement[task.index()].1 {
+                            host_free.insert(h.clone(), t);
+                        }
+                        lost_progress_sum += progress_at_kill(
+                            start,
+                            t,
+                            resume_from[task.index()],
+                            run_w[task.index()],
+                            done_ckpt_cost[task.index()],
+                        );
+                        pending_ckpts[task.index()].clear();
+                        state[task.index()] = TaskState::Waiting { resume_at: t };
                     }
-                    state[task.index()] = TaskState::Waiting { resume_at: t };
                 }
             }
         }
@@ -480,9 +659,9 @@ pub fn replay(
         let banned_base: BTreeSet<String> = quarantine.snapshot().union(&dead).cloned().collect();
         let mut fresh_views: Option<Vec<vdce_sched::SiteView>> = None;
         for &task in &by_priority {
-            if !matches!(state[task.index()], TaskState::Running { .. }) {
+            let TaskState::Running { start: run_start, .. } = state[task.index()] else {
                 continue;
-            }
+            };
             let (site, hosts, _) = placement[task.index()].clone();
             let overloaded: Vec<String> = hosts
                 .iter()
@@ -515,6 +694,14 @@ pub fn replay(
                 for h in &hosts {
                     host_free.insert(h.clone(), t);
                 }
+                lost_progress_sum += progress_at_kill(
+                    run_start,
+                    t,
+                    resume_from[task.index()],
+                    run_w[task.index()],
+                    done_ckpt_cost[task.index()],
+                );
+                pending_ckpts[task.index()].clear();
                 placement[task.index()] = (new_site, choice.hosts, choice.predicted_seconds);
                 floor[task.index()] = t;
                 state[task.index()] = TaskState::Pending;
@@ -594,22 +781,46 @@ pub fn replay(
                 .map(|h| host_free.get(h).copied().unwrap_or(0.0))
                 .fold(0.0f64, f64::max);
             let start = data_ready.max(hosts_ready).max(floor[task.index()]);
-            let end = start + predicted.max(0.0);
+            // Resume from the newest checkpoint with a reachable replica
+            // (ground-truth up, not detected-dead, not quarantined) —
+            // restart-from-zero when none survives. The run plan prices
+            // in both the skipped work and the upcoming writes.
+            let resume = if cfg.checkpoint.is_enabled() {
+                store
+                    .latest_valid(task, |h| {
+                        !down_now.contains(h) && !dead.contains(h) && !quarantine.contains(h)
+                    })
+                    .map(|cp| cp.progress)
+                    .unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            let w = predicted.max(0.0);
+            let rplan = cfg.checkpoint.run_plan(w, resume);
+            let end = start + rplan.duration;
             for h in &hosts {
                 host_free.insert(h.clone(), end);
             }
-            if !last_hosts[task.index()].is_empty() && last_hosts[task.index()] != hosts {
-                migrations += 1;
-                log.record(
-                    t,
-                    RuntimeEvent::TaskMigrated {
-                        task,
-                        from_host: last_hosts[task.index()][0].clone(),
-                        to_host: hosts[0].clone(),
-                    },
-                );
+            if !last_hosts[task.index()].is_empty() {
+                resumed_progress.push(resume);
+                if last_hosts[task.index()] != hosts {
+                    migrations += 1;
+                    log.record(
+                        t,
+                        RuntimeEvent::TaskMigrated {
+                            task,
+                            from_host: last_hosts[task.index()][0].clone(),
+                            to_host: hosts[0].clone(),
+                        },
+                    );
+                }
             }
             last_hosts[task.index()] = hosts.clone();
+            resume_from[task.index()] = resume;
+            run_w[task.index()] = w;
+            done_ckpt_cost[task.index()] = 0.0;
+            pending_ckpts[task.index()] =
+                rplan.checkpoints.iter().map(|c| (start + c.offset, c.progress, c.cost)).collect();
             state[task.index()] = TaskState::Running { start, end };
         }
 
@@ -679,6 +890,12 @@ pub fn replay(
         })
         .collect();
 
+    let recovered_work_fraction = if lost_progress_sum > eps {
+        resumed_progress.iter().sum::<f64>() / lost_progress_sum
+    } else {
+        1.0
+    };
+
     ReplayOutcome {
         makespan,
         tasks_completed,
@@ -691,6 +908,10 @@ pub fn replay(
         detections,
         recovered,
         final_hosts: last_hosts,
+        checkpoints_taken,
+        checkpoint_overhead,
+        resumed_progress,
+        recovered_work_fraction,
     }
 }
 
@@ -743,6 +964,10 @@ pub fn run_fault_scenario(
         quarantined_at_end: faulty.quarantined_at_end,
         tasks_completed: faulty.tasks_completed,
         tasks_failed: faulty.tasks_failed,
+        checkpoints_taken: faulty.checkpoints_taken,
+        checkpoint_overhead: faulty.checkpoint_overhead,
+        resumed_progress: faulty.resumed_progress.clone(),
+        recovered_work_fraction: faulty.recovered_work_fraction,
         faults,
     }
 }
@@ -889,6 +1114,105 @@ mod tests {
         if out.quarantined_total > 0 {
             assert_eq!(out.readmitted_total, out.quarantined_total);
         }
+    }
+
+    #[test]
+    fn disabled_checkpoint_policy_is_inert() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let out = replay(&f, &afg, &FaultPlan::empty(), &ReplayConfig::scaled_to(est));
+        assert_eq!(out.checkpoints_taken, 0);
+        assert_eq!(out.checkpoint_overhead, 0.0);
+        assert!(out.resumed_progress.is_empty());
+        assert_eq!(out.recovered_work_fraction, 1.0);
+    }
+
+    /// The crash scenario of `crash_quarantines_and_migrates_off_the_dead_host`,
+    /// run twice: restart-from-zero versus checkpointed. The checkpointed
+    /// run must resume mid-task (positive resumed progress), lose strictly
+    /// less relative time to the crash, and stay deterministic.
+    #[test]
+    fn checkpointed_crash_beats_restart_from_zero() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let plain_cfg = ReplayConfig::scaled_to(est);
+        let ckpt_cfg = ReplayConfig {
+            checkpoint: CheckpointPolicy::every(0.1, 0.005),
+            ..ReplayConfig::scaled_to(est)
+        };
+        let views = f.views();
+        let table =
+            site_schedule(&afg, &views[0], &views[1..], &f.net, &plain_cfg.scheduler).unwrap();
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for p in table.iter() {
+            for h in &p.hosts {
+                *counts.entry(h).or_default() += 1;
+            }
+        }
+        let victim =
+            counts.iter().max_by_key(|(h, c)| (**c, std::cmp::Reverse(**h))).unwrap().0.to_string();
+        let plan =
+            FaultPlan { seed: 1, faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }] };
+
+        let plain = run_fault_scenario("plain", &f, &afg, &plan, &plain_cfg);
+        let ckpt = run_fault_scenario("ckpt", &f, &afg, &plan, &ckpt_cfg);
+
+        assert_eq!(ckpt.tasks_failed, 0);
+        assert!(ckpt.checkpoints_taken > 0, "the policy must actually write checkpoints");
+        assert!(ckpt.checkpoint_overhead > 0.0);
+        assert!(
+            ckpt.resumed_progress.iter().any(|r| *r > 0.0),
+            "at least one restart must resume from a checkpoint: {:?}",
+            ckpt.resumed_progress
+        );
+        assert!(ckpt.recovered_work_fraction > 0.0);
+        assert!(
+            plain.resumed_progress.iter().all(|r| *r == 0.0),
+            "no-checkpoint runs restart cold"
+        );
+        assert!(
+            ckpt.inflation < plain.inflation + 1e-9,
+            "checkpointed inflation {} must not exceed restart-from-zero {}",
+            ckpt.inflation,
+            plain.inflation
+        );
+
+        // Determinism extends to the checkpoint machinery.
+        let again = run_fault_scenario("ckpt", &f, &afg, &plan, &ckpt_cfg);
+        assert_eq!(ckpt, again);
+    }
+
+    /// A checkpoint whose every replica is unreachable must not be
+    /// resumed from: crash the executing host *and* its same-site replica
+    /// partner, and the restart still succeeds (possibly from an older
+    /// checkpoint or zero) without phantom progress.
+    #[test]
+    fn checkpoints_on_unreachable_hosts_are_skipped() {
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig {
+            checkpoint: CheckpointPolicy::every(0.2, 0.005),
+            ..ReplayConfig::scaled_to(est)
+        };
+        // Crash an entire site's hosts in quick succession.
+        let site0 = f.hosts(SiteId(0));
+        let plan = FaultPlan {
+            seed: 13,
+            faults: site0
+                .iter()
+                .map(|h| Fault::HostCrash { host: h.clone(), at: 0.3 * est })
+                .collect(),
+        };
+        let out = replay(&f, &afg, &plan, &cfg);
+        assert_eq!(out.tasks_failed, 0, "site 1 must absorb the work");
+        // Every resumed fraction must be backed by a checkpoint that was
+        // actually recorded (no resume exceeds 1.0, none negative).
+        assert!(out.resumed_progress.iter().all(|r| (0.0..=1.0).contains(r)));
+        let a = replay(&f, &afg, &plan, &cfg);
+        assert_eq!(a, out, "deterministic under whole-site loss");
     }
 
     #[test]

@@ -6,13 +6,14 @@
 //! makespan, and a clock-scaled [`ReplayConfig`]).
 
 use crate::dag_gen::{fork_join, gauss_elim, layered_random, DagSpec};
-use crate::faults::{Fault, FaultPlan};
+use crate::faults::{Fault, FaultPlan, WeibullArrivalSpec};
 use crate::metrics::RecoveryReport;
 use crate::pool_gen::{build_federation, Federation, FederationSpec, WanShape};
 use crate::replay::{run_fault_scenario, ReplayConfig};
 use std::collections::BTreeMap;
 use vdce_afg::level::level_map;
 use vdce_afg::Afg;
+use vdce_runtime::CheckpointPolicy;
 use vdce_sched::{evaluate, site_schedule, SchedulerConfig};
 
 /// A named, reproducible experiment setup.
@@ -34,6 +35,25 @@ pub fn campus_smoke() -> Scenario {
             sites: 1,
             hosts_per_site: 4,
             heterogeneity: 2.0,
+            seed: 100,
+            ..FederationSpec::default()
+        }),
+        afg: layered_random(&DagSpec { tasks: 20, width: 4, ..DagSpec::default() }, 100),
+    }
+}
+
+/// Two near-identical campuses joined by a cheap metro link, same
+/// workload as [`campus_smoke`] — the federation where cross-site
+/// placements genuinely tie, so recovery-aware critical-path spreading
+/// ([`SchedulerConfig::spread_critical`]) has real choices to make.
+pub fn two_campus() -> Scenario {
+    Scenario {
+        name: "two-campus",
+        federation: build_federation(&FederationSpec {
+            sites: 2,
+            hosts_per_site: 4,
+            heterogeneity: 2.0,
+            shape: WanShape::Metro(1),
             seed: 100,
             ..FederationSpec::default()
         }),
@@ -94,7 +114,7 @@ pub fn gauss_benchmark() -> Scenario {
 
 /// All named scenarios.
 pub fn all() -> Vec<Scenario> {
-    vec![campus_smoke(), wide_area(), c3i_surveillance(), gauss_benchmark()]
+    vec![campus_smoke(), two_campus(), wide_area(), c3i_surveillance(), gauss_benchmark()]
 }
 
 /// Schedule a scenario once and return `(estimated fault-free makespan,
@@ -165,6 +185,96 @@ pub fn crash_mid_run() -> FaultScenario {
             faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
         },
         config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// [`crash_mid_run`]'s exact twin with checkpointing on: same workload,
+/// same victim, same crash time — the only difference is the
+/// [`CheckpointPolicy`], so the inflation delta between the two is the
+/// value of checkpoint-restart and nothing else.
+pub fn crash_mid_run_checkpointed() -> FaultScenario {
+    let scenario = campus_smoke();
+    let (est, victim) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "crash-mid-run-ckpt",
+        plan: FaultPlan {
+            seed: 17,
+            faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
+        },
+        config: ReplayConfig {
+            checkpoint: CheckpointPolicy::every(0.1, 0.002),
+            ..ReplayConfig::scaled_to(est)
+        },
+        scenario,
+    }
+}
+
+/// Crash the busiest host of the [`two_campus`] federation a quarter in
+/// — the restart-from-zero twin of [`crash_spread_checkpointed`].
+pub fn crash_two_campus() -> FaultScenario {
+    let scenario = two_campus();
+    let (est, victim) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "crash-two-campus",
+        plan: FaultPlan {
+            seed: 19,
+            faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// Checkpointing *plus* recovery-aware placement on [`two_campus`]: the
+/// scheduler spreads critical-path tasks across distinct hosts up front
+/// (the flat two-site federation actually has near-tied alternatives to
+/// spread over), so the crash of any single host intersects less of the
+/// critical path.
+pub fn crash_spread_checkpointed() -> FaultScenario {
+    let scenario = two_campus();
+    let (est, victim) = schedule_estimate(&scenario);
+    let mut config = ReplayConfig {
+        checkpoint: CheckpointPolicy::every(0.1, 0.002),
+        ..ReplayConfig::scaled_to(est)
+    };
+    config.scheduler.spread_critical = true;
+    FaultScenario {
+        name: "crash-spread-ckpt",
+        plan: FaultPlan {
+            seed: 19,
+            faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }],
+        },
+        config,
+        scenario,
+    }
+}
+
+/// Long-trace churn: Weibull-distributed transient outages (shape 0.7 —
+/// bursty, infant-mortality-flavoured arrivals) across the smoke
+/// federation's hosts for three estimated makespans, under
+/// checkpointing. All faults are transient, so full recovery is
+/// required.
+pub fn weibull_churn() -> FaultScenario {
+    let scenario = campus_smoke();
+    let (est, _) = schedule_estimate(&scenario);
+    let config = ReplayConfig {
+        checkpoint: CheckpointPolicy::every(0.15, 0.005),
+        ..ReplayConfig::scaled_to(est)
+    };
+    let hosts: Vec<String> =
+        scenario.federation.topology.sites().iter().flat_map(|s| s.hosts.iter().cloned()).collect();
+    let spec = WeibullArrivalSpec {
+        shape: 0.7,
+        scale: 0.8 * est,
+        horizon: 3.0 * est,
+        down_for: 6.0 * config.tick,
+        max_faults: 12,
+    };
+    FaultScenario {
+        name: "weibull-churn",
+        plan: FaultPlan::weibull_arrivals(59, &hosts, &spec),
+        config,
         scenario,
     }
 }
@@ -259,12 +369,24 @@ pub fn flaky_wan() -> FaultScenario {
 
 /// All named fault scenarios (the full `exp_faults` run).
 pub fn all_fault_scenarios() -> Vec<FaultScenario> {
-    vec![crash_mid_run(), transient_outage(), load_spike_eviction(), degraded_wan(), flaky_wan()]
+    vec![
+        crash_mid_run(),
+        crash_mid_run_checkpointed(),
+        crash_two_campus(),
+        crash_spread_checkpointed(),
+        transient_outage(),
+        load_spike_eviction(),
+        degraded_wan(),
+        flaky_wan(),
+        weibull_churn(),
+    ]
 }
 
-/// The cheap subset the CI fast mode replays.
+/// The cheap subset the CI fast mode replays. Keeps the
+/// crash/checkpointed-crash pair together so the fast gate still checks
+/// that checkpointing beats restart-from-zero.
 pub fn quick_fault_scenarios() -> Vec<FaultScenario> {
-    vec![crash_mid_run(), transient_outage(), load_spike_eviction()]
+    vec![crash_mid_run(), crash_mid_run_checkpointed(), transient_outage(), load_spike_eviction()]
 }
 
 #[cfg(test)]
@@ -315,7 +437,7 @@ mod tests {
         let mut names: Vec<&str> = all().iter().map(|s| s.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 
     #[test]
@@ -324,7 +446,7 @@ mod tests {
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 9);
         for s in &scenarios {
             assert!(!s.plan.faults.is_empty(), "{}: empty plan", s.name);
             assert!(s.plan.faults.iter().all(|f| f.at() >= 0.0), "{}", s.name);

@@ -9,6 +9,15 @@
 //!    daemons push a host over the Application Controller's threshold;
 //!    tasks scheduled there are relocated at launch time.
 //!
+//! Plus the checkpoint layer of DESIGN.md §11:
+//!
+//! 3. **Checkpointed crash recovery** — the same mid-run host crash is
+//!    replayed restart-from-zero and with periodic checkpoints; the
+//!    checkpointed run resumes migrated tasks from their last snapshot
+//!    instead of re-executing them.
+//! 4. **DSM snapshot/restore** — a shared-memory region is snapshotted,
+//!    scribbled over, and rewound bit-for-bit.
+//!
 //! ```sh
 //! cargo run --example fault_tolerance
 //! ```
@@ -86,4 +95,40 @@ fn main() {
         assert!(!rec.hosts.contains(&"fast_but_doomed".to_string()));
     }
     println!("no task executed on the overloaded host ✓");
+
+    // --- Checkpointed crash recovery (DESIGN.md §11) -------------------
+    // The same mid-run crash, twice: restart-from-zero, then with a
+    // checkpoint every 10% of a task's work at 0.2% overhead per write.
+    let plain = vdce_sim::scenario::crash_mid_run().run();
+    let ckpt = vdce_sim::scenario::crash_mid_run_checkpointed().run();
+    println!("\n--- checkpointed crash recovery ---");
+    println!(
+        "restart-from-zero: inflation {:.3}x, {} migrations, every restart from 0%",
+        plain.inflation, plain.migrations
+    );
+    println!(
+        "checkpointed:      inflation {:.3}x, {} checkpoints ({:.4}s overhead), \
+         {:.0}% of lost work recovered",
+        ckpt.inflation,
+        ckpt.checkpoints_taken,
+        ckpt.checkpoint_overhead,
+        100.0 * ckpt.recovered_work_fraction
+    );
+    assert_eq!(ckpt.tasks_failed, 0);
+    assert!(plain.resumed_progress.iter().all(|r| *r == 0.0));
+    assert!(ckpt.resumed_progress.iter().any(|r| *r > 0.0));
+    assert!(ckpt.inflation < plain.inflation);
+    println!("crash absorbed cheaper than restart-from-zero ✓");
+
+    // --- DSM snapshot/restore -------------------------------------------
+    let region = vdce_dsm::DsmRegion::new(64, 16, 2);
+    region.handle(0).write_u64(0, 0xDEAD_BEEF);
+    region.handle(1).write_u64(8, 42);
+    let snap = region.snapshot();
+    region.handle(0).write_u64(0, 0); // post-snapshot damage
+    region.handle(1).write_u64(8, 7);
+    region.restore(&snap);
+    assert_eq!(region.handle(1).read_u64(0), 0xDEAD_BEEF);
+    assert_eq!(region.handle(0).read_u64(8), 42);
+    println!("DSM region rewound to snapshot bit-for-bit ✓");
 }
