@@ -10,11 +10,16 @@
 //! 2. **Recovery** — every fault must end recovered and no task may
 //!    fail (crashed hosts stay quarantined, transient hosts are
 //!    re-admitted, all work migrates off dead hosts);
-//! 3. **Bounded inflation** — host-crash scenarios must finish in under
-//!    2× the fault-free makespan.
+//! 3. **Bounded inflation** — host-crash and permanent-site-outage
+//!    scenarios must finish in under 2× the fault-free makespan.
 //! 4. **Checkpointing pays for itself** — each checkpointed crash
 //!    scenario must inflate strictly less than its restart-from-zero
 //!    twin, and stay at or below 1.25×.
+//! 5. **Site-level fault tolerance** (DESIGN.md §12) — the Site Manager
+//!    crash must fail over to a deputy, a permanent site outage must end
+//!    with the site quarantined, a healed partition must quarantine
+//!    nothing, and cross-site checkpoint replicas must strictly beat
+//!    local-only checkpoints on the same site-crash trace.
 //!
 //! A violated property exits non-zero, which is what lets `ci.sh` use
 //! `--quick` (the cheap scenario subset) as a regression gate. The full
@@ -76,6 +81,13 @@ const CHECKPOINT_PAIRS: &[(&str, &str, f64)] = &[
     ("crash-mid-run", "crash-mid-run-ckpt", 1.25),
     ("crash-two-campus", "crash-spread-ckpt", 1.25),
     ("palette-crash", "palette-crash-ckpt", 1.32),
+    // The site-crash pair isolates the value of cross-site replicas:
+    // both members pay the same checkpoint overhead, but local-only
+    // checkpoints die with the site while replicas survive on the
+    // neighbouring sites, so the replica twin must resume rather than
+    // restart. Its bound is looser than the campus pairs because a
+    // whole site (a third of the federation's capacity) is gone.
+    ("site-crash-ckpt-local", "site-crash-ckpt-replica", 1.45),
 ];
 
 fn main() {
@@ -110,11 +122,29 @@ fn main() {
                 report.faults.iter().filter(|f| !f.recovered).map(|f| f.fault.as_str()).collect();
             failures.push(format!("{}: non-recovered fault(s): {}", fs.name, bad.join(", ")));
         }
-        let is_crash = fs.plan.faults.iter().any(|f| matches!(f, Fault::HostCrash { .. }));
+        let is_crash = fs.plan.faults.iter().any(|f| {
+            matches!(f, Fault::HostCrash { .. } | Fault::SiteOutage { down_for: None, .. })
+        });
         if is_crash && report.inflation >= 2.0 {
             failures.push(format!(
                 "{}: makespan inflation {:.2}x exceeds the 2x bound",
                 fs.name, report.inflation
+            ));
+        }
+        // Site-level verdicts: a permanent site outage must end with the
+        // site quarantined at federation level; a pure partition must
+        // quarantine nothing (both sides stayed alive throughout).
+        let permanent_site_outage =
+            fs.plan.faults.iter().any(|f| matches!(f, Fault::SiteOutage { down_for: None, .. }));
+        if permanent_site_outage && report.sites_quarantined_at_end == 0 {
+            failures.push(format!("{}: dead site never quarantined", fs.name));
+        }
+        let partition_only =
+            fs.plan.faults.iter().all(|f| matches!(f, Fault::SitePartition { .. }));
+        if partition_only && !fs.plan.faults.is_empty() && report.sites_quarantined > 0 {
+            failures.push(format!(
+                "{}: a healed partition quarantined {} site(s)",
+                fs.name, report.sites_quarantined
             ));
         }
         reports.push(report);
@@ -141,6 +171,23 @@ fn main() {
         }
         if ckpt.checkpoints_taken == 0 {
             failures.push(format!("{ckpt_name}: checkpointing enabled but none taken"));
+        }
+    }
+
+    // Failover gate: the Site Manager crash must promote a deputy, and
+    // the replica scenario must actually push state across sites.
+    if let Some(r) = find("manager-failover") {
+        if r.site_failovers == 0 {
+            failures.push("manager-failover: no deputy promotion recorded".into());
+        }
+    }
+    if let Some(r) = find("site-crash-ckpt-replica") {
+        if r.replica_transfers == 0 {
+            failures.push("site-crash-ckpt-replica: no replica transfer completed".into());
+        }
+        if r.resumed_progress.iter().all(|p| *p <= 0.0) {
+            failures
+                .push("site-crash-ckpt-replica: no restart resumed from a remote replica".into());
         }
     }
 

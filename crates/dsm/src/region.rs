@@ -191,6 +191,17 @@ impl DsmRegion {
         DsmSnapshot { page_size: inner.page_size, size: inner.size, pages }
     }
 
+    /// Account a snapshot shipped off-site as a checkpoint replica
+    /// (DESIGN.md §12): returns the byte count the caller charges
+    /// through the network model and adds it to
+    /// [`DsmStats::replica_bytes`]. The region itself is untouched — the
+    /// replica lives wherever the caller stored it.
+    pub fn record_replication(&self, snap: &DsmSnapshot) -> u64 {
+        let bytes = snap.size() as u64;
+        StatCounters::add(&self.inner.stats.replica_bytes, bytes);
+        bytes
+    }
+
     /// Rewind the region to `snap`.
     ///
     /// Under the directory lock every page's authoritative bytes are
@@ -595,6 +606,15 @@ mod tests {
         let s = dsm.stats();
         assert_eq!(s.restores, 1);
         assert_eq!(s.snapshot_page_copies, 1 + 4, "restore writes back all 4 pages");
+    }
+
+    #[test]
+    fn replication_accounts_snapshot_bytes() {
+        let dsm = DsmRegion::new(256, 64, 2);
+        let snap = dsm.snapshot();
+        assert_eq!(dsm.record_replication(&snap), 256);
+        assert_eq!(dsm.record_replication(&snap), 256, "each shipment is charged");
+        assert_eq!(dsm.stats().replica_bytes, 512);
     }
 
     #[test]

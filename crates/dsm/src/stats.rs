@@ -24,6 +24,10 @@ pub struct DsmStats {
     /// Pages copied by snapshot/restore traffic (dirty-owner pulls on
     /// snapshot plus every page written back on restore).
     pub snapshot_page_copies: u64,
+    /// Bytes of snapshot state replicated off-site (cross-site checkpoint
+    /// replication, DESIGN.md §12) — the traffic the network model
+    /// charges for shipping a region snapshot to another site.
+    pub replica_bytes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -37,6 +41,7 @@ pub(crate) struct StatCounters {
     pub snapshots: AtomicU64,
     pub restores: AtomicU64,
     pub snapshot_page_copies: AtomicU64,
+    pub replica_bytes: AtomicU64,
 }
 
 impl StatCounters {
@@ -51,6 +56,7 @@ impl StatCounters {
             snapshots: self.snapshots.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
             snapshot_page_copies: self.snapshot_page_copies.load(Ordering::Relaxed),
+            replica_bytes: self.replica_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -101,6 +107,14 @@ mod tests {
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.reads(), 2);
         assert_eq!(s.read_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn replica_bytes_accumulate() {
+        let c = StatCounters::default();
+        StatCounters::add(&c.replica_bytes, 4096);
+        StatCounters::add(&c.replica_bytes, 4096);
+        assert_eq!(c.snapshot().replica_bytes, 8192);
     }
 
     #[test]

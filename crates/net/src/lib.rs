@@ -29,10 +29,12 @@ pub mod cache;
 pub mod clock;
 pub mod gen;
 pub mod model;
+pub mod partition;
 pub mod topology;
 
 pub use bus::{BusError, Endpoint, MessageBus};
 pub use cache::TransferCache;
 pub use clock::{Clock, RealClock, VirtualClock};
 pub use model::{LinkParams, NetworkModel, SharedNetworkModel};
+pub use partition::PartitionState;
 pub use topology::{SiteId, SiteInfo, Topology};

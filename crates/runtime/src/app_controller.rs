@@ -41,7 +41,7 @@ use vdce_repository::SiteRepository;
 use vdce_sched::allocation::AllocationTable;
 
 /// Application-Controller tunables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AppControllerConfig {
     /// Load threshold above which a host triggers task rescheduling.
     pub load_threshold: f64,
@@ -49,6 +49,10 @@ pub struct AppControllerConfig {
     pub executor: ExecutorConfig,
     /// Data-plane transport.
     pub transport: Transport,
+    /// Optional off-site checkpoint replica host (DESIGN.md §12): when
+    /// set, every checkpoint the executor records is also stored there,
+    /// surviving the loss of the site that ran the application.
+    pub checkpoint_replica_host: Option<String>,
 }
 
 impl Default for AppControllerConfig {
@@ -57,6 +61,7 @@ impl Default for AppControllerConfig {
             load_threshold: 4.0,
             executor: ExecutorConfig::default(),
             transport: Transport::InProc,
+            checkpoint_replica_host: None,
         }
     }
 }
@@ -254,10 +259,11 @@ impl AppController {
         let (tx, rx) = unbounded();
         let quarantine = Arc::clone(&self.quarantine);
         let reachable = move |h: &str| !quarantine.contains(h);
-        let ctx = self
-            .checkpoints
-            .as_ref()
-            .map(|store| CheckpointContext { store, reachable: &reachable });
+        let ctx = self.checkpoints.as_ref().map(|store| CheckpointContext {
+            store,
+            reachable: &reachable,
+            replicate_to: self.config.checkpoint_replica_host.clone(),
+        });
         let outcome = execute_full(
             afg,
             table,

@@ -44,6 +44,23 @@ pub struct CheckpointPolicy {
     pub interval_fraction: f64,
     /// Fraction of the task's full work one checkpoint write costs.
     pub overhead_fraction: f64,
+    /// Adapt the interval to the observed failure rate: when an MTBF
+    /// estimate is available (see [`MtbfEstimator`]), the effective
+    /// interval follows Young's approximation `T_opt = √(2·C·MTBF)`
+    /// instead of the fixed `interval_fraction`; with no failures
+    /// observed yet the fixed interval is used unchanged.
+    #[serde(default)]
+    pub adaptive: bool,
+    /// Replicate every checkpoint to a host on another site, so a task
+    /// whose whole home site dies can still resume. The replication
+    /// transfer of `state_bytes` is charged through the network model —
+    /// replicas are durable only once the transfer completes.
+    #[serde(default)]
+    pub replicate_cross_site: bool,
+    /// Serialized size of one checkpoint (progress, outputs, DSM pages)
+    /// for replication-traffic accounting.
+    #[serde(default)]
+    pub state_bytes: u64,
 }
 
 impl Default for CheckpointPolicy {
@@ -55,13 +72,33 @@ impl Default for CheckpointPolicy {
 impl CheckpointPolicy {
     /// No checkpoints — the pre-checkpoint restart-from-zero behaviour.
     pub fn disabled() -> Self {
-        CheckpointPolicy { interval_fraction: 0.0, overhead_fraction: 0.0 }
+        CheckpointPolicy {
+            interval_fraction: 0.0,
+            overhead_fraction: 0.0,
+            adaptive: false,
+            replicate_cross_site: false,
+            state_bytes: 0,
+        }
     }
 
     /// Checkpoint every `interval_fraction` of task work, paying
     /// `overhead_fraction` of task work per write.
     pub fn every(interval_fraction: f64, overhead_fraction: f64) -> Self {
-        CheckpointPolicy { interval_fraction, overhead_fraction }
+        CheckpointPolicy { interval_fraction, overhead_fraction, ..CheckpointPolicy::disabled() }
+    }
+
+    /// This policy with cross-site replication of `state_bytes` per
+    /// checkpoint turned on.
+    pub fn with_replicas(mut self, state_bytes: u64) -> Self {
+        self.replicate_cross_site = true;
+        self.state_bytes = state_bytes;
+        self
+    }
+
+    /// This policy with MTBF-adaptive interval selection turned on.
+    pub fn with_adaptive_interval(mut self) -> Self {
+        self.adaptive = true;
+        self
     }
 
     /// Does this policy take checkpoints at all?
@@ -76,13 +113,55 @@ impl CheckpointPolicy {
     /// (`0.0` for a fresh start). A checkpoint that would land exactly at
     /// task completion is useless and is not planned.
     pub fn run_plan(&self, full_work: f64, resume_from: f64) -> RunPlan {
+        self.run_plan_with_interval(full_work, resume_from, self.interval_fraction)
+    }
+
+    /// [`CheckpointPolicy::run_plan`] with the interval adapted to an
+    /// MTBF estimate (see [`CheckpointPolicy::adaptive`]): pass the
+    /// current [`MtbfEstimator::mtbf`]. With `adaptive: false` or no
+    /// estimate yet, this is exactly `run_plan`.
+    pub fn run_plan_adaptive(
+        &self,
+        full_work: f64,
+        resume_from: f64,
+        mtbf: Option<f64>,
+    ) -> RunPlan {
+        self.run_plan_with_interval(
+            full_work,
+            resume_from,
+            self.effective_interval(mtbf, full_work),
+        )
+    }
+
+    /// The interval fraction actually used for a task of `full_work`
+    /// seconds given an MTBF estimate. Young's approximation picks
+    /// `T_opt = √(2·C·MTBF)` seconds between checkpoints, where `C` is
+    /// the per-write cost in seconds; the result is clamped to
+    /// `[0.02, 0.9]` of the task so a noisy estimate can neither thrash
+    /// (checkpoint storms) nor disable checkpointing outright.
+    pub fn effective_interval(&self, mtbf: Option<f64>, full_work: f64) -> f64 {
+        if !self.adaptive || !self.is_enabled() {
+            return self.interval_fraction;
+        }
+        let (Some(m), true) = (mtbf, full_work > 0.0 && self.overhead_fraction > 0.0) else {
+            return self.interval_fraction;
+        };
+        if !(m.is_finite() && m > 0.0) {
+            return self.interval_fraction;
+        }
+        let cost_s = self.overhead_fraction * full_work;
+        let t_opt = (2.0 * cost_s * m).sqrt();
+        (t_opt / full_work).clamp(0.02, 0.9)
+    }
+
+    fn run_plan_with_interval(&self, full_work: f64, resume_from: f64, interval: f64) -> RunPlan {
         let w = full_work.max(0.0);
         let r = resume_from.clamp(0.0, 1.0);
         let remaining = (1.0 - r) * w;
-        if !self.is_enabled() || remaining <= 0.0 {
+        if !self.is_enabled() || remaining <= 0.0 || interval <= 0.0 || interval >= 1.0 {
             return RunPlan { duration: remaining, checkpoints: Vec::new() };
         }
-        let i = self.interval_fraction;
+        let i = interval;
         let o = self.overhead_fraction.max(0.0);
         // Number of *useful* checkpoints: one per interval boundary
         // strictly inside the remaining work (the boundary at completion
@@ -118,6 +197,64 @@ pub struct RunPlan {
     pub duration: f64,
     /// Planned checkpoints, in offset order.
     pub checkpoints: Vec<PlannedCheckpoint>,
+}
+
+/// Exponentially weighted moving average of observed inter-failure
+/// times — the MTBF estimate driving [`CheckpointPolicy::adaptive`].
+///
+/// Failures are fed in as absolute times via
+/// [`MtbfEstimator::record_failure`]; the estimator tracks the gaps
+/// between consecutive *distinct* failure times. Zero gaps (several
+/// hosts dying at the same instant, e.g. a whole-site outage) are one
+/// correlated event, not evidence of a zero MTBF, and are folded into
+/// the failure count without touching the average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtbfEstimator {
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest gap.
+    alpha: f64,
+    last_failure: Option<f64>,
+    ewma: Option<f64>,
+    failures: u64,
+}
+
+impl MtbfEstimator {
+    /// Estimator with smoothing factor `alpha` (weight of the newest
+    /// inter-failure gap; `1.0` tracks only the latest gap).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        MtbfEstimator { alpha, last_failure: None, ewma: None, failures: 0 }
+    }
+
+    /// Record a failure observed at absolute time `t` (seconds). Out of
+    /// order observations are tolerated: the gap is measured from the
+    /// latest failure seen so far.
+    pub fn record_failure(&mut self, t: f64) {
+        self.failures += 1;
+        match self.last_failure {
+            None => self.last_failure = Some(t),
+            Some(prev) => {
+                let gap = t - prev;
+                if gap > 0.0 {
+                    self.ewma = Some(match self.ewma {
+                        None => gap,
+                        Some(e) => self.alpha * gap + (1.0 - self.alpha) * e,
+                    });
+                    self.last_failure = Some(t);
+                }
+            }
+        }
+    }
+
+    /// The current MTBF estimate, or `None` until two distinct failure
+    /// times have been observed.
+    pub fn mtbf(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Total failures recorded (simultaneous ones included).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
 }
 
 /// A persisted snapshot of one task's progress.
@@ -222,6 +359,21 @@ impl CheckpointStore {
             .cloned()
     }
 
+    /// Add a replica host to an existing checkpoint of `task` (a
+    /// completed cross-site replication transfer). Returns `false` when
+    /// the checkpoint no longer exists (e.g. forgotten after completion)
+    /// or the host already holds a copy.
+    pub fn add_replica(&self, task: TaskId, seq: u64, host: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(cps) = inner.by_task.get_mut(&task) else { return false };
+        let Some(cp) = cps.iter_mut().find(|cp| cp.seq == seq) else { return false };
+        if cp.stored_on.iter().any(|h| h == host) {
+            return false;
+        }
+        cp.stored_on.push(host.to_string());
+        true
+    }
+
     /// Every checkpoint of `task`, in sequence order.
     pub fn checkpoints_for(&self, task: TaskId) -> Vec<TaskCheckpoint> {
         self.inner.lock().by_task.get(&task).cloned().unwrap_or_default()
@@ -319,6 +471,100 @@ mod tests {
         assert_eq!(cp.progress, 0.75);
         // Everything unreachable: restart from zero.
         assert!(store.latest_valid(tid(0), |_| false).is_none());
+    }
+
+    #[test]
+    fn mtbf_estimator_tracks_inter_failure_gaps() {
+        let mut e = MtbfEstimator::new(0.5);
+        assert_eq!(e.mtbf(), None);
+        e.record_failure(10.0);
+        assert_eq!(e.mtbf(), None, "one failure has no gap yet");
+        e.record_failure(30.0);
+        assert_eq!(e.mtbf(), Some(20.0), "first gap seeds the EWMA");
+        e.record_failure(70.0);
+        // 0.5 × 40 + 0.5 × 20 = 30.
+        assert!((e.mtbf().unwrap() - 30.0).abs() < 1e-12);
+        assert_eq!(e.failures(), 3);
+    }
+
+    #[test]
+    fn mtbf_estimator_ignores_simultaneous_failures() {
+        let mut e = MtbfEstimator::new(0.5);
+        e.record_failure(5.0);
+        e.record_failure(5.0);
+        e.record_failure(5.0);
+        assert_eq!(e.mtbf(), None, "a correlated burst is one event");
+        assert_eq!(e.failures(), 3);
+        e.record_failure(25.0);
+        assert_eq!(e.mtbf(), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn mtbf_estimator_rejects_bad_alpha() {
+        let _ = MtbfEstimator::new(0.0);
+    }
+
+    #[test]
+    fn adaptive_interval_follows_youngs_approximation() {
+        let p = CheckpointPolicy::every(0.25, 0.02).with_adaptive_interval();
+        // No estimate yet: the fixed interval is used.
+        assert_eq!(p.effective_interval(None, 100.0), 0.25);
+        assert_eq!(p.run_plan_adaptive(100.0, 0.0, None), p.run_plan(100.0, 0.0));
+        // MTBF 100s, cost 2s: T_opt = √(2·2·100) = 20s → 0.2 of the task.
+        let i = p.effective_interval(Some(100.0), 100.0);
+        assert!((i - 0.2).abs() < 1e-12, "got {i}");
+        // Frequent failures shorten the interval, rare ones lengthen it,
+        // and the clamp keeps both within [0.02, 0.9].
+        assert!(p.effective_interval(Some(1.0), 100.0) < i);
+        assert!(p.effective_interval(Some(10_000.0), 100.0) > i);
+        assert_eq!(p.effective_interval(Some(1e-9), 100.0), 0.02);
+        assert_eq!(p.effective_interval(Some(1e12), 100.0), 0.9);
+        // Non-adaptive policies never move.
+        let fixed = CheckpointPolicy::every(0.25, 0.02);
+        assert_eq!(fixed.effective_interval(Some(100.0), 100.0), 0.25);
+    }
+
+    #[test]
+    fn adaptive_plan_spaces_checkpoints_by_the_effective_interval() {
+        let p = CheckpointPolicy::every(0.25, 0.02).with_adaptive_interval();
+        let plan = p.run_plan_adaptive(100.0, 0.0, Some(100.0));
+        // Effective interval 0.2 → boundaries at 20/40/60/80%.
+        assert_eq!(plan.checkpoints.len(), 4);
+        let progress: Vec<f64> = plan.checkpoints.iter().map(|c| c.progress).collect();
+        for (got, want) in progress.iter().zip([0.2, 0.4, 0.6, 0.8]) {
+            assert!((got - want).abs() < 1e-9, "{progress:?}");
+        }
+    }
+
+    #[test]
+    fn add_replica_extends_stored_on() {
+        let store = CheckpointStore::new();
+        let seq = store.record(TaskCheckpoint::new(tid(0), 0.5, 1.0, vec!["home".into()]));
+        assert!(store.add_replica(tid(0), seq, "remote"));
+        assert!(!store.add_replica(tid(0), seq, "remote"), "duplicate replica refused");
+        assert!(!store.add_replica(tid(0), 99, "remote"), "unknown sequence refused");
+        assert!(!store.add_replica(tid(7), 0, "remote"), "unknown task refused");
+        let cp = store.latest(tid(0)).unwrap();
+        assert_eq!(cp.stored_on, vec!["home".to_string(), "remote".to_string()]);
+        // The replica keeps the checkpoint valid when home is dead.
+        let valid = store.latest_valid(tid(0), |h| h != "home").unwrap();
+        assert_eq!(valid.progress, 0.5);
+    }
+
+    #[test]
+    fn replica_policy_round_trips_and_defaults_off() {
+        let p = CheckpointPolicy::every(0.1, 0.002).with_replicas(1 << 20);
+        assert!(p.replicate_cross_site);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CheckpointPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // Old serialized policies (no new fields) still parse.
+        let legacy: CheckpointPolicy =
+            serde_json::from_str(r#"{"interval_fraction":0.25,"overhead_fraction":0.02}"#).unwrap();
+        assert!(!legacy.adaptive);
+        assert!(!legacy.replicate_cross_site);
+        assert_eq!(legacy.state_bytes, 0);
     }
 
     #[test]

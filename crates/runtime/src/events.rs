@@ -122,6 +122,38 @@ pub enum RuntimeEvent {
         /// Host name.
         host: String,
     },
+    /// The acting Site Manager of a site died and a deputy host took
+    /// over the role (DESIGN.md §12).
+    SiteManagerFailedOver {
+        /// The site.
+        site: u16,
+        /// Host that held the role.
+        from: String,
+        /// Host now holding it.
+        to: String,
+    },
+    /// Every host of a site is down: the site was quarantined at
+    /// federation level.
+    SiteQuarantined {
+        /// The site.
+        site: u16,
+    },
+    /// A quarantined site has a live host again and rejoined the
+    /// federation.
+    SiteRejoined {
+        /// The site.
+        site: u16,
+    },
+    /// A checkpoint's cross-site replication transfer completed; the
+    /// checkpoint now survives the loss of its home site.
+    CheckpointReplicated {
+        /// The task.
+        task: TaskId,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Remote host now holding a copy.
+        host: String,
+    },
 }
 
 /// Shared, timestamped, append-only event log.

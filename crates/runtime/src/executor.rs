@@ -147,6 +147,11 @@ pub struct CheckpointContext<'a> {
     pub store: &'a CheckpointStore,
     /// Is a replica host currently reachable?
     pub reachable: &'a (dyn Fn(&str) -> bool + Sync),
+    /// Optional cross-site replica target (DESIGN.md §12): every
+    /// checkpoint this execution records is also stored on this host, so
+    /// the checkpoint survives the loss of the entire site that ran the
+    /// task. `None` keeps checkpoints site-local.
+    pub replicate_to: Option<String>,
 }
 
 /// Execute a scheduled application. See the module docs for semantics.
@@ -514,6 +519,14 @@ fn run_task(
                         host: hosts.first().cloned().unwrap_or_default(),
                     },
                 );
+                if let Some(remote) = &ctx.replicate_to {
+                    if !hosts.contains(remote) && ctx.store.add_replica(task, seq, remote) {
+                        log.record(
+                            finish,
+                            RuntimeEvent::CheckpointReplicated { task, seq, host: remote.clone() },
+                        );
+                    }
+                }
             }
         }
 
@@ -928,7 +941,7 @@ mod tests {
         let table = single_host_table(&afg, "h0");
         let store = CheckpointStore::new();
         let reachable = |_: &str| true;
-        let ctx = CheckpointContext { store: &store, reachable: &reachable };
+        let ctx = CheckpointContext { store: &store, reachable: &reachable, replicate_to: None };
         let config = ExecutorConfig {
             checkpoint: CheckpointPolicy::every(0.5, 0.0),
             ..ExecutorConfig::default()
@@ -988,6 +1001,73 @@ mod tests {
     }
 
     #[test]
+    fn replicated_checkpoints_survive_home_host_loss() {
+        let afg = chain();
+        let table = single_host_table(&afg, "h0");
+        let store = CheckpointStore::new();
+        let config = ExecutorConfig {
+            checkpoint: CheckpointPolicy::every(0.5, 0.0),
+            ..ExecutorConfig::default()
+        };
+
+        // First run replicates every checkpoint to the off-site host r1.
+        let log = EventLog::new();
+        let dm = DataManager::new(Transport::InProc, log.clone());
+        let io = IoService::new();
+        let console = ConsoleService::new(log.clone());
+        let clock = RealClock::new();
+        let reachable = |_: &str| true;
+        let ctx = CheckpointContext {
+            store: &store,
+            reachable: &reachable,
+            replicate_to: Some("r1".into()),
+        };
+        assert!(
+            execute_full(
+                &afg,
+                &table,
+                &dm,
+                &io,
+                &console,
+                &AlwaysProceed,
+                &log,
+                &clock,
+                None,
+                &config,
+                &HostLockRegistry::new(),
+                Some(&ctx),
+            )
+            .success
+        );
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::CheckpointReplicated { .. })), 3);
+
+        // h0 crashed, but the replicas on r1 keep every checkpoint valid:
+        // the rerun resumes everything instead of re-executing.
+        let log2 = EventLog::new();
+        let dm2 = DataManager::new(Transport::InProc, log2.clone());
+        let console2 = ConsoleService::new(log2.clone());
+        let h0_down = |h: &str| h != "h0";
+        let ctx2 = CheckpointContext { store: &store, reachable: &h0_down, replicate_to: None };
+        let out2 = execute_full(
+            &afg,
+            &table,
+            &dm2,
+            &io,
+            &console2,
+            &AlwaysProceed,
+            &log2,
+            &clock,
+            None,
+            &config,
+            &HostLockRegistry::new(),
+            Some(&ctx2),
+        );
+        assert!(out2.success, "{:?}", out2.records);
+        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })), 0);
+        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+    }
+
+    #[test]
     fn unreachable_checkpoint_replicas_force_reexecution() {
         let afg = chain();
         let table = single_host_table(&afg, "h0");
@@ -1004,7 +1084,7 @@ mod tests {
         let console = ConsoleService::new(log.clone());
         let clock = RealClock::new();
         let reachable = |_: &str| true;
-        let ctx = CheckpointContext { store: &store, reachable: &reachable };
+        let ctx = CheckpointContext { store: &store, reachable: &reachable, replicate_to: None };
         assert!(
             execute_full(
                 &afg,
@@ -1029,7 +1109,7 @@ mod tests {
         let dm2 = DataManager::new(Transport::InProc, log2.clone());
         let console2 = ConsoleService::new(log2.clone());
         let h0_down = |h: &str| h != "h0";
-        let ctx2 = CheckpointContext { store: &store, reachable: &h0_down };
+        let ctx2 = CheckpointContext { store: &store, reachable: &h0_down, replicate_to: None };
         let out2 = execute_full(
             &afg,
             &table,

@@ -51,7 +51,7 @@ pub mod site_manager;
 
 pub use app_controller::{AppController, AppControllerConfig, ExecutionReport, ThresholdGate};
 pub use checkpoint::{
-    CheckpointPolicy, CheckpointStore, PlannedCheckpoint, RunPlan, TaskCheckpoint,
+    CheckpointPolicy, CheckpointStore, MtbfEstimator, PlannedCheckpoint, RunPlan, TaskCheckpoint,
 };
 pub use data_manager::{ChannelId, DataManager, Transport};
 pub use events::{EventLog, RuntimeEvent};
@@ -59,6 +59,6 @@ pub use executor::{execute_full, execute_with_locks, HostLockRegistry};
 pub use kernels::run_kernel;
 pub use monitor::{LoadProbe, MonitorDaemon, MonitorReport, SyntheticProbe};
 pub use net_monitor::{LinkProbe, NetworkMonitor, SyntheticLinkProbe};
-pub use recovery::{BackoffPolicy, Quarantine};
+pub use recovery::{BackoffPolicy, Quarantine, SiteQuarantine};
 pub use services::{ConsoleService, IoService, VisualizationService};
-pub use site_manager::{ControlMessage, SiteManager};
+pub use site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager};

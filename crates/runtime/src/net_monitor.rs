@@ -9,6 +9,13 @@
 //! [`SharedNetworkModel`], which schedulers snapshot before each run —
 //! so congestion observed on a link steers subsequent placements away
 //! from it.
+//!
+//! The monitor is also the federation's *partition detector* (DESIGN.md
+//! §12): a probe that times out entirely (non-finite latency or zero
+//! bandwidth) marks the link severed in a detected [`PartitionState`]
+//! instead of poisoning the performance model, and a later successful
+//! probe restores it. Schedulers consult [`NetworkMonitor::reachability`]
+//! to avoid placing tasks across links that are currently down.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,19 +23,24 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use vdce_net::model::SharedNetworkModel;
 use vdce_net::topology::SiteId;
+use vdce_net::PartitionState;
 
 /// Source of link measurements (one round-trip probe per site pair).
 pub trait LinkProbe: Send + Sync {
     /// Measure the link `a`–`b` now; returns `(latency seconds,
-    /// bandwidth bytes/s)`.
+    /// bandwidth bytes/s)`. A dead link is reported as a non-finite
+    /// latency or a non-positive bandwidth (a probe that never returned).
     fn probe(&self, a: SiteId, b: SiteId) -> (f64, f64);
 }
 
 /// Deterministic probe for tests and experiments: per-pair values with a
-/// settable override (simulating congestion).
+/// settable override (simulating congestion) and a severed-link set
+/// (simulating partitions: probes on severed links "time out", reporting
+/// infinite latency and zero bandwidth).
 #[derive(Debug, Default)]
 pub struct SyntheticLinkProbe {
     overrides: parking_lot::RwLock<std::collections::BTreeMap<(u16, u16), (f64, f64)>>,
+    down: parking_lot::RwLock<std::collections::BTreeSet<(u16, u16)>>,
     default: parking_lot::RwLock<(f64, f64)>,
 }
 
@@ -53,11 +65,27 @@ impl SyntheticLinkProbe {
         let key = (a.0.min(b.0), a.0.max(b.0));
         self.overrides.write().remove(&key);
     }
+
+    /// Sever one (symmetric) pair: probes on it time out until
+    /// [`heal`](Self::heal) is called.
+    pub fn sever(&self, a: SiteId, b: SiteId) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.down.write().insert(key);
+    }
+
+    /// Heal a severed (symmetric) pair: probes succeed again.
+    pub fn heal(&self, a: SiteId, b: SiteId) {
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        self.down.write().remove(&key);
+    }
 }
 
 impl LinkProbe for SyntheticLinkProbe {
     fn probe(&self, a: SiteId, b: SiteId) -> (f64, f64) {
         let key = (a.0.min(b.0), a.0.max(b.0));
+        if self.down.read().contains(&key) {
+            return (f64::INFINITY, 0.0);
+        }
         self.overrides.read().get(&key).copied().unwrap_or(*self.default.read())
     }
 }
@@ -67,26 +95,47 @@ pub struct NetworkMonitor {
     model: SharedNetworkModel,
     probe: Arc<dyn LinkProbe>,
     sites: usize,
+    detected: parking_lot::RwLock<PartitionState>,
 }
 
 impl NetworkMonitor {
     /// Monitor `sites` sites, feeding `model` from `probe`.
     pub fn new(model: SharedNetworkModel, probe: Arc<dyn LinkProbe>, sites: usize) -> Self {
-        NetworkMonitor { model, probe, sites }
+        NetworkMonitor {
+            model,
+            probe,
+            sites,
+            detected: parking_lot::RwLock::new(PartitionState::new()),
+        }
     }
 
     /// One probing round over every site pair (including intra-site
-    /// links). Returns the number of links probed.
+    /// links). A probe that times out (non-finite latency or non-positive
+    /// bandwidth) marks the link severed in the detected partition state
+    /// rather than feeding the performance model; a successful probe
+    /// restores it. Returns the number of links probed.
     pub fn tick(&self) -> usize {
         let mut probed = 0;
         for a in 0..self.sites as u16 {
             for b in a..self.sites as u16 {
                 let (lat, bw) = self.probe.probe(SiteId(a), SiteId(b));
-                self.model.observe(SiteId(a), SiteId(b), lat, bw);
+                if lat.is_finite() && bw.is_finite() && bw > 0.0 {
+                    self.detected.write().restore(SiteId(a), SiteId(b));
+                    self.model.observe(SiteId(a), SiteId(b), lat, bw);
+                } else {
+                    self.detected.write().sever(SiteId(a), SiteId(b));
+                }
                 probed += 1;
             }
         }
         probed
+    }
+
+    /// Snapshot of the partition state as detected by probing — which
+    /// inter-site links currently appear down. Feeds the schedulers'
+    /// reachability filtering during partitions.
+    pub fn reachability(&self) -> PartitionState {
+        self.detected.read().clone()
     }
 
     /// Run as a daemon thread with wall-clock `period` until `stop`.
@@ -149,6 +198,44 @@ mod tests {
         probe.clear(SiteId(0), SiteId(1)); // symmetric key matches either order
         mon.tick();
         assert!((model.link(SiteId(0), SiteId(1)).latency_s - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severed_link_is_detected_not_modelled() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(3), 1.0);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.05, 1e6));
+        let mon = NetworkMonitor::new(model.clone(), probe.clone(), 3);
+        mon.tick();
+        assert!(mon.reachability().is_whole(), "healthy network detects no cuts");
+
+        probe.sever(SiteId(0), SiteId(1));
+        mon.tick();
+        let det = mon.reachability();
+        assert!(det.is_severed(SiteId(0), SiteId(1)));
+        assert!(det.reachable(SiteId(0), SiteId(1), 3), "mesh routes around one cut");
+        // The performance model kept its last good estimate instead of
+        // absorbing the timed-out probe.
+        let l = model.link(SiteId(0), SiteId(1));
+        assert!((l.latency_s - 0.05).abs() < 1e-12);
+
+        probe.heal(SiteId(0), SiteId(1));
+        mon.tick();
+        assert!(mon.reachability().is_whole(), "successful probe restores the link");
+    }
+
+    #[test]
+    fn full_isolation_is_detected_as_unreachable() {
+        let model = SharedNetworkModel::new(NetworkModel::with_defaults(3), 1.0);
+        let probe = Arc::new(SyntheticLinkProbe::new(0.05, 1e6));
+        for other in [0u16, 1] {
+            probe.sever(SiteId(2), SiteId(other));
+        }
+        let mon = NetworkMonitor::new(model, probe, 3);
+        mon.tick();
+        let det = mon.reachability();
+        assert!(!det.reachable(SiteId(2), SiteId(0), 3));
+        assert!(!det.reachable(SiteId(2), SiteId(1), 3));
+        assert!(det.reachable(SiteId(0), SiteId(1), 3), "survivors stay connected");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 use std::time::Duration;
+use vdce_net::topology::SiteId;
 
 /// Capped exponential backoff for transient-fault retries.
 ///
@@ -139,6 +140,76 @@ impl Quarantine {
     }
 }
 
+/// The set of *sites* currently unreachable as a whole — the
+/// federation-level analogue of [`Quarantine`] (DESIGN.md §12). A site
+/// enters when its last host stops answering (see
+/// `SiteFailover::on_host_down`) and is re-admitted when any host
+/// returns; while quarantined its views are excluded from scheduling and
+/// re-selection, and its checkpoint replicas count as unreachable.
+#[derive(Debug, Default)]
+pub struct SiteQuarantine {
+    sites: RwLock<BTreeSet<u16>>,
+    quarantined_total: AtomicU64,
+    readmitted_total: AtomicU64,
+}
+
+impl SiteQuarantine {
+    /// Empty quarantine.
+    pub fn new() -> Self {
+        SiteQuarantine::default()
+    }
+
+    /// Record a whole-site failure. Returns `true` if the site was newly
+    /// quarantined.
+    pub fn quarantine(&self, site: SiteId) -> bool {
+        let fresh = self.sites.write().unwrap().insert(site.0);
+        if fresh {
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Record a site rejoining. Returns `true` if the site was present
+    /// and has been re-admitted.
+    pub fn readmit(&self, site: SiteId) -> bool {
+        let was_in = self.sites.write().unwrap().remove(&site.0);
+        if was_in {
+            self.readmitted_total.fetch_add(1, Ordering::Relaxed);
+        }
+        was_in
+    }
+
+    /// Is `site` currently quarantined?
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.sites.read().unwrap().contains(&site.0)
+    }
+
+    /// Snapshot of the current membership (sorted).
+    pub fn snapshot(&self) -> BTreeSet<u16> {
+        self.sites.read().unwrap().clone()
+    }
+
+    /// Number of sites currently quarantined.
+    pub fn len(&self) -> usize {
+        self.sites.read().unwrap().len()
+    }
+
+    /// True when no site is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of site quarantine admissions.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of site re-admissions.
+    pub fn readmitted_total(&self) -> u64 {
+        self.readmitted_total.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +268,22 @@ mod tests {
         assert!(q.quarantine("h0"), "host can fail again after recovery");
         assert_eq!(q.quarantined_total(), 2);
         assert_eq!(q.snapshot().into_iter().collect::<Vec<_>>(), vec!["h0".to_string()]);
+    }
+
+    #[test]
+    fn site_quarantine_mirrors_host_quarantine_semantics() {
+        let q = SiteQuarantine::new();
+        assert!(q.is_empty());
+        assert!(q.quarantine(SiteId(2)));
+        assert!(!q.quarantine(SiteId(2)), "double admission is a no-op");
+        assert!(q.contains(SiteId(2)));
+        assert!(!q.contains(SiteId(0)));
+        assert_eq!(q.len(), 1);
+        assert!(q.readmit(SiteId(2)));
+        assert!(!q.readmit(SiteId(2)));
+        assert!(q.quarantine(SiteId(2)), "site can fail again after rejoining");
+        assert_eq!(q.quarantined_total(), 2);
+        assert_eq!(q.readmitted_total(), 1);
+        assert_eq!(q.snapshot().into_iter().collect::<Vec<_>>(), vec![2u16]);
     }
 }

@@ -264,6 +264,14 @@ impl VisualizationService {
                 RuntimeEvent::TaskResumed { task, progress, host } => {
                     ("task_resumed", format!("{task}@{host}:{progress:.2}"))
                 }
+                RuntimeEvent::SiteManagerFailedOver { site, from, to } => {
+                    ("site_manager_failed_over", format!("S{site}:{from}->{to}"))
+                }
+                RuntimeEvent::SiteQuarantined { site } => ("site_quarantined", format!("S{site}")),
+                RuntimeEvent::SiteRejoined { site } => ("site_rejoined", format!("S{site}")),
+                RuntimeEvent::CheckpointReplicated { task, seq, host } => {
+                    ("checkpoint_replicated", format!("{task}#{seq}->{host}"))
+                }
             };
             let _ = writeln!(out, "{t:.6},{name},{detail}");
         }

@@ -17,9 +17,17 @@
 //!    and monitoring purposes) are handled by Site Managers" — the
 //!    scheduling half lives in `vdce_sched::federation`
 //!    ([`SiteManager::view`] produces the snapshot it serves).
+//!
+//! The paper runs exactly one Site Manager per site, on the VDCE server
+//! machine — a single point of failure for the whole site. DESIGN.md §12
+//! adds the missing failover protocol: [`SiteFailover`] tracks host
+//! liveness inside the site, promotes a *deputy* manager (the
+//! lexicographically smallest live host) when the server machine dies,
+//! restores the primary when it returns, and declares the site
+//! quarantined at federation level once no host answers at all.
 
 use crossbeam::channel::Receiver;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use vdce_net::topology::SiteId;
 use vdce_repository::resources::HostStatus;
 use vdce_repository::SiteRepository;
@@ -161,6 +169,142 @@ impl SiteManager {
     /// federation protocol.
     pub fn view(&self) -> SiteView {
         SiteView::capture(self.site, &self.repo)
+    }
+}
+
+/// A Site-Manager role transition produced by [`SiteFailover`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailoverEvent {
+    /// The acting manager died; a deputy host took over the role.
+    DeputyPromoted {
+        /// Host that held the role.
+        from: String,
+        /// Host now holding it.
+        to: String,
+    },
+    /// Every host of the site is down: the site has no manager and must
+    /// be quarantined at federation level.
+    SiteQuarantined,
+    /// The primary (VDCE server) host came back and reclaimed the role
+    /// from a deputy.
+    ManagerRestored {
+        /// The primary host.
+        host: String,
+    },
+    /// A previously manager-less (quarantined) site has a live host
+    /// again and rejoins the federation.
+    SiteRejoined {
+        /// Host now acting as manager.
+        manager: String,
+    },
+}
+
+/// Site-Manager failover state machine (DESIGN.md §12).
+///
+/// Election rule, applied on every liveness transition: the primary
+/// (VDCE server host) if it is up, else the lexicographically smallest
+/// live host as *deputy*, else nobody — the site is quarantined. The
+/// rule is deterministic, so every observer that has seen the same
+/// transitions agrees on the acting manager without extra coordination.
+#[derive(Debug, Clone)]
+pub struct SiteFailover {
+    /// The site.
+    pub site: SiteId,
+    primary: String,
+    hosts: BTreeSet<String>,
+    down: BTreeSet<String>,
+    manager: Option<String>,
+    failovers: u64,
+}
+
+impl SiteFailover {
+    /// Tracker for `site` whose VDCE server runs on `primary`; `hosts`
+    /// are all hosts of the site (the primary is added if missing). All
+    /// hosts start up, with the primary holding the manager role.
+    pub fn new(site: SiteId, primary: impl Into<String>, hosts: &[String]) -> Self {
+        let primary = primary.into();
+        let mut set: BTreeSet<String> = hosts.iter().cloned().collect();
+        set.insert(primary.clone());
+        SiteFailover {
+            site,
+            manager: Some(primary.clone()),
+            primary,
+            hosts: set,
+            down: BTreeSet::new(),
+            failovers: 0,
+        }
+    }
+
+    fn elect(&self) -> Option<String> {
+        if !self.down.contains(&self.primary) {
+            return Some(self.primary.clone());
+        }
+        self.hosts.iter().find(|h| !self.down.contains(*h)).cloned()
+    }
+
+    fn transition(&mut self, came_up: bool) -> Option<FailoverEvent> {
+        let new = self.elect();
+        if new == self.manager {
+            return None;
+        }
+        let old = std::mem::replace(&mut self.manager, new.clone());
+        Some(match (old, new) {
+            (Some(from), Some(to)) => {
+                if to == self.primary && came_up {
+                    FailoverEvent::ManagerRestored { host: to }
+                } else {
+                    self.failovers += 1;
+                    FailoverEvent::DeputyPromoted { from, to }
+                }
+            }
+            (Some(_), None) => FailoverEvent::SiteQuarantined,
+            (None, Some(manager)) => FailoverEvent::SiteRejoined { manager },
+            (None, None) => unreachable!("transition requires a change"),
+        })
+    }
+
+    /// Record that `host` was declared dead. Returns the role transition
+    /// this causes, if any. Hosts outside the site are ignored.
+    pub fn on_host_down(&mut self, host: &str) -> Option<FailoverEvent> {
+        if !self.hosts.contains(host) || !self.down.insert(host.to_string()) {
+            return None;
+        }
+        self.transition(false)
+    }
+
+    /// Record that `host` answers again. Returns the role transition
+    /// this causes, if any.
+    pub fn on_host_up(&mut self, host: &str) -> Option<FailoverEvent> {
+        if !self.hosts.contains(host) || !self.down.remove(host) {
+            return None;
+        }
+        self.transition(true)
+    }
+
+    /// The host currently acting as Site Manager; `None` while the site
+    /// is quarantined.
+    pub fn manager_host(&self) -> Option<&str> {
+        self.manager.as_deref()
+    }
+
+    /// The configured VDCE server host.
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// Is the whole site down (no manager electable)?
+    pub fn is_quarantined(&self) -> bool {
+        self.manager.is_none()
+    }
+
+    /// Lifetime count of deputy promotions.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Number of hosts currently considered down.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
     }
 }
 
@@ -349,5 +493,76 @@ mod tests {
         let v = sm.view();
         assert_eq!(v.site, SiteId(0));
         assert_eq!(v.resources.len(), 2);
+    }
+
+    fn failover() -> SiteFailover {
+        SiteFailover::new(
+            SiteId(1),
+            "server",
+            &["a".to_string(), "b".to_string(), "server".to_string()],
+        )
+    }
+
+    #[test]
+    fn primary_holds_the_role_until_it_dies() {
+        let mut fo = failover();
+        assert_eq!(fo.manager_host(), Some("server"));
+        assert!(fo.on_host_down("a").is_none(), "non-manager death changes nothing");
+        assert_eq!(
+            fo.on_host_down("server"),
+            Some(FailoverEvent::DeputyPromoted { from: "server".into(), to: "b".into() }),
+            "deputy = lexicographically smallest live host"
+        );
+        assert_eq!(fo.failovers(), 1);
+        assert_eq!(fo.manager_host(), Some("b"));
+    }
+
+    #[test]
+    fn all_hosts_down_quarantines_then_rejoins() {
+        let mut fo = failover();
+        fo.on_host_down("server");
+        fo.on_host_down("a");
+        assert_eq!(fo.on_host_down("b"), Some(FailoverEvent::SiteQuarantined));
+        assert!(fo.is_quarantined());
+        assert_eq!(fo.manager_host(), None);
+        assert_eq!(fo.on_host_up("a"), Some(FailoverEvent::SiteRejoined { manager: "a".into() }));
+        assert!(!fo.is_quarantined());
+    }
+
+    #[test]
+    fn primary_reclaims_the_role_on_recovery() {
+        let mut fo = failover();
+        fo.on_host_down("server");
+        assert_eq!(fo.manager_host(), Some("a"));
+        assert_eq!(
+            fo.on_host_up("server"),
+            Some(FailoverEvent::ManagerRestored { host: "server".into() })
+        );
+        assert_eq!(fo.manager_host(), Some("server"));
+        assert_eq!(fo.failovers(), 1, "restoration is not a failover");
+    }
+
+    #[test]
+    fn smaller_deputy_takes_over_from_larger_one() {
+        let mut fo = failover();
+        fo.on_host_down("server");
+        fo.on_host_down("a");
+        assert_eq!(fo.manager_host(), Some("b"));
+        // "a" (smaller than "b") comes back while the primary stays dead.
+        assert_eq!(
+            fo.on_host_up("a"),
+            Some(FailoverEvent::DeputyPromoted { from: "b".into(), to: "a".into() })
+        );
+        assert_eq!(fo.failovers(), 3, "server→a, a→b, b→a");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_transitions_are_ignored() {
+        let mut fo = failover();
+        assert!(fo.on_host_down("ghost").is_none());
+        assert!(fo.on_host_up("a").is_none(), "already up");
+        fo.on_host_down("a");
+        assert!(fo.on_host_down("a").is_none(), "already down");
+        assert_eq!(fo.down_count(), 1);
     }
 }

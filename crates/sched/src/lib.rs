@@ -45,5 +45,5 @@ pub use allocation::{AllocationTable, TaskPlacement};
 pub use host_selection::{host_selection, HostSelectionOutput, TaskHostChoice};
 pub use makespan::{evaluate, Schedule, TimedTask};
 pub use reselect::reselect_task;
-pub use site_scheduler::{site_schedule, SchedulerConfig, SchedulingError};
+pub use site_scheduler::{site_schedule, SchedulerConfig, SchedulingError, SpreadPolicy};
 pub use view::SiteView;

@@ -63,11 +63,30 @@ pub struct SchedulerConfig {
     /// Recovery-aware placement (DESIGN.md §11): spread *critical-path*
     /// tasks (level ≥ 0.75 × max level) across distinct hosts when a
     /// near-optimal alternative exists. Among candidate sites whose
-    /// `Timetotal` is within 1.10× of the best, prefer one whose chosen
-    /// hosts are disjoint from every previously placed critical task, so
-    /// a single host crash cannot take out the whole critical path. The
-    /// paper's algorithm has this `false`.
+    /// `Timetotal` is within [`SpreadPolicy::tolerance`]× of the best,
+    /// prefer one whose chosen hosts are disjoint from every previously
+    /// placed critical task, so a single host crash cannot take out the
+    /// whole critical path. The paper's algorithm has this `false`.
     pub spread_critical: bool,
+    /// Cost tolerance of the spreading decision above; only consulted
+    /// when `spread_critical` is on.
+    pub spread: SpreadPolicy,
+}
+
+/// Tunables of recovery-aware critical-path spreading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpreadPolicy {
+    /// A host-disjoint candidate is taken when its `Timetotal` is at most
+    /// `tolerance ×` the unconstrained optimum. `1.0` accepts only
+    /// equal-cost alternatives; the default `1.10` trades up to 10% of
+    /// predicted completion time for crash isolation.
+    pub tolerance: f64,
+}
+
+impl Default for SpreadPolicy {
+    fn default() -> Self {
+        SpreadPolicy { tolerance: 1.10 }
+    }
 }
 
 impl Default for SchedulerConfig {
@@ -79,6 +98,7 @@ impl Default for SchedulerConfig {
             ignore_transfer_time: false,
             sequential: false,
             spread_critical: false,
+            spread: SpreadPolicy::default(),
         }
     }
 }
@@ -170,7 +190,7 @@ pub fn site_schedule(
         net,
         config.ignore_transfer_time,
         config.sequential,
-        config.spread_critical,
+        config.spread_critical.then_some(config.spread),
     )
 }
 
@@ -184,7 +204,7 @@ pub fn schedule_with_outputs(
     outputs: &[HostSelectionOutput],
     net: &NetworkModel,
 ) -> Result<AllocationTable, SchedulingError> {
-    schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false, false)
+    schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false, None)
 }
 
 /// [`schedule_with_outputs`] with the transfer-term ablation knob.
@@ -204,7 +224,7 @@ pub fn schedule_with_outputs_opts(
         net,
         ignore_transfer_time,
         false,
-        false,
+        None,
     )
 }
 
@@ -302,7 +322,7 @@ pub fn schedule_with_outputs_full(
     net: &NetworkModel,
     ignore_transfer_time: bool,
     sequential: bool,
-    spread_critical: bool,
+    spread: Option<SpreadPolicy>,
 ) -> Result<AllocationTable, SchedulingError> {
     let mut table = AllocationTable::new(afg.name.clone());
     let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
@@ -357,7 +377,7 @@ pub fn schedule_with_outputs_full(
             }
         }
 
-        let is_critical = spread_critical && levels[task.index()] >= critical_floor - 1e-12;
+        let is_critical = spread.is_some() && levels[task.index()] >= critical_floor - 1e-12;
 
         // Candidate (site, choice) pairs. `best` is Figure 2's argmin;
         // `best_spread` additionally requires the chosen hosts to be
@@ -396,10 +416,11 @@ pub fn schedule_with_outputs_full(
         }
 
         // Recovery-aware preference: take the host-disjoint candidate
-        // when it costs at most 10% more than the unconstrained optimum.
-        if let (Some((_, _, btotal)), Some(spread)) = (&best, &best_spread) {
-            if spread.2 <= btotal * 1.10 + 1e-15 {
-                best = Some(*spread);
+        // when it costs at most `policy.tolerance ×` the unconstrained
+        // optimum.
+        if let (Some((_, _, btotal)), Some(cand), Some(policy)) = (&best, &best_spread, &spread) {
+            if cand.2 <= btotal * policy.tolerance + 1e-15 {
+                best = Some(*cand);
             }
         }
 
@@ -755,6 +776,65 @@ mod tests {
         for p in spread.iter() {
             assert_eq!(p.hosts, vec!["fast".to_string()]);
         }
+    }
+
+    /// The spread tolerance is a real knob: with a generous tolerance the
+    /// scheduler pays a modestly worse host for crash isolation; with
+    /// `tolerance: 1.0` (equal cost only) it refuses the same trade.
+    #[test]
+    fn spread_tolerance_knob_changes_the_decision() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("twin", &lib);
+        let s0 = b.add_task("Source", "s0", 100_000).unwrap();
+        let k0 = b.add_task("Sink", "k0", 100_000).unwrap();
+        let s1 = b.add_task("Source", "s1", 100_000).unwrap();
+        let k1 = b.add_task("Sink", "k1", 100_000).unwrap();
+        b.connect(s0, 0, k0, 0).unwrap();
+        b.connect(s1, 0, k1, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        // The alternative host is ~5% slower: inside the default 1.10
+        // tolerance, outside a 1.0 (equal-cost-only) tolerance.
+        let local = site_view(0, &[("l0", 2.0)]);
+        let remote = site_view(1, &[("r0", 1.9)]);
+        let mut net = NetworkModel::with_defaults(2);
+        for a in 0..2u16 {
+            for c in a..2u16 {
+                net.set_link(SiteId(a), SiteId(c), LinkParams::new(1e-9, 1e15));
+            }
+        }
+
+        let lenient = site_schedule(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &SchedulerConfig { spread_critical: true, ..cfg(1) },
+        )
+        .unwrap();
+        assert_ne!(
+            lenient.placement(s0).unwrap().hosts,
+            lenient.placement(s1).unwrap().hosts,
+            "default tolerance accepts the 5%-worse disjoint host"
+        );
+
+        let strict = site_schedule(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &SchedulerConfig {
+                spread_critical: true,
+                spread: SpreadPolicy { tolerance: 1.0 },
+                ..cfg(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            strict.placement(s0).unwrap().hosts,
+            strict.placement(s1).unwrap().hosts,
+            "tolerance 1.0 refuses any cost increase"
+        );
     }
 
     #[test]

@@ -87,6 +87,33 @@ pub enum Fault {
         /// Per-tick probability the link is dropping.
         drop_probability: f64,
     },
+    /// Whole-site outage: every host of the site (Site Manager included)
+    /// stops answering at `at` and the site falls off the WAN. With
+    /// `down_for: None` the site never comes back (a site crash);
+    /// otherwise it rejoins at `at + down_for`.
+    SiteOutage {
+        /// The site that goes dark.
+        site: u16,
+        /// Virtual time the outage starts.
+        at: f64,
+        /// Outage length; `None` means permanent.
+        down_for: Option<f64>,
+    },
+    /// Inter-site network partition: every link between the `a`-side
+    /// sites and the `b`-side sites is severed during
+    /// `[at, at + duration)`. Hosts keep running on both sides; only
+    /// cross-partition traffic is cut, and the partition heals on its
+    /// own.
+    SitePartition {
+        /// Sites on one side of the cut.
+        a: Vec<u16>,
+        /// Sites on the other side.
+        b: Vec<u16>,
+        /// Virtual time the partition starts.
+        at: f64,
+        /// Partition length, seconds.
+        duration: f64,
+    },
 }
 
 impl Fault {
@@ -97,14 +124,17 @@ impl Fault {
             | Fault::TransientOutage { at, .. }
             | Fault::LoadSpike { at, .. }
             | Fault::DegradedLink { at, .. }
-            | Fault::FlakyLink { at, .. } => *at,
+            | Fault::FlakyLink { at, .. }
+            | Fault::SiteOutage { at, .. }
+            | Fault::SitePartition { at, .. } => *at,
         }
     }
 
     /// Is this fault transient, i.e. guaranteed to clear on its own?
-    /// Everything except a permanent [`Fault::HostCrash`] is.
+    /// Everything except a permanent [`Fault::HostCrash`] and a
+    /// permanent [`Fault::SiteOutage`] (`down_for: None`) is.
     pub fn is_transient(&self) -> bool {
-        !matches!(self, Fault::HostCrash { .. })
+        !matches!(self, Fault::HostCrash { .. } | Fault::SiteOutage { down_for: None, .. })
     }
 
     /// Short stable label used in reports (`crash:s0h1.vdce.org`, …).
@@ -115,6 +145,11 @@ impl Fault {
             Fault::LoadSpike { host, .. } => format!("spike:{host}"),
             Fault::DegradedLink { a, b, .. } => format!("degraded-link:{a}-{b}"),
             Fault::FlakyLink { a, b, .. } => format!("flaky-link:{a}-{b}"),
+            Fault::SiteOutage { site, .. } => format!("site-outage:S{site}"),
+            Fault::SitePartition { a, b, .. } => {
+                let fmt = |g: &[u16]| g.iter().map(|s| s.to_string()).collect::<Vec<_>>().join("+");
+                format!("partition:{}|{}", fmt(a), fmt(b))
+            }
         }
     }
 }
@@ -171,6 +206,32 @@ pub enum FaultEvent {
         a: u16,
         /// Other endpoint site.
         b: u16,
+    },
+    /// Every host of the site goes dark and the site drops off the WAN.
+    /// The replay expands this into per-host kills plus link severing
+    /// using its topology (the plan itself is topology-free).
+    SiteDown {
+        /// The site.
+        site: u16,
+    },
+    /// The site's hosts answer again and its links are restored.
+    SiteUp {
+        /// The site.
+        site: u16,
+    },
+    /// All links between the `a`-side and `b`-side sites are severed.
+    PartitionStart {
+        /// Sites on one side.
+        a: Vec<u16>,
+        /// Sites on the other side.
+        b: Vec<u16>,
+    },
+    /// The partition heals: the severed cross-links come back.
+    PartitionHeal {
+        /// Sites on one side.
+        a: Vec<u16>,
+        /// Sites on the other side.
+        b: Vec<u16>,
     },
 }
 
@@ -311,6 +372,32 @@ impl FaultPlan {
                         });
                     }
                 }
+                Fault::SiteOutage { site, at, down_for } => {
+                    out.push(TimedFaultEvent {
+                        t: *at,
+                        fault: i,
+                        event: FaultEvent::SiteDown { site: *site },
+                    });
+                    if let Some(d) = down_for {
+                        out.push(TimedFaultEvent {
+                            t: at + d,
+                            fault: i,
+                            event: FaultEvent::SiteUp { site: *site },
+                        });
+                    }
+                }
+                Fault::SitePartition { a, b, at, duration } => {
+                    out.push(TimedFaultEvent {
+                        t: *at,
+                        fault: i,
+                        event: FaultEvent::PartitionStart { a: a.clone(), b: b.clone() },
+                    });
+                    out.push(TimedFaultEvent {
+                        t: at + duration,
+                        fault: i,
+                        event: FaultEvent::PartitionHeal { a: a.clone(), b: b.clone() },
+                    });
+                }
             }
         }
         out.sort_by(|x, y| {
@@ -340,6 +427,8 @@ mod tests {
                     bandwidth_factor: 0.1,
                 },
                 Fault::FlakyLink { a: 1, b: 2, at: 0.0, duration: 30.0, drop_probability: 0.4 },
+                Fault::SiteOutage { site: 2, at: 12.0, down_for: Some(6.0) },
+                Fault::SitePartition { a: vec![0], b: vec![1, 2], at: 15.0, duration: 10.0 },
             ],
         }
     }
@@ -474,7 +563,63 @@ mod tests {
         let labels: Vec<String> = plan.faults.iter().map(Fault::label).collect();
         assert_eq!(
             labels,
-            vec!["crash:h0", "outage:h1", "spike:h2", "degraded-link:0-1", "flaky-link:1-2"]
+            vec![
+                "crash:h0",
+                "outage:h1",
+                "spike:h2",
+                "degraded-link:0-1",
+                "flaky-link:1-2",
+                "site-outage:S2",
+                "partition:0|1+2"
+            ]
+        );
+    }
+
+    #[test]
+    fn site_outage_expands_to_down_and_optional_up() {
+        let transient = FaultPlan {
+            seed: 0,
+            faults: vec![Fault::SiteOutage { site: 1, at: 4.0, down_for: Some(3.0) }],
+        };
+        let tl = transient.timeline(1.0);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].event, FaultEvent::SiteDown { site: 1 });
+        assert_eq!(tl[1].event, FaultEvent::SiteUp { site: 1 });
+        assert_eq!(tl[1].t, 7.0);
+
+        let permanent = FaultPlan {
+            seed: 0,
+            faults: vec![Fault::SiteOutage { site: 1, at: 4.0, down_for: None }],
+        };
+        let tl = permanent.timeline(1.0);
+        assert_eq!(tl.len(), 1, "a permanent site crash never comes back up");
+        assert_eq!(tl[0].event, FaultEvent::SiteDown { site: 1 });
+    }
+
+    #[test]
+    fn partition_expands_to_start_and_heal() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![Fault::SitePartition {
+                a: vec![0, 1],
+                b: vec![2],
+                at: 2.0,
+                duration: 5.0,
+            }],
+        };
+        let tl = plan.timeline(1.0);
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].event, FaultEvent::PartitionStart { a: vec![0, 1], b: vec![2] });
+        assert_eq!(tl[1].event, FaultEvent::PartitionHeal { a: vec![0, 1], b: vec![2] });
+        assert_eq!(tl[1].t, 7.0);
+    }
+
+    #[test]
+    fn site_fault_transience() {
+        assert!(!Fault::SiteOutage { site: 0, at: 0.0, down_for: None }.is_transient());
+        assert!(Fault::SiteOutage { site: 0, at: 0.0, down_for: Some(1.0) }.is_transient());
+        assert!(
+            Fault::SitePartition { a: vec![0], b: vec![1], at: 0.0, duration: 1.0 }.is_transient()
         );
     }
 }

@@ -64,6 +64,11 @@ pub struct FaultOutcome {
     /// Did the system fully absorb this fault (see DESIGN.md §10 for the
     /// per-kind criteria)?
     pub recovered: bool,
+    /// Site the fault touched: the victim host's site for host faults,
+    /// the site itself for site outages, `None` for link faults (they
+    /// belong to a pair of sites, not one).
+    #[serde(default)]
+    pub site: Option<u16>,
 }
 
 /// What a fault-injected replay cost, versus the fault-free run of the
@@ -113,6 +118,23 @@ pub struct RecoveryReport {
     /// (Σ resumed / Σ lost; `1.0` when nothing was ever lost).
     #[serde(default = "one")]
     pub recovered_work_fraction: f64,
+    /// Site Manager failovers: a deputy host took over the role after
+    /// the acting manager died (DESIGN.md §12).
+    #[serde(default)]
+    pub site_failovers: u64,
+    /// Sites quarantined at federation level (lifetime count).
+    #[serde(default)]
+    pub sites_quarantined: u64,
+    /// Sites still quarantined when the replay ended.
+    #[serde(default)]
+    pub sites_quarantined_at_end: u64,
+    /// Cross-site checkpoint replication transfers that completed.
+    #[serde(default)]
+    pub replica_transfers: u64,
+    /// Bytes of checkpoint state pushed across sites (charged through
+    /// the network model — replication is not free).
+    #[serde(default)]
+    pub replica_bytes: u64,
     /// Per-fault outcomes, in plan order.
     pub faults: Vec<FaultOutcome>,
 }
@@ -155,6 +177,9 @@ pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
         "ckpts",
         "ckpt_ovh_s",
         "recovered_work",
+        "site_fo",
+        "repl_xfers",
+        "repl_bytes",
         "mean_detect_s",
         "recovered",
     ]);
@@ -169,6 +194,9 @@ pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
             r.checkpoints_taken.to_string(),
             format!("{:.4}", r.checkpoint_overhead),
             format!("{:.3}", r.recovered_work_fraction),
+            r.site_failovers.to_string(),
+            r.replica_transfers.to_string(),
+            r.replica_bytes.to_string(),
             r.mean_detection_latency().map_or("-".into(), |m| format!("{m:.2}")),
             if r.recovered_all() { "yes".into() } else { "NO".into() },
         ]);

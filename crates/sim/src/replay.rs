@@ -17,6 +17,18 @@
 //! **migrate** (terminate-and-restart on the new hosts) → **retry**
 //! (bounded [`BackoffPolicy`] waits when no capacity is available).
 //!
+//! Site-level faults (DESIGN.md §12) ride the same machinery: a
+//! [`Fault::SiteOutage`] expands into per-host kills plus severing every
+//! WAN link of the site, a [`Fault::SitePartition`] severs the links
+//! between two site groups. Ground-truth connectivity lives in a
+//! [`PartitionState`]; the *detected* state comes from the
+//! [`NetworkMonitor`]'s timed-out probes and gates re-selection, while
+//! per-site [`SiteFailover`] trackers promote deputy Site Managers and
+//! quarantine sites ([`SiteQuarantine`]) whose last host died. With
+//! `replicate_cross_site` checkpoints additionally stream to the nearest
+//! other site, each transfer charged through the network model, so a
+//! whole-site loss resumes from a remote replica instead of zero.
+//!
 //! Everything is a pure function of `(federation, afg, plan, config)`:
 //! state lives in `BTree*` collections, channels are drained in creation
 //! order, and the only randomness is the plan seed — replaying twice
@@ -31,14 +43,18 @@ use std::sync::Arc;
 use vdce_afg::{level_map, Afg, TaskId};
 use vdce_net::model::SharedNetworkModel;
 use vdce_net::topology::SiteId;
+use vdce_net::PartitionState;
 use vdce_predict::cache::PredictCache;
 use vdce_repository::SiteRepository;
 use vdce_runtime::events::{EventLog, RuntimeEvent};
 use vdce_runtime::group::{FlagEcho, GroupManager};
 use vdce_runtime::monitor::{MonitorDaemon, MonitorReport, SyntheticProbe};
 use vdce_runtime::net_monitor::{NetworkMonitor, SyntheticLinkProbe};
-use vdce_runtime::site_manager::{ControlMessage, SiteManager};
-use vdce_runtime::{BackoffPolicy, CheckpointPolicy, CheckpointStore, Quarantine, TaskCheckpoint};
+use vdce_runtime::site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager};
+use vdce_runtime::{
+    BackoffPolicy, CheckpointPolicy, CheckpointStore, MtbfEstimator, Quarantine, SiteQuarantine,
+    TaskCheckpoint,
+};
 use vdce_sched::{reselect_task, site_schedule, SchedulerConfig};
 
 /// Tunables of one replay.
@@ -162,6 +178,22 @@ pub struct ReplayOutcome {
     /// Σ resumed / Σ progress-lost-at-kill (`1.0` when nothing was
     /// killed): how much in-flight work checkpoints salvaged.
     pub recovered_work_fraction: f64,
+    /// Deputy promotions: a site's acting manager died and another live
+    /// host of the site took the role over.
+    pub site_failovers: u64,
+    /// Sites quarantined at federation level (lifetime count).
+    pub sites_quarantined: u64,
+    /// Sites still quarantined at the end.
+    pub sites_quarantined_at_end: u64,
+    /// Completed cross-site checkpoint replication transfers.
+    pub replica_transfers: u64,
+    /// Checkpoint-state bytes pushed across sites (initiated transfers).
+    pub replica_bytes: u64,
+    /// Per restart under a checkpoint policy: `(resumed, best_reachable)`
+    /// where `best_reachable` is the newest checkpoint progress stored on
+    /// any ground-truth-up host at restart time. `resumed <
+    /// best_reachable` means detection lag hid a usable replica.
+    pub resumes: Vec<(f64, f64)>,
 }
 
 /// One site's control-plane stack inside the replay.
@@ -327,13 +359,39 @@ pub fn replay(
         })
         .collect();
 
+    // --- Site-level fault bookkeeping (DESIGN.md §12). ------------------
+    // Ground-truth connectivity (what the fault plan actually cut) versus
+    // the state the network monitor has *detected* through timed-out
+    // probes — re-selection filters on the detected view, transfers and
+    // replica landings obey the ground truth.
+    let mut severed_now = PartitionState::new();
+    let mut detected_part = PartitionState::new();
+    let site_quarantine = SiteQuarantine::new();
+    let mut failover: Vec<SiteFailover> = federation
+        .topology
+        .sites()
+        .iter()
+        .map(|s| SiteFailover::new(s.id, s.server_host.clone(), &s.hosts))
+        .collect();
+    let mut site_failovers = 0u64;
+    let mut mtbf = MtbfEstimator::new(0.5);
+    // First time a partition of fault i actually severed links.
+    let mut partition_applied: BTreeMap<usize, f64> = BTreeMap::new();
+    // In-flight cross-site checkpoint replications, in initiation order:
+    // (ready_at, task, seq, src site, dst site, target host).
+    let mut pending_replicas: Vec<(f64, TaskId, u64, SiteId, SiteId, String)> = Vec::new();
+    let mut replica_transfers = 0u64;
+    let mut replica_bytes = 0u64;
+    let mut resumes: Vec<(f64, f64)> = Vec::new();
+
     // Flush every planned checkpoint of `task`'s current run due by `t`:
     // the write's cost is always paid (it is part of the run duration),
     // but the checkpoint is only *recorded* when every executing host is
     // actually up — a host dying under the write loses it. Surviving
     // checkpoints get a same-site replica (the lexicographically smallest
     // other up host) so a later crash of the executing host does not
-    // strand them.
+    // strand them. Returns `(seq, write time)` of each checkpoint
+    // recorded, for cross-site replication.
     #[allow(clippy::too_many_arguments)]
     fn flush_due_checkpoints(
         task: TaskId,
@@ -347,7 +405,8 @@ pub fn replay(
         checkpoints_taken: &mut u64,
         checkpoint_overhead: &mut f64,
         done_cost: &mut f64,
-    ) {
+    ) -> Vec<(u64, f64)> {
+        let mut recorded = Vec::new();
         while let Some(&(at, progress, cost)) = pending.first() {
             if at > t + eps {
                 break;
@@ -364,8 +423,56 @@ pub fn replay(
             {
                 stored_on.push(replica.clone());
             }
-            store.record(TaskCheckpoint::new(task, progress, at, stored_on));
+            let seq = store.record(TaskCheckpoint::new(task, progress, at, stored_on));
             *checkpoints_taken += 1;
+            recorded.push((seq, at));
+        }
+        recorded
+    }
+
+    // Queue one cross-site replication per newly recorded checkpoint:
+    // the target is the nearest other site (by modelled transfer time of
+    // the state payload, ties to the smaller id) that is not quarantined,
+    // is detected-reachable from the source, and still has a live host
+    // (its lexicographically smallest non-dead one). The transfer is
+    // charged through the network model — the copy only becomes usable at
+    // `write_t + transfer_time`, and it still has to *land* (step 2.6).
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_replicas(
+        task: TaskId,
+        src: SiteId,
+        recorded: &[(u64, f64)],
+        bytes: u64,
+        net: &vdce_net::model::NetworkModel,
+        sites: usize,
+        site_hosts_sorted: &[Vec<String>],
+        dead: &BTreeSet<String>,
+        site_q: &SiteQuarantine,
+        detected: &PartitionState,
+        pending: &mut Vec<(f64, TaskId, u64, SiteId, SiteId, String)>,
+        replica_bytes: &mut u64,
+    ) {
+        if recorded.is_empty() {
+            return;
+        }
+        let mut best: Option<(f64, SiteId, &String)> = None;
+        for (i, hosts) in site_hosts_sorted.iter().enumerate() {
+            let dst = SiteId(i as u16);
+            if dst == src || site_q.contains(dst) || !detected.reachable(src, dst, sites) {
+                continue;
+            }
+            let Some(host) = hosts.iter().find(|h| !dead.contains(*h)) else {
+                continue;
+            };
+            let cost = net.transfer_time(src, dst, bytes);
+            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                best = Some((cost, dst, host));
+            }
+        }
+        let Some((cost, dst, host)) = best else { return };
+        for &(seq, write_t) in recorded {
+            pending.push((write_t + cost, task, seq, src, dst, host.clone()));
+            *replica_bytes += bytes;
         }
     }
 
@@ -430,7 +537,7 @@ pub fn replay(
                     let (site, hosts, predicted) = placement[task.index()].clone();
                     // Every planned checkpoint of this run lands before
                     // its completion — flush any not yet processed.
-                    flush_due_checkpoints(
+                    let recorded = flush_due_checkpoints(
                         task,
                         end,
                         eps,
@@ -443,6 +550,22 @@ pub fn replay(
                         &mut checkpoint_overhead,
                         &mut done_ckpt_cost[task.index()],
                     );
+                    if cfg.checkpoint.replicate_cross_site {
+                        enqueue_replicas(
+                            task,
+                            site,
+                            &recorded,
+                            cfg.checkpoint.state_bytes,
+                            &federation.net,
+                            sites,
+                            &site_hosts_sorted,
+                            &dead,
+                            &site_quarantine,
+                            &detected_part,
+                            &mut pending_replicas,
+                            &mut replica_bytes,
+                        );
+                    }
                     for h in &hosts {
                         host_free.insert(h.clone(), end);
                     }
@@ -472,15 +595,15 @@ pub fn replay(
                             if !matches!(state[task.index()], TaskState::Running { .. }) {
                                 continue;
                             }
-                            let (site, hosts, _) = &placement[task.index()];
+                            let (site, hosts, _) = placement[task.index()].clone();
                             if !hosts.contains(host) {
                                 continue;
                             }
-                            flush_due_checkpoints(
+                            let recorded = flush_due_checkpoints(
                                 task,
                                 ev.t,
                                 eps,
-                                hosts,
+                                &hosts,
                                 &site_hosts_sorted[site.index()],
                                 &mut pending_ckpts[task.index()],
                                 &down_now,
@@ -489,6 +612,22 @@ pub fn replay(
                                 &mut checkpoint_overhead,
                                 &mut done_ckpt_cost[task.index()],
                             );
+                            if cfg.checkpoint.replicate_cross_site {
+                                enqueue_replicas(
+                                    task,
+                                    site,
+                                    &recorded,
+                                    cfg.checkpoint.state_bytes,
+                                    &federation.net,
+                                    sites,
+                                    &site_hosts_sorted,
+                                    &dead,
+                                    &site_quarantine,
+                                    &detected_part,
+                                    &mut pending_replicas,
+                                    &mut replica_bytes,
+                                );
+                            }
                         }
                     }
                     down_now.insert(host.clone());
@@ -512,8 +651,92 @@ pub fn replay(
                     let l = federation.net.link(SiteId(*a), SiteId(*b));
                     link_probe.set(SiteId(*a), SiteId(*b), l.latency_s, l.bandwidth_bps);
                 }
+                FaultEvent::SiteDown { site } => {
+                    let s = SiteId(*site);
+                    // Same reasoning as HostDown: writes completed before
+                    // the outage instant survive (on-site copies die with
+                    // the site, but an already-initiated cross-site
+                    // replica can still land).
+                    if cfg.checkpoint.is_enabled() {
+                        for task in afg.task_ids() {
+                            if !matches!(state[task.index()], TaskState::Running { .. }) {
+                                continue;
+                            }
+                            let (psite, hosts, _) = placement[task.index()].clone();
+                            if !hosts.iter().any(|h| host_site.get(h) == Some(&s)) {
+                                continue;
+                            }
+                            let recorded = flush_due_checkpoints(
+                                task,
+                                ev.t,
+                                eps,
+                                &hosts,
+                                &site_hosts_sorted[psite.index()],
+                                &mut pending_ckpts[task.index()],
+                                &down_now,
+                                &store,
+                                &mut checkpoints_taken,
+                                &mut checkpoint_overhead,
+                                &mut done_ckpt_cost[task.index()],
+                            );
+                            if cfg.checkpoint.replicate_cross_site {
+                                enqueue_replicas(
+                                    task,
+                                    psite,
+                                    &recorded,
+                                    cfg.checkpoint.state_bytes,
+                                    &federation.net,
+                                    sites,
+                                    &site_hosts_sorted,
+                                    &dead,
+                                    &site_quarantine,
+                                    &detected_part,
+                                    &mut pending_replicas,
+                                    &mut replica_bytes,
+                                );
+                            }
+                        }
+                    }
+                    for h in &site_hosts_sorted[s.index()] {
+                        down_now.insert(h.clone());
+                        echo.kill(h.clone());
+                    }
+                    severed_now.isolate(s, sites);
+                }
+                FaultEvent::SiteUp { site } => {
+                    let s = SiteId(*site);
+                    for h in &site_hosts_sorted[s.index()] {
+                        down_now.remove(h);
+                        echo.revive(h);
+                    }
+                    severed_now.rejoin(s);
+                }
+                FaultEvent::PartitionStart { a, b } => {
+                    let ga: Vec<SiteId> = a.iter().map(|s| SiteId(*s)).collect();
+                    let gb: Vec<SiteId> = b.iter().map(|s| SiteId(*s)).collect();
+                    severed_now.sever_groups(&ga, &gb);
+                    partition_applied.entry(ev.fault).or_insert(ev.t);
+                }
+                FaultEvent::PartitionHeal { a, b } => {
+                    let ga: Vec<SiteId> = a.iter().map(|s| SiteId(*s)).collect();
+                    let gb: Vec<SiteId> = b.iter().map(|s| SiteId(*s)).collect();
+                    severed_now.heal_groups(&ga, &gb);
+                }
             }
             next_event += 1;
+        }
+
+        // Mirror ground-truth connectivity into the link probe so the
+        // network monitor can *observe* cuts: probes on severed links
+        // time out instead of reporting a measurement.
+        for a in 0..sites as u16 {
+            for b in (a + 1)..sites as u16 {
+                if severed_now.is_severed(SiteId(a), SiteId(b)) {
+                    link_probe.sever(SiteId(a), SiteId(b));
+                } else {
+                    link_probe.heal(SiteId(a), SiteId(b));
+                }
+            }
         }
 
         // 2.5. Flush planned checkpoints that came due on running tasks,
@@ -525,12 +748,12 @@ pub fn replay(
                 if !matches!(state[task.index()], TaskState::Running { .. }) {
                     continue;
                 }
-                let (site, hosts, _) = &placement[task.index()];
-                flush_due_checkpoints(
+                let (site, hosts, _) = placement[task.index()].clone();
+                let recorded = flush_due_checkpoints(
                     task,
                     t,
                     eps,
-                    hosts,
+                    &hosts,
                     &site_hosts_sorted[site.index()],
                     &mut pending_ckpts[task.index()],
                     &down_now,
@@ -539,7 +762,45 @@ pub fn replay(
                     &mut checkpoint_overhead,
                     &mut done_ckpt_cost[task.index()],
                 );
+                if cfg.checkpoint.replicate_cross_site {
+                    enqueue_replicas(
+                        task,
+                        site,
+                        &recorded,
+                        cfg.checkpoint.state_bytes,
+                        &federation.net,
+                        sites,
+                        &site_hosts_sorted,
+                        &dead,
+                        &site_quarantine,
+                        &detected_part,
+                        &mut pending_replicas,
+                        &mut replica_bytes,
+                    );
+                }
             }
+        }
+
+        // 2.6. Cross-site replica transfers that matured: the copy lands
+        // on the target host if, right now, the target is up and the
+        // source site can still reach it — a transfer overtaken by the
+        // very fault it was guarding against is lost with the link.
+        if !pending_replicas.is_empty() {
+            let mut still = Vec::with_capacity(pending_replicas.len());
+            for (ready_at, task, seq, src, dst, host) in std::mem::take(&mut pending_replicas) {
+                if ready_at > t + eps {
+                    still.push((ready_at, task, seq, src, dst, host));
+                    continue;
+                }
+                if !down_now.contains(&host)
+                    && severed_now.reachable(src, dst, sites)
+                    && store.add_replica(task, seq, &host)
+                {
+                    replica_transfers += 1;
+                    log.record(t, RuntimeEvent::CheckpointReplicated { task, seq, host });
+                }
+            }
+            pending_replicas = still;
         }
 
         // 3. Monitoring round: load samples every tick, echo probing on
@@ -561,9 +822,22 @@ pub fn replay(
             }
         }
         net_mon.tick();
+        detected_part = net_mon.reachability();
         for (idx, applied_at) in &degrade_applied {
             if detections[*idx].is_none() && t + eps >= *applied_at {
                 detections[*idx] = Some((t - plan.faults[*idx].at()).max(0.0));
+            }
+        }
+        for (idx, applied_at) in &partition_applied {
+            if detections[*idx].is_none() && t + eps >= *applied_at {
+                if let Fault::SitePartition { a, b, .. } = &plan.faults[*idx] {
+                    let seen = a.iter().any(|x| {
+                        b.iter().any(|y| detected_part.is_severed(SiteId(*x), SiteId(*y)))
+                    });
+                    if seen {
+                        detections[*idx] = Some((t - plan.faults[*idx].at()).max(0.0));
+                    }
+                }
             }
         }
 
@@ -586,6 +860,9 @@ pub fn replay(
                                 Fault::HostCrash { host: h, at }
                                 | Fault::TransientOutage { host: h, at, .. } => {
                                     h == host && *at <= t + eps
+                                }
+                                Fault::SiteOutage { site, at, .. } => {
+                                    host_site.get(host) == Some(&SiteId(*site)) && *at <= t + eps
                                 }
                                 _ => false,
                             };
@@ -621,14 +898,58 @@ pub fn replay(
         }
 
         // 5. Quarantine newly-dead hosts; terminate tasks running there.
+        // Detected deaths also drive the per-site failover trackers (a
+        // deputy takes the Site Manager role, or the whole site is
+        // quarantined) and the MTBF estimator behind adaptive
+        // checkpoint intervals.
+        let mut promoted: Vec<(SiteId, String, String)> = Vec::new();
         for h in &newly_dead {
             if quarantine.quarantine(h) {
                 log.record(t, RuntimeEvent::HostQuarantined { host: h.clone() });
+            }
+            let s = host_site[h];
+            if let Some(ev) = failover[s.index()].on_host_down(h) {
+                match ev {
+                    FailoverEvent::DeputyPromoted { from, to } => promoted.push((s, from, to)),
+                    FailoverEvent::SiteQuarantined => {
+                        if site_quarantine.quarantine(s) {
+                            log.record(t, RuntimeEvent::SiteQuarantined { site: s.0 });
+                        }
+                    }
+                    FailoverEvent::ManagerRestored { .. } | FailoverEvent::SiteRejoined { .. } => {}
+                }
+            }
+            mtbf.record_failure(t);
+        }
+        // A site that lost every host in one detection round did not
+        // meaningfully fail over — suppress the intermediate promotions
+        // and keep only the quarantine verdict.
+        for (s, from, to) in promoted {
+            if !failover[s.index()].is_quarantined() {
+                site_failovers += 1;
+                log.record(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
             }
         }
         for h in &newly_alive {
             if quarantine.readmit(h) {
                 log.record(t, RuntimeEvent::HostReadmitted { host: h.clone() });
+            }
+            let s = host_site[h];
+            if let Some(ev) = failover[s.index()].on_host_up(h) {
+                match ev {
+                    FailoverEvent::SiteRejoined { .. } => {
+                        if site_quarantine.readmit(s) {
+                            log.record(t, RuntimeEvent::SiteRejoined { site: s.0 });
+                        }
+                    }
+                    FailoverEvent::DeputyPromoted { from, to } => {
+                        // A returning host outranks the acting deputy
+                        // while the primary is still down.
+                        site_failovers += 1;
+                        log.record(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
+                    }
+                    FailoverEvent::ManagerRestored { .. } | FailoverEvent::SiteQuarantined => {}
+                }
             }
         }
         if !newly_dead.is_empty() {
@@ -679,7 +1000,7 @@ pub fn replay(
             }
             let views = fresh_views
                 .get_or_insert_with(|| stacks.iter().map(|s| s.manager.view()).collect());
-            let ordered = local_first(views, site);
+            let ordered = reachable_views(views, site, &site_quarantine, &detected_part, sites);
             let mut banned = banned_base.clone();
             banned.extend(overloaded);
             if let Some((new_site, choice)) = reselect_task(
@@ -717,7 +1038,13 @@ pub fn replay(
             }
             let views = fresh_views
                 .get_or_insert_with(|| stacks.iter().map(|s| s.manager.view()).collect());
-            let ordered = local_first(views, placement[task.index()].0);
+            let ordered = reachable_views(
+                views,
+                placement[task.index()].0,
+                &site_quarantine,
+                &detected_part,
+                sites,
+            );
             match reselect_task(
                 &ordered,
                 afg,
@@ -768,6 +1095,28 @@ pub fn replay(
                 state[task.index()] = TaskState::Waiting { resume_at: t };
                 continue;
             }
+            // During a partition each side only starts tasks whose inputs
+            // are locally reachable: an in-edge crossing a severed cut
+            // blocks the start, and the floor keeps rising so the
+            // eventual start is not backdated across the heal.
+            if !severed_now.is_whole() {
+                // A quarantined source site does not block: quarantine is
+                // the federation's verdict that the site is gone for
+                // good, so its outputs are treated as staged (recovered
+                // from checkpoints/replicas or re-derived) rather than
+                // awaited across a cut that will never heal.
+                let blocked = edge_idx.in_edges(afg, task).any(|e| {
+                    let (psite, phosts, _) = &placement[e.from.index()];
+                    let same_host = phosts.iter().any(|h| hosts.contains(h));
+                    !same_host
+                        && !site_quarantine.contains(*psite)
+                        && !severed_now.reachable(*psite, site, sites)
+                });
+                if blocked {
+                    floor[task.index()] = floor[task.index()].max(t + cfg.tick);
+                    continue;
+                }
+            }
             let mut data_ready = 0.0f64;
             for e in edge_idx.in_edges(afg, task) {
                 let (psite, phosts, _) = &placement[e.from.index()];
@@ -796,13 +1145,20 @@ pub fn replay(
                 0.0
             };
             let w = predicted.max(0.0);
-            let rplan = cfg.checkpoint.run_plan(w, resume);
+            let rplan = cfg.checkpoint.run_plan_adaptive(w, resume, mtbf.mtbf());
             let end = start + rplan.duration;
             for h in &hosts {
                 host_free.insert(h.clone(), end);
             }
             if !last_hosts[task.index()].is_empty() {
                 resumed_progress.push(resume);
+                resumes.push((
+                    resume,
+                    store
+                        .latest_valid(task, |h| !down_now.contains(h))
+                        .map(|cp| cp.progress)
+                        .unwrap_or(0.0),
+                ));
                 if last_hosts[task.index()] != hosts {
                     migrations += 1;
                     log.record(
@@ -887,6 +1243,23 @@ pub fn replay(
             Fault::FlakyLink { at, duration, .. } => {
                 t > at + duration && (!degrade_applied.contains_key(&i) || detections[i].is_some())
             }
+            Fault::SiteOutage { site, down_for, .. } => {
+                let s = SiteId(*site);
+                match down_for {
+                    // A permanent site crash is absorbed when it was
+                    // detected, the site ended quarantined, and no task
+                    // was lost with it.
+                    None => {
+                        tasks_failed == 0 && detections[i].is_some() && site_quarantine.contains(s)
+                    }
+                    // A transient outage is absorbed when the site was
+                    // re-admitted to the federation.
+                    Some(_) => !site_quarantine.contains(s),
+                }
+            }
+            Fault::SitePartition { at, duration, .. } => {
+                t > at + duration && detections[i].is_some() && tasks_failed == 0
+            }
         })
         .collect();
 
@@ -912,6 +1285,12 @@ pub fn replay(
         checkpoint_overhead,
         resumed_progress,
         recovered_work_fraction,
+        site_failovers,
+        sites_quarantined: site_quarantine.quarantined_total(),
+        sites_quarantined_at_end: site_quarantine.len() as u64,
+        replica_transfers,
+        replica_bytes,
+        resumes,
     }
 }
 
@@ -927,6 +1306,29 @@ fn local_first(views: &[vdce_sched::SiteView], local: SiteId) -> Vec<vdce_sched:
         }
     }
     ordered
+}
+
+/// Views usable for re-selection from `local`'s vantage point:
+/// [`local_first`] ordering, minus quarantined sites and sites the
+/// detected partition overlay says are unreachable. A task anchored on
+/// a quarantined site re-anchors on the smallest live site (its work
+/// has to move to the surviving side anyway).
+fn reachable_views(
+    views: &[vdce_sched::SiteView],
+    local: SiteId,
+    site_q: &SiteQuarantine,
+    detected: &PartitionState,
+    n_sites: usize,
+) -> Vec<vdce_sched::SiteView> {
+    let anchor = if site_q.contains(local) {
+        views.iter().map(|v| v.site).find(|s| !site_q.contains(*s)).unwrap_or(local)
+    } else {
+        local
+    };
+    local_first(views, local)
+        .into_iter()
+        .filter(|v| !site_q.contains(v.site) && detected.reachable(anchor, v.site, n_sites))
+        .collect()
 }
 
 /// Replay `plan` and its fault-free twin, folding both into a
@@ -949,6 +1351,17 @@ pub fn run_fault_scenario(
             injected_at: f.at(),
             detection_latency: faulty.detections[i],
             recovered: faulty.recovered[i],
+            site: match f {
+                Fault::HostCrash { host, .. }
+                | Fault::TransientOutage { host, .. }
+                | Fault::LoadSpike { host, .. } => {
+                    federation.topology.site_of_host(host).map(|s| s.0)
+                }
+                Fault::SiteOutage { site, .. } => Some(*site),
+                Fault::DegradedLink { .. }
+                | Fault::FlakyLink { .. }
+                | Fault::SitePartition { .. } => None,
+            },
         })
         .collect();
     RecoveryReport {
@@ -968,6 +1381,11 @@ pub fn run_fault_scenario(
         checkpoint_overhead: faulty.checkpoint_overhead,
         resumed_progress: faulty.resumed_progress.clone(),
         recovered_work_fraction: faulty.recovered_work_fraction,
+        site_failovers: faulty.site_failovers,
+        sites_quarantined: faulty.sites_quarantined,
+        sites_quarantined_at_end: faulty.sites_quarantined_at_end,
+        replica_transfers: faulty.replica_transfers,
+        replica_bytes: faulty.replica_bytes,
         faults,
     }
 }

@@ -95,6 +95,25 @@ pub fn c3i_surveillance() -> Scenario {
     }
 }
 
+/// Three near-flat sites in one metro cluster — the site-failure
+/// scenario: speeds are close enough that losing a whole site costs
+/// capacity rather than the only fast host, and the metro links are
+/// cheap enough that cross-site checkpoint replicas land quickly.
+pub fn metro_trio() -> Scenario {
+    Scenario {
+        name: "metro-trio",
+        federation: build_federation(&FederationSpec {
+            sites: 3,
+            hosts_per_site: 4,
+            heterogeneity: 1.5,
+            shape: WanShape::Metro(3),
+            seed: 23,
+            ..FederationSpec::default()
+        }),
+        afg: layered_random(&DagSpec { tasks: 30, width: 6, ..DagSpec::default() }, 23),
+    }
+}
+
 /// Gaussian-elimination task graph on a ring federation — the classic
 /// dependency-heavy scheduling benchmark.
 pub fn gauss_benchmark() -> Scenario {
@@ -114,7 +133,14 @@ pub fn gauss_benchmark() -> Scenario {
 
 /// All named scenarios.
 pub fn all() -> Vec<Scenario> {
-    vec![campus_smoke(), two_campus(), wide_area(), c3i_surveillance(), gauss_benchmark()]
+    vec![
+        campus_smoke(),
+        two_campus(),
+        wide_area(),
+        c3i_surveillance(),
+        metro_trio(),
+        gauss_benchmark(),
+    ]
 }
 
 /// Schedule a scenario once and return `(estimated fault-free makespan,
@@ -367,6 +393,110 @@ pub fn flaky_wan() -> FaultScenario {
     }
 }
 
+/// Crash the Site Manager host (the site server) of the busiest site in
+/// the surveillance pipeline while the site's other hosts stay up — the
+/// failover scenario: a deputy host must take over the Site Manager role
+/// (`site_failovers >= 1`) and the run must complete.
+pub fn manager_failover() -> FaultScenario {
+    let scenario = c3i_surveillance();
+    let (est, busiest) = schedule_estimate(&scenario);
+    let site =
+        scenario.federation.topology.site_of_host(&busiest).expect("busiest host has a site");
+    let manager = scenario
+        .federation
+        .topology
+        .sites()
+        .iter()
+        .find(|s| s.id == site)
+        .expect("site exists")
+        .server_host
+        .clone();
+    FaultScenario {
+        name: "manager-failover",
+        plan: FaultPlan {
+            seed: 43,
+            faults: vec![Fault::HostCrash { host: manager, at: 0.25 * est }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// Shared base of the site-crash family: a permanent [`Fault::SiteOutage`]
+/// takes the busiest site of [`metro_trio`] off the WAN a quarter of the
+/// way in. The three variants differ only in the [`CheckpointPolicy`],
+/// so their inflation deltas isolate the value of checkpointing and of
+/// cross-site replicas respectively.
+fn site_crash_base(name: &'static str, checkpoint: CheckpointPolicy) -> FaultScenario {
+    let scenario = metro_trio();
+    let (est, busiest) = schedule_estimate(&scenario);
+    let site =
+        scenario.federation.topology.site_of_host(&busiest).expect("busiest host has a site").0;
+    FaultScenario {
+        name,
+        plan: FaultPlan {
+            seed: 47,
+            faults: vec![Fault::SiteOutage { site, at: 0.25 * est, down_for: None }],
+        },
+        config: ReplayConfig { checkpoint, ..ReplayConfig::scaled_to(est) },
+        scenario,
+    }
+}
+
+/// A whole site dies permanently, no checkpointing: surviving sites must
+/// absorb the orphaned work from scratch, with bounded inflation.
+pub fn site_crash() -> FaultScenario {
+    site_crash_base("site-crash", CheckpointPolicy::disabled())
+}
+
+/// [`site_crash`] with checkpointing but *without* cross-site replicas —
+/// every checkpoint is stored on the host that wrote it, so the site
+/// outage takes the checkpoints down with the tasks and recovery still
+/// restarts from zero. The control for [`site_crash_ckpt_replica`].
+pub fn site_crash_ckpt_local() -> FaultScenario {
+    site_crash_base("site-crash-ckpt-local", CheckpointPolicy::every(0.08, 0.002))
+}
+
+/// [`site_crash`] with checkpointing *and* cross-site replicas: each
+/// checkpoint is pushed (charged through the network model) to the
+/// nearest surviving site, so tasks orphaned by the outage resume from
+/// remote replicas instead of restarting — this must strictly beat
+/// [`site_crash_ckpt_local`] on the same trace.
+pub fn site_crash_ckpt_replica() -> FaultScenario {
+    site_crash_base(
+        "site-crash-ckpt-replica",
+        CheckpointPolicy::every(0.08, 0.002).with_replicas(1 << 18),
+    )
+}
+
+/// The [`two_campus`] federation splits down the middle for 30% of the
+/// estimated run, then heals: both sides keep executing tasks whose
+/// inputs are local, cross-cut tasks wait out the cut, and after the heal
+/// the run completes with zero lost tasks.
+pub fn partition_heal() -> FaultScenario {
+    let scenario = two_campus();
+    let (est, _) = schedule_estimate(&scenario);
+    // Spread the critical path so placements genuinely straddle the cut
+    // — otherwise the near-tied two-campus schedule can collapse onto
+    // one site and the partition never bites.
+    let mut config = ReplayConfig::scaled_to(est);
+    config.scheduler.spread_critical = true;
+    FaultScenario {
+        name: "partition-heal",
+        plan: FaultPlan {
+            seed: 61,
+            faults: vec![Fault::SitePartition {
+                a: vec![0],
+                b: vec![1],
+                at: 0.25 * est,
+                duration: 0.3 * est,
+            }],
+        },
+        config,
+        scenario,
+    }
+}
+
 /// All named fault scenarios (the full `exp_faults` run).
 pub fn all_fault_scenarios() -> Vec<FaultScenario> {
     vec![
@@ -379,14 +509,31 @@ pub fn all_fault_scenarios() -> Vec<FaultScenario> {
         degraded_wan(),
         flaky_wan(),
         weibull_churn(),
+        manager_failover(),
+        site_crash(),
+        site_crash_ckpt_local(),
+        site_crash_ckpt_replica(),
+        partition_heal(),
     ]
 }
 
 /// The cheap subset the CI fast mode replays. Keeps the
 /// crash/checkpointed-crash pair together so the fast gate still checks
-/// that checkpointing beats restart-from-zero.
+/// that checkpointing beats restart-from-zero, and the whole site-crash
+/// family together so it still checks that cross-site replicas beat
+/// local-only checkpoints.
 pub fn quick_fault_scenarios() -> Vec<FaultScenario> {
-    vec![crash_mid_run(), crash_mid_run_checkpointed(), transient_outage(), load_spike_eviction()]
+    vec![
+        crash_mid_run(),
+        crash_mid_run_checkpointed(),
+        transient_outage(),
+        load_spike_eviction(),
+        manager_failover(),
+        site_crash(),
+        site_crash_ckpt_local(),
+        site_crash_ckpt_replica(),
+        partition_heal(),
+    ]
 }
 
 #[cfg(test)]
@@ -437,7 +584,7 @@ mod tests {
         let mut names: Vec<&str> = all().iter().map(|s| s.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]
@@ -446,7 +593,7 @@ mod tests {
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 14);
         for s in &scenarios {
             assert!(!s.plan.faults.is_empty(), "{}: empty plan", s.name);
             assert!(s.plan.faults.iter().all(|f| f.at() >= 0.0), "{}", s.name);
