@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Repo CI gate: format, lints, locked release build, tests, and the two
-# fast-mode benchmark gates (scheduling speedup + fault recovery).
+# Repo CI gate: format, lints, locked release build, tests, and the three
+# fast-mode gates (scheduling speedup, fault recovery, trace determinism).
 # Run from the repo root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -32,6 +32,12 @@ stage "sched speedup gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_sched_speedup -- --quick
 stage "fault recovery gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_faults -- --quick
+# Observability gate: replay every quick scenario twice with tracing on;
+# the JSONL trace must validate against the schema and the trace,
+# deterministic metric snapshot, and recovery report must all be
+# bit-identical across the two runs.
+stage "trace determinism gate (--all)" \
+    cargo run -q --release -p vdce-bench --bin exp_trace -- --all
 
 echo
 echo "stage timings:"

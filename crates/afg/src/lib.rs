@@ -29,6 +29,7 @@
 //! - [`render`] — text rendering of the editor's task-properties window and
 //!   of the flow graph (reproduces Figure 1 as text).
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -10,16 +10,16 @@
 
 use std::sync::Arc;
 use std::thread;
-use vdce_dsm::{DsmBarrier, DsmRegion};
+use vdce_dsm::{DsmBarrier, DsmRegion, DsmStats};
+use vdce_obs::{MetricsRegistry, Report};
 use vdce_sim::metrics::Table;
 
 const CELLS: usize = 512;
 const NODES: usize = 4;
 const STEPS: usize = 30;
 
-/// Run the double-buffered stencil; return (page transfers,
-/// invalidations, read hit rate).
-fn stencil(page_size: usize) -> (u64, u64, f64) {
+/// Run the double-buffered stencil; return its protocol counters.
+fn stencil(page_size: usize) -> DsmStats {
     let dsm = Arc::new(DsmRegion::new(2 * CELLS * 8, page_size, NODES));
     let barrier = DsmBarrier::new(NODES);
     {
@@ -52,8 +52,7 @@ fn stencil(page_size: usize) -> (u64, u64, f64) {
     for w in workers {
         w.join().unwrap();
     }
-    let s = dsm.stats();
-    (s.page_transfers, s.invalidations, s.read_hit_rate())
+    dsm.stats()
 }
 
 /// Interleaved counters: node n increments slot n, slots adjacent in
@@ -82,7 +81,7 @@ fn false_sharing(page_size: usize) -> (u64, u64) {
 }
 
 fn main() {
-    println!("=== E10: DSM page-size sweep (paper §5 future work) ===\n");
+    let metrics = MetricsRegistry::new();
     let mut t = Table::new(&[
         "page_bytes",
         "stencil_transfers",
@@ -90,22 +89,32 @@ fn main() {
         "stencil_read_hit",
     ]);
     for &ps in &[32usize, 64, 128, 256, 1024, 4096] {
-        let (xfers, invals, hit) = stencil(ps);
+        let s = stencil(ps);
+        s.export_metrics(&metrics, &format!("stencil_p{ps}"));
         t.row(&[
             ps.to_string(),
-            xfers.to_string(),
-            invals.to_string(),
-            format!("{:.2}%", hit * 100.0),
+            s.page_transfers.to_string(),
+            s.invalidations.to_string(),
+            format!("{:.2}%", s.read_hit_rate() * 100.0),
         ]);
     }
-    println!("{}", t.render());
 
     let mut t2 = Table::new(&["page_bytes", "fs_transfers", "fs_invalidations"]);
     for &ps in &[8usize, 16, 32] {
         let (xfers, invals) = false_sharing(ps);
         t2.row(&[ps.to_string(), xfers.to_string(), invals.to_string()]);
     }
-    println!("{}", t2.render());
-    println!("(page 8 = one counter per page → no false sharing; larger pages");
-    println!(" put independent counters on one page and ping-pong it)");
+    Report::new("E10: DSM page-size sweep (paper §5 future work)")
+        .table(t)
+        .text("false-sharing stressor (interleaved per-node counters):")
+        .table(t2)
+        .note(
+            "page 8 = one counter per page → no false sharing; larger pages \
+             put independent counters on one page and ping-pong it",
+        )
+        .note(format!(
+            "{} dsm.* metrics exported to the run's registry (per page size)",
+            metrics.names().len()
+        ))
+        .print();
 }

@@ -6,6 +6,7 @@
 //! have a higher priority for scheduling" minimises schedule length.
 
 use vdce_bench::{bench_dag, bench_federation, split_views};
+use vdce_obs::Report;
 use vdce_sched::baselines::{priorities, PriorityOrder};
 use vdce_sched::makespan::evaluate;
 use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
@@ -14,7 +15,6 @@ use vdce_sim::harness::{compare_schedulers, comparison_table, SchedulerKind};
 use vdce_sim::metrics::{geomean, Table};
 
 fn main() {
-    println!("=== E5: priority-order ablation ===\n");
     let fed = bench_federation(3, 4);
     let views = fed.views();
     let (local, remotes) = split_views(&views);
@@ -49,12 +49,15 @@ fn main() {
         let base = *level_base.get_or_insert(g);
         t.row(&[name.to_string(), format!("{g:.4}"), format!("{:.3}x", g / base)]);
     }
-    println!("{}", t.render());
-    println!("(same spread placement, different ready-task dispatch orders;");
-    println!(" vs_level > 1 ⇒ that dispatch order lengthens the schedule)\n");
+    Report::new("E5: priority-order ablation")
+        .table(t)
+        .note(
+            "same spread placement, different ready-task dispatch orders; \
+             vs_level > 1 ⇒ that dispatch order lengthens the schedule",
+        )
+        .print();
     let _ = site_schedule(&bench_dag(10, 0), local, remotes, &fed.net, &cfg);
 
-    println!("=== E5b: full algorithm comparison (geomean over {} DAGs) ===\n", seeds.len());
     // Aggregate the per-seed comparisons.
     let kinds = [
         SchedulerKind::Vdce { k: 2 },
@@ -77,10 +80,13 @@ fn main() {
     for (i, kind) in kinds.iter().enumerate() {
         agg.row(&[kind.name(), format!("{:.4}", geomean(&sums[i]).unwrap())]);
     }
-    println!("{}", agg.render());
 
     // One representative single-seed table with sites/hosts columns.
     let afg = bench_dag(60, 1);
     let rows = compare_schedulers(&afg, local, remotes, &fed.net, &kinds);
-    println!("single seed detail:\n{}", comparison_table(&rows).render());
+    Report::new(&format!("E5b: full algorithm comparison (geomean over {} DAGs)", seeds.len()))
+        .table(agg)
+        .text("single seed detail:")
+        .table(comparison_table(&rows))
+        .print();
 }

@@ -7,12 +7,12 @@
 
 use bytes::Bytes;
 use std::time::Instant;
+use vdce_obs::Report;
 use vdce_runtime::data_manager::{ChannelId, DataManager, Transport};
 use vdce_runtime::events::EventLog;
 use vdce_sim::metrics::Table;
 
 fn main() {
-    println!("=== E6: Data-Manager transport sweep ===\n");
     let mut t =
         Table::new(&["transport", "msg_bytes", "round_trips", "latency_us", "throughput_MBps"]);
     for &transport in &[Transport::InProc, Transport::Tcp] {
@@ -41,8 +41,6 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t.render());
-
     // Channel-setup (ack protocol) cost.
     let mut t2 = Table::new(&["transport", "channels", "setup_ms", "acks"]);
     for &transport in &[Transport::InProc, Transport::Tcp] {
@@ -59,5 +57,9 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t2.render());
+    Report::new("E6: Data-Manager transport sweep")
+        .table(t)
+        .text("channel-setup (ack protocol) cost:")
+        .table(t2)
+        .print();
 }

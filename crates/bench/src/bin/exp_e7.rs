@@ -13,11 +13,12 @@ use std::time::Duration;
 use vdce_afg::{Afg, AfgBuilder, MachineType, TaskLibrary};
 use vdce_net::clock::RealClock;
 use vdce_net::topology::SiteId;
+use vdce_obs::Report;
 use vdce_repository::resources::ResourceRecord;
 use vdce_repository::SiteRepository;
 use vdce_runtime::app_controller::ThresholdGate;
 use vdce_runtime::data_manager::{DataManager, Transport};
-use vdce_runtime::events::EventLog;
+use vdce_runtime::events::{EventKind, EventLog};
 use vdce_runtime::executor::{execute, AlwaysProceed, ExecutorConfig, StartGate};
 use vdce_runtime::services::{ConsoleService, IoService};
 use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
@@ -122,15 +123,13 @@ fn run(gated: bool) -> (f64, usize, usize) {
         &ExecutorConfig { input_timeout: Duration::from_secs(30), ..ExecutorConfig::default() },
     );
     assert!(outcome.success);
-    let rescheds =
-        log.count(|e| matches!(e, vdce_runtime::events::RuntimeEvent::RescheduleRequested { .. }));
+    let rescheds = log.query(EventKind::RescheduleRequested).count();
     let on_fast =
         outcome.records.iter().filter(|r| r.hosts.iter().any(|h| h.starts_with("fast"))).count();
     (outcome.wall_seconds, rescheds, on_fast)
 }
 
 fn main() {
-    println!("=== E7: threshold rescheduling under a post-schedule load spike ===\n");
     let mut t =
         Table::new(&["application_controller", "wall_s", "reschedules", "tasks_on_spiked_hosts"]);
     for &(label, gated) in &[("active (threshold 4)", true), ("disabled", false)] {
@@ -142,6 +141,8 @@ fn main() {
             on_fast.to_string(),
         ]);
     }
-    println!("{}", t.render());
-    println!("(active: tasks are relocated off the spiked fast hosts at launch time)");
+    Report::new("E7: threshold rescheduling under a post-schedule load spike")
+        .table(t)
+        .note("active: tasks are relocated off the spiked fast hosts at launch time")
+        .print();
 }

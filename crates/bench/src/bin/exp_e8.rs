@@ -11,6 +11,7 @@
 use std::time::Instant;
 use vdce_afg::KernelKind;
 use vdce_afg::MachineType;
+use vdce_obs::Report;
 use vdce_predict::calibrate::mean_prediction_error;
 use vdce_predict::model::Predictor;
 use vdce_repository::resources::ResourceRecord;
@@ -37,7 +38,6 @@ fn measure(kernel: KernelKind, task: &str, n: u64) -> f64 {
 }
 
 fn main() {
-    println!("=== E8: prediction accuracy with task-performance feedback ===\n");
     // This machine *is* the base processor: relative speed 1, idle.
     let host = ResourceRecord::new(
         "this-machine",
@@ -75,9 +75,6 @@ fn main() {
         let err = mean_prediction_error(&pairs).unwrap();
         t.row(&[round.to_string(), format!("{:.1}%", err * 100.0), pairs.len().to_string()]);
     }
-    println!("{}", t.render());
-    println!("(round 0 = uncalibrated analytic model; later rounds use measured rates)\n");
-
     // Placement regret: rank two synthetic hosts by prediction vs by a
     // ground-truth 2× speed difference.
     let mut t2 = Table::new(&["task", "n", "predicted_pick", "oracle_pick", "agree"]);
@@ -99,5 +96,10 @@ fn main() {
             (predicted_pick == "fast").to_string(),
         ]);
     }
-    println!("{}", t2.render());
+    Report::new("E8: prediction accuracy with task-performance feedback")
+        .table(t)
+        .note("round 0 = uncalibrated analytic model; later rounds use measured rates")
+        .text("placement regret (predicted pick vs 2x-speed oracle):")
+        .table(t2)
+        .print();
 }

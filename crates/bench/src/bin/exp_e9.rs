@@ -8,12 +8,12 @@
 //! the gap the authors' own future work closed.
 
 use vdce_bench::{bench_federation, split_views};
+use vdce_obs::Report;
 use vdce_sim::dag_gen::{fft_butterfly, fork_join, gauss_elim, layered_random, DagSpec};
 use vdce_sim::harness::{compare_schedulers, SchedulerKind};
 use vdce_sim::metrics::{geomean, Table};
 
 fn main() {
-    println!("=== E9: HEFT vs VDCE greedy level scheduler ===\n");
     let fed = bench_federation(3, 6);
     let views = fed.views();
     let (local, remotes) = split_views(&views);
@@ -52,6 +52,8 @@ fn main() {
             format!("{:.2}x", g[0] / g[1]),
         ]);
     }
-    println!("{}", t.render());
-    println!("(heft_speedup > 1 ⇒ HEFT shortens the schedule vs the paper's greedy algorithm)");
+    Report::new("E9: HEFT vs VDCE greedy level scheduler")
+        .table(t)
+        .note("heft_speedup > 1 ⇒ HEFT shortens the schedule vs the paper's greedy algorithm")
+        .print();
 }

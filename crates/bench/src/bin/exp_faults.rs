@@ -29,6 +29,7 @@
 //! [`RecoveryReport`]: vdce_sim::metrics::RecoveryReport
 
 use vdce_bench::{bench_dag, bench_federation, shape_palette_workload};
+use vdce_obs::{Observer, Report, RunArtifact};
 use vdce_runtime::CheckpointPolicy;
 use vdce_sim::faults::{Fault, FaultPlan};
 use vdce_sim::metrics::{recovery_table, RecoveryReport};
@@ -92,19 +93,20 @@ const CHECKPOINT_PAIRS: &[(&str, &str, f64)] = &[
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!(
-        "=== fault-injection replay: detection, recovery, makespan inflation{} ===\n",
-        if quick { " [quick]" } else { "" }
-    );
 
     let mut scenarios = if quick { quick_fault_scenarios() } else { all_fault_scenarios() };
     scenarios.push(palette_crash());
     scenarios.push(palette_crash_checkpointed());
 
+    // One registry accumulates recovery metrics across every scenario
+    // (counters add); tracing stays off — `exp_trace` owns the traced
+    // single-scenario run that the determinism CI stage checks.
+    let obs = Observer::disabled();
+
     let mut reports: Vec<RecoveryReport> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     for fs in &scenarios {
-        let report = fs.run();
+        let report = fs.run_observed(&obs);
         // Determinism gate: the same (scenario, plan, config) triple must
         // replay into a bit-identical report.
         let again = fs.run();
@@ -191,23 +193,24 @@ fn main() {
         }
     }
 
-    println!("{}", recovery_table(&reports).render());
-    println!("(each scenario replayed twice; reports asserted bit-identical)");
+    let mut report_out = Report::new(&format!(
+        "fault-injection replay: detection, recovery, makespan inflation{}",
+        if quick { " [quick]" } else { "" }
+    ))
+    .table(recovery_table(&reports))
+    .note("each scenario replayed twice; reports asserted bit-identical");
 
     if !quick {
-        #[derive(serde::Serialize)]
-        struct FaultsReport {
-            bench: String,
-            scenarios: Vec<RecoveryReport>,
-        }
-        let json = serde_json::to_string_pretty(&FaultsReport {
-            bench: "exp_faults".into(),
-            scenarios: reports.clone(),
-        })
-        .expect("serialise reports");
-        std::fs::write("BENCH_faults.json", json + "\n").expect("write BENCH_faults.json");
-        println!("\nwrote BENCH_faults.json");
+        RunArtifact::new("exp_faults")
+            .meta("scenario_count", reports.len())
+            .meta("checkpoint_pairs", CHECKPOINT_PAIRS.len())
+            .metrics(obs.metrics.snapshot())
+            .section("scenarios", &reports)
+            .write("BENCH_faults.json")
+            .expect("write BENCH_faults.json");
+        report_out = report_out.note("wrote BENCH_faults.json");
     }
+    report_out.print();
 
     if failures.is_empty() {
         println!("\nfault gate OK");

@@ -8,11 +8,11 @@
 use vdce_afg::render::{render_all_properties, render_flow_graph};
 use vdce_afg::{AfgBuilder, AfgDocument, ComputationMode, IoSpec, MachineType, TaskLibrary};
 use vdce_core::Vdce;
+use vdce_obs::Report;
 use vdce_repository::AccessDomain;
 use vdce_sim::metrics::Table;
 
 fn main() {
-    println!("=== E1 / Figure 1: Linear Equation Solver ===\n");
     let mut b = Vdce::builder();
     let cat = b.add_site("cat.syr.edu");
     let top = b.add_site("top.cis.syr.edu");
@@ -24,6 +24,7 @@ fn main() {
     let vdce = b.build();
     let session = vdce.login(cat, "user_k", "pw").unwrap();
 
+    let mut figures = String::new();
     let mut table = Table::new(&["n", "task", "mode", "host(s)", "pred_s", "meas_s"]);
     for n in [64u64, 128, 256] {
         let lib = TaskLibrary::standard();
@@ -50,8 +51,7 @@ fn main() {
         let graph = afg.build().unwrap();
 
         if n == 128 {
-            println!("{}", render_flow_graph(&graph));
-            println!("{}", render_all_properties(&graph));
+            figures = format!("{}\n{}", render_flow_graph(&graph), render_all_properties(&graph));
         }
 
         let doc = AfgDocument::new("user_k", graph).unwrap();
@@ -69,5 +69,5 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.render());
+    Report::new("E1 / Figure 1: Linear Equation Solver").text(figures).table(table).print();
 }

@@ -7,11 +7,11 @@
 //! keeps children near parents when communication dominates.
 
 use vdce_bench::{bench_dag_ccr, bench_federation, split_views};
+use vdce_obs::Report;
 use vdce_sim::harness::{compare_schedulers, SchedulerKind};
 use vdce_sim::metrics::{geomean, Table};
 
 fn main() {
-    println!("=== E2 / Figure 2: site-scheduler federation sweep ===\n");
     let seeds = [1u64, 2, 3, 4, 5];
 
     // --- Sweep k for several federation sizes -------------------------
@@ -44,8 +44,6 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t1.render());
-
     // --- Sweep CCR ------------------------------------------------------
     // Reproduction finding: the paper's greedy site scheduler (Figure 2)
     // assigns every task to the per-site prediction argmin, which on a
@@ -82,8 +80,14 @@ fn main() {
             format!("{:.3}x", gl / gv),
         ]);
     }
-    println!("{}", t2.render());
-    println!("(federation_gain > 1 ⇒ using k=3 neighbour sites beats local-only;");
-    println!(" vdce is CCR-flat because greedy argmin placement concentrates on one");
-    println!(" host — min-min spreads work and rises with CCR)");
+    Report::new("E2 / Figure 2: site-scheduler federation sweep")
+        .table(t1)
+        .text("CCR sweep (communication-to-computation ratio):")
+        .table(t2)
+        .note(
+            "federation_gain > 1 ⇒ using k=3 neighbour sites beats local-only; \
+             vdce is CCR-flat because greedy argmin placement concentrates on one \
+             host — min-min spreads work and rises with CCR",
+        )
+        .print();
 }

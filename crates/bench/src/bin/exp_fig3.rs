@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use vdce_bench::bench_dag;
+use vdce_obs::Report;
 use vdce_predict::model::Predictor;
 use vdce_predict::parallel::ParallelModel;
 use vdce_sched::host_selection::host_selection;
@@ -16,7 +17,6 @@ use vdce_sim::metrics::Table;
 use vdce_sim::pool_gen::{build_federation, FederationSpec};
 
 fn main() {
-    println!("=== E3 / Figure 3: host-selection sweep ===\n");
     let afg = bench_dag(60, 9);
     let mut table = Table::new(&[
         "hosts",
@@ -63,8 +63,8 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table.render());
-    println!(
-        "(advantage = Σ predicted time of random choice / Σ predicted time of Figure-3 argmin)"
-    );
+    Report::new("E3 / Figure 3: host-selection sweep")
+        .table(table)
+        .note("advantage = Σ predicted time of random choice / Σ predicted time of Figure-3 argmin")
+        .print();
 }

@@ -6,12 +6,11 @@
 //! workload changes cuts repository-update traffic, and echo probing
 //! detects failures within one probe period.
 
+use vdce_obs::Report;
 use vdce_sim::harness::run_monitoring_experiment;
 use vdce_sim::metrics::Table;
 
 fn main() {
-    println!("=== E4 / Figure 4: Resource Controller ===\n");
-
     // --- Significant-change filter: threshold sweep --------------------
     let mut t1 = Table::new(&["hosts", "threshold", "samples", "forwarded", "traffic_reduction"]);
     for &hosts in &[8usize, 32] {
@@ -26,8 +25,6 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t1.render());
-
     // --- Failure detection: echo-period sweep --------------------------
     let mut t2 = Table::new(&["echo_period_s", "runs", "mean_detect_latency_s", "max_latency_s"]);
     for &period in &[1.0f64, 2.0, 5.0, 10.0] {
@@ -51,6 +48,10 @@ fn main() {
             format!("{max:.2}"),
         ]);
     }
-    println!("{}", t2.render());
-    println!("(detection latency is bounded by the echo period, as §4.1 implies)");
+    Report::new("E4 / Figure 4: Resource Controller")
+        .table(t1)
+        .text("failure detection: echo-period sweep:")
+        .table(t2)
+        .note("detection latency is bounded by the echo period, as §4.1 implies")
+        .print();
 }

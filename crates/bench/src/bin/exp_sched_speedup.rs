@@ -14,13 +14,18 @@
 //! so the multi-node selection path, where the reference re-predicts
 //! every ranking prefix, carries realistic weight.
 //!
-//! Writes `BENCH_sched.json` in the current directory.
+//! Writes `BENCH_sched.json` (a [`RunArtifact`]) in the current
+//! directory. The timed runs use the plain `site_schedule` entry point —
+//! observability must not skew the measurement — and one extra untimed
+//! [`site_schedule_observed`] run per config populates the embedded
+//! metric snapshot (cache statistics, per-phase timings under the
+//! `wall-profiling` feature).
 
 use std::time::Instant;
 use vdce_bench::{bench_dag, bench_federation, shape_palette_workload, split_views};
+use vdce_obs::{MetricsRegistry, Report, RunArtifact, Table};
 use vdce_sched::allocation::AllocationTable;
-use vdce_sched::site_scheduler::{site_schedule, SchedulerConfig};
-use vdce_sim::metrics::Table;
+use vdce_sched::site_scheduler::{site_schedule, site_schedule_observed, SchedulerConfig};
 
 /// The recorded `BENCH_sched.json` fields the `--quick` regression gate
 /// compares against (unknown fields are ignored on deserialize).
@@ -63,10 +68,6 @@ fn time_run(reps: usize, mut run: impl FnMut() -> AllocationTable) -> (f64, Allo
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    println!(
-        "=== scheduling speedup: optimized vs sequential reference (k=3){} ===\n",
-        if quick { " [quick]" } else { "" }
-    );
     // Quick mode runs a downsized grid as a CI gate and does NOT rewrite
     // the recorded BENCH_sched.json it compares against.
     let configs: Vec<(usize, usize)> = if quick {
@@ -78,6 +79,7 @@ fn main() {
             .collect()
     };
 
+    let metrics = MetricsRegistry::new();
     let mut t = Table::new(&["tasks", "sites", "seq_ms", "opt_ms", "speedup"]);
     let mut rows = Vec::new();
     for &(tasks, sites) in &configs {
@@ -98,6 +100,12 @@ fn main() {
             time_run(reps, || site_schedule(&afg, local, remotes, &fed.net, &cfg_opt).unwrap());
         assert_eq!(seq_table, opt_table, "optimized path must be bit-identical");
 
+        // Untimed observed run: cache hit rates and (feature-gated)
+        // phase timings into the registry embedded in the artifact.
+        let obs_table =
+            site_schedule_observed(&afg, local, remotes, &fed.net, &cfg_opt, &metrics).unwrap();
+        assert_eq!(obs_table, opt_table, "observed path must be bit-identical");
+
         let speedup = seq_s / opt_s;
         t.row(&[
             tasks.to_string(),
@@ -115,33 +123,32 @@ fn main() {
             speedup,
         });
     }
-    println!("{}", t.render());
-    println!("(seq = uncached reference path; opt = memoized + heap + fan-out path;");
-    println!(" identical allocation tables asserted for every row)");
+
+    let report = Report::new(&format!(
+        "scheduling speedup: optimized vs sequential reference (k=3){}",
+        if quick { " [quick]" } else { "" }
+    ))
+    .table(t)
+    .note(
+        "seq = uncached reference path; opt = memoized + heap + fan-out path; \
+         identical allocation tables asserted for every row",
+    );
 
     if quick {
+        report.print();
         gate_quick(&rows);
         return;
     }
 
-    #[derive(serde::Serialize)]
-    struct Report {
-        bench: String,
-        k_neighbours: usize,
-        parallel_task_fraction: String,
-        granularities: String,
-        configs: Vec<MeasuredRow>,
-    }
-    let report = Report {
-        bench: "exp_sched_speedup".into(),
-        k_neighbours: 3,
-        parallel_task_fraction: "1/3 (8 nodes requested)".into(),
-        granularities: "problem sizes quantised to 4 library-kernel granularities".into(),
-        configs: rows,
-    };
-    let json = serde_json::to_string_pretty(&report).expect("serialise report");
-    std::fs::write("BENCH_sched.json", json + "\n").expect("write BENCH_sched.json");
-    println!("\nwrote BENCH_sched.json");
+    RunArtifact::new("exp_sched_speedup")
+        .meta("k_neighbours", 3usize)
+        .meta("parallel_task_fraction", "1/3 (8 nodes requested)")
+        .meta("granularities", "problem sizes quantised to 4 library-kernel granularities")
+        .metrics(metrics.snapshot())
+        .section("configs", &rows)
+        .write("BENCH_sched.json")
+        .expect("write BENCH_sched.json");
+    report.note("wrote BENCH_sched.json").print();
 }
 
 /// The CI fast-mode gate: every quick config must keep the optimized

@@ -16,6 +16,7 @@
 //! | `exp_e8`   | §3 claim       | prediction accuracy and placement regret |
 //! | `exp_e9`   | future work    | HEFT vs VDCE greedy |
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 
 use vdce_sched::view::SiteView;

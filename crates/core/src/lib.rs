@@ -34,6 +34,7 @@
 //! assert!(report.outcome.success);
 //! ```
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

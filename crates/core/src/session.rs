@@ -240,7 +240,7 @@ impl<'v> Session<'v> {
         let gate = ThresholdGate::new(&merged, self.vdce.config().load_threshold, afg);
         let dm = DataManager::new(self.vdce.config().transport, self.log.clone());
         let clock = RealClock::new();
-        self.log.record(clock.now(), RuntimeEvent::StartupSignal);
+        self.log.emit(clock.now(), RuntimeEvent::StartupSignal);
         let (tx, rx) = unbounded();
         let outcome = execute_with_locks(
             afg,

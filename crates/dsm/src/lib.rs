@@ -39,6 +39,7 @@
 //! assert!(dsm.stats().read_misses >= 1);
 //! ```
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -72,6 +72,29 @@ impl StatCounters {
 }
 
 impl DsmStats {
+    /// Export the counters into `m` under `dsm.<region>.`. The protocol
+    /// counters are pure functions of the access sequence, so
+    /// single-threaded (or deterministically ordered) workloads export
+    /// identical snapshots across runs; counters *add* on repeat export.
+    pub fn export_metrics(&self, m: &vdce_obs::MetricsRegistry, region: &str) {
+        let c = [
+            ("read_hits", self.read_hits),
+            ("read_misses", self.read_misses),
+            ("write_hits", self.write_hits),
+            ("write_misses", self.write_misses),
+            ("invalidations", self.invalidations),
+            ("page_transfers", self.page_transfers),
+            ("snapshots", self.snapshots),
+            ("restores", self.restores),
+            ("snapshot_page_copies", self.snapshot_page_copies),
+            ("replica_bytes", self.replica_bytes),
+        ];
+        for (name, v) in c {
+            m.counter_add(&format!("dsm.{region}.{name}"), v);
+        }
+        m.gauge_set(&format!("dsm.{region}.read_hit_rate"), self.read_hit_rate());
+    }
+
     /// Total reads.
     pub fn reads(&self) -> u64 {
         self.read_hits + self.read_misses
@@ -115,6 +138,19 @@ mod tests {
         StatCounters::add(&c.replica_bytes, 4096);
         StatCounters::add(&c.replica_bytes, 4096);
         assert_eq!(c.snapshot().replica_bytes, 8192);
+    }
+
+    #[test]
+    fn export_metrics_namespaces_by_region() {
+        let s = DsmStats { read_hits: 3, read_misses: 1, page_transfers: 2, ..DsmStats::default() };
+        let m = vdce_obs::MetricsRegistry::new();
+        s.export_metrics(&m, "gauss");
+        assert_eq!(m.counter("dsm.gauss.read_hits"), 3);
+        assert_eq!(m.counter("dsm.gauss.page_transfers"), 2);
+        assert_eq!(m.gauge("dsm.gauss.read_hit_rate"), Some(0.75));
+        // Repeat export accumulates (documented add semantics).
+        s.export_metrics(&m, "gauss");
+        assert_eq!(m.counter("dsm.gauss.read_hits"), 6);
     }
 
     #[test]

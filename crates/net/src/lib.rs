@@ -21,6 +21,7 @@
 //! - [`bus`] — an in-memory, multicast-capable message bus connecting the
 //!   per-site endpoints, with per-link traffic accounting.
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

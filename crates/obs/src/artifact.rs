@@ -1,0 +1,134 @@
+//! `RunArtifact`: the single writer for `BENCH_*.json` files.
+//!
+//! Every experiment binary that persists results builds one artifact:
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "bench": "exp_sched_speedup",
+//!   "meta": { ... scenario knobs ... },
+//!   "metrics": { ... MetricsSnapshot ... },
+//!   <one top-level key per section, e.g. "configs": [...]>
+//! }
+//! ```
+//!
+//! Sections keep their pre-redesign top-level position (`configs`,
+//! `scenarios`) so existing consumers — the `--quick` regression gates
+//! and external diff tooling — keep parsing the files unchanged; the
+//! migration test in `crates/bench/tests/artifact_migration.rs` pins
+//! that coverage.
+
+use crate::metrics::MetricsSnapshot;
+use serde::Serialize;
+use serde_json::{Number, Value};
+
+/// Version of the artifact envelope; bump on breaking shape changes.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Builder for one schema-versioned benchmark artifact.
+pub struct RunArtifact {
+    bench: String,
+    meta: Vec<(String, Value)>,
+    metrics: Option<MetricsSnapshot>,
+    sections: Vec<(String, Value)>,
+}
+
+impl RunArtifact {
+    /// Artifact for the named benchmark.
+    pub fn new(bench: &str) -> Self {
+        RunArtifact {
+            bench: bench.to_string(),
+            meta: Vec::new(),
+            metrics: None,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attach one scenario-metadata entry (insertion order preserved).
+    pub fn meta(mut self, key: &str, value: impl Serialize) -> Self {
+        self.meta.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// Embed a metric snapshot.
+    pub fn metrics(mut self, snapshot: MetricsSnapshot) -> Self {
+        self.metrics = Some(snapshot);
+        self
+    }
+
+    /// Attach a top-level payload section (e.g. `configs`, `scenarios`).
+    ///
+    /// Panics on reserved envelope keys.
+    pub fn section(mut self, key: &str, value: &impl Serialize) -> Self {
+        assert!(
+            !matches!(key, "schema_version" | "bench" | "meta" | "metrics"),
+            "section key `{key}` collides with the artifact envelope"
+        );
+        self.sections.push((key.to_string(), value.to_value()));
+        self
+    }
+
+    /// The full artifact as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut obj = vec![
+            (
+                "schema_version".to_string(),
+                Value::Number(Number::U(ARTIFACT_SCHEMA_VERSION as u64)),
+            ),
+            ("bench".to_string(), Value::String(self.bench.clone())),
+            ("meta".to_string(), Value::Object(self.meta.clone())),
+        ];
+        if let Some(m) = &self.metrics {
+            obj.push(("metrics".to_string(), m.to_value()));
+        }
+        obj.extend(self.sections.iter().cloned());
+        Value::Object(obj)
+    }
+
+    /// Pretty-printed JSON (what lands on disk).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("artifact serialises")
+    }
+
+    /// Write the artifact to `path` with a trailing newline.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_pretty() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn envelope_shape_and_section_passthrough() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("sched.tasks_placed", 60);
+        let a = RunArtifact::new("exp_demo")
+            .meta("k_neighbours", 3u32)
+            .meta("quick", false)
+            .metrics(reg.snapshot())
+            .section("configs", &vec![1u32, 2, 3]);
+        let v = a.to_value();
+        assert_eq!(as_u64(&v["schema_version"]), Some(1));
+        assert_eq!(v["bench"], Value::String("exp_demo".to_string()));
+        assert_eq!(as_u64(&v["meta"]["k_neighbours"]), Some(3));
+        assert_eq!(v["meta"]["quick"], Value::Bool(false));
+        assert_eq!(as_u64(&v["metrics"]["sched.tasks_placed"]["value"]), Some(60));
+        assert_eq!(as_u64(&v["configs"][1]), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the artifact envelope")]
+    fn reserved_section_keys_rejected() {
+        let _ = RunArtifact::new("x").section("meta", &1u32);
+    }
+}

@@ -1,0 +1,57 @@
+//! Feature-gated wall-clock phase timing.
+//!
+//! [`PhaseTimer`] measures real elapsed time around a code region (the
+//! rayon scheduling fan-out, a replay tick loop) and records it as a
+//! `profile.<name>_ms` gauge. With the `wall-profiling` feature off —
+//! the default for every library consumer — the timer is a zero-sized
+//! no-op, so the deterministic paths pay nothing and wall clock never
+//! leaks into traces or deterministic snapshots.
+
+use crate::metrics::MetricsRegistry;
+
+/// Wall-clock timer for one named phase.
+#[must_use = "call stop() to record the phase duration"]
+pub struct PhaseTimer {
+    #[cfg(feature = "wall-profiling")]
+    start: std::time::Instant,
+}
+
+impl PhaseTimer {
+    /// Start timing (no-op without `wall-profiling`).
+    pub fn start() -> Self {
+        PhaseTimer {
+            #[cfg(feature = "wall-profiling")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Stop and record `profile.<name>_ms` into `registry` (no-op
+    /// without `wall-profiling`).
+    pub fn stop(self, registry: &MetricsRegistry, name: &str) {
+        #[cfg(feature = "wall-profiling")]
+        registry.gauge_set(
+            &format!("{}{name}_ms", crate::metrics::PROFILE_PREFIX),
+            self.start.elapsed().as_secs_f64() * 1e3,
+        );
+        #[cfg(not(feature = "wall-profiling"))]
+        let _ = (registry, name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_respects_feature_gate() {
+        let reg = MetricsRegistry::new();
+        let t = PhaseTimer::start();
+        t.stop(&reg, "sched.fan_out");
+        let recorded = reg.gauge("profile.sched.fan_out_ms");
+        if cfg!(feature = "wall-profiling") {
+            assert!(recorded.is_some_and(|ms| ms >= 0.0));
+        } else {
+            assert!(recorded.is_none(), "without the feature nothing is recorded");
+        }
+    }
+}

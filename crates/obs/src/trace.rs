@@ -1,0 +1,373 @@
+//! Deterministic logical-time tracing.
+//!
+//! A [`TraceSink`] records [`TraceRecord`]s — point events and closed
+//! spans — stamped with **logical sim time** supplied by the caller.
+//! Wall-clock time never enters a record, so replaying the same
+//! `(federation, afg, plan, cfg)` tuple produces byte-identical JSONL:
+//! that property is CI-gated (`exp_trace`) and property-tested across
+//! every named `FaultScenario`.
+//!
+//! The JSONL schema (one object per line, `schema` version
+//! [`TRACE_SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {"t":12.5,"kind":"event","name":"task_started","fields":{"task":3,"host":"s0h1"}}
+//! {"t":12.5,"end":19.0,"kind":"span","name":"task_run","fields":{"task":3}}
+//! ```
+//!
+//! `fields` values are scalars only (string/integer/float/bool) —
+//! [`validate_jsonl`] enforces this, plus finite non-negative times and
+//! `end >= t` for spans.
+
+use parking_lot::Mutex;
+use serde_json::{Number, Value};
+use std::sync::Arc;
+
+/// Version of the JSONL trace schema; bump on breaking shape changes.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// A scalar field value attached to a trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// String field.
+    Str(String),
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Float field (must be finite to validate).
+    F64(f64),
+    /// Boolean field.
+    Bool(bool),
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::Str(s) => Value::String(s.clone()),
+            FieldValue::U64(u) => Value::Number(Number::U(*u)),
+            FieldValue::I64(i) => Value::Number(Number::I(*i)),
+            FieldValue::F64(f) => Value::Number(Number::F(*f)),
+            FieldValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(u: u64) -> Self {
+        FieldValue::U64(u)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(u: u32) -> Self {
+        FieldValue::U64(u as u64)
+    }
+}
+
+impl From<u16> for FieldValue {
+    fn from(u: u16) -> Self {
+        FieldValue::U64(u as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(u: usize) -> Self {
+        FieldValue::U64(u as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(i: i64) -> Self {
+        FieldValue::I64(i)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(f: f64) -> Self {
+        FieldValue::F64(f)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> Self {
+        FieldValue::Bool(b)
+    }
+}
+
+/// One trace line: a point event (`end == None`) or a closed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Logical time of the event / span start.
+    pub t: f64,
+    /// Span end time; `None` for point events.
+    pub end: Option<f64>,
+    /// Record name (snake_case by convention).
+    pub name: String,
+    /// Scalar payload, serialised in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl TraceRecord {
+    /// JSON object for one JSONL line.
+    pub fn to_value(&self) -> Value {
+        let mut obj = vec![("t".to_string(), Value::Number(Number::F(self.t)))];
+        if let Some(end) = self.end {
+            obj.push(("end".to_string(), Value::Number(Number::F(end))));
+        }
+        let kind = if self.end.is_some() { "span" } else { "event" };
+        obj.push(("kind".to_string(), Value::String(kind.to_string())));
+        obj.push(("name".to_string(), Value::String(self.name.clone())));
+        let fields: Vec<(String, Value)> =
+            self.fields.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        obj.push(("fields".to_string(), Value::Object(fields)));
+        Value::Object(obj)
+    }
+}
+
+/// Shared, cheaply clonable sink for trace records.
+///
+/// A disabled sink ([`TraceSink::disabled`], also [`Default`]) drops
+/// records without locking, so tracing costs one branch when off.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<Vec<TraceRecord>>>>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .field("records", &self.len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// An enabled sink.
+    pub fn new() -> Self {
+        TraceSink { inner: Some(Arc::new(Mutex::new(Vec::new()))) }
+    }
+
+    /// A sink that drops everything.
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// Is this sink recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a point event at logical time `t`.
+    pub fn event(&self, t: f64, name: &str, fields: Vec<(String, FieldValue)>) {
+        if let Some(inner) = &self.inner {
+            inner.lock().push(TraceRecord { t, end: None, name: name.to_string(), fields });
+        }
+    }
+
+    /// Record a closed span `[t, end]`.
+    pub fn span(&self, t: f64, end: f64, name: &str, fields: Vec<(String, FieldValue)>) {
+        if let Some(inner) = &self.inner {
+            inner.lock().push(TraceRecord { t, end: Some(end), name: name.to_string(), fields });
+        }
+    }
+
+    /// Number of records so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.lock().len())
+    }
+
+    /// True when no records have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the captured records.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.lock().clone())
+    }
+
+    /// Drop all captured records (the sink stays enabled).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().clear();
+        }
+    }
+
+    /// Serialise every record as one JSON object per line.
+    ///
+    /// Record order is insertion order and field order is declaration
+    /// order, so for a deterministic caller the output is byte-stable.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&serde_json::to_string(&r.to_value()).expect("trace record serialises"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Counts from a validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total lines.
+    pub lines: usize,
+    /// Point events.
+    pub events: usize,
+    /// Closed spans.
+    pub spans: usize,
+}
+
+fn scalar_kind(v: &Value) -> Option<&'static str> {
+    match v {
+        Value::String(_) => Some("string"),
+        Value::Number(_) => Some("number"),
+        Value::Bool(_) => Some("bool"),
+        _ => None,
+    }
+}
+
+/// Validate JSONL trace output against the schema.
+///
+/// Checks, per line: valid JSON object; `t` a finite number `>= 0`;
+/// `kind` is `"event"` or `"span"`; spans carry a finite `end >= t` and
+/// events carry no `end`; `name` a non-empty string; `fields` an object
+/// whose values are all scalars.
+pub fn validate_jsonl(jsonl: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats { lines: 0, events: 0, spans: 0 };
+    for (i, line) in jsonl.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON: {e}"))?;
+        let Value::Object(_) = &v else {
+            return Err(format!("line {n}: expected a JSON object"));
+        };
+        let t = match &v["t"] {
+            Value::Number(x) => x.as_f64(),
+            _ => return Err(format!("line {n}: missing numeric `t`")),
+        };
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("line {n}: `t` must be finite and >= 0, got {t}"));
+        }
+        let kind = match &v["kind"] {
+            Value::String(s) => s.as_str(),
+            _ => return Err(format!("line {n}: missing string `kind`")),
+        };
+        match kind {
+            "event" => {
+                if v["end"] != Value::Null {
+                    return Err(format!("line {n}: events must not carry `end`"));
+                }
+                stats.events += 1;
+            }
+            "span" => {
+                let end = match &v["end"] {
+                    Value::Number(x) => x.as_f64(),
+                    _ => return Err(format!("line {n}: spans need a numeric `end`")),
+                };
+                if !end.is_finite() || end < t {
+                    return Err(format!("line {n}: span `end` ({end}) must be finite and >= t"));
+                }
+                stats.spans += 1;
+            }
+            other => return Err(format!("line {n}: unknown kind `{other}`")),
+        }
+        match &v["name"] {
+            Value::String(s) if !s.is_empty() => {}
+            _ => return Err(format!("line {n}: missing non-empty string `name`")),
+        }
+        match &v["fields"] {
+            Value::Object(fields) => {
+                for (k, fv) in fields {
+                    if scalar_kind(fv).is_none() {
+                        return Err(format!("line {n}: field `{k}` must be a scalar"));
+                    }
+                }
+            }
+            _ => return Err(format!("line {n}: missing object `fields`")),
+        }
+        stats.lines += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_drops_everything() {
+        let s = TraceSink::disabled();
+        s.event(1.0, "x", vec![]);
+        s.span(1.0, 2.0, "y", vec![]);
+        assert!(!s.is_enabled());
+        assert!(s.is_empty());
+        assert_eq!(s.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_validates() {
+        let s = TraceSink::new();
+        s.event(
+            0.5,
+            "task_started",
+            vec![("task".into(), 3u64.into()), ("host".into(), "s0h1".into())],
+        );
+        s.span(0.5, 2.25, "task_run", vec![("task".into(), 3u64.into())]);
+        let jsonl = s.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"t\":0.5,\"kind\":\"event\",\"name\":\"task_started\",\"fields\":{\"task\":3,\"host\":\"s0h1\"}}\n\
+             {\"t\":0.5,\"end\":2.25,\"kind\":\"span\",\"name\":\"task_run\",\"fields\":{\"task\":3}}\n"
+        );
+        let stats = validate_jsonl(&jsonl).unwrap();
+        assert_eq!(stats, TraceStats { lines: 2, events: 1, spans: 1 });
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(validate_jsonl("not json").is_err());
+        assert!(validate_jsonl("{\"kind\":\"event\",\"name\":\"x\",\"fields\":{}}").is_err());
+        assert!(
+            validate_jsonl("{\"t\":1.0,\"kind\":\"huh\",\"name\":\"x\",\"fields\":{}}").is_err()
+        );
+        assert!(
+            validate_jsonl("{\"t\":-1.0,\"kind\":\"event\",\"name\":\"x\",\"fields\":{}}").is_err()
+        );
+        assert!(validate_jsonl(
+            "{\"t\":2.0,\"end\":1.0,\"kind\":\"span\",\"name\":\"x\",\"fields\":{}}"
+        )
+        .is_err());
+        assert!(validate_jsonl(
+            "{\"t\":1.0,\"kind\":\"event\",\"name\":\"x\",\"fields\":{\"a\":[1]}}"
+        )
+        .is_err());
+        assert!(
+            validate_jsonl("{\"t\":1.0,\"kind\":\"event\",\"name\":\"\",\"fields\":{}}").is_err()
+        );
+    }
+
+    #[test]
+    fn shared_clones_feed_one_buffer() {
+        let a = TraceSink::new();
+        let b = a.clone();
+        a.event(1.0, "one", vec![]);
+        b.event(2.0, "two", vec![]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+}

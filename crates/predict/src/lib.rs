@@ -21,6 +21,7 @@
 //! (transfer-time prediction), [`calibrate`] (fitting rates from
 //! measurements), [`cache`] (per-run memoisation of `Predict`).
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -21,6 +21,7 @@
 //! thread-safe facade (site managers, group managers and schedulers all
 //! touch it concurrently) and supports JSON snapshots.
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

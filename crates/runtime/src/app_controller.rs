@@ -24,7 +24,7 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::data_manager::{DataManager, Transport};
-use crate::events::{EventLog, RuntimeEvent};
+use crate::events::{EventKind, EventLog, RuntimeEvent};
 use crate::executor::{
     execute_full, CheckpointContext, ExecutionOutcome, ExecutorConfig, GateDecision,
     HostLockRegistry, StartGate,
@@ -214,7 +214,7 @@ impl AppController {
     pub fn note_host_failed(&self, t: f64, host: &str) {
         self.site_manager.process(&ControlMessage::HostFailure { host: host.to_string() });
         if self.quarantine.quarantine(host) {
-            self.log.record(t, RuntimeEvent::HostQuarantined { host: host.to_string() });
+            self.log.emit(t, RuntimeEvent::HostQuarantined { host: host.to_string() });
         }
     }
 
@@ -223,7 +223,7 @@ impl AppController {
     pub fn note_host_recovered(&self, t: f64, host: &str) {
         self.site_manager.process(&ControlMessage::HostRecovered { host: host.to_string() });
         if self.quarantine.readmit(host) {
-            self.log.record(t, RuntimeEvent::HostReadmitted { host: host.to_string() });
+            self.log.emit(t, RuntimeEvent::HostReadmitted { host: host.to_string() });
         }
     }
 
@@ -249,7 +249,7 @@ impl AppController {
         // available — with the synchronous open_all used by the executor,
         // "all acks received" is equivalent to successful setup, so the
         // signal marks the transition.
-        self.log.record(clock.now(), RuntimeEvent::StartupSignal);
+        self.log.emit(clock.now(), RuntimeEvent::StartupSignal);
 
         // Steps 4–5: execute with the threshold gate, reporting
         // completions to the Site Manager.
@@ -281,7 +281,7 @@ impl AppController {
         // Write measured execution times back into the repository.
         self.site_manager.drain(&rx);
 
-        let rescheduled = self.log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. }));
+        let rescheduled = self.log.query(EventKind::RescheduleRequested).count();
         ExecutionReport { outcome, rescheduled_tasks: rescheduled, setup_acks: dm.setup_acks() }
     }
 }
@@ -360,7 +360,7 @@ mod tests {
             assert!(db.sample_count("Source", "h0") >= 1);
             assert!(db.sample_count("Map", "h0") >= 1);
         });
-        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::StartupSignal)), 1);
+        assert_eq!(ac.log().query(EventKind::StartupSignal).count(), 1);
     }
 
     #[test]
@@ -447,7 +447,7 @@ mod tests {
         for r in &report.outcome.records {
             assert_eq!(r.hosts, vec!["steady".to_string()]);
         }
-        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::HostQuarantined { .. })), 1);
+        assert_eq!(ac.log().query(EventKind::HostQuarantined).count(), 1);
     }
 
     #[test]
@@ -469,7 +469,7 @@ mod tests {
         for r in &report.outcome.records {
             assert_eq!(r.hosts, vec!["flaky".to_string()], "runs where scheduled again");
         }
-        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::HostReadmitted { .. })), 1);
+        assert_eq!(ac.log().query(EventKind::HostReadmitted).count(), 1);
     }
 
     #[test]
@@ -493,16 +493,16 @@ mod tests {
         let r1 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
         assert!(r1.outcome.success);
         assert_eq!(store.taken_total(), 3, "first run checkpoints every task");
-        let started = ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. }));
+        let started = ac.log().query(EventKind::TaskStarted).count();
 
         let r2 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
         assert!(r2.outcome.success);
         assert_eq!(
-            ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            ac.log().query(EventKind::TaskStarted).count(),
             started,
             "second run re-executes nothing"
         );
-        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+        assert_eq!(ac.log().query(EventKind::TaskResumed).count(), 3);
     }
 
     #[test]
@@ -531,12 +531,12 @@ mod tests {
         // All checkpoints live on h0 — quarantining it makes them
         // unusable, so the rerun executes (on the replacement host).
         ac.note_host_failed(1.0, "h0");
-        let started = ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. }));
+        let started = ac.log().query(EventKind::TaskStarted).count();
         let r2 = ac.run(&afg, &table, &IoService::new(), &ConsoleService::new(ac.log().clone()));
         assert!(r2.outcome.success);
-        assert_eq!(ac.log().count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 0);
+        assert_eq!(ac.log().query(EventKind::TaskResumed).count(), 0);
         assert_eq!(
-            ac.log().count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            ac.log().query(EventKind::TaskStarted).count(),
             started + 3,
             "every task re-executed once its checkpoints became unreachable"
         );

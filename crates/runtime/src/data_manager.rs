@@ -212,7 +212,7 @@ impl DataManager {
         };
         // Proxy acknowledgment to the Application Controller.
         *self.acks.lock() += 1;
-        self.log.record(0.0, RuntimeEvent::ChannelReady { channel: id.edge });
+        self.log.emit(0.0, RuntimeEvent::ChannelReady { channel: id.edge });
         Ok(pair)
     }
 
@@ -238,6 +238,7 @@ impl DataManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventKind;
 
     fn round_trip(transport: Transport) {
         let dm = DataManager::new(transport, EventLog::new());
@@ -279,7 +280,7 @@ mod tests {
         let dm = DataManager::new(Transport::InProc, log.clone());
         let (_s, _r) = dm.open_all(3, 4).unwrap();
         assert_eq!(dm.setup_acks(), 4);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::ChannelReady { .. })), 4);
+        assert_eq!(log.query(EventKind::ChannelReady).count(), 4);
     }
 
     #[test]

@@ -3,10 +3,18 @@
 //! Every Control-Manager component appends timestamped events here; the
 //! visualization service (§4.2) renders them, tests assert on them, and
 //! the Figure-4 experiments count them.
+//!
+//! Since the observability redesign the log is also a trace source: an
+//! [`EventLog`] built with [`EventLog::traced`] mirrors every
+//! [`EventLog::emit`] into a `vdce_obs` [`TraceSink`] as a logical-time
+//! trace event, and consumers query it through the typed
+//! [`EventQuery`] API ([`EventLog::query`]) instead of the deprecated
+//! closure-based `count`/`first_time`.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
 use vdce_afg::TaskId;
+use vdce_obs::trace::{FieldValue, TraceSink};
 
 /// Something that happened at runtime.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,21 +164,263 @@ pub enum RuntimeEvent {
     },
 }
 
+/// Discriminant-only mirror of [`RuntimeEvent`], the key of the typed
+/// [`EventQuery`] API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// [`RuntimeEvent::MonitorSample`].
+    MonitorSample,
+    /// [`RuntimeEvent::WorkloadForwarded`].
+    WorkloadForwarded,
+    /// [`RuntimeEvent::HostFailed`].
+    HostFailed,
+    /// [`RuntimeEvent::HostRecovered`].
+    HostRecovered,
+    /// [`RuntimeEvent::ChannelReady`].
+    ChannelReady,
+    /// [`RuntimeEvent::StartupSignal`].
+    StartupSignal,
+    /// [`RuntimeEvent::TaskStarted`].
+    TaskStarted,
+    /// [`RuntimeEvent::TaskFinished`].
+    TaskFinished,
+    /// [`RuntimeEvent::TaskFailed`].
+    TaskFailed,
+    /// [`RuntimeEvent::RescheduleRequested`].
+    RescheduleRequested,
+    /// [`RuntimeEvent::Suspended`].
+    Suspended,
+    /// [`RuntimeEvent::Resumed`].
+    Resumed,
+    /// [`RuntimeEvent::TaskMigrated`].
+    TaskMigrated,
+    /// [`RuntimeEvent::TaskRetried`].
+    TaskRetried,
+    /// [`RuntimeEvent::CheckpointTaken`].
+    CheckpointTaken,
+    /// [`RuntimeEvent::TaskResumed`].
+    TaskResumed,
+    /// [`RuntimeEvent::HostQuarantined`].
+    HostQuarantined,
+    /// [`RuntimeEvent::HostReadmitted`].
+    HostReadmitted,
+    /// [`RuntimeEvent::SiteManagerFailedOver`].
+    SiteManagerFailedOver,
+    /// [`RuntimeEvent::SiteQuarantined`].
+    SiteQuarantined,
+    /// [`RuntimeEvent::SiteRejoined`].
+    SiteRejoined,
+    /// [`RuntimeEvent::CheckpointReplicated`].
+    CheckpointReplicated,
+}
+
+impl EventKind {
+    /// snake_case name, used as the trace-record name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::MonitorSample => "monitor_sample",
+            EventKind::WorkloadForwarded => "workload_forwarded",
+            EventKind::HostFailed => "host_failed",
+            EventKind::HostRecovered => "host_recovered",
+            EventKind::ChannelReady => "channel_ready",
+            EventKind::StartupSignal => "startup_signal",
+            EventKind::TaskStarted => "task_started",
+            EventKind::TaskFinished => "task_finished",
+            EventKind::TaskFailed => "task_failed",
+            EventKind::RescheduleRequested => "reschedule_requested",
+            EventKind::Suspended => "suspended",
+            EventKind::Resumed => "resumed",
+            EventKind::TaskMigrated => "task_migrated",
+            EventKind::TaskRetried => "task_retried",
+            EventKind::CheckpointTaken => "checkpoint_taken",
+            EventKind::TaskResumed => "task_resumed",
+            EventKind::HostQuarantined => "host_quarantined",
+            EventKind::HostReadmitted => "host_readmitted",
+            EventKind::SiteManagerFailedOver => "site_manager_failed_over",
+            EventKind::SiteQuarantined => "site_quarantined",
+            EventKind::SiteRejoined => "site_rejoined",
+            EventKind::CheckpointReplicated => "checkpoint_replicated",
+        }
+    }
+}
+
+impl RuntimeEvent {
+    /// The event's kind (discriminant).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            RuntimeEvent::MonitorSample { .. } => EventKind::MonitorSample,
+            RuntimeEvent::WorkloadForwarded { .. } => EventKind::WorkloadForwarded,
+            RuntimeEvent::HostFailed { .. } => EventKind::HostFailed,
+            RuntimeEvent::HostRecovered { .. } => EventKind::HostRecovered,
+            RuntimeEvent::ChannelReady { .. } => EventKind::ChannelReady,
+            RuntimeEvent::StartupSignal => EventKind::StartupSignal,
+            RuntimeEvent::TaskStarted { .. } => EventKind::TaskStarted,
+            RuntimeEvent::TaskFinished { .. } => EventKind::TaskFinished,
+            RuntimeEvent::TaskFailed { .. } => EventKind::TaskFailed,
+            RuntimeEvent::RescheduleRequested { .. } => EventKind::RescheduleRequested,
+            RuntimeEvent::Suspended => EventKind::Suspended,
+            RuntimeEvent::Resumed => EventKind::Resumed,
+            RuntimeEvent::TaskMigrated { .. } => EventKind::TaskMigrated,
+            RuntimeEvent::TaskRetried { .. } => EventKind::TaskRetried,
+            RuntimeEvent::CheckpointTaken { .. } => EventKind::CheckpointTaken,
+            RuntimeEvent::TaskResumed { .. } => EventKind::TaskResumed,
+            RuntimeEvent::HostQuarantined { .. } => EventKind::HostQuarantined,
+            RuntimeEvent::HostReadmitted { .. } => EventKind::HostReadmitted,
+            RuntimeEvent::SiteManagerFailedOver { .. } => EventKind::SiteManagerFailedOver,
+            RuntimeEvent::SiteQuarantined { .. } => EventKind::SiteQuarantined,
+            RuntimeEvent::SiteRejoined { .. } => EventKind::SiteRejoined,
+            RuntimeEvent::CheckpointReplicated { .. } => EventKind::CheckpointReplicated,
+        }
+    }
+
+    /// The host named by the event, if any (migrations report the
+    /// destination host; failovers the new role holder).
+    pub fn host(&self) -> Option<&str> {
+        match self {
+            RuntimeEvent::MonitorSample { host, .. }
+            | RuntimeEvent::WorkloadForwarded { host, .. }
+            | RuntimeEvent::HostFailed { host }
+            | RuntimeEvent::HostRecovered { host }
+            | RuntimeEvent::TaskStarted { host, .. }
+            | RuntimeEvent::RescheduleRequested { host, .. }
+            | RuntimeEvent::CheckpointTaken { host, .. }
+            | RuntimeEvent::TaskResumed { host, .. }
+            | RuntimeEvent::HostQuarantined { host }
+            | RuntimeEvent::HostReadmitted { host }
+            | RuntimeEvent::CheckpointReplicated { host, .. } => Some(host),
+            RuntimeEvent::TaskMigrated { to_host, .. } => Some(to_host),
+            RuntimeEvent::SiteManagerFailedOver { to, .. } => Some(to),
+            _ => None,
+        }
+    }
+
+    /// The task named by the event, if any.
+    pub fn task(&self) -> Option<TaskId> {
+        match self {
+            RuntimeEvent::TaskStarted { task, .. }
+            | RuntimeEvent::TaskFinished { task, .. }
+            | RuntimeEvent::TaskFailed { task, .. }
+            | RuntimeEvent::RescheduleRequested { task, .. }
+            | RuntimeEvent::TaskMigrated { task, .. }
+            | RuntimeEvent::TaskRetried { task, .. }
+            | RuntimeEvent::CheckpointTaken { task, .. }
+            | RuntimeEvent::TaskResumed { task, .. }
+            | RuntimeEvent::CheckpointReplicated { task, .. } => Some(*task),
+            _ => None,
+        }
+    }
+
+    /// The site named by the event, if any.
+    pub fn site(&self) -> Option<u16> {
+        match self {
+            RuntimeEvent::SiteManagerFailedOver { site, .. }
+            | RuntimeEvent::SiteQuarantined { site }
+            | RuntimeEvent::SiteRejoined { site } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// Trace-record payload: every variant field as a scalar, in
+    /// declaration order (deterministic serialisation relies on this).
+    pub fn trace_fields(&self) -> Vec<(String, FieldValue)> {
+        fn f(k: &str, v: impl Into<FieldValue>) -> (String, FieldValue) {
+            (k.to_string(), v.into())
+        }
+        match self {
+            RuntimeEvent::MonitorSample { host, workload }
+            | RuntimeEvent::WorkloadForwarded { host, workload } => {
+                vec![f("host", host.as_str()), f("workload", *workload)]
+            }
+            RuntimeEvent::HostFailed { host }
+            | RuntimeEvent::HostRecovered { host }
+            | RuntimeEvent::HostQuarantined { host }
+            | RuntimeEvent::HostReadmitted { host } => vec![f("host", host.as_str())],
+            RuntimeEvent::ChannelReady { channel } => vec![f("channel", *channel)],
+            RuntimeEvent::StartupSignal | RuntimeEvent::Suspended | RuntimeEvent::Resumed => {
+                Vec::new()
+            }
+            RuntimeEvent::TaskStarted { task, host } => {
+                vec![f("task", task.0 as u64), f("host", host.as_str())]
+            }
+            RuntimeEvent::TaskFinished { task, seconds } => {
+                vec![f("task", task.0 as u64), f("seconds", *seconds)]
+            }
+            RuntimeEvent::TaskFailed { task, reason } => {
+                vec![f("task", task.0 as u64), f("reason", reason.as_str())]
+            }
+            RuntimeEvent::RescheduleRequested { task, host } => {
+                vec![f("task", task.0 as u64), f("host", host.as_str())]
+            }
+            RuntimeEvent::TaskMigrated { task, from_host, to_host } => vec![
+                f("task", task.0 as u64),
+                f("from_host", from_host.as_str()),
+                f("to_host", to_host.as_str()),
+            ],
+            RuntimeEvent::TaskRetried { task, attempt } => {
+                vec![f("task", task.0 as u64), f("attempt", *attempt)]
+            }
+            RuntimeEvent::CheckpointTaken { task, seq, progress, host } => vec![
+                f("task", task.0 as u64),
+                f("seq", *seq),
+                f("progress", *progress),
+                f("host", host.as_str()),
+            ],
+            RuntimeEvent::TaskResumed { task, progress, host } => {
+                vec![f("task", task.0 as u64), f("progress", *progress), f("host", host.as_str())]
+            }
+            RuntimeEvent::SiteManagerFailedOver { site, from, to } => {
+                vec![f("site", *site), f("from", from.as_str()), f("to", to.as_str())]
+            }
+            RuntimeEvent::SiteQuarantined { site } | RuntimeEvent::SiteRejoined { site } => {
+                vec![f("site", *site)]
+            }
+            RuntimeEvent::CheckpointReplicated { task, seq, host } => {
+                vec![f("task", task.0 as u64), f("seq", *seq), f("host", host.as_str())]
+            }
+        }
+    }
+}
+
 /// Shared, timestamped, append-only event log.
+///
+/// Cloning shares both the entry buffer and the attached trace sink.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
     entries: Arc<Mutex<Vec<(f64, RuntimeEvent)>>>,
+    trace: TraceSink,
 }
 
 impl EventLog {
-    /// Empty log.
+    /// Empty log with no trace attached.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Append an event at time `t` (seconds).
-    pub fn record(&self, t: f64, event: RuntimeEvent) {
+    /// Empty log that mirrors every [`EventLog::emit`] into `trace` as
+    /// a logical-time trace event.
+    pub fn traced(trace: TraceSink) -> Self {
+        EventLog { entries: Arc::default(), trace }
+    }
+
+    /// The attached trace sink (disabled unless built via
+    /// [`EventLog::traced`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Append an event at logical time `t` (seconds), mirroring it into
+    /// the attached trace sink.
+    pub fn emit(&self, t: f64, event: RuntimeEvent) {
+        if self.trace.is_enabled() {
+            self.trace.event(t, event.kind().name(), event.trace_fields());
+        }
         self.entries.lock().push((t, event));
+    }
+
+    /// Append an event at time `t` (seconds).
+    #[deprecated(note = "use `emit`, which also mirrors into the attached vdce_obs trace")]
+    pub fn record(&self, t: f64, event: RuntimeEvent) {
+        self.emit(t, event);
     }
 
     /// Snapshot of all entries in append order.
@@ -178,12 +428,24 @@ impl EventLog {
         self.entries.lock().clone()
     }
 
+    /// Typed query over events of one [`EventKind`].
+    pub fn query(&self, kind: EventKind) -> EventQuery<'_> {
+        EventQuery { log: self, kind: Some(kind), host: None, task: None }
+    }
+
+    /// Typed query over every event.
+    pub fn query_all(&self) -> EventQuery<'_> {
+        EventQuery { log: self, kind: None, host: None, task: None }
+    }
+
     /// Count events matching `pred`.
+    #[deprecated(note = "use the typed `query(EventKind)` API")]
     pub fn count(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> usize {
         self.entries.lock().iter().filter(|(_, e)| pred(e)).count()
     }
 
     /// First timestamp of an event matching `pred`.
+    #[deprecated(note = "use the typed `query(EventKind)` API")]
     pub fn first_time(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> Option<f64> {
         self.entries.lock().iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
     }
@@ -199,15 +461,78 @@ impl EventLog {
     }
 }
 
+/// A typed filter over an [`EventLog`], replacing the closure-based
+/// `count`/`first_time` queries.
+///
+/// ```
+/// # use vdce_runtime::events::{EventKind, EventLog, RuntimeEvent};
+/// let log = EventLog::new();
+/// log.emit(1.5, RuntimeEvent::HostFailed { host: "s0h1".into() });
+/// assert_eq!(log.query(EventKind::HostFailed).count(), 1);
+/// assert_eq!(log.query(EventKind::HostFailed).for_host("s0h1").first_time(), Some(1.5));
+/// ```
+#[derive(Clone)]
+pub struct EventQuery<'a> {
+    log: &'a EventLog,
+    kind: Option<EventKind>,
+    host: Option<String>,
+    task: Option<TaskId>,
+}
+
+impl EventQuery<'_> {
+    /// Keep only events naming this host (see [`RuntimeEvent::host`]).
+    pub fn for_host(mut self, host: &str) -> Self {
+        self.host = Some(host.to_string());
+        self
+    }
+
+    /// Keep only events naming this task.
+    pub fn for_task(mut self, task: TaskId) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    fn matches(&self, e: &RuntimeEvent) -> bool {
+        self.kind.is_none_or(|k| e.kind() == k)
+            && self.host.as_deref().is_none_or(|h| e.host() == Some(h))
+            && self.task.is_none_or(|t| e.task() == Some(t))
+    }
+
+    /// Number of matching events.
+    pub fn count(&self) -> usize {
+        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).count()
+    }
+
+    /// Timestamp of the first match.
+    pub fn first_time(&self) -> Option<f64> {
+        self.log.entries.lock().iter().find(|(_, e)| self.matches(e)).map(|(t, _)| *t)
+    }
+
+    /// Timestamp of the last match.
+    pub fn last_time(&self) -> Option<f64> {
+        self.log.entries.lock().iter().rev().find(|(_, e)| self.matches(e)).map(|(t, _)| *t)
+    }
+
+    /// Timestamps of every match, in append order.
+    pub fn times(&self) -> Vec<f64> {
+        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).map(|(t, _)| *t).collect()
+    }
+
+    /// Every matching `(time, event)` pair, in append order.
+    pub fn events(&self) -> Vec<(f64, RuntimeEvent)> {
+        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).cloned().collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn record_and_snapshot_preserve_order() {
+    fn emit_and_snapshot_preserve_order() {
         let log = EventLog::new();
-        log.record(1.0, RuntimeEvent::StartupSignal);
-        log.record(2.0, RuntimeEvent::Suspended);
+        log.emit(1.0, RuntimeEvent::StartupSignal);
+        log.emit(2.0, RuntimeEvent::Suspended);
         let snap = log.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0], (1.0, RuntimeEvent::StartupSignal));
@@ -218,20 +543,88 @@ mod tests {
     fn clones_share_the_log() {
         let log = EventLog::new();
         let log2 = log.clone();
-        log2.record(0.5, RuntimeEvent::Resumed);
+        log2.emit(0.5, RuntimeEvent::Resumed);
         assert_eq!(log.len(), 1);
         assert!(!log.is_empty());
     }
 
     #[test]
-    fn count_and_first_time() {
+    fn typed_queries_filter_by_kind_host_and_task() {
+        let log = EventLog::new();
+        log.emit(1.0, RuntimeEvent::HostFailed { host: "a".into() });
+        log.emit(2.0, RuntimeEvent::HostFailed { host: "b".into() });
+        log.emit(3.0, RuntimeEvent::HostRecovered { host: "a".into() });
+        log.emit(4.0, RuntimeEvent::TaskStarted { task: TaskId(7), host: "b".into() });
+        assert_eq!(log.query(EventKind::HostFailed).count(), 2);
+        assert_eq!(log.query(EventKind::HostFailed).for_host("b").count(), 1);
+        assert_eq!(log.query(EventKind::HostRecovered).first_time(), Some(3.0));
+        assert_eq!(log.query(EventKind::StartupSignal).first_time(), None);
+        assert_eq!(log.query(EventKind::HostFailed).last_time(), Some(2.0));
+        assert_eq!(log.query(EventKind::HostFailed).times(), vec![1.0, 2.0]);
+        assert_eq!(log.query_all().for_host("b").count(), 2);
+        assert_eq!(log.query_all().for_task(TaskId(7)).count(), 1);
+        assert_eq!(log.query(EventKind::TaskStarted).events().len(), 1);
+    }
+
+    /// The closure API still answers (deprecated, kept for downstream
+    /// consumers one release).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_closure_queries_still_work() {
         let log = EventLog::new();
         log.record(1.0, RuntimeEvent::HostFailed { host: "a".into() });
-        log.record(2.0, RuntimeEvent::HostFailed { host: "b".into() });
-        log.record(3.0, RuntimeEvent::HostRecovered { host: "a".into() });
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::HostFailed { .. })), 2);
-        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostRecovered { .. })), Some(3.0));
-        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::StartupSignal)), None);
+        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::HostFailed { .. })), 1);
+        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostFailed { .. })), Some(1.0));
+    }
+
+    #[test]
+    fn traced_log_mirrors_events_into_the_sink() {
+        let sink = TraceSink::new();
+        let log = EventLog::traced(sink.clone());
+        log.emit(1.5, RuntimeEvent::TaskStarted { task: TaskId(3), host: "s0h1".into() });
+        log.emit(2.0, RuntimeEvent::StartupSignal);
+        assert_eq!(sink.len(), 2);
+        let jsonl = sink.to_jsonl();
+        assert!(jsonl.starts_with(
+            "{\"t\":1.5,\"kind\":\"event\",\"name\":\"task_started\",\
+             \"fields\":{\"task\":3,\"host\":\"s0h1\"}}\n"
+        ));
+        vdce_obs::validate_jsonl(&jsonl).expect("mirrored events validate against the schema");
+        // The untraced default drops nothing into a sink but keeps entries.
+        let plain = EventLog::new();
+        plain.emit(0.0, RuntimeEvent::Resumed);
+        assert!(!plain.trace().is_enabled());
+        assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_trace_name() {
+        let kinds = [
+            EventKind::MonitorSample,
+            EventKind::WorkloadForwarded,
+            EventKind::HostFailed,
+            EventKind::HostRecovered,
+            EventKind::ChannelReady,
+            EventKind::StartupSignal,
+            EventKind::TaskStarted,
+            EventKind::TaskFinished,
+            EventKind::TaskFailed,
+            EventKind::RescheduleRequested,
+            EventKind::Suspended,
+            EventKind::Resumed,
+            EventKind::TaskMigrated,
+            EventKind::TaskRetried,
+            EventKind::CheckpointTaken,
+            EventKind::TaskResumed,
+            EventKind::HostQuarantined,
+            EventKind::HostReadmitted,
+            EventKind::SiteManagerFailedOver,
+            EventKind::SiteQuarantined,
+            EventKind::SiteRejoined,
+            EventKind::CheckpointReplicated,
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
     }
 
     #[test]
@@ -242,7 +635,7 @@ mod tests {
                 let l = log.clone();
                 std::thread::spawn(move || {
                     for _ in 0..100 {
-                        l.record(0.0, RuntimeEvent::StartupSignal);
+                        l.emit(0.0, RuntimeEvent::StartupSignal);
                     }
                 })
             })

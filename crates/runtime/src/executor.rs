@@ -326,7 +326,7 @@ fn run_task(
 ) -> TaskRunRecord {
     let node = afg.task(task);
     let fail = |start: f64, finish: f64, hosts: Vec<String>, why: String| {
-        log.record(finish, RuntimeEvent::TaskFailed { task, reason: why.clone() });
+        log.emit(finish, RuntimeEvent::TaskFailed { task, reason: why.clone() });
         TaskRunRecord { task, hosts, start, finish, ok: false, error: Some(why) }
     };
 
@@ -339,7 +339,7 @@ fn run_task(
         if let Some(cp) = ctx.store.latest_valid(task, |h| (ctx.reachable)(h)) {
             if cp.progress >= 1.0 - 1e-9 {
                 let start = clock.now();
-                log.record(
+                log.emit(
                     start,
                     RuntimeEvent::TaskResumed {
                         task,
@@ -362,7 +362,7 @@ fn run_task(
                     }
                 }
                 let finish = clock.now();
-                log.record(finish, RuntimeEvent::TaskFinished { task, seconds: 0.0 });
+                log.emit(finish, RuntimeEvent::TaskFinished { task, seconds: 0.0 });
                 return TaskRunRecord {
                     task,
                     hosts: cp.stored_on.clone(),
@@ -418,7 +418,7 @@ fn run_task(
         let hosts = match gate.check(task, &placement.hosts) {
             GateDecision::Proceed => placement.hosts.clone(),
             GateDecision::Relocate(new_hosts) => {
-                log.record(
+                log.emit(
                     clock.now(),
                     RuntimeEvent::RescheduleRequested {
                         task,
@@ -429,7 +429,7 @@ fn run_task(
             }
             GateDecision::Abort(reason) => {
                 if attempt < config.retry.max_retries {
-                    log.record(clock.now(), RuntimeEvent::TaskRetried { task, attempt });
+                    log.emit(clock.now(), RuntimeEvent::TaskRetried { task, attempt });
                     std::thread::sleep(config.retry.delay_duration(attempt));
                     attempt += 1;
                     continue;
@@ -439,7 +439,7 @@ fn run_task(
         };
         if let Some(prev) = &prev_hosts {
             if *prev != hosts {
-                log.record(
+                log.emit(
                     clock.now(),
                     RuntimeEvent::TaskMigrated {
                         task,
@@ -460,7 +460,7 @@ fn run_task(
 
         // 5. Run the kernel.
         let start = clock.now();
-        log.record(start, RuntimeEvent::TaskStarted { task, host: hosts.join("+") });
+        log.emit(start, RuntimeEvent::TaskStarted { task, host: hosts.join("+") });
         let result = run_kernel_parallel(
             node.kernel,
             node.problem_size,
@@ -474,7 +474,7 @@ fn run_task(
             Ok(p) => p,
             Err(e) => {
                 if attempt < config.retry.max_retries {
-                    log.record(finish, RuntimeEvent::TaskRetried { task, attempt });
+                    log.emit(finish, RuntimeEvent::TaskRetried { task, attempt });
                     std::thread::sleep(config.retry.delay_duration(attempt));
                     attempt += 1;
                     continue;
@@ -510,7 +510,7 @@ fn run_task(
                 let cp =
                     TaskCheckpoint::new(task, 1.0, finish, hosts.clone()).with_outputs(outputs_map);
                 let seq = ctx.store.record(cp);
-                log.record(
+                log.emit(
                     finish,
                     RuntimeEvent::CheckpointTaken {
                         task,
@@ -521,7 +521,7 @@ fn run_task(
                 );
                 if let Some(remote) = &ctx.replicate_to {
                     if !hosts.contains(remote) && ctx.store.add_replica(task, seq, remote) {
-                        log.record(
+                        log.emit(
                             finish,
                             RuntimeEvent::CheckpointReplicated { task, seq, host: remote.clone() },
                         );
@@ -532,7 +532,7 @@ fn run_task(
 
         // 7. Report the measured execution time for task-perf write-back.
         let seconds = (finish - start).max(0.0);
-        log.record(finish, RuntimeEvent::TaskFinished { task, seconds });
+        log.emit(finish, RuntimeEvent::TaskFinished { task, seconds });
         if let Some(tx) = &completions {
             for host in &hosts {
                 let _ = tx.send(ControlMessage::ExecutionCompleted {
@@ -551,6 +551,7 @@ fn run_task(
 mod tests {
     use super::*;
     use crate::data_manager::Transport;
+    use crate::events::EventKind;
     use crate::kernels::decode_f64s;
     use crossbeam::channel::unbounded;
     use vdce_afg::{AfgBuilder, IoSpec, TaskLibrary};
@@ -616,7 +617,7 @@ mod tests {
         let (out, log, _) = run(&afg, &table, Transport::InProc, &AlwaysProceed);
         assert!(out.success, "records: {:?}", out.records);
         assert_eq!(out.records.len(), 3);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::TaskFinished { .. })), 3);
+        assert_eq!(log.query(EventKind::TaskFinished).count(), 3);
         assert!(out.wall_seconds >= 0.0);
     }
 
@@ -696,7 +697,7 @@ mod tests {
         assert!(!out.records[0].ok);
         assert!(out.records[0].error.as_deref().unwrap().contains("pivot"));
         assert!(!out.records[1].ok, "sink must fail once its producer died");
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::TaskFailed { .. })), 2);
+        assert_eq!(log.query(EventKind::TaskFailed).count(), 2);
     }
 
     #[test]
@@ -718,7 +719,7 @@ mod tests {
         for r in &out.records {
             assert_eq!(r.hosts, vec!["h1".to_string()]);
         }
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::RescheduleRequested { .. })), 3);
+        assert_eq!(log.query(EventKind::RescheduleRequested).count(), 3);
     }
 
     #[test]
@@ -782,7 +783,7 @@ mod tests {
         assert!(out.success, "{:?}", out.records);
         // Only the first task hits the aborting window (the gate counter
         // is global), but at least its retries must be in the log.
-        assert!(log.count(|e| matches!(e, RuntimeEvent::TaskRetried { .. })) >= 2);
+        assert!(log.query(EventKind::TaskRetried).count() >= 2);
     }
 
     #[test]
@@ -819,7 +820,7 @@ mod tests {
         assert!(!out.success);
         assert!(out.records.iter().any(|r| r.error.as_deref() == Some("still down")));
         // Each task burned its full retry budget before failing.
-        assert!(log.count(|e| matches!(e, RuntimeEvent::TaskRetried { .. })) >= 2);
+        assert!(log.query(EventKind::TaskRetried).count() >= 2);
     }
 
     #[test]
@@ -865,7 +866,7 @@ mod tests {
         );
         assert!(!out.success, "singular LU fails on every host");
         assert_eq!(
-            log.count(|e| matches!(e, RuntimeEvent::TaskMigrated { .. })),
+            log.query(EventKind::TaskMigrated).count(),
             1,
             "one retry on a different host → one migration event"
         );
@@ -932,7 +933,7 @@ mod tests {
         resumer.join().unwrap();
         assert!(out.success);
         assert!(out.wall_seconds >= 0.0);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+        assert_eq!(log.query(EventKind::Resumed).count(), 1);
     }
 
     #[test]
@@ -968,7 +969,7 @@ mod tests {
         );
         assert!(out.success, "{:?}", out.records);
         assert_eq!(store.taken_total(), 3, "every completed task checkpointed");
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::CheckpointTaken { .. })), 3);
+        assert_eq!(log.query(EventKind::CheckpointTaken).count(), 3);
         assert_eq!(dm.produced_count(), 2, "both edges marked produced");
 
         // Second execution with the same store: no completed work is
@@ -992,11 +993,11 @@ mod tests {
         );
         assert!(out2.success, "{:?}", out2.records);
         assert_eq!(
-            log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })),
+            log2.query(EventKind::TaskStarted).count(),
             0,
             "no kernel re-executed past its checkpoint"
         );
-        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+        assert_eq!(log2.query(EventKind::TaskResumed).count(), 3);
         assert_eq!(dm2.produced_count(), 2, "resumed tasks re-deliver produced outputs");
     }
 
@@ -1039,7 +1040,7 @@ mod tests {
             )
             .success
         );
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::CheckpointReplicated { .. })), 3);
+        assert_eq!(log.query(EventKind::CheckpointReplicated).count(), 3);
 
         // h0 crashed, but the replicas on r1 keep every checkpoint valid:
         // the rerun resumes everything instead of re-executing.
@@ -1063,8 +1064,8 @@ mod tests {
             Some(&ctx2),
         );
         assert!(out2.success, "{:?}", out2.records);
-        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })), 0);
-        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 3);
+        assert_eq!(log2.query(EventKind::TaskStarted).count(), 0);
+        assert_eq!(log2.query(EventKind::TaskResumed).count(), 3);
     }
 
     #[test]
@@ -1125,8 +1126,8 @@ mod tests {
             Some(&ctx2),
         );
         assert!(out2.success, "{:?}", out2.records);
-        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskResumed { .. })), 0);
-        assert_eq!(log2.count(|e| matches!(e, RuntimeEvent::TaskStarted { .. })), 3);
+        assert_eq!(log2.query(EventKind::TaskResumed).count(), 0);
+        assert_eq!(log2.query(EventKind::TaskStarted).count(), 3);
     }
 
     #[test]

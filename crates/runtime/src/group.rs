@@ -139,7 +139,7 @@ impl GroupManager {
         if significant {
             self.last_forwarded.insert(report.host.clone(), report.workload);
             self.stats.reports_forwarded += 1;
-            self.log.record(
+            self.log.emit(
                 t,
                 RuntimeEvent::WorkloadForwarded {
                     host: report.host.clone(),
@@ -167,13 +167,13 @@ impl GroupManager {
             if !alive && !was_down {
                 self.down.insert(host.clone());
                 self.stats.failures_detected += 1;
-                self.log.record(t, RuntimeEvent::HostFailed { host: host.clone() });
+                self.log.emit(t, RuntimeEvent::HostFailed { host: host.clone() });
                 let _ = self.to_site.send(ControlMessage::HostFailure { host: host.clone() });
                 changed.push(host);
             } else if alive && was_down {
                 self.down.remove(&host);
                 self.stats.recoveries_detected += 1;
-                self.log.record(t, RuntimeEvent::HostRecovered { host: host.clone() });
+                self.log.emit(t, RuntimeEvent::HostRecovered { host: host.clone() });
                 let _ = self.to_site.send(ControlMessage::HostRecovered { host: host.clone() });
                 changed.push(host);
             }
@@ -226,6 +226,7 @@ impl GroupManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventKind;
     use crossbeam::channel::unbounded;
 
     fn mk(
@@ -369,7 +370,7 @@ mod tests {
         gm.handle_report(0.0, &report("a", 3.0));
         echo.kill("a");
         gm.probe_hosts(1.0);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::WorkloadForwarded { .. })), 1);
-        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostFailed { .. })), Some(1.0));
+        assert_eq!(log.query(EventKind::WorkloadForwarded).count(), 1);
+        assert_eq!(log.query(EventKind::HostFailed).first_time(), Some(1.0));
     }
 }

@@ -33,6 +33,7 @@
 //! persists task progress so recovery resumes from the latest valid
 //! checkpoint instead of restarting from zero (DESIGN.md §11).
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

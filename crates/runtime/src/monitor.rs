@@ -178,7 +178,7 @@ impl MonitorDaemon {
     pub fn tick(&self, t: f64) -> MonitorReport {
         let (workload, available_memory) = self.probe.sample(&self.host);
         let report = MonitorReport { host: self.host.clone(), workload, available_memory };
-        self.log.record(t, RuntimeEvent::MonitorSample { host: self.host.clone(), workload });
+        self.log.emit(t, RuntimeEvent::MonitorSample { host: self.host.clone(), workload });
         let _ = self.tx.send(report.clone());
         report
     }
@@ -202,6 +202,7 @@ impl MonitorDaemon {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventKind;
     use crossbeam::channel::unbounded;
 
     #[test]
@@ -268,7 +269,7 @@ mod tests {
         let r = d.tick(1.5);
         assert_eq!(r, MonitorReport { host: "h0".into(), workload: 2.0, available_memory: 77 });
         assert_eq!(rx.try_recv().unwrap(), r);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::MonitorSample { .. })), 1);
+        assert_eq!(log.query(EventKind::MonitorSample).count(), 1);
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl ConsoleService {
         let mut s = self.inner.state.lock();
         if *s == ConsoleState::Running {
             *s = ConsoleState::Suspended;
-            self.log.record(0.0, RuntimeEvent::Suspended);
+            self.log.emit(0.0, RuntimeEvent::Suspended);
         }
     }
 
@@ -177,7 +177,7 @@ impl ConsoleService {
         let mut s = self.inner.state.lock();
         if *s == ConsoleState::Suspended {
             *s = ConsoleState::Running;
-            self.log.record(0.0, RuntimeEvent::Resumed);
+            self.log.emit(0.0, RuntimeEvent::Resumed);
             self.inner.cond.notify_all();
         }
     }
@@ -370,6 +370,7 @@ impl VisualizationService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventKind;
     use vdce_afg::TaskId;
 
     #[test]
@@ -440,8 +441,8 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         console.resume();
         assert!(h.join().unwrap(), "checkpoint returns true after resume");
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Suspended)), 1);
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+        assert_eq!(log.query(EventKind::Suspended).count(), 1);
+        assert_eq!(log.query(EventKind::Resumed).count(), 1);
     }
 
     #[test]
@@ -457,17 +458,17 @@ mod tests {
         let console = ConsoleService::new(log.clone());
         console.suspend();
         console.suspend();
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Suspended)), 1);
+        assert_eq!(log.query(EventKind::Suspended).count(), 1);
         console.resume();
         console.resume();
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::Resumed)), 1);
+        assert_eq!(log.query(EventKind::Resumed).count(), 1);
     }
 
     #[test]
     fn timeline_csv_contains_rows() {
         let log = EventLog::new();
-        log.record(0.5, RuntimeEvent::TaskStarted { task: TaskId(0), host: "h0".into() });
-        log.record(1.5, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
+        log.emit(0.5, RuntimeEvent::TaskStarted { task: TaskId(0), host: "h0".into() });
+        log.emit(1.5, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
         let viz = VisualizationService::new(log);
         let csv = viz.timeline_csv();
         assert!(csv.starts_with("time_s,event,detail\n"));
@@ -479,14 +480,8 @@ mod tests {
     fn workload_chart_scales_and_buckets() {
         let log = EventLog::new();
         for t in 0..10 {
-            log.record(
-                t as f64,
-                RuntimeEvent::MonitorSample { host: "busy".into(), workload: 8.0 },
-            );
-            log.record(
-                t as f64,
-                RuntimeEvent::MonitorSample { host: "idle".into(), workload: 0.0 },
-            );
+            log.emit(t as f64, RuntimeEvent::MonitorSample { host: "busy".into(), workload: 8.0 });
+            log.emit(t as f64, RuntimeEvent::MonitorSample { host: "idle".into(), workload: 0.0 });
         }
         let viz = VisualizationService::new(log);
         let chart = viz.workload_chart(20);
@@ -507,10 +502,10 @@ mod tests {
     #[test]
     fn gantt_draws_bars() {
         let log = EventLog::new();
-        log.record(0.0, RuntimeEvent::TaskStarted { task: TaskId(0), host: "a".into() });
-        log.record(1.0, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
-        log.record(1.0, RuntimeEvent::TaskStarted { task: TaskId(1), host: "b".into() });
-        log.record(2.0, RuntimeEvent::TaskFinished { task: TaskId(1), seconds: 1.0 });
+        log.emit(0.0, RuntimeEvent::TaskStarted { task: TaskId(0), host: "a".into() });
+        log.emit(1.0, RuntimeEvent::TaskFinished { task: TaskId(0), seconds: 1.0 });
+        log.emit(1.0, RuntimeEvent::TaskStarted { task: TaskId(1), host: "b".into() });
+        log.emit(2.0, RuntimeEvent::TaskFinished { task: TaskId(1), seconds: 1.0 });
         let viz = VisualizationService::new(log);
         let g = viz.gantt(20);
         assert!(g.contains("t0"));

@@ -122,9 +122,26 @@ pub fn host_selection_opts(
     parallel: &ParallelModel,
     sequential: bool,
 ) -> HostSelectionOutput {
+    host_selection_cached(view, afg, predictor, parallel, sequential, &PredictCache::new())
+}
+
+/// [`host_selection_opts`] against a caller-owned [`PredictCache`].
+///
+/// Host names are unique across a federation, so one cache may be shared
+/// across every site of a scheduling round (and across rounds): sharing
+/// never changes the choices, only how often the predictor is invoked.
+/// The caller can read `cache.hits()`/`cache.misses()` afterwards — this
+/// is how `site_schedule_observed` exports cache statistics.
+pub fn host_selection_cached(
+    view: &SiteView,
+    afg: &Afg,
+    predictor: &Predictor,
+    parallel: &ParallelModel,
+    sequential: bool,
+    cache: &PredictCache,
+) -> HostSelectionOutput {
     // Collect the site's candidate resource set R once (step 2).
     let all_hosts: Vec<&ResourceRecord> = view.resources.iter().collect();
-    let cache = PredictCache::new();
 
     let pick = |task: TaskId| -> Option<(TaskId, TaskHostChoice)> {
         let node = afg.task(task);
@@ -151,7 +168,7 @@ pub fn host_selection_opts(
             best_node_count_cached(
                 predictor,
                 parallel,
-                &cache,
+                cache,
                 &view.tasks,
                 &node.library_task,
                 node.problem_size,

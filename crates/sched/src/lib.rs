@@ -29,6 +29,7 @@
 //! bus), and [`reselect`] (single-task re-selection for mid-execution
 //! recovery — the scheduler side of a rescheduling request).
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -45,5 +46,7 @@ pub use allocation::{AllocationTable, TaskPlacement};
 pub use host_selection::{host_selection, HostSelectionOutput, TaskHostChoice};
 pub use makespan::{evaluate, Schedule, TimedTask};
 pub use reselect::reselect_task;
-pub use site_scheduler::{site_schedule, SchedulerConfig, SchedulingError, SpreadPolicy};
+pub use site_scheduler::{
+    site_schedule, site_schedule_observed, SchedulerConfig, SchedulingError, SpreadPolicy,
+};
 pub use view::SiteView;

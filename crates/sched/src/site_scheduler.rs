@@ -25,7 +25,9 @@
 //! inter-site message bus in [`crate::federation`].
 
 use crate::allocation::{AllocationTable, TaskPlacement};
-use crate::host_selection::{host_selection_opts, HostSelectionOutput, TaskHostChoice};
+use crate::host_selection::{
+    host_selection_cached, host_selection_opts, HostSelectionOutput, TaskHostChoice,
+};
 use crate::view::SiteView;
 use rayon::prelude::*;
 use std::cmp::Ordering;
@@ -36,6 +38,8 @@ use vdce_afg::{Afg, TaskId};
 use vdce_net::cache::TransferCache;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
+use vdce_obs::{MetricsRegistry, PhaseTimer, PROFILE_PREFIX};
+use vdce_predict::cache::PredictCache;
 use vdce_predict::model::Predictor;
 use vdce_predict::parallel::ParallelModel;
 
@@ -194,6 +198,103 @@ pub fn site_schedule(
     )
 }
 
+/// [`site_schedule`] with observability: identical algorithm and a
+/// bit-identical [`AllocationTable`], plus metrics exported into
+/// `metrics` and (with the `wall-profiling` feature of `vdce-obs`)
+/// per-phase wall-clock timings.
+///
+/// Exported metric names:
+///
+/// - `sched.sites_involved`, `sched.tasks_placed` — counters, pure
+///   functions of the inputs.
+/// - `sched.predict_cache.entries` / `sched.predict_cache.lookups` —
+///   deterministic cache statistics: distinct memoised predictions and
+///   total predict calls. Host names are unique across the federation,
+///   so one [`PredictCache`] is shared across every involved site's
+///   host selection without changing any prediction.
+/// - `sched.transfer_cache.lookups` — transfer-time consultations in
+///   the DAG walk (deterministic: the walk is sequential).
+/// - `profile.sched.predict_cache.hits` / `.misses` / `.hit_rate` —
+///   the raw hit/miss split. Under the parallel fan-out two workers
+///   can race to fill the same key, so the split is *not* a pure
+///   function of the inputs; it therefore lives in the
+///   [`PROFILE_PREFIX`] namespace, which
+///   [`MetricsRegistry::snapshot_deterministic`] excludes.
+pub fn site_schedule_observed(
+    afg: &Afg,
+    local: &SiteView,
+    remotes: &[SiteView],
+    net: &NetworkModel,
+    config: &SchedulerConfig,
+    metrics: &MetricsRegistry,
+) -> Result<AllocationTable, SchedulingError> {
+    let timer = PhaseTimer::start();
+    let tasks_db = &local.tasks;
+    let levels =
+        level_map(afg, |t| tasks_db.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))?;
+    timer.stop(metrics, "sched.levels");
+
+    let neighbours = net.nearest_neighbours(local.site, config.k_neighbours);
+    let mut involved: Vec<&SiteView> = vec![local];
+    for n in neighbours {
+        if let Some(v) = remotes.iter().find(|v| v.site == n) {
+            involved.push(v);
+        }
+    }
+    metrics.counter_add("sched.sites_involved", involved.len() as u64);
+
+    // One cache across every involved site (see the metric notes above).
+    let cache = PredictCache::new();
+    let timer = PhaseTimer::start();
+    let outputs: Vec<HostSelectionOutput> = if config.sequential || involved.len() < 2 {
+        involved
+            .iter()
+            .map(|v| {
+                host_selection_cached(
+                    v,
+                    afg,
+                    &config.predictor,
+                    &config.parallel,
+                    config.sequential,
+                    &cache,
+                )
+            })
+            .collect()
+    } else {
+        involved
+            .par_iter()
+            .map(|v| {
+                host_selection_cached(v, afg, &config.predictor, &config.parallel, false, &cache)
+            })
+            .collect()
+    };
+    timer.stop(metrics, "sched.host_selection");
+
+    let (hits, misses) = (cache.hits(), cache.misses());
+    metrics.counter_add("sched.predict_cache.entries", cache.len() as u64);
+    metrics.counter_add("sched.predict_cache.lookups", hits + misses);
+    metrics.gauge_set(&format!("{PROFILE_PREFIX}sched.predict_cache.hits"), hits as f64);
+    metrics.gauge_set(&format!("{PROFILE_PREFIX}sched.predict_cache.misses"), misses as f64);
+    let rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    metrics.gauge_set(&format!("{PROFILE_PREFIX}sched.predict_cache.hit_rate"), rate);
+
+    let timer = PhaseTimer::start();
+    let table = schedule_walk(
+        afg,
+        &levels,
+        local.site,
+        &outputs,
+        net,
+        config.ignore_transfer_time,
+        config.sequential,
+        config.spread_critical.then_some(config.spread),
+        Some(metrics),
+    )?;
+    timer.stop(metrics, "sched.dag_walk");
+    metrics.counter_add("sched.tasks_placed", table.len() as u64);
+    Ok(table)
+}
+
 /// Steps 6–7 of Figure 2, given the collected host-selection outputs.
 /// Shared by the in-process scheduler above and the bus-based federation
 /// protocol.
@@ -324,6 +425,38 @@ pub fn schedule_with_outputs_full(
     sequential: bool,
     spread: Option<SpreadPolicy>,
 ) -> Result<AllocationTable, SchedulingError> {
+    schedule_walk(
+        afg,
+        levels,
+        local_site,
+        outputs,
+        net,
+        ignore_transfer_time,
+        sequential,
+        spread,
+        None,
+    )
+}
+
+/// The DAG walk of steps 6–7, optionally metered. With `metrics` set it
+/// additionally counts `sched.transfer_cache.lookups` — the walk itself
+/// is sequential, so the count is a pure function of the inputs. The
+/// [`TransferCache`] stays a plain data snapshot (it must remain
+/// `Clone + PartialEq` for the federation protocol), so the counting
+/// happens here at the consultation site rather than inside the cache.
+#[allow(clippy::too_many_arguments)]
+fn schedule_walk(
+    afg: &Afg,
+    levels: &[f64],
+    local_site: SiteId,
+    outputs: &[HostSelectionOutput],
+    net: &NetworkModel,
+    ignore_transfer_time: bool,
+    sequential: bool,
+    spread: Option<SpreadPolicy>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<AllocationTable, SchedulingError> {
+    let mut xfer_lookups = 0u64;
     let mut table = AllocationTable::new(afg.name.clone());
     let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
 
@@ -394,6 +527,7 @@ pub fn schedule_with_outputs_full(
                     Some(c) => c.transfer_time(parent_site, *site, bytes),
                     None => net.transfer_time(parent_site, *site, bytes),
                 };
+                xfer_lookups += 1;
             }
             let total = xfer + choice.predicted_seconds;
             let better = |prev: &Option<(SiteId, &TaskHostChoice, f64)>| match prev {
@@ -449,6 +583,9 @@ pub fn schedule_with_outputs_full(
     }
 
     debug_assert_eq!(placed, afg.task_count(), "DAG walk must reach every task");
+    if let Some(m) = metrics {
+        m.counter_add("sched.transfer_cache.lookups", xfer_lookups);
+    }
     Ok(table)
 }
 
@@ -713,6 +850,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The observed entry point is the same algorithm: bit-identical
+    /// tables, plus a populated registry whose deterministic names are
+    /// pure functions of the inputs.
+    #[test]
+    fn observed_matches_plain_and_populates_registry() {
+        let local = site_view(0, &[("l0", 1.0), ("l1", 2.5)]);
+        let remote = site_view(1, &[("r0", 3.0), ("r1", 0.5)]);
+        let net = NetworkModel::with_defaults(2);
+        let afg = chain_afg(100_000);
+        let config = cfg(1);
+
+        let plain =
+            site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &config).unwrap();
+        let metrics = MetricsRegistry::new();
+        let observed = site_schedule_observed(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &config,
+            &metrics,
+        )
+        .unwrap();
+        assert_eq!(plain, observed);
+        for (pa, pb) in plain.iter().zip(observed.iter()) {
+            assert_eq!(pa.predicted_seconds.to_bits(), pb.predicted_seconds.to_bits());
+        }
+
+        assert_eq!(metrics.counter("sched.sites_involved"), 2);
+        assert_eq!(metrics.counter("sched.tasks_placed"), afg.task_count() as u64);
+        assert!(metrics.counter("sched.predict_cache.entries") > 0);
+        assert!(metrics.counter("sched.predict_cache.lookups") > 0);
+        // chain: 2 edges × 2 sites probed per non-entry task.
+        assert_eq!(metrics.counter("sched.transfer_cache.lookups"), 4);
+        assert!(metrics.gauge("profile.sched.predict_cache.hit_rate").is_some());
+
+        // The deterministic snapshot excludes the racy profile namespace.
+        let det = metrics.snapshot_deterministic();
+        assert!(det.iter().all(|(name, _)| !name.starts_with(PROFILE_PREFIX)));
+        assert!(det.get("sched.tasks_placed").is_some());
+
+        // Two observed runs into fresh registries agree exactly on the
+        // deterministic snapshot (the bit-identity property test covers
+        // the replay engine; this covers the scheduler in isolation).
+        let metrics2 = MetricsRegistry::new();
+        site_schedule_observed(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &config,
+            &metrics2,
+        )
+        .unwrap();
+        assert_eq!(
+            det.to_json_string(),
+            metrics2.snapshot_deterministic().to_json_string(),
+            "deterministic scheduler metrics must replay bit-identically"
+        );
     }
 
     /// Two independent critical chains on two equally fast sites over a

@@ -24,6 +24,7 @@
 //!   (detect → quarantine → re-select → migrate → retry) and the
 //!   [`metrics::RecoveryReport`] the `exp_faults` binary emits.
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

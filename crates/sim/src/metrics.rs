@@ -204,76 +204,10 @@ pub fn recovery_table(reports: &[RecoveryReport]) -> Table {
     t
 }
 
-/// A simple aligned text table (the output format of the `exp_*`
-/// binaries and EXPERIMENTS.md).
-#[derive(Debug, Clone, Default)]
-pub struct Table {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Table with the given column headers.
-    pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
-    }
-
-    /// Append a row (must match the header width).
-    pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.to_vec());
-    }
-
-    /// Convenience: append a row of display-ables.
-    pub fn rowd(&mut self, cells: &[&dyn std::fmt::Display]) {
-        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-        self.row(&cells);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Is the table empty?
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Render with aligned columns.
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut width = vec![0usize; cols];
-        for (i, h) in self.header.iter().enumerate() {
-            width[i] = h.len();
-        }
-        for row in &self.rows {
-            for (i, c) in row.iter().enumerate() {
-                width[i] = width[i].max(c.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], width: &[usize]| -> String {
-            let mut line = String::new();
-            for (i, c) in cells.iter().enumerate() {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                line.push_str(&format!("{c:<w$}", w = width[i]));
-            }
-            line.trim_end().to_string()
-        };
-        out.push_str(&fmt_row(&self.header, &width));
-        out.push('\n');
-        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &width));
-            out.push('\n');
-        }
-        out
-    }
-}
+/// Re-export of the aligned text table, which moved to `vdce_obs` in
+/// the observability redesign (it is now a [`vdce_obs::Report`]
+/// building block shared by every experiment binary).
+pub use vdce_obs::report::Table;
 
 #[cfg(test)]
 mod tests {
@@ -311,35 +245,12 @@ mod tests {
         assert!(geomean(&[-1.0]).is_none());
     }
 
+    /// `Table` moved to `vdce_obs`; the old path keeps working.
     #[test]
-    fn table_renders_aligned() {
+    fn table_reexport_is_usable() {
         let mut t = Table::new(&["algo", "makespan"]);
         t.row(&["vdce".into(), "1.25".into()]);
-        t.row(&["random".into(), "3.00".into()]);
-        let r = t.render();
-        let lines: Vec<&str> = r.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].starts_with("algo"));
-        assert!(lines[1].starts_with("---"));
-        // Columns align: "makespan" starts at the same offset everywhere.
-        let off = lines[0].find("makespan").unwrap();
-        assert_eq!(lines[2].find("1.25").unwrap(), off);
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn rowd_accepts_display_values() {
-        let mut t = Table::new(&["k", "v"]);
-        t.rowd(&[&1u32, &2.5f64]);
+        assert!(t.render().contains("makespan"));
         assert_eq!(t.len(), 1);
-        assert!(t.render().contains("2.5"));
-        assert!(!t.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn table_rejects_ragged_rows() {
-        let mut t = Table::new(&["a", "b"]);
-        t.row(&["only-one".into()]);
     }
 }

@@ -44,6 +44,7 @@ use vdce_afg::{level_map, Afg, TaskId};
 use vdce_net::model::SharedNetworkModel;
 use vdce_net::topology::SiteId;
 use vdce_net::PartitionState;
+use vdce_obs::{MetricsRegistry, Observer};
 use vdce_predict::cache::PredictCache;
 use vdce_repository::SiteRepository;
 use vdce_runtime::events::{EventLog, RuntimeEvent};
@@ -55,7 +56,7 @@ use vdce_runtime::{
     BackoffPolicy, CheckpointPolicy, CheckpointStore, MtbfEstimator, Quarantine, SiteQuarantine,
     TaskCheckpoint,
 };
-use vdce_sched::{reselect_task, site_schedule, SchedulerConfig};
+use vdce_sched::{reselect_task, site_schedule_observed, SchedulerConfig};
 
 /// Tunables of one replay.
 #[derive(Debug, Clone)]
@@ -196,6 +197,38 @@ pub struct ReplayOutcome {
     pub resumes: Vec<(f64, f64)>,
 }
 
+/// Fixed detection-latency histogram bounds (virtual seconds). Fixed at
+/// compile time so bucket counts are comparable across runs and
+/// platforms.
+pub const DETECTION_LATENCY_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 120.0];
+
+impl ReplayOutcome {
+    /// Export the outcome into `m` under the `replay.` namespace. Every
+    /// value is a pure function of the replay inputs, so two replays of
+    /// the same scenario export identical deterministic snapshots.
+    /// Counters *add*, so exporting several outcomes into one registry
+    /// accumulates across runs.
+    pub fn export_metrics(&self, m: &MetricsRegistry) {
+        m.counter_add("replay.tasks_completed", self.tasks_completed);
+        m.counter_add("replay.tasks_failed", self.tasks_failed);
+        m.counter_add("replay.migrations", self.migrations);
+        m.counter_add("replay.retries", self.retries);
+        m.counter_add("replay.quarantined_total", self.quarantined_total);
+        m.counter_add("replay.readmitted_total", self.readmitted_total);
+        m.counter_add("replay.checkpoints_taken", self.checkpoints_taken);
+        m.counter_add("replay.site_failovers", self.site_failovers);
+        m.counter_add("replay.sites_quarantined", self.sites_quarantined);
+        m.counter_add("replay.replica_transfers", self.replica_transfers);
+        m.counter_add("replay.replica_bytes", self.replica_bytes);
+        m.gauge_set("replay.makespan", self.makespan);
+        m.gauge_set("replay.checkpoint_overhead", self.checkpoint_overhead);
+        m.gauge_set("replay.recovered_work_fraction", self.recovered_work_fraction);
+        for d in self.detections.iter().flatten() {
+            m.observe("replay.detection_latency", DETECTION_LATENCY_BOUNDS, *d);
+        }
+    }
+}
+
 /// One site's control-plane stack inside the replay.
 struct SiteStack {
     manager: SiteManager,
@@ -213,9 +246,25 @@ pub fn replay(
     plan: &FaultPlan,
     cfg: &ReplayConfig,
 ) -> ReplayOutcome {
+    replay_observed(federation, afg, plan, cfg, &Observer::disabled())
+}
+
+/// [`replay`] with observability: the same outcome bit for bit, plus
+/// every [`RuntimeEvent`] mirrored into `obs.trace` at its virtual
+/// timestamp, scheduler metrics from the initial allocation, and the
+/// outcome exported into `obs.metrics` via
+/// [`ReplayOutcome::export_metrics`]. With a disabled trace sink this
+/// *is* [`replay`] — the mirroring short-circuits.
+pub fn replay_observed(
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+) -> ReplayOutcome {
     let sites = federation.topology.site_count();
     let n = afg.task_count();
-    let log = EventLog::new();
+    let log = EventLog::traced(obs.trace.clone());
     let quarantine = Quarantine::new();
 
     // Deep-copy every repository so the caller's federation is untouched
@@ -237,8 +286,15 @@ pub fn replay(
         .enumerate()
         .map(|(i, r)| vdce_sched::SiteView::capture(SiteId(i as u16), r))
         .collect();
-    let table = site_schedule(afg, &views[0], &views[1..], &federation.net, &cfg.scheduler)
-        .expect("replay requires a schedulable AFG");
+    let table = site_schedule_observed(
+        afg,
+        &views[0],
+        &views[1..],
+        &federation.net,
+        &cfg.scheduler,
+        &obs.metrics,
+    )
+    .expect("replay requires a schedulable AFG");
     let levels = level_map(afg, |t| {
         views[0].tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
     })
@@ -514,7 +570,7 @@ pub fn replay(
             state[task.index()] = TaskState::Failed;
         } else {
             *retries += 1;
-            log.record(t, RuntimeEvent::TaskRetried { task, attempt });
+            log.emit(t, RuntimeEvent::TaskRetried { task, attempt });
             state[task.index()] =
                 TaskState::Waiting { resume_at: t + cfg.backoff.delay(attempt - 1) };
         }
@@ -529,12 +585,24 @@ pub fn replay(
 
         // 1. Completions due by now.
         for task in afg.task_ids() {
-            if let TaskState::Running { end, .. } = state[task.index()] {
+            if let TaskState::Running { start, end } = state[task.index()] {
                 if end <= t + eps {
                     state[task.index()] = TaskState::Completed { end };
                     finish[task.index()] = end;
                     let node = afg.task(task);
                     let (site, hosts, predicted) = placement[task.index()].clone();
+                    // The one place both endpoints of the task's final
+                    // run are known: close its logical-time span.
+                    obs.trace.span(
+                        start,
+                        end,
+                        "task_run",
+                        vec![
+                            ("task".to_string(), node.name.clone().into()),
+                            ("site".to_string(), site.0.into()),
+                            ("hosts".to_string(), hosts.join("+").into()),
+                        ],
+                    );
                     // Every planned checkpoint of this run lands before
                     // its completion — flush any not yet processed.
                     let recorded = flush_due_checkpoints(
@@ -797,7 +865,7 @@ pub fn replay(
                     && store.add_replica(task, seq, &host)
                 {
                     replica_transfers += 1;
-                    log.record(t, RuntimeEvent::CheckpointReplicated { task, seq, host });
+                    log.emit(t, RuntimeEvent::CheckpointReplicated { task, seq, host });
                 }
             }
             pending_replicas = still;
@@ -905,7 +973,7 @@ pub fn replay(
         let mut promoted: Vec<(SiteId, String, String)> = Vec::new();
         for h in &newly_dead {
             if quarantine.quarantine(h) {
-                log.record(t, RuntimeEvent::HostQuarantined { host: h.clone() });
+                log.emit(t, RuntimeEvent::HostQuarantined { host: h.clone() });
             }
             let s = host_site[h];
             if let Some(ev) = failover[s.index()].on_host_down(h) {
@@ -913,7 +981,7 @@ pub fn replay(
                     FailoverEvent::DeputyPromoted { from, to } => promoted.push((s, from, to)),
                     FailoverEvent::SiteQuarantined => {
                         if site_quarantine.quarantine(s) {
-                            log.record(t, RuntimeEvent::SiteQuarantined { site: s.0 });
+                            log.emit(t, RuntimeEvent::SiteQuarantined { site: s.0 });
                         }
                     }
                     FailoverEvent::ManagerRestored { .. } | FailoverEvent::SiteRejoined { .. } => {}
@@ -927,26 +995,26 @@ pub fn replay(
         for (s, from, to) in promoted {
             if !failover[s.index()].is_quarantined() {
                 site_failovers += 1;
-                log.record(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
+                log.emit(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
             }
         }
         for h in &newly_alive {
             if quarantine.readmit(h) {
-                log.record(t, RuntimeEvent::HostReadmitted { host: h.clone() });
+                log.emit(t, RuntimeEvent::HostReadmitted { host: h.clone() });
             }
             let s = host_site[h];
             if let Some(ev) = failover[s.index()].on_host_up(h) {
                 match ev {
                     FailoverEvent::SiteRejoined { .. } => {
                         if site_quarantine.readmit(s) {
-                            log.record(t, RuntimeEvent::SiteRejoined { site: s.0 });
+                            log.emit(t, RuntimeEvent::SiteRejoined { site: s.0 });
                         }
                     }
                     FailoverEvent::DeputyPromoted { from, to } => {
                         // A returning host outranks the acting deputy
                         // while the primary is still down.
                         site_failovers += 1;
-                        log.record(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
+                        log.emit(t, RuntimeEvent::SiteManagerFailedOver { site: s.0, from, to });
                     }
                     FailoverEvent::ManagerRestored { .. } | FailoverEvent::SiteQuarantined => {}
                 }
@@ -1161,7 +1229,7 @@ pub fn replay(
                 ));
                 if last_hosts[task.index()] != hosts {
                     migrations += 1;
-                    log.record(
+                    log.emit(
                         t,
                         RuntimeEvent::TaskMigrated {
                             task,
@@ -1269,7 +1337,7 @@ pub fn replay(
         1.0
     };
 
-    ReplayOutcome {
+    let outcome = ReplayOutcome {
         makespan,
         tasks_completed,
         tasks_failed,
@@ -1291,7 +1359,9 @@ pub fn replay(
         replica_transfers,
         replica_bytes,
         resumes,
-    }
+    };
+    outcome.export_metrics(&obs.metrics);
+    outcome
 }
 
 /// Views with `local` first, the rest in site order — the tie-break
@@ -1340,8 +1410,22 @@ pub fn run_fault_scenario(
     plan: &FaultPlan,
     cfg: &ReplayConfig,
 ) -> RecoveryReport {
+    run_fault_scenario_observed(name, federation, afg, plan, cfg, &Observer::disabled())
+}
+
+/// [`run_fault_scenario`] with observability. Only the *faulty* replay
+/// is observed — the fault-free twin would interleave a second run's
+/// events into the trace and double every counter.
+pub fn run_fault_scenario_observed(
+    name: &str,
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+) -> RecoveryReport {
     let baseline = replay(federation, afg, &FaultPlan::empty(), cfg);
-    let faulty = replay(federation, afg, plan, cfg);
+    let faulty = replay_observed(federation, afg, plan, cfg, obs);
     let faults = plan
         .faults
         .iter()
@@ -1396,6 +1480,7 @@ mod tests {
     use crate::dag_gen::{self, DagSpec};
     use crate::pool_gen::{build_federation, FederationSpec, WanShape};
     use vdce_sched::evaluate;
+    use vdce_sched::site_schedule;
 
     fn small_federation() -> Federation {
         build_federation(&FederationSpec {

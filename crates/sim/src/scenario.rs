@@ -196,6 +196,20 @@ impl FaultScenario {
             &self.config,
         )
     }
+
+    /// [`run`](FaultScenario::run) with observability: the faulty replay
+    /// is traced into `obs.trace` and metered into `obs.metrics`. Same
+    /// report bit for bit.
+    pub fn run_observed(&self, obs: &vdce_obs::Observer) -> RecoveryReport {
+        crate::replay::run_fault_scenario_observed(
+            self.name,
+            &self.scenario.federation,
+            &self.scenario.afg,
+            &self.plan,
+            &self.config,
+            obs,
+        )
+    }
 }
 
 /// Crash the busiest host of the smoke workload a quarter of the way in

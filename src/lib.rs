@@ -3,6 +3,7 @@
 //! Facade crate re-exporting the whole VDCE workspace. See the README for
 //! an architecture overview and `vdce_core` for the high-level API.
 
+#![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 
 pub use vdce_afg as afg;
