@@ -32,6 +32,11 @@ stage "sched speedup gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_sched_speedup -- --quick
 stage "fault recovery gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_faults -- --quick
+# Scale gate: the 10k-task hot path must hold its placements/sec floor
+# (absolute and relative to the recorded BENCH_scale.json) and the
+# incremental reschedule must stay bit-identical to a full re-walk.
+stage "scale gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_scale -- --quick
 # Observability gate: replay every quick scenario twice with tracing on;
 # the JSONL trace must validate against the schema and the trace,
 # deterministic metric snapshot, and recovery report must all be

@@ -13,9 +13,10 @@
 //! authors' later work, TPDS 2002) uses; the scheduler crate benches both
 //! as an ablation (experiment E9).
 
-use crate::graph::Afg;
+use crate::graph::{Afg, EdgeIndex};
 use crate::ids::TaskId;
 use crate::task::TaskNode;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Errors from level computation.
@@ -67,17 +68,124 @@ fn weighted_level(
     // Walk in reverse topological order so every child is final before its
     // parents are computed.
     for &t in order.iter().rev() {
-        let own = cost(afg.task(t));
-        let mut best = 0.0f64;
-        for e in idx.out_edges(afg, t) {
-            let via = comm(e.data_size) + level[e.to.index()];
-            if via > best {
-                best = via;
-            }
-        }
-        level[t.index()] = own + best;
+        level[t.index()] = node_level(afg, &idx, t, &cost, &comm, &level);
     }
     Ok(level)
+}
+
+/// One node's level given final child levels — the single fold both the
+/// full walk and [`LevelTracker::update`] run, so incremental recomputes
+/// are bit-identical to a full re-walk by construction.
+fn node_level(
+    afg: &Afg,
+    idx: &EdgeIndex,
+    t: TaskId,
+    cost: &impl Fn(&TaskNode) -> f64,
+    comm: &impl Fn(u64) -> f64,
+    level: &[f64],
+) -> f64 {
+    let own = cost(afg.task(t));
+    let mut best = 0.0f64;
+    for e in idx.out_edges(afg, t) {
+        let via = comm(e.data_size) + level[e.to.index()];
+        if via > best {
+            best = via;
+        }
+    }
+    own + best
+}
+
+/// Incrementally-maintained [`level_map`] for the O(changed) rescheduling
+/// path: after a cost or out-edge change at a handful of tasks, only the
+/// affected *ancestors* are recomputed instead of re-walking the world.
+///
+/// Levels flow child → parent, so a change propagates strictly upward
+/// (toward entry nodes). [`LevelTracker::update`] processes dirty tasks
+/// deepest-topological-position first — every child is final before any
+/// parent is recomputed — and stops propagating along any path where the
+/// recomputed level is bit-identical to the stored one. The maintained
+/// vector is therefore always bit-identical to `level_map` run from
+/// scratch (property-tested in the scheduler crate), while touching only
+/// `O(affected ancestors)` nodes.
+#[derive(Debug, Clone)]
+pub struct LevelTracker {
+    levels: Vec<f64>,
+    /// Position of each task in the topological order the tracker was
+    /// built with; drives the deepest-first dirty queue.
+    topo_pos: Vec<u32>,
+}
+
+impl LevelTracker {
+    /// Full initial computation, identical to [`level_map`]. `idx` must
+    /// be the [`EdgeIndex`] of `afg` (callers on the hot path already
+    /// hold one).
+    pub fn new(
+        afg: &Afg,
+        idx: &EdgeIndex,
+        cost: impl Fn(&TaskNode) -> f64,
+    ) -> Result<Self, LevelError> {
+        let order = afg.topo_order_with(idx).ok_or(LevelError::Cyclic)?;
+        let mut topo_pos = vec![0u32; afg.task_count()];
+        for (i, &t) in order.iter().enumerate() {
+            topo_pos[t.index()] = i as u32;
+        }
+        let mut levels = vec![0.0f64; afg.task_count()];
+        for &t in order.iter().rev() {
+            levels[t.index()] = node_level(afg, idx, t, &cost, &|_| 0.0, &levels);
+        }
+        Ok(LevelTracker { levels, topo_pos })
+    }
+
+    /// The maintained per-task levels, indexed by [`TaskId`].
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Recompute after the costs or out-edges of `changed` tasks were
+    /// edited (the graph's node/edge *count* and topology order must be
+    /// unchanged — rebuild the tracker for structural growth). Returns
+    /// the number of tasks whose level was re-evaluated, i.e. the size
+    /// of the affected set actually walked.
+    pub fn update(
+        &mut self,
+        afg: &Afg,
+        idx: &EdgeIndex,
+        changed: &[TaskId],
+        cost: impl Fn(&TaskNode) -> f64,
+    ) -> usize {
+        assert_eq!(
+            self.levels.len(),
+            afg.task_count(),
+            "LevelTracker::update on a structurally different graph"
+        );
+        // Max-heap on topological position: children (deeper) pop before
+        // their parents, and propagation only ever moves toward smaller
+        // positions, so each task is re-evaluated at most once.
+        let mut heap: BinaryHeap<(u32, TaskId)> = BinaryHeap::new();
+        let mut queued = vec![false; self.levels.len()];
+        for &t in changed {
+            if !queued[t.index()] {
+                queued[t.index()] = true;
+                heap.push((self.topo_pos[t.index()], t));
+            }
+        }
+        let mut touched = 0usize;
+        while let Some((_, t)) = heap.pop() {
+            touched += 1;
+            let fresh = node_level(afg, idx, t, &cost, &|_| 0.0, &self.levels);
+            if fresh.to_bits() != self.levels[t.index()].to_bits() {
+                self.levels[t.index()] = fresh;
+                for e in idx.in_edges(afg, t) {
+                    let p = e.from;
+                    if !queued[p.index()] {
+                        queued[p.index()] = true;
+                        heap.push((self.topo_pos[p.index()], p));
+                    }
+                }
+            }
+        }
+        touched
+    }
 }
 
 /// Produce the scheduling priority list: task ids sorted by *descending*
@@ -198,6 +306,57 @@ mod tests {
     fn critical_path_equals_max_entry_level() {
         let g = chain();
         assert_eq!(critical_path(&g, |_| 1.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn tracker_initial_levels_match_level_map() {
+        let g = chain();
+        let idx = g.edge_index();
+        let tracker = LevelTracker::new(&g, &idx, |_| 1.0).unwrap();
+        let full = level_map(&g, |_| 1.0).unwrap();
+        assert_eq!(tracker.levels(), &full[..]);
+    }
+
+    #[test]
+    fn tracker_update_matches_full_recompute_bitwise() {
+        let g = chain();
+        let idx = g.edge_index();
+        let mut tracker = LevelTracker::new(&g, &idx, |_| 1.0).unwrap();
+        // Cost of the middle task changes; only it and its ancestors move.
+        let new_cost = |t: &TaskNode| if t.name == "m" { 7.5 } else { 1.0 };
+        let touched = tracker.update(&g, &idx, &[TaskId(1)], new_cost);
+        let full = level_map(&g, new_cost).unwrap();
+        for (a, b) in tracker.levels().iter().zip(&full) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The exit node is below the change and must not be re-walked.
+        assert_eq!(touched, 2, "middle + entry, not the exit");
+    }
+
+    #[test]
+    fn tracker_stops_propagation_when_level_is_unchanged() {
+        let g = chain();
+        let idx = g.edge_index();
+        let mut tracker = LevelTracker::new(&g, &idx, |_| 1.0).unwrap();
+        // "Changing" the exit task to its existing cost re-evaluates it
+        // but propagates nowhere.
+        let touched = tracker.update(&g, &idx, &[TaskId(2)], |_| 1.0);
+        assert_eq!(touched, 1);
+        assert_eq!(tracker.levels(), &level_map(&g, |_| 1.0).unwrap()[..]);
+    }
+
+    #[test]
+    fn tracker_rejects_cycles() {
+        let mut g = chain();
+        g.edges.push(crate::graph::Edge {
+            from: TaskId(2),
+            from_port: crate::ids::PortIndex(0),
+            to: TaskId(0),
+            to_port: crate::ids::PortIndex(0),
+            data_size: 1,
+        });
+        let idx = g.edge_index();
+        assert!(LevelTracker::new(&g, &idx, |_| 1.0).is_err());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use builder::AfgBuilder;
 pub use document::AfgDocument;
 pub use graph::{Afg, Edge, EdgeIndex};
 pub use ids::{PortIndex, TaskId};
-pub use level::{blevel_map, level_map, LevelError};
+pub use level::{blevel_map, level_map, LevelError, LevelTracker};
 pub use library::{KernelKind, LibraryEntry, LibraryGroup, TaskLibrary};
 pub use stats::{shape, GraphShape};
 pub use task::{ComputationMode, IoSpec, MachineType, TaskNode, TaskProperties};

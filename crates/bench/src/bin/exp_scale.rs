@@ -1,0 +1,489 @@
+//! Hot-path scale curves: wall-clock placement throughput of the site
+//! scheduler over DAG size × federation size × worker threads, plus the
+//! O(changed) incremental-rescheduling path against a full re-walk.
+//!
+//! Three measurements per run:
+//!
+//! - **configs** — `site_schedule` (class-batched host selection + heap
+//!   ready list + SoA walk) timed over tasks × sites at 1 worker thread
+//!   and at full parallelism (`RAYON_NUM_THREADS`, which the rayon shim
+//!   reads per parallel stage).
+//! - **prepr** — the same 10k-task config through the pre-existing
+//!   per-task path (`batch_classes: false`, i.e. one memoised prediction
+//!   probe per (task, host) instead of one pick per task class). The
+//!   class-batched speedup over it lands in the artifact meta.
+//! - **incremental** — a single monitor event (one host marked Down, its
+//!   site's host selection recomputed) absorbed by
+//!   [`IncrementalSchedule::apply`] vs a full Figure 2 re-walk over the
+//!   updated outputs; the tables are asserted bit-identical.
+//!
+//! Writes `BENCH_scale.json` (a schema-v1 [`RunArtifact`]) in the
+//! current directory. Timed runs use the plain entry points; one extra
+//! untimed [`site_schedule_observed`] run per config populates the
+//! embedded metric snapshot (cache statistics, and per-phase wall-clock
+//! timings under the `wall-profiling` feature of `vdce-obs`).
+//!
+//! `--quick` runs the CI gate instead: on the 10k-task / 8-site / k=3
+//! config it asserts incremental == full-re-walk bit-identity, an
+//! absolute placements/sec floor, and a relative floor against the
+//! recorded `BENCH_scale.json` (exits 1 on any failure, without
+//! rewriting the recorded artifact).
+
+use std::time::Instant;
+use vdce_afg::level::level_map;
+use vdce_bench::{bench_dag, bench_federation, shape_palette_workload, split_views};
+use vdce_net::topology::SiteId;
+use vdce_obs::{MetricsRegistry, Report, RunArtifact, Table};
+use vdce_predict::cache::PredictCache;
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::ParallelModel;
+use vdce_repository::resources::HostStatus;
+use vdce_sched::allocation::AllocationTable;
+use vdce_sched::host_selection::host_selection_classed;
+use vdce_sched::site_scheduler::{
+    schedule_with_outputs_opts, site_schedule, site_schedule_observed, SchedulerConfig,
+};
+use vdce_sched::view::SiteView;
+use vdce_sched::{HostSelectionOutput, IncrementalSchedule};
+use vdce_sim::pool_gen::Federation;
+
+/// k nearest neighbour sites, every config (the acceptance setting).
+const K: usize = 3;
+
+/// Quick-gate absolute floor: placements per second at 10k tasks on a
+/// single worker thread. The measured rate on a developer machine is
+/// two orders of magnitude above this; the floor only catches the hot
+/// path falling off a cliff (e.g. an accidental O(n²) ready list).
+const QUICK_FLOOR_PLACEMENTS_PER_SEC: f64 = 20_000.0;
+
+/// Quick-gate relative tolerance against the recorded artifact
+/// (loaded CI machines are noisy; catch order-of-magnitude regressions,
+/// not jitter).
+const TOLERANCE: f64 = 0.4;
+
+/// The recorded `BENCH_scale.json` fields the `--quick` gate compares
+/// against (unknown fields are ignored on deserialize).
+#[derive(serde::Deserialize)]
+struct RecordedReport {
+    configs: Vec<RecordedRow>,
+}
+
+/// One recorded scale-curve row.
+#[derive(serde::Deserialize)]
+struct RecordedRow {
+    tasks: usize,
+    sites: usize,
+    threads: usize,
+    placements_per_sec: f64,
+}
+
+/// One measured scale-curve row (serialised into `BENCH_scale.json`).
+#[derive(serde::Serialize)]
+struct MeasuredRow {
+    tasks: usize,
+    sites: usize,
+    k: usize,
+    threads: usize,
+    wall_ms: f64,
+    placements_per_sec: f64,
+}
+
+/// The incremental-rescheduling section of the artifact.
+#[derive(serde::Serialize)]
+struct IncrementalRow {
+    tasks: usize,
+    sites: usize,
+    k: usize,
+    /// Tasks whose own host-selection choice changed at some site.
+    dirty: usize,
+    /// Placements re-decided by `apply`.
+    replaced: usize,
+    /// Placements whose content actually changed.
+    moved: usize,
+    full_rewalk_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+}
+
+/// Best-of-`reps` wall-clock seconds for one run.
+fn time_run<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn reps_for(tasks: usize) -> usize {
+    match tasks {
+        t if t >= 100_000 => 1,
+        t if t >= 10_000 => 3,
+        _ => 5,
+    }
+}
+
+/// Time `site_schedule` on one (tasks, sites, threads) cell. Outside
+/// quick mode, also returns the metric snapshot of an untimed observed
+/// run (cache statistics; per-phase timings under `wall-profiling`).
+fn measure_config(
+    tasks: usize,
+    sites: usize,
+    threads: usize,
+    quick: bool,
+) -> (MeasuredRow, Option<vdce_obs::MetricsSnapshot>) {
+    let fed = bench_federation(sites, 8);
+    let views = fed.views();
+    let (local, remotes) = split_views(&views);
+    let mut afg = bench_dag(tasks, 42);
+    shape_palette_workload(&mut afg);
+    let cfg = SchedulerConfig { k_neighbours: K, ..SchedulerConfig::default() };
+
+    // The rayon shim reads RAYON_NUM_THREADS at every parallel stage, so
+    // setting it here scopes the whole timed run to `threads` workers.
+    std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    let (secs, table) = time_run(reps_for(tasks), || {
+        site_schedule(&afg, local, remotes, &fed.net, &cfg).expect("schedulable benchmark config")
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(table.len(), afg.task_count(), "every task placed");
+
+    // Untimed observed run: cache statistics and (feature-gated) phase
+    // timings into the registry embedded in the artifact. Skipped in
+    // quick mode, which never writes an artifact.
+    let snapshot = if quick {
+        None
+    } else {
+        let metrics = MetricsRegistry::new();
+        let obs = site_schedule_observed(&afg, local, remotes, &fed.net, &cfg, &metrics)
+            .expect("observed run");
+        assert_eq!(obs, table, "observed path must be bit-identical");
+        Some(metrics.snapshot())
+    };
+
+    (
+        MeasuredRow {
+            tasks,
+            sites,
+            k: K,
+            threads,
+            wall_ms: secs * 1e3,
+            placements_per_sec: tasks as f64 / secs,
+        },
+        snapshot,
+    )
+}
+
+/// Class-batched host selection for the k-involved sites, in the same
+/// order `site_schedule` uses (local first, then nearest neighbours).
+fn involved_outputs(
+    fed: &Federation,
+    afg: &vdce_afg::Afg,
+    cache: &PredictCache,
+) -> Vec<HostSelectionOutput> {
+    let mut sites = vec![SiteId(0)];
+    sites.extend(fed.net.nearest_neighbours(SiteId(0), K));
+    sites
+        .iter()
+        .map(|&s| {
+            let view = SiteView::capture(s, &fed.repos[s.0 as usize]);
+            host_selection_classed(
+                &view,
+                afg,
+                &Predictor::default(),
+                &ParallelModel::default(),
+                cache,
+            )
+        })
+        .collect()
+}
+
+/// One monitor event on a (tasks, sites) config: kill a host at the
+/// first remote involved site, recompute that site's host selection,
+/// then absorb the delta incrementally and via a full re-walk.
+/// Returns the measured row; panics if the tables diverge.
+fn measure_incremental(tasks: usize, sites: usize) -> IncrementalRow {
+    let fed = bench_federation(sites, 8);
+    let mut afg = bench_dag(tasks, 42);
+    shape_palette_workload(&mut afg);
+    let cache = PredictCache::new();
+    let outputs = involved_outputs(&fed, &afg, &cache);
+
+    let inc = IncrementalSchedule::new(&afg, SiteId(0), outputs.clone(), &fed.net, false)
+        .expect("schedulable benchmark config");
+
+    // Monitor event: the least-loaded host that still carries placements
+    // dies — a non-empty but small dirty set, the shape a monitor event
+    // usually has (killing the globally fastest host would re-pick every
+    // task class at its site). Only the victim's site re-runs host
+    // selection — the other views are untouched, so their outputs are
+    // reused as-is (the pattern a monitor-driven scheduler follows).
+    let mut load: std::collections::HashMap<(SiteId, &str), usize> =
+        std::collections::HashMap::new();
+    for p in inc.table().iter() {
+        for h in p.hosts.iter() {
+            *load.entry((p.site, h.as_str())).or_default() += 1;
+        }
+    }
+    let (&(event_site, victim), _) = load
+        .iter()
+        .min_by_key(|(&(site, host), &count)| (count, site, host))
+        .expect("non-empty schedule");
+    let victim = victim.to_string();
+    fed.repos[event_site.0 as usize].resources_mut(|db| db.set_status(&victim, HostStatus::Down));
+    let mut new_outputs = outputs.clone();
+    let slot = new_outputs.iter().position(|o| o.site == event_site).expect("involved");
+    let view = SiteView::capture(event_site, &fed.repos[event_site.0 as usize]);
+    new_outputs[slot] = host_selection_classed(
+        &view,
+        &afg,
+        &Predictor::default(),
+        &ParallelModel::default(),
+        &cache,
+    );
+
+    // Full Figure 2 re-walk over the updated outputs (level recompute
+    // included — a from-scratch scheduler pays it on every event).
+    let local_view = SiteView::capture(SiteId(0), &fed.repos[0]);
+    let reps = reps_for(tasks);
+    let (full_s, rewalk) = time_run(reps, || {
+        let levels = level_map(&afg, |t| {
+            local_view.tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0)
+        })
+        .expect("acyclic");
+        schedule_with_outputs_opts(&afg, &levels, SiteId(0), &new_outputs, &fed.net, false)
+            .expect("schedulable after event")
+    });
+
+    // Incremental absorb: clone the pre-event schedule each rep (outside
+    // the timed region) so every rep applies the same delta.
+    let mut inc_s = f64::INFINITY;
+    let mut applied = None;
+    for _ in 0..reps {
+        let mut fresh = inc.clone();
+        let next = new_outputs.clone();
+        let t0 = Instant::now();
+        let delta = fresh.apply(&afg, next).expect("schedulable after event");
+        inc_s = inc_s.min(t0.elapsed().as_secs_f64());
+        applied = Some((fresh, delta));
+    }
+    let (applied, delta) = applied.expect("reps >= 1");
+
+    assert_tables_bit_identical(applied.table(), &rewalk);
+
+    IncrementalRow {
+        tasks,
+        sites,
+        k: K,
+        dirty: delta.dirty,
+        replaced: delta.replaced,
+        moved: delta.moved,
+        full_rewalk_ms: full_s * 1e3,
+        incremental_ms: inc_s * 1e3,
+        speedup: full_s / inc_s,
+    }
+}
+
+fn assert_tables_bit_identical(a: &AllocationTable, b: &AllocationTable) {
+    assert_eq!(a, b, "incremental apply must match the full re-walk");
+    for (pa, pb) in a.iter().zip(b.iter()) {
+        assert_eq!(
+            pa.predicted_seconds.to_bits(),
+            pb.predicted_seconds.to_bits(),
+            "task {} prediction must be bit-identical",
+            pa.task
+        );
+    }
+}
+
+/// Wall-clock of the acceptance config (10k tasks / 8 sites / k=3)
+/// through the pre-PR scheduler, measured by building the seed commit
+/// (`dd68246`) in a scratch worktree on this same container and timing
+/// the identical workload (median of 3 reps). The seed path does
+/// per-task host selection with owned `Vec<String>` host vectors and no
+/// class batching, so it cannot be rebuilt inside this binary; override
+/// with `VDCE_SEED_BASELINE_MS` after re-probing on different hardware.
+const SEED_10K_MS: f64 = 35.7;
+
+fn seed_baseline_ms() -> f64 {
+    std::env::var("VDCE_SEED_BASELINE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(SEED_10K_MS)
+}
+
+/// The in-binary comparator: same config, `batch_classes: false` (one
+/// memoised prediction probe per (task, host) instead of one batched
+/// kernel call per class). This understates the full PR win — it still
+/// shares the Arc'd choices and batched kernels' other plumbing — so it
+/// is recorded alongside the seed baseline, not instead of it.
+/// Returns (scalar_ms, classed_ms, speedup).
+fn measure_prepr_speedup(tasks: usize, sites: usize) -> (f64, f64, f64) {
+    let fed = bench_federation(sites, 8);
+    let views = fed.views();
+    let (local, remotes) = split_views(&views);
+    let mut afg = bench_dag(tasks, 42);
+    shape_palette_workload(&mut afg);
+    let reps = reps_for(tasks);
+
+    let cfg_new = SchedulerConfig { k_neighbours: K, ..SchedulerConfig::default() };
+    let cfg_old =
+        SchedulerConfig { k_neighbours: K, batch_classes: false, ..SchedulerConfig::default() };
+    let (new_s, new_table) = time_run(reps, || {
+        site_schedule(&afg, local, remotes, &fed.net, &cfg_new).expect("schedulable")
+    });
+    let (old_s, old_table) = time_run(reps, || {
+        site_schedule(&afg, local, remotes, &fed.net, &cfg_old).expect("schedulable")
+    });
+    assert_eq!(new_table, old_table, "class-batched path must be bit-identical");
+    (old_s * 1e3, new_s * 1e3, old_s / new_s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        run_quick_gate();
+        return;
+    }
+
+    let ncpu = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let threads: Vec<usize> = if ncpu > 1 { vec![1, ncpu] } else { vec![1] };
+    let grid: Vec<(usize, usize)> = [1_000usize, 10_000, 100_000]
+        .iter()
+        .flat_map(|&tasks| [8usize, 64].map(|sites| (tasks, sites)))
+        .collect();
+
+    let mut t = Table::new(&["tasks", "sites", "threads", "wall_ms", "placements/s"]);
+    let mut rows = Vec::new();
+    // Keep the largest config's observed snapshot for the artifact.
+    let mut snapshot = None;
+    for &(tasks, sites) in &grid {
+        for &th in &threads {
+            let (row, snap) = measure_config(tasks, sites, th, false);
+            t.row(&[
+                tasks.to_string(),
+                sites.to_string(),
+                th.to_string(),
+                format!("{:.2}", row.wall_ms),
+                format!("{:.0}", row.placements_per_sec),
+            ]);
+            rows.push(row);
+            snapshot = snap.or(snapshot);
+        }
+    }
+
+    // Pre-PR comparator at 10k tasks (the acceptance config) and the
+    // incremental-rescheduling section.
+    let (scalar_ms, new_ms, scalar_speedup) = measure_prepr_speedup(10_000, 8);
+    let prepr_ms = seed_baseline_ms();
+    let speedup = prepr_ms / new_ms;
+    let inc_rows: Vec<IncrementalRow> = [(10_000usize, 8usize), (100_000, 64)]
+        .iter()
+        .map(|&(t, s)| measure_incremental(t, s))
+        .collect();
+
+    let mut it =
+        Table::new(&["tasks", "sites", "dirty", "replaced", "full_ms", "inc_ms", "speedup"]);
+    for r in &inc_rows {
+        it.row(&[
+            r.tasks.to_string(),
+            r.sites.to_string(),
+            r.dirty.to_string(),
+            r.replaced.to_string(),
+            format!("{:.2}", r.full_rewalk_ms),
+            format!("{:.3}", r.incremental_ms),
+            format!("{:.0}x", r.speedup),
+        ]);
+    }
+
+    let mut artifact = RunArtifact::new("exp_scale")
+        .meta("k_neighbours", K)
+        .meta("hosts_per_site", 8usize)
+        .meta("threads_max", ncpu)
+        .meta("workload", "layered random DAG, palette granularities, 1/3 parallel (8 nodes)")
+        .meta(
+            "prepr_path",
+            "seed dd68246: per-task host selection, owned host vectors, no batching",
+        )
+        .meta("prepr_10k_ms", prepr_ms)
+        .meta("classed_10k_ms", new_ms)
+        .meta("speedup_10k_vs_prepr", speedup)
+        .meta("scalar_path", "in-binary batch_classes=false: per-task memoised host selection")
+        .meta("scalar_10k_ms", scalar_ms)
+        .meta("speedup_10k_vs_scalar", scalar_speedup)
+        .section("configs", &rows)
+        .section("incremental", &inc_rows);
+    if let Some(s) = snapshot {
+        artifact = artifact.metrics(s);
+    }
+    artifact.write("BENCH_scale.json").expect("write BENCH_scale.json");
+
+    Report::new("hot-path scale curves (k=3)")
+        .table(t)
+        .table(it)
+        .note(format!(
+            "10k-task speedup vs pre-PR seed path: {speedup:.2}x \
+             ({prepr_ms:.1} ms -> {new_ms:.1} ms); vs in-binary scalar \
+             path: {scalar_speedup:.2}x ({scalar_ms:.1} ms); incremental \
+             tables asserted bit-identical to the full re-walk"
+        ))
+        .note("wrote BENCH_scale.json")
+        .print();
+}
+
+/// The CI gate: 10k tasks / 8 sites / k=3. Asserts (1) incremental ==
+/// full-re-walk bit-identity (inside [`measure_incremental`]), (2) an
+/// absolute placements/sec floor, (3) a relative floor against the
+/// recorded `BENCH_scale.json`. Exits 1 on failure; never rewrites the
+/// recorded artifact.
+fn run_quick_gate() {
+    let mut failures: Vec<String> = Vec::new();
+
+    let (row, _) = measure_config(10_000, 8, 1, true);
+    println!(
+        "quick: 10000 tasks / 8 sites / 1 thread: {:.2} ms ({:.0} placements/s)",
+        row.wall_ms, row.placements_per_sec
+    );
+    if row.placements_per_sec < QUICK_FLOOR_PLACEMENTS_PER_SEC {
+        failures.push(format!(
+            "placement throughput {:.0}/s below absolute floor {QUICK_FLOOR_PLACEMENTS_PER_SEC}/s",
+            row.placements_per_sec
+        ));
+    }
+
+    let recorded: Option<RecordedReport> = std::fs::read_to_string("BENCH_scale.json")
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    match recorded.as_ref().and_then(|r| {
+        r.configs.iter().find(|c| c.tasks == row.tasks && c.sites == row.sites && c.threads == 1)
+    }) {
+        Some(rec) => {
+            let floor = rec.placements_per_sec * TOLERANCE;
+            if row.placements_per_sec < floor {
+                failures.push(format!(
+                    "placement throughput {:.0}/s below {floor:.0}/s \
+                     ({TOLERANCE}x of recorded {:.0}/s)",
+                    row.placements_per_sec, rec.placements_per_sec
+                ));
+            }
+        }
+        None => println!("note: no readable BENCH_scale.json baseline; absolute floor only"),
+    }
+
+    // Bit-identity gate: panics (non-zero exit) if the incremental apply
+    // diverges from the full re-walk.
+    let inc = measure_incremental(10_000, 8);
+    println!(
+        "quick: incremental apply replaced {} of 10000 ({} moved), {:.3} ms vs {:.2} ms re-walk",
+        inc.replaced, inc.moved, inc.incremental_ms, inc.full_rewalk_ms
+    );
+
+    if failures.is_empty() {
+        println!("\nquick gate OK");
+    } else {
+        for f in &failures {
+            eprintln!("GATE FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

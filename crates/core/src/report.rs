@@ -83,7 +83,7 @@ mod tests {
             task: TaskId(0),
             task_name: "src".into(),
             site: SiteId(0),
-            hosts: vec!["h0".into()],
+            hosts: vec!["h0".into()].into(),
             predicted_seconds: 0.5,
         });
         RunReport {

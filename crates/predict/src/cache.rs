@@ -20,7 +20,7 @@
 //! one per scheduling run and drop it with the run.
 
 use crate::model::{PredictError, Predictor};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -91,12 +91,26 @@ type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// are unique across a federation ([`Topology::add_site`] and the site
 /// generators enforce this), so a cache may be shared across sites.
 ///
+/// The memo table can be **capacity-bounded**: construct with
+/// [`PredictCache::with_capacity`] to cap the number of resident
+/// `(task, size, host)` entries. Eviction is deterministic
+/// insertion-order FIFO — the oldest-inserted entry goes first — so a
+/// bounded sequential run always holds (and evicts) the same entries.
+/// (Under the parallel fan-out, insertion *order* depends on thread
+/// interleaving, so eviction victims — and therefore the hit/miss and
+/// eviction counts — can vary run to run; the cached *values* are still
+/// a pure function of the key either way.) The default is unbounded,
+/// which keeps every counter deterministic.
+///
 /// [`Topology::add_site`]: vdce_net::topology::Topology::add_site
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PredictCache {
     inner: RwLock<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Max resident entries; `usize::MAX` means unbounded.
+    max_entries: usize,
 }
 
 #[derive(Debug, Default)]
@@ -104,6 +118,36 @@ struct Inner {
     task_ids: FxMap<String, u32>,
     host_ids: FxMap<String, u32>,
     map: FxMap<(u32, u64, u32), Result<f64, PredictError>>,
+    /// Keys in insertion order, for FIFO eviction. May contain stale
+    /// keys (evicted then re-inserted); [`Inner::enforce_cap`] skips
+    /// those. Interned name ids are never evicted, only map entries.
+    fifo: VecDeque<(u32, u64, u32)>,
+}
+
+impl Inner {
+    /// Record `key → value`; on a fresh insert enqueue the key and evict
+    /// oldest-first down to `cap`, counting evictions into `evicted`.
+    fn insert_bounded(
+        &mut self,
+        key: (u32, u64, u32),
+        value: Result<f64, PredictError>,
+        cap: usize,
+        evicted: &AtomicU64,
+    ) {
+        if self.map.insert(key, value).is_none() {
+            self.fifo.push_back(key);
+            self.enforce_cap(cap, evicted);
+        }
+    }
+
+    fn enforce_cap(&mut self, cap: usize, evicted: &AtomicU64) {
+        while self.map.len() > cap {
+            let Some(old) = self.fifo.pop_front() else { break };
+            if self.map.remove(&old).is_some() {
+                evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 fn intern(ids: &mut FxMap<String, u32>, name: &str) -> u32 {
@@ -115,10 +159,36 @@ fn intern(ids: &mut FxMap<String, u32>, name: &str) -> u32 {
     id
 }
 
+impl Default for PredictCache {
+    /// Same as [`PredictCache::new`]: empty and unbounded.
+    fn default() -> Self {
+        PredictCache::new()
+    }
+}
+
 impl PredictCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
-        PredictCache::default()
+        PredictCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache holding at most `max_entries` memoised triples
+    /// (clamped to at least 1). Once full, the oldest-inserted entry is
+    /// evicted to make room — see the type docs for the determinism
+    /// contract.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        PredictCache {
+            inner: RwLock::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// The max-entries bound, or `None` if unbounded.
+    pub fn max_entries(&self) -> Option<usize> {
+        (self.max_entries != usize::MAX).then_some(self.max_entries)
     }
 
     /// `Predict(task, R)` through the memo table. Errors are cached too:
@@ -146,18 +216,26 @@ impl PredictCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let computed = predictor.predict(tasks, task, problem_size, host);
         let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
-        let Inner { task_ids, host_ids, map } = &mut *guard;
-        let t = intern(task_ids, task);
-        let h = intern(host_ids, &host.host_name);
-        map.insert((t, problem_size, h), computed.clone());
+        let t = intern(&mut guard.task_ids, task);
+        let h = intern(&mut guard.host_ids, &host.host_name);
+        guard.insert_bounded(
+            (t, problem_size, h),
+            computed.clone(),
+            self.max_entries,
+            &self.evictions,
+        );
         computed
     }
 
     /// Batched [`PredictCache::predict`] over every host a ranking will
-    /// consider: one read-lock pass resolves all hits, then one
-    /// write-lock pass stores all misses. Results come back in `hosts`
-    /// order and are element-wise identical to per-host `predict` calls —
-    /// the batching only amortises the lock and task-name probes.
+    /// consider: one read-lock pass resolves all hits, the misses run
+    /// through the flat [`Predictor::predict_batch`] kernel as one
+    /// slice-in/slice-out batch, then one write-lock pass stores them.
+    /// The cache is probed once per `(task, size)` batch — the per-host
+    /// work inside the read pass is a single small-key map probe.
+    /// Results come back in `hosts` order and are element-wise identical
+    /// to per-host `predict` calls — the batching only amortises the
+    /// locks, the task-name probes, and the task-side model gather.
     pub fn predict_many(
         &self,
         predictor: &Predictor,
@@ -195,18 +273,23 @@ impl PredictCache {
         self.hits.fetch_add((hosts.len() - miss_idx.len()) as u64, Ordering::Relaxed);
         if !miss_idx.is_empty() {
             self.misses.fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
-            // Evaluate outside the lock, then store under one write lock.
-            for &i in &miss_idx {
-                let i = i as usize;
-                out[i] = predictor.predict(tasks, task, problem_size, hosts[i]);
-            }
+            // Evaluate outside the lock as one flat batch, then store
+            // under one write lock.
+            let miss_hosts: Vec<&ResourceRecord> =
+                miss_idx.iter().map(|&i| hosts[i as usize]).collect();
+            let mut computed = Vec::new();
+            predictor.predict_batch(tasks, task, problem_size, &miss_hosts, &mut computed);
             let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
-            let Inner { task_ids, host_ids, map } = &mut *guard;
-            let t = intern(task_ids, task);
-            for &i in &miss_idx {
-                let i = i as usize;
-                let hid = intern(host_ids, &hosts[i].host_name);
-                map.insert((t, problem_size, hid), out[i].clone());
+            let t = intern(&mut guard.task_ids, task);
+            for (&i, value) in miss_idx.iter().zip(computed) {
+                let hid = intern(&mut guard.host_ids, &hosts[i as usize].host_name);
+                guard.insert_bounded(
+                    (t, problem_size, hid),
+                    value.clone(),
+                    self.max_entries,
+                    &self.evictions,
+                );
+                out[i as usize] = value;
             }
         }
         out
@@ -230,6 +313,12 @@ impl PredictCache {
     /// Memo misses (= model evaluations) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay under the max-entries bound. Always 0 for
+    /// an unbounded cache.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -284,6 +373,79 @@ mod tests {
         assert!(cache.predict(&p, &db, "Sort", 1000, &down).is_err());
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn predict_many_matches_scalar_predict() {
+        let mut db = TaskPerfDb::standard();
+        db.record_execution("Sort", "h1", 5000, 2.0);
+        let p = Predictor::default();
+        let hosts: Vec<ResourceRecord> =
+            (0..5).map(|i| host(&format!("h{i}"), 1.0 + i as f64)).collect();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let cache = PredictCache::new();
+        // Pre-warm a subset so the batch mixes hits and misses.
+        cache.predict(&p, &db, "Sort", 5000, refs[2]).unwrap();
+        let batched = cache.predict_many(&p, &db, "Sort", 5000, &refs);
+        for (h, got) in refs.iter().zip(&batched) {
+            let want = p.predict(&db, "Sort", 5000, h);
+            assert_eq!(
+                want.map(f64::to_bits),
+                got.clone().map(f64::to_bits),
+                "host {}",
+                h.host_name
+            );
+        }
+        // A second pass is all hits and identical.
+        let again = cache.predict_many(&p, &db, "Sort", 5000, &refs);
+        assert_eq!(batched, again);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo_and_counts() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::with_capacity(2);
+        assert_eq!(cache.max_entries(), Some(2));
+        let (a, b, c) = (host("a", 1.0), host("b", 2.0), host("c", 3.0));
+        cache.predict(&p, &db, "Sort", 1000, &a).unwrap();
+        cache.predict(&p, &db, "Sort", 1000, &b).unwrap();
+        assert_eq!(cache.evictions(), 0);
+        // Third insert evicts the oldest entry (host a).
+        cache.predict(&p, &db, "Sort", 1000, &c).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // b and c are still resident; a must recompute (a miss)...
+        let misses = cache.misses();
+        cache.predict(&p, &db, "Sort", 1000, &b).unwrap();
+        cache.predict(&p, &db, "Sort", 1000, &c).unwrap();
+        assert_eq!(cache.misses(), misses);
+        let direct = p.predict(&db, "Sort", 1000, &a).unwrap();
+        let refilled = cache.predict(&p, &db, "Sort", 1000, &a).unwrap();
+        assert_eq!(cache.misses(), misses + 1);
+        // ...and refills bit-identically, evicting b in FIFO turn.
+        assert_eq!(direct.to_bits(), refilled.to_bits());
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bounded_cache_batch_inserts_respect_cap() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let cache = PredictCache::with_capacity(3);
+        let hosts: Vec<ResourceRecord> = (0..8).map(|i| host(&format!("h{i}"), 1.0)).collect();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let out = cache.predict_many(&p, &db, "Sort", 1000, &refs);
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 5);
+    }
+
+    #[test]
+    fn unbounded_cache_reports_no_bound() {
+        assert_eq!(PredictCache::new().max_entries(), None);
+        assert_eq!(PredictCache::default().max_entries(), None);
     }
 
     #[test]

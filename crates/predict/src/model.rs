@@ -59,6 +59,29 @@ impl Default for Predictor {
     }
 }
 
+/// Task-side inputs of `Predict(task, R)` that do not depend on the
+/// host: one library-entry lookup, the memory requirement, the
+/// computation size and the base-processor rate. Gathering these once
+/// per `(task, problem size)` is what makes the batched kernel flat —
+/// the per-host loop is left with arithmetic over the host record only.
+#[derive(Debug, Clone, Copy)]
+struct TaskSide {
+    required: u64,
+    flops: f64,
+    base_rate: f64,
+}
+
+impl TaskSide {
+    fn gather(tasks: &TaskPerfDb, task: &str, problem_size: u64) -> Option<TaskSide> {
+        let entry = tasks.entry(task)?;
+        Some(TaskSide {
+            required: entry.required_memory(problem_size),
+            flops: entry.computation_size(problem_size),
+            base_rate: tasks.base_rate(task),
+        })
+    }
+}
+
 impl Predictor {
     /// Evaluate `Predict(task, R)`: the predicted execution time in
     /// seconds of `task` at `problem_size` on `host`, given the current
@@ -70,25 +93,59 @@ impl Predictor {
         problem_size: u64,
         host: &ResourceRecord,
     ) -> Result<f64, PredictError> {
-        let entry = tasks.entry(task).ok_or_else(|| PredictError::UnknownTask(task.to_string()))?;
-        if !host.is_up() {
-            return Err(PredictError::HostDown(host.host_name.clone()));
-        }
-        let required = entry.required_memory(problem_size);
-        if required > host.total_memory {
-            return Err(PredictError::Infeasible {
-                host: host.host_name.clone(),
-                reason: format!(
-                    "requires {required} B of memory, host has {} B total",
-                    host.total_memory
-                ),
-            });
-        }
+        let side = TaskSide::gather(tasks, task, problem_size)
+            .ok_or_else(|| PredictError::UnknownTask(task.to_string()))?;
+        self.predict_host(&side, tasks, task, host)
+    }
 
-        let flops = entry.computation_size(problem_size);
+    /// Batched `Predict(task, R)` over many candidate hosts of one
+    /// `(task, problem size)` class, appending one result per host to
+    /// `out` (in `hosts` order). Element `i` is bit-identical to
+    /// `self.predict(tasks, task, problem_size, hosts[i])` — batching
+    /// hoists the task-side gather ([`TaskSide`]) out of the loop and,
+    /// when the task has no measured rates at all, skips the per-host
+    /// measurement probes entirely, leaving a flat multiply-add lane per
+    /// host row.
+    pub fn predict_batch(
+        &self,
+        tasks: &TaskPerfDb,
+        task: &str,
+        problem_size: u64,
+        hosts: &[&ResourceRecord],
+        out: &mut Vec<Result<f64, PredictError>>,
+    ) {
+        out.reserve(hosts.len());
+        let Some(side) = TaskSide::gather(tasks, task, problem_size) else {
+            out.extend(hosts.iter().map(|_| Err(PredictError::UnknownTask(task.to_string()))));
+            return;
+        };
+        if tasks.has_measurements(task) {
+            for host in hosts {
+                out.push(self.predict_host(&side, tasks, task, host));
+            }
+        } else {
+            // Fast lane: no measurement table to probe, so each host row
+            // reduces to feasibility checks plus four multiplies.
+            for host in hosts {
+                out.push(self.predict_unmeasured(&side, host));
+            }
+        }
+    }
+
+    /// Per-host core shared by the scalar and batched entry points. The
+    /// floating-point expressions here are the single source of truth
+    /// for the model — both paths run exactly this op sequence.
+    fn predict_host(
+        &self,
+        side: &TaskSide,
+        tasks: &TaskPerfDb,
+        task: &str,
+        host: &ResourceRecord,
+    ) -> Result<f64, PredictError> {
+        let (required, flops) = self.feasible(side, host)?;
 
         // Analytic rate: base-processor seconds/flop scaled by host speed.
-        let analytic_rate = tasks.base_rate(task) / host.relative_speed.max(1e-9);
+        let analytic_rate = side.base_rate / host.relative_speed.max(1e-9);
 
         // Measured rate (already host-specific) blended in by confidence.
         let rate = match tasks.measured_rate(task, &host.host_name) {
@@ -100,20 +157,55 @@ impl Predictor {
             None => analytic_rate,
         };
 
-        // Time sharing: with w runnable processes the task gets 1/(1+w)
-        // of the CPU.
-        let load_mult = 1.0 + host.smoothed_workload().max(0.0);
+        Ok(flops * rate * self.load_mult(host) * self.mem_mult(required, host))
+    }
 
-        // Paging penalty: quadratic in the overcommit ratio.
-        let mem_mult = if required > host.available_memory {
+    /// [`Predictor::predict_host`] minus the measurement probes, for
+    /// tasks known to have no measured rates anywhere.
+    fn predict_unmeasured(
+        &self,
+        side: &TaskSide,
+        host: &ResourceRecord,
+    ) -> Result<f64, PredictError> {
+        let (required, flops) = self.feasible(side, host)?;
+        let rate = side.base_rate / host.relative_speed.max(1e-9);
+        Ok(flops * rate * self.load_mult(host) * self.mem_mult(required, host))
+    }
+
+    fn feasible(&self, side: &TaskSide, host: &ResourceRecord) -> Result<(u64, f64), PredictError> {
+        if !host.is_up() {
+            return Err(PredictError::HostDown(host.host_name.clone()));
+        }
+        let required = side.required;
+        if required > host.total_memory {
+            return Err(PredictError::Infeasible {
+                host: host.host_name.clone(),
+                reason: format!(
+                    "requires {required} B of memory, host has {} B total",
+                    host.total_memory
+                ),
+            });
+        }
+        Ok((required, side.flops))
+    }
+
+    /// Time sharing: with w runnable processes the task gets 1/(1+w)
+    /// of the CPU.
+    #[inline]
+    fn load_mult(&self, host: &ResourceRecord) -> f64 {
+        1.0 + host.smoothed_workload().max(0.0)
+    }
+
+    /// Paging penalty: quadratic in the overcommit ratio.
+    #[inline]
+    fn mem_mult(&self, required: u64, host: &ResourceRecord) -> f64 {
+        if required > host.available_memory {
             let avail = host.available_memory.max(1) as f64;
             let ratio = required as f64 / avail;
             1.0 + self.paging_factor * (ratio - 1.0) * ratio
         } else {
             1.0
-        };
-
-        Ok(flops * rate * load_mult * mem_mult)
+        }
     }
 }
 
@@ -239,5 +331,69 @@ mod tests {
     fn error_display() {
         let e = PredictError::Infeasible { host: "h".into(), reason: "r".into() };
         assert!(e.to_string().contains("h"));
+    }
+
+    /// A host population exercising every lane of the kernel: up, down,
+    /// total-memory infeasible, paging-penalised, and measured-rate.
+    fn mixed_hosts() -> Vec<ResourceRecord> {
+        let mut hs: Vec<ResourceRecord> =
+            (0..6).map(|i| host(&format!("h{i}"), 1.0 + i as f64)).collect();
+        hs[1].status = HostStatus::Down;
+        hs[2].total_memory = 1 << 10;
+        hs[3].available_memory = 1 << 10; // paging path
+        for _ in 0..3 {
+            hs[4].workload_history.push_back(2.0);
+        }
+        hs
+    }
+
+    #[test]
+    fn batch_matches_scalar_per_host_without_measurements() {
+        let db = TaskPerfDb::standard();
+        let p = Predictor::default();
+        let hosts = mixed_hosts();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let mut out = Vec::new();
+        p.predict_batch(&db, "LU_Decomposition", 1024, &refs, &mut out);
+        assert_eq!(out.len(), refs.len());
+        for (h, got) in refs.iter().zip(&out) {
+            let want = p.predict(&db, "LU_Decomposition", 1024, h);
+            match (&want, got) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "host {}", h.host_name),
+                _ => assert_eq!(&want, got, "host {}", h.host_name),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_with_measured_rates() {
+        let mut db = TaskPerfDb::standard();
+        let hosts = mixed_hosts();
+        // Measure only some hosts so the blended and analytic lanes mix.
+        db.record_execution("Sort", "h0", 10_000, 3.0);
+        db.record_execution("Sort", "h5", 10_000, 0.5);
+        db.record_execution("Sort", "h5", 10_000, 0.7);
+        let p = Predictor::default();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let mut out = Vec::new();
+        p.predict_batch(&db, "Sort", 10_000, &refs, &mut out);
+        for (h, got) in refs.iter().zip(&out) {
+            let want = p.predict(&db, "Sort", 10_000, h);
+            match (&want, got) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "host {}", h.host_name),
+                _ => assert_eq!(&want, got, "host {}", h.host_name),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_unknown_task_errors_every_slot() {
+        let db = TaskPerfDb::standard();
+        let hosts = mixed_hosts();
+        let refs: Vec<&ResourceRecord> = hosts.iter().collect();
+        let mut out = Vec::new();
+        Predictor::default().predict_batch(&db, "Nope", 1, &refs, &mut out);
+        assert_eq!(out.len(), refs.len());
+        assert!(out.iter().all(|r| matches!(r, Err(PredictError::UnknownTask(_)))));
     }
 }

@@ -50,11 +50,14 @@ pub fn parallel_seconds(
     nodes: &[&ResourceRecord],
 ) -> Result<f64, PredictError> {
     assert!(!nodes.is_empty(), "parallel_seconds needs at least one node");
-    // Per-node whole-task times; any error (down/infeasible node) fails
-    // the whole placement.
+    // Per-node whole-task times through the flat batched kernel (one
+    // task-side gather for the whole node set); the first error in node
+    // order (down/infeasible node) fails the whole placement.
+    let mut per_node = Vec::with_capacity(nodes.len());
+    predictor.predict_batch(tasks, task, problem_size, nodes, &mut per_node);
     let mut times = Vec::with_capacity(nodes.len());
-    for n in nodes {
-        times.push(predictor.predict(tasks, task, problem_size, n)?);
+    for t in per_node {
+        times.push(t?);
     }
     Ok(combine_node_times(model, &times))
 }

@@ -330,7 +330,7 @@ mod tests {
                 task: id,
                 task_name: afg.task(id).name.clone(),
                 site: SiteId(0),
-                hosts: vec![host.to_string()],
+                hosts: vec![host.to_string()].into(),
                 predicted_seconds: 0.001,
             });
         }

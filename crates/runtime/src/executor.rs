@@ -392,7 +392,7 @@ fn run_task(
                 return fail(
                     t_wait,
                     clock.now(),
-                    placement.hosts.clone(),
+                    placement.hosts.to_vec(),
                     format!("input on port {} unavailable: {e}", edge.to_port),
                 );
             }
@@ -411,12 +411,12 @@ fn run_task(
     loop {
         // 2. Console checkpoint (suspend/abort) before launching.
         if !console.checkpoint() {
-            return fail(t_wait, clock.now(), placement.hosts.clone(), "aborted".into());
+            return fail(t_wait, clock.now(), placement.hosts.to_vec(), "aborted".into());
         }
 
         // 3. Application-Controller start gate (threshold rescheduling).
         let hosts = match gate.check(task, &placement.hosts) {
-            GateDecision::Proceed => placement.hosts.clone(),
+            GateDecision::Proceed => placement.hosts.to_vec(),
             GateDecision::Relocate(new_hosts) => {
                 log.emit(
                     clock.now(),
@@ -434,7 +434,7 @@ fn run_task(
                     attempt += 1;
                     continue;
                 }
-                return fail(t_wait, clock.now(), placement.hosts.clone(), reason);
+                return fail(t_wait, clock.now(), placement.hosts.to_vec(), reason);
             }
         };
         if let Some(prev) = &prev_hosts {
@@ -566,7 +566,7 @@ mod tests {
                 task: id,
                 task_name: afg.task(id).name.clone(),
                 site: SiteId(0),
-                hosts: vec![host.to_string()],
+                hosts: vec![host.to_string()].into(),
                 predicted_seconds: 0.001,
             });
         }

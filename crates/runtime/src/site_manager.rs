@@ -446,21 +446,21 @@ mod tests {
             task: TaskId(0),
             task_name: "t0".into(),
             site: SiteId(0),
-            hosts: vec!["a".into()],
+            hosts: vec!["a".into()].into(),
             predicted_seconds: 1.0,
         });
         table.insert(TaskPlacement {
             task: TaskId(1),
             task_name: "t1".into(),
             site: SiteId(0),
-            hosts: vec!["b".into()],
+            hosts: vec!["b".into()].into(),
             predicted_seconds: 1.0,
         });
         table.insert(TaskPlacement {
             task: TaskId(2),
             task_name: "remote".into(),
             site: SiteId(1),
-            hosts: vec!["elsewhere".into()],
+            hosts: vec!["elsewhere".into()].into(),
             predicted_seconds: 1.0,
         });
         let portions = sm.distribute_allocation(&table);
@@ -480,7 +480,7 @@ mod tests {
             task: TaskId(0),
             task_name: "wide".into(),
             site: SiteId(0),
-            hosts: vec!["a".into(), "b".into()],
+            hosts: vec!["a".into(), "b".into()].into(),
             predicted_seconds: 1.0,
         });
         let portions = sm.distribute_allocation(&table);

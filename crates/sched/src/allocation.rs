@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use vdce_afg::{Afg, TaskId};
 use vdce_net::topology::SiteId;
 
@@ -23,8 +24,10 @@ pub struct TaskPlacement {
     /// Site chosen by the site scheduler.
     pub site: SiteId,
     /// Hosts chosen by host selection (one for sequential tasks, the node
-    /// set for parallel tasks; all within `site`).
-    pub hosts: Vec<String>,
+    /// set for parallel tasks; all within `site`). Shared with the
+    /// [`TaskHostChoice`](crate::TaskHostChoice) it came from — cloning
+    /// a placement never copies host strings.
+    pub hosts: Arc<[String]>,
     /// Predicted execution time in seconds (the value host selection
     /// minimised).
     pub predicted_seconds: f64,
@@ -129,14 +132,14 @@ mod tests {
             task: TaskId(0),
             task_name: "a".into(),
             site: SiteId(0),
-            hosts: vec!["h0".into()],
+            hosts: vec!["h0".into()].into(),
             predicted_seconds: 1.0,
         });
         t.insert(TaskPlacement {
             task: TaskId(1),
             task_name: "b".into(),
             site: SiteId(1),
-            hosts: vec!["h1".into(), "h2".into()],
+            hosts: vec!["h1".into(), "h2".into()].into(),
             predicted_seconds: 2.0,
         });
         t
@@ -186,7 +189,7 @@ mod tests {
             task: TaskId(0),
             task_name: "a".into(),
             site: SiteId(0),
-            hosts: vec!["h0".into(), "h1".into()],
+            hosts: vec!["h0".into(), "h1".into()].into(),
             predicted_seconds: 1.0,
         });
         assert!(!over.is_complete_for(&g));
@@ -197,7 +200,7 @@ mod tests {
             task: TaskId(1),
             task_name: "b".into(),
             site: SiteId(1),
-            hosts: vec![],
+            hosts: vec![].into(),
             predicted_seconds: 2.0,
         });
         assert!(!empty.is_complete_for(&g));

@@ -24,13 +24,13 @@
 //! simulator, [`crate::makespan::evaluate`].
 
 use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::arena::{HostArena, NO_HOST};
 use crate::host_selection::eligible;
 use crate::site_scheduler::SchedulingError;
 use crate::view::SiteView;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::collections::HashMap;
 use vdce_afg::level::{blevel_map, level_map};
 use vdce_afg::{Afg, EdgeIndex, TaskId};
 use vdce_net::cache::TransferCache;
@@ -41,10 +41,25 @@ use vdce_predict::model::Predictor;
 use vdce_repository::resources::ResourceRecord;
 
 /// One feasible (site, host, predicted seconds) option for a task.
+/// `host_id` is the host's dense [`HostArena`] id, so the placement
+/// loops index flat arrays instead of hashing host names.
 struct Option_<'a> {
     site: SiteId,
     host: &'a ResourceRecord,
+    host_id: u32,
     predicted: f64,
+}
+
+/// Intern every host of `views` (view order, then the resource DB's
+/// name order — both deterministic) so ids are stable across runs.
+fn host_arena(views: &[&SiteView]) -> HostArena {
+    let mut arena = HostArena::new();
+    for v in views {
+        for host in v.resources.iter() {
+            arena.intern(&host.host_name);
+        }
+    }
+    arena
 }
 
 /// Enumerate every feasible single-host option for `task` across `views`.
@@ -54,6 +69,7 @@ fn options<'a>(
     views: &'a [&'a SiteView],
     predictor: &Predictor,
     cache: &PredictCache,
+    arena: &HostArena,
 ) -> Vec<Option_<'a>> {
     let node = afg.task(task);
     let mut out = Vec::new();
@@ -65,7 +81,8 @@ fn options<'a>(
             if let Ok(t) =
                 cache.predict(predictor, &v.tasks, &node.library_task, node.problem_size, host)
             {
-                out.push(Option_ { site: v.site, host, predicted: t });
+                let host_id = arena.lookup(&host.host_name).expect("view hosts are interned");
+                out.push(Option_ { site: v.site, host, host_id, predicted: t });
             }
         }
     }
@@ -85,9 +102,10 @@ fn all_options<'a>(
     views: &'a [&'a SiteView],
     predictor: &Predictor,
     cache: &PredictCache,
+    arena: &HostArena,
 ) -> Vec<Vec<Option_<'a>>> {
     let ids: Vec<TaskId> = afg.task_ids().collect();
-    ids.into_par_iter().map(|t| options(afg, t, views, predictor, cache)).collect()
+    ids.into_par_iter().map(|t| options(afg, t, views, predictor, cache, arena)).collect()
 }
 
 fn placement(afg: &Afg, task: TaskId, opt: &Option_<'_>) -> TaskPlacement {
@@ -95,7 +113,7 @@ fn placement(afg: &Afg, task: TaskId, opt: &Option_<'_>) -> TaskPlacement {
         task,
         task_name: afg.task(task).name.clone(),
         site: opt.site,
-        hosts: vec![opt.host.host_name.clone()],
+        hosts: [opt.host.host_name.clone()].into(),
         predicted_seconds: opt.predicted,
     }
 }
@@ -126,7 +144,8 @@ pub fn random_schedule_cached(
 ) -> Result<AllocationTable, SchedulingError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut table = AllocationTable::new(afg.name.clone());
-    let all = all_options(afg, views, predictor, cache);
+    let arena = host_arena(views);
+    let all = all_options(afg, views, predictor, cache, &arena);
     for task in afg.task_ids() {
         let opts = &all[task.index()];
         if opts.is_empty() {
@@ -185,7 +204,13 @@ pub fn round_robin_schedule_cached(
             else {
                 continue;
             };
-            table.insert(placement(afg, task, &Option_ { site: v.site, host, predicted: t }));
+            // Round-robin never consults completion-time state, so the
+            // sentinel host id is fine here.
+            table.insert(placement(
+                afg,
+                task,
+                &Option_ { site: v.site, host, host_id: NO_HOST, predicted: t },
+            ));
             cursor = (cursor + probe + 1) % slots.len();
             placed = true;
             break;
@@ -217,7 +242,8 @@ pub fn local_only_schedule_cached(
 ) -> Result<AllocationTable, SchedulingError> {
     let views = [local];
     let mut table = AllocationTable::new(afg.name.clone());
-    let all = all_options(afg, &views, predictor, cache);
+    let arena = host_arena(&views);
+    let all = all_options(afg, &views, predictor, cache, &arena);
     for task in afg.task_ids() {
         let best = all[task.index()]
             .iter()
@@ -231,7 +257,9 @@ pub fn local_only_schedule_cached(
 }
 
 /// Completion time of `task` on `opt` given current host-free times and
-/// parent finishes.
+/// parent finishes. `host_of` is the dense per-task placement array
+/// ([`NO_HOST`] = unplaced) and `host_free` the per-host free-time array,
+/// both indexed by [`HostArena`] id — no hashing in the inner loop.
 #[allow(clippy::too_many_arguments)]
 fn completion_time(
     afg: &Afg,
@@ -241,18 +269,17 @@ fn completion_time(
     net: &TransferCache,
     finish: &[f64],
     site_of: &[Option<SiteId>],
-    host_of: &HashMap<usize, &str>,
-    host_free: &HashMap<&str, f64>,
+    host_of: &[u32],
+    host_free: &[f64],
 ) -> f64 {
     let mut data_ready = 0.0f64;
     for e in idx.in_edges(afg, task) {
         let ps = site_of[e.from.index()].expect("parents placed first");
-        let same_host = host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+        let same_host = host_of[e.from.index()] == opt.host_id;
         let xfer = if same_host { 0.0 } else { net.transfer_time(ps, opt.site, e.data_size) };
         data_ready = data_ready.max(finish[e.from.index()] + xfer);
     }
-    let free = host_free.get(opt.host.host_name.as_str()).copied().unwrap_or(0.0);
-    data_ready.max(free) + opt.predicted
+    data_ready.max(host_free[opt.host_id as usize]) + opt.predicted
 }
 
 /// Shared engine for the completion-time heuristics. `pick_max` selects
@@ -267,7 +294,8 @@ fn completion_time_schedule(
 ) -> Result<AllocationTable, SchedulingError> {
     // Options are placement-independent: enumerate them once up front
     // instead of re-predicting for every ready task on every round.
-    let all = all_options(afg, views, predictor, cache);
+    let arena = host_arena(views);
+    let all = all_options(afg, views, predictor, cache, &arena);
     let xfer = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -275,8 +303,8 @@ fn completion_time_schedule(
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, &str> = HashMap::new();
-    let mut host_free: HashMap<&str, f64> = HashMap::new();
+    let mut host_of: Vec<u32> = vec![NO_HOST; n];
+    let mut host_free: Vec<f64> = vec![0.0; arena.len()];
 
     let mut remaining = afg.in_degrees();
     let mut ready: Vec<TaskId> = afg.entry_nodes();
@@ -320,13 +348,19 @@ fn completion_time_schedule(
         let (ri, opt, ct) = chosen;
         let task = ready.swap_remove(ri);
 
+        debug_assert_eq!(host_of[task.index()], NO_HOST, "task {task} placed twice");
         finish[task.index()] = ct;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.as_str());
-        host_free.insert(opt.host.host_name.as_str(), ct);
+        host_of[task.index()] = opt.host_id;
+        host_free[opt.host_id as usize] = ct;
         table.insert(placement(afg, task, opt));
 
         for e in edge_idx.out_edges(afg, task) {
+            debug_assert!(
+                remaining[e.to.index()] > 0,
+                "in-degree underflow: task {} readied twice",
+                e.to
+            );
             remaining[e.to.index()] -= 1;
             if remaining[e.to.index()] == 0 {
                 ready.push(e.to);
@@ -432,7 +466,8 @@ pub fn heft_schedule_cached(
     // parent/child pairs): walk and push parents before children.
     let order = topo_consistent(afg, order);
 
-    let all = all_options(afg, views, predictor, cache);
+    let arena = host_arena(views);
+    let all = all_options(afg, views, predictor, cache, &arena);
     let xfer = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -440,8 +475,8 @@ pub fn heft_schedule_cached(
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, &str> = HashMap::new();
-    let mut host_free: HashMap<&str, f64> = HashMap::new();
+    let mut host_of: Vec<u32> = vec![NO_HOST; n];
+    let mut host_free: Vec<f64> = vec![0.0; arena.len()];
 
     for task in order {
         let mut best: Option<(&Option_<'_>, f64)> = None;
@@ -454,10 +489,11 @@ pub fn heft_schedule_cached(
             }
         }
         let (opt, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
+        debug_assert_eq!(host_of[task.index()], NO_HOST, "task {task} placed twice");
         finish[task.index()] = eft;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.as_str());
-        host_free.insert(opt.host.host_name.as_str(), eft);
+        host_of[task.index()] = opt.host_id;
+        host_free[opt.host_id as usize] = eft;
         table.insert(placement(afg, task, opt));
     }
     Ok(table)
@@ -508,7 +544,8 @@ pub fn heft_insertion_schedule_cached(
     });
     let order = topo_consistent(afg, order);
 
-    let all = all_options(afg, views, predictor, cache);
+    let arena = host_arena(views);
+    let all = all_options(afg, views, predictor, cache, &arena);
     let xfer_cache = TransferCache::new(net);
     let edge_idx = afg.edge_index();
 
@@ -516,9 +553,9 @@ pub fn heft_insertion_schedule_cached(
     let mut table = AllocationTable::new(afg.name.clone());
     let mut finish = vec![0.0f64; n];
     let mut site_of: Vec<Option<SiteId>> = vec![None; n];
-    let mut host_of: HashMap<usize, &str> = HashMap::new();
-    // Busy intervals per host, kept sorted by start.
-    let mut busy: HashMap<&str, Vec<(f64, f64)>> = HashMap::new();
+    let mut host_of: Vec<u32> = vec![NO_HOST; n];
+    // Busy intervals per host (arena id), kept sorted by start.
+    let mut busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); arena.len()];
 
     for task in order {
         let mut best: Option<(&Option_<'_>, f64, f64)> = None; // (opt, start, finish)
@@ -527,14 +564,14 @@ pub fn heft_insertion_schedule_cached(
             let mut ready = 0.0f64;
             for e in edge_idx.in_edges(afg, task) {
                 let ps = site_of[e.from.index()].expect("parents placed first");
-                let same = host_of.get(&e.from.index()).is_some_and(|h| *h == opt.host.host_name);
+                let same = host_of[e.from.index()] == opt.host_id;
                 let xfer =
                     if same { 0.0 } else { xfer_cache.transfer_time(ps, opt.site, e.data_size) };
                 ready = ready.max(finish[e.from.index()] + xfer);
             }
             // Insertion: earliest gap on the host that fits.
             let dur = opt.predicted;
-            let slots = busy.entry(opt.host.host_name.as_str()).or_default();
+            let slots = &busy[opt.host_id as usize];
             let mut start = ready;
             for &(b0, b1) in slots.iter() {
                 if start + dur <= b0 {
@@ -548,10 +585,11 @@ pub fn heft_insertion_schedule_cached(
             }
         }
         let (opt, start, eft) = best.ok_or_else(|| no_feasible(afg, task))?;
+        debug_assert_eq!(host_of[task.index()], NO_HOST, "task {task} placed twice");
         finish[task.index()] = eft;
         site_of[task.index()] = Some(opt.site);
-        host_of.insert(task.index(), opt.host.host_name.as_str());
-        let slots = busy.entry(opt.host.host_name.as_str()).or_default();
+        host_of[task.index()] = opt.host_id;
+        let slots = &mut busy[opt.host_id as usize];
         let pos = slots
             .binary_search_by(|(s, _)| s.partial_cmp(&start).unwrap_or(std::cmp::Ordering::Equal))
             .unwrap_or_else(|p| p);
@@ -673,6 +711,43 @@ mod tests {
             NetworkModel::with_defaults(2),
             Predictor::default(),
         )
+    }
+
+    /// Diamond DAG: src fans out to two Sorts that join in a
+    /// Matrix_Multiplication.
+    fn diamond_afg() -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("diamond", &lib);
+        let src = b.add_task("Source", "src", 10_000).unwrap();
+        let a = b.add_task("Sort", "a", 200_000).unwrap();
+        let c = b.add_task("Sort", "c", 250_000).unwrap();
+        let join = b.add_task("Matrix_Multiplication", "join", 300).unwrap();
+        b.connect(src, 0, a, 0).unwrap();
+        b.connect(src, 0, c, 0).unwrap();
+        b.connect(a, 0, join, 0).unwrap();
+        b.connect(c, 0, join, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Regression for the duplicate ready-push hazard: a join task with
+    /// several parents must become ready exactly once and be placed
+    /// exactly once. The `debug_assert`s in the placement loops fire on
+    /// a double push or double placement; the completeness check below
+    /// catches a silently dropped or overwritten placement.
+    #[test]
+    fn diamond_join_is_placed_exactly_once() {
+        let (_, local, remote, net, p) = setup();
+        let afg = diamond_afg();
+        let views = [&local, &remote];
+        for table in [
+            min_min_schedule(&afg, &views, &net, &p).unwrap(),
+            max_min_schedule(&afg, &views, &net, &p).unwrap(),
+            heft_schedule(&afg, &views, &net, &p).unwrap(),
+            heft_insertion_schedule(&afg, &views, &net, &p).unwrap(),
+        ] {
+            assert!(table.is_complete_for(&afg));
+            assert_eq!(table.len(), afg.task_count());
+        }
     }
 
     #[test]

@@ -29,8 +29,9 @@
 use crate::view::SiteView;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use vdce_afg::{Afg, ComputationMode, TaskId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use vdce_afg::{Afg, ComputationMode, MachineType, TaskId};
 use vdce_net::topology::SiteId;
 use vdce_predict::cache::PredictCache;
 use vdce_predict::model::Predictor;
@@ -41,8 +42,12 @@ use vdce_repository::resources::ResourceRecord;
 /// prediction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskHostChoice {
-    /// Chosen hosts (singleton for sequential tasks).
-    pub hosts: Vec<String>,
+    /// Chosen hosts (singleton for sequential tasks). Shared, immutable:
+    /// a choice flows from host selection into allocation-table
+    /// placements (often for thousands of tasks of the same class), and
+    /// sharing the host list makes that flow a pointer copy instead of
+    /// a string-vector clone per task.
+    pub hosts: Arc<[String]>,
     /// Predicted execution seconds on that choice.
     pub predicted_seconds: f64,
 }
@@ -55,13 +60,19 @@ pub struct HostSelectionOutput {
     /// The answering site.
     pub site: SiteId,
     /// Best choice per task; tasks infeasible at this site are absent.
-    pub choices: BTreeMap<TaskId, TaskHostChoice>,
+    ///
+    /// Choices are reference-counted so the class-batched path can hand
+    /// one decision to every member of a task class without copying host
+    /// strings, and so cloning an output (e.g. to absorb a monitor event
+    /// incrementally) is O(tasks) pointer bumps. Shared, not mutable:
+    /// replace an entry to change it.
+    pub choices: BTreeMap<TaskId, Arc<TaskHostChoice>>,
 }
 
 impl HostSelectionOutput {
     /// Best choice for `task` at this site, if feasible.
     pub fn choice(&self, task: TaskId) -> Option<&TaskHostChoice> {
-        self.choices.get(&task)
+        self.choices.get(&task).map(Arc::as_ref)
     }
 }
 
@@ -143,58 +154,171 @@ pub fn host_selection_cached(
     // Collect the site's candidate resource set R once (step 2).
     let all_hosts: Vec<&ResourceRecord> = view.resources.iter().collect();
 
-    let pick = |task: TaskId| -> Option<(TaskId, TaskHostChoice)> {
-        let node = afg.task(task);
-        let candidates: Vec<&ResourceRecord> =
-            all_hosts.iter().copied().filter(|h| eligible(view, afg, task, h)).collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        let requested = match node.props.mode {
-            ComputationMode::Sequential => 1,
-            ComputationMode::Parallel => node.props.effective_nodes(),
-        };
-        let selected = if sequential {
-            best_node_count(
-                predictor,
-                parallel,
-                &view.tasks,
-                &node.library_task,
-                node.problem_size,
-                requested,
-                &candidates,
-            )
-        } else {
-            best_node_count_cached(
-                predictor,
-                parallel,
-                cache,
-                &view.tasks,
-                &node.library_task,
-                node.problem_size,
-                requested,
-                &candidates,
-            )
-        };
-        match selected {
-            Ok((hosts, secs)) => Some((
-                task,
-                TaskHostChoice {
-                    hosts: hosts.iter().map(|h| h.host_name.clone()).collect(),
-                    predicted_seconds: secs,
-                },
-            )),
-            Err(_) => None, // infeasible at this site
-        }
+    let pick = |task: TaskId| -> Option<(TaskId, Arc<TaskHostChoice>)> {
+        pick_choice(view, afg, task, predictor, parallel, sequential, cache, &all_hosts)
+            .map(|c| (task, Arc::new(c)))
     };
 
     let tasks: Vec<TaskId> = afg.task_ids().collect();
-    let picked: Vec<Option<(TaskId, TaskHostChoice)>> = if sequential || tasks.len() < 2 {
+    let picked: Vec<Option<(TaskId, Arc<TaskHostChoice>)>> = if sequential || tasks.len() < 2 {
         tasks.into_iter().map(pick).collect()
     } else {
         tasks.into_par_iter().map(pick).collect()
     };
-    let choices: BTreeMap<TaskId, TaskHostChoice> = picked.into_iter().flatten().collect();
+    let choices: BTreeMap<TaskId, Arc<TaskHostChoice>> = picked.into_iter().flatten().collect();
+    HostSelectionOutput { site: view.site, choices }
+}
+
+/// The per-task argmin of Figure 3, shared by the reference/fan-out path
+/// and the class-batched path.
+#[allow(clippy::too_many_arguments)]
+fn pick_choice(
+    view: &SiteView,
+    afg: &Afg,
+    task: TaskId,
+    predictor: &Predictor,
+    parallel: &ParallelModel,
+    sequential: bool,
+    cache: &PredictCache,
+    all_hosts: &[&ResourceRecord],
+) -> Option<TaskHostChoice> {
+    let node = afg.task(task);
+    let candidates: Vec<&ResourceRecord> =
+        all_hosts.iter().copied().filter(|h| eligible(view, afg, task, h)).collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let requested = match node.props.mode {
+        ComputationMode::Sequential => 1,
+        ComputationMode::Parallel => node.props.effective_nodes(),
+    };
+    let selected = if sequential {
+        best_node_count(
+            predictor,
+            parallel,
+            &view.tasks,
+            &node.library_task,
+            node.problem_size,
+            requested,
+            &candidates,
+        )
+    } else {
+        best_node_count_cached(
+            predictor,
+            parallel,
+            cache,
+            &view.tasks,
+            &node.library_task,
+            node.problem_size,
+            requested,
+            &candidates,
+        )
+    };
+    match selected {
+        Ok((hosts, secs)) => Some(TaskHostChoice {
+            hosts: hosts.iter().map(|h| h.host_name.clone()).collect(),
+            predicted_seconds: secs,
+        }),
+        Err(_) => None, // infeasible at this site
+    }
+}
+
+/// Everything the Figure 3 argmin for one task depends on besides the
+/// frozen view: two tasks with equal keys see identical candidate sets
+/// and identical predictions, hence make identical choices.
+///
+/// - `library_task` + `problem_size` determine the prediction and the
+///   constraints-database rows;
+/// - `requested` (the effective node count, 1 for sequential) determines
+///   the parallel search space;
+/// - `machine_type` and `preferred_host` determine the eligibility
+///   filter (the remaining filters depend only on the host and the
+///   library task).
+#[derive(PartialEq, Eq, Hash)]
+struct ClassKey<'a> {
+    library_task: &'a str,
+    problem_size: u64,
+    requested: u32,
+    machine_type: MachineType,
+    preferred_host: Option<&'a str>,
+}
+
+impl<'a> ClassKey<'a> {
+    fn of(afg: &'a Afg, task: TaskId) -> Self {
+        let node = afg.task(task);
+        ClassKey {
+            library_task: &node.library_task,
+            problem_size: node.problem_size,
+            requested: match node.props.mode {
+                ComputationMode::Sequential => 1,
+                ComputationMode::Parallel => node.props.effective_nodes(),
+            },
+            machine_type: node.props.machine_type,
+            preferred_host: node.props.preferred_host.as_deref(),
+        }
+    }
+}
+
+/// [`host_selection_cached`] (fan-out flavour) that evaluates the argmin
+/// **once per task class** instead of once per task.
+///
+/// Big AFGs are built from a small task library, so a 100k-task graph
+/// typically has a few hundred distinct [`ClassKey`]s; every other task
+/// is a clone of one of them. The class representative's choice is
+/// computed by the exact same [`pick_choice`] the per-task path runs,
+/// then cloned onto the rest of the class — bit-identical by
+/// construction. Classes fan out across worker threads when there are
+/// at least two.
+pub fn host_selection_classed(
+    view: &SiteView,
+    afg: &Afg,
+    predictor: &Predictor,
+    parallel: &ParallelModel,
+    cache: &PredictCache,
+) -> HostSelectionOutput {
+    let all_hosts: Vec<&ResourceRecord> = view.resources.iter().collect();
+
+    // Group tasks by class, preserving first-seen (task id) order.
+    let mut classes: Vec<Vec<TaskId>> = Vec::new();
+    let mut index: HashMap<ClassKey<'_>, usize> = HashMap::new();
+    for task in afg.task_ids() {
+        let key = ClassKey::of(afg, task);
+        match index.get(&key) {
+            Some(&i) => classes[i].push(task),
+            None => {
+                index.insert(key, classes.len());
+                classes.push(vec![task]);
+            }
+        }
+    }
+
+    let pick = |members: &Vec<TaskId>| -> Option<Arc<TaskHostChoice>> {
+        pick_choice(view, afg, members[0], predictor, parallel, false, cache, &all_hosts)
+            .map(Arc::new)
+    };
+    let picked: Vec<Option<Arc<TaskHostChoice>>> = if classes.len() < 2 {
+        classes.iter().map(pick).collect()
+    } else {
+        classes.par_iter().map(pick).collect()
+    };
+
+    // Scatter each class decision onto its members: one shared
+    // allocation per class, a pointer bump per task. The dense scratch
+    // restores ascending task order so the map is bulk-built from a
+    // sorted stream instead of point-inserted.
+    let mut by_task: Vec<Option<&Arc<TaskHostChoice>>> = vec![None; afg.task_count()];
+    for (members, choice) in classes.iter().zip(&picked) {
+        if let Some(c) = choice {
+            for &t in members {
+                by_task[t.index()] = Some(c);
+            }
+        }
+    }
+    let choices: BTreeMap<TaskId, Arc<TaskHostChoice>> = by_task
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.map(|c| (TaskId(i as u32), Arc::clone(c))))
+        .collect();
     HostSelectionOutput { site: view.site, choices }
 }
 
@@ -241,7 +365,7 @@ mod tests {
         let afg = two_task_afg();
         let out = run(&view, &afg);
         for t in afg.task_ids() {
-            assert_eq!(out.choice(t).unwrap().hosts, vec!["fast".to_string()]);
+            assert_eq!(out.choice(t).unwrap().hosts.to_vec(), vec!["fast".to_string()]);
         }
     }
 
@@ -259,7 +383,10 @@ mod tests {
         let afg = two_task_afg();
         let out = run(&view, &afg);
         // fast host: rate/2 × (1+3) = 2×; idle host: rate/1.5 ≈ 0.67× → idle wins.
-        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["slow_but_idle".to_string()]);
+        assert_eq!(
+            out.choice(TaskId(0)).unwrap().hosts.to_vec(),
+            vec!["slow_but_idle".to_string()]
+        );
     }
 
     #[test]
@@ -272,7 +399,7 @@ mod tests {
         });
         let view = SiteView::capture(SiteId(0), &repo);
         let out = run(&view, &two_task_afg());
-        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["alive".to_string()]);
+        assert_eq!(out.choice(TaskId(0)).unwrap().hosts.to_vec(), vec!["alive".to_string()]);
     }
 
     #[test]
@@ -290,9 +417,9 @@ mod tests {
             record("sun_slow", MachineType::SunSolaris, 1.0),
         ]);
         let out = run(&view, &afg);
-        assert_eq!(out.choice(t).unwrap().hosts, vec!["sun_slow".to_string()]);
+        assert_eq!(out.choice(t).unwrap().hosts.to_vec(), vec!["sun_slow".to_string()]);
         // The unconstrained sink still picks the fast Linux box.
-        assert_eq!(out.choice(k).unwrap().hosts, vec!["linux_fast".to_string()]);
+        assert_eq!(out.choice(k).unwrap().hosts.to_vec(), vec!["linux_fast".to_string()]);
     }
 
     #[test]
@@ -309,7 +436,7 @@ mod tests {
             record("pin_me", MachineType::LinuxPc, 1.0),
         ]);
         let out = run(&view, &afg);
-        assert_eq!(out.choice(t).unwrap().hosts, vec!["pin_me".to_string()]);
+        assert_eq!(out.choice(t).unwrap().hosts.to_vec(), vec!["pin_me".to_string()]);
     }
 
     #[test]
@@ -341,8 +468,8 @@ mod tests {
         });
         let view = SiteView::capture(SiteId(0), &repo);
         let out = run(&view, &two_task_afg());
-        assert_eq!(out.choice(TaskId(0)).unwrap().hosts, vec!["has_it".to_string()]);
-        assert_eq!(out.choice(TaskId(1)).unwrap().hosts, vec!["lacks_it".to_string()]);
+        assert_eq!(out.choice(TaskId(0)).unwrap().hosts.to_vec(), vec!["has_it".to_string()]);
+        assert_eq!(out.choice(TaskId(1)).unwrap().hosts.to_vec(), vec!["lacks_it".to_string()]);
     }
 
     #[test]
@@ -398,6 +525,52 @@ mod tests {
             let f = &fanned.choices[t];
             assert_eq!(c.predicted_seconds.to_bits(), f.predicted_seconds.to_bits());
         }
+    }
+
+    /// The class-batched path must reproduce the per-task path
+    /// bit-for-bit on a graph with repeated classes, a pinned task, a
+    /// machine-type-filtered task, and an infeasible task.
+    #[test]
+    fn classed_selection_matches_per_task_bit_for_bit() {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("classy", &lib);
+        let src = b.add_task("Source", "src", 5000).unwrap();
+        let mut prev = src;
+        // Three identical Sorts (one class), two of a different size.
+        for (i, size) in [(0u32, 9000u64), (1, 9000), (2, 9000), (3, 4000), (4, 4000)] {
+            let s = b.add_task("Sort", &format!("s{i}"), size).unwrap();
+            b.connect(prev, 0, s, 0).unwrap();
+            prev = s;
+        }
+        let pinned = b.add_task("Sort", "pinned", 9000).unwrap();
+        b.set_preferred_host(pinned, "h2").unwrap();
+        b.connect(prev, 0, pinned, 0).unwrap();
+        let sun = b.add_task("Sort", "sun", 9000).unwrap();
+        b.set_machine_type(sun, MachineType::SunSolaris).unwrap();
+        b.connect(pinned, 0, sun, 0).unwrap();
+        let lost = b.add_task("Sort", "lost", 9000).unwrap();
+        b.set_preferred_host(lost, "no_such_host").unwrap();
+        b.connect(sun, 0, lost, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let mut hosts: Vec<ResourceRecord> = (0..4)
+            .map(|i| record(&format!("h{i}"), MachineType::LinuxPc, 1.0 + 0.5 * i as f64))
+            .collect();
+        hosts.push(record("sun0", MachineType::SunSolaris, 2.0));
+        let view = view_with(hosts);
+
+        let p = Predictor::default();
+        let pm = ParallelModel::default();
+        let per_task = host_selection_cached(&view, &afg, &p, &pm, false, &PredictCache::new());
+        let classed = host_selection_classed(&view, &afg, &p, &pm, &PredictCache::new());
+        assert_eq!(per_task, classed);
+        assert!(classed.choice(lost).is_none());
+        for (t, c) in &per_task.choices {
+            let cc = &classed.choices[t];
+            assert_eq!(c.predicted_seconds.to_bits(), cc.predicted_seconds.to_bits());
+        }
+        // The three same-size Sorts really are one class.
+        assert_eq!(classed.choices[&TaskId(1)], classed.choices[&TaskId(3)]);
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! O(changed) incremental rescheduling.
+//!
+//! A monitor event (host crash, load spike, measurement update) changes
+//! one site's host-selection output; the seed response was to re-run the
+//! whole Figure 2 walk over all 100k tasks. This module re-places only
+//! the *affected set* and is property-tested bit-identical to that full
+//! re-walk (`tests/prop_incremental.rs`).
+//!
+//! ## Why re-placement order does not matter
+//!
+//! In [`crate::site_scheduler`]'s walk **without** `spread_critical`,
+//! the decision for a task depends only on (a) the per-site
+//! [`TaskHostChoice`]s for that task and (b) its parents' chosen
+//! *sites* (the transfer term). Level priorities order the walk but
+//! never enter any decision, so *any* topological re-placement order
+//! yields the same table as the level-order walk — decision by
+//! decision, through the shared
+//! [`choose_site_for_task`](crate::site_scheduler) argmin. That
+//! order-independence is the invariant the incremental path rests on,
+//! and why it refuses `spread_critical` (whose accumulated
+//! critical-host set makes decisions order-*dependent*).
+//!
+//! ## Dirty propagation
+//!
+//! A task is dirty when its own choices changed (diff of old vs new
+//! outputs) or a parent's chosen **site** changed. Tasks are
+//! re-decided in topological order via a min-heap on topo position;
+//! a child is enqueued only when its parent's site actually moved, so
+//! an event whose effects dampen out touches O(changed) tasks, not
+//! O(n).
+
+use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::host_selection::{HostSelectionOutput, TaskHostChoice};
+use crate::site_scheduler::{choose_site_for_task, SchedulingError};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use vdce_afg::{Afg, EdgeIndex, TaskId};
+use vdce_net::cache::TransferCache;
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+
+/// What one [`IncrementalSchedule::apply`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReschedulingDelta {
+    /// Tasks whose own host-selection choices changed (the seeds).
+    pub dirty: usize,
+    /// Tasks re-decided (seeds plus children reached by propagation).
+    pub replaced: usize,
+    /// Re-decided tasks whose placement actually changed.
+    pub moved: usize,
+}
+
+/// A schedule that can absorb host-selection deltas in O(changed).
+///
+/// Build one with [`IncrementalSchedule::new`] from the collected
+/// host-selection outputs (the same inputs
+/// [`crate::site_scheduler::schedule_with_outputs`] takes, minus the
+/// levels — see the module docs for why levels don't matter), then feed
+/// it updated outputs with [`apply`](IncrementalSchedule::apply) after
+/// each monitor event.
+///
+/// If `apply` returns an error (a task became infeasible everywhere),
+/// the internal state is **poisoned** — partially updated — and the
+/// schedule must be rebuilt with `new` from scratch.
+#[derive(Debug, Clone)]
+pub struct IncrementalSchedule {
+    local_site: SiteId,
+    ignore_transfer_time: bool,
+    xfer: TransferCache,
+    idx: EdgeIndex,
+    topo_pos: Vec<u32>,
+    site_of: Vec<SiteId>,
+    outputs: Vec<HostSelectionOutput>,
+    table: AllocationTable,
+}
+
+/// Same placement content? `to_bits` on the prediction so a `-0.0`/NaN
+/// quirk can never make "changed" and "unchanged" disagree with the
+/// bit-identity contract. The pointer fast path covers the common
+/// monitor-event shape: only the event site's output is recomputed, so
+/// every other site's choices are the same shared allocations.
+fn choice_eq(a: &Arc<TaskHostChoice>, b: &Arc<TaskHostChoice>) -> bool {
+    Arc::ptr_eq(a, b)
+        || (a.hosts == b.hosts && a.predicted_seconds.to_bits() == b.predicted_seconds.to_bits())
+}
+
+/// Push `t` unless already queued (dedup bitvec; never reset — a popped
+/// task can only be re-reached from a parent, which pops earlier).
+fn enqueue(
+    topo_pos: &[u32],
+    heap: &mut BinaryHeap<Reverse<(u32, TaskId)>>,
+    queued: &mut [bool],
+    t: TaskId,
+) {
+    if !queued[t.index()] {
+        queued[t.index()] = true;
+        heap.push(Reverse((topo_pos[t.index()], t)));
+    }
+}
+
+/// Dense per-site choice index, as in the full walk.
+fn per_site_index(
+    outputs: &[HostSelectionOutput],
+    n: usize,
+) -> Vec<(SiteId, Vec<Option<&TaskHostChoice>>)> {
+    outputs
+        .iter()
+        .map(|out| {
+            let mut by_task: Vec<Option<&TaskHostChoice>> = vec![None; n];
+            for (t, c) in &out.choices {
+                by_task[t.index()] = Some(c.as_ref());
+            }
+            (out.site, by_task)
+        })
+        .collect()
+}
+
+impl IncrementalSchedule {
+    /// Place every task of `afg` from `outputs` (topological order;
+    /// bit-identical to the level-order walk, see the module docs).
+    ///
+    /// `outputs` must be in the same site order the site scheduler uses
+    /// (local first); `apply` requires the same order again.
+    pub fn new(
+        afg: &Afg,
+        local_site: SiteId,
+        outputs: Vec<HostSelectionOutput>,
+        net: &NetworkModel,
+        ignore_transfer_time: bool,
+    ) -> Result<Self, SchedulingError> {
+        let idx = afg.edge_index();
+        let order = afg.topo_order_with(&idx).ok_or(SchedulingError::Cyclic)?;
+        let n = afg.task_count();
+        let mut topo_pos = vec![0u32; n];
+        for (i, t) in order.iter().enumerate() {
+            topo_pos[t.index()] = i as u32;
+        }
+
+        let xfer = TransferCache::new(net);
+        let per_site = per_site_index(&outputs, n);
+
+        let mut table = AllocationTable::new(afg.name.clone());
+        // Entry value never read: every task is decided before any child
+        // reads it (topological order).
+        let mut site_of = vec![SiteId(0); n];
+        let mut parents: Vec<(SiteId, u64)> = Vec::new();
+        for &task in &order {
+            parents.clear();
+            if !ignore_transfer_time {
+                for e in idx.in_edges(afg, task) {
+                    parents.push((site_of[e.from.index()], e.data_size));
+                }
+            }
+            let best = choose_site_for_task(
+                task,
+                &per_site,
+                &parents,
+                local_site,
+                &mut |a, b, bytes| xfer.transfer_time(a, b, bytes),
+                None,
+            );
+            let node = afg.task(task);
+            let (site, choice, _) = best
+                .ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+            site_of[task.index()] = site;
+            table.insert(TaskPlacement {
+                task,
+                task_name: node.name.clone(),
+                site,
+                hosts: choice.hosts.clone(),
+                predicted_seconds: choice.predicted_seconds,
+            });
+        }
+
+        Ok(IncrementalSchedule {
+            local_site,
+            ignore_transfer_time,
+            xfer,
+            idx,
+            topo_pos,
+            site_of,
+            outputs,
+            table,
+        })
+    }
+
+    /// The current allocation table.
+    pub fn table(&self) -> &AllocationTable {
+        &self.table
+    }
+
+    /// The current chosen site per task.
+    pub fn site_of(&self, task: TaskId) -> SiteId {
+        self.site_of[task.index()]
+    }
+
+    /// Absorb updated host-selection outputs, re-deciding only the
+    /// affected tasks. `new_outputs` must cover the same sites in the
+    /// same order as construction (a changed federation means a changed
+    /// problem — rebuild instead).
+    ///
+    /// Returns how much work the delta caused. On error the schedule is
+    /// poisoned (see the type docs).
+    pub fn apply(
+        &mut self,
+        afg: &Afg,
+        new_outputs: Vec<HostSelectionOutput>,
+    ) -> Result<ReschedulingDelta, SchedulingError> {
+        assert_eq!(
+            self.outputs.iter().map(|o| o.site).collect::<Vec<_>>(),
+            new_outputs.iter().map(|o| o.site).collect::<Vec<_>>(),
+            "apply requires the same sites in the same order as construction"
+        );
+        let n = afg.task_count();
+
+        // Seed the dirty set: tasks whose own choice changed at any site.
+        // Both choice maps are ordered by task id, so a linear merge walk
+        // diffs them in O(n) instead of O(n log n) point lookups.
+        let mut heap: BinaryHeap<Reverse<(u32, TaskId)>> = BinaryHeap::new();
+        let mut queued = vec![false; n];
+        for (old, new) in self.outputs.iter().zip(&new_outputs) {
+            let mut a = old.choices.iter().peekable();
+            let mut b = new.choices.iter().peekable();
+            loop {
+                let changed = match (a.peek(), b.peek()) {
+                    (Some(&(&ta, ca)), Some(&(&tb, cb))) => match ta.cmp(&tb) {
+                        Ordering::Equal => {
+                            let hit = (!choice_eq(ca, cb)).then_some(ta);
+                            a.next();
+                            b.next();
+                            hit
+                        }
+                        Ordering::Less => {
+                            a.next();
+                            Some(ta)
+                        }
+                        Ordering::Greater => {
+                            b.next();
+                            Some(tb)
+                        }
+                    },
+                    (Some(&(&ta, _)), None) => {
+                        a.next();
+                        Some(ta)
+                    }
+                    (None, Some(&(&tb, _))) => {
+                        b.next();
+                        Some(tb)
+                    }
+                    (None, None) => break,
+                };
+                if let Some(task) = changed {
+                    enqueue(&self.topo_pos, &mut heap, &mut queued, task);
+                }
+            }
+        }
+        let dirty = heap.len();
+
+        let per_site = per_site_index(&new_outputs, n);
+        let mut parents: Vec<(SiteId, u64)> = Vec::new();
+        let mut replaced = 0usize;
+        let mut moved = 0usize;
+        // Topo-order pops: every parent of a popped task — dirty or not —
+        // already carries its final site in `site_of`.
+        while let Some(Reverse((_, task))) = heap.pop() {
+            replaced += 1;
+            parents.clear();
+            if !self.ignore_transfer_time {
+                for e in self.idx.in_edges(afg, task) {
+                    parents.push((self.site_of[e.from.index()], e.data_size));
+                }
+            }
+            let xfer = &self.xfer;
+            let best = choose_site_for_task(
+                task,
+                &per_site,
+                &parents,
+                self.local_site,
+                &mut |a, b, bytes| xfer.transfer_time(a, b, bytes),
+                None,
+            );
+            let node = afg.task(task);
+            let (site, choice, _) = best
+                .ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+
+            let site_changed = self.site_of[task.index()] != site;
+            let prev = self.table.placement(task).expect("constructed complete");
+            if site_changed
+                || prev.hosts != choice.hosts
+                || prev.predicted_seconds.to_bits() != choice.predicted_seconds.to_bits()
+            {
+                moved += 1;
+                self.site_of[task.index()] = site;
+                self.table.insert(TaskPlacement {
+                    task,
+                    task_name: node.name.clone(),
+                    site,
+                    hosts: choice.hosts.clone(),
+                    predicted_seconds: choice.predicted_seconds,
+                });
+            }
+            // A child's decision reads only this task's *site*; its own
+            // choices were diffed in the seeding pass.
+            if site_changed && !self.ignore_transfer_time {
+                for e in self.idx.out_edges(afg, task) {
+                    enqueue(&self.topo_pos, &mut heap, &mut queued, e.to);
+                }
+            }
+        }
+
+        self.outputs = new_outputs;
+        Ok(ReschedulingDelta { dirty, replaced, moved })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_selection::host_selection;
+    use crate::site_scheduler::schedule_with_outputs;
+    use crate::view::SiteView;
+    use vdce_afg::level::level_map;
+    use vdce_afg::{AfgBuilder, MachineType, TaskLibrary};
+    use vdce_predict::model::Predictor;
+    use vdce_predict::parallel::ParallelModel;
+    use vdce_repository::resources::{HostStatus, ResourceRecord};
+    use vdce_repository::SiteRepository;
+
+    fn repo(hosts: &[(&str, f64)]) -> SiteRepository {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for (name, speed) in hosts {
+                db.upsert(ResourceRecord::new(
+                    *name,
+                    "10.0.0.1",
+                    MachineType::LinuxPc,
+                    *speed,
+                    1,
+                    1 << 30,
+                    "g0",
+                ));
+            }
+        });
+        repo
+    }
+
+    fn chain_afg(n: u64) -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("chain", &lib);
+        let s = b.add_task("Source", "src", n).unwrap();
+        let m = b.add_task("Sort", "sort", n).unwrap();
+        let k = b.add_task("Sink", "snk", n).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn outputs_for(views: &[&SiteView], afg: &Afg) -> Vec<HostSelectionOutput> {
+        views
+            .iter()
+            .map(|v| host_selection(v, afg, &Predictor::default(), &ParallelModel::default()))
+            .collect()
+    }
+
+    #[test]
+    fn construction_matches_the_full_walk_bitwise() {
+        let afg = chain_afg(100_000);
+        let r0 = repo(&[("l0", 1.0), ("l1", 2.5)]);
+        let r1 = repo(&[("r0", 3.0), ("r1", 0.5)]);
+        let v0 = SiteView::capture(SiteId(0), &r0);
+        let v1 = SiteView::capture(SiteId(1), &r1);
+        let net = NetworkModel::with_defaults(2);
+        let outputs = outputs_for(&[&v0, &v1], &afg);
+
+        let levels =
+            level_map(&afg, |t| v0.tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+                .unwrap();
+        let full = schedule_with_outputs(&afg, &levels, SiteId(0), &outputs, &net).unwrap();
+
+        let inc = IncrementalSchedule::new(&afg, SiteId(0), outputs, &net, false).unwrap();
+        assert_eq!(*inc.table(), full);
+        for (a, b) in inc.table().iter().zip(full.iter()) {
+            assert_eq!(a.predicted_seconds.to_bits(), b.predicted_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn unchanged_outputs_touch_nothing() {
+        let afg = chain_afg(50_000);
+        let r0 = repo(&[("l0", 1.0)]);
+        let r1 = repo(&[("r0", 3.0)]);
+        let v0 = SiteView::capture(SiteId(0), &r0);
+        let v1 = SiteView::capture(SiteId(1), &r1);
+        let net = NetworkModel::with_defaults(2);
+        let outputs = outputs_for(&[&v0, &v1], &afg);
+        let mut inc =
+            IncrementalSchedule::new(&afg, SiteId(0), outputs.clone(), &net, false).unwrap();
+        let delta = inc.apply(&afg, outputs).unwrap();
+        assert_eq!(delta, ReschedulingDelta::default());
+    }
+
+    #[test]
+    fn host_crash_replaces_only_the_affected_set_and_matches_full_rewalk() {
+        let afg = chain_afg(100_000);
+        let r0 = repo(&[("l0", 1.0), ("l1", 2.5)]);
+        let r1 = repo(&[("r0", 3.0), ("r1", 0.5)]);
+        let v0 = SiteView::capture(SiteId(0), &r0);
+        let v1 = SiteView::capture(SiteId(1), &r1);
+        let net = NetworkModel::with_defaults(2);
+        let outputs = outputs_for(&[&v0, &v1], &afg);
+        let mut inc = IncrementalSchedule::new(&afg, SiteId(0), outputs, &net, false).unwrap();
+
+        // Monitor event: the fast remote host dies; site 1 reselects.
+        r1.resources_mut(|db| db.set_status("r0", HostStatus::Down));
+        let v1b = SiteView::capture(SiteId(1), &r1);
+        let new_outputs = outputs_for(&[&v0, &v1b], &afg);
+        let delta = inc.apply(&afg, new_outputs.clone()).unwrap();
+        assert!(delta.replaced <= afg.task_count());
+        assert!(delta.dirty > 0, "killing the chosen host must dirty something");
+
+        let levels =
+            level_map(&afg, |t| v0.tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+                .unwrap();
+        let full = schedule_with_outputs(&afg, &levels, SiteId(0), &new_outputs, &net).unwrap();
+        assert_eq!(*inc.table(), full);
+        for (a, b) in inc.table().iter().zip(full.iter()) {
+            assert_eq!(a.predicted_seconds.to_bits(), b.predicted_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn apply_rejects_reordered_sites() {
+        let afg = chain_afg(1000);
+        let r0 = repo(&[("l0", 1.0)]);
+        let r1 = repo(&[("r0", 3.0)]);
+        let v0 = SiteView::capture(SiteId(0), &r0);
+        let v1 = SiteView::capture(SiteId(1), &r1);
+        let net = NetworkModel::with_defaults(2);
+        let outputs = outputs_for(&[&v0, &v1], &afg);
+        let swapped = outputs_for(&[&v1, &v0], &afg);
+        let mut inc = IncrementalSchedule::new(&afg, SiteId(0), outputs, &net, false).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = inc.apply(&afg, swapped);
+        }));
+        assert!(r.is_err(), "site order mismatch must be rejected");
+    }
+}

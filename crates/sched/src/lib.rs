@@ -26,24 +26,31 @@
 //! simulation / evaluation), [`baselines`] (random, round-robin, min-min,
 //! max-min, local-only and HEFT comparators for the benchmarks),
 //! [`federation`] (the multicast protocol over the inter-site message
-//! bus), and [`reselect`] (single-task re-selection for mid-execution
-//! recovery — the scheduler side of a rescheduling request).
+//! bus), [`reselect`] (single-task re-selection for mid-execution
+//! recovery — the scheduler side of a rescheduling request), and
+//! [`incremental`] (O(changed) re-placement after monitor events,
+//! bit-identical to a full re-walk).
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allocation;
+mod arena;
 pub mod baselines;
 pub mod federation;
 pub mod host_selection;
+pub mod incremental;
 pub mod makespan;
 pub mod reselect;
 pub mod site_scheduler;
 pub mod view;
 
 pub use allocation::{AllocationTable, TaskPlacement};
-pub use host_selection::{host_selection, HostSelectionOutput, TaskHostChoice};
+pub use host_selection::{
+    host_selection, host_selection_classed, HostSelectionOutput, TaskHostChoice,
+};
+pub use incremental::{IncrementalSchedule, ReschedulingDelta};
 pub use makespan::{evaluate, Schedule, TimedTask};
 pub use reselect::reselect_task;
 pub use site_scheduler::{

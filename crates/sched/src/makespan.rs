@@ -17,7 +17,8 @@
 //! - **duration**: the placement's predicted execution time.
 
 use crate::allocation::AllocationTable;
-use std::collections::HashMap;
+use crate::arena::{HostArena, ReadyKey};
+use std::collections::BinaryHeap;
 use std::fmt;
 use vdce_afg::level::LevelError;
 use vdce_afg::{Afg, TaskId};
@@ -99,6 +100,16 @@ impl From<LevelError> for EvalError {
 
 /// Simulate `table` for `afg` under `net`. `levels` orders contending
 /// ready tasks (highest first) — pass the same levels the scheduler used.
+///
+/// The walk runs on flat struct-of-arrays state: placements are
+/// pre-resolved from the table into per-task site/duration arrays and a
+/// CSR slice of interned host ids, host-free times live in a dense
+/// `Vec<f64>` indexed by host id, and the ready set is an indexed
+/// max-heap whose pop order provably matches the former linear scan
+/// (highest level first, ties by ascending task id). Per pick that
+/// turns two `BTreeMap` probes, a borrowed-str hash probe per host and
+/// an `O(ready)` scan into array indexing plus an `O(log ready)` heap
+/// pop, without changing a single float.
 pub fn evaluate(
     afg: &Afg,
     table: &AllocationTable,
@@ -115,59 +126,79 @@ pub fn evaluate(
         return Err(EvalError::Cyclic);
     }
 
+    // Resolve the table once into SoA arenas: per-task site + duration,
+    // and the assigned hosts as a CSR slice of interned ids (tasks are
+    // visited in id order, so interning order — and everything indexed
+    // by it — is deterministic).
+    let mut arena = HostArena::new();
+    let mut site_arr: Vec<SiteId> = Vec::with_capacity(n);
+    let mut secs_arr: Vec<f64> = Vec::with_capacity(n);
+    let mut host_off: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut host_ids: Vec<u32> = Vec::new();
+    host_off.push(0);
+    for t in afg.task_ids() {
+        let p = table.placement(t).expect("checked above");
+        site_arr.push(p.site);
+        secs_arr.push(p.predicted_seconds);
+        for h in p.hosts.iter() {
+            host_ids.push(arena.intern(h));
+        }
+        host_off.push(host_ids.len() as u32);
+    }
+    let hosts_of =
+        |t: TaskId| &host_ids[host_off[t.index()] as usize..host_off[t.index() + 1] as usize];
+
     let mut finish = vec![0.0f64; n];
     let mut timed: Vec<Option<TimedTask>> = vec![None; n];
-    let mut host_free: HashMap<&str, f64> = HashMap::new();
+    let mut host_free = vec![0.0f64; arena.len()];
 
     let edge_idx = afg.edge_index();
     let mut remaining = afg.in_degrees();
-    let mut ready: Vec<TaskId> = afg.entry_nodes();
+    let mut ready: BinaryHeap<ReadyKey> = afg
+        .entry_nodes()
+        .into_iter()
+        .map(|t| ReadyKey { level: levels[t.index()], task: t })
+        .collect();
 
-    while !ready.is_empty() {
-        let (pos, _) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                levels[a.index()]
-                    .partial_cmp(&levels[b.index()])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(a))
-            })
-            .expect("ready not empty");
-        let task = ready.swap_remove(pos);
-        let p = table.placement(task).expect("checked above");
+    while let Some(ReadyKey { task, .. }) = ready.pop() {
+        debug_assert!(timed[task.index()].is_none(), "task {task} simulated twice");
+        let my_hosts = hosts_of(task);
+        let my_site = site_arr[task.index()];
 
         // Data-ready time: all inputs arrived.
         let mut data_ready = 0.0f64;
         for e in edge_idx.in_edges(afg, task) {
-            let pp = table.placement(e.from).expect("checked above");
-            let same_host = pp.hosts.iter().any(|h| p.hosts.contains(h));
-            let xfer =
-                if same_host { 0.0 } else { net.transfer_time(pp.site, p.site, e.data_size) };
+            let same_host = hosts_of(e.from).iter().any(|h| my_hosts.contains(h));
+            let xfer = if same_host {
+                0.0
+            } else {
+                net.transfer_time(site_arr[e.from.index()], my_site, e.data_size)
+            };
             data_ready = data_ready.max(finish[e.from.index()] + xfer);
         }
 
         // Host availability: every assigned host must be free.
-        let hosts_ready = p
-            .hosts
-            .iter()
-            .map(|h| host_free.get(h.as_str()).copied().unwrap_or(0.0))
-            .fold(0.0f64, f64::max);
+        let hosts_ready = my_hosts.iter().map(|&h| host_free[h as usize]).fold(0.0f64, f64::max);
 
         let start = data_ready.max(hosts_ready);
-        let end = start + p.predicted_seconds.max(0.0);
+        let end = start + secs_arr[task.index()].max(0.0);
         finish[task.index()] = end;
-        for h in &p.hosts {
-            // Keys borrow from the table, which outlives this map.
-            host_free.insert(h.as_str(), end);
+        for &h in my_hosts {
+            host_free[h as usize] = end;
         }
+        let p = table.placement(task).expect("checked above");
         timed[task.index()] =
-            Some(TimedTask { task, site: p.site, hosts: p.hosts.clone(), start, finish: end });
+            Some(TimedTask { task, site: my_site, hosts: p.hosts.to_vec(), start, finish: end });
 
         for e in edge_idx.out_edges(afg, task) {
+            debug_assert!(
+                remaining[e.to.index()] > 0,
+                "in-degree underflow: task {} readied twice",
+                e.to
+            );
             remaining[e.to.index()] -= 1;
             if remaining[e.to.index()] == 0 {
-                ready.push(e.to);
+                ready.push(ReadyKey { level: levels[e.to.index()], task: e.to });
             }
         }
     }
@@ -204,7 +235,7 @@ mod tests {
                 task: TaskId(i as u32),
                 task_name: afg.task(TaskId(i as u32)).name.clone(),
                 site: SiteId(*site),
-                hosts: vec![host.to_string()],
+                hosts: vec![host.to_string()].into(),
                 predicted_seconds: *secs,
             });
         }
@@ -331,21 +362,21 @@ mod tests {
             task: TaskId(0),
             task_name: "s".into(),
             site: SiteId(0),
-            hosts: vec!["a".into()],
+            hosts: vec!["a".into()].into(),
             predicted_seconds: 1.0,
         });
         table.insert(TaskPlacement {
             task: TaskId(1),
             task_name: "lu".into(),
             site: SiteId(0),
-            hosts: vec!["a".into(), "b".into()],
+            hosts: vec!["a".into(), "b".into()].into(),
             predicted_seconds: 4.0,
         });
         table.insert(TaskPlacement {
             task: TaskId(2),
             task_name: "m".into(),
             site: SiteId(0),
-            hosts: vec!["b".into()],
+            hosts: vec!["b".into()].into(),
             predicted_seconds: 1.0,
         });
         let net = NetworkModel::with_defaults(1);

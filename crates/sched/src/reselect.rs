@@ -147,7 +147,7 @@ mod tests {
         let (site, choice) =
             reselect(&views, &afg, t, &BTreeSet::new(), &PredictCache::new()).unwrap();
         assert_eq!(site, SiteId(1));
-        assert_eq!(choice.hosts, vec!["fast".to_string()]);
+        assert_eq!(choice.hosts.to_vec(), vec!["fast".to_string()]);
     }
 
     #[test]
@@ -156,7 +156,7 @@ mod tests {
         let views = vec![view_with(0, vec![record("fast", 8.0), record("slow", 1.0)])];
         let banned: BTreeSet<String> = ["fast".to_string()].into_iter().collect();
         let (_, choice) = reselect(&views, &afg, t, &banned, &PredictCache::new()).unwrap();
-        assert_eq!(choice.hosts, vec!["slow".to_string()]);
+        assert_eq!(choice.hosts.to_vec(), vec!["slow".to_string()]);
     }
 
     #[test]
@@ -171,7 +171,7 @@ mod tests {
         let views = vec![SiteView::capture(SiteId(0), &repo)];
         let (_, choice) =
             reselect(&views, &afg, t, &BTreeSet::new(), &PredictCache::new()).unwrap();
-        assert_eq!(choice.hosts, vec!["alive".to_string()]);
+        assert_eq!(choice.hosts.to_vec(), vec!["alive".to_string()]);
     }
 
     #[test]

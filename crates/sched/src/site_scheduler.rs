@@ -25,13 +25,15 @@
 //! inter-site message bus in [`crate::federation`].
 
 use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::arena::ReadyKey;
 use crate::host_selection::{
-    host_selection_cached, host_selection_opts, HostSelectionOutput, TaskHostChoice,
+    host_selection_cached, host_selection_classed, host_selection_opts, HostSelectionOutput,
+    TaskHostChoice,
 };
 use crate::view::SiteView;
 use rayon::prelude::*;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 use vdce_afg::level::{level_map, LevelError};
 use vdce_afg::{Afg, TaskId};
@@ -75,6 +77,22 @@ pub struct SchedulerConfig {
     /// Cost tolerance of the spreading decision above; only consulted
     /// when `spread_critical` is on.
     pub spread: SpreadPolicy,
+    /// Run host selection **once per task class** instead of once per
+    /// task on the optimised path
+    /// ([`crate::host_selection::host_selection_classed`]). Big AFGs are
+    /// built from a small task library, so this turns the 100k-task
+    /// selection into a few hundred argmins. Bit-identical to the
+    /// per-task path by construction; only consulted when `sequential`
+    /// is off. Default `true` — set `false` to measure the pre-batching
+    /// path.
+    pub batch_classes: bool,
+    /// Bound on the shared [`PredictCache`]'s entry count. `None` (the
+    /// default) keeps the cache unbounded; `Some(n)` caps it at `n`
+    /// memoised predictions with deterministic FIFO eviction (see the
+    /// cache's type docs for the determinism contract under parallel
+    /// fan-out). Either way the resulting tables are identical — the
+    /// cache memoises a pure function — only predictor work changes.
+    pub predict_cache_capacity: Option<usize>,
 }
 
 /// Tunables of recovery-aware critical-path spreading.
@@ -103,7 +121,17 @@ impl Default for SchedulerConfig {
             sequential: false,
             spread_critical: false,
             spread: SpreadPolicy::default(),
+            batch_classes: true,
+            predict_cache_capacity: None,
         }
+    }
+}
+
+/// The shared predict cache a config asks for.
+fn make_cache(config: &SchedulerConfig) -> PredictCache {
+    match config.predict_cache_capacity {
+        Some(n) => PredictCache::with_capacity(n),
+        None => PredictCache::new(),
     }
 }
 
@@ -170,20 +198,24 @@ pub fn site_schedule(
     // Steps 3–5: host selection at every involved site. The sites'
     // selections are independent (each runs against its own frozen
     // view), so the optimised path fans them out across worker threads —
-    // and, inside each site, across tasks. Outputs are reassembled in
-    // `involved` order, so both paths hand steps 6–7 the same input.
+    // and, inside each site, across tasks or task classes
+    // (`config.batch_classes`). One predict cache is shared across every
+    // site (host names are federation-unique). Outputs are reassembled
+    // in `involved` order, so every path hands steps 6–7 the same input.
+    let cache = make_cache(config);
+    let run_one = |v: &&SiteView| -> HostSelectionOutput {
+        if config.sequential {
+            host_selection_opts(v, afg, &config.predictor, &config.parallel, true)
+        } else if config.batch_classes {
+            host_selection_classed(v, afg, &config.predictor, &config.parallel, &cache)
+        } else {
+            host_selection_cached(v, afg, &config.predictor, &config.parallel, false, &cache)
+        }
+    };
     let outputs: Vec<HostSelectionOutput> = if config.sequential || involved.len() < 2 {
-        involved
-            .iter()
-            .map(|v| {
-                host_selection_opts(v, afg, &config.predictor, &config.parallel, config.sequential)
-            })
-            .collect()
+        involved.iter().map(run_one).collect()
     } else {
-        involved
-            .par_iter()
-            .map(|v| host_selection_opts(v, afg, &config.predictor, &config.parallel, false))
-            .collect()
+        involved.par_iter().map(run_one).collect()
     };
 
     schedule_with_outputs_full(
@@ -244,35 +276,31 @@ pub fn site_schedule_observed(
     metrics.counter_add("sched.sites_involved", involved.len() as u64);
 
     // One cache across every involved site (see the metric notes above).
-    let cache = PredictCache::new();
+    let cache = make_cache(config);
     let timer = PhaseTimer::start();
+    let run_one = |v: &&SiteView| -> HostSelectionOutput {
+        if config.sequential {
+            host_selection_cached(v, afg, &config.predictor, &config.parallel, true, &cache)
+        } else if config.batch_classes {
+            host_selection_classed(v, afg, &config.predictor, &config.parallel, &cache)
+        } else {
+            host_selection_cached(v, afg, &config.predictor, &config.parallel, false, &cache)
+        }
+    };
     let outputs: Vec<HostSelectionOutput> = if config.sequential || involved.len() < 2 {
-        involved
-            .iter()
-            .map(|v| {
-                host_selection_cached(
-                    v,
-                    afg,
-                    &config.predictor,
-                    &config.parallel,
-                    config.sequential,
-                    &cache,
-                )
-            })
-            .collect()
+        involved.iter().map(run_one).collect()
     } else {
-        involved
-            .par_iter()
-            .map(|v| {
-                host_selection_cached(v, afg, &config.predictor, &config.parallel, false, &cache)
-            })
-            .collect()
+        involved.par_iter().map(run_one).collect()
     };
     timer.stop(metrics, "sched.host_selection");
 
     let (hits, misses) = (cache.hits(), cache.misses());
     metrics.counter_add("sched.predict_cache.entries", cache.len() as u64);
     metrics.counter_add("sched.predict_cache.lookups", hits + misses);
+    // Deterministic under the default unbounded cache (always 0); with a
+    // capacity bound this is the FIFO eviction count, which is only
+    // deterministic for sequential fills (see the cache type docs).
+    metrics.counter_add("sched.predict_cache.evictions", cache.evictions());
     metrics.gauge_set(&format!("{PROFILE_PREFIX}sched.predict_cache.hits"), hits as f64);
     metrics.gauge_set(&format!("{PROFILE_PREFIX}sched.predict_cache.misses"), misses as f64);
     let rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
@@ -327,38 +355,6 @@ pub fn schedule_with_outputs_opts(
         false,
         None,
     )
-}
-
-/// Key of the heap-based ready list: pop order is "highest level first,
-/// ties by ascending task id" — exactly the order the reference path's
-/// linear scan selects. Levels are finite by construction (`level_map`
-/// sums finite base times), which makes this `Ord` a total order.
-struct ReadyKey {
-    level: f64,
-    task: TaskId,
-}
-
-impl PartialEq for ReadyKey {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for ReadyKey {}
-
-impl PartialOrd for ReadyKey {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for ReadyKey {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.level
-            .partial_cmp(&other.level)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.task.cmp(&self.task))
-    }
 }
 
 /// The ready set of step 6, in both implementations: the reference
@@ -462,10 +458,11 @@ fn schedule_walk(
 
     // Critical-path spreading (DESIGN.md §11): a task is *critical* when
     // its level is within the top quarter of the level range; the hosts
-    // already serving critical tasks accumulate here.
+    // already serving critical tasks accumulate here (borrowed from the
+    // outputs — the walk never owns host strings).
     let max_level = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let critical_floor = 0.75 * max_level;
-    let mut critical_hosts: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut critical_hosts: HashSet<&str> = HashSet::new();
 
     // Optimised path: snapshot the link matrix once; `transfer_time` on
     // the snapshot is bit-identical to the model's.
@@ -479,7 +476,7 @@ fn schedule_walk(
         .map(|out| {
             let mut by_task: Vec<Option<&TaskHostChoice>> = vec![None; afg.task_count()];
             for (t, c) in &out.choices {
-                by_task[t.index()] = Some(c);
+                by_task[t.index()] = Some(c.as_ref());
             }
             (out.site, by_task)
         })
@@ -512,56 +509,26 @@ fn schedule_walk(
 
         let is_critical = spread.is_some() && levels[task.index()] >= critical_floor - 1e-12;
 
-        // Candidate (site, choice) pairs. `best` is Figure 2's argmin;
-        // `best_spread` additionally requires the chosen hosts to be
-        // disjoint from every previously placed critical task's hosts.
-        let mut best: Option<(SiteId, &TaskHostChoice, f64)> = None;
-        let mut best_spread: Option<(SiteId, &TaskHostChoice, f64)> = None;
-        for (site, by_task) in &per_site {
-            let Some(choice) = by_task[task.index()] else { continue };
-            // Σ over in-edges of transfer from the parent's site (empty
-            // for entry tasks and under the ablation: pure Predict).
-            let mut xfer = 0.0;
-            for &(parent_site, bytes) in &parents {
-                xfer += match &xfer_cache {
-                    Some(c) => c.transfer_time(parent_site, *site, bytes),
-                    None => net.transfer_time(parent_site, *site, bytes),
-                };
-                xfer_lookups += 1;
+        let mut xfer_time = |from: SiteId, to: SiteId, bytes: u64| {
+            xfer_lookups += 1;
+            match &xfer_cache {
+                Some(c) => c.transfer_time(from, to, bytes),
+                None => net.transfer_time(from, to, bytes),
             }
-            let total = xfer + choice.predicted_seconds;
-            let better = |prev: &Option<(SiteId, &TaskHostChoice, f64)>| match prev {
-                None => true,
-                Some((bsite, _, btotal)) => {
-                    total < btotal - 1e-15
-                        || ((total - btotal).abs() <= 1e-15
-                            && site_rank(*site, local_site) < site_rank(*bsite, local_site))
-                }
-            };
-            if better(&best) {
-                best = Some((*site, choice, total));
-            }
-            if is_critical
-                && choice.hosts.iter().all(|h| !critical_hosts.contains(h))
-                && better(&best_spread)
-            {
-                best_spread = Some((*site, choice, total));
-            }
-        }
-
-        // Recovery-aware preference: take the host-disjoint candidate
-        // when it costs at most `policy.tolerance ×` the unconstrained
-        // optimum.
-        if let (Some((_, _, btotal)), Some(cand), Some(policy)) = (&best, &best_spread, &spread) {
-            if cand.2 <= btotal * policy.tolerance + 1e-15 {
-                best = Some(*cand);
-            }
-        }
+        };
+        let best = choose_site_for_task(
+            task,
+            &per_site,
+            &parents,
+            local_site,
+            &mut xfer_time,
+            if is_critical { spread.as_ref().map(|p| (p, &critical_hosts)) } else { None },
+        );
 
         let (site, choice, _) =
             best.ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
         if is_critical {
-            critical_hosts.extend(choice.hosts.iter().cloned());
+            critical_hosts.extend(choice.hosts.iter().map(String::as_str));
         }
         site_of_task[task.index()] = Some(site);
         table.insert(TaskPlacement {
@@ -587,6 +554,67 @@ fn schedule_walk(
         m.counter_add("sched.transfer_cache.lookups", xfer_lookups);
     }
     Ok(table)
+}
+
+/// The argmin of step 7 for one task: probe every involved site's choice
+/// (dense `per_site` index), add the parents' transfer times via
+/// `xfer_time`, and pick the minimum `Timetotal` with the
+/// local-first/ascending-site-id tie-break. With `spread` set it
+/// additionally tracks the best candidate whose hosts are disjoint from
+/// the accumulated critical hosts and takes it when within tolerance.
+///
+/// Shared between the full DAG walk above and the O(changed) re-placement
+/// in [`crate::incremental`] — sharing the decision function is what
+/// makes the incremental path bit-identical per task.
+pub(crate) fn choose_site_for_task<'a>(
+    task: TaskId,
+    per_site: &[(SiteId, Vec<Option<&'a TaskHostChoice>>)],
+    parents: &[(SiteId, u64)],
+    local_site: SiteId,
+    xfer_time: &mut dyn FnMut(SiteId, SiteId, u64) -> f64,
+    spread: Option<(&SpreadPolicy, &HashSet<&str>)>,
+) -> Option<(SiteId, &'a TaskHostChoice, f64)> {
+    // `best` is Figure 2's argmin; `best_spread` additionally requires
+    // the chosen hosts to be disjoint from every previously placed
+    // critical task's hosts.
+    let mut best: Option<(SiteId, &'a TaskHostChoice, f64)> = None;
+    let mut best_spread: Option<(SiteId, &'a TaskHostChoice, f64)> = None;
+    for (site, by_task) in per_site {
+        let Some(choice) = by_task[task.index()] else { continue };
+        // Σ over in-edges of transfer from the parent's site (empty for
+        // entry tasks and under the ablation: pure Predict).
+        let mut xfer = 0.0;
+        for &(parent_site, bytes) in parents {
+            xfer += xfer_time(parent_site, *site, bytes);
+        }
+        let total = xfer + choice.predicted_seconds;
+        let better = |prev: &Option<(SiteId, &'a TaskHostChoice, f64)>| match prev {
+            None => true,
+            Some((bsite, _, btotal)) => {
+                total < btotal - 1e-15
+                    || ((total - btotal).abs() <= 1e-15
+                        && site_rank(*site, local_site) < site_rank(*bsite, local_site))
+            }
+        };
+        if better(&best) {
+            best = Some((*site, choice, total));
+        }
+        if let Some((_, critical_hosts)) = spread {
+            if choice.hosts.iter().all(|h| !critical_hosts.contains(h.as_str()))
+                && better(&best_spread)
+            {
+                best_spread = Some((*site, choice, total));
+            }
+        }
+    }
+    // Recovery-aware preference: take the host-disjoint candidate when
+    // it costs at most `policy.tolerance ×` the unconstrained optimum.
+    if let (Some((_, _, btotal)), Some(cand), Some((policy, _))) = (&best, &best_spread, &spread) {
+        if cand.2 <= btotal * policy.tolerance + 1e-15 {
+            best = Some(*cand);
+        }
+    }
+    best
 }
 
 /// Tie-break rank: local site first, then ascending site id.
@@ -650,7 +678,7 @@ mod tests {
         assert_eq!(table.sites_used(), vec![SiteId(0)]);
         // Every task lands on the faster host.
         for p in table.iter() {
-            assert_eq!(p.hosts, vec!["h1".to_string()]);
+            assert_eq!(p.hosts.to_vec(), vec!["h1".to_string()]);
         }
     }
 
@@ -754,7 +782,7 @@ mod tests {
         // The sink follows its parent to site 1: the tiny dataflow is
         // cheaper intra-site than over the WAN link back to site 0.
         assert_eq!(table.placement(k).unwrap().site, SiteId(1));
-        assert_eq!(table.placement(k).unwrap().hosts, vec!["sun".to_string()]);
+        assert_eq!(table.placement(k).unwrap().hosts.to_vec(), vec!["sun".to_string()]);
     }
 
     #[test]
@@ -972,7 +1000,7 @@ mod tests {
         )
         .unwrap();
         for p in spread.iter() {
-            assert_eq!(p.hosts, vec!["fast".to_string()]);
+            assert_eq!(p.hosts.to_vec(), vec!["fast".to_string()]);
         }
     }
 

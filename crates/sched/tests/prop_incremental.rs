@@ -1,0 +1,226 @@
+//! Property tests for O(changed) incremental rescheduling: after an
+//! arbitrary monitor event, [`IncrementalSchedule::apply`] must produce
+//! a table bit-identical to a full Figure 2 re-walk over the updated
+//! host-selection outputs, while re-deciding no more than the affected
+//! set (the dirty seeds plus their descendants).
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vdce_afg::graph::{Afg, Edge};
+use vdce_afg::ids::{PortIndex, TaskId};
+use vdce_afg::level::level_map;
+use vdce_afg::library::KernelKind;
+use vdce_afg::task::{IoSpec, TaskNode, TaskProperties};
+use vdce_afg::MachineType;
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_predict::cache::PredictCache;
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::ParallelModel;
+use vdce_repository::resources::{HostStatus, ResourceRecord};
+use vdce_repository::SiteRepository;
+use vdce_sched::host_selection::host_selection_classed;
+use vdce_sched::site_scheduler::schedule_with_outputs_opts;
+use vdce_sched::view::SiteView;
+use vdce_sched::{HostSelectionOutput, IncrementalSchedule};
+
+/// Random layered DAG built directly (Source/Map kernels).
+fn gen_afg(widths: &[u8], picks: &[u8], sizes: &[u32]) -> Afg {
+    let mut g = Afg::new("prop");
+    let mut prev: Vec<TaskId> = Vec::new();
+    let mut pick_iter = picks.iter().copied().cycle();
+    let mut size_iter = sizes.iter().copied().cycle();
+    for (li, &w) in widths.iter().enumerate() {
+        let w = w.max(1) as usize;
+        let mut layer = Vec::new();
+        for i in 0..w {
+            let id = TaskId(g.tasks.len() as u32);
+            let entry = li == 0;
+            let size = 1000 + size_iter.next().unwrap() as u64 % 100_000;
+            g.tasks.push(TaskNode {
+                id,
+                name: format!("n{li}_{i}"),
+                library_task: if entry { "Source" } else { "Map" }.into(),
+                kernel: if entry { KernelKind::Source } else { KernelKind::Map },
+                problem_size: size,
+                props: TaskProperties {
+                    inputs: vec![IoSpec::Dataflow; usize::from(!entry)],
+                    outputs: vec![IoSpec::Dataflow],
+                    ..TaskProperties::default()
+                },
+            });
+            if !entry {
+                let p = prev[pick_iter.next().unwrap() as usize % prev.len()];
+                g.edges.push(Edge {
+                    from: p,
+                    from_port: PortIndex(0),
+                    to: id,
+                    to_port: PortIndex(0),
+                    data_size: 100 + size_iter.next().unwrap() as u64 % 1_000_000,
+                });
+            }
+            layer.push(id);
+        }
+        prev = layer;
+    }
+    g
+}
+
+fn gen_repos(sites: usize, hosts: usize, speeds: &[u8]) -> (Vec<SiteRepository>, NetworkModel) {
+    let mut speed_iter = speeds.iter().copied().cycle();
+    let mut repos = Vec::new();
+    for s in 0..sites {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for h in 0..hosts {
+                db.upsert(ResourceRecord::new(
+                    format!("s{s}h{h}"),
+                    "10.0.0.1",
+                    MachineType::LinuxPc,
+                    1.0 + f64::from(speed_iter.next().unwrap() % 8),
+                    1,
+                    1 << 30,
+                    "g0",
+                ));
+            }
+        });
+        repos.push(repo);
+    }
+    (repos, NetworkModel::with_defaults(sites))
+}
+
+fn capture_outputs(repos: &[SiteRepository], afg: &Afg) -> Vec<HostSelectionOutput> {
+    repos
+        .iter()
+        .enumerate()
+        .map(|(s, repo)| {
+            let view = SiteView::capture(SiteId(s as u16), repo);
+            host_selection_classed(
+                &view,
+                afg,
+                &Predictor::default(),
+                &ParallelModel::default(),
+                &PredictCache::new(),
+            )
+        })
+        .collect()
+}
+
+fn levels_for(afg: &Afg, repo: &SiteRepository) -> Vec<f64> {
+    let view = SiteView::capture(SiteId(0), repo);
+    level_map(afg, |t| view.tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+        .unwrap()
+}
+
+/// Upper bound on the affected set: tasks whose choices differ between
+/// the two output sets, plus all their descendants.
+fn affected_closure(
+    afg: &Afg,
+    old: &[HostSelectionOutput],
+    new: &[HostSelectionOutput],
+) -> HashSet<TaskId> {
+    let mut seeds: Vec<TaskId> = Vec::new();
+    for (o, n) in old.iter().zip(new) {
+        for t in afg.task_ids() {
+            let changed = match (o.choices.get(&t), n.choices.get(&t)) {
+                (Some(a), Some(b)) => {
+                    a.hosts != b.hosts
+                        || a.predicted_seconds.to_bits() != b.predicted_seconds.to_bits()
+                }
+                (None, None) => false,
+                _ => true,
+            };
+            if changed {
+                seeds.push(t);
+            }
+        }
+    }
+    let mut set: HashSet<TaskId> = HashSet::new();
+    let mut stack = seeds;
+    while let Some(t) = stack.pop() {
+        if set.insert(t) {
+            for c in afg.children(t) {
+                stack.push(c);
+            }
+        }
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_apply_is_bit_identical_to_full_rewalk(
+        widths in proptest::collection::vec(1u8..5, 1..5),
+        picks in proptest::collection::vec(any::<u8>(), 1..16),
+        sizes in proptest::collection::vec(any::<u32>(), 1..16),
+        sites in 1u8..4,
+        hosts in 1u8..4,
+        speeds in proptest::collection::vec(any::<u8>(), 1..8),
+        kill_site in any::<u8>(),
+        kill_host in any::<u8>(),
+        ignore_transfer in any::<bool>(),
+    ) {
+        let afg = gen_afg(&widths, &picks, &sizes);
+        let sites = sites.clamp(1, 4) as usize;
+        let hosts = hosts.clamp(1, 4) as usize;
+        let (repos, net) = gen_repos(sites, hosts, &speeds);
+        let outputs = capture_outputs(&repos, &afg);
+        let levels = levels_for(&afg, &repos[0]);
+
+        // Construction matches the full walk bit-for-bit.
+        let full = schedule_with_outputs_opts(
+            &afg, &levels, SiteId(0), &outputs, &net, ignore_transfer,
+        ).unwrap();
+        let mut inc = IncrementalSchedule::new(
+            &afg, SiteId(0), outputs.clone(), &net, ignore_transfer,
+        ).unwrap();
+        prop_assert_eq!(inc.table(), &full);
+
+        // Applying unchanged outputs replaces nothing.
+        let delta = inc.apply(&afg, outputs.clone()).unwrap();
+        prop_assert_eq!(delta.replaced, 0);
+        prop_assert_eq!(delta.moved, 0);
+
+        // Monitor event: one host dies; its site reselects.
+        let ks = kill_site as usize % sites;
+        let kh = kill_host as usize % hosts;
+        repos[ks].resources_mut(|db| db.set_status(&format!("s{ks}h{kh}"), HostStatus::Down));
+        let new_outputs = capture_outputs(&repos, &afg);
+
+        let rewalk = schedule_with_outputs_opts(
+            &afg, &levels, SiteId(0), &new_outputs, &net, ignore_transfer,
+        );
+        let applied = inc.apply(&afg, new_outputs.clone());
+        match (rewalk, applied) {
+            (Ok(rewalk), Ok(delta)) => {
+                prop_assert_eq!(inc.table(), &rewalk);
+                for (a, b) in inc.table().iter().zip(rewalk.iter()) {
+                    prop_assert_eq!(
+                        a.predicted_seconds.to_bits(),
+                        b.predicted_seconds.to_bits(),
+                        "task {} prediction must be bit-identical", a.task
+                    );
+                }
+                // O(changed): nothing outside the affected closure is
+                // re-decided.
+                let closure = affected_closure(&afg, &outputs, &new_outputs);
+                prop_assert!(
+                    delta.replaced <= closure.len(),
+                    "replaced {} > affected closure {}", delta.replaced, closure.len()
+                );
+            }
+            // Killing the only feasible host errors on both paths; the
+            // incremental schedule is poisoned, nothing more to check.
+            (Err(_), Err(_)) => {}
+            (full, inc) => {
+                prop_assert!(
+                    false,
+                    "full rewalk and incremental apply disagree on feasibility: \
+                     full={full:?} incremental={inc:?}"
+                );
+            }
+        }
+    }
+}

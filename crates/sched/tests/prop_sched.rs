@@ -99,7 +99,7 @@ fn check_table_valid(
     prop_assert!(table.is_complete_for(afg));
     for p in table.iter() {
         let view = views.iter().find(|v| v.site == p.site).expect("placement site must exist");
-        for h in &p.hosts {
+        for h in p.hosts.iter() {
             let rec = view.resources.get(h);
             prop_assert!(rec.is_some(), "host {h} must belong to site {}", p.site.0);
             prop_assert!(rec.unwrap().is_up());

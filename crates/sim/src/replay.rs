@@ -305,7 +305,7 @@ pub fn replay_observed(
         .task_ids()
         .map(|t| {
             let p = table.placement(t).expect("complete table");
-            (p.site, p.hosts.clone(), p.predicted_seconds)
+            (p.site, p.hosts.to_vec(), p.predicted_seconds)
         })
         .collect();
 
@@ -1091,7 +1091,8 @@ pub fn replay_observed(
                     done_ckpt_cost[task.index()],
                 );
                 pending_ckpts[task.index()].clear();
-                placement[task.index()] = (new_site, choice.hosts, choice.predicted_seconds);
+                placement[task.index()] =
+                    (new_site, choice.hosts.to_vec(), choice.predicted_seconds);
                 floor[task.index()] = t;
                 state[task.index()] = TaskState::Pending;
             }
@@ -1123,7 +1124,8 @@ pub fn replay_observed(
                 &cache,
             ) {
                 Some((new_site, choice)) => {
-                    placement[task.index()] = (new_site, choice.hosts, choice.predicted_seconds);
+                    placement[task.index()] =
+                        (new_site, choice.hosts.to_vec(), choice.predicted_seconds);
                     floor[task.index()] = t;
                     state[task.index()] = TaskState::Pending;
                 }
@@ -1572,7 +1574,7 @@ mod tests {
         let table = site_schedule(&afg, &views[0], &views[1..], &f.net, &cfg.scheduler).unwrap();
         let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for p in table.iter() {
-            for h in &p.hosts {
+            for h in p.hosts.iter() {
                 *counts.entry(h).or_default() += 1;
             }
         }
@@ -1650,7 +1652,7 @@ mod tests {
             site_schedule(&afg, &views[0], &views[1..], &f.net, &plain_cfg.scheduler).unwrap();
         let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for p in table.iter() {
-            for h in &p.hosts {
+            for h in p.hosts.iter() {
                 *counts.entry(h).or_default() += 1;
             }
         }

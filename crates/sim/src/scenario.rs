@@ -161,7 +161,7 @@ pub fn schedule_estimate(s: &Scenario) -> (f64, String) {
         .makespan;
     let mut counts: BTreeMap<&String, usize> = BTreeMap::new();
     for p in table.iter() {
-        for h in &p.hosts {
+        for h in p.hosts.iter() {
             *counts.entry(h).or_default() += 1;
         }
     }

@@ -502,6 +502,12 @@ impl Deserialize for Arc<str> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(v)?.into())
+    }
+}
+
 macro_rules! impl_ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {

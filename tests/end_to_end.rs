@@ -199,8 +199,8 @@ fn memory_constraints_force_placement() {
     assert!(report.outcome.success);
     let lu_hosts = &report.allocation.placement(lu).unwrap().hosts;
     assert_eq!(
-        lu_hosts,
-        &vec!["slow_roomy".to_string()],
+        lu_hosts.to_vec(),
+        vec!["slow_roomy".to_string()],
         "LU must avoid hosts whose total memory cannot hold it"
     );
     // The small sink is free to use the fast hosts.
