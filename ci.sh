@@ -1,16 +1,55 @@
 #!/usr/bin/env bash
-# Repo CI gate: format, lints, locked release build, tests, and the three
-# fast-mode gates (scheduling speedup, fault recovery, trace determinism).
+# Repo CI gate: format, lints, locked release build, tests, artifact
+# schema validation, and the fast-mode gates (scheduling speedup, fault
+# recovery, scale, trace determinism, streaming service).
 # Run from the repo root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
 STAGE_NAMES=()
 STAGE_SECS=()
+CURRENT_STAGE=""
+TIMINGS_FILE="ci_stage_timings.md"
+
+# Print the stage-timing table and write it to $TIMINGS_FILE (markdown,
+# for the workflow step summary). Runs from the EXIT trap so a failing
+# stage still reports the partial table and the name of the stage that
+# died — under `set -e` the old end-of-script summary loop was silently
+# skipped on any failure.
+print_timings() {
+    local status=$1
+    {
+        echo "| stage | seconds |"
+        echo "| --- | ---: |"
+        for i in "${!STAGE_NAMES[@]}"; do
+            echo "| ${STAGE_NAMES[$i]} | ${STAGE_SECS[$i]} |"
+        done
+        if [[ $status -ne 0 && -n "$CURRENT_STAGE" ]]; then
+            echo "| **FAILED: ${CURRENT_STAGE}** | (exit $status) |"
+        fi
+    } > "$TIMINGS_FILE"
+
+    echo
+    echo "stage timings:"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-36s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    done
+    if [[ $status -ne 0 ]]; then
+        if [[ -n "$CURRENT_STAGE" ]]; then
+            echo "CI FAILED during stage: $CURRENT_STAGE (exit $status)"
+        else
+            echo "CI FAILED (exit $status)"
+        fi
+    else
+        echo "CI OK"
+    fi
+}
+trap 'print_timings $?' EXIT
 
 stage() {
     local name="$1"
     shift
+    CURRENT_STAGE="$name"
     echo "==> $name"
     local t0
     t0=$(date +%s)
@@ -19,12 +58,20 @@ stage() {
     t1=$(date +%s)
     STAGE_NAMES+=("$name")
     STAGE_SECS+=($((t1 - t0)))
+    CURRENT_STAGE=""
 }
 
 stage "cargo fmt --check" cargo fmt --check
 stage "cargo clippy" cargo clippy --workspace --all-targets -- -D warnings
 stage "cargo build --release --locked" cargo build --release --locked
 stage "cargo test" cargo test -q
+# Artifact schema gate: every checked-in BENCH_*.json must validate
+# against the vdce-obs RunArtifact schema. Runs before the
+# baseline-relative gates below, which deserialize these artifacts to
+# compute their regression floors — a corrupt artifact silently
+# downgrades a gate to absolute-floor-only, so make it loud first.
+stage "artifact schema validation" \
+    cargo run -q --release -p vdce-bench --bin exp_artifacts
 # Fast-mode smoke gates: the optimized scheduler must stay ahead of the
 # sequential reference (within tolerance of the recorded baseline), and
 # every quick fault scenario must replay deterministically and recover.
@@ -37,16 +84,15 @@ stage "fault recovery gate (--quick)" \
 # incremental reschedule must stay bit-identical to a full re-walk.
 stage "scale gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_scale -- --quick
+# Streaming service gate: the acceptance cell must replay bit-identically
+# twice, sustain its submissions/sec floor (absolute and relative to the
+# recorded BENCH_stream.json), keep p99 time-to-placement under the
+# ceiling, and starve no tenant past the aging bound.
+stage "stream gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_stream -- --quick
 # Observability gate: replay every quick scenario twice with tracing on;
 # the JSONL trace must validate against the schema and the trace,
 # deterministic metric snapshot, and recovery report must all be
 # bit-identical across the two runs.
 stage "trace determinism gate (--all)" \
     cargo run -q --release -p vdce-bench --bin exp_trace -- --all
-
-echo
-echo "stage timings:"
-for i in "${!STAGE_NAMES[@]}"; do
-    printf '  %-36s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
-done
-echo "CI OK"

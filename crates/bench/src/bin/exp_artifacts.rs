@@ -1,0 +1,81 @@
+//! Validate every checked-in `BENCH_*.json` against the `vdce-obs`
+//! RunArtifact schema (see `vdce_obs::artifact::validate`).
+//!
+//! The baseline-relative `--quick` gates deserialize the recorded
+//! artifacts to compute regression floors; a hand-edited, truncated or
+//! stale-schema artifact would silently weaken those gates (a parse
+//! failure downgrades a gate to absolute-floor-only). This stage makes
+//! that corruption loud: any schema violation in any artifact fails
+//! CI before the gates run.
+//!
+//! Scans the working directory (the repo root in CI) for files named
+//! `BENCH_*.json`. Exits 1 if any file fails validation, listing every
+//! problem. `--quick` is accepted for ci.sh uniformity and changes
+//! nothing — validation is already instantaneous.
+
+use vdce_obs::{Report, Table};
+
+fn main() {
+    let dir = std::env::current_dir().expect("readable working directory");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("listable working directory")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+
+    if names.is_empty() {
+        // A checkout with no artifacts has nothing to corrupt, but CI
+        // always has them — treat absence as a failure there.
+        eprintln!("no BENCH_*.json artifacts found in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let mut table = Table::new(&["artifact", "bench", "schema", "status"]);
+    let mut corrupt = 0usize;
+    for name in &names {
+        let (bench, schema, status, problems) = match std::fs::read_to_string(name) {
+            Err(e) => ("-".into(), "-".into(), format!("unreadable: {e}"), vec![]),
+            Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
+                Err(e) => ("-".into(), "-".into(), format!("unparsable: {e:?}"), vec![]),
+                Ok(v) => {
+                    let bench = match &v["bench"] {
+                        serde_json::Value::String(s) => s.clone(),
+                        _ => "-".into(),
+                    };
+                    let schema = match &v["schema_version"] {
+                        serde_json::Value::Number(serde_json::Number::U(n)) => n.to_string(),
+                        serde_json::Value::Number(_) => "?".into(),
+                        _ => "-".into(),
+                    };
+                    let problems = vdce_obs::validate_artifact(&v);
+                    let status = if problems.is_empty() {
+                        "ok".into()
+                    } else {
+                        format!("{} problem(s)", problems.len())
+                    };
+                    (bench, schema, status, problems)
+                }
+            },
+        };
+        let ok = status == "ok";
+        if !ok {
+            corrupt += 1;
+        }
+        table.row(&[name.clone(), bench, schema, status]);
+        for p in problems {
+            eprintln!("{name}: {p}");
+        }
+    }
+
+    let mut report = Report::new("BENCH_*.json schema validation").table(table);
+    if corrupt == 0 {
+        report = report.note(format!("{} artifact(s) valid", names.len()));
+        report.print();
+    } else {
+        report = report.note(format!("{corrupt} of {} artifact(s) INVALID", names.len()));
+        report.print();
+        std::process::exit(1);
+    }
+}

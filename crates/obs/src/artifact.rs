@@ -96,6 +96,102 @@ impl RunArtifact {
     }
 }
 
+fn obj(v: &Value) -> Option<&[(String, Value)]> {
+    match v {
+        Value::Object(pairs) => Some(pairs),
+        _ => None,
+    }
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn is_number(v: &Value) -> bool {
+    matches!(v, Value::Number(_))
+}
+
+/// Validate a parsed `BENCH_*.json` against the schema-v1 envelope.
+/// Returns every problem found (empty = valid). This is the fail-fast
+/// CI check: a hand-edited or stale artifact trips here instead of
+/// silently corrupting a baseline-relative regression gate.
+pub fn validate(v: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(top) = obj(v) else {
+        return vec!["artifact is not a JSON object".to_string()];
+    };
+
+    match field(top, "schema_version") {
+        Some(Value::Number(Number::U(n))) if *n == ARTIFACT_SCHEMA_VERSION as u64 => {}
+        Some(Value::Number(n)) => {
+            let shown = match n {
+                Number::U(u) => u.to_string(),
+                Number::I(i) => i.to_string(),
+                Number::F(f) => f.to_string(),
+            };
+            problems.push(format!("schema_version is {shown}, expected {ARTIFACT_SCHEMA_VERSION}"));
+        }
+        Some(_) => problems.push("schema_version is not a number".to_string()),
+        None => problems.push("missing schema_version".to_string()),
+    }
+
+    match field(top, "bench") {
+        Some(Value::String(s)) if !s.is_empty() => {}
+        Some(Value::String(_)) => problems.push("bench name is empty".to_string()),
+        Some(_) => problems.push("bench is not a string".to_string()),
+        None => problems.push("missing bench".to_string()),
+    }
+
+    match field(top, "meta") {
+        Some(Value::Object(_)) => {}
+        Some(_) => problems.push("meta is not an object".to_string()),
+        None => problems.push("missing meta".to_string()),
+    }
+
+    if let Some(metrics) = field(top, "metrics") {
+        match obj(metrics) {
+            None => problems.push("metrics is not an object".to_string()),
+            Some(entries) => {
+                for (name, entry) in entries {
+                    let Some(fields) = obj(entry) else {
+                        problems.push(format!("metric `{name}` is not an object"));
+                        continue;
+                    };
+                    match field(fields, "type") {
+                        Some(Value::String(t)) if t == "counter" || t == "gauge" => {
+                            if !field(fields, "value").is_some_and(is_number) {
+                                problems
+                                    .push(format!("metric `{name}` ({t}) has no numeric value"));
+                            }
+                        }
+                        Some(Value::String(t)) if t == "histogram" => {
+                            for key in ["bounds", "counts"] {
+                                if !matches!(field(fields, key), Some(Value::Array(_))) {
+                                    problems.push(format!(
+                                        "metric `{name}` (histogram) missing `{key}` array"
+                                    ));
+                                }
+                            }
+                            for key in ["count", "sum"] {
+                                if !field(fields, key).is_some_and(is_number) {
+                                    problems.push(format!(
+                                        "metric `{name}` (histogram) missing numeric `{key}`"
+                                    ));
+                                }
+                            }
+                        }
+                        Some(Value::String(t)) => {
+                            problems.push(format!("metric `{name}` has unknown type `{t}`"));
+                        }
+                        _ => problems.push(format!("metric `{name}` has no type tag")),
+                    }
+                }
+            }
+        }
+    }
+    problems
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +226,41 @@ mod tests {
     #[should_panic(expected = "collides with the artifact envelope")]
     fn reserved_section_keys_rejected() {
         let _ = RunArtifact::new("x").section("meta", &1u32);
+    }
+
+    #[test]
+    fn validate_accepts_what_the_builder_writes() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("stream.admitted", 7);
+        reg.gauge_set("stream.queue_depth", 2.0);
+        reg.observe("stream.ttp", &[1.0, 5.0], 0.4);
+        let a = RunArtifact::new("exp_stream")
+            .meta("sites", 8u32)
+            .metrics(reg.snapshot())
+            .section("scenarios", &vec![1u32]);
+        assert_eq!(validate(&a.to_value()), Vec::<String>::new());
+        // Round-trip through the serialised form too.
+        let parsed: Value = serde_json::from_str(&a.to_json_pretty()).unwrap();
+        assert_eq!(validate(&parsed), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validate_catches_envelope_corruption() {
+        assert!(!validate(&Value::Bool(true)).is_empty());
+
+        let missing: Value = serde_json::from_str(r#"{"bench":"x"}"#).unwrap();
+        let problems = validate(&missing);
+        assert!(problems.iter().any(|p| p.contains("schema_version")));
+        assert!(problems.iter().any(|p| p.contains("meta")));
+
+        let bad_version: Value =
+            serde_json::from_str(r#"{"schema_version":99,"bench":"x","meta":{}}"#).unwrap();
+        assert!(validate(&bad_version).iter().any(|p| p.contains("expected 1")));
+
+        let bad_metric: Value = serde_json::from_str(
+            r#"{"schema_version":1,"bench":"x","meta":{},"metrics":{"m":{"type":"counter"}}}"#,
+        )
+        .unwrap();
+        assert!(validate(&bad_metric).iter().any(|p| p.contains("no numeric value")));
     }
 }

@@ -31,7 +31,7 @@ pub mod profile;
 pub mod report;
 pub mod trace;
 
-pub use artifact::{RunArtifact, ARTIFACT_SCHEMA_VERSION};
+pub use artifact::{validate as validate_artifact, RunArtifact, ARTIFACT_SCHEMA_VERSION};
 pub use metrics::{MetricsRegistry, MetricsSnapshot, PROFILE_PREFIX};
 pub use profile::PhaseTimer;
 pub use report::{Report, Table};

@@ -32,6 +32,9 @@
 //! runtime event log the visualization service renders. [`checkpoint`]
 //! persists task progress so recovery resumes from the latest valid
 //! checkpoint instead of restarting from zero (DESIGN.md §11).
+//! [`submission`] is the authenticated front door to the streaming
+//! scheduler service (DESIGN.md §15): credentials in, queued
+//! submissions out.
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
@@ -49,6 +52,7 @@ pub mod net_monitor;
 pub mod recovery;
 pub mod services;
 pub mod site_manager;
+pub mod submission;
 
 pub use app_controller::{AppController, AppControllerConfig, ExecutionReport, ThresholdGate};
 pub use checkpoint::{
@@ -63,3 +67,4 @@ pub use net_monitor::{LinkProbe, NetworkMonitor, SyntheticLinkProbe};
 pub use recovery::{BackoffPolicy, Quarantine, SiteQuarantine};
 pub use services::{ConsoleService, IoService, VisualizationService};
 pub use site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager};
+pub use submission::{gateway, SubmissionError, SubmissionGateway};

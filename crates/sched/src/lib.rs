@@ -27,9 +27,12 @@
 //! max-min, local-only and HEFT comparators for the benchmarks),
 //! [`federation`] (the multicast protocol over the inter-site message
 //! bus), [`reselect`] (single-task re-selection for mid-execution
-//! recovery — the scheduler side of a rescheduling request), and
+//! recovery — the scheduler side of a rescheduling request),
 //! [`incremental`] (O(changed) re-placement after monitor events,
-//! bit-identical to a full re-walk).
+//! bit-identical to a full re-walk), and [`service`] (the streaming
+//! multi-tenant admission + scheduling service layered on top:
+//! tenant accounts and quotas, deadline-and-budget brokering, and
+//! weighted-fair aging over a deterministic logical-time event loop).
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod host_selection;
 pub mod incremental;
 pub mod makespan;
 pub mod reselect;
+pub mod service;
 pub mod site_scheduler;
 pub mod view;
 
@@ -53,6 +57,10 @@ pub use host_selection::{
 pub use incremental::{IncrementalSchedule, ReschedulingDelta};
 pub use makespan::{evaluate, Schedule, TimedTask};
 pub use reselect::reselect_task;
+pub use service::{
+    AgingPolicy, BrokerDecision, BrokerPolicy, Quota, RejectReason, ServiceConfig, StreamReport,
+    StreamService, SubmissionId, SubmissionRequest, TenantRegistry, TenantRow,
+};
 pub use site_scheduler::{
     site_schedule, site_schedule_observed, SchedulerConfig, SchedulingError, SpreadPolicy,
 };

@@ -1,0 +1,1113 @@
+//! The streaming admission + scheduling service.
+//!
+//! Batch VDCE is one AFG in, one placement table out. [`StreamService`]
+//! is the long-running broker in front of that scheduler: it absorbs a
+//! continuous stream of AFG submissions from many tenants and turns
+//! every arrival and completion into an *incremental* scheduling event.
+//!
+//! ## Event loop
+//!
+//! The service is a deterministic discrete-event machine over logical
+//! time. Events — submission arrivals, run completions, host state
+//! changes — are totally ordered by `(time, sequence)`; processing one
+//! event may mutate per-host load or status, and every mutation is
+//! funnelled through the same path:
+//!
+//! 1. the affected site's [`SiteView`] is re-captured and its
+//!    host-selection output recomputed (only for submissions whose
+//!    domain includes that site);
+//! 2. each pending submission absorbs the new outputs through
+//!    [`IncrementalSchedule::apply`] — re-placing only its affected
+//!    ready set, exactly the `O(changed)` path the monitor events use;
+//! 3. the dispatcher starts as many pending submissions as capacity
+//!    allows, in weighted-fair order.
+//!
+//! ## Admission
+//!
+//! An arrival is authenticated against the tenant registry (the
+//! paper's 5-tuple), quota-checked (over-quota arrivals are deferred a
+//! bounded number of times, then rejected), trial-placed with the real
+//! scheduler, and judged by the Nimrod/G-style deadline-and-budget
+//! broker ([`super::broker`]). Admitted submissions are never dropped:
+//! a host failure mid-run restarts the run (counted, never lost), and
+//! an infeasible pending submission waits for capacity to return.
+//!
+//! ## Fairness
+//!
+//! The pending queue orders on *effective* priority — the account's
+//! base priority plus the aging boost ([`super::aging`]). A fully aged
+//! submission is **urgent**: the dispatcher will not backfill younger
+//! work past it, so its wait is bounded by the aging ramp plus the
+//! drain of running work (which the broker's makespan cap bounds).
+//!
+//! Load feedback: a dispatched run bumps its hosts' workload samples in
+//! the site repository, and prediction inflates linearly with smoothed
+//! workload — so the next arrival's host selection steers around busy
+//! hosts. Completion decays the same samples. Execution itself is
+//! simulated (predicted makespan under the network model): the service
+//! models scheduling and queueing dynamics, not kernel execution.
+
+use crate::host_selection::{host_selection_classed, HostSelectionOutput};
+use crate::incremental::IncrementalSchedule;
+use crate::makespan::evaluate;
+use crate::service::aging::AgingPolicy;
+use crate::service::broker::{estimate_cost, BrokerDecision, BrokerPolicy, RejectReason};
+use crate::service::tenant::{Quota, TenantRegistry};
+use crate::view::SiteView;
+use serde::{Deserialize, Serialize};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+use std::sync::Arc;
+use vdce_afg::level::level_map;
+use vdce_afg::Afg;
+use vdce_net::model::NetworkModel;
+use vdce_net::topology::SiteId;
+use vdce_obs::MetricsRegistry;
+use vdce_predict::cache::PredictCache;
+use vdce_predict::model::Predictor;
+use vdce_predict::parallel::ParallelModel;
+use vdce_repository::accounts::{AccessDomain, AuthError, UserId};
+use vdce_repository::resources::HostStatus;
+use vdce_repository::SiteRepository;
+
+/// Identifier of one submission, assigned by the service in arrival
+/// order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SubmissionId(pub u64);
+
+impl fmt::Display for SubmissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub{}", self.0)
+    }
+}
+
+/// One submission as it enters the service.
+#[derive(Debug, Clone)]
+pub struct SubmissionRequest {
+    /// The authenticated tenant (the 5-tuple's user id).
+    pub tenant: UserId,
+    /// The application flow graph to place and run.
+    pub afg: Arc<Afg>,
+    /// Absolute logical-time deadline.
+    pub deadline_s: f64,
+    /// Budget in broker cost units (CPU-seconds × cost rate).
+    pub budget: f64,
+}
+
+/// Service knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Neighbour-site count for `AccessDomain::Neighbours` tenants.
+    pub k_neighbours: usize,
+    /// Concurrent runs a site sustains per host (its slot capacity is
+    /// `hosts × slots_per_host`).
+    pub slots_per_host: u32,
+    /// Delay before retrying an over-quota arrival.
+    pub defer_delay_s: f64,
+    /// Defer attempts before an over-quota arrival is rejected.
+    pub max_defers: u32,
+    /// Anti-starvation aging policy.
+    pub aging: AgingPolicy,
+    /// Deadline-and-budget admission policy.
+    pub broker: BrokerPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            k_neighbours: 3,
+            slots_per_host: 1,
+            defer_delay_s: 2.0,
+            max_defers: 3,
+            aging: AgingPolicy::default(),
+            broker: BrokerPolicy::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Arrival(SubmissionId),
+    Completion { run: SubmissionId, generation: u32 },
+    HostDown { site: SiteId, host: String },
+    HostUp { site: SiteId, host: String },
+}
+
+/// Heap entry: total order on (logical time, sequence).
+#[derive(Debug, Clone)]
+struct QueuedEvent {
+    t: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.t.total_cmp(&other.t).then(self.seq.cmp(&other.seq))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------
+
+/// An admitted submission waiting for capacity.
+struct PendingSub {
+    req: SubmissionRequest,
+    arrival_s: f64,
+    base_priority: u8,
+    /// Sites this tenant's domain may use (local first, then by
+    /// distance) — the fixed site order of its outputs.
+    sites: Arc<[SiteId]>,
+    /// Cached per-site host-selection outputs, parallel to `sites`.
+    outputs: Vec<HostSelectionOutput>,
+    /// Current incremental placement; `None` while infeasible (every
+    /// candidate host down).
+    inc: Option<IncrementalSchedule>,
+}
+
+/// A dispatched run occupying capacity until its completion event.
+struct ActiveRun {
+    req: SubmissionRequest,
+    arrival_s: f64,
+    base_priority: u8,
+    sites: Arc<[SiteId]>,
+    primary: SiteId,
+    hosts: Vec<(SiteId, String)>,
+    finish_s: f64,
+    generation: u32,
+}
+
+#[derive(Default)]
+struct TenantCounters {
+    priority: u8,
+    submitted: u64,
+    admitted: u64,
+    deferred: u64,
+    rejected: u64,
+    completed: u64,
+    restarts: u64,
+    deadline_met: u64,
+    max_wait_s: f64,
+    sum_wait_s: f64,
+    waits: u64,
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+/// Per-tenant outcome row of a [`StreamReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Tenant id (the 5-tuple's numeric user id).
+    pub tenant: u32,
+    /// Base priority from the account record.
+    pub priority: u8,
+    /// Arrivals submitted on this account.
+    pub submitted: u64,
+    /// Arrivals the broker admitted.
+    pub admitted: u64,
+    /// Runs completed.
+    pub completed: u64,
+    /// Mid-run restarts caused by host failures.
+    pub restarts: u64,
+    /// Completions that met their deadline.
+    pub deadline_met: u64,
+    /// Longest observed wait from arrival to dispatch, seconds.
+    pub max_wait_s: f64,
+    /// The aging starvation bound for this tenant's priority.
+    pub wait_bound_s: f64,
+    /// Did any wait exceed the bound? (A CI-gate failure.)
+    pub starved: bool,
+}
+
+/// Deterministic outcome of draining a [`StreamService`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamReport {
+    /// Logical time of the last processed event.
+    pub horizon_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Arrivals submitted.
+    pub submitted: u64,
+    /// Arrivals admitted by the broker.
+    pub admitted: u64,
+    /// Defer round-trips taken by over-quota arrivals.
+    pub deferred: u64,
+    /// Runs completed.
+    pub completed: u64,
+    /// Mid-run restarts caused by host failures (work preserved).
+    pub restarts: u64,
+    /// Completions that met their deadline.
+    pub deadline_met: u64,
+    /// Admitted submissions still pending at drain (feasible only when
+    /// their resources never returned).
+    pub unplaced: u64,
+    /// Rejections by broker reason label, name-sorted.
+    pub rejected: Vec<(String, u64)>,
+    /// Median time-to-placement (arrival → dispatch), seconds.
+    pub ttp_p50_s: f64,
+    /// 99th-percentile time-to-placement, seconds.
+    pub ttp_p99_s: f64,
+    /// Worst time-to-placement, seconds.
+    pub ttp_max_s: f64,
+    /// FNV-1a digest over every dispatch and completion (submission,
+    /// placements, times) — the bit-identity fingerprint two replays of
+    /// the same trace must agree on.
+    pub placements_digest: u64,
+    /// Tenants whose max wait exceeded their aging bound.
+    pub starved_tenants: u64,
+    /// Per-tenant rows, tenant-id order.
+    pub tenants: Vec<TenantRow>,
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+/// The streaming multi-tenant scheduler service. See the module docs.
+pub struct StreamService {
+    cfg: ServiceConfig,
+    repos: Vec<SiteRepository>,
+    net: NetworkModel,
+    tenants: TenantRegistry,
+    predictor: Predictor,
+    parallel: ParallelModel,
+    cache: PredictCache,
+
+    clock: f64,
+    next_seq: u64,
+    next_submission: u64,
+    events: BinaryHeap<Reverse<QueuedEvent>>,
+    inbox: BTreeMap<SubmissionId, (SubmissionRequest, u32)>,
+    pending: BTreeMap<SubmissionId, PendingSub>,
+    active: BTreeMap<SubmissionId, ActiveRun>,
+
+    site_capacity: Vec<u32>,
+    site_inflight: Vec<u32>,
+    host_inflight: Vec<BTreeMap<String, u32>>,
+    views: Vec<Option<SiteView>>,
+    levels_view: Option<SiteView>,
+
+    events_processed: u64,
+    deferred: u64,
+    restarts: u64,
+    rejected: BTreeMap<&'static str, u64>,
+    ttp: Vec<f64>,
+    digest: u64,
+    counters: BTreeMap<UserId, TenantCounters>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_mix(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl StreamService {
+    /// Service over `repos` (index = site id; site 0 is the front end)
+    /// connected by `net`.
+    pub fn new(repos: Vec<SiteRepository>, net: NetworkModel, cfg: ServiceConfig) -> Self {
+        assert!(!repos.is_empty(), "a federation needs at least the local site");
+        let site_capacity: Vec<u32> = repos
+            .iter()
+            .map(|r| r.resources(|db| db.len()) as u32 * cfg.slots_per_host.max(1))
+            .collect();
+        let n = repos.len();
+        StreamService {
+            cfg,
+            repos,
+            net,
+            tenants: TenantRegistry::new(),
+            predictor: Predictor::default(),
+            parallel: ParallelModel::default(),
+            cache: PredictCache::new(),
+            clock: 0.0,
+            next_seq: 0,
+            next_submission: 0,
+            events: BinaryHeap::new(),
+            inbox: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            active: BTreeMap::new(),
+            site_capacity,
+            site_inflight: vec![0; n],
+            host_inflight: vec![BTreeMap::new(); n],
+            views: vec![None; n],
+            levels_view: None,
+            events_processed: 0,
+            deferred: 0,
+            restarts: 0,
+            rejected: BTreeMap::new(),
+            ttp: Vec::new(),
+            digest: FNV_OFFSET,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Register a tenant account (5-tuple + quota). See
+    /// [`TenantRegistry::register`].
+    pub fn register_tenant(
+        &mut self,
+        user_name: &str,
+        password: &str,
+        priority: u8,
+        domain: AccessDomain,
+        quota: Quota,
+    ) -> Result<UserId, AuthError> {
+        self.tenants.register(user_name, password, priority, domain, quota)
+    }
+
+    /// The tenant registry (authentication happens against this).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Admitted-but-unstarted submissions.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Currently running submissions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn push_event(&mut self, t: f64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(QueuedEvent { t: t.max(self.clock), seq, kind }));
+    }
+
+    /// Enqueue a submission arriving at logical time `t`.
+    pub fn submit_at(&mut self, t: f64, req: SubmissionRequest) -> SubmissionId {
+        let id = SubmissionId(self.next_submission);
+        self.next_submission += 1;
+        self.inbox.insert(id, (req, 0));
+        self.push_event(t, EventKind::Arrival(id));
+        id
+    }
+
+    /// Inject a host failure at logical time `t` (a monitor down event;
+    /// the host stays down until [`StreamService::inject_host_up_at`]).
+    pub fn inject_host_down_at(&mut self, t: f64, site: SiteId, host: &str) {
+        self.push_event(t, EventKind::HostDown { site, host: host.to_string() });
+    }
+
+    /// Inject a host recovery at logical time `t`.
+    pub fn inject_host_up_at(&mut self, t: f64, site: SiteId, host: &str) {
+        self.push_event(t, EventKind::HostUp { site, host: host.to_string() });
+    }
+
+    // -- views and outputs --------------------------------------------
+
+    fn view(&mut self, site: SiteId) -> SiteView {
+        let slot = &mut self.views[site.index()];
+        if slot.is_none() {
+            *slot = Some(SiteView::capture(site, &self.repos[site.index()]));
+        }
+        slot.clone().expect("filled above")
+    }
+
+    fn dirty_site(&mut self, site: SiteId) {
+        self.views[site.index()] = None;
+    }
+
+    fn domain_sites(&self, domain: AccessDomain) -> Arc<[SiteId]> {
+        let local = SiteId(0);
+        let mut sites = vec![local];
+        match domain {
+            AccessDomain::LocalSite => {}
+            AccessDomain::Neighbours => {
+                sites.extend(self.net.nearest_neighbours(local, self.cfg.k_neighbours));
+            }
+            AccessDomain::Global => {
+                sites.extend(self.net.nearest_neighbours(local, self.repos.len() - 1));
+            }
+        }
+        sites.into()
+    }
+
+    fn output_for(&mut self, site: SiteId, afg: &Afg) -> HostSelectionOutput {
+        let view = self.view(site);
+        host_selection_classed(&view, afg, &self.predictor, &self.parallel, &self.cache)
+    }
+
+    /// Levels for makespan evaluation: base-processor costs from the
+    /// front-end site's task-performance database (load-independent, so
+    /// cached once).
+    fn levels_for(&mut self, afg: &Afg) -> Vec<f64> {
+        if self.levels_view.is_none() {
+            self.levels_view = Some(SiteView::capture(SiteId(0), &self.repos[0]));
+        }
+        let view = self.levels_view.as_ref().expect("filled above");
+        level_map(afg, |t| view.tasks.base_time(&t.library_task, t.problem_size).unwrap_or(0.0))
+            .expect("submissions are validated acyclic AFGs")
+    }
+
+    // -- admission ----------------------------------------------------
+
+    fn reject(&mut self, tenant: UserId, reason: RejectReason) {
+        *self.rejected.entry(reason.label()).or_insert(0) += 1;
+        let c = self.counters.entry(tenant).or_default();
+        c.rejected += 1;
+    }
+
+    fn tenant_inflight(&self, tenant: UserId) -> u32 {
+        let p = self.pending.values().filter(|p| p.req.tenant == tenant).count();
+        let a = self.active.values().filter(|a| a.req.tenant == tenant).count();
+        (p + a) as u32
+    }
+
+    fn handle_arrival(&mut self, id: SubmissionId) {
+        let Some((req, defers)) = self.inbox.remove(&id) else { return };
+        let now = self.clock;
+        let tenant = req.tenant;
+        if defers == 0 {
+            let acct_priority = self.tenants.account(tenant).map(|a| a.priority).unwrap_or(0);
+            let c = self.counters.entry(tenant).or_default();
+            c.submitted += 1;
+            c.priority = acct_priority;
+        }
+
+        let Some(acct) = self.tenants.account(tenant) else {
+            self.reject(tenant, RejectReason::UnknownTenant);
+            return;
+        };
+        let (base_priority, domain) = (acct.priority, acct.domain);
+
+        // Quota: defer a bounded number of times, then reject.
+        if self.tenant_inflight(tenant) >= self.tenants.quota(tenant).max_inflight {
+            if defers < self.cfg.max_defers {
+                self.deferred += 1;
+                self.counters.entry(tenant).or_default().deferred += 1;
+                let retry = now + self.cfg.defer_delay_s;
+                self.inbox.insert(id, (req, defers + 1));
+                self.push_event(retry, EventKind::Arrival(id));
+            } else {
+                self.reject(tenant, RejectReason::QuotaExhausted);
+            }
+            return;
+        }
+
+        // Trial placement with the real scheduler.
+        let sites = self.domain_sites(domain);
+        let outputs: Vec<HostSelectionOutput> =
+            sites.iter().map(|&s| self.output_for(s, &req.afg)).collect();
+        let Ok(inc) =
+            IncrementalSchedule::new(&req.afg, SiteId(0), outputs.clone(), &self.net, false)
+        else {
+            self.reject(tenant, RejectReason::NoFeasiblePlacement);
+            return;
+        };
+
+        // Broker verdict on the trial placement.
+        let levels = self.levels_for(&req.afg);
+        let Ok(sched) = evaluate(&req.afg, inc.table(), &self.net, &levels) else {
+            self.reject(tenant, RejectReason::NoFeasiblePlacement);
+            return;
+        };
+        let est_cost = estimate_cost(inc.table(), SiteId(0), &self.cfg.broker);
+        match self.cfg.broker.decide(now, req.deadline_s, req.budget, sched.makespan, est_cost) {
+            BrokerDecision::Reject(reason) => {
+                self.reject(tenant, reason);
+                return;
+            }
+            BrokerDecision::Admit { .. } => {}
+        }
+
+        self.counters.entry(tenant).or_default().admitted += 1;
+        self.pending.insert(
+            id,
+            PendingSub { req, arrival_s: now, base_priority, sites, outputs, inc: Some(inc) },
+        );
+        let changed = self.dispatch();
+        self.refresh_pending(&changed);
+    }
+
+    // -- dispatch -----------------------------------------------------
+
+    fn primary_site(inc: &IncrementalSchedule) -> SiteId {
+        let mut counts: BTreeMap<SiteId, usize> = BTreeMap::new();
+        for p in inc.table().iter() {
+            *counts.entry(p.site).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(site, n)| (n, Reverse(site)))
+            .map(|(site, _)| site)
+            .expect("placed submissions are non-empty")
+    }
+
+    /// Start every dispatchable pending submission, weighted-fair order.
+    /// Returns the sites whose load changed.
+    fn dispatch(&mut self) -> BTreeSet<SiteId> {
+        let mut changed = BTreeSet::new();
+        loop {
+            let now = self.clock;
+            // Order: effective priority desc, then earliest deadline,
+            // then submission id — all exact integers or fixed floats,
+            // so the sort is replay-stable.
+            let mut cands: Vec<(u32, u64, SubmissionId, bool, SiteId)> = self
+                .pending
+                .iter()
+                .filter_map(|(&id, p)| {
+                    p.inc.as_ref().map(|inc| {
+                        let eff =
+                            self.cfg.aging.effective_priority(p.base_priority, now - p.arrival_s);
+                        let urgent = self.cfg.aging.is_urgent(p.base_priority, now - p.arrival_s);
+                        (eff, p.req.deadline_s.to_bits(), id, urgent, Self::primary_site(inc))
+                    })
+                })
+                .collect();
+            cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            let any_urgent = cands.iter().any(|c| c.3);
+            let mut start = None;
+            for &(_, _, id, urgent, primary) in &cands {
+                if any_urgent && !urgent {
+                    // No backfill past fully aged work: younger
+                    // submissions wait until every urgent one has
+                    // started. This is what makes the starvation bound
+                    // hold.
+                    break;
+                }
+                if self.site_inflight[primary.index()] < self.site_capacity[primary.index()] {
+                    start = Some(id);
+                    break;
+                }
+            }
+            let Some(id) = start else { break };
+            self.start_run(id, &mut changed);
+        }
+        changed
+    }
+
+    fn start_run(&mut self, id: SubmissionId, changed: &mut BTreeSet<SiteId>) {
+        let p = self.pending.remove(&id).expect("dispatch picked a pending id");
+        let inc = p.inc.expect("dispatch only picks feasible submissions");
+        let now = self.clock;
+
+        // Timing: simulate the table as-is (before this run's own load
+        // feedback — its predictions already include everyone else's).
+        let levels = self.levels_for(&p.req.afg);
+        let sched = evaluate(&p.req.afg, inc.table(), &self.net, &levels)
+            .expect("placed submissions evaluate");
+        let finish = now + sched.makespan;
+
+        let wait = now - p.arrival_s;
+        self.ttp.push(wait);
+        {
+            let c = self.counters.entry(p.req.tenant).or_default();
+            c.max_wait_s = c.max_wait_s.max(wait);
+            c.sum_wait_s += wait;
+            c.waits += 1;
+        }
+
+        // Digest: dispatch decision, placement by placement.
+        fnv_mix(&mut self.digest, b"dispatch");
+        fnv_mix(&mut self.digest, &id.0.to_le_bytes());
+        fnv_mix(&mut self.digest, &now.to_bits().to_le_bytes());
+        fnv_mix(&mut self.digest, &finish.to_bits().to_le_bytes());
+        let mut hosts: BTreeSet<(SiteId, String)> = BTreeSet::new();
+        for pl in inc.table().iter() {
+            fnv_mix(&mut self.digest, &pl.task.0.to_le_bytes());
+            fnv_mix(&mut self.digest, &pl.site.0.to_le_bytes());
+            fnv_mix(&mut self.digest, &pl.predicted_seconds.to_bits().to_le_bytes());
+            for h in pl.hosts.iter() {
+                fnv_mix(&mut self.digest, h.as_bytes());
+                hosts.insert((pl.site, h.clone()));
+            }
+        }
+
+        let primary = Self::primary_site(&inc);
+        self.site_inflight[primary.index()] += 1;
+        let hosts: Vec<(SiteId, String)> = hosts.into_iter().collect();
+        for (site, host) in &hosts {
+            self.bump_host_load(*site, host, 1);
+            changed.insert(*site);
+        }
+
+        let generation = 0;
+        self.push_event(finish, EventKind::Completion { run: id, generation });
+        self.active.insert(
+            id,
+            ActiveRun {
+                req: p.req,
+                arrival_s: p.arrival_s,
+                base_priority: p.base_priority,
+                sites: p.sites,
+                primary,
+                hosts,
+                finish_s: finish,
+                generation,
+            },
+        );
+    }
+
+    /// Add `delta` running tasks to a host's load and publish the new
+    /// level as a monitor workload sample.
+    fn bump_host_load(&mut self, site: SiteId, host: &str, delta: i64) {
+        let entry = self.host_inflight[site.index()].entry(host.to_string()).or_insert(0);
+        *entry = (*entry as i64 + delta).max(0) as u32;
+        let load = f64::from(*entry);
+        self.repos[site.index()].resources_mut(|db| {
+            let mem = db.get(host).map(|r| r.available_memory).unwrap_or(0);
+            db.record_sample(host, load, mem);
+        });
+        self.dirty_site(site);
+    }
+
+    // -- incremental refresh ------------------------------------------
+
+    /// Recompute host selection for `changed` sites and let every
+    /// affected pending submission absorb the delta in O(changed) via
+    /// [`IncrementalSchedule::apply`].
+    fn refresh_pending(&mut self, changed: &BTreeSet<SiteId>) {
+        if changed.is_empty() || self.pending.is_empty() {
+            return;
+        }
+        let ids: Vec<SubmissionId> = self.pending.keys().copied().collect();
+        for id in ids {
+            let (sites, afg) = {
+                let p = self.pending.get(&id).expect("still pending");
+                if !p.sites.iter().any(|s| changed.contains(s)) {
+                    continue;
+                }
+                (p.sites.clone(), p.req.afg.clone())
+            };
+            let mut new_outputs = Vec::with_capacity(sites.len());
+            for (i, &s) in sites.iter().enumerate() {
+                if changed.contains(&s) {
+                    new_outputs.push(self.output_for(s, &afg));
+                } else {
+                    // Unchanged site: reuse the shared choices so the
+                    // apply diff takes the Arc pointer fast path.
+                    new_outputs.push(self.pending[&id].outputs[i].clone());
+                }
+            }
+            let p = self.pending.get_mut(&id).expect("still pending");
+            let applied = match p.inc.as_mut() {
+                Some(inc) => inc.apply(&afg, new_outputs.clone()).is_ok(),
+                None => false,
+            };
+            if !applied {
+                // Poisoned or previously infeasible: rebuild from the
+                // fresh outputs (stays `None` while still infeasible).
+                p.inc = IncrementalSchedule::new(
+                    &afg,
+                    SiteId(0),
+                    new_outputs.clone(),
+                    &self.net,
+                    false,
+                )
+                .ok();
+            }
+            p.outputs = new_outputs;
+        }
+    }
+
+    // -- completions and faults ---------------------------------------
+
+    fn handle_completion(&mut self, run: SubmissionId, generation: u32) {
+        let stale = self.active.get(&run).map(|a| a.generation != generation).unwrap_or(true);
+        if stale {
+            return;
+        }
+        let a = self.active.remove(&run).expect("checked above");
+        self.site_inflight[a.primary.index()] -= 1;
+        let mut changed = BTreeSet::new();
+        for (site, host) in &a.hosts {
+            self.bump_host_load(*site, host, -1);
+            changed.insert(*site);
+        }
+        fnv_mix(&mut self.digest, b"complete");
+        fnv_mix(&mut self.digest, &run.0.to_le_bytes());
+        fnv_mix(&mut self.digest, &a.finish_s.to_bits().to_le_bytes());
+        {
+            let c = self.counters.entry(a.req.tenant).or_default();
+            c.completed += 1;
+            if a.finish_s <= a.req.deadline_s {
+                c.deadline_met += 1;
+            }
+        }
+        self.refresh_pending(&changed);
+        let changed = self.dispatch();
+        self.refresh_pending(&changed);
+    }
+
+    fn handle_host_down(&mut self, site: SiteId, host: String) {
+        self.repos[site.index()].resources_mut(|db| db.set_status(&host, HostStatus::Down));
+        self.dirty_site(site);
+        let mut changed = BTreeSet::new();
+        changed.insert(site);
+
+        // Restart every run that used the dead host: free its capacity
+        // and re-enter the pending queue with the *original* arrival
+        // time, so the aging credit (and thus the starvation bound)
+        // survives the fault. Admitted work is never lost.
+        let victims: Vec<SubmissionId> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.hosts.iter().any(|(s, h)| *s == site && *h == host))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            let mut a = self.active.remove(&id).expect("listed above");
+            a.generation += 1; // invalidate the in-flight completion event
+            self.site_inflight[a.primary.index()] -= 1;
+            for (s, h) in &a.hosts {
+                self.bump_host_load(*s, h, -1);
+                changed.insert(*s);
+            }
+            self.restarts += 1;
+            self.counters.entry(a.req.tenant).or_default().restarts += 1;
+            fnv_mix(&mut self.digest, b"restart");
+            fnv_mix(&mut self.digest, &id.0.to_le_bytes());
+            let outputs: Vec<HostSelectionOutput> =
+                a.sites.iter().map(|&s| self.output_for(s, &a.req.afg)).collect();
+            let inc =
+                IncrementalSchedule::new(&a.req.afg, SiteId(0), outputs.clone(), &self.net, false)
+                    .ok();
+            self.pending.insert(
+                id,
+                PendingSub {
+                    req: a.req,
+                    arrival_s: a.arrival_s,
+                    base_priority: a.base_priority,
+                    sites: a.sites,
+                    outputs,
+                    inc,
+                },
+            );
+        }
+
+        self.refresh_pending(&changed);
+        let changed = self.dispatch();
+        self.refresh_pending(&changed);
+    }
+
+    fn handle_host_up(&mut self, site: SiteId, host: String) {
+        self.repos[site.index()].resources_mut(|db| db.set_status(&host, HostStatus::Up));
+        self.dirty_site(site);
+        let mut changed = BTreeSet::new();
+        changed.insert(site);
+        self.refresh_pending(&changed);
+        let changed = self.dispatch();
+        self.refresh_pending(&changed);
+    }
+
+    // -- the loop -----------------------------------------------------
+
+    /// Process every queued event in logical-time order. Returns the
+    /// deterministic outcome report.
+    pub fn drain(&mut self) -> StreamReport {
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.t >= self.clock, "logical time must be monotonic");
+            self.clock = ev.t.max(self.clock);
+            self.events_processed += 1;
+            match ev.kind {
+                EventKind::Arrival(id) => self.handle_arrival(id),
+                EventKind::Completion { run, generation } => {
+                    self.handle_completion(run, generation)
+                }
+                EventKind::HostDown { site, host } => self.handle_host_down(site, host),
+                EventKind::HostUp { site, host } => self.handle_host_up(site, host),
+            }
+        }
+        self.report()
+    }
+
+    /// Build the outcome report for the events processed so far.
+    pub fn report(&self) -> StreamReport {
+        let mut ttp = self.ttp.clone();
+        ttp.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if ttp.is_empty() {
+                return 0.0;
+            }
+            let idx = ((ttp.len() - 1) as f64 * q).ceil() as usize;
+            ttp[idx.min(ttp.len() - 1)]
+        };
+        let mut tenants: Vec<TenantRow> = Vec::with_capacity(self.counters.len());
+        let mut starved_tenants = 0u64;
+        for (&id, c) in &self.counters {
+            // A submission still waiting at drain has an open wait;
+            // fold it into the tenant's maximum so starvation cannot
+            // hide behind "never dispatched".
+            let mut max_wait = c.max_wait_s;
+            for p in self.pending.values().filter(|p| p.req.tenant == id) {
+                max_wait = max_wait.max(self.clock - p.arrival_s);
+            }
+            let bound = self.cfg.aging.starvation_bound_s(c.priority);
+            let starved = max_wait > bound;
+            if starved {
+                starved_tenants += 1;
+            }
+            tenants.push(TenantRow {
+                tenant: id.0,
+                priority: c.priority,
+                submitted: c.submitted,
+                admitted: c.admitted,
+                completed: c.completed,
+                restarts: c.restarts,
+                deadline_met: c.deadline_met,
+                max_wait_s: max_wait,
+                wait_bound_s: bound,
+                starved,
+            });
+        }
+        StreamReport {
+            horizon_s: self.clock,
+            events: self.events_processed,
+            submitted: self.counters.values().map(|c| c.submitted).sum(),
+            admitted: self.counters.values().map(|c| c.admitted).sum(),
+            deferred: self.deferred,
+            completed: self.counters.values().map(|c| c.completed).sum(),
+            restarts: self.restarts,
+            deadline_met: self.counters.values().map(|c| c.deadline_met).sum(),
+            unplaced: self.pending.len() as u64,
+            rejected: self.rejected.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            ttp_p50_s: pct(0.50),
+            ttp_p99_s: pct(0.99),
+            ttp_max_s: ttp.last().copied().unwrap_or(0.0),
+            placements_digest: self.digest,
+            starved_tenants,
+            tenants,
+        }
+    }
+
+    /// Export service counters into an observability registry:
+    /// service-wide totals plus per-priority-class aggregates (bounded
+    /// cardinality however many tenants there are).
+    pub fn export_metrics(&self, reg: &MetricsRegistry) {
+        let report = self.report();
+        reg.counter_add("stream.submitted", report.submitted);
+        reg.counter_add("stream.admitted", report.admitted);
+        reg.counter_add("stream.deferred", report.deferred);
+        reg.counter_add("stream.completed", report.completed);
+        reg.counter_add("stream.restarts", report.restarts);
+        reg.counter_add("stream.deadline_met", report.deadline_met);
+        reg.counter_add("stream.starved_tenants", report.starved_tenants);
+        reg.gauge_set("stream.queue_depth", self.pending.len() as f64);
+        reg.gauge_set("stream.ttp_p99_s", report.ttp_p99_s);
+        for (reason, n) in &report.rejected {
+            reg.counter_add(&format!("stream.rejected.{reason}"), *n);
+        }
+        const TTP_BOUNDS: [f64; 8] = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0];
+        for w in &self.ttp {
+            reg.observe("stream.time_to_placement_s", &TTP_BOUNDS, *w);
+        }
+        let mut by_class: BTreeMap<u8, (u64, u64, f64)> = BTreeMap::new();
+        for row in &report.tenants {
+            let e = by_class.entry(row.priority).or_insert((0, 0, 0.0));
+            e.0 += row.submitted;
+            e.1 += row.completed;
+            e.2 = e.2.max(row.max_wait_s);
+        }
+        for (prio, (submitted, completed, max_wait)) in by_class {
+            reg.counter_add(&format!("stream.class.p{prio}.submitted"), submitted);
+            reg.counter_add(&format!("stream.class.p{prio}.completed"), completed);
+            reg.gauge_set(&format!("stream.class.p{prio}.max_wait_s"), max_wait);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdce_afg::{AfgBuilder, MachineType, TaskLibrary};
+    use vdce_net::topology::SiteId;
+    use vdce_repository::resources::ResourceRecord;
+
+    fn repo(hosts: &[(&str, f64)]) -> SiteRepository {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            for (name, speed) in hosts {
+                db.upsert(ResourceRecord::new(
+                    *name,
+                    "10.0.0.1",
+                    MachineType::LinuxPc,
+                    *speed,
+                    1,
+                    1 << 30,
+                    "g0",
+                ));
+            }
+        });
+        repo
+    }
+
+    fn chain_afg(n: u64) -> Arc<Afg> {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("chain", &lib);
+        let s = b.add_task("Source", "src", n).unwrap();
+        let m = b.add_task("Sort", "sort", n).unwrap();
+        let k = b.add_task("Sink", "snk", n).unwrap();
+        b.connect(s, 0, m, 0).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        Arc::new(b.build().unwrap())
+    }
+
+    fn service() -> StreamService {
+        let repos = vec![repo(&[("l0", 1.0), ("l1", 2.0)]), repo(&[("r0", 3.0), ("r1", 0.5)])];
+        let net = NetworkModel::with_defaults(2);
+        StreamService::new(repos, net, ServiceConfig::default())
+    }
+
+    fn req(svc: &StreamService, tenant: UserId) -> SubmissionRequest {
+        let _ = svc;
+        SubmissionRequest { tenant, afg: chain_afg(10_000), deadline_s: 1e9, budget: f64::INFINITY }
+    }
+
+    #[test]
+    fn submit_place_complete_round_trip() {
+        let mut svc = service();
+        let t =
+            svc.register_tenant("alice", "pw", 5, AccessDomain::Global, Quota::default()).unwrap();
+        svc.submit_at(0.0, req(&svc, t));
+        svc.submit_at(1.0, req(&svc, t));
+        let report = svc.drain();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.unplaced, 0);
+        assert_eq!(report.starved_tenants, 0);
+        assert!(report.deadline_met == 2);
+        assert_eq!(svc.active_count(), 0);
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let mut svc = service();
+        svc.submit_at(0.0, req(&svc, UserId(42)));
+        let report = svc.drain();
+        assert_eq!(report.admitted, 0);
+        assert_eq!(report.rejected, vec![("unknown_tenant".to_string(), 1)]);
+    }
+
+    #[test]
+    fn budget_and_deadline_reject() {
+        let mut svc = service();
+        let t =
+            svc.register_tenant("bob", "pw", 5, AccessDomain::Global, Quota::default()).unwrap();
+        let mut tight_budget = req(&svc, t);
+        tight_budget.budget = 1e-12;
+        let mut tight_deadline = req(&svc, t);
+        tight_deadline.deadline_s = 1e-12;
+        svc.submit_at(0.0, tight_budget);
+        svc.submit_at(0.0, tight_deadline);
+        let report = svc.drain();
+        assert_eq!(report.admitted, 0);
+        let reasons: Vec<&str> = report.rejected.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(reasons.contains(&"over_budget"));
+        assert!(reasons.contains(&"deadline_infeasible"));
+    }
+
+    #[test]
+    fn quota_defers_then_rejects() {
+        let mut svc = service();
+        let t = svc
+            .register_tenant("carol", "pw", 5, AccessDomain::Global, Quota { max_inflight: 1 })
+            .unwrap();
+        // Flood with simultaneous arrivals; quota 1 admits one at a
+        // time, defers the rest, and rejects whoever runs out of
+        // defers while the first still runs.
+        for _ in 0..4 {
+            svc.submit_at(0.0, req(&svc, t));
+        }
+        let report = svc.drain();
+        assert!(report.deferred > 0, "over-quota arrivals must defer");
+        assert!(report.admitted >= 1);
+        assert_eq!(report.submitted, 4);
+    }
+
+    #[test]
+    fn local_domain_places_only_locally() {
+        let mut svc = service();
+        let t =
+            svc.register_tenant("dan", "pw", 5, AccessDomain::LocalSite, Quota::default()).unwrap();
+        svc.submit_at(0.0, req(&svc, t));
+        let report = svc.drain();
+        assert_eq!(report.completed, 1);
+        // The digest covers placements; a local-only domain must never
+        // name a remote host. Cheaper check: rerun with remote site
+        // removed entirely and the digest must match.
+        let repos = vec![repo(&[("l0", 1.0), ("l1", 2.0)])];
+        let net = NetworkModel::with_defaults(1);
+        let mut solo = StreamService::new(repos, net, ServiceConfig::default());
+        let t2 = solo
+            .register_tenant("dan", "pw", 5, AccessDomain::LocalSite, Quota::default())
+            .unwrap();
+        assert_eq!(t2, t);
+        solo.submit_at(0.0, req(&solo, t2));
+        let solo_report = solo.drain();
+        assert_eq!(solo_report.placements_digest, report.placements_digest);
+    }
+
+    #[test]
+    fn host_failure_restarts_without_losing_work() {
+        // One host total, so the run *must* be on it when it dies.
+        let repos = vec![repo(&[("only", 1.0)])];
+        let net = NetworkModel::with_defaults(1);
+        let mut svc = StreamService::new(repos, net, ServiceConfig::default());
+        let t =
+            svc.register_tenant("eve", "pw", 5, AccessDomain::Global, Quota::default()).unwrap();
+        svc.submit_at(0.0, req(&svc, t));
+        // Same logical instant, later sequence: the arrival dispatches
+        // first, then the host dies under the freshly started run.
+        svc.inject_host_down_at(0.0, SiteId(0), "only");
+        svc.inject_host_up_at(100.0, SiteId(0), "only");
+        let report = svc.drain();
+        assert_eq!(report.completed, 1, "admitted work survives the failure");
+        assert_eq!(report.unplaced, 0);
+        assert!(report.restarts >= 1, "the run on the dead host must restart");
+    }
+
+    #[test]
+    fn drain_is_replay_deterministic() {
+        let run = || {
+            let mut svc = service();
+            let t = svc
+                .register_tenant("zed", "pw", 3, AccessDomain::Global, Quota::default())
+                .unwrap();
+            for i in 0..6 {
+                svc.submit_at(i as f64 * 0.3, req(&svc, t));
+            }
+            svc.inject_host_down_at(1.0, SiteId(1), "r0");
+            svc.inject_host_up_at(5.0, SiteId(1), "r0");
+            svc.drain()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same trace, same report, bit for bit");
+        assert_eq!(a.placements_digest, b.placements_digest);
+    }
+}

@@ -22,12 +22,17 @@
 //! - [`replay`] — deterministic replay of a fault plan against the real
 //!   runtime control plane, with mid-execution recovery
 //!   (detect → quarantine → re-select → migrate → retry) and the
-//!   [`metrics::RecoveryReport`] the `exp_faults` binary emits.
+//!   [`metrics::RecoveryReport`] the `exp_faults` binary emits;
+//! - [`arrivals`] — seeded Poisson submission traces for the streaming
+//!   scheduler service;
+//! - [`stream`] — the streaming-service harness: trace + federation +
+//!   fault plan in, replay-deterministic `StreamReport` out.
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arrivals;
 pub mod dag_gen;
 pub mod faults;
 pub mod harness;
@@ -35,8 +40,10 @@ pub mod metrics;
 pub mod pool_gen;
 pub mod replay;
 pub mod scenario;
+pub mod stream;
 pub mod trace;
 
+pub use arrivals::{poisson_trace, Arrival, TraceSpec};
 pub use dag_gen::DagSpec;
 pub use faults::{Fault, FaultPlan};
 pub use harness::{compare_schedulers, SchedulerKind};
@@ -44,3 +51,4 @@ pub use metrics::{summarise, RecoveryReport, Summary, Table};
 pub use pool_gen::{build_federation, Federation, FederationSpec};
 pub use replay::{replay, run_fault_scenario, ReplayConfig, ReplayOutcome};
 pub use scenario::Scenario;
+pub use stream::{run_stream, run_stream_observed, StreamScenario};
