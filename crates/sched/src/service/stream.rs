@@ -183,6 +183,10 @@ struct PendingSub {
     /// Current incremental placement; `None` while infeasible (every
     /// candidate host down).
     inc: Option<IncrementalSchedule>,
+    /// Dispatch generation the next start will run as: 0 on first
+    /// admission, incremented by every fault restart so the victim's
+    /// stale in-flight completion event cannot complete the re-run.
+    generation: u32,
 }
 
 /// A dispatched run occupying capacity until its completion event.
@@ -191,7 +195,9 @@ struct ActiveRun {
     arrival_s: f64,
     base_priority: u8,
     sites: Arc<[SiteId]>,
-    primary: SiteId,
+    /// Every site the placement touches — each one was charged a slot
+    /// at dispatch and is released on completion or restart.
+    charged: Vec<SiteId>,
     hosts: Vec<(SiteId, String)>,
     finish_s: f64,
     generation: u32,
@@ -547,7 +553,15 @@ impl StreamService {
         self.counters.entry(tenant).or_default().admitted += 1;
         self.pending.insert(
             id,
-            PendingSub { req, arrival_s: now, base_priority, sites, outputs, inc: Some(inc) },
+            PendingSub {
+                req,
+                arrival_s: now,
+                base_priority,
+                sites,
+                outputs,
+                inc: Some(inc),
+                generation: 0,
+            },
         );
         let changed = self.dispatch();
         self.refresh_pending(&changed);
@@ -555,57 +569,75 @@ impl StreamService {
 
     // -- dispatch -----------------------------------------------------
 
-    fn primary_site(inc: &IncrementalSchedule) -> SiteId {
-        let mut counts: BTreeMap<SiteId, usize> = BTreeMap::new();
-        for p in inc.table().iter() {
-            *counts.entry(p.site).or_insert(0) += 1;
-        }
-        counts
-            .into_iter()
-            .max_by_key(|&(site, n)| (n, Reverse(site)))
-            .map(|(site, _)| site)
-            .expect("placed submissions are non-empty")
+    /// Every distinct site a placement touches, site-id order.
+    fn placement_sites(inc: &IncrementalSchedule) -> Vec<SiteId> {
+        let sites: BTreeSet<SiteId> = inc.table().iter().map(|p| p.site).collect();
+        sites.into_iter().collect()
     }
 
     /// Start every dispatchable pending submission, weighted-fair order.
     /// Returns the sites whose load changed.
     fn dispatch(&mut self) -> BTreeSet<SiteId> {
         let mut changed = BTreeSet::new();
-        loop {
-            let now = self.clock;
-            // Order: effective priority desc, then earliest deadline,
-            // then submission id — all exact integers or fixed floats,
-            // so the sort is replay-stable.
-            let mut cands: Vec<(u32, u64, SubmissionId, bool, SiteId)> = self
-                .pending
-                .iter()
-                .filter_map(|(&id, p)| {
-                    p.inc.as_ref().map(|inc| {
-                        let eff =
-                            self.cfg.aging.effective_priority(p.base_priority, now - p.arrival_s);
-                        let urgent = self.cfg.aging.is_urgent(p.base_priority, now - p.arrival_s);
-                        (eff, p.req.deadline_s.to_bits(), id, urgent, Self::primary_site(inc))
-                    })
+        let now = self.clock;
+        // Order: effective priority desc, then earliest deadline,
+        // then submission id — all exact integers or fixed floats,
+        // so the sort is replay-stable. Built once per call: pending
+        // placements don't change between starts (refresh_pending runs
+        // after dispatch returns), only slot capacity does, so each
+        // start only re-checks capacity instead of re-sorting.
+        struct Cand {
+            eff: u32,
+            deadline_bits: u64,
+            id: SubmissionId,
+            urgent: bool,
+            sites: Vec<SiteId>,
+            started: bool,
+        }
+        let mut cands: Vec<Cand> = self
+            .pending
+            .iter()
+            .filter_map(|(&id, p)| {
+                p.inc.as_ref().map(|inc| Cand {
+                    eff: self.cfg.aging.effective_priority(p.base_priority, now - p.arrival_s),
+                    deadline_bits: p.req.deadline_s.to_bits(),
+                    id,
+                    urgent: self.cfg.aging.is_urgent(p.base_priority, now - p.arrival_s),
+                    sites: Self::placement_sites(inc),
+                    started: false,
                 })
-                .collect();
-            cands.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-            let any_urgent = cands.iter().any(|c| c.3);
+            })
+            .collect();
+        cands.sort_by(|a, b| {
+            b.eff.cmp(&a.eff).then(a.deadline_bits.cmp(&b.deadline_bits)).then(a.id.cmp(&b.id))
+        });
+        loop {
+            let any_urgent = cands.iter().any(|c| !c.started && c.urgent);
             let mut start = None;
-            for &(_, _, id, urgent, primary) in &cands {
-                if any_urgent && !urgent {
+            for (i, c) in cands.iter().enumerate() {
+                if c.started {
+                    continue;
+                }
+                if any_urgent && !c.urgent {
                     // No backfill past fully aged work: younger
                     // submissions wait until every urgent one has
                     // started. This is what makes the starvation bound
                     // hold.
                     break;
                 }
-                if self.site_inflight[primary.index()] < self.site_capacity[primary.index()] {
-                    start = Some(id);
+                // A placement consumes one slot on *every* site it
+                // touches, so all of them must have room.
+                if c.sites
+                    .iter()
+                    .all(|s| self.site_inflight[s.index()] < self.site_capacity[s.index()])
+                {
+                    start = Some(i);
                     break;
                 }
             }
-            let Some(id) = start else { break };
-            self.start_run(id, &mut changed);
+            let Some(i) = start else { break };
+            cands[i].started = true;
+            self.start_run(cands[i].id, &mut changed);
         }
         changed
     }
@@ -647,15 +679,20 @@ impl StreamService {
             }
         }
 
-        let primary = Self::primary_site(&inc);
-        self.site_inflight[primary.index()] += 1;
+        let charged = Self::placement_sites(&inc);
+        for site in &charged {
+            self.site_inflight[site.index()] += 1;
+        }
         let hosts: Vec<(SiteId, String)> = hosts.into_iter().collect();
         for (site, host) in &hosts {
             self.bump_host_load(*site, host, 1);
             changed.insert(*site);
         }
 
-        let generation = 0;
+        // The generation carried through PendingSub: 0 on first admit,
+        // bumped by each restart, so a restarted run's stale completion
+        // event can never complete the re-run early.
+        let generation = p.generation;
         self.push_event(finish, EventKind::Completion { run: id, generation });
         self.active.insert(
             id,
@@ -664,7 +701,7 @@ impl StreamService {
                 arrival_s: p.arrival_s,
                 base_priority: p.base_priority,
                 sites: p.sites,
-                primary,
+                charged,
                 hosts,
                 finish_s: finish,
                 generation,
@@ -742,7 +779,9 @@ impl StreamService {
             return;
         }
         let a = self.active.remove(&run).expect("checked above");
-        self.site_inflight[a.primary.index()] -= 1;
+        for site in &a.charged {
+            self.site_inflight[site.index()] -= 1;
+        }
         let mut changed = BTreeSet::new();
         for (site, host) in &a.hosts {
             self.bump_host_load(*site, host, -1);
@@ -780,9 +819,10 @@ impl StreamService {
             .map(|(&id, _)| id)
             .collect();
         for id in victims {
-            let mut a = self.active.remove(&id).expect("listed above");
-            a.generation += 1; // invalidate the in-flight completion event
-            self.site_inflight[a.primary.index()] -= 1;
+            let a = self.active.remove(&id).expect("listed above");
+            for s in &a.charged {
+                self.site_inflight[s.index()] -= 1;
+            }
             for (s, h) in &a.hosts {
                 self.bump_host_load(*s, h, -1);
                 changed.insert(*s);
@@ -805,6 +845,10 @@ impl StreamService {
                     sites: a.sites,
                     outputs,
                     inc,
+                    // Bumped past the victim's dispatch generation so
+                    // the old run's in-flight completion event goes
+                    // stale the moment this re-dispatches.
+                    generation: a.generation + 1,
                 },
             );
         }
@@ -826,23 +870,36 @@ impl StreamService {
 
     // -- the loop -----------------------------------------------------
 
+    fn process(&mut self, ev: QueuedEvent) {
+        debug_assert!(ev.t >= self.clock, "logical time must be monotonic");
+        self.clock = ev.t.max(self.clock);
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Arrival(id) => self.handle_arrival(id),
+            EventKind::Completion { run, generation } => self.handle_completion(run, generation),
+            EventKind::HostDown { site, host } => self.handle_host_down(site, host),
+            EventKind::HostUp { site, host } => self.handle_host_up(site, host),
+        }
+    }
+
     /// Process every queued event in logical-time order. Returns the
     /// deterministic outcome report.
     pub fn drain(&mut self) -> StreamReport {
         while let Some(Reverse(ev)) = self.events.pop() {
-            debug_assert!(ev.t >= self.clock, "logical time must be monotonic");
-            self.clock = ev.t.max(self.clock);
-            self.events_processed += 1;
-            match ev.kind {
-                EventKind::Arrival(id) => self.handle_arrival(id),
-                EventKind::Completion { run, generation } => {
-                    self.handle_completion(run, generation)
-                }
-                EventKind::HostDown { site, host } => self.handle_host_down(site, host),
-                EventKind::HostUp { site, host } => self.handle_host_up(site, host),
-            }
+            self.process(ev);
         }
         self.report()
+    }
+
+    /// Process queued events up to and including logical time `t`,
+    /// leaving later events queued — for harnesses and tests that need
+    /// to observe mid-trace state; [`StreamService::drain`] finishes
+    /// the rest.
+    pub fn run_until(&mut self, t: f64) {
+        while self.events.peek().is_some_and(|Reverse(ev)| ev.t <= t) {
+            let Reverse(ev) = self.events.pop().expect("peeked above");
+            self.process(ev);
+        }
     }
 
     /// Build the outcome report for the events processed so far.
@@ -853,7 +910,9 @@ impl StreamService {
             if ttp.is_empty() {
                 return 0.0;
             }
-            let idx = ((ttp.len() - 1) as f64 * q).ceil() as usize;
+            // Nearest-rank on the (len-1)-scaled index: round, don't
+            // ceil — ceil makes p50 of two samples the maximum.
+            let idx = ((ttp.len() - 1) as f64 * q).round() as usize;
             ttp[idx.min(ttp.len() - 1)]
         };
         let mut tenants: Vec<TenantRow> = Vec::with_capacity(self.counters.len());
@@ -1089,6 +1148,64 @@ mod tests {
         assert_eq!(report.completed, 1, "admitted work survives the failure");
         assert_eq!(report.unplaced, 0);
         assert!(report.restarts >= 1, "the run on the dead host must restart");
+    }
+
+    #[test]
+    fn restarted_run_ignores_stale_completion_event() {
+        // Measure the no-fault makespan M of one submission on the
+        // single host, so the fault run can place its outage inside
+        // (0, M) and its recovery before M.
+        let control_m = {
+            let mut svc = StreamService::new(
+                vec![repo(&[("only", 1.0)])],
+                NetworkModel::with_defaults(1),
+                ServiceConfig::default(),
+            );
+            let t = svc
+                .register_tenant("fay", "pw", 5, AccessDomain::Global, Quota::default())
+                .unwrap();
+            svc.submit_at(0.0, req(&svc, t));
+            svc.drain().horizon_s
+        };
+        assert!(control_m > 0.0);
+
+        // Fault run: the host dies mid-run and recovers before the old
+        // completion event (gen 0, still queued at time M) fires. The
+        // restart re-dispatches at recovery with generation 1, so the
+        // stale event must NOT complete it — the restart costs logical
+        // time: the run finishes at dispatch_time + new makespan.
+        let down = 0.25 * control_m;
+        let up = 0.5 * control_m;
+        let mut svc = StreamService::new(
+            vec![repo(&[("only", 1.0)])],
+            NetworkModel::with_defaults(1),
+            ServiceConfig::default(),
+        );
+        let t =
+            svc.register_tenant("fay", "pw", 5, AccessDomain::Global, Quota::default()).unwrap();
+        svc.submit_at(0.0, req(&svc, t));
+        svc.inject_host_down_at(down, SiteId(0), "only");
+        svc.inject_host_up_at(up, SiteId(0), "only");
+
+        svc.run_until(up);
+        assert_eq!(svc.active_count(), 1, "restart re-dispatches at recovery");
+        // Step past the old finish time: the gen-0 completion event has
+        // fired and must have been discarded as stale.
+        svc.run_until(control_m * 1.001);
+        assert_eq!(
+            svc.active_count(),
+            1,
+            "the pre-fault completion event must not complete the restarted run"
+        );
+        let report = svc.drain();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.restarts, 1);
+        assert!(
+            report.horizon_s >= up + 0.9 * control_m,
+            "the real completion lands at re-dispatch + new makespan \
+             (horizon {} vs old finish {control_m})",
+            report.horizon_s
+        );
     }
 
     #[test]
