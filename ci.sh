@@ -79,6 +79,13 @@ stage "sched speedup gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_sched_speedup -- --quick
 stage "fault recovery gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_faults -- --quick
+# Durable control-plane gate: every named fault scenario is replayed
+# with WAL journaling + deputy replication on, then killed and
+# restarted at several points (including mid-write, torn tail). The
+# durable report must be bit-identical to the plain run, recovery must
+# lose zero control-plane state, and no deputy may diverge.
+stage "durable recovery gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_recovery -- --quick
 # Scale gate: the 10k-task hot path must hold its placements/sec floor
 # (absolute and relative to the recorded BENCH_scale.json) and the
 # incremental reschedule must stay bit-identical to a full re-walk.

@@ -1,19 +1,34 @@
 //! Validate every checked-in `BENCH_*.json` against the `vdce-obs`
-//! RunArtifact schema (see `vdce_obs::artifact::validate`).
+//! RunArtifact schema (see `vdce_obs::artifact::validate`), and require
+//! the full published set to be present.
 //!
 //! The baseline-relative `--quick` gates deserialize the recorded
 //! artifacts to compute regression floors; a hand-edited, truncated or
 //! stale-schema artifact would silently weaken those gates (a parse
 //! failure downgrades a gate to absolute-floor-only). This stage makes
 //! that corruption loud: any schema violation in any artifact fails
-//! CI before the gates run.
+//! CI before the gates run. Likewise a *missing* artifact — a bench
+//! that stopped publishing, or one deleted without retiring its gate —
+//! fails here instead of quietly shrinking the baseline set.
 //!
 //! Scans the working directory (the repo root in CI) for files named
-//! `BENCH_*.json`. Exits 1 if any file fails validation, listing every
-//! problem. `--quick` is accepted for ci.sh uniformity and changes
-//! nothing — validation is already instantaneous.
+//! `BENCH_*.json`. Exits 1 if any file fails validation or any
+//! required artifact is absent, listing every problem. `--quick` is
+//! accepted for ci.sh uniformity and changes nothing — validation is
+//! already instantaneous.
 
 use vdce_obs::{Report, Table};
+
+/// Every artifact a full bench pass publishes to the repo root. A new
+/// `exp_*` binary that writes a `BENCH_*.json` must be added here (and
+/// its file checked in) or this gate fails.
+const REQUIRED: &[&str] = &[
+    "BENCH_faults.json",
+    "BENCH_recovery.json",
+    "BENCH_scale.json",
+    "BENCH_sched.json",
+    "BENCH_stream.json",
+];
 
 fn main() {
     let dir = std::env::current_dir().expect("readable working directory");
@@ -25,11 +40,10 @@ fn main() {
         .collect();
     names.sort();
 
-    if names.is_empty() {
-        // A checkout with no artifacts has nothing to corrupt, but CI
-        // always has them — treat absence as a failure there.
-        eprintln!("no BENCH_*.json artifacts found in {}", dir.display());
-        std::process::exit(1);
+    let missing: Vec<&str> =
+        REQUIRED.iter().filter(|r| !names.iter().any(|n| n == **r)).copied().collect();
+    for m in &missing {
+        eprintln!("{m}: required artifact missing from {}", dir.display());
     }
 
     let mut table = Table::new(&["artifact", "bench", "schema", "status"]);
@@ -70,11 +84,19 @@ fn main() {
     }
 
     let mut report = Report::new("BENCH_*.json schema validation").table(table);
-    if corrupt == 0 {
-        report = report.note(format!("{} artifact(s) valid", names.len()));
+    if corrupt == 0 && missing.is_empty() {
+        report = report.note(format!(
+            "{} artifact(s) valid, all {} required present",
+            names.len(),
+            REQUIRED.len()
+        ));
         report.print();
     } else {
-        report = report.note(format!("{corrupt} of {} artifact(s) INVALID", names.len()));
+        report = report.note(format!(
+            "{corrupt} of {} artifact(s) INVALID, {} required missing",
+            names.len(),
+            missing.len()
+        ));
         report.print();
         std::process::exit(1);
     }

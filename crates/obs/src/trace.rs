@@ -19,9 +19,8 @@
 //! [`validate_jsonl`] enforces this, plus finite non-negative times and
 //! `end >= t` for spans.
 
-use parking_lot::Mutex;
 use serde_json::{Number, Value};
-use std::sync::Arc;
+use vdce_store::AppendLog;
 
 /// Version of the JSONL trace schema; bump on breaking shape changes.
 pub const TRACE_SCHEMA_VERSION: u32 = 1;
@@ -137,13 +136,15 @@ impl TraceRecord {
     }
 }
 
-/// Shared, cheaply clonable sink for trace records.
+/// Shared, cheaply clonable sink for trace records, backed by the
+/// shared [`AppendLog`] substrate (the same buffer shape the runtime
+/// `EventLog` and checkpoint store use — DESIGN.md §16).
 ///
 /// A disabled sink ([`TraceSink::disabled`], also [`Default`]) drops
 /// records without locking, so tracing costs one branch when off.
 #[derive(Clone, Default)]
 pub struct TraceSink {
-    inner: Option<Arc<Mutex<Vec<TraceRecord>>>>,
+    inner: Option<AppendLog<TraceRecord>>,
 }
 
 impl std::fmt::Debug for TraceSink {
@@ -158,7 +159,7 @@ impl std::fmt::Debug for TraceSink {
 impl TraceSink {
     /// An enabled sink.
     pub fn new() -> Self {
-        TraceSink { inner: Some(Arc::new(Mutex::new(Vec::new()))) }
+        TraceSink { inner: Some(AppendLog::new()) }
     }
 
     /// A sink that drops everything.
@@ -174,20 +175,20 @@ impl TraceSink {
     /// Record a point event at logical time `t`.
     pub fn event(&self, t: f64, name: &str, fields: Vec<(String, FieldValue)>) {
         if let Some(inner) = &self.inner {
-            inner.lock().push(TraceRecord { t, end: None, name: name.to_string(), fields });
+            inner.push(TraceRecord { t, end: None, name: name.to_string(), fields });
         }
     }
 
     /// Record a closed span `[t, end]`.
     pub fn span(&self, t: f64, end: f64, name: &str, fields: Vec<(String, FieldValue)>) {
         if let Some(inner) = &self.inner {
-            inner.lock().push(TraceRecord { t, end: Some(end), name: name.to_string(), fields });
+            inner.push(TraceRecord { t, end: Some(end), name: name.to_string(), fields });
         }
     }
 
     /// Number of records so far (0 when disabled).
     pub fn len(&self) -> usize {
-        self.inner.as_ref().map_or(0, |i| i.lock().len())
+        self.inner.as_ref().map_or(0, AppendLog::len)
     }
 
     /// True when no records have been captured.
@@ -197,14 +198,7 @@ impl TraceSink {
 
     /// Copy of the captured records.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| i.lock().clone())
-    }
-
-    /// Drop all captured records (the sink stays enabled).
-    pub fn clear(&self) {
-        if let Some(inner) = &self.inner {
-            inner.lock().clear();
-        }
+        self.inner.as_ref().map_or_else(Vec::new, AppendLog::snapshot)
     }
 
     /// Serialise every record as one JSON object per line.

@@ -27,12 +27,14 @@
 
 pub mod accounts;
 pub mod constraints;
+pub mod events;
 pub mod repository;
 pub mod resources;
 pub mod tasks;
 
 pub use accounts::{AccessDomain, AuthError, UserAccount, UserAccountsDb, UserId};
 pub use constraints::TaskConstraintsDb;
+pub use events::{JournaledRepoEvent, RepoEvent};
 pub use repository::SiteRepository;
 pub use resources::{HostStatus, ResourcePerfDb, ResourceRecord};
 pub use tasks::TaskPerfDb;

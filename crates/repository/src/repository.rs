@@ -10,11 +10,13 @@
 
 use crate::accounts::UserAccountsDb;
 use crate::constraints::TaskConstraintsDb;
+use crate::events::{JournaledRepoEvent, RepoEvent};
 use crate::resources::ResourcePerfDb;
 use crate::tasks::TaskPerfDb;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use vdce_store::{fnv1a, Journal};
 
 /// A point-in-time snapshot of a site repository (serialisable).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +36,9 @@ struct Inner {
     resources: RwLock<ResourcePerfDb>,
     tasks: RwLock<TaskPerfDb>,
     constraints: RwLock<TaskConstraintsDb>,
+    /// Write-ahead journal for event-sourced mutations; disabled by
+    /// default, attached per site by the durable control plane.
+    journal: RwLock<(u16, Journal)>,
 }
 
 /// Thread-safe, cloneable handle to one site's repository.
@@ -76,8 +81,34 @@ impl SiteRepository {
                 resources: RwLock::new(s.resources),
                 tasks: RwLock::new(s.tasks),
                 constraints: RwLock::new(s.constraints),
+                journal: RwLock::new((0, Journal::disabled())),
             }),
         }
+    }
+
+    /// Attach a control-plane journal. Every subsequent
+    /// [`SiteRepository::apply_event`] appends the event (tagged with
+    /// `site`) before mutating the databases — the write-ahead
+    /// discipline the durable control plane relies on.
+    pub fn attach_journal(&self, site: u16, journal: Journal) {
+        *self.inner.journal.write() = (site, journal);
+    }
+
+    /// Append `event` to the attached journal (no-op when disabled).
+    pub(crate) fn journal_event(&self, event: &RepoEvent) {
+        let g = self.inner.journal.read();
+        if g.1.is_enabled() {
+            let wire = JournaledRepoEvent { site: g.0, event: event.clone() };
+            let payload = serde_json::to_string(&wire).expect("repo events always serialize");
+            g.1.append("repo", &payload);
+        }
+    }
+
+    /// Deterministic fingerprint of the repository's current state —
+    /// the hash compared between a leader and its deputy replica.
+    pub fn state_hash(&self) -> u64 {
+        let json = serde_json::to_string(&self.snapshot()).expect("snapshot always serialises");
+        fnv1a(json.as_bytes())
     }
 
     /// Read access to the user-accounts database.

@@ -29,10 +29,12 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vdce_afg::TaskId;
 use vdce_dsm::DsmSnapshot;
+use vdce_store::Journal;
 
 /// When checkpoints are taken and what each write costs, both expressed
 /// as fractions of the task's full work so the policy is
@@ -306,10 +308,105 @@ impl TaskCheckpoint {
     }
 }
 
+/// One journaled mutation of the checkpoint store (the `ckpt` journal
+/// tag). Only *control* fields are journaled: produced-output payloads
+/// and DSM page captures are data-plane state, re-derivable from task
+/// re-execution, and the shimmed `Bytes`/`DsmSnapshot` types do not
+/// serialize.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointEvent {
+    /// [`CheckpointStore::record`]: a new checkpoint was persisted.
+    Record {
+        /// The task.
+        task: TaskId,
+        /// Completed fraction persisted.
+        progress: f64,
+        /// Time (clock seconds) the checkpoint was written.
+        taken_at: f64,
+        /// Hosts holding a copy.
+        stored_on: Vec<String>,
+    },
+    /// [`CheckpointStore::add_replica`]: a replication transfer landed.
+    AddReplica {
+        /// The task.
+        task: TaskId,
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Host now holding a copy.
+        host: String,
+    },
+    /// [`CheckpointStore::forget`]: a completed task's checkpoints were
+    /// dropped.
+    Forget {
+        /// The task.
+        task: TaskId,
+    },
+}
+
+/// The control-plane fields of one checkpoint — what the journal can
+/// reconstruct after a Site Manager restart (see [`CheckpointEvent`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlCheckpoint {
+    /// Per-task sequence number.
+    pub seq: u64,
+    /// Completed fraction persisted.
+    pub progress: f64,
+    /// Time (clock seconds) the checkpoint was written.
+    pub taken_at: f64,
+    /// Hosts holding a copy.
+    pub stored_on: Vec<String>,
+}
+
+/// Pure, serializable projection of a [`CheckpointStore`]'s
+/// control-plane state: the state machine WAL replay and deputy
+/// replicas apply [`CheckpointEvent`]s to.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CheckpointState {
+    /// Live checkpoints by task.
+    pub by_task: BTreeMap<TaskId, Vec<ControlCheckpoint>>,
+    /// Lifetime checkpoints recorded (survives forget).
+    pub taken: u64,
+}
+
+impl CheckpointState {
+    /// Apply one event — the same transition [`CheckpointStore`]'s
+    /// mutating methods perform on their control fields.
+    pub fn apply(&mut self, event: &CheckpointEvent) {
+        match event {
+            CheckpointEvent::Record { task, progress, taken_at, stored_on } => {
+                let seqs = self.by_task.entry(*task).or_default();
+                let seq = seqs.len() as u64;
+                seqs.push(ControlCheckpoint {
+                    seq,
+                    progress: *progress,
+                    taken_at: *taken_at,
+                    stored_on: stored_on.clone(),
+                });
+                self.taken += 1;
+            }
+            CheckpointEvent::AddReplica { task, seq, host } => {
+                if let Some(cp) = self
+                    .by_task
+                    .get_mut(task)
+                    .and_then(|cps| cps.iter_mut().find(|cp| cp.seq == *seq))
+                {
+                    if !cp.stored_on.iter().any(|h| h == host) {
+                        cp.stored_on.push(host.clone());
+                    }
+                }
+            }
+            CheckpointEvent::Forget { task } => {
+                self.by_task.remove(task);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct StoreInner {
     by_task: BTreeMap<TaskId, Vec<TaskCheckpoint>>,
     taken: u64,
+    journal: Journal,
 }
 
 /// Shared, append-only checkpoint store. Clones share the store (like
@@ -325,10 +422,58 @@ impl CheckpointStore {
         Self::default()
     }
 
+    /// Attach a control-plane journal: every subsequent mutation is
+    /// appended as a [`CheckpointEvent`] (tag `ckpt`) before it is
+    /// applied.
+    pub fn attach_journal(&self, journal: Journal) {
+        self.inner.lock().journal = journal;
+    }
+
+    fn journal_event(inner: &StoreInner, event: &CheckpointEvent) {
+        if inner.journal.is_enabled() {
+            let payload = serde_json::to_string(event).expect("checkpoint events always serialize");
+            inner.journal.append("ckpt", &payload);
+        }
+    }
+
+    /// The control-plane projection of the store's current state (what
+    /// recovery and replicas compare against).
+    pub fn control_state(&self) -> CheckpointState {
+        let inner = self.inner.lock();
+        CheckpointState {
+            by_task: inner
+                .by_task
+                .iter()
+                .map(|(task, cps)| {
+                    let control = cps
+                        .iter()
+                        .map(|cp| ControlCheckpoint {
+                            seq: cp.seq,
+                            progress: cp.progress,
+                            taken_at: cp.taken_at,
+                            stored_on: cp.stored_on.clone(),
+                        })
+                        .collect();
+                    (*task, control)
+                })
+                .collect(),
+            taken: inner.taken,
+        }
+    }
+
     /// Persist `cp`, assigning its per-task sequence number; returns the
     /// sequence assigned.
     pub fn record(&self, mut cp: TaskCheckpoint) -> u64 {
         let mut inner = self.inner.lock();
+        Self::journal_event(
+            &inner,
+            &CheckpointEvent::Record {
+                task: cp.task,
+                progress: cp.progress,
+                taken_at: cp.taken_at,
+                stored_on: cp.stored_on.clone(),
+            },
+        );
         let seqs = inner.by_task.entry(cp.task).or_default();
         let seq = seqs.len() as u64;
         cp.seq = seq;
@@ -365,6 +510,10 @@ impl CheckpointStore {
     /// or the host already holds a copy.
     pub fn add_replica(&self, task: TaskId, seq: u64, host: &str) -> bool {
         let mut inner = self.inner.lock();
+        Self::journal_event(
+            &inner,
+            &CheckpointEvent::AddReplica { task, seq, host: host.to_string() },
+        );
         let Some(cps) = inner.by_task.get_mut(&task) else { return false };
         let Some(cp) = cps.iter_mut().find(|cp| cp.seq == seq) else { return false };
         if cp.stored_on.iter().any(|h| h == host) {
@@ -381,7 +530,9 @@ impl CheckpointStore {
 
     /// Drop every checkpoint of `task` (e.g. after final completion).
     pub fn forget(&self, task: TaskId) {
-        self.inner.lock().by_task.remove(&task);
+        let mut inner = self.inner.lock();
+        Self::journal_event(&inner, &CheckpointEvent::Forget { task });
+        inner.by_task.remove(&task);
     }
 
     /// Checkpoints recorded over the store's lifetime (survives
@@ -574,5 +725,99 @@ mod tests {
         clone.record(TaskCheckpoint::new(tid(3), 1.0, 4.0, vec!["h".into()]));
         assert_eq!(store.taken_total(), 1);
         assert!(store.latest(tid(3)).is_some());
+    }
+
+    #[test]
+    fn mtbf_estimator_with_zero_failures_is_empty() {
+        let e = MtbfEstimator::new(0.5);
+        assert_eq!(e.mtbf(), None);
+        assert_eq!(e.failures(), 0);
+    }
+
+    #[test]
+    fn mtbf_estimator_with_a_single_failure_has_no_estimate() {
+        let mut e = MtbfEstimator::new(0.3);
+        e.record_failure(42.0);
+        assert_eq!(e.mtbf(), None, "a gap needs two distinct failure times");
+        assert_eq!(e.failures(), 1);
+    }
+
+    #[test]
+    fn mtbf_estimator_tolerates_out_of_order_timestamps() {
+        let mut e = MtbfEstimator::new(0.5);
+        e.record_failure(100.0);
+        // An observation from the past (clock skew between group
+        // managers): counted as a failure, but a negative gap is not
+        // evidence about the failure rate and must not poison the EWMA
+        // or move the latest-failure watermark backwards.
+        e.record_failure(40.0);
+        assert_eq!(e.mtbf(), None);
+        assert_eq!(e.failures(), 2);
+        // The next in-order failure measures its gap from 100, not 40.
+        e.record_failure(130.0);
+        assert_eq!(e.mtbf(), Some(30.0));
+        // A late straggler after an estimate exists: ignored by the
+        // average, still counted.
+        e.record_failure(10.0);
+        assert_eq!(e.mtbf(), Some(30.0));
+        assert_eq!(e.failures(), 4);
+    }
+
+    #[test]
+    fn journaled_store_writes_ahead_and_state_replays() {
+        let journal = Journal::enabled(vdce_store::SnapshotPolicy::manual());
+        let store = CheckpointStore::new();
+        store.attach_journal(journal.clone());
+        let seq = store.record(TaskCheckpoint::new(tid(0), 0.5, 1.0, vec!["home".into()]));
+        store.add_replica(tid(0), seq, "remote");
+        store.record(TaskCheckpoint::new(tid(1), 0.25, 2.0, vec!["b".into()]));
+        store.forget(tid(1));
+        assert_eq!(journal.len(), 4, "every mutation journaled");
+
+        // Replaying the journal onto a fresh state reproduces the
+        // store's control-plane projection exactly.
+        let mut replayed = CheckpointState::default();
+        for (tag, payload) in journal.history() {
+            assert_eq!(tag, "ckpt");
+            let event: CheckpointEvent = serde_json::from_str(&payload).unwrap();
+            replayed.apply(&event);
+        }
+        assert_eq!(replayed, store.control_state());
+        assert_eq!(replayed.taken, 2);
+        assert_eq!(replayed.by_task.len(), 1);
+        assert_eq!(
+            replayed.by_task[&tid(0)][0].stored_on,
+            vec!["home".to_string(), "remote".to_string()]
+        );
+    }
+
+    #[test]
+    fn rejected_mutations_replay_to_the_same_state() {
+        // A journaled-but-rejected mutation (duplicate replica, unknown
+        // task) must replay to the same no-op, or recovery would drift.
+        let journal = Journal::enabled(vdce_store::SnapshotPolicy::manual());
+        let store = CheckpointStore::new();
+        store.attach_journal(journal.clone());
+        let seq = store.record(TaskCheckpoint::new(tid(0), 0.5, 1.0, vec!["h".into()]));
+        assert!(!store.add_replica(tid(0), seq, "h"), "duplicate host");
+        assert!(!store.add_replica(tid(9), 0, "x"), "unknown task");
+        store.forget(tid(9));
+        let mut replayed = CheckpointState::default();
+        for (_, payload) in journal.history() {
+            replayed.apply(&serde_json::from_str(&payload).unwrap());
+        }
+        assert_eq!(replayed, store.control_state());
+    }
+
+    #[test]
+    fn control_state_serializes_deterministically() {
+        let store = CheckpointStore::new();
+        store.record(TaskCheckpoint::new(tid(2), 0.5, 1.5, vec!["a".into()]));
+        store.record(TaskCheckpoint::new(tid(0), 0.25, 1.0, vec!["b".into()]));
+        let s = store.control_state();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, serde_json::to_string(&store.control_state()).unwrap());
+        let back: CheckpointState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

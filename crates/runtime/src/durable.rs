@@ -1,0 +1,450 @@
+//! The durable control plane (DESIGN.md §16): one event-sourced state
+//! machine over every mutable control-plane structure.
+//!
+//! Four components journal through the shared `vdce_store`
+//! [`Journal`], each under its own tag:
+//!
+//! | tag    | payload                                   | owner                |
+//! |--------|-------------------------------------------|----------------------|
+//! | `repo` | [`JournaledRepoEvent`]                    | site repositories    |
+//! | `ckpt` | [`CheckpointEvent`]                       | the checkpoint store |
+//! | `site` | [`SiteTableEvent`] + site index           | failover host tables |
+//! | `log`  | [`LogRecord`]                             | the runtime event log|
+//!
+//! [`ControlState`] is the product state machine: the serializable
+//! aggregate of all four, with a pure [`ControlState::apply`] per
+//! journal record. Recovery is `snapshot + replay`: start from the
+//! newest installed [`ControlState`] snapshot and apply every WAL
+//! record after it — bit-identical to the state an uninterrupted run
+//! reaches, which the recovery harness asserts byte-for-byte.
+//!
+//! [`DeputyLink`] is the replication half: the leader Site Manager
+//! ships each repository event to its deputy's [`RepoReplica`] and the
+//! channel compares state hashes on a cadence, latching a typed
+//! divergence error the harness surfaces as a metric.
+
+use crate::checkpoint::{CheckpointEvent, CheckpointState, CheckpointStore};
+use crate::events::{EventLog, LogRecord};
+use crate::site_manager::{SiteFailover, SiteTableEvent};
+use serde::{Deserialize, Serialize};
+use vdce_repository::events::JournaledRepoEvent;
+use vdce_repository::repository::RepositorySnapshot;
+use vdce_repository::SiteRepository;
+use vdce_store::{
+    fnv1a, Journal, Replica, ReplicationError, ReplicationStats, Replicator, SnapshotPolicy,
+};
+
+/// The `site`-tagged journal payload: a liveness transition plus the
+/// site whose host table it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournaledSiteEvent {
+    /// Owning site index.
+    pub site: u16,
+    /// The transition.
+    pub event: SiteTableEvent,
+}
+
+/// One decoded control-plane journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlEvent {
+    /// A site-repository mutation (`repo`).
+    Repo(JournaledRepoEvent),
+    /// A checkpoint-store mutation (`ckpt`).
+    Checkpoint(CheckpointEvent),
+    /// A failover host-table transition (`site`).
+    Site(JournaledSiteEvent),
+    /// A runtime event-log append (`log`).
+    Log(LogRecord),
+}
+
+/// A journal record that does not decode as a control-plane event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlEventError {
+    /// The tag is not one of `repo`/`ckpt`/`site`/`log`.
+    UnknownTag {
+        /// The tag found.
+        tag: String,
+    },
+    /// The payload does not parse as the tag's event type.
+    BadPayload {
+        /// The record's tag.
+        tag: String,
+        /// Parser error text.
+        error: String,
+    },
+}
+
+impl std::fmt::Display for ControlEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlEventError::UnknownTag { tag } => {
+                write!(f, "unknown control-plane journal tag `{tag}`")
+            }
+            ControlEventError::BadPayload { tag, error } => {
+                write!(f, "bad `{tag}` journal payload: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlEventError {}
+
+impl ControlEvent {
+    /// The journal tag this event is framed under.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ControlEvent::Repo(_) => "repo",
+            ControlEvent::Checkpoint(_) => "ckpt",
+            ControlEvent::Site(_) => "site",
+            ControlEvent::Log(_) => "log",
+        }
+    }
+
+    /// Serialize the payload half of the journal record.
+    pub fn payload(&self) -> String {
+        let encode =
+            |r: Result<String, serde_json::Error>| r.expect("control events always serialize");
+        match self {
+            ControlEvent::Repo(e) => encode(serde_json::to_string(e)),
+            ControlEvent::Checkpoint(e) => encode(serde_json::to_string(e)),
+            ControlEvent::Site(e) => encode(serde_json::to_string(e)),
+            ControlEvent::Log(e) => encode(serde_json::to_string(e)),
+        }
+    }
+
+    /// Decode one `(tag, payload)` journal record.
+    pub fn decode(tag: &str, payload: &str) -> Result<ControlEvent, ControlEventError> {
+        let bad = |e: serde_json::Error| ControlEventError::BadPayload {
+            tag: tag.to_string(),
+            error: e.to_string(),
+        };
+        match tag {
+            "repo" => Ok(ControlEvent::Repo(serde_json::from_str(payload).map_err(bad)?)),
+            "ckpt" => Ok(ControlEvent::Checkpoint(serde_json::from_str(payload).map_err(bad)?)),
+            "site" => Ok(ControlEvent::Site(serde_json::from_str(payload).map_err(bad)?)),
+            "log" => Ok(ControlEvent::Log(serde_json::from_str(payload).map_err(bad)?)),
+            other => Err(ControlEventError::UnknownTag { tag: other.to_string() }),
+        }
+    }
+}
+
+/// The aggregate control-plane state machine: everything a Site-Manager
+/// process death would lose, as one serializable value with a pure
+/// per-event transition.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControlState {
+    /// Per-site repository state, indexed by site.
+    pub repos: Vec<RepositorySnapshot>,
+    /// Checkpoint-store control state.
+    pub checkpoints: CheckpointState,
+    /// Per-site failover host tables, indexed by site.
+    pub sites: Vec<SiteFailover>,
+    /// The runtime event log.
+    pub log: Vec<LogRecord>,
+}
+
+impl ControlState {
+    /// Capture the live control plane (the leader's view of its own
+    /// state, used for snapshots, sealing and hash checks).
+    pub fn capture(
+        repos: &[SiteRepository],
+        store: &CheckpointStore,
+        sites: &[SiteFailover],
+        log: &EventLog,
+    ) -> Self {
+        ControlState {
+            repos: repos.iter().map(|r| r.snapshot()).collect(),
+            checkpoints: store.control_state(),
+            sites: sites.to_vec(),
+            log: log.snapshot().into_iter().map(|(t, event)| LogRecord { t, event }).collect(),
+        }
+    }
+
+    /// Apply one decoded event — the pure transition WAL replay runs.
+    /// Events naming a site index the state does not have are dropped
+    /// (deterministically; they cannot occur in well-formed journals).
+    pub fn apply(&mut self, event: &ControlEvent) {
+        match event {
+            ControlEvent::Repo(e) => {
+                if let Some(repo) = self.repos.get_mut(e.site as usize) {
+                    e.event.apply(repo);
+                }
+            }
+            ControlEvent::Checkpoint(e) => self.checkpoints.apply(e),
+            ControlEvent::Site(e) => {
+                if let Some(table) = self.sites.get_mut(e.site as usize) {
+                    table.apply(&e.event);
+                }
+            }
+            ControlEvent::Log(e) => self.log.push(e.clone()),
+        }
+    }
+
+    /// Decode and apply one raw `(tag, payload)` journal record.
+    pub fn apply_record(&mut self, tag: &str, payload: &str) -> Result<(), ControlEventError> {
+        let event = ControlEvent::decode(tag, payload)?;
+        self.apply(&event);
+        Ok(())
+    }
+
+    /// Canonical serialized form (the snapshot / seal byte format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self).expect("control state always serialises").into_bytes()
+    }
+
+    /// Parse a serialized [`ControlState`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
+    /// Deterministic fingerprint of the serialized state.
+    pub fn hash(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+}
+
+/// Options for running a replay with the durable control plane on.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// The shared journal every component writes through.
+    pub journal: Journal,
+    /// Deputy replication hash-check cadence in frames (`0` disables
+    /// the per-frame cadence; boundary checks still run).
+    pub deputy_check_every: u64,
+}
+
+impl DurableOptions {
+    /// Durable control plane journaling under `policy`, with deputy
+    /// hash checks every `deputy_check_every` frames.
+    pub fn new(policy: SnapshotPolicy, deputy_check_every: u64) -> Self {
+        DurableOptions { journal: Journal::enabled(policy), deputy_check_every }
+    }
+}
+
+/// The deputy's copy of one site repository: a [`Replica`] that applies
+/// shipped `repo` events to a detached snapshot.
+#[derive(Debug, Clone)]
+pub struct RepoReplica {
+    state: RepositorySnapshot,
+}
+
+impl RepoReplica {
+    /// Replica starting from the leader's current state.
+    pub fn new(state: RepositorySnapshot) -> Self {
+        RepoReplica { state }
+    }
+
+    /// The replica's current state (read side).
+    pub fn state(&self) -> &RepositorySnapshot {
+        &self.state
+    }
+
+    /// Mutable access to the replica state. Exists so divergence
+    /// injection (tests, fault drills) can corrupt the follower; the
+    /// replication channel must then detect the corruption at its next
+    /// hash check.
+    pub fn state_mut(&mut self) -> &mut RepositorySnapshot {
+        &mut self.state
+    }
+}
+
+impl Replica for RepoReplica {
+    fn apply_event(&mut self, tag: &str, payload: &str) {
+        if tag != "repo" {
+            return;
+        }
+        if let Ok(wire) = serde_json::from_str::<JournaledRepoEvent>(payload) {
+            wire.event.apply(&mut self.state);
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        let json = serde_json::to_string(&self.state).expect("snapshot always serialises");
+        fnv1a(json.as_bytes())
+    }
+}
+
+/// The leader-side handle of one site's deputy replication channel:
+/// the replica plus the [`Replicator`] shipping events into it.
+#[derive(Debug)]
+pub struct DeputyLink {
+    replica: RepoReplica,
+    channel: Replicator,
+}
+
+impl DeputyLink {
+    /// Link whose replica starts from `initial` (the leader's state at
+    /// attach time), hash-checked every `check_every` shipped events.
+    pub fn new(initial: RepositorySnapshot, check_every: u64) -> Self {
+        DeputyLink { replica: RepoReplica::new(initial), channel: Replicator::new(check_every) }
+    }
+
+    /// Ship one repository event to the replica. `leader_hash` is only
+    /// evaluated on hash-check frames.
+    pub fn ship(
+        &mut self,
+        event: &JournaledRepoEvent,
+        leader_hash: impl FnOnce() -> u64,
+    ) -> Result<(), ReplicationError> {
+        let payload = serde_json::to_string(event).expect("repo events always serialize");
+        self.channel.replicate(&mut self.replica, "repo", &payload, leader_hash)
+    }
+
+    /// Force a hash check against `leader_hash` now (failover
+    /// boundary).
+    pub fn check(&mut self, leader_hash: u64) -> Result<(), ReplicationError> {
+        self.channel.check(&self.replica, leader_hash)
+    }
+
+    /// The replica (e.g. to promote it on leader death, or to inject
+    /// divergence in drills).
+    pub fn replica_mut(&mut self) -> &mut RepoReplica {
+        &mut self.replica
+    }
+
+    /// Channel counters.
+    pub fn stats(&self) -> ReplicationStats {
+        self.channel.stats()
+    }
+
+    /// The first divergence detected, if any (sticky).
+    pub fn divergence(&self) -> Option<&ReplicationError> {
+        self.channel.divergence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RuntimeEvent;
+    use vdce_afg::{MachineType, TaskId};
+    use vdce_net::topology::SiteId;
+    use vdce_repository::events::RepoEvent;
+    use vdce_repository::resources::{HostStatus, ResourceRecord};
+    use vdce_repository::SiteRepository;
+
+    fn seeded_repo(host: &str) -> SiteRepository {
+        let repo = SiteRepository::new();
+        repo.resources_mut(|db| {
+            db.upsert(ResourceRecord::new(
+                host,
+                "10.0.0.1",
+                MachineType::LinuxPc,
+                1.0,
+                1,
+                1 << 26,
+                "g0",
+            ))
+        });
+        repo
+    }
+
+    fn sample(host: &str, workload: f64) -> JournaledRepoEvent {
+        JournaledRepoEvent {
+            site: 0,
+            event: RepoEvent::RecordSample {
+                host: host.into(),
+                workload,
+                available_memory: 1 << 20,
+            },
+        }
+    }
+
+    #[test]
+    fn control_events_round_trip_through_tag_payload() {
+        let events = [
+            ControlEvent::Repo(sample("h", 1.5)),
+            ControlEvent::Checkpoint(CheckpointEvent::Forget { task: TaskId(3) }),
+            ControlEvent::Site(JournaledSiteEvent {
+                site: 2,
+                event: SiteTableEvent::HostDown { host: "h".into() },
+            }),
+            ControlEvent::Log(LogRecord { t: 1.0, event: RuntimeEvent::StartupSignal }),
+        ];
+        for e in &events {
+            let back = ControlEvent::decode(e.tag(), &e.payload()).unwrap();
+            assert_eq!(&back, e);
+        }
+        assert!(matches!(
+            ControlEvent::decode("nope", "{}"),
+            Err(ControlEventError::UnknownTag { .. })
+        ));
+        assert!(matches!(
+            ControlEvent::decode("repo", "not json"),
+            Err(ControlEventError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn journaled_run_replays_to_the_captured_state() {
+        // A miniature durable run: journal attached to every component,
+        // snapshot of the initial state, mutations, then replay.
+        let journal = Journal::enabled(SnapshotPolicy::manual());
+        let repo = seeded_repo("h");
+        repo.attach_journal(0, journal.clone());
+        let store = CheckpointStore::new();
+        store.attach_journal(journal.clone());
+        let log = EventLog::new().with_journal(journal.clone());
+        let mut sites =
+            vec![SiteFailover::new(SiteId(0), "h", std::slice::from_ref(&"h".to_string()))];
+
+        let initial =
+            ControlState::capture(std::slice::from_ref(&repo), &store, &sites, &EventLog::new());
+        journal.install_snapshot(initial.to_bytes(), initial.hash());
+
+        // Mutations, each through its journaled write path.
+        repo.apply_event(&RepoEvent::RecordSample {
+            host: "h".into(),
+            workload: 3.0,
+            available_memory: 1 << 21,
+        });
+        store.record(crate::checkpoint::TaskCheckpoint::new(TaskId(0), 0.5, 1.0, vec!["h".into()]));
+        log.emit(2.0, RuntimeEvent::HostFailed { host: "h".into() });
+        let site_event =
+            JournaledSiteEvent { site: 0, event: SiteTableEvent::HostDown { host: "h".into() } };
+        journal.append("site", &serde_json::to_string(&site_event).unwrap());
+        sites[0].apply(&site_event.event);
+        repo.apply_event(&RepoEvent::SetStatus { host: "h".into(), status: HostStatus::Down });
+
+        let live = ControlState::capture(&[repo], &store, &sites, &log);
+        journal.seal(live.to_bytes(), live.hash());
+
+        // Recover: snapshot + replay of the WAL after it.
+        let recovered = vdce_store::recover(&journal.image()).unwrap();
+        let snap = recovered.snapshot.expect("initial snapshot installed");
+        let mut state = ControlState::from_bytes(&snap.state).unwrap();
+        for (tag, payload) in &recovered.events {
+            state.apply_record(tag, payload).unwrap();
+        }
+        assert_eq!(state, live, "replayed state equals the live state");
+        assert_eq!(state.to_bytes(), journal.final_state().unwrap().state, "bit-identical");
+        assert_eq!(state.hash(), journal.final_state().unwrap().hash);
+    }
+
+    #[test]
+    fn deputy_stays_in_sync_and_detects_injected_divergence() {
+        let repo = seeded_repo("h");
+        let mut link = DeputyLink::new(repo.snapshot(), 2);
+        for i in 0..6 {
+            let wire = sample("h", i as f64);
+            repo.apply_event(&wire.event);
+            link.ship(&wire, || repo.state_hash()).unwrap();
+        }
+        assert_eq!(link.stats().frames, 6);
+        assert_eq!(link.stats().divergences, 0);
+        link.check(repo.state_hash()).unwrap();
+
+        // Inject divergence: corrupt the replica's copy directly.
+        link.replica_mut().state_mut().resources.set_status("h", HostStatus::Down);
+        let wire = sample("h", 9.0);
+        repo.apply_event(&wire.event);
+        let err = loop {
+            if let Err(e) = link.ship(&wire, || repo.state_hash()) {
+                break e;
+            }
+        };
+        assert!(matches!(err, ReplicationError::Divergence { .. }));
+        assert_eq!(link.stats().divergences, 1, "sticky error counted once");
+        assert!(link.divergence().is_some());
+    }
+}

@@ -8,16 +8,21 @@
 //! [`EventLog`] built with [`EventLog::traced`] mirrors every
 //! [`EventLog::emit`] into a `vdce_obs` [`TraceSink`] as a logical-time
 //! trace event, and consumers query it through the typed
-//! [`EventQuery`] API ([`EventLog::query`]) instead of the deprecated
-//! closure-based `count`/`first_time`.
+//! [`EventQuery`] API ([`EventLog::query`]).
+//!
+//! Since the durability redesign (DESIGN.md §16) the log sits on the
+//! `vdce_store` append-only substrate and [`EventLog::emit`] is the
+//! *only* write path: a log built with [`EventLog::with_journal`]
+//! write-ahead-journals every entry (tag `log`) before buffering it, so
+//! a restarted Site Manager replays the exact same event history.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use serde::{Deserialize, Serialize};
 use vdce_afg::TaskId;
 use vdce_obs::trace::{FieldValue, TraceSink};
+use vdce_store::{AppendLog, Journal};
 
 /// Something that happened at runtime.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum RuntimeEvent {
     /// A monitor sample was taken on a host.
     MonitorSample {
@@ -381,13 +386,27 @@ impl RuntimeEvent {
     }
 }
 
-/// Shared, timestamped, append-only event log.
+/// The `log`-tagged journal payload: one timestamped event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Logical time (seconds).
+    pub t: f64,
+    /// The event.
+    pub event: RuntimeEvent,
+}
+
+/// Shared, timestamped, append-only event log on the `vdce_store`
+/// substrate.
 ///
-/// Cloning shares both the entry buffer and the attached trace sink.
+/// Cloning shares the entry buffer, the attached trace sink and the
+/// attached journal. [`EventLog::emit`] is the single write path: it
+/// write-ahead-journals (when a journal is attached), mirrors into the
+/// trace sink (when tracing), then buffers the entry.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    entries: Arc<Mutex<Vec<(f64, RuntimeEvent)>>>,
+    entries: AppendLog<(f64, RuntimeEvent)>,
     trace: TraceSink,
+    journal: Journal,
 }
 
 impl EventLog {
@@ -399,7 +418,15 @@ impl EventLog {
     /// Empty log that mirrors every [`EventLog::emit`] into `trace` as
     /// a logical-time trace event.
     pub fn traced(trace: TraceSink) -> Self {
-        EventLog { entries: Arc::default(), trace }
+        EventLog { entries: AppendLog::new(), trace, journal: Journal::disabled() }
+    }
+
+    /// This log with a write-ahead journal attached: every subsequent
+    /// [`EventLog::emit`] appends a [`LogRecord`] under the `log` tag
+    /// before buffering.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// The attached trace sink (disabled unless built via
@@ -408,24 +435,23 @@ impl EventLog {
         &self.trace
     }
 
-    /// Append an event at logical time `t` (seconds), mirroring it into
-    /// the attached trace sink.
+    /// Append an event at logical time `t` (seconds): journal first
+    /// (write-ahead), mirror into the attached trace sink, then buffer.
     pub fn emit(&self, t: f64, event: RuntimeEvent) {
+        if self.journal.is_enabled() {
+            let wire = LogRecord { t, event: event.clone() };
+            let payload = serde_json::to_string(&wire).expect("runtime events always serialize");
+            self.journal.append("log", &payload);
+        }
         if self.trace.is_enabled() {
             self.trace.event(t, event.kind().name(), event.trace_fields());
         }
-        self.entries.lock().push((t, event));
-    }
-
-    /// Append an event at time `t` (seconds).
-    #[deprecated(note = "use `emit`, which also mirrors into the attached vdce_obs trace")]
-    pub fn record(&self, t: f64, event: RuntimeEvent) {
-        self.emit(t, event);
+        self.entries.push((t, event));
     }
 
     /// Snapshot of all entries in append order.
     pub fn snapshot(&self) -> Vec<(f64, RuntimeEvent)> {
-        self.entries.lock().clone()
+        self.entries.snapshot()
     }
 
     /// Typed query over events of one [`EventKind`].
@@ -438,26 +464,14 @@ impl EventLog {
         EventQuery { log: self, kind: None, host: None, task: None }
     }
 
-    /// Count events matching `pred`.
-    #[deprecated(note = "use the typed `query(EventKind)` API")]
-    pub fn count(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> usize {
-        self.entries.lock().iter().filter(|(_, e)| pred(e)).count()
-    }
-
-    /// First timestamp of an event matching `pred`.
-    #[deprecated(note = "use the typed `query(EventKind)` API")]
-    pub fn first_time(&self, pred: impl Fn(&RuntimeEvent) -> bool) -> Option<f64> {
-        self.entries.lock().iter().find(|(_, e)| pred(e)).map(|(t, _)| *t)
-    }
-
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.len()
     }
 
     /// Is the log empty?
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.entries.is_empty()
     }
 }
 
@@ -500,27 +514,29 @@ impl EventQuery<'_> {
 
     /// Number of matching events.
     pub fn count(&self) -> usize {
-        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).count()
+        self.log.entries.with(|v| v.iter().filter(|(_, e)| self.matches(e)).count())
     }
 
     /// Timestamp of the first match.
     pub fn first_time(&self) -> Option<f64> {
-        self.log.entries.lock().iter().find(|(_, e)| self.matches(e)).map(|(t, _)| *t)
+        self.log.entries.with(|v| v.iter().find(|(_, e)| self.matches(e)).map(|(t, _)| *t))
     }
 
     /// Timestamp of the last match.
     pub fn last_time(&self) -> Option<f64> {
-        self.log.entries.lock().iter().rev().find(|(_, e)| self.matches(e)).map(|(t, _)| *t)
+        self.log.entries.with(|v| v.iter().rev().find(|(_, e)| self.matches(e)).map(|(t, _)| *t))
     }
 
     /// Timestamps of every match, in append order.
     pub fn times(&self) -> Vec<f64> {
-        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).map(|(t, _)| *t).collect()
+        self.log
+            .entries
+            .with(|v| v.iter().filter(|(_, e)| self.matches(e)).map(|(t, _)| *t).collect())
     }
 
     /// Every matching `(time, event)` pair, in append order.
     pub fn events(&self) -> Vec<(f64, RuntimeEvent)> {
-        self.log.entries.lock().iter().filter(|(_, e)| self.matches(e)).cloned().collect()
+        self.log.entries.with(|v| v.iter().filter(|(_, e)| self.matches(e)).cloned().collect())
     }
 }
 
@@ -566,15 +582,23 @@ mod tests {
         assert_eq!(log.query(EventKind::TaskStarted).events().len(), 1);
     }
 
-    /// The closure API still answers (deprecated, kept for downstream
-    /// consumers one release).
+    /// A journaled log write-ahead-journals every emit under the `log`
+    /// tag, and the journaled record replays to the same entry.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_closure_queries_still_work() {
-        let log = EventLog::new();
-        log.record(1.0, RuntimeEvent::HostFailed { host: "a".into() });
-        assert_eq!(log.count(|e| matches!(e, RuntimeEvent::HostFailed { .. })), 1);
-        assert_eq!(log.first_time(|e| matches!(e, RuntimeEvent::HostFailed { .. })), Some(1.0));
+    fn journaled_log_writes_ahead() {
+        let journal = Journal::enabled(vdce_store::SnapshotPolicy::manual());
+        let log = EventLog::new().with_journal(journal.clone());
+        log.emit(1.5, RuntimeEvent::HostFailed { host: "a".into() });
+        assert_eq!(journal.len(), 1);
+        let (tag, payload) = journal.history().pop().unwrap();
+        assert_eq!(tag, "log");
+        let rec: LogRecord = serde_json::from_str(&payload).unwrap();
+        assert_eq!(rec.t, 1.5);
+        assert_eq!(rec.event, RuntimeEvent::HostFailed { host: "a".into() });
+        // The un-journaled default appends nothing anywhere but the buffer.
+        let plain = EventLog::new();
+        plain.emit(0.0, RuntimeEvent::Resumed);
+        assert_eq!(plain.len(), 1);
     }
 
     #[test]

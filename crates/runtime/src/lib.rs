@@ -43,6 +43,7 @@
 pub mod app_controller;
 pub mod checkpoint;
 pub mod data_manager;
+pub mod durable;
 pub mod events;
 pub mod executor;
 pub mod group;
@@ -56,15 +57,20 @@ pub mod submission;
 
 pub use app_controller::{AppController, AppControllerConfig, ExecutionReport, ThresholdGate};
 pub use checkpoint::{
-    CheckpointPolicy, CheckpointStore, MtbfEstimator, PlannedCheckpoint, RunPlan, TaskCheckpoint,
+    CheckpointEvent, CheckpointPolicy, CheckpointState, CheckpointStore, ControlCheckpoint,
+    MtbfEstimator, PlannedCheckpoint, RunPlan, TaskCheckpoint,
 };
 pub use data_manager::{ChannelId, DataManager, Transport};
-pub use events::{EventLog, RuntimeEvent};
+pub use durable::{
+    ControlEvent, ControlEventError, ControlState, DeputyLink, DurableOptions, JournaledSiteEvent,
+    RepoReplica,
+};
+pub use events::{EventLog, LogRecord, RuntimeEvent};
 pub use executor::{execute_full, execute_with_locks, HostLockRegistry};
 pub use kernels::run_kernel;
 pub use monitor::{LoadProbe, MonitorDaemon, MonitorReport, SyntheticProbe};
 pub use net_monitor::{LinkProbe, NetworkMonitor, SyntheticLinkProbe};
 pub use recovery::{BackoffPolicy, Quarantine, SiteQuarantine};
 pub use services::{ConsoleService, IoService, VisualizationService};
-pub use site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager};
+pub use site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager, SiteTableEvent};
 pub use submission::{gateway, SubmissionError, SubmissionGateway};

@@ -26,9 +26,14 @@
 //! restores the primary when it returns, and declares the site
 //! quarantined at federation level once no host answers at all.
 
+use crate::durable::DeputyLink;
 use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use vdce_net::topology::SiteId;
+use vdce_repository::events::{JournaledRepoEvent, RepoEvent};
 use vdce_repository::resources::HostStatus;
 use vdce_repository::SiteRepository;
 use vdce_sched::allocation::{AllocationTable, TaskPlacement};
@@ -76,12 +81,27 @@ pub struct SiteManager {
     /// Site this manager serves.
     pub site: SiteId,
     repo: SiteRepository,
+    deputy: Option<Arc<Mutex<DeputyLink>>>,
 }
 
 impl SiteManager {
     /// Manager over `repo` for `site`.
     pub fn new(site: SiteId, repo: SiteRepository) -> Self {
-        SiteManager { site, repo }
+        SiteManager { site, repo, deputy: None }
+    }
+
+    /// This manager with a deputy replication link attached: every
+    /// repository event [`SiteManager::process`] applies is also shipped
+    /// to the deputy's replica, with periodic state-hash divergence
+    /// checks (DESIGN.md §16).
+    pub fn with_deputy(mut self, deputy: Arc<Mutex<DeputyLink>>) -> Self {
+        self.deputy = Some(deputy);
+        self
+    }
+
+    /// The deputy replication link, if one is attached.
+    pub fn deputy(&self) -> Option<&Arc<Mutex<DeputyLink>>> {
+        self.deputy.as_ref()
     }
 
     /// The repository this manager maintains.
@@ -89,26 +109,45 @@ impl SiteManager {
         &self.repo
     }
 
-    /// Apply one control message to the site repository. Returns `false`
-    /// for updates about unknown hosts (logged and dropped in the paper's
-    /// prototype).
+    /// Apply one control message to the site repository through the
+    /// event-sourced write path: the message becomes a [`RepoEvent`],
+    /// which is journaled (write-ahead, when a journal is attached),
+    /// applied, and shipped to the deputy replica (when one is
+    /// attached). Returns `false` for updates about unknown hosts
+    /// (logged and dropped in the paper's prototype).
     pub fn process(&self, msg: &ControlMessage) -> bool {
-        match msg {
+        let event = match msg {
             ControlMessage::WorkloadUpdate { host, workload, available_memory } => {
-                self.repo.resources_mut(|db| db.record_sample(host, *workload, *available_memory))
+                RepoEvent::RecordSample {
+                    host: host.clone(),
+                    workload: *workload,
+                    available_memory: *available_memory,
+                }
             }
             ControlMessage::HostFailure { host } => {
-                self.repo.resources_mut(|db| db.set_status(host, HostStatus::Down))
+                RepoEvent::SetStatus { host: host.clone(), status: HostStatus::Down }
             }
             ControlMessage::HostRecovered { host } => {
-                self.repo.resources_mut(|db| db.set_status(host, HostStatus::Up))
+                RepoEvent::SetStatus { host: host.clone(), status: HostStatus::Up }
             }
             ControlMessage::ExecutionCompleted { library_task, host, problem_size, seconds } => {
-                self.repo.tasks_mut(|db| {
-                    db.record_execution(library_task, host, *problem_size, *seconds)
-                })
+                RepoEvent::RecordExecution {
+                    task: library_task.clone(),
+                    host: host.clone(),
+                    problem_size: *problem_size,
+                    seconds: *seconds,
+                }
             }
+        };
+        let ok = self.repo.apply_event(&event);
+        if let Some(deputy) = &self.deputy {
+            let wire = JournaledRepoEvent { site: self.site.0, event };
+            // A divergence latches inside the link (surfaced as a typed
+            // error there and a metric by the harness); the control
+            // message itself still applied locally.
+            let _ = deputy.lock().ship(&wire, || self.repo.state_hash());
         }
+        ok
     }
 
     /// Drain every pending message from `rx`; returns how many were
@@ -173,7 +212,7 @@ impl SiteManager {
 }
 
 /// A Site-Manager role transition produced by [`SiteFailover`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FailoverEvent {
     /// The acting manager died; a deputy host took over the role.
     DeputyPromoted {
@@ -206,7 +245,7 @@ pub enum FailoverEvent {
 /// live host as *deputy*, else nobody — the site is quarantined. The
 /// rule is deterministic, so every observer that has seen the same
 /// transitions agrees on the acting manager without extra coordination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteFailover {
     /// The site.
     pub site: SiteId,
@@ -215,6 +254,23 @@ pub struct SiteFailover {
     down: BTreeSet<String>,
     manager: Option<String>,
     failovers: u64,
+}
+
+/// One journaled liveness transition of a site's host table (the `site`
+/// journal tag). The failover election itself is deterministic from the
+/// table, so only the raw up/down observations need journaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SiteTableEvent {
+    /// Echo probing declared the host dead.
+    HostDown {
+        /// Host name.
+        host: String,
+    },
+    /// The host answers echoes again.
+    HostUp {
+        /// Host name.
+        host: String,
+    },
 }
 
 impl SiteFailover {
@@ -279,6 +335,16 @@ impl SiteFailover {
             return None;
         }
         self.transition(true)
+    }
+
+    /// Apply one journaled liveness transition — the replay-side
+    /// counterpart of [`SiteFailover::on_host_down`] /
+    /// [`SiteFailover::on_host_up`].
+    pub fn apply(&mut self, event: &SiteTableEvent) -> Option<FailoverEvent> {
+        match event {
+            SiteTableEvent::HostDown { host } => self.on_host_down(host),
+            SiteTableEvent::HostUp { host } => self.on_host_up(host),
+        }
     }
 
     /// The host currently acting as Site Manager; `None` while the site

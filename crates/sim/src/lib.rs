@@ -26,7 +26,11 @@
 //! - [`arrivals`] — seeded Poisson submission traces for the streaming
 //!   scheduler service;
 //! - [`stream`] — the streaming-service harness: trace + federation +
-//!   fault plan in, replay-deterministic `StreamReport` out.
+//!   fault plan in, replay-deterministic `StreamReport` out;
+//! - [`recovery`] — kill-and-restart verification of the durable
+//!   control plane (DESIGN.md §16): damaged-WAL construction at
+//!   arbitrary kill points, snapshot + replay recovery, and
+//!   bit-identical resume against the sealed final state.
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
@@ -38,6 +42,7 @@ pub mod faults;
 pub mod harness;
 pub mod metrics;
 pub mod pool_gen;
+pub mod recovery;
 pub mod replay;
 pub mod scenario;
 pub mod stream;
@@ -49,6 +54,10 @@ pub use faults::{Fault, FaultPlan};
 pub use harness::{compare_schedulers, SchedulerKind};
 pub use metrics::{summarise, RecoveryReport, Summary, Table};
 pub use pool_gen::{build_federation, Federation, FederationSpec};
-pub use replay::{replay, run_fault_scenario, ReplayConfig, ReplayOutcome};
+pub use recovery::{verify_kill, verify_recovery, KillReport, RecoverySummary};
+pub use replay::{
+    replay, replay_durable, run_fault_scenario, run_fault_scenario_durable, ReplayConfig,
+    ReplayOutcome,
+};
 pub use scenario::Scenario;
 pub use stream::{run_stream, run_stream_observed, StreamScenario};

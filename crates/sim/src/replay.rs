@@ -38,6 +38,7 @@ use crate::faults::{Fault, FaultEvent, FaultPlan};
 use crate::metrics::{FaultOutcome, RecoveryReport};
 use crate::pool_gen::Federation;
 use crossbeam::channel::{unbounded, Receiver};
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use vdce_afg::{level_map, Afg, TaskId};
@@ -47,16 +48,20 @@ use vdce_net::PartitionState;
 use vdce_obs::{MetricsRegistry, Observer};
 use vdce_predict::cache::PredictCache;
 use vdce_repository::SiteRepository;
+use vdce_runtime::durable::{ControlEvent, ControlState, DeputyLink, JournaledSiteEvent};
 use vdce_runtime::events::{EventLog, RuntimeEvent};
 use vdce_runtime::group::{FlagEcho, GroupManager};
 use vdce_runtime::monitor::{MonitorDaemon, MonitorReport, SyntheticProbe};
 use vdce_runtime::net_monitor::{NetworkMonitor, SyntheticLinkProbe};
-use vdce_runtime::site_manager::{ControlMessage, FailoverEvent, SiteFailover, SiteManager};
+use vdce_runtime::site_manager::{
+    ControlMessage, FailoverEvent, SiteFailover, SiteManager, SiteTableEvent,
+};
 use vdce_runtime::{
-    BackoffPolicy, CheckpointPolicy, CheckpointStore, MtbfEstimator, Quarantine, SiteQuarantine,
-    TaskCheckpoint,
+    BackoffPolicy, CheckpointPolicy, CheckpointStore, DurableOptions, MtbfEstimator, Quarantine,
+    SiteQuarantine, TaskCheckpoint,
 };
 use vdce_sched::{reselect_task, site_schedule_observed, SchedulerConfig};
+use vdce_store::Journal;
 
 /// Tunables of one replay.
 #[derive(Debug, Clone)]
@@ -262,15 +267,60 @@ pub fn replay_observed(
     cfg: &ReplayConfig,
     obs: &Observer,
 ) -> ReplayOutcome {
+    replay_inner(federation, afg, plan, cfg, obs, None)
+}
+
+/// [`replay_observed`] with the durable control plane on (DESIGN.md
+/// §16): every control-plane mutation — repository events, checkpoint
+/// records, site-table transitions, runtime log appends — is journaled
+/// write-ahead through `durable.journal`, state snapshots are installed
+/// on the journal's cadence (plus one of the initial state, so recovery
+/// never depends on re-running setup), each Site Manager ships its
+/// repository events to a deputy replica with periodic state-hash
+/// checks, and the final state is sealed for the recovery harness.
+/// The returned outcome is bit-identical to the un-journaled replay —
+/// durability only observes.
+pub fn replay_durable(
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+    durable: &DurableOptions,
+) -> ReplayOutcome {
+    replay_inner(federation, afg, plan, cfg, obs, Some(durable))
+}
+
+/// Journal a site-table liveness transition (`site` tag) ahead of
+/// applying it to the live failover tracker. No-op when disabled.
+fn journal_site(journal: &Journal, site: SiteId, event: SiteTableEvent) {
+    if journal.is_enabled() {
+        let ev = ControlEvent::Site(JournaledSiteEvent { site: site.0, event });
+        journal.append(ev.tag(), &ev.payload());
+    }
+}
+
+fn replay_inner(
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+    durable: Option<&DurableOptions>,
+) -> ReplayOutcome {
     let sites = federation.topology.site_count();
     let n = afg.task_count();
-    let log = EventLog::traced(obs.trace.clone());
+    let journal = durable.map_or_else(Journal::disabled, |d| d.journal.clone());
+    let log = EventLog::traced(obs.trace.clone()).with_journal(journal.clone());
     let quarantine = Quarantine::new();
 
     // Deep-copy every repository so the caller's federation is untouched
     // and repeated replays start from identical state.
     let repos: Vec<SiteRepository> =
         federation.repos.iter().map(|r| SiteRepository::from_snapshot(r.snapshot())).collect();
+    for (i, repo) in repos.iter().enumerate() {
+        repo.attach_journal(i as u16, journal.clone());
+    }
 
     // Host name → owning site.
     let mut host_site: BTreeMap<String, SiteId> = BTreeMap::new();
@@ -327,8 +377,17 @@ pub fn replay_observed(
             .iter()
             .map(|h| MonitorDaemon::new(h.clone(), probe.clone(), mon_tx.clone(), log.clone()))
             .collect();
+        let mut manager = SiteManager::new(site, repo.clone());
+        if let Some(d) = durable {
+            // The deputy's replica starts from the leader's state at
+            // attach time — before any tick mutates the repository.
+            manager = manager.with_deputy(Arc::new(Mutex::new(DeputyLink::new(
+                repo.snapshot(),
+                d.deputy_check_every,
+            ))));
+        }
         stacks.push(SiteStack {
-            manager: SiteManager::new(site, repo.clone()),
+            manager,
             group: GroupManager::new(
                 format!("s{i}-gm"),
                 hosts,
@@ -394,6 +453,7 @@ pub fn replay_observed(
     // lost, whether or not anyone has noticed yet.
     let mut down_now: BTreeSet<String> = BTreeSet::new();
     let store = CheckpointStore::new();
+    store.attach_journal(journal.clone());
     // Per task, for its current run: planned checkpoints still to flush
     // as (absolute completion time, progress, cost), the resume fraction
     // the run started from, its full work, and checkpoint cost already
@@ -429,6 +489,14 @@ pub fn replay_observed(
         .iter()
         .map(|s| SiteFailover::new(s.id, s.server_host.clone(), &s.hosts))
         .collect();
+    // Durable runs start from a seq-0 snapshot of the fully set-up
+    // control plane, so recovery is pure `snapshot + replay` — it never
+    // re-runs setup (administrative repository writes happen before the
+    // journal attaches and are only restored through this snapshot).
+    if durable.is_some() {
+        let initial = ControlState::capture(&repos, &store, &failover, &log);
+        journal.install_snapshot(initial.to_bytes(), initial.hash());
+    }
     let mut site_failovers = 0u64;
     let mut mtbf = MtbfEstimator::new(0.5);
     // First time a partition of fault i actually severed links.
@@ -976,6 +1044,7 @@ pub fn replay_observed(
                 log.emit(t, RuntimeEvent::HostQuarantined { host: h.clone() });
             }
             let s = host_site[h];
+            journal_site(&journal, s, SiteTableEvent::HostDown { host: h.clone() });
             if let Some(ev) = failover[s.index()].on_host_down(h) {
                 match ev {
                     FailoverEvent::DeputyPromoted { from, to } => promoted.push((s, from, to)),
@@ -1003,6 +1072,7 @@ pub fn replay_observed(
                 log.emit(t, RuntimeEvent::HostReadmitted { host: h.clone() });
             }
             let s = host_site[h];
+            journal_site(&journal, s, SiteTableEvent::HostUp { host: h.clone() });
             if let Some(ev) = failover[s.index()].on_host_up(h) {
                 match ev {
                     FailoverEvent::SiteRejoined { .. } => {
@@ -1268,6 +1338,13 @@ pub fn replay_observed(
             }
         }
 
+        // Snapshot + compact when the journal's cadence comes due, so
+        // recovery replays a bounded suffix instead of the whole run.
+        if journal.snapshot_due() {
+            let snap = ControlState::capture(&repos, &store, &failover, &log);
+            journal.install_snapshot(snap.to_bytes(), snap.hash());
+        }
+
         t += cfg.tick;
     }
 
@@ -1362,6 +1439,29 @@ pub fn replay_observed(
         replica_bytes,
         resumes,
     };
+    if durable.is_some() {
+        // A forced hash check on every deputy link closes the run: any
+        // divergence the per-frame cadence missed latches here, and the
+        // channel counters surface as metrics.
+        for (i, stack) in stacks.iter().enumerate() {
+            if let Some(link) = stack.manager.deputy() {
+                let mut link = link.lock();
+                let _ = link.check(repos[i].state_hash());
+                let st = link.stats();
+                obs.metrics.counter_add("store.replication.frames", st.frames);
+                obs.metrics.counter_add("store.replication.hash_checks", st.hash_checks);
+                obs.metrics.counter_add("store.replication.divergences", st.divergences);
+            }
+        }
+        // Seal the final control-plane state: the recovery harness
+        // asserts kill-and-restart reaches these exact bytes.
+        let fin = ControlState::capture(&repos, &store, &failover, &log);
+        journal.seal(fin.to_bytes(), fin.hash());
+        let js = journal.stats();
+        obs.metrics.counter_add("store.journal.records", js.records);
+        obs.metrics.counter_add("store.journal.snapshots", js.snapshots);
+        obs.metrics.counter_add("store.journal.wal_bytes_total", js.wal_bytes_total);
+    }
     outcome.export_metrics(&obs.metrics);
     outcome
 }
@@ -1426,8 +1526,39 @@ pub fn run_fault_scenario_observed(
     cfg: &ReplayConfig,
     obs: &Observer,
 ) -> RecoveryReport {
+    run_fault_scenario_inner(name, federation, afg, plan, cfg, obs, None)
+}
+
+/// [`run_fault_scenario_observed`] with the durable control plane on
+/// for the *faulty* replay (the fault-free twin stays un-journaled —
+/// its mutations would interleave into the WAL). Same report bit for
+/// bit as the un-journaled runner; afterwards `durable.journal` holds
+/// the full event history, snapshots, and sealed final state for the
+/// kill-and-restart harness.
+pub fn run_fault_scenario_durable(
+    name: &str,
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+    durable: &DurableOptions,
+) -> RecoveryReport {
+    run_fault_scenario_inner(name, federation, afg, plan, cfg, obs, Some(durable))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fault_scenario_inner(
+    name: &str,
+    federation: &Federation,
+    afg: &Afg,
+    plan: &FaultPlan,
+    cfg: &ReplayConfig,
+    obs: &Observer,
+    durable: Option<&DurableOptions>,
+) -> RecoveryReport {
     let baseline = replay(federation, afg, &FaultPlan::empty(), cfg);
-    let faulty = replay_observed(federation, afg, plan, cfg, obs);
+    let faulty = replay_inner(federation, afg, plan, cfg, obs, durable);
     let faults = plan
         .faults
         .iter()
@@ -1718,6 +1849,70 @@ mod tests {
         assert!(out.resumed_progress.iter().all(|r| (0.0..=1.0).contains(r)));
         let a = replay(&f, &afg, &plan, &cfg);
         assert_eq!(a, out, "deterministic under whole-site loss");
+    }
+
+    /// Durability only observes: the same crash scenario replayed with
+    /// the full durable control plane (journal, snapshots, deputies)
+    /// must produce a bit-identical outcome, a populated sealed journal,
+    /// and zero replication divergences.
+    #[test]
+    fn durable_replay_is_bit_identical_and_seals_the_journal() {
+        use vdce_store::SnapshotPolicy;
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig {
+            checkpoint: CheckpointPolicy::every(0.1, 0.005),
+            ..ReplayConfig::scaled_to(est)
+        };
+        let victim = f.hosts(SiteId(0))[0].clone();
+        let plan =
+            FaultPlan { seed: 5, faults: vec![Fault::HostCrash { host: victim, at: 0.25 * est }] };
+
+        let plain = replay(&f, &afg, &plan, &cfg);
+        let opts = DurableOptions::new(SnapshotPolicy::every(64), 4);
+        let obs = Observer::disabled();
+        let durable = replay_durable(&f, &afg, &plan, &cfg, &obs, &opts);
+        assert_eq!(plain, durable, "journaling must not perturb the replay");
+
+        let journal = &opts.journal;
+        assert!(!journal.is_empty(), "a faulty run journals control-plane events");
+        let sealed = journal.final_state().expect("durable replays seal their final state");
+        assert_eq!(sealed.seq, journal.len());
+        // The sealed state parses back and self-hashes consistently.
+        let state = ControlState::from_bytes(&sealed.state).unwrap();
+        assert_eq!(state.hash(), sealed.hash);
+
+        // Replays are deterministic, so the journal is too.
+        let opts2 = DurableOptions::new(SnapshotPolicy::every(64), 4);
+        replay_durable(&f, &afg, &plan, &cfg, &obs, &opts2);
+        assert_eq!(journal.history(), opts2.journal.history());
+        assert_eq!(sealed, opts2.journal.final_state().unwrap());
+    }
+
+    /// Metrics contract of the durable replay: replication counters are
+    /// exported, healthy runs report zero divergences, and the journal
+    /// stats land in the registry.
+    #[test]
+    fn durable_replay_exports_replication_metrics() {
+        use vdce_obs::Observer;
+        use vdce_store::SnapshotPolicy;
+        let f = small_federation();
+        let afg = small_afg();
+        let est = baseline_makespan(&f, &afg);
+        let cfg = ReplayConfig::scaled_to(est);
+        let host = f.hosts(SiteId(1))[0].clone();
+        let plan = FaultPlan {
+            seed: 7,
+            faults: vec![Fault::TransientOutage { host, at: 0.2 * est, down_for: 8.0 * cfg.tick }],
+        };
+        let opts = DurableOptions::new(SnapshotPolicy::every(128), 8);
+        let obs = Observer::enabled();
+        replay_durable(&f, &afg, &plan, &cfg, &obs, &opts);
+        assert!(obs.metrics.counter("store.replication.frames") > 0);
+        assert!(obs.metrics.counter("store.replication.hash_checks") > 0);
+        assert_eq!(obs.metrics.counter("store.replication.divergences"), 0);
+        assert_eq!(obs.metrics.counter("store.journal.records"), opts.journal.len());
     }
 
     #[test]

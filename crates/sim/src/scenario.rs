@@ -210,6 +210,26 @@ impl FaultScenario {
             obs,
         )
     }
+
+    /// [`run_observed`](FaultScenario::run_observed) with the durable
+    /// control plane on for the faulty replay (DESIGN.md §16): same
+    /// report bit for bit; afterwards `durable.journal` holds the
+    /// sealed event history for [`crate::recovery::verify_recovery`].
+    pub fn run_durable(
+        &self,
+        obs: &vdce_obs::Observer,
+        durable: &vdce_runtime::DurableOptions,
+    ) -> RecoveryReport {
+        crate::replay::run_fault_scenario_durable(
+            self.name,
+            &self.scenario.federation,
+            &self.scenario.afg,
+            &self.plan,
+            &self.config,
+            obs,
+            durable,
+        )
+    }
 }
 
 /// Crash the busiest host of the smoke workload a quarter of the way in

@@ -1,0 +1,406 @@
+//! The tagged event journal the event-sourced control plane writes
+//! through.
+//!
+//! Every control-plane mutation — a repository event, a checkpoint
+//! record, a site-table transition, a runtime log entry — is serialized
+//! by its owning component and appended here as a `(tag, payload)`
+//! record *before* it is applied (write-ahead discipline). The journal
+//! frames each record into a [`WalWriter`] image and, on a configurable
+//! cadence, compacts the image behind a state snapshot: recovery is
+//! "load the newest snapshot, replay the WAL records after it".
+//!
+//! Like the obs `TraceSink`, a journal is cheap to thread everywhere:
+//! [`Journal::disabled`] is a `None` branch per append, so un-journaled
+//! replays keep their exact pre-PR behaviour. Clones share the journal.
+//!
+//! Two views coexist on purpose:
+//!
+//! - the **durable image** ([`Journal::image`]) — newest snapshot +
+//!   WAL-since-snapshot, what a restarted Site Manager would read;
+//! - the **full history** ([`Journal::history`]) — every record ever
+//!   appended, which the recovery harness uses to build damaged WAL
+//!   images at arbitrary kill points and to resume past them.
+
+use crate::wal::{read_wal, WalError, WalWriter};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// When the journal compacts its WAL behind a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Install a snapshot every this many appended records; `0` never
+    /// snapshots automatically (explicit installs still work).
+    pub every_records: u64,
+}
+
+impl SnapshotPolicy {
+    /// Never snapshot automatically.
+    pub fn manual() -> Self {
+        SnapshotPolicy { every_records: 0 }
+    }
+
+    /// Snapshot every `n` records.
+    pub fn every(n: u64) -> Self {
+        SnapshotPolicy { every_records: n }
+    }
+}
+
+/// One installed state snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRecord {
+    /// Global sequence number the snapshot covers: the state after the
+    /// first `seq` journal records.
+    pub seq: u64,
+    /// Serialized state (the owning state machine defines the format).
+    pub state: Vec<u8>,
+    /// [`crate::hash::fnv1a`] of `state`, pinned at install time.
+    pub hash: u64,
+}
+
+/// The durable image a restart recovers from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreImage {
+    /// Newest installed snapshot, if any.
+    pub snapshot: Option<SnapshotRecord>,
+    /// WAL image holding every record after that snapshot.
+    pub wal: Vec<u8>,
+}
+
+/// Counters describing a journal's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended over the journal's lifetime.
+    pub records: u64,
+    /// Bytes of the current (post-compaction) WAL image.
+    pub wal_bytes: u64,
+    /// Bytes appended across all WAL images, pre-compaction.
+    pub wal_bytes_total: u64,
+    /// Snapshots installed.
+    pub snapshots: u64,
+}
+
+/// A recovered journal: starting snapshot plus the decoded records to
+/// replay on top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered {
+    /// Snapshot to start from (`None` = the state machine's initial
+    /// state).
+    pub snapshot: Option<SnapshotRecord>,
+    /// `(tag, payload)` records to apply after the snapshot, in order.
+    pub events: Vec<(String, String)>,
+    /// Bytes of torn WAL tail dropped during recovery.
+    pub torn_bytes: usize,
+}
+
+/// Why a [`StoreImage`] could not be recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The WAL image itself failed to read.
+    Wal(WalError),
+    /// A record passed its checksum but is not a valid `tag payload`
+    /// journal frame.
+    MalformedRecord {
+        /// 0-based index of the bad record within the image.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Wal(e) => write!(f, "{e}"),
+            JournalError::MalformedRecord { index } => {
+                write!(f, "journal record {index} is not a `tag payload` frame")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<WalError> for JournalError {
+    fn from(e: WalError) -> Self {
+        JournalError::Wal(e)
+    }
+}
+
+/// Frame one journal record: the tag, one space, the payload.
+pub fn encode_record(tag: &str, payload: &str) -> Vec<u8> {
+    debug_assert!(!tag.contains(' '), "journal tags must not contain spaces");
+    let mut out = Vec::with_capacity(tag.len() + 1 + payload.len());
+    out.extend_from_slice(tag.as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+/// Split a record back into `(tag, payload)`.
+pub fn decode_record(bytes: &[u8]) -> Option<(String, String)> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let (tag, payload) = text.split_once(' ')?;
+    Some((tag.to_string(), payload.to_string()))
+}
+
+/// Recover a [`StoreImage`]: read the WAL (truncating a torn tail),
+/// decode every record, and return the snapshot + replay list.
+pub fn recover(image: &StoreImage) -> Result<Recovered, JournalError> {
+    let wal = read_wal(&image.wal)?;
+    let mut events = Vec::with_capacity(wal.records.len());
+    for (index, rec) in wal.records.iter().enumerate() {
+        let Some(decoded) = decode_record(rec) else {
+            return Err(JournalError::MalformedRecord { index });
+        };
+        events.push(decoded);
+    }
+    Ok(Recovered { snapshot: image.snapshot.clone(), events, torn_bytes: wal.torn_bytes })
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    history: Vec<(String, String)>,
+    wal: WalWriter,
+    snapshots: Vec<SnapshotRecord>,
+    policy: SnapshotPolicy,
+    since_snapshot: u64,
+    seq: u64,
+    wal_bytes_total: u64,
+    final_state: Option<SnapshotRecord>,
+}
+
+/// The shared control-plane journal. Clones share state; a disabled
+/// journal makes every write a no-op branch.
+#[derive(Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Mutex<JournalInner>>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Journal(disabled)"),
+            Some(inner) => {
+                let g = inner.lock();
+                write!(f, "Journal(records: {}, snapshots: {})", g.seq, g.snapshots.len())
+            }
+        }
+    }
+}
+
+impl Journal {
+    /// A journal that drops everything — the default for un-journaled
+    /// replays.
+    pub fn disabled() -> Self {
+        Journal { inner: None }
+    }
+
+    /// A live journal compacting under `policy`.
+    pub fn enabled(policy: SnapshotPolicy) -> Self {
+        Journal {
+            inner: Some(Arc::new(Mutex::new(JournalInner {
+                history: Vec::new(),
+                wal: WalWriter::new(),
+                snapshots: Vec::new(),
+                policy,
+                since_snapshot: 0,
+                seq: 0,
+                wal_bytes_total: 0,
+                final_state: None,
+            }))),
+        }
+    }
+
+    /// Is this journal recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append one `(tag, payload)` record. Returns the record's global
+    /// sequence number, or `None` when disabled.
+    pub fn append(&self, tag: &str, payload: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut g = inner.lock();
+        let before = g.wal.byte_len();
+        g.wal.append(&encode_record(tag, payload));
+        let added = (g.wal.byte_len() - before) as u64;
+        g.wal_bytes_total += added;
+        g.history.push((tag.to_string(), payload.to_string()));
+        let seq = g.seq;
+        g.seq += 1;
+        g.since_snapshot += 1;
+        Some(seq)
+    }
+
+    /// Has the snapshot policy come due? (Always `false` when disabled
+    /// or under a manual policy.)
+    pub fn snapshot_due(&self) -> bool {
+        let Some(inner) = self.inner.as_ref() else { return false };
+        let g = inner.lock();
+        g.policy.every_records > 0 && g.since_snapshot >= g.policy.every_records
+    }
+
+    /// Install a snapshot of the owning state machine's current state
+    /// and compact the WAL behind it. No-op when disabled.
+    pub fn install_snapshot(&self, state: Vec<u8>, hash: u64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut g = inner.lock();
+        let seq = g.seq;
+        g.snapshots.push(SnapshotRecord { seq, state, hash });
+        g.wal = WalWriter::new();
+        g.since_snapshot = 0;
+    }
+
+    /// Pin the final state at shutdown (the recovery harness compares
+    /// recovered state against this). Does not compact.
+    pub fn seal(&self, state: Vec<u8>, hash: u64) {
+        let Some(inner) = self.inner.as_ref() else { return };
+        let mut g = inner.lock();
+        let seq = g.seq;
+        g.final_state = Some(SnapshotRecord { seq, state, hash });
+    }
+
+    /// The sealed final state, if [`Journal::seal`] was called.
+    pub fn final_state(&self) -> Option<SnapshotRecord> {
+        self.inner.as_ref().and_then(|i| i.lock().final_state.clone())
+    }
+
+    /// Records appended over the journal's lifetime.
+    pub fn len(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.lock().seq)
+    }
+
+    /// Has nothing been appended?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> JournalStats {
+        match &self.inner {
+            None => JournalStats::default(),
+            Some(inner) => {
+                let g = inner.lock();
+                JournalStats {
+                    records: g.seq,
+                    wal_bytes: g.wal.byte_len() as u64,
+                    wal_bytes_total: g.wal_bytes_total,
+                    snapshots: g.snapshots.len() as u64,
+                }
+            }
+        }
+    }
+
+    /// Every record ever appended, in order (pre-compaction view).
+    pub fn history(&self) -> Vec<(String, String)> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.lock().history.clone())
+    }
+
+    /// Every snapshot installed, oldest first.
+    pub fn snapshots(&self) -> Vec<SnapshotRecord> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.lock().snapshots.clone())
+    }
+
+    /// The durable image as of now: newest snapshot + WAL since it.
+    pub fn image(&self) -> StoreImage {
+        match &self.inner {
+            None => StoreImage { snapshot: None, wal: WalWriter::new().into_bytes() },
+            Some(inner) => {
+                let g = inner.lock();
+                StoreImage { snapshot: g.snapshots.last().cloned(), wal: g.wal.bytes().to_vec() }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fnv1a;
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        assert!(!j.is_enabled());
+        assert_eq!(j.append("repo", "{}"), None);
+        assert!(!j.snapshot_due());
+        assert_eq!(j.stats(), JournalStats::default());
+        assert!(j.history().is_empty());
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn append_then_recover_round_trips() {
+        let j = Journal::enabled(SnapshotPolicy::manual());
+        assert_eq!(j.append("repo", r#"{"site":0}"#), Some(0));
+        assert_eq!(j.append("log", r#"{"t":1.5}"#), Some(1));
+        let rec = recover(&j.image()).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert_eq!(
+            rec.events,
+            vec![
+                ("repo".to_string(), r#"{"site":0}"#.to_string()),
+                ("log".to_string(), r#"{"t":1.5}"#.to_string()),
+            ]
+        );
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_wal() {
+        let j = Journal::enabled(SnapshotPolicy::every(2));
+        j.append("a", "1");
+        assert!(!j.snapshot_due());
+        j.append("a", "2");
+        assert!(j.snapshot_due());
+        let state = b"state-after-2".to_vec();
+        j.install_snapshot(state.clone(), fnv1a(&state));
+        assert!(!j.snapshot_due());
+        j.append("a", "3");
+
+        let rec = recover(&j.image()).unwrap();
+        let snap = rec.snapshot.expect("snapshot present");
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.state, state);
+        assert_eq!(rec.events, vec![("a".to_string(), "3".to_string())]);
+
+        // Full history survives compaction for the recovery harness.
+        assert_eq!(j.history().len(), 3);
+        let stats = j.stats();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.snapshots, 1);
+        assert!(stats.wal_bytes < stats.wal_bytes_total);
+    }
+
+    #[test]
+    fn payloads_with_spaces_survive_framing() {
+        let j = Journal::enabled(SnapshotPolicy::manual());
+        j.append("log", r#"{"reason": "host a died, tasks moved"}"#);
+        let rec = recover(&j.image()).unwrap();
+        assert_eq!(rec.events[0].1, r#"{"reason": "host a died, tasks moved"}"#);
+    }
+
+    #[test]
+    fn seal_pins_final_state() {
+        let j = Journal::enabled(SnapshotPolicy::manual());
+        j.append("a", "1");
+        j.seal(b"final".to_vec(), fnv1a(b"final"));
+        let f = j.final_state().unwrap();
+        assert_eq!(f.seq, 1);
+        assert_eq!(f.state, b"final");
+    }
+
+    #[test]
+    fn malformed_record_is_a_typed_error() {
+        let mut w = WalWriter::new();
+        w.append(b"no-space-separator-here");
+        let img = StoreImage { snapshot: None, wal: w.into_bytes() };
+        assert_eq!(recover(&img).unwrap_err(), JournalError::MalformedRecord { index: 0 });
+    }
+
+    #[test]
+    fn clones_share_the_journal() {
+        let j = Journal::enabled(SnapshotPolicy::manual());
+        let j2 = j.clone();
+        j2.append("a", "1");
+        assert_eq!(j.len(), 1);
+    }
+}

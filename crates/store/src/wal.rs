@@ -1,0 +1,273 @@
+//! The write-ahead log: length-prefixed, CRC-checksummed record
+//! framing over a flat byte image.
+//!
+//! Layout:
+//!
+//! ```text
+//! [magic: 8 bytes "VDCEWAL1"]
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]   × N
+//! ```
+//!
+//! The failure model is *suffix truncation*: a crash mid-append loses
+//! an arbitrary byte suffix of the image but never scrambles earlier
+//! bytes (the append-only discipline). Recovery therefore distinguishes
+//! two cases:
+//!
+//! - **torn tail** — the image ends inside a record header or payload.
+//!   That is the expected crash signature; [`read_wal`] truncates it
+//!   silently and reports how many bytes were dropped.
+//! - **corrupt record** — a record is fully present but its payload
+//!   does not match its stored CRC. That is bit rot or a software bug,
+//!   never a clean crash, and it surfaces as
+//!   [`WalError::CorruptRecord`] — a typed error, not a panic.
+
+/// Magic + format version, the first 8 bytes of every WAL image.
+pub const WAL_MAGIC: [u8; 8] = *b"VDCEWAL1";
+
+/// Bytes of the image header (the magic).
+pub const WAL_HEADER_LEN: usize = 8;
+
+/// Bytes of one record header (`len` + `crc`).
+const RECORD_HEADER_LEN: usize = 8;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A WAL image that cannot be recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The image does not start with [`WAL_MAGIC`] (and is long enough
+    /// that a torn header cannot explain it).
+    BadMagic {
+        /// The first bytes actually found.
+        found: Vec<u8>,
+    },
+    /// A fully-present record whose payload does not match its CRC.
+    CorruptRecord {
+        /// 0-based index of the bad record.
+        index: usize,
+        /// Byte offset of the record header within the image.
+        offset: usize,
+        /// CRC stored in the record header.
+        stored: u32,
+        /// CRC computed over the payload found.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::BadMagic { found } => {
+                write!(f, "WAL image does not start with {WAL_MAGIC:?} (found {found:?})")
+            }
+            WalError::CorruptRecord { index, offset, stored, computed } => write!(
+                f,
+                "WAL record {index} at byte {offset} is corrupt: \
+                 stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Append side of the WAL. Owns the byte image; records are framed on
+/// append so the image is always a valid WAL prefix.
+#[derive(Debug, Clone)]
+pub struct WalWriter {
+    buf: Vec<u8>,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Empty WAL (just the magic header).
+    pub fn new() -> Self {
+        WalWriter { buf: WAL_MAGIC.to_vec(), records: 0 }
+    }
+
+    /// Append one record; returns its 0-based index within this image.
+    pub fn append(&mut self, payload: &[u8]) -> u64 {
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        let idx = self.records;
+        self.records += 1;
+        idx
+    }
+
+    /// Records appended to this image.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// The current image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Size of the current image in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consume the writer, returning the image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for WalWriter {
+    fn default() -> Self {
+        WalWriter::new()
+    }
+}
+
+/// What [`read_wal`] recovered from an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Every intact record's payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length of the valid prefix (magic + intact records) in bytes.
+    pub valid_len: usize,
+    /// Bytes of torn tail dropped (0 for a cleanly closed image).
+    pub torn_bytes: usize,
+}
+
+/// Recover every intact record from a WAL image, truncating a torn
+/// tail. An image that is a strict prefix of the magic (crash before
+/// the header finished) recovers as an empty log.
+pub fn read_wal(image: &[u8]) -> Result<WalRecovery, WalError> {
+    if image.len() < WAL_HEADER_LEN {
+        return if WAL_MAGIC.starts_with(image) {
+            Ok(WalRecovery { records: Vec::new(), valid_len: 0, torn_bytes: image.len() })
+        } else {
+            Err(WalError::BadMagic { found: image.to_vec() })
+        };
+    }
+    if image[..WAL_HEADER_LEN] != WAL_MAGIC {
+        return Err(WalError::BadMagic { found: image[..WAL_HEADER_LEN].to_vec() });
+    }
+
+    let mut records = Vec::new();
+    let mut offset = WAL_HEADER_LEN;
+    while offset < image.len() {
+        let remaining = image.len() - offset;
+        if remaining < RECORD_HEADER_LEN {
+            break; // torn record header
+        }
+        let len = u32::from_le_bytes(image[offset..offset + 4].try_into().unwrap()) as usize;
+        let stored = u32::from_le_bytes(image[offset + 4..offset + 8].try_into().unwrap());
+        if remaining < RECORD_HEADER_LEN + len {
+            break; // torn payload
+        }
+        let payload = &image[offset + RECORD_HEADER_LEN..offset + RECORD_HEADER_LEN + len];
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(WalError::CorruptRecord { index: records.len(), offset, stored, computed });
+        }
+        records.push(payload.to_vec());
+        offset += RECORD_HEADER_LEN + len;
+    }
+    Ok(WalRecovery { records, valid_len: offset, torn_bytes: image.len() - offset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut w = WalWriter::new();
+        for p in payloads {
+            w.append(p);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn round_trip_preserves_records_in_order() {
+        let img = image(&[b"alpha", b"", b"gamma with spaces"]);
+        let rec = read_wal(&img).unwrap();
+        assert_eq!(rec.records, vec![b"alpha".to_vec(), Vec::new(), b"gamma with spaces".to_vec()]);
+        assert_eq!(rec.valid_len, img.len());
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn empty_wal_recovers_empty() {
+        let rec = read_wal(&image(&[])).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let img = image(&[b"keep me", b"lose me"]);
+        // Cut inside the second record's payload.
+        let cut = &img[..img.len() - 3];
+        let rec = read_wal(cut).unwrap();
+        assert_eq!(rec.records, vec![b"keep me".to_vec()]);
+        assert_eq!(rec.torn_bytes, cut.len() - rec.valid_len);
+        assert!(rec.torn_bytes > 0);
+    }
+
+    #[test]
+    fn torn_magic_recovers_as_empty_log() {
+        let rec = read_wal(&WAL_MAGIC[..3]).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.torn_bytes, 3);
+    }
+
+    #[test]
+    fn wrong_magic_is_a_typed_error() {
+        let err = read_wal(b"NOTAWAL!rest").unwrap_err();
+        assert!(matches!(err, WalError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn corrupt_checksum_is_a_typed_error() {
+        let mut img = image(&[b"first", b"second"]);
+        // Flip one payload byte of the *first* record (fully present).
+        let first_payload_at = WAL_HEADER_LEN + 8;
+        img[first_payload_at] ^= 0xFF;
+        let err = read_wal(&img).unwrap_err();
+        match err {
+            WalError::CorruptRecord { index, offset, stored, computed } => {
+                assert_eq!(index, 0);
+                assert_eq!(offset, WAL_HEADER_LEN);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/IEEE of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}
