@@ -97,6 +97,12 @@ stage "scale gate (--quick)" \
 # ceiling, and starve no tenant past the aging bound.
 stage "stream gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_stream -- --quick
+# Fuzz gate: a fixed seed block of generated adversarial cases must pass
+# every invariant; the injected-violation self-tests must shrink to
+# 1-minimal reproducers deterministically; and the three promoted fuzz
+# regression scenarios must replay bit-identically twice.
+stage "fuzz gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_fuzz -- --quick
 # Observability gate: replay every quick scenario twice with tracing on;
 # the JSONL trace must validate against the schema and the trace,
 # deterministic metric snapshot, and recovery report must all be

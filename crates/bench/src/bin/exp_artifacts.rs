@@ -24,6 +24,7 @@ use vdce_obs::{Report, Table};
 /// its file checked in) or this gate fails.
 const REQUIRED: &[&str] = &[
     "BENCH_faults.json",
+    "BENCH_fuzz.json",
     "BENCH_recovery.json",
     "BENCH_scale.json",
     "BENCH_sched.json",

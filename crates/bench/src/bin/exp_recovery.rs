@@ -31,7 +31,7 @@ use vdce_obs::{Observer, Report, RunArtifact, Table};
 use vdce_runtime::DurableOptions;
 use vdce_sim::recovery::{verify_kill, verify_recovery};
 use vdce_sim::scenario::all_fault_scenarios;
-use vdce_store::{encode_record, read_wal, SnapshotPolicy, WalWriter};
+use vdce_store::{encode_record, read_wal, FileWal, SnapshotPolicy, WalWriter};
 
 /// Kill points per scenario in the sweep (`--quick` uses fewer).
 const KILLS_FULL: usize = 12;
@@ -285,11 +285,60 @@ fn write_fixture(journal: &vdce_store::Journal, failures: &mut Vec<String>) -> S
     }
     let path = "target/recovery_fixture.wal";
     match std::fs::write(path, &bytes) {
-        Ok(()) => format!("wrote {path} ({} bytes, {cut} records + torn tail)", bytes.len()),
+        Ok(()) => {
+            file_wal_gate(&bytes, cut, failures);
+            format!("wrote {path} ({} bytes, {cut} records + torn tail)", bytes.len())
+        }
         Err(e) => {
             failures.push(format!("fixture write failed: {e}"));
             String::new()
         }
+    }
+}
+
+/// Round-trip the damaged fixture through the on-disk WAL: `FileWal`
+/// must recover the same record prefix `read_wal` does and physically
+/// truncate the torn tail off the file. Works on a copy so the
+/// uploaded fixture keeps its torn tail.
+fn file_wal_gate(damaged: &[u8], expect_records: usize, failures: &mut Vec<String>) {
+    let path = "target/recovery_fixture_filewal.wal";
+    if let Err(e) = std::fs::write(path, damaged) {
+        failures.push(format!("file-wal gate: copy failed: {e}"));
+        return;
+    }
+    match FileWal::open(path) {
+        Ok((mut wal, rec)) => {
+            if rec.records.len() != expect_records || rec.torn_bytes == 0 {
+                failures.push(format!(
+                    "file-wal gate: expected {expect_records} records + torn tail, \
+                     got {} records, {} torn bytes",
+                    rec.records.len(),
+                    rec.torn_bytes
+                ));
+            }
+            let on_disk = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            if on_disk != rec.valid_len as u64 {
+                failures.push(format!(
+                    "file-wal gate: torn tail not truncated off the file \
+                     ({on_disk} bytes on disk, valid prefix {})",
+                    rec.valid_len
+                ));
+            }
+            if wal.append(b"post-recovery append").and_then(|_| wal.sync()).is_err() {
+                failures.push("file-wal gate: append after recovery failed".into());
+            }
+            drop(wal);
+            match FileWal::open(path) {
+                Ok((_, rec2)) if rec2.records.len() == expect_records + 1 => {}
+                Ok((_, rec2)) => failures.push(format!(
+                    "file-wal gate: reopen saw {} records, expected {}",
+                    rec2.records.len(),
+                    expect_records + 1
+                )),
+                Err(e) => failures.push(format!("file-wal gate: reopen failed: {e}")),
+            }
+        }
+        Err(e) => failures.push(format!("file-wal gate: open failed: {e}")),
     }
 }
 

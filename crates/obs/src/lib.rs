@@ -53,6 +53,14 @@ impl Observer {
         Observer { trace: TraceSink::new(), metrics: MetricsRegistry::new() }
     }
 
+    /// Observer whose trace keeps only 1-in-`n` high-frequency events
+    /// (monitor ticks), deterministically by logical time — see
+    /// [`TraceSink::sampled`]. `n <= 1` is identical to
+    /// [`Observer::enabled`].
+    pub fn enabled_sampled(n: u32) -> Self {
+        Observer { trace: TraceSink::sampled(n), metrics: MetricsRegistry::new() }
+    }
+
     /// Observer whose trace sink drops everything (metrics still work —
     /// they are cheap and only touched at run boundaries).
     pub fn disabled() -> Self {

@@ -18,12 +18,28 @@
 //! `fields` values are scalars only (string/integer/float/bool) —
 //! [`validate_jsonl`] enforces this, plus finite non-negative times and
 //! `end >= t` for spans.
+//!
+//! ## Sampling high-frequency events
+//!
+//! Monitor daemons tick every host on a fixed cadence, so
+//! `monitor_sample` events dominate long traces without carrying much
+//! marginal information. [`TraceSink::sampled`] builds a sink that
+//! keeps 1-in-N high-frequency events ([`TraceSink::hf_event`]),
+//! deciding **deterministically from the logical timestamp** (an
+//! FNV-1a hash of `t.to_bits()`), never from wall clock or a counter —
+//! so replayed runs sample the same lines and the byte-identity gate
+//! still holds. Kept samples carry a top-level `sample_n` key (schema
+//! v2) recording the inverse sampling rate, so downstream consumers can
+//! rescale counts. At the default `n = 1` the sink is bit-identical to
+//! an unsampled one.
 
 use serde_json::{Number, Value};
-use vdce_store::AppendLog;
+use vdce_store::{fnv1a, AppendLog};
 
 /// Version of the JSONL trace schema; bump on breaking shape changes.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// v2 added the optional top-level `sample_n` key on sampled
+/// high-frequency events (absent records are unchanged from v1).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// A scalar field value attached to a trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +133,9 @@ pub struct TraceRecord {
     pub name: String,
     /// Scalar payload, serialised in insertion order.
     pub fields: Vec<(String, FieldValue)>,
+    /// Inverse sampling rate for a kept high-frequency event (`None`
+    /// for unsampled records — the v1 shape).
+    pub sample_n: Option<u32>,
 }
 
 impl TraceRecord {
@@ -132,6 +151,9 @@ impl TraceRecord {
         let fields: Vec<(String, Value)> =
             self.fields.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
         obj.push(("fields".to_string(), Value::Object(fields)));
+        if let Some(n) = self.sample_n {
+            obj.push(("sample_n".to_string(), Value::Number(Number::U(n as u64))));
+        }
         Value::Object(obj)
     }
 }
@@ -142,9 +164,16 @@ impl TraceRecord {
 ///
 /// A disabled sink ([`TraceSink::disabled`], also [`Default`]) drops
 /// records without locking, so tracing costs one branch when off.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TraceSink {
     inner: Option<AppendLog<TraceRecord>>,
+    sample_n: u32,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
 }
 
 impl std::fmt::Debug for TraceSink {
@@ -157,14 +186,22 @@ impl std::fmt::Debug for TraceSink {
 }
 
 impl TraceSink {
-    /// An enabled sink.
+    /// An enabled sink that keeps every record (`sample_n == 1`).
     pub fn new() -> Self {
-        TraceSink { inner: Some(AppendLog::new()) }
+        TraceSink { inner: Some(AppendLog::new()), sample_n: 1 }
+    }
+
+    /// An enabled sink that keeps roughly 1-in-`n` high-frequency
+    /// events (see [`TraceSink::hf_event`]); regular events and spans
+    /// are always kept. `n <= 1` keeps everything, bit-identically to
+    /// [`TraceSink::new`].
+    pub fn sampled(n: u32) -> Self {
+        TraceSink { inner: Some(AppendLog::new()), sample_n: n.max(1) }
     }
 
     /// A sink that drops everything.
     pub fn disabled() -> Self {
-        TraceSink { inner: None }
+        TraceSink { inner: None, sample_n: 1 }
     }
 
     /// Is this sink recording?
@@ -172,17 +209,64 @@ impl TraceSink {
         self.inner.is_some()
     }
 
+    /// The inverse sampling rate applied to high-frequency events.
+    pub fn sample_n(&self) -> u32 {
+        self.sample_n
+    }
+
     /// Record a point event at logical time `t`.
     pub fn event(&self, t: f64, name: &str, fields: Vec<(String, FieldValue)>) {
         if let Some(inner) = &self.inner {
-            inner.push(TraceRecord { t, end: None, name: name.to_string(), fields });
+            inner.push(TraceRecord {
+                t,
+                end: None,
+                name: name.to_string(),
+                fields,
+                sample_n: None,
+            });
+        }
+    }
+
+    /// Record a *high-frequency* point event — a monitor tick or other
+    /// cadence-driven emission that dominates long traces. On a sampled
+    /// sink only ~1-in-`sample_n` are kept, decided deterministically
+    /// from the logical timestamp (`fnv1a(t.to_bits()) % n == 0`), so a
+    /// bit-identical replay keeps exactly the same lines. Kept records
+    /// carry the `sample_n` key; at `sample_n == 1` this is exactly
+    /// [`TraceSink::event`].
+    pub fn hf_event(&self, t: f64, name: &str, fields: Vec<(String, FieldValue)>) {
+        let Some(inner) = &self.inner else { return };
+        if self.sample_n <= 1 {
+            inner.push(TraceRecord {
+                t,
+                end: None,
+                name: name.to_string(),
+                fields,
+                sample_n: None,
+            });
+            return;
+        }
+        if fnv1a(&t.to_bits().to_le_bytes()).is_multiple_of(self.sample_n as u64) {
+            inner.push(TraceRecord {
+                t,
+                end: None,
+                name: name.to_string(),
+                fields,
+                sample_n: Some(self.sample_n),
+            });
         }
     }
 
     /// Record a closed span `[t, end]`.
     pub fn span(&self, t: f64, end: f64, name: &str, fields: Vec<(String, FieldValue)>) {
         if let Some(inner) = &self.inner {
-            inner.push(TraceRecord { t, end: Some(end), name: name.to_string(), fields });
+            inner.push(TraceRecord {
+                t,
+                end: Some(end),
+                name: name.to_string(),
+                fields,
+                sample_n: None,
+            });
         }
     }
 
@@ -224,6 +308,8 @@ pub struct TraceStats {
     pub events: usize,
     /// Closed spans.
     pub spans: usize,
+    /// Records carrying a `sample_n` key (kept high-frequency events).
+    pub sampled: usize,
 }
 
 fn scalar_kind(v: &Value) -> Option<&'static str> {
@@ -240,9 +326,10 @@ fn scalar_kind(v: &Value) -> Option<&'static str> {
 /// Checks, per line: valid JSON object; `t` a finite number `>= 0`;
 /// `kind` is `"event"` or `"span"`; spans carry a finite `end >= t` and
 /// events carry no `end`; `name` a non-empty string; `fields` an object
-/// whose values are all scalars.
+/// whose values are all scalars; an optional `sample_n` (schema v2, on
+/// sampled high-frequency events only) is an integer `>= 1`.
 pub fn validate_jsonl(jsonl: &str) -> Result<TraceStats, String> {
-    let mut stats = TraceStats { lines: 0, events: 0, spans: 0 };
+    let mut stats = TraceStats { lines: 0, events: 0, spans: 0, sampled: 0 };
     for (i, line) in jsonl.lines().enumerate() {
         let n = i + 1;
         let v: Value =
@@ -294,6 +381,17 @@ pub fn validate_jsonl(jsonl: &str) -> Result<TraceStats, String> {
             }
             _ => return Err(format!("line {n}: missing object `fields`")),
         }
+        match &v["sample_n"] {
+            Value::Null => {}
+            Value::Number(x) => {
+                let s = x.as_f64();
+                if !(s.is_finite() && s >= 1.0 && s.fract() == 0.0) {
+                    return Err(format!("line {n}: `sample_n` must be an integer >= 1, got {s}"));
+                }
+                stats.sampled += 1;
+            }
+            _ => return Err(format!("line {n}: `sample_n` must be a number")),
+        }
         stats.lines += 1;
     }
     Ok(stats)
@@ -329,7 +427,66 @@ mod tests {
              {\"t\":0.5,\"end\":2.25,\"kind\":\"span\",\"name\":\"task_run\",\"fields\":{\"task\":3}}\n"
         );
         let stats = validate_jsonl(&jsonl).unwrap();
-        assert_eq!(stats, TraceStats { lines: 2, events: 1, spans: 1 });
+        assert_eq!(stats, TraceStats { lines: 2, events: 1, spans: 1, sampled: 0 });
+    }
+
+    #[test]
+    fn unsampled_hf_event_is_bit_identical_to_event() {
+        let a = TraceSink::new();
+        let b = TraceSink::new();
+        for i in 0..50 {
+            let t = i as f64 * 0.25;
+            a.event(t, "monitor_sample", vec![("workload".into(), (i as f64).into())]);
+            b.hf_event(t, "monitor_sample", vec![("workload".into(), (i as f64).into())]);
+        }
+        assert_eq!(a.sample_n(), 1);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn sampled_sink_keeps_a_deterministic_timestamp_keyed_subset() {
+        let n = 4u32;
+        let a = TraceSink::sampled(n);
+        let b = TraceSink::sampled(n);
+        let total = 400;
+        for i in 0..total {
+            let t = i as f64 * 0.125;
+            a.hf_event(t, "monitor_sample", vec![("i".into(), (i as u64).into())]);
+            b.hf_event(t, "monitor_sample", vec![("i".into(), (i as u64).into())]);
+            a.event(t, "task_started", vec![]);
+            b.event(t, "task_started", vec![]);
+        }
+        // Same timestamps → byte-identical decisions on both sinks.
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        // Regular events are never dropped; hf events thinned well
+        // below the full rate but not to zero.
+        let kept = a.records().iter().filter(|r| r.name == "monitor_sample").count();
+        assert!(kept > 0 && kept < total / 2, "kept {kept} of {total}");
+        assert_eq!(a.records().iter().filter(|r| r.name == "task_started").count(), total);
+        // Kept hf records carry the inverse rate; validation counts them.
+        assert!(a
+            .records()
+            .iter()
+            .filter(|r| r.name == "monitor_sample")
+            .all(|r| r.sample_n == Some(n)));
+        let stats = validate_jsonl(&a.to_jsonl()).unwrap();
+        assert_eq!(stats.sampled, kept);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sample_n() {
+        assert!(validate_jsonl(
+            "{\"t\":1.0,\"kind\":\"event\",\"name\":\"x\",\"fields\":{},\"sample_n\":0}"
+        )
+        .is_err());
+        assert!(validate_jsonl(
+            "{\"t\":1.0,\"kind\":\"event\",\"name\":\"x\",\"fields\":{},\"sample_n\":\"4\"}"
+        )
+        .is_err());
+        assert!(validate_jsonl(
+            "{\"t\":1.0,\"kind\":\"event\",\"name\":\"x\",\"fields\":{},\"sample_n\":8}"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -444,7 +444,15 @@ impl EventLog {
             self.journal.append("log", &payload);
         }
         if self.trace.is_enabled() {
-            self.trace.event(t, event.kind().name(), event.trace_fields());
+            // Monitor ticks are the one cadence-driven firehose; route
+            // them through the sampled path so an `Observer` built with
+            // `enabled_sampled(n)` can thin them. Everything else (and
+            // the journal above) is always kept.
+            if matches!(event.kind(), EventKind::MonitorSample) {
+                self.trace.hf_event(t, event.kind().name(), event.trace_fields());
+            } else {
+                self.trace.event(t, event.kind().name(), event.trace_fields());
+            }
         }
         self.entries.push((t, event));
     }
@@ -540,6 +548,115 @@ impl EventQuery<'_> {
     }
 }
 
+/// Independent lost-work accounting derived from the task-lifecycle
+/// events, not from the replay engine's own counters.
+///
+/// The fuzzer's no-lost-tasks invariant cross-checks a replay
+/// recovery report's `tasks_completed`/`tasks_failed` tallies
+/// against this ledger: every task that ever emitted `TaskStarted`
+/// must eventually emit `TaskFinished`, whatever storm of failures,
+/// migrations and retries happened in between. A non-zero
+/// [`WorkLedger::lost`] means the control plane dropped admitted work
+/// on the floor without even recording a terminal failure.
+///
+/// Built either from an [`EventLog`] ([`EventLog::ledger`]) or from
+/// the trace-record stream an `Observer` captured during the run
+/// ([`WorkLedger::from_trace_names`]), so out-of-process consumers can
+/// audit a run from its JSONL trace alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkLedger {
+    /// Distinct tasks that ever started.
+    pub started: usize,
+    /// Distinct tasks that finished.
+    pub finished: usize,
+    /// Distinct tasks that started but never finished.
+    pub lost: usize,
+    /// Transient failure events observed (each should be followed by a
+    /// retry or migration, not a loss).
+    pub failure_events: usize,
+    /// Migration events observed.
+    pub migrations: usize,
+    /// Retry events observed.
+    pub retries: usize,
+}
+
+impl WorkLedger {
+    /// Fold a `(started, finished)` task-id stream plus failure /
+    /// migration / retry counts into a ledger.
+    fn from_sets(
+        started: std::collections::BTreeSet<u64>,
+        finished: std::collections::BTreeSet<u64>,
+        failure_events: usize,
+        migrations: usize,
+        retries: usize,
+    ) -> Self {
+        let lost = started.difference(&finished).count();
+        WorkLedger {
+            started: started.len(),
+            finished: finished.len(),
+            lost,
+            failure_events,
+            migrations,
+            retries,
+        }
+    }
+
+    /// Build the ledger from raw `(time, event)` entries.
+    pub fn from_events(entries: &[(f64, RuntimeEvent)]) -> Self {
+        let mut started = std::collections::BTreeSet::new();
+        let mut finished = std::collections::BTreeSet::new();
+        let (mut failures, mut migrations, mut retries) = (0, 0, 0);
+        for (_, e) in entries {
+            match e {
+                RuntimeEvent::TaskStarted { task, .. } => {
+                    started.insert(task.0 as u64);
+                }
+                RuntimeEvent::TaskFinished { task, .. } => {
+                    finished.insert(task.0 as u64);
+                }
+                RuntimeEvent::TaskFailed { .. } => failures += 1,
+                RuntimeEvent::TaskMigrated { .. } => migrations += 1,
+                RuntimeEvent::TaskRetried { .. } => retries += 1,
+                _ => {}
+            }
+        }
+        Self::from_sets(started, finished, failures, migrations, retries)
+    }
+
+    /// Build the ledger from a trace-record stream: `(name, task-id)`
+    /// pairs where `name` is the [`EventKind::name`] snake_case label
+    /// and the id is the record's `task` field (ignored for names that
+    /// carry none). This is the out-of-process path — a consumer
+    /// holding only the Observer's captured records can audit the run.
+    pub fn from_trace_names<'a>(records: impl Iterator<Item = (&'a str, Option<u64>)>) -> Self {
+        let mut started = std::collections::BTreeSet::new();
+        let mut finished = std::collections::BTreeSet::new();
+        let (mut failures, mut migrations, mut retries) = (0, 0, 0);
+        for (name, task) in records {
+            match (name, task) {
+                ("task_started", Some(id)) => {
+                    started.insert(id);
+                }
+                ("task_finished", Some(id)) => {
+                    finished.insert(id);
+                }
+                ("task_failed", _) => failures += 1,
+                ("task_migrated", _) => migrations += 1,
+                ("task_retried", _) => retries += 1,
+                _ => {}
+            }
+        }
+        Self::from_sets(started, finished, failures, migrations, retries)
+    }
+}
+
+impl EventLog {
+    /// Lost-work ledger over everything emitted so far.
+    pub fn ledger(&self) -> WorkLedger {
+        WorkLedger::from_events(&self.snapshot())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +670,44 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0], (1.0, RuntimeEvent::StartupSignal));
         assert_eq!(snap[1].0, 2.0);
+    }
+
+    #[test]
+    fn ledger_counts_lost_tasks_from_events_and_trace_names() {
+        let log = EventLog::new();
+        log.emit(1.0, RuntimeEvent::TaskStarted { task: TaskId(1), host: "a".into() });
+        log.emit(2.0, RuntimeEvent::TaskFailed { task: TaskId(1), reason: "host down".into() });
+        log.emit(3.0, RuntimeEvent::TaskRetried { task: TaskId(1), attempt: 1 });
+        log.emit(
+            4.0,
+            RuntimeEvent::TaskMigrated {
+                task: TaskId(1),
+                from_host: "a".into(),
+                to_host: "b".into(),
+            },
+        );
+        log.emit(5.0, RuntimeEvent::TaskFinished { task: TaskId(1), seconds: 4.0 });
+        log.emit(6.0, RuntimeEvent::TaskStarted { task: TaskId(2), host: "b".into() });
+        let ledger = log.ledger();
+        assert_eq!(ledger.started, 2);
+        assert_eq!(ledger.finished, 1);
+        assert_eq!(ledger.lost, 1, "task 2 started but never finished");
+        assert_eq!(ledger.failure_events, 1);
+        assert_eq!(ledger.migrations, 1);
+        assert_eq!(ledger.retries, 1);
+
+        // The trace-name path sees the same history through the
+        // Observer's records and must agree.
+        let names: Vec<(&str, Option<u64>)> = vec![
+            ("task_started", Some(1)),
+            ("task_failed", Some(1)),
+            ("task_retried", Some(1)),
+            ("task_migrated", Some(1)),
+            ("task_finished", Some(1)),
+            ("task_started", Some(2)),
+            ("monitor_sample", None),
+        ];
+        assert_eq!(WorkLedger::from_trace_names(names.into_iter()), ledger);
     }
 
     #[test]
@@ -619,6 +774,26 @@ mod tests {
         plain.emit(0.0, RuntimeEvent::Resumed);
         assert!(!plain.trace().is_enabled());
         assert_eq!(plain.len(), 1);
+    }
+
+    #[test]
+    fn sampled_sink_thins_monitor_ticks_but_keeps_the_event_buffer_whole() {
+        let sink = TraceSink::sampled(4);
+        let log = EventLog::traced(sink.clone());
+        let ticks = 200;
+        for i in 0..ticks {
+            let t = i as f64 * 0.5;
+            log.emit(t, RuntimeEvent::MonitorSample { host: "s0h0".into(), workload: 1.0 });
+            log.emit(t, RuntimeEvent::StartupSignal);
+        }
+        // The in-process buffer (and any journal) is complete; only the
+        // trace mirror of the monitor firehose is thinned.
+        assert_eq!(log.len(), 2 * ticks);
+        let records = sink.records();
+        let monitor = records.iter().filter(|r| r.name == "monitor_sample").count();
+        assert!(monitor > 0 && monitor < ticks / 2, "kept {monitor} of {ticks}");
+        assert_eq!(records.iter().filter(|r| r.name == "startup_signal").count(), ticks);
+        vdce_obs::validate_jsonl(&sink.to_jsonl()).expect("sampled trace validates");
     }
 
     #[test]

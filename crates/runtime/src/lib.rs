@@ -65,7 +65,7 @@ pub use durable::{
     ControlEvent, ControlEventError, ControlState, DeputyLink, DurableOptions, JournaledSiteEvent,
     RepoReplica,
 };
-pub use events::{EventLog, LogRecord, RuntimeEvent};
+pub use events::{EventLog, LogRecord, RuntimeEvent, WorkLedger};
 pub use executor::{execute_full, execute_with_locks, HostLockRegistry};
 pub use kernels::run_kernel;
 pub use monitor::{LoadProbe, MonitorDaemon, MonitorReport, SyntheticProbe};

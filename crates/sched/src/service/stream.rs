@@ -287,6 +287,32 @@ pub struct StreamReport {
     pub tenants: Vec<TenantRow>,
 }
 
+impl StreamReport {
+    /// Broker conservation invariant: every admitted submission is
+    /// either completed or accounted as unplaced at drain. A `false`
+    /// here means the service lost an admitted task outright.
+    pub fn conservation_ok(&self) -> bool {
+        self.admitted == self.completed + self.unplaced
+    }
+
+    /// Admitted submissions the drain cannot account for (zero when
+    /// [`conservation_ok`](Self::conservation_ok) holds).
+    pub fn lost_admitted(&self) -> u64 {
+        self.admitted.saturating_sub(self.completed + self.unplaced)
+    }
+
+    /// The starved tenant furthest past its aging bound, as
+    /// `(tenant, excess seconds)` — the starvation-invariant probe the
+    /// fuzzer reports when `starved_tenants > 0`.
+    pub fn worst_wait_excess(&self) -> Option<(u32, f64)> {
+        self.tenants
+            .iter()
+            .filter(|t| t.starved)
+            .map(|t| (t.tenant, t.max_wait_s - t.wait_bound_s))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
 // ---------------------------------------------------------------------
 // The service
 // ---------------------------------------------------------------------

@@ -20,6 +20,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One materialised arrival.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +38,7 @@ pub struct Arrival {
 }
 
 /// Parameters of a Poisson submission trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceSpec {
     /// Number of tenants arrivals are spread across.
     pub tenants: usize,

@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use vdce_afg::graph::{Afg, Edge};
 use vdce_afg::ids::{PortIndex, TaskId};
 use vdce_afg::library::KernelKind;
@@ -16,7 +17,7 @@ use vdce_afg::task::{IoSpec, TaskNode, TaskProperties};
 use vdce_afg::validate;
 
 /// Parameters of the layered random DAG family.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DagSpec {
     /// Total number of tasks (≥ 2).
     pub tasks: usize,

@@ -30,7 +30,11 @@
 //! - [`recovery`] — kill-and-restart verification of the durable
 //!   control plane (DESIGN.md §16): damaged-WAL construction at
 //!   arbitrary kill points, snapshot + replay recovery, and
-//!   bit-identical resume against the sealed final state.
+//!   bit-identical resume against the sealed final state;
+//! - [`fuzz`] — the seeded scenario fuzzer (DESIGN.md §17): adversarial
+//!   fault-plan generation over the named scenarios, the end-to-end
+//!   invariant engine, and the delta-debugging shrinker that minimises
+//!   violating seeds into committable reproducers.
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@
 pub mod arrivals;
 pub mod dag_gen;
 pub mod faults;
+pub mod fuzz;
 pub mod harness;
 pub mod metrics;
 pub mod pool_gen;
@@ -51,6 +56,10 @@ pub mod trace;
 pub use arrivals::{poisson_trace, Arrival, TraceSpec};
 pub use dag_gen::DagSpec;
 pub use faults::{Fault, FaultPlan};
+pub use fuzz::{
+    check_case, check_invariant, shrink, CaseOutcome, FaultClass, FuzzCase, Invariant,
+    InvariantProfile, ShrinkOutcome, Violation,
+};
 pub use harness::{compare_schedulers, SchedulerKind};
 pub use metrics::{summarise, RecoveryReport, Summary, Table};
 pub use pool_gen::{build_federation, Federation, FederationSpec};

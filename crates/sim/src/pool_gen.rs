@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use vdce_afg::MachineType;
 use vdce_net::gen as netgen;
 use vdce_net::model::NetworkModel;
@@ -16,7 +17,7 @@ use vdce_repository::SiteRepository;
 use vdce_sched::view::SiteView;
 
 /// WAN layout families (see `vdce_net::gen`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WanShape {
     /// Hub-and-spoke.
     Star,
@@ -29,7 +30,7 @@ pub enum WanShape {
 }
 
 /// Parameters of a generated federation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FederationSpec {
     /// Number of sites.
     pub sites: usize,

@@ -531,6 +531,95 @@ pub fn partition_heal() -> FaultScenario {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fuzzer-promoted regression scenarios
+// ---------------------------------------------------------------------
+//
+// Minimal reproducers the seeded fuzzer (`vdce_sim::fuzz`, DESIGN.md
+// §17) shrank out of its worst adversarial seeds (`exp_fuzz --hunt`,
+// zero-headroom inflation profile). The shrunk plans are frozen
+// verbatim — absolute times, full f64 precision — so the exact
+// composition the fuzzer found stays gated forever alongside the
+// hand-written catalogue. Unlike hand-written scenarios these carry no
+// 2.0x crash bound; they are pinned to the fuzz regression bound
+// (4.5x) instead, since the fuzzer specifically selected them for
+// worst-case-but-recoverable inflation.
+
+/// Fuzz regression #1 — seed 1 (churn + process-kill over
+/// [`gauss_benchmark`]), shrunk 1→1 faults: one transient outage of
+/// the busiest host, timed mid-run, is alone worth 3.86× inflation —
+/// every Gauss pivot row serialises behind the backoff window of the
+/// host everything was packed onto.
+pub fn fuzz_outage_hotspot() -> FaultScenario {
+    let scenario = gauss_benchmark();
+    let (est, _) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "fuzz-outage-hotspot",
+        plan: FaultPlan {
+            seed: 1592652886,
+            faults: vec![Fault::TransientOutage {
+                host: "s3h3.vdce.org".into(),
+                at: 0.5495119800754725,
+                down_for: 0.051516748132075546,
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// Fuzz regression #2 — seed 16 (churn + partition-storm + load-wave
+/// over [`two_campus`]), shrunk 15→1 faults: of a fifteen-fault storm,
+/// a single late load spike on `s1h1` explains the whole 2.57×
+/// inflation — eviction of the tail task onto the slower campus at the
+/// worst possible moment.
+pub fn fuzz_spike_pileup() -> FaultScenario {
+    let scenario = two_campus();
+    let (est, _) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "fuzz-spike-pileup",
+        plan: FaultPlan {
+            seed: 1592652871,
+            faults: vec![Fault::LoadSpike {
+                host: "s1h1.vdce.org".into(),
+                at: 0.4510207662871057,
+                height: 6.4318563008730685,
+                duration: 0.05412249195445268,
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// Fuzz regression #3 — seed 24 (churn + correlated-outage +
+/// process-kill over [`two_campus`]), shrunk 5→1 faults: one brief
+/// whole-site blink of campus 1 — shorter than a tenth of the
+/// estimated makespan — costs 2.57× once failover, quarantine and
+/// re-admission round-trips are paid.
+pub fn fuzz_site_blink() -> FaultScenario {
+    let scenario = two_campus();
+    let (est, _) = schedule_estimate(&scenario);
+    FaultScenario {
+        name: "fuzz-site-blink",
+        plan: FaultPlan {
+            seed: 1592652879,
+            faults: vec![Fault::SiteOutage {
+                site: 1,
+                at: 0.47535688400913073,
+                down_for: Some(0.041559461890860704),
+            }],
+        },
+        config: ReplayConfig::scaled_to(est),
+        scenario,
+    }
+}
+
+/// The fuzzer-promoted regression scenarios (see above).
+pub fn fuzz_regression_scenarios() -> Vec<FaultScenario> {
+    vec![fuzz_outage_hotspot(), fuzz_spike_pileup(), fuzz_site_blink()]
+}
+
 /// All named fault scenarios (the full `exp_faults` run).
 pub fn all_fault_scenarios() -> Vec<FaultScenario> {
     vec![
@@ -548,6 +637,9 @@ pub fn all_fault_scenarios() -> Vec<FaultScenario> {
         site_crash_ckpt_local(),
         site_crash_ckpt_replica(),
         partition_heal(),
+        fuzz_outage_hotspot(),
+        fuzz_spike_pileup(),
+        fuzz_site_blink(),
     ]
 }
 
@@ -555,7 +647,9 @@ pub fn all_fault_scenarios() -> Vec<FaultScenario> {
 /// crash/checkpointed-crash pair together so the fast gate still checks
 /// that checkpointing beats restart-from-zero, and the whole site-crash
 /// family together so it still checks that cross-site replicas beat
-/// local-only checkpoints.
+/// local-only checkpoints. The fuzzer-promoted regressions ride along
+/// — they are single-fault minimal reproducers, so they cost next to
+/// nothing.
 pub fn quick_fault_scenarios() -> Vec<FaultScenario> {
     vec![
         crash_mid_run(),
@@ -567,6 +661,9 @@ pub fn quick_fault_scenarios() -> Vec<FaultScenario> {
         site_crash_ckpt_local(),
         site_crash_ckpt_replica(),
         partition_heal(),
+        fuzz_outage_hotspot(),
+        fuzz_spike_pileup(),
+        fuzz_site_blink(),
     ]
 }
 
@@ -627,7 +724,7 @@ mod tests {
         let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 17);
         for s in &scenarios {
             assert!(!s.plan.faults.is_empty(), "{}: empty plan", s.name);
             assert!(s.plan.faults.iter().all(|f| f.at() >= 0.0), "{}", s.name);
@@ -649,12 +746,26 @@ mod tests {
             let report = fs.run();
             assert_eq!(report.tasks_failed, 0, "{}: tasks failed", fs.name);
             assert!(report.recovered_all(), "{}: not recovered: {:?}", fs.name, report.faults);
+            // Hand-written scenarios stay under 2x; fuzzer-promoted
+            // regressions were *selected* for worst-case recoverable
+            // inflation and are pinned to the fuzz regression bound.
+            let bound = if fs.name.starts_with("fuzz-") { 4.5 } else { 2.0 };
             assert!(
-                report.inflation < 2.0,
-                "{}: inflation {} exceeds 2x",
+                report.inflation < bound,
+                "{}: inflation {} exceeds {bound}x",
                 fs.name,
                 report.inflation
             );
+        }
+    }
+
+    #[test]
+    fn fuzz_regressions_replay_bit_identically() {
+        for fs in fuzz_regression_scenarios() {
+            let a = fs.run();
+            let b = fs.run();
+            assert_eq!(a, b, "{}: two replays differ", fs.name);
+            assert!(a.inflation > 1.0, "{}: promoted reproducer no longer bites", fs.name);
         }
     }
 }

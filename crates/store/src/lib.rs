@@ -11,6 +11,10 @@
 //!   [`wal::read_wal`] recovers them, truncating a torn tail (a crash
 //!   mid-write) silently and rejecting a corrupted checksum with a
 //!   typed [`wal::WalError`] — never a panic.
+//! - [`file_wal`] — [`file_wal::FileWal`], the same framing spilled to
+//!   an actual on-disk file: append/`fdatasync` group-commit
+//!   discipline, recovery that physically truncates a torn tail off
+//!   the file, and an [`log::AppendLog`] mirror for in-process readers.
 //! - [`hash`] — deterministic 64-bit FNV-1a state hashing, the cheap
 //!   fingerprint behind snapshot integrity and replica divergence
 //!   detection.
@@ -30,12 +34,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod file_wal;
 pub mod hash;
 pub mod journal;
 pub mod log;
 pub mod replication;
 pub mod wal;
 
+pub use file_wal::{FileWal, FileWalError};
 pub use hash::{fnv1a, Fnv1a};
 pub use journal::{
     decode_record, encode_record, recover, Journal, JournalError, JournalStats, Recovered,
