@@ -103,6 +103,13 @@ stage "stream gate (--quick)" \
 # regression scenarios must replay bit-identically twice.
 stage "fuzz gate (--quick)" \
     cargo run -q --release -p vdce-bench --bin exp_fuzz -- --quick
+# Data-aware scheduling gate: joint compute+transfer placement must beat
+# the parent-site-only ablation on the pipeline scenario by the fixed
+# margin, degrade bit-identically when every dataset has one co-located
+# replica, replay bit-identically (allocation tables and catalog WAL),
+# and trip zero storage-capacity violations.
+stage "data-aware gate (--quick)" \
+    cargo run -q --release -p vdce-bench --bin exp_data -- --quick
 # Observability gate: replay every quick scenario twice with tracing on;
 # the JSONL trace must validate against the schema and the trace,
 # deterministic metric snapshot, and recovery report must all be

@@ -386,7 +386,7 @@ mod tests {
         let mut b = AfgBuilder::new("app", &lib);
         let s = b.add_task("Source", "s", 10).unwrap();
         let k = b.add_task("Sink", "k", 10).unwrap();
-        b.set_input(k, 0, IoSpec::file("/data/in.dat", 100)).unwrap();
+        b.set_input(k, 0, IoSpec::inline_file("/data/in.dat", 100)).unwrap();
         assert_eq!(b.connect(s, 0, k, 0), Err(BuildError::InputPortBoundToIo(k, PortIndex(0))));
     }
 
@@ -398,7 +398,7 @@ mod tests {
         let k = b.add_task("Sink", "k", 10).unwrap();
         b.connect(s, 0, k, 0).unwrap();
         assert_eq!(
-            b.set_input(k, 0, IoSpec::file("/data/in.dat", 100)),
+            b.set_input(k, 0, IoSpec::inline_file("/data/in.dat", 100)),
             Err(BuildError::InputPortOccupied(k, PortIndex(0)))
         );
     }
@@ -430,12 +430,12 @@ mod tests {
         let t = b.add_task("Map", "m", 8).unwrap();
         b.set_machine_type(t, MachineType::SunSolaris).unwrap();
         b.set_preferred_host(t, "hunding.top.cis.syr.edu").unwrap();
-        b.set_output(t, 0, IoSpec::file("/users/VDCE/u/x.dat", 0)).unwrap();
+        b.set_output(t, 0, IoSpec::inline_file("/users/VDCE/u/x.dat", 0)).unwrap();
         let g = b.build_unchecked();
         let p = &g.task(t).props;
         assert_eq!(p.machine_type, MachineType::SunSolaris);
         assert_eq!(p.preferred_host.as_deref(), Some("hunding.top.cis.syr.edu"));
-        assert_eq!(p.outputs[0], IoSpec::file("/users/VDCE/u/x.dat", 0));
+        assert_eq!(p.outputs[0], IoSpec::inline_file("/users/VDCE/u/x.dat", 0));
     }
 
     #[test]

@@ -37,6 +37,36 @@ impl From<u32> for TaskId {
     }
 }
 
+/// Identifier of a dataset in the federation-wide dataset catalog.
+///
+/// Unlike [`TaskId`], dataset ids are *global*: the same id names the same
+/// replicated dataset from every AFG and every site. The upper bits are
+/// free for namespacing (the runtime reserves a bit for
+/// checkpoint-derived datasets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DatasetId(pub u64);
+
+impl DatasetId {
+    /// Returns the raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<u64> for DatasetId {
+    fn from(v: u64) -> Self {
+        DatasetId(v)
+    }
+}
+
 /// Zero-based index of a logical input or output port on a task icon.
 ///
 /// Whether a `PortIndex` denotes an input or an output port is determined
@@ -87,9 +117,21 @@ mod tests {
     }
 
     #[test]
+    fn dataset_id_display_and_raw() {
+        let d = DatasetId(9);
+        assert_eq!(d.to_string(), "d9");
+        assert_eq!(d.raw(), 9);
+        assert_eq!(DatasetId::from(9u64), d);
+        let s = serde_json::to_string(&d).unwrap();
+        assert_eq!(s, "9");
+        assert_eq!(serde_json::from_str::<DatasetId>(&s).unwrap(), d);
+    }
+
+    #[test]
     fn ids_order_by_numeric_value() {
         assert!(TaskId(2) < TaskId(10));
         assert!(PortIndex(0) < PortIndex(1));
+        assert!(DatasetId(3) < DatasetId(30));
     }
 
     #[test]

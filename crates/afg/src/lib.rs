@@ -47,7 +47,7 @@ pub mod validate;
 pub use builder::AfgBuilder;
 pub use document::AfgDocument;
 pub use graph::{Afg, Edge, EdgeIndex};
-pub use ids::{PortIndex, TaskId};
+pub use ids::{DatasetId, PortIndex, TaskId};
 pub use level::{blevel_map, level_map, LevelError, LevelTracker};
 pub use library::{KernelKind, LibraryEntry, LibraryGroup, TaskLibrary};
 pub use stats::{shape, GraphShape};

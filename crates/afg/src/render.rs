@@ -98,12 +98,13 @@ mod tests {
         let mm = b.add_task("Matrix_Multiplication", "Matrix_Multiplication", 125).unwrap();
         b.set_mode(lu, ComputationMode::Parallel).unwrap();
         b.set_num_nodes(lu, 2).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/users/VDCE/user_k/matrix_A.dat", 124_880)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/users/VDCE/user_k/matrix_A.dat", 124_880))
+            .unwrap();
         b.set_machine_type(mm, MachineType::SunSolaris).unwrap();
         b.set_preferred_host(mm, "hunding.top.cis.syr.edu").unwrap();
         b.connect(lu, 0, mm, 0).unwrap();
         b.connect(lu, 1, mm, 1).unwrap();
-        b.set_output(mm, 0, IoSpec::file("/users/VDCE/user_k/vector_X.dat", 0)).unwrap();
+        b.set_output(mm, 0, IoSpec::inline_file("/users/VDCE/user_k/vector_X.dat", 0)).unwrap();
         b.build().unwrap()
     }
 

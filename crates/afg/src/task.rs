@@ -9,7 +9,7 @@
 //! [`TaskProperties`] captures exactly that sheet; [`TaskNode`] combines it
 //! with the task-library identity of the icon.
 
-use crate::ids::TaskId;
+use crate::ids::{DatasetId, TaskId};
 use crate::library::KernelKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -100,8 +100,17 @@ impl fmt::Display for MachineType {
 /// window.
 ///
 /// The paper's I/O service supports file I/O and URL I/O (§4.2); inputs fed
-/// by a parent task are marked `dataflow` (§2, Figure 1).
+/// by a parent task are marked `dataflow` (§2, Figure 1). Beyond the
+/// paper, an entry may name a [`DatasetId`] in the federation-wide
+/// replicated-dataset catalog (`vdce-data`); its size and replica
+/// locations then live in the catalog, not on the property sheet.
+///
+/// The enum is `#[non_exhaustive]`: construct through the typed builders
+/// ([`IoSpec::dataset`], [`IoSpec::inline_file`], [`IoSpec::url`],
+/// [`IoSpec::Dataflow`]) and keep a wildcard arm when matching from
+/// other crates.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum IoSpec {
     /// The datum flows in from (or out to) another task over a Data-Manager
     /// channel; no file is involved.
@@ -121,10 +130,23 @@ pub enum IoSpec {
         /// Expected size in bytes, 0 if unknown.
         size: u64,
     },
+    /// A replicated dataset in the catalog. Size and replica sites are
+    /// catalog properties; the scheduler charges the cheapest replica.
+    Dataset {
+        /// Catalog identifier.
+        id: DatasetId,
+    },
 }
 
 impl IoSpec {
-    /// Convenience constructor for a file spec.
+    /// Typed constructor for an inline file spec (path + size on the
+    /// property sheet itself).
+    pub fn inline_file(path: impl Into<String>, size: u64) -> Self {
+        IoSpec::File { path: path.into(), size }
+    }
+
+    /// Compatibility constructor for a file spec.
+    #[deprecated(since = "0.1.0", note = "use `IoSpec::inline_file` (same semantics)")]
     pub fn file(path: impl Into<String>, size: u64) -> Self {
         IoSpec::File { path: path.into(), size }
     }
@@ -134,17 +156,38 @@ impl IoSpec {
         IoSpec::Url { url: url.into(), size }
     }
 
+    /// Typed constructor for a catalog dataset reference.
+    pub fn dataset(id: impl Into<DatasetId>) -> Self {
+        IoSpec::Dataset { id: id.into() }
+    }
+
     /// Returns `true` for [`IoSpec::Dataflow`].
     #[inline]
     pub fn is_dataflow(&self) -> bool {
         matches!(self, IoSpec::Dataflow)
     }
 
+    /// Returns `true` for [`IoSpec::Dataset`].
+    #[inline]
+    pub fn is_dataset(&self) -> bool {
+        matches!(self, IoSpec::Dataset { .. })
+    }
+
+    /// The referenced catalog dataset, if this entry is one.
+    #[inline]
+    pub fn dataset_id(&self) -> Option<DatasetId> {
+        match self {
+            IoSpec::Dataset { id } => Some(*id),
+            _ => None,
+        }
+    }
+
     /// Size in bytes of the datum, if statically known (0 counts as
-    /// unknown).
+    /// unknown). Dataset sizes live in the catalog, so `Dataset` returns
+    /// `None` here.
     pub fn size(&self) -> Option<u64> {
         match self {
-            IoSpec::Dataflow => None,
+            IoSpec::Dataflow | IoSpec::Dataset { .. } => None,
             IoSpec::File { size, .. } | IoSpec::Url { size, .. } => {
                 if *size == 0 {
                     None
@@ -162,6 +205,7 @@ impl fmt::Display for IoSpec {
             IoSpec::Dataflow => write!(f, "dataflow"),
             IoSpec::File { path, size } => write!(f, "{path}, SIZE={size}"),
             IoSpec::Url { url, size } => write!(f, "{url}, SIZE={size}"),
+            IoSpec::Dataset { id } => write!(f, "dataset {id}"),
         }
     }
 }
@@ -274,18 +318,35 @@ mod tests {
     #[test]
     fn io_spec_size_semantics() {
         assert_eq!(IoSpec::Dataflow.size(), None);
-        assert_eq!(IoSpec::file("/a", 0).size(), None);
-        assert_eq!(IoSpec::file("/a", 124_880).size(), Some(124_880));
+        assert_eq!(IoSpec::inline_file("/a", 0).size(), None);
+        assert_eq!(IoSpec::inline_file("/a", 124_880).size(), Some(124_880));
         assert_eq!(IoSpec::url("http://x/a", 9).size(), Some(9));
+        assert_eq!(IoSpec::dataset(4u64).size(), None, "dataset size lives in the catalog");
         assert!(IoSpec::Dataflow.is_dataflow());
-        assert!(!IoSpec::file("/a", 1).is_dataflow());
+        assert!(!IoSpec::inline_file("/a", 1).is_dataflow());
+    }
+
+    #[test]
+    fn io_spec_dataset_accessors() {
+        let d = IoSpec::dataset(DatasetId(7));
+        assert!(d.is_dataset());
+        assert_eq!(d.dataset_id(), Some(DatasetId(7)));
+        assert_eq!(d.to_string(), "dataset d7");
+        assert_eq!(IoSpec::Dataflow.dataset_id(), None);
+        assert_eq!(IoSpec::inline_file("/a", 1).dataset_id(), None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_file_constructor_matches_inline_file() {
+        assert_eq!(IoSpec::file("/a", 124_880), IoSpec::inline_file("/a", 124_880));
     }
 
     #[test]
     fn io_spec_display() {
         assert_eq!(IoSpec::Dataflow.to_string(), "dataflow");
         assert_eq!(
-            IoSpec::file("/users/VDCE/user_k/matrix_A.dat", 124_880).to_string(),
+            IoSpec::inline_file("/users/VDCE/user_k/matrix_A.dat", 124_880).to_string(),
             "/users/VDCE/user_k/matrix_A.dat, SIZE=124880"
         );
     }
@@ -320,7 +381,7 @@ mod tests {
             problem_size: 64,
             props: TaskProperties {
                 inputs: vec![IoSpec::Dataflow, IoSpec::Dataflow],
-                outputs: vec![IoSpec::file("/out", 0)],
+                outputs: vec![IoSpec::inline_file("/out", 0)],
                 ..TaskProperties::default()
             },
         };
@@ -341,7 +402,7 @@ mod tests {
                 num_nodes: 2,
                 machine_type: MachineType::SunSolaris,
                 preferred_host: Some("hunding.top.cis.syr.edu".into()),
-                inputs: vec![IoSpec::file("/users/VDCE/user_k/matrix_A.dat", 124_880)],
+                inputs: vec![IoSpec::inline_file("/users/VDCE/user_k/matrix_A.dat", 124_880)],
                 outputs: vec![IoSpec::Dataflow],
             },
         };

@@ -275,7 +275,7 @@ mod tests {
         let mut b = AfgBuilder::new("io", &lib);
         let m = b.add_task("Map", "m", 10).unwrap();
         let k = b.add_task("Sink", "k", 10).unwrap();
-        b.set_input(m, 0, IoSpec::file("/in.dat", 80)).unwrap();
+        b.set_input(m, 0, IoSpec::inline_file("/in.dat", 80)).unwrap();
         b.connect(m, 0, k, 0).unwrap();
         assert_eq!(validate(&b.build_unchecked()), Ok(()));
     }
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn edge_into_io_bound_input_is_detected() {
         let mut g = valid_chain();
-        g.tasks[2].props.inputs[0] = IoSpec::file("/in.dat", 80);
+        g.tasks[2].props.inputs[0] = IoSpec::inline_file("/in.dat", 80);
         assert_eq!(
             validate(&g),
             Err(ValidationError::EdgeIntoIoInput { task: TaskId(2), port: PortIndex(0) })

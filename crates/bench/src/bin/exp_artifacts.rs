@@ -23,6 +23,7 @@ use vdce_obs::{Report, Table};
 /// `exp_*` binary that writes a `BENCH_*.json` must be added here (and
 /// its file checked in) or this gate fails.
 const REQUIRED: &[&str] = &[
+    "BENCH_data.json",
     "BENCH_faults.json",
     "BENCH_fuzz.json",
     "BENCH_recovery.json",

@@ -35,16 +35,24 @@ fn main() {
         afg.set_input(
             lu,
             0,
-            IoSpec::file(format!("/users/VDCE/user_k/matrix_A_{n}.dat"), 8 * n * n),
+            IoSpec::inline_file(format!("/users/VDCE/user_k/matrix_A_{n}.dat"), 8 * n * n),
         )
         .unwrap();
         let fwd = afg.add_task("Forward_Substitution", "Forward_Substitution", n).unwrap();
-        afg.set_input(fwd, 1, IoSpec::file(format!("/users/VDCE/user_k/vector_B_{n}.dat"), 8 * n))
-            .unwrap();
+        afg.set_input(
+            fwd,
+            1,
+            IoSpec::inline_file(format!("/users/VDCE/user_k/vector_B_{n}.dat"), 8 * n),
+        )
+        .unwrap();
         let back = afg.add_task("Back_Substitution", "Back_Substitution", n).unwrap();
         afg.set_preferred_host(back, "hunding.top.cis.syr.edu").unwrap();
-        afg.set_output(back, 0, IoSpec::file(format!("/users/VDCE/user_k/vector_X_{n}.dat"), 0))
-            .unwrap();
+        afg.set_output(
+            back,
+            0,
+            IoSpec::inline_file(format!("/users/VDCE/user_k/vector_X_{n}.dat"), 0),
+        )
+        .unwrap();
         afg.connect(lu, 0, fwd, 0).unwrap();
         afg.connect(lu, 1, back, 0).unwrap();
         afg.connect(fwd, 0, back, 1).unwrap();

@@ -85,6 +85,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["h0".into()].into(),
             predicted_seconds: 0.5,
+            data_sources: vec![],
         });
         RunReport {
             allocation,

@@ -441,7 +441,7 @@ mod tests {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("solve", &lib);
         let lu = b.add_task("LU_Decomposition", "lu", 4).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/users/VDCE/user_k/matrix_A.dat", 0)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/users/VDCE/user_k/matrix_A.dat", 0)).unwrap();
         let k = b.add_task("Sink", "k", 4).unwrap();
         b.connect(lu, 0, k, 0).unwrap();
         let doc = AfgDocument::new("user_k", b.build().unwrap()).unwrap();
@@ -461,7 +461,7 @@ mod tests {
         let lu = b.add_task("LU_Decomposition", "lu", 64).unwrap();
         b.set_mode(lu, ComputationMode::Parallel).unwrap();
         b.set_num_nodes(lu, 2).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/A.dat", 0)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/A.dat", 0)).unwrap();
         let k = b.add_task("Sink", "k", 64).unwrap();
         b.connect(lu, 0, k, 0).unwrap();
         let doc = AfgDocument::new("user_k", b.build().unwrap()).unwrap();

@@ -1,0 +1,143 @@
+//! The immutable snapshot of the catalog that placement consumes.
+//!
+//! The scheduler's order-independence contract (a task's decision is a
+//! pure function of the candidate site, the host-selection table and
+//! its parents' chosen sites) extends to datasets only if the dataset
+//! term is a pure function of the candidate site and a *static* catalog
+//! view. [`DataView`] is that static input: taken once per scheduling
+//! run, never mutated mid-walk.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vdce_afg::DatasetId;
+use vdce_net::SiteId;
+
+/// One dataset as placement sees it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Size in bytes of a transfer from any replica.
+    pub size: u64,
+    /// Sites holding a live replica, ascending and deduplicated. The
+    /// scheduler charges `min` over these; an empty list makes every
+    /// reader placement infeasible.
+    pub sites: Vec<SiteId>,
+    /// The home (first-registered live) replica's site, if any — the
+    /// single source the parent-site-only baseline is allowed to use.
+    pub home: Option<SiteId>,
+}
+
+/// Immutable catalog snapshot: `DatasetId → DatasetSpec`, plus the
+/// bytes still free at capacity-capped sites.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DataView {
+    datasets: BTreeMap<DatasetId, DatasetSpec>,
+    /// Bytes still free per capacity-capped site. Sites absent here are
+    /// uncapped; admission-time dataset-output storage checks read this.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    free: BTreeMap<SiteId, u64>,
+}
+
+impl DataView {
+    /// View over the given specs (catalog-internal constructor; tests
+    /// and workload generators may also build views directly). Every
+    /// site starts uncapped; see [`DataView::set_free`].
+    pub fn from_specs(datasets: BTreeMap<DatasetId, DatasetSpec>) -> Self {
+        DataView { datasets, free: BTreeMap::new() }
+    }
+
+    /// Record that `site` has `bytes` of storage left. The catalog
+    /// fills this from its capacity accounting when taking a view.
+    pub fn set_free(&mut self, site: SiteId, bytes: u64) {
+        self.free.insert(site, bytes);
+    }
+
+    /// Bytes still free at `site`, or `None` when the site is uncapped.
+    pub fn free_at(&self, site: SiteId) -> Option<u64> {
+        self.free.get(&site).copied()
+    }
+
+    /// The spec for `id`, if the dataset is registered.
+    pub fn get(&self, id: DatasetId) -> Option<&DatasetSpec> {
+        self.datasets.get(&id)
+    }
+
+    /// Iterate all datasets in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DatasetId, &DatasetSpec)> {
+        self.datasets.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Number of datasets in the view.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Degrade every dataset to its home replica only — the paper's
+    /// parent-site-only data model, used as the ablation baseline.
+    pub fn primary_only(&self) -> DataView {
+        let datasets = self
+            .datasets
+            .iter()
+            .map(|(id, spec)| {
+                let sites = spec.home.map(|h| vec![h]).unwrap_or_default();
+                (*id, DatasetSpec { size: spec.size, sites, home: spec.home })
+            })
+            .collect();
+        DataView { datasets, free: self.free.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(size: u64, sites: &[u16], home: Option<u16>) -> DatasetSpec {
+        DatasetSpec {
+            size,
+            sites: sites.iter().map(|&s| SiteId(s)).collect(),
+            home: home.map(SiteId),
+        }
+    }
+
+    #[test]
+    fn primary_only_truncates_to_home() {
+        let mut m = BTreeMap::new();
+        m.insert(DatasetId(1), spec(10, &[0, 1, 2], Some(1)));
+        m.insert(DatasetId(2), spec(20, &[], None));
+        let view = DataView::from_specs(m);
+        assert_eq!(view.len(), 2);
+        let primary = view.primary_only();
+        assert_eq!(primary.get(DatasetId(1)).unwrap().sites, vec![SiteId(1)]);
+        assert!(primary.get(DatasetId(2)).unwrap().sites.is_empty());
+        assert_eq!(primary.get(DatasetId(1)).unwrap().size, 10, "size survives");
+    }
+
+    #[test]
+    fn view_round_trips_through_json() {
+        let mut m = BTreeMap::new();
+        m.insert(DatasetId(3), spec(1 << 20, &[0, 4], Some(4)));
+        let mut view = DataView::from_specs(m);
+        view.set_free(SiteId(0), 1 << 30);
+        let json = serde_json::to_string(&view).unwrap();
+        let back: DataView = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, view);
+        assert_eq!(back.free_at(SiteId(0)), Some(1 << 30));
+        assert_eq!(back.free_at(SiteId(1)), None, "unrecorded sites are uncapped");
+    }
+
+    #[test]
+    fn uncapped_view_json_has_no_free_key_and_primary_only_keeps_free() {
+        let mut m = BTreeMap::new();
+        m.insert(DatasetId(1), spec(8, &[0, 1], Some(1)));
+        let view = DataView::from_specs(m);
+        let json = serde_json::to_string(&view).unwrap();
+        assert!(!json.contains("free"), "empty free map must not serialise: {json}");
+        let mut capped = view.clone();
+        capped.set_free(SiteId(2), 42);
+        assert_eq!(capped.primary_only().free_at(SiteId(2)), Some(42));
+    }
+}

@@ -7,6 +7,17 @@
 //! exactly [`vdce_net::LinkParams::transfer_time`]. This module adds the
 //! task-level helpers: predicting the arrival time of *all* of a task's
 //! inputs given where its parents ran.
+//!
+//! **Where the bytes come from.** Dataflow edges and legacy *inline
+//! file* inputs (`IoSpec::File`) are charged from the **parent's site
+//! only**, exactly as in Figure 2 — inline files have one location, the
+//! VDCE home area of the site that produced them. An input naming a
+//! catalog *dataset* (`IoSpec::Dataset`, `vdce-data`) instead has
+//! replicas at several sites and is charged
+//! `min` over live replicas of [`transfer_seconds`] from each replica
+//! site ([`cheapest_source_seconds`]); the scheduler (`vdce-sched`)
+//! picks the compute site and the replica jointly and records the
+//! chosen source in the placement table.
 
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
@@ -31,6 +42,28 @@ pub fn inputs_arrival_seconds(net: &NetworkModel, to: SiteId, inputs: &[(SiteId,
 /// max-based [`inputs_arrival_seconds`] is benchmarked as an ablation.
 pub fn inputs_serial_seconds(net: &NetworkModel, to: SiteId, inputs: &[(SiteId, u64)]) -> f64 {
     inputs.iter().map(|&(from, bytes)| transfer_seconds(net, from, to, bytes)).sum()
+}
+
+/// Cheapest source for a replicated dataset read at `to`: the minimal
+/// [`transfer_seconds`] over the candidate `sources`, ties broken
+/// toward the earliest listed source (the scheduler passes replica
+/// sites in ascending id order, making the tie-break the lowest site
+/// id). Returns `None` when there is no source — the caller turns that
+/// into a typed no-feasible-replica error.
+pub fn cheapest_source_seconds(
+    net: &NetworkModel,
+    to: SiteId,
+    sources: &[SiteId],
+    bytes: u64,
+) -> Option<(SiteId, f64)> {
+    let mut best: Option<(SiteId, f64)> = None;
+    for &src in sources {
+        let t = transfer_seconds(net, src, to, bytes);
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((src, t));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -76,6 +109,27 @@ mod tests {
         let n = net();
         assert_eq!(inputs_arrival_seconds(&n, SiteId(0), &[]), 0.0);
         assert_eq!(inputs_serial_seconds(&n, SiteId(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn cheapest_source_picks_the_best_link_and_breaks_ties_low() {
+        let n = net();
+        // S1 is the fast source for a read at S0.
+        let (src, t) =
+            cheapest_source_seconds(&n, SiteId(0), &[SiteId(1), SiteId(2)], 1_000_000).unwrap();
+        assert_eq!(src, SiteId(1));
+        assert!((t - 1.01).abs() < 1e-9);
+        // A local replica beats any remote one.
+        let (src, _) =
+            cheapest_source_seconds(&n, SiteId(2), &[SiteId(1), SiteId(2)], 1_000_000).unwrap();
+        assert_eq!(src, SiteId(2));
+        // No sources → no answer.
+        assert_eq!(cheapest_source_seconds(&n, SiteId(0), &[], 1), None);
+        // Equal-cost sources resolve to the first listed (lowest id).
+        let m = NetworkModel::with_defaults(3);
+        let (src, _) =
+            cheapest_source_seconds(&m, SiteId(0), &[SiteId(1), SiteId(2)], 1 << 20).unwrap();
+        assert_eq!(src, SiteId(1));
     }
 
     #[test]

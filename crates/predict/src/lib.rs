@@ -32,6 +32,6 @@ pub mod model;
 pub mod parallel;
 
 pub use cache::PredictCache;
-pub use comm::transfer_seconds;
+pub use comm::{cheapest_source_seconds, transfer_seconds};
 pub use model::{predict_seconds, PredictError, Predictor};
 pub use parallel::{best_node_count, best_node_count_cached, parallel_seconds, ParallelModel};

@@ -332,6 +332,7 @@ mod tests {
                 site: SiteId(0),
                 hosts: vec![host.to_string()].into(),
                 predicted_seconds: 0.001,
+                data_sources: vec![],
             });
         }
         t

@@ -32,9 +32,22 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vdce_afg::TaskId;
+use vdce_afg::{DatasetId, TaskId};
+use vdce_data::DatasetCatalog;
 use vdce_dsm::DsmSnapshot;
+use vdce_net::topology::SiteId;
 use vdce_store::Journal;
+
+/// Namespace bit of checkpoint-backed dataset ids: user datasets live
+/// below `1 << 32` (task ids are `u32`), checkpoint datasets above it,
+/// so [`checkpoint_dataset_id`] can never collide with a user dataset.
+pub const CHECKPOINT_NS: u64 = 1 << 32;
+
+/// The catalog id under which `task`'s checkpoint state is published as
+/// a replicated dataset (see [`CheckpointStore::export_datasets`]).
+pub fn checkpoint_dataset_id(task: TaskId) -> DatasetId {
+    DatasetId(CHECKPOINT_NS | u64::from(task.0))
+}
 
 /// When checkpoints are taken and what each write costs, both expressed
 /// as fractions of the task's full work so the policy is
@@ -545,6 +558,46 @@ impl CheckpointStore {
     pub fn tasks_with_checkpoints(&self) -> usize {
         self.inner.lock().by_task.len()
     }
+
+    /// Publish every task's *newest* checkpoint into `catalog` as a
+    /// replicated dataset (ROADMAP's replica fan-out lever): the
+    /// dataset id is [`checkpoint_dataset_id`], its size `state_bytes`
+    /// (the policy's serialized-checkpoint size), and each host in
+    /// `stored_on` that `site_of` can place contributes a replica at
+    /// its site — so a resumed task is scheduled like any other
+    /// dataset reader, pulling from the cheapest surviving replica.
+    ///
+    /// Re-exporting is idempotent: already-registered ids and
+    /// already-present replicas are skipped, and a capacity rejection
+    /// leaves that replica out (counted by the catalog's violation
+    /// counter). Returns the number of tasks whose checkpoint dataset
+    /// now exists in the catalog.
+    pub fn export_datasets(
+        &self,
+        catalog: &mut DatasetCatalog,
+        state_bytes: u64,
+        site_of: impl Fn(&str) -> Option<SiteId>,
+    ) -> usize {
+        let inner = self.inner.lock();
+        let mut exported = 0;
+        for (&task, cps) in &inner.by_task {
+            let Some(newest) = cps.last() else { continue };
+            let id = checkpoint_dataset_id(task);
+            let _ = catalog.register_dataset(id, state_bytes);
+            if catalog.dataset(id).is_none() {
+                continue;
+            }
+            exported += 1;
+            let mut sites: Vec<SiteId> =
+                newest.stored_on.iter().filter_map(|h| site_of(h)).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            for site in sites {
+                let _ = catalog.add_replica(id, site, 1.0);
+            }
+        }
+        exported
+    }
 }
 
 #[cfg(test)]
@@ -807,6 +860,52 @@ mod tests {
             replayed.apply(&serde_json::from_str(&payload).unwrap());
         }
         assert_eq!(replayed, store.control_state());
+    }
+
+    #[test]
+    fn checkpoints_export_as_replicated_datasets() {
+        let store = CheckpointStore::new();
+        // Task 0: two checkpoints; only the newest (replicated to two
+        // sites) is exported. Task 1: one single-host checkpoint.
+        store.record(TaskCheckpoint::new(tid(0), 0.25, 1.0, vec!["s0h0".into()]));
+        store.record(TaskCheckpoint::new(
+            tid(0),
+            0.75,
+            2.0,
+            vec!["s0h0".into(), "s1h0".into(), "ghost".into()],
+        ));
+        store.record(TaskCheckpoint::new(tid(1), 0.5, 2.0, vec!["s1h0".into()]));
+        let site_of = |h: &str| match h {
+            "s0h0" => Some(SiteId(0)),
+            "s1h0" => Some(SiteId(1)),
+            _ => None,
+        };
+        let mut catalog = DatasetCatalog::new();
+        let exported = store.export_datasets(&mut catalog, 1 << 20, site_of);
+        assert_eq!(exported, 2);
+
+        let view = catalog.view();
+        let d0 = view.get(checkpoint_dataset_id(tid(0))).unwrap();
+        assert_eq!(d0.sites, vec![SiteId(0), SiteId(1)], "newest checkpoint's replica fan-out");
+        assert_eq!(d0.size, 1 << 20);
+        let d1 = view.get(checkpoint_dataset_id(tid(1))).unwrap();
+        assert_eq!(d1.sites, vec![SiteId(1)]);
+
+        // Ids live above the user-dataset namespace and never collide.
+        assert!(checkpoint_dataset_id(tid(0)).0 >= CHECKPOINT_NS);
+        assert_ne!(checkpoint_dataset_id(tid(0)), checkpoint_dataset_id(tid(1)));
+
+        // Re-exporting after another checkpoint is idempotent on the
+        // existing replicas and picks up new ones.
+        store.record(TaskCheckpoint::new(tid(1), 0.9, 3.0, vec!["s1h0".into(), "s0h0".into()]));
+        let exported = store.export_datasets(&mut catalog, 1 << 20, site_of);
+        assert_eq!(exported, 2);
+        let view = catalog.view();
+        assert_eq!(
+            view.get(checkpoint_dataset_id(tid(1))).unwrap().sites,
+            vec![SiteId(0), SiteId(1)]
+        );
+        assert_eq!(catalog.violations(), 0);
     }
 
     #[test]

@@ -568,6 +568,7 @@ mod tests {
                 site: SiteId(0),
                 hosts: vec![host.to_string()].into(),
                 predicted_seconds: 0.001,
+                data_sources: vec![],
             });
         }
         t
@@ -634,7 +635,7 @@ mod tests {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("io", &lib);
         let s = b.add_task("Source", "s", 100).unwrap();
-        b.set_output(s, 0, IoSpec::file("/users/VDCE/u/out.dat", 0)).unwrap();
+        b.set_output(s, 0, IoSpec::inline_file("/users/VDCE/u/out.dat", 0)).unwrap();
         let k = b.add_task("Sink", "k", 100).unwrap();
         b.connect(s, 0, k, 0).unwrap();
         let afg = b.build().unwrap();
@@ -650,7 +651,7 @@ mod tests {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("io", &lib);
         let lu = b.add_task("LU_Decomposition", "lu", 8).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/users/VDCE/u/matrix_A.dat", 0)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/users/VDCE/u/matrix_A.dat", 0)).unwrap();
         let k = b.add_task("Sink", "k", 8).unwrap();
         b.connect(lu, 0, k, 0).unwrap();
         let afg = b.build().unwrap();
@@ -666,7 +667,7 @@ mod tests {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("fail", &lib);
         let lu = b.add_task("LU_Decomposition", "lu", 2).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/singular.dat", 0)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/singular.dat", 0)).unwrap();
         let k = b.add_task("Sink", "k", 2).unwrap();
         b.connect(lu, 0, k, 0).unwrap();
         let afg = b.build().unwrap();
@@ -839,7 +840,7 @@ mod tests {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("hop", &lib);
         let lu = b.add_task("LU_Decomposition", "lu", 2).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/singular.dat", 0)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/singular.dat", 0)).unwrap();
         let afg = b.build().unwrap();
         let table = single_host_table(&afg, "h0");
         let log = EventLog::new();

@@ -57,8 +57,8 @@ pub mod submission;
 
 pub use app_controller::{AppController, AppControllerConfig, ExecutionReport, ThresholdGate};
 pub use checkpoint::{
-    CheckpointEvent, CheckpointPolicy, CheckpointState, CheckpointStore, ControlCheckpoint,
-    MtbfEstimator, PlannedCheckpoint, RunPlan, TaskCheckpoint,
+    checkpoint_dataset_id, CheckpointEvent, CheckpointPolicy, CheckpointState, CheckpointStore,
+    ControlCheckpoint, MtbfEstimator, PlannedCheckpoint, RunPlan, TaskCheckpoint, CHECKPOINT_NS,
 };
 pub use data_manager::{ChannelId, DataManager, Transport};
 pub use durable::{

@@ -75,6 +75,10 @@ impl IoService {
             IoSpec::Dataflow => return None,
             IoSpec::File { path, .. } => path.clone(),
             IoSpec::Url { url, .. } => url.clone(),
+            // Catalog datasets are staged by name; unseen ids fall
+            // through to the synthetic-payload path like files do.
+            IoSpec::Dataset { id } => format!("/datasets/{id}"),
+            _ => return None,
         };
         if let Some(data) = self.get(&path) {
             return Some(data);
@@ -114,6 +118,11 @@ impl IoService {
                 self.put(url.clone(), data.clone());
                 true
             }
+            IoSpec::Dataset { id } => {
+                self.put(format!("/datasets/{id}"), data.clone());
+                true
+            }
+            _ => false,
         }
     }
 
@@ -391,14 +400,14 @@ mod tests {
     #[test]
     fn absent_file_is_synthesised_deterministically() {
         let io = IoService::new();
-        let spec = IoSpec::file("/users/VDCE/u/matrix_A.dat", 0);
+        let spec = IoSpec::inline_file("/users/VDCE/u/matrix_A.dat", 0);
         let a = io.resolve_input(&spec, KernelKind::LuDecomposition, 0, 8).unwrap();
         let b = io.resolve_input(&spec, KernelKind::LuDecomposition, 0, 8).unwrap();
         assert_eq!(a, b, "same path → same bytes");
         assert_eq!(a.len(), 8 * 8 * 8, "matrix-shaped for LU");
         // Different path → different content.
         let c = io
-            .resolve_input(&IoSpec::file("/other.dat", 0), KernelKind::LuDecomposition, 0, 8)
+            .resolve_input(&IoSpec::inline_file("/other.dat", 0), KernelKind::LuDecomposition, 0, 8)
             .unwrap();
         assert_ne!(a, c);
     }
@@ -407,7 +416,8 @@ mod tests {
     fn uploaded_file_wins_over_synthesis() {
         let io = IoService::new();
         io.put("/in.dat", Bytes::from_static(b"real"));
-        let got = io.resolve_input(&IoSpec::file("/in.dat", 4), KernelKind::Map, 0, 10).unwrap();
+        let got =
+            io.resolve_input(&IoSpec::inline_file("/in.dat", 4), KernelKind::Map, 0, 10).unwrap();
         assert_eq!(got, Bytes::from_static(b"real"));
     }
 
@@ -424,7 +434,7 @@ mod tests {
         let io = IoService::new();
         let data = Bytes::from_static(b"out");
         assert!(!io.store_output(&IoSpec::Dataflow, &data));
-        assert!(io.store_output(&IoSpec::file("/o.dat", 0), &data));
+        assert!(io.store_output(&IoSpec::inline_file("/o.dat", 0), &data));
         assert_eq!(io.get("/o.dat").unwrap(), data);
     }
 

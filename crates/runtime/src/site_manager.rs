@@ -514,6 +514,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["a".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         table.insert(TaskPlacement {
             task: TaskId(1),
@@ -521,6 +522,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["b".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         table.insert(TaskPlacement {
             task: TaskId(2),
@@ -528,6 +530,7 @@ mod tests {
             site: SiteId(1),
             hosts: vec!["elsewhere".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         let portions = sm.distribute_allocation(&table);
         assert_eq!(portions.len(), 2);
@@ -548,6 +551,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["a".into(), "b".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         let portions = sm.distribute_allocation(&table);
         assert!(portions.contains_key("g0") && portions.contains_key("g1"));

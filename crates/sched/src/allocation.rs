@@ -11,8 +11,21 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vdce_afg::{Afg, TaskId};
+use vdce_afg::{Afg, DatasetId, TaskId};
 use vdce_net::topology::SiteId;
+
+/// The replica chosen to serve one dataset input of a placed task.
+///
+/// Recorded in the placement table so a replay charges the *same*
+/// source the scheduler priced — the data-aware placement stays
+/// bit-identical across replays even if the catalog changes later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataSource {
+    /// The dataset read.
+    pub dataset: DatasetId,
+    /// The replica site the transfer is charged from.
+    pub source: SiteId,
+}
 
 /// Where one task will run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,6 +44,12 @@ pub struct TaskPlacement {
     /// Predicted execution time in seconds (the value host selection
     /// minimised).
     pub predicted_seconds: f64,
+    /// Chosen replica per dataset input, in the task's input-port order.
+    /// Empty for tasks without dataset inputs; skipped in JSON so
+    /// dataset-free tables serialize exactly as before this field
+    /// existed.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub data_sources: Vec<DataSource>,
 }
 
 /// The resource allocation table: one placement per task of the AFG.
@@ -134,6 +153,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["h0".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         t.insert(TaskPlacement {
             task: TaskId(1),
@@ -141,6 +161,7 @@ mod tests {
             site: SiteId(1),
             hosts: vec!["h1".into(), "h2".into()].into(),
             predicted_seconds: 2.0,
+            data_sources: vec![],
         });
         t
     }
@@ -191,6 +212,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["h0".into(), "h1".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         assert!(!over.is_complete_for(&g));
 
@@ -202,6 +224,7 @@ mod tests {
             site: SiteId(1),
             hosts: vec![].into(),
             predicted_seconds: 2.0,
+            data_sources: vec![],
         });
         assert!(!empty.is_complete_for(&g));
     }
@@ -211,5 +234,38 @@ mod tests {
         let t = table();
         let back = AllocationTable::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn dataset_free_json_has_no_data_sources_key_and_old_json_parses() {
+        // Dataset-free tables must serialize exactly as before the
+        // `data_sources` field existed (the trace-determinism gate
+        // compares table JSON byte-for-byte across replays).
+        let t = table();
+        assert!(!t.to_json().contains("data_sources"));
+        // Pre-field JSON (no `data_sources` key) still parses.
+        let legacy = r#"{"application":"app","placements":{"0":{"task":0,
+            "task_name":"a","site":0,"hosts":["h0"],"predicted_seconds":1.0}}}"#;
+        let back = AllocationTable::from_json(legacy).unwrap();
+        assert!(back.placement(TaskId(0)).unwrap().data_sources.is_empty());
+    }
+
+    #[test]
+    fn data_sources_round_trip_when_present() {
+        let mut t = AllocationTable::new("app");
+        t.insert(TaskPlacement {
+            task: TaskId(0),
+            task_name: "a".into(),
+            site: SiteId(1),
+            hosts: vec!["h0".into()].into(),
+            predicted_seconds: 1.0,
+            data_sources: vec![DataSource { dataset: DatasetId(7), source: SiteId(2) }],
+        });
+        let back = AllocationTable::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.placement(TaskId(0)).unwrap().data_sources,
+            vec![DataSource { dataset: DatasetId(7), source: SiteId(2) }]
+        );
     }
 }

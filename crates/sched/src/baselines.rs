@@ -115,6 +115,7 @@ fn placement(afg: &Afg, task: TaskId, opt: &Option_<'_>) -> TaskPlacement {
         site: opt.site,
         hosts: [opt.host.host_name.clone()].into(),
         predicted_seconds: opt.predicted,
+        data_sources: vec![],
     }
 }
 

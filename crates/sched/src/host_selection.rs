@@ -479,7 +479,7 @@ mod tests {
         let lu = b.add_task("LU_Decomposition", "lu", 2048).unwrap();
         b.set_mode(lu, vdce_afg::ComputationMode::Parallel).unwrap();
         b.set_num_nodes(lu, 4).unwrap();
-        b.set_input(lu, 0, IoSpec::file("/a.dat", 1 << 20)).unwrap();
+        b.set_input(lu, 0, IoSpec::inline_file("/a.dat", 1 << 20)).unwrap();
         let afg = b.build().unwrap();
         let view = view_with(
             (0..6).map(|i| record(&format!("h{i}"), MachineType::LinuxPc, 1.0)).collect(),

@@ -30,12 +30,14 @@
 //! O(n).
 
 use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::data_inputs::{DatasetInputs, DsInput};
 use crate::host_selection::{HostSelectionOutput, TaskHostChoice};
-use crate::site_scheduler::{choose_site_for_task, SchedulingError};
+use crate::site_scheduler::{choose_site_for_task, dataset_sources_for_site, SchedError};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use vdce_afg::{Afg, EdgeIndex, TaskId};
+use vdce_data::DataView;
 use vdce_net::cache::TransferCache;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
@@ -72,6 +74,10 @@ pub struct IncrementalSchedule {
     topo_pos: Vec<u32>,
     site_of: Vec<SiteId>,
     outputs: Vec<HostSelectionOutput>,
+    // Frozen at construction: the dataset replica term is a pure
+    // function of (task, candidate site, this snapshot), so it cannot
+    // break the order-independence invariant above.
+    dsi: DatasetInputs,
     table: AllocationTable,
 }
 
@@ -128,9 +134,27 @@ impl IncrementalSchedule {
         outputs: Vec<HostSelectionOutput>,
         net: &NetworkModel,
         ignore_transfer_time: bool,
-    ) -> Result<Self, SchedulingError> {
+    ) -> Result<Self, SchedError> {
+        Self::new_with_data(afg, local_site, outputs, net, ignore_transfer_time, None)
+    }
+
+    /// [`IncrementalSchedule::new`] with a dataset catalog view, the
+    /// incremental counterpart of
+    /// [`site_schedule_with_data`](crate::site_schedule_with_data). The
+    /// view is frozen for the lifetime of the schedule: `apply` keeps
+    /// pricing replicas against the construction-time snapshot, so a
+    /// catalog change (like a changed federation) means a rebuild.
+    pub fn new_with_data(
+        afg: &Afg,
+        local_site: SiteId,
+        outputs: Vec<HostSelectionOutput>,
+        net: &NetworkModel,
+        ignore_transfer_time: bool,
+        data: Option<&DataView>,
+    ) -> Result<Self, SchedError> {
+        let dsi = DatasetInputs::resolve(afg, data)?;
         let idx = afg.edge_index();
-        let order = afg.topo_order_with(&idx).ok_or(SchedulingError::Cyclic)?;
+        let order = afg.topo_order_with(&idx).ok_or(SchedError::Cyclic)?;
         let n = afg.task_count();
         let mut topo_pos = vec![0u32; n];
         for (i, t) in order.iter().enumerate() {
@@ -152,24 +176,31 @@ impl IncrementalSchedule {
                     parents.push((site_of[e.from.index()], e.data_size));
                 }
             }
+            let ds = dsi.for_task(task);
+            let ds_cost: &[DsInput] = if ignore_transfer_time { &[] } else { ds };
             let best = choose_site_for_task(
                 task,
                 &per_site,
                 &parents,
+                ds_cost,
                 local_site,
                 &mut |a, b, bytes| xfer.transfer_time(a, b, bytes),
                 None,
             );
             let node = afg.task(task);
-            let (site, choice, _) = best
-                .ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+            let (site, choice, _) =
+                best.ok_or_else(|| SchedError::NoFeasibleSite { task, name: node.name.clone() })?;
             site_of[task.index()] = site;
+            let data_sources = dataset_sources_for_site(ds, site, &mut |a, b, bytes| {
+                xfer.transfer_time(a, b, bytes)
+            });
             table.insert(TaskPlacement {
                 task,
                 task_name: node.name.clone(),
                 site,
                 hosts: choice.hosts.clone(),
                 predicted_seconds: choice.predicted_seconds,
+                data_sources,
             });
         }
 
@@ -181,6 +212,7 @@ impl IncrementalSchedule {
             topo_pos,
             site_of,
             outputs,
+            dsi,
             table,
         })
     }
@@ -206,7 +238,7 @@ impl IncrementalSchedule {
         &mut self,
         afg: &Afg,
         new_outputs: Vec<HostSelectionOutput>,
-    ) -> Result<ReschedulingDelta, SchedulingError> {
+    ) -> Result<ReschedulingDelta, SchedError> {
         assert_eq!(
             self.outputs.iter().map(|o| o.site).collect::<Vec<_>>(),
             new_outputs.iter().map(|o| o.site).collect::<Vec<_>>(),
@@ -272,17 +304,20 @@ impl IncrementalSchedule {
                 }
             }
             let xfer = &self.xfer;
+            let ds = self.dsi.for_task(task);
+            let ds_cost: &[DsInput] = if self.ignore_transfer_time { &[] } else { ds };
             let best = choose_site_for_task(
                 task,
                 &per_site,
                 &parents,
+                ds_cost,
                 self.local_site,
                 &mut |a, b, bytes| xfer.transfer_time(a, b, bytes),
                 None,
             );
             let node = afg.task(task);
-            let (site, choice, _) = best
-                .ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+            let (site, choice, _) =
+                best.ok_or_else(|| SchedError::NoFeasibleSite { task, name: node.name.clone() })?;
 
             let site_changed = self.site_of[task.index()] != site;
             let prev = self.table.placement(task).expect("constructed complete");
@@ -292,12 +327,16 @@ impl IncrementalSchedule {
             {
                 moved += 1;
                 self.site_of[task.index()] = site;
+                let data_sources = dataset_sources_for_site(ds, site, &mut |a, b, bytes| {
+                    xfer.transfer_time(a, b, bytes)
+                });
                 self.table.insert(TaskPlacement {
                     task,
                     task_name: node.name.clone(),
                     site,
                     hosts: choice.hosts.clone(),
                     predicted_seconds: choice.predicted_seconds,
+                    data_sources,
                 });
             }
             // A child's decision reads only this task's *site*; its own

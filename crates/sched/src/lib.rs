@@ -41,6 +41,7 @@
 pub mod allocation;
 mod arena;
 pub mod baselines;
+mod data_inputs;
 pub mod federation;
 pub mod host_selection;
 pub mod incremental;
@@ -50,18 +51,20 @@ pub mod service;
 pub mod site_scheduler;
 pub mod view;
 
-pub use allocation::{AllocationTable, TaskPlacement};
+pub use allocation::{AllocationTable, DataSource, TaskPlacement};
 pub use host_selection::{
     host_selection, host_selection_classed, HostSelectionOutput, TaskHostChoice,
 };
 pub use incremental::{IncrementalSchedule, ReschedulingDelta};
-pub use makespan::{evaluate, Schedule, TimedTask};
+pub use makespan::{evaluate, evaluate_with_data, Schedule, TimedTask};
 pub use reselect::reselect_task;
 pub use service::{
     AgingPolicy, BrokerDecision, BrokerPolicy, Quota, RejectReason, ServiceConfig, StreamReport,
     StreamService, SubmissionId, SubmissionRequest, TenantRegistry, TenantRow,
 };
 pub use site_scheduler::{
-    site_schedule, site_schedule_observed, SchedulerConfig, SchedulingError, SpreadPolicy,
+    site_schedule, site_schedule_observed, site_schedule_observed_with_data,
+    site_schedule_with_data, validate_dataset_outputs, SchedError, SchedulerConfig,
+    SchedulingError, SpreadPolicy,
 };
 pub use view::SiteView;

@@ -18,10 +18,13 @@
 
 use crate::allocation::AllocationTable;
 use crate::arena::{HostArena, ReadyKey};
+use crate::data_inputs::DatasetInputs;
+use crate::site_scheduler::SchedError;
 use std::collections::BinaryHeap;
 use std::fmt;
 use vdce_afg::level::LevelError;
-use vdce_afg::{Afg, TaskId};
+use vdce_afg::{Afg, DatasetId, TaskId};
+use vdce_data::DataView;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
 
@@ -79,6 +82,10 @@ pub enum EvalError {
     MissingPlacement(TaskId),
     /// The AFG has a cycle.
     Cyclic,
+    /// A task reads a dataset missing from the supplied catalog view.
+    UnknownDataset(TaskId, DatasetId),
+    /// A task reads a dataset with no live replica.
+    NoLiveReplica(TaskId, DatasetId),
 }
 
 impl fmt::Display for EvalError {
@@ -86,6 +93,12 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::MissingPlacement(t) => write!(f, "no placement for task {t}"),
             EvalError::Cyclic => write!(f, "application flow graph has a cycle"),
+            EvalError::UnknownDataset(t, d) => {
+                write!(f, "task {t} reads dataset {d} missing from the catalog view")
+            }
+            EvalError::NoLiveReplica(t, d) => {
+                write!(f, "task {t} reads dataset {d} which has no live replica")
+            }
         }
     }
 }
@@ -116,6 +129,29 @@ pub fn evaluate(
     net: &NetworkModel,
     levels: &[f64],
 ) -> Result<Schedule, EvalError> {
+    evaluate_with_data(afg, table, net, levels, None)
+}
+
+/// [`evaluate`] with a dataset catalog view: tasks reading catalog
+/// datasets additionally wait for the dataset to arrive from its
+/// replica. Replicas pre-exist (available from `t = 0`), so a dataset
+/// read delays its reader by exactly the transfer time from the serving
+/// site. The serving site is the placement's recorded
+/// [`data_sources`](crate::TaskPlacement::data_sources) entry when
+/// present — replays charge the *same* replica the scheduler priced —
+/// falling back to the cheapest live replica otherwise.
+pub fn evaluate_with_data(
+    afg: &Afg,
+    table: &AllocationTable,
+    net: &NetworkModel,
+    levels: &[f64],
+    data: Option<&DataView>,
+) -> Result<Schedule, EvalError> {
+    let dsi = DatasetInputs::resolve(afg, data).map_err(|e| match e {
+        SchedError::UnknownDataset { task, dataset } => EvalError::UnknownDataset(task, dataset),
+        SchedError::NoFeasibleReplica { task, dataset } => EvalError::NoLiveReplica(task, dataset),
+        _ => EvalError::Cyclic,
+    })?;
     let n = afg.task_count();
     for t in afg.task_ids() {
         if table.placement(t).is_none() {
@@ -164,6 +200,7 @@ pub fn evaluate(
         debug_assert!(timed[task.index()].is_none(), "task {task} simulated twice");
         let my_hosts = hosts_of(task);
         let my_site = site_arr[task.index()];
+        let p = table.placement(task).expect("checked above");
 
         // Data-ready time: all inputs arrived.
         let mut data_ready = 0.0f64;
@@ -176,6 +213,19 @@ pub fn evaluate(
             };
             data_ready = data_ready.max(finish[e.from.index()] + xfer);
         }
+        // Dataset inputs: the replica exists at t = 0, so arrival is the
+        // bare transfer from the serving site (recorded source first).
+        for d in dsi.for_task(task) {
+            let src =
+                p.data_sources.iter().find(|s| s.dataset == d.id).map(|s| s.source).unwrap_or_else(
+                    || {
+                        vdce_predict::cheapest_source_seconds(net, my_site, &d.sites, d.size)
+                            .expect("resolve guarantees a live replica")
+                            .0
+                    },
+                );
+            data_ready = data_ready.max(net.transfer_time(src, my_site, d.size));
+        }
 
         // Host availability: every assigned host must be free.
         let hosts_ready = my_hosts.iter().map(|&h| host_free[h as usize]).fold(0.0f64, f64::max);
@@ -186,7 +236,6 @@ pub fn evaluate(
         for &h in my_hosts {
             host_free[h as usize] = end;
         }
-        let p = table.placement(task).expect("checked above");
         timed[task.index()] =
             Some(TimedTask { task, site: my_site, hosts: p.hosts.to_vec(), start, finish: end });
 
@@ -237,6 +286,7 @@ mod tests {
                 site: SiteId(*site),
                 hosts: vec![host.to_string()].into(),
                 predicted_seconds: *secs,
+                data_sources: vec![],
             });
         }
         t
@@ -345,6 +395,58 @@ mod tests {
     }
 
     #[test]
+    fn dataset_arrival_delays_the_reader_and_replays_the_recorded_source() {
+        use crate::allocation::DataSource;
+        use vdce_afg::IoSpec;
+        use vdce_data::DatasetSpec;
+
+        // m reads dataset 5; replicas at both sites, run placed at site 0.
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("data", &lib);
+        let m = b.add_task("Map", "m", 1000).unwrap();
+        let k = b.add_task("Sink", "k", 1000).unwrap();
+        b.set_input(m, 0, IoSpec::dataset(vdce_afg::DatasetId(5))).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        let afg = b.build().unwrap();
+
+        let size = 10_000_000u64;
+        let mut specs = std::collections::BTreeMap::new();
+        specs.insert(
+            vdce_afg::DatasetId(5),
+            DatasetSpec { size, sites: vec![SiteId(0), SiteId(1)], home: Some(SiteId(0)) },
+        );
+        let view = DataView::from_specs(specs);
+        let net = NetworkModel::with_defaults(2);
+        let levels = unit_levels(&afg);
+
+        let table_with = |src: u16| {
+            let mut t = place(&afg, &[("h", 0, 1.0), ("h", 0, 1.0)]);
+            let mut p = t.placement(TaskId(0)).unwrap().clone();
+            p.data_sources =
+                vec![DataSource { dataset: vdce_afg::DatasetId(5), source: SiteId(src) }];
+            t.insert(p);
+            t
+        };
+
+        // The legacy entry point refuses dataset AFGs outright.
+        assert_eq!(
+            evaluate(&afg, &table_with(0), &net, &levels),
+            Err(EvalError::UnknownDataset(TaskId(0), vdce_afg::DatasetId(5)))
+        );
+
+        let local = evaluate_with_data(&afg, &table_with(0), &net, &levels, Some(&view)).unwrap();
+        let remote = evaluate_with_data(&afg, &table_with(1), &net, &levels, Some(&view)).unwrap();
+        let intra = net.transfer_time(SiteId(0), SiteId(0), size);
+        let wan = net.transfer_time(SiteId(1), SiteId(0), size);
+        assert!((local.tasks[0].start - intra).abs() < 1e-9);
+        assert!((remote.tasks[0].start - wan).abs() < 1e-9);
+        assert!(
+            remote.makespan > local.makespan,
+            "the recorded (worse) source must be charged on replay"
+        );
+    }
+
+    #[test]
     fn multi_host_parallel_task_blocks_all_its_hosts() {
         let lib = TaskLibrary::standard();
         let mut b = AfgBuilder::new("p", &lib);
@@ -364,6 +466,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["a".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         table.insert(TaskPlacement {
             task: TaskId(1),
@@ -371,6 +474,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["a".into(), "b".into()].into(),
             predicted_seconds: 4.0,
+            data_sources: vec![],
         });
         table.insert(TaskPlacement {
             task: TaskId(2),
@@ -378,6 +482,7 @@ mod tests {
             site: SiteId(0),
             hosts: vec!["b".into()].into(),
             predicted_seconds: 1.0,
+            data_sources: vec![],
         });
         let net = NetworkModel::with_defaults(1);
         // Make LU (task 1) the higher-priority branch so it grabs b first.

@@ -55,6 +55,12 @@ pub enum RejectReason {
     UnknownTenant,
     /// Tenant quota exhausted and the defer allowance used up.
     QuotaExhausted,
+    /// The AFG reads a dataset the service's catalog view doesn't know.
+    UnknownDataset,
+    /// The AFG reads a dataset with no live replica.
+    NoFeasibleReplica,
+    /// A dataset output would overflow a site's storage capacity.
+    StorageExhausted,
 }
 
 impl RejectReason {
@@ -67,6 +73,9 @@ impl RejectReason {
             RejectReason::NoFeasiblePlacement => "no_feasible_placement",
             RejectReason::UnknownTenant => "unknown_tenant",
             RejectReason::QuotaExhausted => "quota_exhausted",
+            RejectReason::UnknownDataset => "unknown_dataset",
+            RejectReason::NoFeasibleReplica => "no_feasible_replica",
+            RejectReason::StorageExhausted => "storage_exhausted",
         }
     }
 }
@@ -137,6 +146,7 @@ mod tests {
                 site: SiteId(site),
                 hosts: (0..hosts).map(|h| format!("h{h}")).collect::<Vec<_>>().into(),
                 predicted_seconds: secs,
+                data_sources: vec![],
             });
         }
         t

@@ -49,10 +49,11 @@
 
 use crate::host_selection::{host_selection_classed, HostSelectionOutput};
 use crate::incremental::IncrementalSchedule;
-use crate::makespan::evaluate;
+use crate::makespan::evaluate_with_data;
 use crate::service::aging::AgingPolicy;
 use crate::service::broker::{estimate_cost, BrokerDecision, BrokerPolicy, RejectReason};
 use crate::service::tenant::{Quota, TenantRegistry};
+use crate::site_scheduler::{validate_dataset_outputs, SchedError};
 use crate::view::SiteView;
 use serde::{Deserialize, Serialize};
 use std::cmp::{Ordering, Reverse};
@@ -61,6 +62,7 @@ use std::fmt;
 use std::sync::Arc;
 use vdce_afg::level::level_map;
 use vdce_afg::Afg;
+use vdce_data::DataView;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
 use vdce_obs::MetricsRegistry;
@@ -322,6 +324,10 @@ pub struct StreamService {
     cfg: ServiceConfig,
     repos: Vec<SiteRepository>,
     net: NetworkModel,
+    /// Dataset-catalog snapshot admissions are trial-placed against.
+    /// `None` means no catalog is attached: dataset-free AFGs schedule
+    /// as before, dataset-reading ones reject as `unknown_dataset`.
+    data: Option<DataView>,
     tenants: TenantRegistry,
     predictor: Predictor,
     parallel: ParallelModel,
@@ -374,6 +380,7 @@ impl StreamService {
             cfg,
             repos,
             net,
+            data: None,
             tenants: TenantRegistry::new(),
             predictor: Predictor::default(),
             parallel: ParallelModel::default(),
@@ -398,6 +405,17 @@ impl StreamService {
             digest: FNV_OFFSET,
             counters: BTreeMap::new(),
         }
+    }
+
+    /// Attach a dataset-catalog snapshot ([`DatasetCatalog::view`]).
+    /// Every subsequent admission trial-places and prices
+    /// dataset-reading AFGs against this view; typed placement failures
+    /// surface as the matching broker rejection labels
+    /// (`unknown_dataset`, `no_feasible_replica`, `storage_exhausted`).
+    ///
+    /// [`DatasetCatalog::view`]: vdce_data::DatasetCatalog::view
+    pub fn set_data_view(&mut self, view: DataView) {
+        self.data = Some(view);
     }
 
     /// Register a tenant account (5-tuple + quota). See
@@ -507,6 +525,20 @@ impl StreamService {
 
     // -- admission ----------------------------------------------------
 
+    /// The broker rejection label for a typed placement failure: the
+    /// dataset-specific variants map one-to-one, anything else is the
+    /// generic no-feasible-placement.
+    fn reject_reason_for(err: &SchedError) -> RejectReason {
+        match err {
+            SchedError::UnknownDataset { .. } => RejectReason::UnknownDataset,
+            SchedError::NoFeasibleReplica { .. } => RejectReason::NoFeasibleReplica,
+            SchedError::StorageCapacityExceeded { .. } => RejectReason::StorageExhausted,
+            SchedError::Cyclic | SchedError::NoFeasibleSite { .. } => {
+                RejectReason::NoFeasiblePlacement
+            }
+        }
+    }
+
     fn reject(&mut self, tenant: UserId, reason: RejectReason) {
         *self.rejected.entry(reason.label()).or_insert(0) += 1;
         let c = self.counters.entry(tenant).or_default();
@@ -554,16 +586,35 @@ impl StreamService {
         let sites = self.domain_sites(domain);
         let outputs: Vec<HostSelectionOutput> =
             sites.iter().map(|&s| self.output_for(s, &req.afg)).collect();
-        let Ok(inc) =
-            IncrementalSchedule::new(&req.afg, SiteId(0), outputs.clone(), &self.net, false)
-        else {
-            self.reject(tenant, RejectReason::NoFeasiblePlacement);
-            return;
+        let inc = match IncrementalSchedule::new_with_data(
+            &req.afg,
+            SiteId(0),
+            outputs.clone(),
+            &self.net,
+            false,
+            self.data.as_ref(),
+        ) {
+            Ok(inc) => inc,
+            Err(e) => {
+                self.reject(tenant, Self::reject_reason_for(&e));
+                return;
+            }
         };
+
+        // Dataset outputs must fit the free storage the catalog
+        // snapshot reports at their chosen sites.
+        if let Some(view) = &self.data {
+            if let Err(e) = validate_dataset_outputs(&req.afg, inc.table(), view) {
+                self.reject(tenant, Self::reject_reason_for(&e));
+                return;
+            }
+        }
 
         // Broker verdict on the trial placement.
         let levels = self.levels_for(&req.afg);
-        let Ok(sched) = evaluate(&req.afg, inc.table(), &self.net, &levels) else {
+        let Ok(sched) =
+            evaluate_with_data(&req.afg, inc.table(), &self.net, &levels, self.data.as_ref())
+        else {
             self.reject(tenant, RejectReason::NoFeasiblePlacement);
             return;
         };
@@ -676,8 +727,9 @@ impl StreamService {
         // Timing: simulate the table as-is (before this run's own load
         // feedback — its predictions already include everyone else's).
         let levels = self.levels_for(&p.req.afg);
-        let sched = evaluate(&p.req.afg, inc.table(), &self.net, &levels)
-            .expect("placed submissions evaluate");
+        let sched =
+            evaluate_with_data(&p.req.afg, inc.table(), &self.net, &levels, self.data.as_ref())
+                .expect("placed submissions evaluate");
         let finish = now + sched.makespan;
 
         let wait = now - p.arrival_s;
@@ -784,12 +836,13 @@ impl StreamService {
             if !applied {
                 // Poisoned or previously infeasible: rebuild from the
                 // fresh outputs (stays `None` while still infeasible).
-                p.inc = IncrementalSchedule::new(
+                p.inc = IncrementalSchedule::new_with_data(
                     &afg,
                     SiteId(0),
                     new_outputs.clone(),
                     &self.net,
                     false,
+                    self.data.as_ref(),
                 )
                 .ok();
             }
@@ -859,9 +912,15 @@ impl StreamService {
             fnv_mix(&mut self.digest, &id.0.to_le_bytes());
             let outputs: Vec<HostSelectionOutput> =
                 a.sites.iter().map(|&s| self.output_for(s, &a.req.afg)).collect();
-            let inc =
-                IncrementalSchedule::new(&a.req.afg, SiteId(0), outputs.clone(), &self.net, false)
-                    .ok();
+            let inc = IncrementalSchedule::new_with_data(
+                &a.req.afg,
+                SiteId(0),
+                outputs.clone(),
+                &self.net,
+                false,
+                self.data.as_ref(),
+            )
+            .ok();
             self.pending.insert(
                 id,
                 PendingSub {
@@ -1070,6 +1129,89 @@ mod tests {
     fn req(svc: &StreamService, tenant: UserId) -> SubmissionRequest {
         let _ = svc;
         SubmissionRequest { tenant, afg: chain_afg(10_000), deadline_s: 1e9, budget: f64::INFINITY }
+    }
+
+    /// One Map task reading dataset `input`, optionally writing dataset
+    /// `output` on its (unconnected) out port.
+    fn dataset_afg(input: u64, output: Option<u64>) -> Arc<Afg> {
+        use vdce_afg::{DatasetId, IoSpec};
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("data", &lib);
+        let m = b.add_task("Map", "m", 10_000).unwrap();
+        b.set_input(m, 0, IoSpec::dataset(DatasetId(input))).unwrap();
+        if let Some(o) = output {
+            b.set_output(m, 0, IoSpec::dataset(DatasetId(o))).unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn dataset_req(tenant: UserId, input: u64, output: Option<u64>) -> SubmissionRequest {
+        SubmissionRequest {
+            tenant,
+            afg: dataset_afg(input, output),
+            deadline_s: 1e9,
+            budget: f64::INFINITY,
+        }
+    }
+
+    fn data_tenant(svc: &mut StreamService) -> UserId {
+        svc.register_tenant("eve", "pw", 5, AccessDomain::Global, Quota::default()).unwrap()
+    }
+
+    #[test]
+    fn dataset_failures_reject_with_typed_labels() {
+        use std::collections::BTreeMap as Map;
+        use vdce_afg::DatasetId;
+        use vdce_data::DatasetSpec;
+
+        // No catalog view attached: any dataset read is unknown.
+        let mut svc = service();
+        let t = data_tenant(&mut svc);
+        svc.submit_at(0.0, dataset_req(t, 1, None));
+        let report = svc.drain();
+        assert_eq!(report.rejected, vec![("unknown_dataset".to_string(), 1)]);
+
+        // Known dataset without a live replica.
+        let mut svc = service();
+        let t = data_tenant(&mut svc);
+        let mut specs = Map::new();
+        specs.insert(DatasetId(1), DatasetSpec { size: 64, sites: vec![], home: None });
+        svc.set_data_view(DataView::from_specs(specs));
+        svc.submit_at(0.0, dataset_req(t, 1, None));
+        let report = svc.drain();
+        assert_eq!(report.rejected, vec![("no_feasible_replica".to_string(), 1)]);
+
+        // A dataset output too big for any site's free storage.
+        let mut svc = service();
+        let t = data_tenant(&mut svc);
+        let mut specs = Map::new();
+        specs.insert(
+            DatasetId(1),
+            DatasetSpec { size: 64, sites: vec![SiteId(0)], home: Some(SiteId(0)) },
+        );
+        specs.insert(DatasetId(9), DatasetSpec { size: 1 << 40, sites: vec![], home: None });
+        let mut view = DataView::from_specs(specs);
+        view.set_free(SiteId(0), 1 << 30);
+        view.set_free(SiteId(1), 1 << 30);
+        svc.set_data_view(view);
+        svc.submit_at(0.0, dataset_req(t, 1, Some(9)));
+        let report = svc.drain();
+        assert_eq!(report.rejected, vec![("storage_exhausted".to_string(), 1)]);
+
+        // With a live replica and room, the same shape admits and runs.
+        let mut svc = service();
+        let t = data_tenant(&mut svc);
+        let mut specs = Map::new();
+        specs.insert(
+            DatasetId(1),
+            DatasetSpec { size: 64, sites: vec![SiteId(0)], home: Some(SiteId(0)) },
+        );
+        svc.set_data_view(DataView::from_specs(specs));
+        svc.submit_at(0.0, dataset_req(t, 1, None));
+        let report = svc.drain();
+        assert!(report.rejected.is_empty(), "unexpected rejections: {:?}", report.rejected);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.completed, 1);
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! in-process here (each site's view is already available) and over the
 //! inter-site message bus in [`crate::federation`].
 
-use crate::allocation::{AllocationTable, TaskPlacement};
+use crate::allocation::{AllocationTable, DataSource, TaskPlacement};
 use crate::arena::ReadyKey;
+use crate::data_inputs::{DatasetInputs, DsInput};
 use crate::host_selection::{
     host_selection_cached, host_selection_classed, host_selection_opts, HostSelectionOutput,
     TaskHostChoice,
@@ -33,10 +34,11 @@ use crate::host_selection::{
 use crate::view::SiteView;
 use rayon::prelude::*;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 use std::fmt;
 use vdce_afg::level::{level_map, LevelError};
-use vdce_afg::{Afg, TaskId};
+use vdce_afg::{Afg, DatasetId, TaskId};
+use vdce_data::DataView;
 use vdce_net::cache::TransferCache;
 use vdce_net::model::NetworkModel;
 use vdce_net::topology::SiteId;
@@ -136,8 +138,12 @@ fn make_cache(config: &SchedulerConfig) -> PredictCache {
 }
 
 /// Scheduling failures.
+///
+/// The dataset variants are typed so admission layers (the streaming
+/// broker) can label rejections precisely instead of collapsing every
+/// failure into "no feasible placement".
 #[derive(Debug, Clone, PartialEq)]
-pub enum SchedulingError {
+pub enum SchedError {
     /// The AFG has a cycle (level computation failed).
     Cyclic,
     /// No involved site can run this task at all.
@@ -147,24 +153,68 @@ pub enum SchedulingError {
         /// Its instance name.
         name: String,
     },
+    /// A task reads a dataset the supplied catalog view does not know
+    /// (including the case of scheduling a dataset-reading AFG through a
+    /// legacy entry point that provides no view at all).
+    UnknownDataset {
+        /// The reading task.
+        task: TaskId,
+        /// The unknown dataset.
+        dataset: DatasetId,
+    },
+    /// A task reads a dataset that is known but has no live replica.
+    NoFeasibleReplica {
+        /// The reading task.
+        task: TaskId,
+        /// The replica-less dataset.
+        dataset: DatasetId,
+    },
+    /// Admitting a dataset output would overflow a site's storage.
+    StorageCapacityExceeded {
+        /// The site whose storage would overflow.
+        site: SiteId,
+        /// The dataset being materialised.
+        dataset: DatasetId,
+        /// Bytes the dataset needs.
+        needed: u64,
+        /// Bytes the site has left.
+        capacity: u64,
+    },
 }
 
-impl fmt::Display for SchedulingError {
+/// Pre-PR-10 name of [`SchedError`], kept as an alias so existing
+/// `SchedulingError::...` paths (including patterns) keep compiling.
+pub type SchedulingError = SchedError;
+
+impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedulingError::Cyclic => write!(f, "application flow graph has a cycle"),
-            SchedulingError::NoFeasibleSite { task, name } => {
+            SchedError::Cyclic => write!(f, "application flow graph has a cycle"),
+            SchedError::NoFeasibleSite { task, name } => {
                 write!(f, "no site can run task {task} (`{name}`)")
+            }
+            SchedError::UnknownDataset { task, dataset } => {
+                write!(f, "task {task} reads dataset {dataset} which is not in the catalog view")
+            }
+            SchedError::NoFeasibleReplica { task, dataset } => {
+                write!(f, "task {task} reads dataset {dataset} which has no live replica")
+            }
+            SchedError::StorageCapacityExceeded { site, dataset, needed, capacity } => {
+                write!(
+                    f,
+                    "dataset {dataset} needs {needed} bytes on site {site} \
+                     but only {capacity} remain"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for SchedulingError {}
+impl std::error::Error for SchedError {}
 
-impl From<LevelError> for SchedulingError {
+impl From<LevelError> for SchedError {
     fn from(_: LevelError) -> Self {
-        SchedulingError::Cyclic
+        SchedError::Cyclic
     }
 }
 
@@ -179,7 +229,27 @@ pub fn site_schedule(
     remotes: &[SiteView],
     net: &NetworkModel,
     config: &SchedulerConfig,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
+    site_schedule_with_data(afg, local, remotes, net, config, None)
+}
+
+/// Data-aware [`site_schedule`]: tasks whose inputs name catalog
+/// datasets ([`vdce_afg::IoSpec::Dataset`]) are charged
+/// `min` over live replicas of the transfer from each replica site, on
+/// top of Figure 2's parent-site dataflow term, and the chosen replica
+/// is recorded in the placement's
+/// [`data_sources`](crate::TaskPlacement::data_sources). `data: None`
+/// resolves like an empty view: any dataset reference is a typed
+/// [`SchedError::UnknownDataset`] — dataset reads are never silently
+/// free.
+pub fn site_schedule_with_data(
+    afg: &Afg,
+    local: &SiteView,
+    remotes: &[SiteView],
+    net: &NetworkModel,
+    config: &SchedulerConfig,
+    data: Option<&DataView>,
+) -> Result<AllocationTable, SchedError> {
     // Priorities: level of each node on base-processor execution times
     // (task-performance DB of the local site).
     let tasks_db = &local.tasks;
@@ -218,7 +288,7 @@ pub fn site_schedule(
         involved.par_iter().map(run_one).collect()
     };
 
-    schedule_with_outputs_full(
+    schedule_walk(
         afg,
         &levels,
         local.site,
@@ -227,7 +297,48 @@ pub fn site_schedule(
         config.ignore_transfer_time,
         config.sequential,
         config.spread_critical.then_some(config.spread),
+        data,
+        None,
     )
+}
+
+/// Admission-time storage check for dataset *outputs*: every placement
+/// that would materialise a catalog-known dataset output at its chosen
+/// site must fit in the bytes the view says are free there
+/// ([`DataView::free_at`]; sites absent from the free map are
+/// uncapped). Outputs the view does not know are skipped — their size
+/// is unknown until registration — and a site already holding a live
+/// replica is charged nothing. Charges accumulate in task-id order, so
+/// the verdict is a deterministic function of the table and the view.
+pub fn validate_dataset_outputs(
+    afg: &Afg,
+    table: &AllocationTable,
+    view: &DataView,
+) -> Result<(), SchedError> {
+    let mut charged: BTreeMap<SiteId, u64> = BTreeMap::new();
+    for p in table.iter() {
+        let Some(task) = afg.get_task(p.task) else { continue };
+        for spec in &task.props.outputs {
+            let Some(id) = spec.dataset_id() else { continue };
+            let Some(ds) = view.get(id) else { continue };
+            if ds.sites.contains(&p.site) {
+                continue;
+            }
+            let Some(free) = view.free_at(p.site) else { continue };
+            let already = charged.get(&p.site).copied().unwrap_or(0);
+            let want = already.saturating_add(ds.size);
+            if want > free {
+                return Err(SchedError::StorageCapacityExceeded {
+                    site: p.site,
+                    dataset: id,
+                    needed: ds.size,
+                    capacity: free.saturating_sub(already),
+                });
+            }
+            charged.insert(p.site, want);
+        }
+    }
+    Ok(())
 }
 
 /// [`site_schedule`] with observability: identical algorithm and a
@@ -259,7 +370,23 @@ pub fn site_schedule_observed(
     net: &NetworkModel,
     config: &SchedulerConfig,
     metrics: &MetricsRegistry,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
+    site_schedule_observed_with_data(afg, local, remotes, net, config, None, metrics)
+}
+
+/// [`site_schedule_observed`] with a dataset catalog view — the
+/// data-aware counterpart, with the same metric names (dataset replica
+/// probes count into `sched.transfer_cache.lookups`, which stays a pure
+/// function of the inputs because the walk is sequential).
+pub fn site_schedule_observed_with_data(
+    afg: &Afg,
+    local: &SiteView,
+    remotes: &[SiteView],
+    net: &NetworkModel,
+    config: &SchedulerConfig,
+    data: Option<&DataView>,
+    metrics: &MetricsRegistry,
+) -> Result<AllocationTable, SchedError> {
     let timer = PhaseTimer::start();
     let tasks_db = &local.tasks;
     let levels =
@@ -316,6 +443,7 @@ pub fn site_schedule_observed(
         config.ignore_transfer_time,
         config.sequential,
         config.spread_critical.then_some(config.spread),
+        data,
         Some(metrics),
     )?;
     timer.stop(metrics, "sched.dag_walk");
@@ -332,7 +460,7 @@ pub fn schedule_with_outputs(
     local_site: SiteId,
     outputs: &[HostSelectionOutput],
     net: &NetworkModel,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
     schedule_with_outputs_full(afg, levels, local_site, outputs, net, false, false, None)
 }
 
@@ -344,7 +472,7 @@ pub fn schedule_with_outputs_opts(
     outputs: &[HostSelectionOutput],
     net: &NetworkModel,
     ignore_transfer_time: bool,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
     schedule_with_outputs_full(
         afg,
         levels,
@@ -353,6 +481,35 @@ pub fn schedule_with_outputs_opts(
         net,
         ignore_transfer_time,
         false,
+        None,
+    )
+}
+
+/// [`schedule_with_outputs_full`] plus a dataset catalog view — the
+/// walk-level entry point of data-aware scheduling (see
+/// [`site_schedule_with_data`] for the cost model).
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_with_outputs_data(
+    afg: &Afg,
+    levels: &[f64],
+    local_site: SiteId,
+    outputs: &[HostSelectionOutput],
+    net: &NetworkModel,
+    ignore_transfer_time: bool,
+    sequential: bool,
+    spread: Option<SpreadPolicy>,
+    data: Option<&DataView>,
+) -> Result<AllocationTable, SchedError> {
+    schedule_walk(
+        afg,
+        levels,
+        local_site,
+        outputs,
+        net,
+        ignore_transfer_time,
+        sequential,
+        spread,
+        data,
         None,
     )
 }
@@ -420,7 +577,7 @@ pub fn schedule_with_outputs_full(
     ignore_transfer_time: bool,
     sequential: bool,
     spread: Option<SpreadPolicy>,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
     schedule_walk(
         afg,
         levels,
@@ -430,6 +587,7 @@ pub fn schedule_with_outputs_full(
         ignore_transfer_time,
         sequential,
         spread,
+        None,
         None,
     )
 }
@@ -450,8 +608,14 @@ fn schedule_walk(
     ignore_transfer_time: bool,
     sequential: bool,
     spread: Option<SpreadPolicy>,
+    data: Option<&DataView>,
     metrics: Option<&MetricsRegistry>,
-) -> Result<AllocationTable, SchedulingError> {
+) -> Result<AllocationTable, SchedError> {
+    // Freeze the catalog view into per-task dataset inputs up front:
+    // typed errors surface before any placement, and every task decides
+    // against the same snapshot (the incremental order-independence
+    // contract).
+    let dsi = DatasetInputs::resolve(afg, data)?;
     let mut xfer_lookups = 0u64;
     let mut table = AllocationTable::new(afg.name.clone());
     let mut site_of_task: Vec<Option<SiteId>> = vec![None; afg.task_count()];
@@ -509,6 +673,12 @@ fn schedule_walk(
 
         let is_critical = spread.is_some() && levels[task.index()] >= critical_floor - 1e-12;
 
+        // Dataset inputs of this task. Under the transfer ablation the
+        // replica term is excluded from the cost (like the parent term),
+        // but the chosen source is still recorded for replay.
+        let ds = dsi.for_task(task);
+        let ds_cost: &[DsInput] = if ignore_transfer_time { &[] } else { ds };
+
         let mut xfer_time = |from: SiteId, to: SiteId, bytes: u64| {
             xfer_lookups += 1;
             match &xfer_cache {
@@ -520,23 +690,26 @@ fn schedule_walk(
             task,
             &per_site,
             &parents,
+            ds_cost,
             local_site,
             &mut xfer_time,
             if is_critical { spread.as_ref().map(|p| (p, &critical_hosts)) } else { None },
         );
 
         let (site, choice, _) =
-            best.ok_or_else(|| SchedulingError::NoFeasibleSite { task, name: node.name.clone() })?;
+            best.ok_or_else(|| SchedError::NoFeasibleSite { task, name: node.name.clone() })?;
         if is_critical {
             critical_hosts.extend(choice.hosts.iter().map(String::as_str));
         }
         site_of_task[task.index()] = Some(site);
+        let data_sources = dataset_sources_for_site(ds, site, &mut xfer_time);
         table.insert(TaskPlacement {
             task,
             task_name: node.name.clone(),
             site,
             hosts: choice.hosts.clone(),
             predicted_seconds: choice.predicted_seconds,
+            data_sources,
         });
         placed += 1;
 
@@ -570,6 +743,7 @@ pub(crate) fn choose_site_for_task<'a>(
     task: TaskId,
     per_site: &[(SiteId, Vec<Option<&'a TaskHostChoice>>)],
     parents: &[(SiteId, u64)],
+    datasets: &[DsInput],
     local_site: SiteId,
     xfer_time: &mut dyn FnMut(SiteId, SiteId, u64) -> f64,
     spread: Option<(&SpreadPolicy, &HashSet<&str>)>,
@@ -586,6 +760,11 @@ pub(crate) fn choose_site_for_task<'a>(
         let mut xfer = 0.0;
         for &(parent_site, bytes) in parents {
             xfer += xfer_time(parent_site, *site, bytes);
+        }
+        // Plus, per dataset input, the *cheapest* live replica's
+        // transfer — the data-aware extension of Timetotal.
+        for d in datasets {
+            xfer += cheapest_ds_source(d, *site, xfer_time).1;
         }
         let total = xfer + choice.predicted_seconds;
         let better = |prev: &Option<(SiteId, &'a TaskHostChoice, f64)>| match prev {
@@ -615,6 +794,43 @@ pub(crate) fn choose_site_for_task<'a>(
         }
     }
     best
+}
+
+/// Cheapest replica source of one dataset input for a read at `to`:
+/// strict `<` minimum over the replica sites, ties to the first listed
+/// (replica sites are kept ascending, so ties resolve to the lowest
+/// site id). Replica lists are non-empty by construction
+/// ([`DatasetInputs::resolve`] rejects empty ones), so this always
+/// answers. Shared between the cost term in [`choose_site_for_task`]
+/// and the recording in [`dataset_sources_for_site`] so the recorded
+/// source is exactly the one the argmin priced.
+fn cheapest_ds_source(
+    d: &DsInput,
+    to: SiteId,
+    xfer_time: &mut dyn FnMut(SiteId, SiteId, u64) -> f64,
+) -> (SiteId, f64) {
+    let mut best = (d.sites[0], xfer_time(d.sites[0], to, d.size));
+    for &src in &d.sites[1..] {
+        let t = xfer_time(src, to, d.size);
+        if t < best.1 {
+            best = (src, t);
+        }
+    }
+    best
+}
+
+/// The replica each dataset input is served from once `site` has won
+/// the argmin — what gets recorded in
+/// [`data_sources`](crate::TaskPlacement::data_sources).
+pub(crate) fn dataset_sources_for_site(
+    datasets: &[DsInput],
+    site: SiteId,
+    xfer_time: &mut dyn FnMut(SiteId, SiteId, u64) -> f64,
+) -> Vec<DataSource> {
+    datasets
+        .iter()
+        .map(|d| DataSource { dataset: d.id, source: cheapest_ds_source(d, site, xfer_time).0 })
+        .collect()
 }
 
 /// Tie-break rank: local site first, then ascending site id.
@@ -1061,6 +1277,101 @@ mod tests {
             strict.placement(s1).unwrap().hosts,
             "tolerance 1.0 refuses any cost increase"
         );
+    }
+
+    /// reader (Map, one input) -> sink, input bound by the caller.
+    fn reader_afg(input: vdce_afg::IoSpec, n: u64) -> Afg {
+        let lib = TaskLibrary::standard();
+        let mut b = AfgBuilder::new("reader", &lib);
+        let m = b.add_task("Map", "m", n).unwrap();
+        let k = b.add_task("Sink", "k", n).unwrap();
+        b.set_input(m, 0, input).unwrap();
+        b.connect(m, 0, k, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn view_one(id: u64, size: u64, sites: &[u16]) -> DataView {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(
+            DatasetId(id),
+            vdce_data::DatasetSpec {
+                size,
+                sites: sites.iter().map(|&s| SiteId(s)).collect(),
+                home: sites.first().map(|&s| SiteId(s)),
+            },
+        );
+        DataView::from_specs(m)
+    }
+
+    /// Pins the legacy contract (satellite of DESIGN.md §18): inline
+    /// *file* inputs are charged parent-site-only per Figure 2 — an
+    /// entry task "requires no input" transfer, so the file's size never
+    /// moves the placement. Only `IoSpec::Dataset` inputs get the
+    /// min-over-replicas term.
+    #[test]
+    fn inline_file_inputs_stay_parent_site_only() {
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 10.0)]);
+        let net = NetworkModel::with_defaults(2);
+        let small = reader_afg(vdce_afg::IoSpec::inline_file("/in.dat", 1), 1000);
+        let huge = reader_afg(vdce_afg::IoSpec::inline_file("/in.dat", 1 << 33), 1000);
+        let a =
+            site_schedule(&small, &local, std::slice::from_ref(&remote), &net, &cfg(1)).unwrap();
+        let b = site_schedule(&huge, &local, std::slice::from_ref(&remote), &net, &cfg(1)).unwrap();
+        assert_eq!(
+            a.placement(TaskId(0)).unwrap().site,
+            b.placement(TaskId(0)).unwrap().site,
+            "inline file size must not move the placement"
+        );
+        assert!(a.iter().all(|p| p.data_sources.is_empty()));
+    }
+
+    /// The data-aware term: a dataset with its only replica on the slow
+    /// local site pins the reader there (the 8 GiB WAN transfer dwarfs
+    /// the 10× compute advantage), and the placement records which
+    /// replica was charged. The same AFG through the legacy entry point
+    /// is a typed [`SchedError::UnknownDataset`], never silently free.
+    #[test]
+    fn dataset_replicas_pull_placement_and_are_recorded() {
+        let ds = DatasetId(7);
+        let afg = reader_afg(vdce_afg::IoSpec::dataset(ds), 1000);
+        let local = site_view(0, &[("l0", 1.0)]);
+        let remote = site_view(1, &[("r0", 10.0)]);
+        let net = NetworkModel::with_defaults(2);
+
+        let err =
+            site_schedule(&afg, &local, std::slice::from_ref(&remote), &net, &cfg(1)).unwrap_err();
+        assert_eq!(err, SchedError::UnknownDataset { task: TaskId(0), dataset: ds });
+
+        let pinned = view_one(7, 1 << 33, &[0]);
+        let t = site_schedule_with_data(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &cfg(1),
+            Some(&pinned),
+        )
+        .unwrap();
+        let p = t.placement(TaskId(0)).unwrap();
+        assert_eq!(p.site, SiteId(0), "sole huge replica pins the reader to its site");
+        assert_eq!(p.data_sources, vec![DataSource { dataset: ds, source: SiteId(0) }]);
+
+        // A second replica on the fast site frees the reader to move
+        // there — and the recorded source moves with it.
+        let replicated = view_one(7, 1 << 33, &[0, 1]);
+        let t2 = site_schedule_with_data(
+            &afg,
+            &local,
+            std::slice::from_ref(&remote),
+            &net,
+            &cfg(1),
+            Some(&replicated),
+        )
+        .unwrap();
+        let p2 = t2.placement(TaskId(0)).unwrap();
+        assert_eq!(p2.site, SiteId(1), "replication unlocks the faster site");
+        assert_eq!(p2.data_sources, vec![DataSource { dataset: ds, source: SiteId(1) }]);
     }
 
     #[test]

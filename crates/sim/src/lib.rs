@@ -34,7 +34,10 @@
 //! - [`fuzz`] — the seeded scenario fuzzer (DESIGN.md §17): adversarial
 //!   fault-plan generation over the named scenarios, the end-to-end
 //!   invariant engine, and the delta-debugging shrinker that minimises
-//!   violating seeds into committable reproducers.
+//!   violating seeds into committable reproducers;
+//! - [`data`] — data-aware workloads over replicated datasets
+//!   (DESIGN.md §18): the parameter-sweep and data-intensive pipeline
+//!   scenarios the `exp_data` gates run against.
 
 #![deny(clippy::print_stdout)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@
 
 pub mod arrivals;
 pub mod dag_gen;
+pub mod data;
 pub mod faults;
 pub mod fuzz;
 pub mod harness;
@@ -55,6 +59,7 @@ pub mod trace;
 
 pub use arrivals::{poisson_trace, Arrival, TraceSpec};
 pub use dag_gen::DagSpec;
+pub use data::{pipeline_workload, sweep_workload, DataScenario};
 pub use faults::{Fault, FaultPlan};
 pub use fuzz::{
     check_case, check_invariant, shrink, CaseOutcome, FaultClass, FuzzCase, Invariant,

@@ -40,7 +40,7 @@ fn main() {
     b.set_mode(fft, ComputationMode::Parallel).unwrap();
     b.set_num_nodes(fft, 4).unwrap();
     b.set_machine_type(fft, MachineType::SgiIrix).unwrap();
-    b.set_output(fft, 0, IoSpec::file("/users/VDCE/dsp/spectrum.dat", 0)).unwrap();
+    b.set_output(fft, 0, IoSpec::inline_file("/users/VDCE/dsp/spectrum.dat", 0)).unwrap();
     b.connect(src, 0, fir, 0).unwrap();
     b.connect(fir, 0, fft, 0).unwrap();
     b.connect(fft, 0, snk, 0).unwrap();

@@ -52,16 +52,17 @@ fn main() {
     let lu = afg.add_task("LU_Decomposition", "LU_Decomposition", N).unwrap();
     afg.set_mode(lu, ComputationMode::Parallel).unwrap();
     afg.set_num_nodes(lu, 2).unwrap();
-    afg.set_input(lu, 0, IoSpec::file("/users/VDCE/user_k/matrix_A.dat", 8 * N * N)).unwrap();
+    afg.set_input(lu, 0, IoSpec::inline_file("/users/VDCE/user_k/matrix_A.dat", 8 * N * N))
+        .unwrap();
 
     let fwd = afg.add_task("Forward_Substitution", "Forward_Substitution", N).unwrap();
-    afg.set_input(fwd, 1, IoSpec::file("/users/VDCE/user_k/vector_B.dat", 8 * N)).unwrap();
+    afg.set_input(fwd, 1, IoSpec::inline_file("/users/VDCE/user_k/vector_B.dat", 8 * N)).unwrap();
 
     // The paper's second stage prefers a concrete SUN Solaris machine.
     let back = afg.add_task("Back_Substitution", "Back_Substitution", N).unwrap();
     afg.set_machine_type(back, MachineType::SunSolaris).unwrap();
     afg.set_preferred_host(back, "hunding.top.cis.syr.edu").unwrap();
-    afg.set_output(back, 0, IoSpec::file("/users/VDCE/user_k/vector_X.dat", 0)).unwrap();
+    afg.set_output(back, 0, IoSpec::inline_file("/users/VDCE/user_k/vector_X.dat", 0)).unwrap();
 
     afg.connect(lu, 0, fwd, 0).unwrap(); // L
     afg.connect(lu, 1, back, 0).unwrap(); // U

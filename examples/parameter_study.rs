@@ -17,7 +17,7 @@ fn solver_doc(n: u64) -> AfgDocument {
     let lib = TaskLibrary::standard();
     let mut b = AfgBuilder::new(format!("study-{n}"), &lib);
     let lu = b.add_task("LU_Decomposition", "lu", n).unwrap();
-    b.set_input(lu, 0, IoSpec::file(format!("/study/A_{n}.dat"), 8 * n * n)).unwrap();
+    b.set_input(lu, 0, IoSpec::inline_file(format!("/study/A_{n}.dat"), 8 * n * n)).unwrap();
     let mm = b.add_task("Matrix_Multiplication", "mm", n).unwrap();
     b.connect(lu, 0, mm, 0).unwrap();
     b.connect(lu, 1, mm, 1).unwrap();

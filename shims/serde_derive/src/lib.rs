@@ -2,7 +2,8 @@
 //! string-based code generator (no `syn`/`quote`). Supports the subset of
 //! shapes this workspace actually derives on:
 //!
-//! - named structs (with `#[serde(skip)]` / `#[serde(default)]` fields)
+//! - named structs (with `#[serde(skip)]` / `#[serde(default)]` /
+//!   `#[serde(skip_serializing_if = "path")]` fields)
 //! - tuple structs (newtypes delegate to the inner value, like serde)
 //! - unit structs
 //! - `#[serde(transparent)]`
@@ -14,17 +15,21 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone)]
 struct Attrs {
     transparent: bool,
     skip: bool,
     default: bool,
+    /// Predicate path from `skip_serializing_if = "path"`, called with a
+    /// reference to the field exactly like real serde.
+    skip_ser_if: Option<String>,
 }
 
 struct Field {
     name: String,
     skip: bool,
     default: bool,
+    skip_ser_if: Option<String>,
 }
 
 enum VariantKind {
@@ -92,15 +97,29 @@ impl Cursor {
                 continue;
             }
             if let Some(TokenTree::Group(args)) = inner.get(1) {
-                for t in args.stream() {
-                    if let TokenTree::Ident(w) = t {
+                let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+                let mut i = 0usize;
+                while i < toks.len() {
+                    if let TokenTree::Ident(w) = &toks[i] {
                         match w.to_string().as_str() {
                             "transparent" => a.transparent = true,
                             "skip" | "skip_serializing" | "skip_deserializing" => a.skip = true,
                             "default" => a.default = true,
+                            "skip_serializing_if" => {
+                                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                                    (toks.get(i + 1), toks.get(i + 2))
+                                {
+                                    if eq.as_char() == '=' {
+                                        let s = lit.to_string();
+                                        a.skip_ser_if = Some(s.trim_matches('"').to_string());
+                                        i += 2;
+                                    }
+                                }
+                            }
                             _ => {}
                         }
                     }
+                    i += 1;
                 }
             }
         }
@@ -198,7 +217,12 @@ fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
             _ => return Err(format!("expected `:` after field `{fname}`")),
         }
         c.skip_until_top_comma();
-        out.push(Field { name: fname.to_string(), skip: a.skip, default: a.default });
+        out.push(Field {
+            name: fname.to_string(),
+            skip: a.skip,
+            default: a.default,
+            skip_ser_if: a.skip_ser_if,
+        });
     }
     Ok(out)
 }
@@ -289,11 +313,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                      ::std::vec::Vec::new();\n",
                 );
                 for f in &live {
-                    s.push_str(&format!(
+                    let push = format!(
                         "__o.push((::std::string::String::from({:?}), \
                          ::serde::Serialize::to_value(&self.{})));\n",
                         f.name, f.name
-                    ));
+                    );
+                    match &f.skip_ser_if {
+                        Some(pred) => {
+                            s.push_str(&format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name))
+                        }
+                        None => s.push_str(&push),
+                    }
                 }
                 s.push_str("::serde::Value::Object(__o) }");
                 s
@@ -332,11 +362,18 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                              ::serde::Value)> = ::std::vec::Vec::new();\n",
                         );
                         for f in fields.iter().filter(|f| !f.skip) {
-                            inner.push_str(&format!(
+                            let push = format!(
                                 "__o.push((::std::string::String::from({:?}), \
                                  ::serde::Serialize::to_value(__b_{})));\n",
                                 f.name, f.name
-                            ));
+                            );
+                            match &f.skip_ser_if {
+                                Some(pred) => inner.push_str(&format!(
+                                    "if !{pred}(__b_{}) {{ {push} }}\n",
+                                    f.name
+                                )),
+                                None => inner.push_str(&push),
+                            }
                         }
                         inner.push_str("::serde::Value::Object(__o) }");
                         let ignore: String = fields

@@ -114,11 +114,11 @@ fn cmd_solve(n: u64) -> ExitCode {
     let lib = TaskLibrary::standard();
     let mut b = AfgBuilder::new("Linear Equation Solver", &lib);
     let lu = b.add_task("LU_Decomposition", "lu", n).unwrap();
-    b.set_input(lu, 0, IoSpec::file("/cli/A.dat", 8 * n * n)).unwrap();
+    b.set_input(lu, 0, IoSpec::inline_file("/cli/A.dat", 8 * n * n)).unwrap();
     let fwd = b.add_task("Forward_Substitution", "fwd", n).unwrap();
-    b.set_input(fwd, 1, IoSpec::file("/cli/b.dat", 8 * n)).unwrap();
+    b.set_input(fwd, 1, IoSpec::inline_file("/cli/b.dat", 8 * n)).unwrap();
     let back = b.add_task("Back_Substitution", "back", n).unwrap();
-    b.set_output(back, 0, IoSpec::file("/cli/x.dat", 0)).unwrap();
+    b.set_output(back, 0, IoSpec::inline_file("/cli/x.dat", 0)).unwrap();
     b.connect(lu, 0, fwd, 0).unwrap();
     b.connect(lu, 1, back, 0).unwrap();
     b.connect(fwd, 0, back, 1).unwrap();

@@ -28,11 +28,11 @@ fn solver_doc(author: &str, n: u64) -> AfgDocument {
     let lib = TaskLibrary::standard();
     let mut b = AfgBuilder::new("solver", &lib);
     let lu = b.add_task("LU_Decomposition", "lu", n).unwrap();
-    b.set_input(lu, 0, IoSpec::file("/A.dat", 8 * n * n)).unwrap();
+    b.set_input(lu, 0, IoSpec::inline_file("/A.dat", 8 * n * n)).unwrap();
     let fwd = b.add_task("Forward_Substitution", "fwd", n).unwrap();
-    b.set_input(fwd, 1, IoSpec::file("/b.dat", 8 * n)).unwrap();
+    b.set_input(fwd, 1, IoSpec::inline_file("/b.dat", 8 * n)).unwrap();
     let back = b.add_task("Back_Substitution", "back", n).unwrap();
-    b.set_output(back, 0, IoSpec::file("/x.dat", 0)).unwrap();
+    b.set_output(back, 0, IoSpec::inline_file("/x.dat", 0)).unwrap();
     b.connect(lu, 0, fwd, 0).unwrap();
     b.connect(lu, 1, back, 0).unwrap();
     b.connect(fwd, 0, back, 1).unwrap();
@@ -154,9 +154,9 @@ fn parallel_lu_spans_hosts_and_reconstructs() {
     let lu = b.add_task("LU_Decomposition", "lu", n).unwrap();
     b.set_mode(lu, ComputationMode::Parallel).unwrap();
     b.set_num_nodes(lu, 3).unwrap();
-    b.set_input(lu, 0, IoSpec::file("/A.dat", 8 * n * n)).unwrap();
+    b.set_input(lu, 0, IoSpec::inline_file("/A.dat", 8 * n * n)).unwrap();
     let mm = b.add_task("Matrix_Multiplication", "recombine", n).unwrap();
-    b.set_output(mm, 0, IoSpec::file("/LU.dat", 0)).unwrap();
+    b.set_output(mm, 0, IoSpec::inline_file("/LU.dat", 0)).unwrap();
     b.connect(lu, 0, mm, 0).unwrap();
     b.connect(lu, 1, mm, 1).unwrap();
     let doc = AfgDocument::new("user_k", b.build().unwrap()).unwrap();
@@ -191,7 +191,7 @@ fn memory_constraints_force_placement() {
     let lib = TaskLibrary::standard();
     let mut bb = AfgBuilder::new("mem", &lib);
     let lu = bb.add_task("LU_Decomposition", "lu", 512).unwrap();
-    bb.set_input(lu, 0, IoSpec::file("/big_A.dat", 8 * 512 * 512)).unwrap();
+    bb.set_input(lu, 0, IoSpec::inline_file("/big_A.dat", 8 * 512 * 512)).unwrap();
     let snk = bb.add_task("Sink", "snk", 512).unwrap();
     bb.connect(lu, 0, snk, 0).unwrap();
     let doc = AfgDocument::new("u", bb.build().unwrap()).unwrap();
